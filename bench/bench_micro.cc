@@ -1,0 +1,166 @@
+// Experiment E10 — microbenchmarks of the machinery under everything:
+// relational operators (hash join, dedup projection, grouping), the
+// containment-mapping test of §3.1, safety checking, and the parser.
+// These are the constants the macro results (E1-E8) are built from.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "datalog/containment.h"
+#include "datalog/parser.h"
+#include "datalog/safety.h"
+#include "relational/ops.h"
+
+namespace qf {
+namespace {
+
+Relation RandomRelation(std::size_t rows, std::size_t key_domain,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  Relation rel(Schema({"K", "V"}));
+  for (std::size_t i = 0; i < rows; ++i) {
+    rel.AddRow({Value(static_cast<std::int64_t>(
+                    rng.NextBelow(static_cast<std::uint32_t>(key_domain)))),
+                Value(static_cast<std::int64_t>(i))});
+  }
+  rel.Dedup();
+  return rel;
+}
+
+void BM_Micro_NaturalJoin(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 10, 1);
+  Relation b = Rename(RandomRelation(n, n / 10, 2), {"K", "W"});
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    Relation j = NaturalJoin(a, b);
+    out_rows = j.size();
+    benchmark::DoNotOptimize(j);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out_rows));
+}
+
+void BM_Micro_SortMergeJoin(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 10, 1);
+  Relation b = Rename(RandomRelation(n, n / 10, 2), {"K", "W"});
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    Relation j = SortMergeJoin(a, b);
+    out_rows = j.size();
+    benchmark::DoNotOptimize(j);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out_rows));
+}
+
+void BM_Micro_ParallelJoin(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 10, 1);
+  Relation b = Rename(RandomRelation(n / 4, n / 10, 2), {"K", "W"});
+  for (auto _ : state) {
+    Relation j = ParallelNaturalJoin(a, b, 4);
+    benchmark::DoNotOptimize(j);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_Micro_ProjectDedup(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 20, 3);
+  for (auto _ : state) {
+    Relation p = Project(a, {"K"});
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_Micro_GroupCount(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 20, 4);
+  for (auto _ : state) {
+    Relation g = GroupAggregate(a, {"K"}, AggKind::kCount, "", "n");
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_Micro_AntiJoin(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 10, 5);
+  Relation b = Rename(RandomRelation(n / 4, n / 10, 6), {"K", "V"});
+  for (auto _ : state) {
+    Relation j = AntiJoin(a, b);
+    benchmark::DoNotOptimize(j);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+// Containment mapping on path queries of growing length: backtracking
+// search over subgoal images.
+std::string PathQuery(int n) {
+  std::string q = "answer(X0) :- arc(X0,X1)";
+  for (int i = 1; i < n; ++i) {
+    q += " AND arc(X" + std::to_string(i) + ",X" + std::to_string(i + 1) +
+         ")";
+  }
+  return q;
+}
+
+void BM_Micro_Containment(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  ConjunctiveQuery shorter = bench::MustOk(ParseRule(PathQuery(n)));
+  ConjunctiveQuery longer = bench::MustOk(ParseRule(PathQuery(n + 2)));
+  bool contains = false;
+  for (auto _ : state) {
+    contains = Contains(shorter, longer);
+    bench::ConsumeScalar(contains);
+  }
+  QF_CHECK(contains);
+}
+
+void BM_Micro_Safety(benchmark::State& state) {
+  ConjunctiveQuery cq = bench::MustOk(ParseRule(
+      "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND "
+      "diagnoses(P,D) AND NOT causes(D,$s) AND $s < $m"));
+  bool safe = false;
+  for (auto _ : state) {
+    safe = IsSafe(cq);
+    bench::ConsumeScalar(safe);
+  }
+  QF_CHECK(safe);
+}
+
+void BM_Micro_Parser(benchmark::State& state) {
+  const char* text = R"(
+      answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+      answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2)
+                   AND $1 < $2
+      answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1)
+                   AND $1 < $2
+  )";
+  for (auto _ : state) {
+    auto q = ParseQuery(text);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+BENCHMARK(BM_Micro_NaturalJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_SortMergeJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_ParallelJoin)->Arg(100000)->Arg(400000);
+BENCHMARK(BM_Micro_ProjectDedup)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_GroupCount)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_AntiJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_Containment)->DenseRange(2, 6);
+BENCHMARK(BM_Micro_Safety);
+BENCHMARK(BM_Micro_Parser);
+
+}  // namespace
+}  // namespace qf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Experiment E9 — §4.3: the search for query plans.
+//
+// The paper notes the plan space is not even exponentially bounded, and
+// proposes restricting it. This bench measures the cost of the machinery
+// on synthetic chain flocks with a growing number of subgoals:
+//   * SafeSubqueries — enumerating all safe subgoal subsets (2^n scan);
+//   * Heuristic1     — greedy parameter-set search with the cost model;
+//   * Exhaustive     — cost-ranking all subsets of candidate prefilters.
+// Expected shape: enumeration and exhaustive search grow exponentially in
+// the subgoal count (but stay trivial at realistic query sizes, which is
+// the paper's point that "queries tend to be small"); the greedy
+// heuristic grows much more slowly.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench/bench_util.h"
+#include "datalog/subquery.h"
+#include "optimizer/plan_search.h"
+
+namespace qf {
+namespace {
+
+// Chain flock with `k` parameters:
+//   answer(X0) :- p0(X0,$a0) AND p1(X0,X1) AND p2(X1,$a1) AND ...
+// alternating parameter-bearing and linking subgoals (2k-1 subgoals).
+QueryFlock ChainFlock(int k) {
+  std::string q = "answer(X0) :- p0(X0,$a0)";
+  for (int i = 1; i < k; ++i) {
+    q += " AND q" + std::to_string(i) + "(X" + std::to_string(i - 1) + ",X" +
+         std::to_string(i) + ")";
+    q += " AND p" + std::to_string(i) + "(X" + std::to_string(i) + ",$a" +
+         std::to_string(i) + ")";
+  }
+  return bench::MustFlock(q, FilterCondition::MinSupport(20));
+}
+
+// Synthetic statistics: every predicate 100k rows, 10k distinct per column.
+CostModel SyntheticModel(int k) {
+  DatabaseStats stats;
+  RelationStats rel;
+  rel.rows = 100000;
+  rel.column_distinct = {10000, 10000};
+  stats.Put("p0", rel);
+  for (int i = 1; i < k; ++i) {
+    stats.Put("p" + std::to_string(i), rel);
+    stats.Put("q" + std::to_string(i), rel);
+  }
+  return CostModel(std::move(stats));
+}
+
+void BM_PlanSearch_SafeSubqueries(benchmark::State& state) {
+  QueryFlock flock = ChainFlock(static_cast<int>(state.range(0)));
+  const ConjunctiveQuery& cq = flock.query.disjuncts.front();
+  std::size_t count = 0;
+  for (auto _ : state) {
+    std::vector<SubqueryCandidate> subs = EnumerateSafeSubqueries(cq);
+    count = subs.size();
+    benchmark::DoNotOptimize(subs);
+  }
+  state.counters["subgoals"] = static_cast<double>(cq.subgoals.size());
+  state.counters["safe_subqueries"] = static_cast<double>(count);
+}
+
+void BM_PlanSearch_Heuristic1(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  QueryFlock flock = ChainFlock(k);
+  CostModel model = SyntheticModel(k);
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    QueryPlan plan = bench::MustOk(SearchPlanParameterSets(flock, model));
+    steps = plan.steps.size();
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+}
+
+void BM_PlanSearch_Exhaustive(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  QueryFlock flock = ChainFlock(k);
+  CostModel model = SyntheticModel(k);
+  std::size_t considered = 0;
+  for (auto _ : state) {
+    SearchResult result =
+        bench::MustOk(ExhaustivePrefilterSearch(flock, model, 8));
+    considered = result.plans_considered;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["plans_considered"] = static_cast<double>(considered);
+}
+
+BENCHMARK(BM_PlanSearch_SafeSubqueries)
+    ->DenseRange(2, 6)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PlanSearch_Heuristic1)
+    ->DenseRange(2, 6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlanSearch_Exhaustive)
+    ->DenseRange(2, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace qf
+
+BENCHMARK_MAIN();

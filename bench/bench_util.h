@@ -1,0 +1,45 @@
+// Shared helpers for the benchmark binaries: must-succeed unwrapping and
+// lazily built, cached workloads (google-benchmark re-enters each
+// benchmark function many times; the data must be built once).
+#ifndef QF_BENCH_BENCH_UTIL_H_
+#define QF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "flocks/flock.h"
+
+namespace qf::bench {
+
+// Unwraps a Result, aborting with the status message on failure. Benches
+// have no error channel; a failed setup is a bug.
+template <typename T>
+T MustOk(Result<T> result) {
+  QF_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).value();
+}
+
+inline QueryFlock MustFlock(std::string_view query, FilterCondition filter) {
+  return MustOk(MakeFlock(query, std::move(filter)));
+}
+
+// Defeats dead-code elimination for scalar results. Do NOT use
+// benchmark::DoNotOptimize for scalars here: its multi-alternative
+// inline-asm constraint miscompiles doubles/bools on this toolchain
+// (google/benchmark#1340), silently corrupting the value. A volatile
+// store has no such problem; class types are fine with DoNotOptimize
+// (memory operand).
+template <typename T>
+void ConsumeScalar(T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  volatile T sink = value;
+  (void)sink;
+}
+
+}  // namespace qf::bench
+
+#endif  // QF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,286 @@
+#include "apriori/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace qf {
+namespace {
+
+struct ItemVecHash {
+  std::size_t operator()(const std::vector<ItemId>& v) const {
+    std::size_t seed = v.size();
+    for (ItemId i : v) seed = HashCombine(seed, i);
+    return seed;
+  }
+};
+
+using CandidateCounts =
+    std::unordered_map<std::vector<ItemId>, std::size_t, ItemVecHash>;
+
+// Generates level-(k+1) candidates from the frequent level-k sets: join
+// pairs sharing their first k-1 items, then prune candidates having any
+// infrequent k-subset (the a-priori trick itself).
+std::vector<std::vector<ItemId>> GenerateCandidates(
+    const std::vector<std::vector<ItemId>>& frequent) {
+  std::vector<std::vector<ItemId>> candidates;
+  if (frequent.empty()) return candidates;
+  std::unordered_set<std::vector<ItemId>, ItemVecHash> frequent_set(
+      frequent.begin(), frequent.end());
+  std::size_t k = frequent.front().size();
+  // frequent is sorted lexicographically; sets sharing a (k-1)-prefix are
+  // adjacent, so a double loop over each prefix group suffices.
+  for (std::size_t i = 0; i < frequent.size(); ++i) {
+    for (std::size_t j = i + 1; j < frequent.size(); ++j) {
+      if (!std::equal(frequent[i].begin(), frequent[i].end() - 1,
+                      frequent[j].begin(), frequent[j].end() - 1)) {
+        break;  // prefix group ended
+      }
+      std::vector<ItemId> candidate = frequent[i];
+      candidate.push_back(frequent[j].back());
+      // Prune: every k-subset must be frequent. Subsets dropping one of
+      // the first k-1 positions need checking (the two parents cover the
+      // other two).
+      bool prune = false;
+      for (std::size_t drop = 0; drop + 2 <= k + 1 && !prune; ++drop) {
+        std::vector<ItemId> subset;
+        subset.reserve(k);
+        for (std::size_t p = 0; p < candidate.size(); ++p) {
+          if (p != drop) subset.push_back(candidate[p]);
+        }
+        prune = !frequent_set.contains(subset);
+      }
+      if (!prune) candidates.push_back(std::move(candidate));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+// Counts candidate occurrences by enumerating the size-k subsets of each
+// basket (restricted to items that appear in some candidate) and probing
+// the candidate set.
+void CountCandidates(const BasketData& data,
+                     const std::vector<std::vector<ItemId>>& candidates,
+                     CandidateCounts& counts) {
+  if (candidates.empty()) return;
+  std::size_t k = candidates.front().size();
+  std::unordered_set<std::vector<ItemId>, ItemVecHash> candidate_set(
+      candidates.begin(), candidates.end());
+  std::unordered_set<ItemId> live_items;
+  for (const auto& c : candidates) live_items.insert(c.begin(), c.end());
+
+  std::vector<ItemId> filtered;
+  std::vector<std::size_t> choose;
+  for (const std::vector<ItemId>& basket : data.baskets) {
+    filtered.clear();
+    for (ItemId item : basket) {
+      if (live_items.contains(item)) filtered.push_back(item);
+    }
+    if (filtered.size() < k) continue;
+    // Enumerate k-combinations of `filtered` (sorted, so combinations are
+    // sorted too).
+    choose.assign(k, 0);
+    for (std::size_t i = 0; i < k; ++i) choose[i] = i;
+    while (true) {
+      std::vector<ItemId> subset(k);
+      for (std::size_t i = 0; i < k; ++i) subset[i] = filtered[choose[i]];
+      auto it = candidate_set.find(subset);
+      if (it != candidate_set.end()) ++counts[subset];
+      // Next combination.
+      std::size_t i = k;
+      while (i > 0) {
+        --i;
+        if (choose[i] != i + filtered.size() - k) break;
+      }
+      if (choose[i] == i + filtered.size() - k) break;
+      ++choose[i];
+      for (std::size_t j = i + 1; j < k; ++j) choose[j] = choose[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+Result<BasketData> BasketsFromRelation(const Relation& rel,
+                                       const std::string& bid_column,
+                                       const std::string& item_column) {
+  std::optional<std::size_t> bid_idx = rel.schema().IndexOf(bid_column);
+  std::optional<std::size_t> item_idx = rel.schema().IndexOf(item_column);
+  if (!bid_idx.has_value() || !item_idx.has_value()) {
+    return InvalidArgumentError("basket relation must have columns " +
+                                bid_column + " and " + item_column);
+  }
+
+  // Assign item ids in sorted-name order so id comparisons equal
+  // lexicographic name comparisons.
+  std::map<Value, ItemId> item_ids;
+  for (const Tuple& t : rel.rows()) item_ids.emplace(t[*item_idx], 0);
+  BasketData data;
+  data.item_names.reserve(item_ids.size());
+  {
+    ItemId next = 0;
+    for (auto& [value, id] : item_ids) {
+      id = next++;
+      data.item_names.push_back(value.ToString());
+    }
+  }
+
+  std::map<Value, std::vector<ItemId>> baskets;
+  for (const Tuple& t : rel.rows()) {
+    baskets[t[*bid_idx]].push_back(item_ids[t[*item_idx]]);
+  }
+  data.baskets.reserve(baskets.size());
+  for (auto& [bid, items] : baskets) {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    data.baskets.push_back(std::move(items));
+  }
+  return data;
+}
+
+std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
+                                             const AprioriOptions& options,
+                                             AprioriStats* stats) {
+  std::vector<Itemset> result;
+
+  // Level 1: plain counting pass.
+  std::vector<std::size_t> item_counts(data.item_count(), 0);
+  for (const std::vector<ItemId>& basket : data.baskets) {
+    for (ItemId item : basket) ++item_counts[item];
+  }
+  std::vector<std::vector<ItemId>> frequent;
+  for (ItemId item = 0; item < data.item_count(); ++item) {
+    if (item_counts[item] >= options.min_support) {
+      frequent.push_back({item});
+      result.push_back({{item}, item_counts[item]});
+    }
+  }
+  if (stats != nullptr) {
+    stats->candidates_per_level.push_back(data.item_count());
+    stats->frequent_per_level.push_back(frequent.size());
+  }
+
+  std::size_t k = 1;
+  while (!frequent.empty() &&
+         (options.max_size == 0 || k < options.max_size)) {
+    std::vector<std::vector<ItemId>> candidates =
+        GenerateCandidates(frequent);
+    if (candidates.empty()) break;
+    CandidateCounts counts;
+    counts.reserve(candidates.size());
+    CountCandidates(data, candidates, counts);
+    frequent.clear();
+    for (const std::vector<ItemId>& c : candidates) {
+      auto it = counts.find(c);
+      std::size_t support = it == counts.end() ? 0 : it->second;
+      if (support >= options.min_support) {
+        frequent.push_back(c);
+        result.push_back({c, support});
+      }
+    }
+    std::sort(frequent.begin(), frequent.end());
+    if (stats != nullptr) {
+      stats->candidates_per_level.push_back(candidates.size());
+      stats->frequent_per_level.push_back(frequent.size());
+    }
+    ++k;
+  }
+  return result;
+}
+
+std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
+                                          std::size_t min_support) {
+  // Pass 1: singleton counts; the pre-filter of §1.2.
+  std::vector<std::size_t> item_counts(data.item_count(), 0);
+  for (const std::vector<ItemId>& basket : data.baskets) {
+    for (ItemId item : basket) ++item_counts[item];
+  }
+  std::vector<bool> frequent_item(data.item_count(), false);
+  for (ItemId i = 0; i < data.item_count(); ++i) {
+    frequent_item[i] = item_counts[i] >= min_support;
+  }
+
+  // Pass 2: count pairs of surviving items only.
+  std::unordered_map<std::uint64_t, std::size_t> pair_counts;
+  std::vector<ItemId> filtered;
+  for (const std::vector<ItemId>& basket : data.baskets) {
+    filtered.clear();
+    for (ItemId item : basket) {
+      if (frequent_item[item]) filtered.push_back(item);
+    }
+    for (std::size_t i = 0; i < filtered.size(); ++i) {
+      for (std::size_t j = i + 1; j < filtered.size(); ++j) {
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(filtered[i]) << 32) | filtered[j];
+        ++pair_counts[key];
+      }
+    }
+  }
+
+  std::vector<Itemset> result;
+  for (const auto& [key, count] : pair_counts) {
+    if (count >= min_support) {
+      result.push_back({{static_cast<ItemId>(key >> 32),
+                         static_cast<ItemId>(key & 0xffffffffu)},
+                        count});
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Itemset& a, const Itemset& b) { return a.items < b.items; });
+  return result;
+}
+
+std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
+                                        std::size_t min_support) {
+  // No pre-filter: every co-occurring pair is counted.
+  std::unordered_map<std::uint64_t, std::size_t> pair_counts;
+  for (const std::vector<ItemId>& basket : data.baskets) {
+    for (std::size_t i = 0; i < basket.size(); ++i) {
+      for (std::size_t j = i + 1; j < basket.size(); ++j) {
+        std::uint64_t key =
+            (static_cast<std::uint64_t>(basket[i]) << 32) | basket[j];
+        ++pair_counts[key];
+      }
+    }
+  }
+  std::vector<Itemset> result;
+  for (const auto& [key, count] : pair_counts) {
+    if (count >= min_support) {
+      result.push_back({{static_cast<ItemId>(key >> 32),
+                         static_cast<ItemId>(key & 0xffffffffu)},
+                        count});
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Itemset& a, const Itemset& b) { return a.items < b.items; });
+  return result;
+}
+
+Relation ItemsetsToRelation(const std::vector<Itemset>& itemsets,
+                            const BasketData& data, std::size_t k,
+                            const std::string& name) {
+  std::vector<std::string> columns;
+  for (std::size_t i = 1; i <= k; ++i) {
+    columns.push_back("I" + std::to_string(i));
+  }
+  columns.push_back("Support");
+  Relation out(name, Schema(std::move(columns)));
+  for (const Itemset& set : itemsets) {
+    if (set.items.size() != k) continue;
+    Tuple row;
+    for (ItemId item : set.items) {
+      QF_CHECK(item < data.item_names.size());
+      row.push_back(Value(data.item_names[item]));
+    }
+    row.push_back(Value(static_cast<std::int64_t>(set.support)));
+    out.Add(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace qf

@@ -1,0 +1,68 @@
+#include "apriori/rules.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/check.h"
+
+namespace qf {
+
+std::vector<AssociationRule> DeriveRules(const BasketData& data,
+                                         const std::vector<Itemset>& frequent,
+                                         const RuleOptions& options) {
+  std::map<std::vector<ItemId>, std::size_t> support;
+  for (const Itemset& set : frequent) support[set.items] = set.support;
+  double n_baskets = static_cast<double>(data.baskets.size());
+
+  std::vector<AssociationRule> rules;
+  for (const Itemset& set : frequent) {
+    if (set.items.size() < 2) continue;
+    for (std::size_t drop = 0; drop < set.items.size(); ++drop) {
+      AssociationRule rule;
+      rule.rhs = set.items[drop];
+      for (std::size_t i = 0; i < set.items.size(); ++i) {
+        if (i != drop) rule.lhs.push_back(set.items[i]);
+      }
+      rule.support = set.support;
+
+      auto lhs_it = support.find(rule.lhs);
+      QF_CHECK_MSG(lhs_it != support.end(),
+                   "frequent itemsets are not downward-closed");
+      auto rhs_it = support.find({rule.rhs});
+      QF_CHECK_MSG(rhs_it != support.end(),
+                   "frequent itemsets are not downward-closed");
+
+      rule.confidence =
+          static_cast<double>(set.support) / lhs_it->second;
+      double rhs_probability = rhs_it->second / n_baskets;
+      rule.interest =
+          rhs_probability > 0 ? rule.confidence / rhs_probability : 0;
+
+      if (rule.confidence < options.min_confidence) continue;
+      if (std::abs(rule.interest - 1.0) < options.min_interest_deviation) {
+        continue;
+      }
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+std::string RuleToString(const AssociationRule& rule,
+                         const BasketData& data) {
+  std::string out;
+  for (std::size_t i = 0; i < rule.lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += data.item_names[rule.lhs[i]];
+  }
+  out += " -> " + data.item_names[rule.rhs];
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "  (support %zu, confidence %.2f, interest %.2f)",
+                rule.support, rule.confidence, rule.interest);
+  out += buf;
+  return out;
+}
+
+}  // namespace qf

@@ -1,0 +1,50 @@
+// Association rules and the three measures of §1.1.
+//
+//   Support:    the itemset {lhs ∪ rhs} appears in many baskets.
+//   Confidence: P(rhs | lhs) — the fraction of lhs-baskets containing rhs.
+//   Interest:   confidence / P(rhs) — how much likelier rhs is given lhs
+//               than in the general population (1 = independent; the
+//               beer -> diapers folklore is "interest well above 1").
+//
+// Rules are derived from a frequent-itemset collection (the output of
+// AprioriFrequentItemsets): every frequent itemset of size >= 2 yields one
+// rule per choice of a single-item consequent.
+#ifndef QF_APRIORI_RULES_H_
+#define QF_APRIORI_RULES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "apriori/apriori.h"
+
+namespace qf {
+
+struct AssociationRule {
+  std::vector<ItemId> lhs;  // sorted antecedent
+  ItemId rhs = 0;           // single-item consequent
+  std::size_t support = 0;  // baskets containing lhs ∪ {rhs}
+  double confidence = 0;    // support / support(lhs)
+  double interest = 0;      // confidence / (support(rhs) / n_baskets)
+};
+
+struct RuleOptions {
+  double min_confidence = 0.5;
+  // Keep rules whose interest deviates from 1 by at least this much in
+  // either direction (the paper: "significantly higher or lower").
+  double min_interest_deviation = 0.0;
+};
+
+// Derives rules from `frequent` (which must be downward-closed, i.e. the
+// complete output of AprioriFrequentItemsets at some support — every
+// subset of a listed itemset is listed too; aborts otherwise).
+std::vector<AssociationRule> DeriveRules(const BasketData& data,
+                                         const std::vector<Itemset>& frequent,
+                                         const RuleOptions& options = {});
+
+// Renders "beer -> diapers  (support 120, confidence 0.78, interest 2.4)".
+std::string RuleToString(const AssociationRule& rule, const BasketData& data);
+
+}  // namespace qf
+
+#endif  // QF_APRIORI_RULES_H_

@@ -1,0 +1,16 @@
+#include "common/check.h"
+
+namespace qf::internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const char* message) {
+  if (message != nullptr && message[0] != '\0') {
+    std::fprintf(stderr, "QF_CHECK failed at %s:%d: %s (%s)\n", file, line,
+                 expr, message);
+  } else {
+    std::fprintf(stderr, "QF_CHECK failed at %s:%d: %s\n", file, line, expr);
+  }
+  std::abort();
+}
+
+}  // namespace qf::internal

@@ -1,0 +1,43 @@
+// Invariant-checking macros. The library does not use exceptions; internal
+// invariant violations terminate the process with a diagnostic.
+#ifndef QF_COMMON_CHECK_H_
+#define QF_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qf::internal {
+
+// Prints a failed-check diagnostic and aborts. Marked noinline/cold so the
+// failure path stays out of hot code.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const char* message);
+
+}  // namespace qf::internal
+
+// Aborts with a diagnostic if `expr` is false. Always enabled.
+#define QF_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::qf::internal::CheckFailed(__FILE__, __LINE__, #expr, "");   \
+    }                                                               \
+  } while (false)
+
+// Like QF_CHECK but with an explanatory message.
+#define QF_CHECK_MSG(expr, message)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::qf::internal::CheckFailed(__FILE__, __LINE__, #expr, (message)); \
+    }                                                                    \
+  } while (false)
+
+// Debug-only check; compiles away in release builds.
+#ifdef NDEBUG
+#define QF_DCHECK(expr) \
+  do {                  \
+  } while (false)
+#else
+#define QF_DCHECK(expr) QF_CHECK(expr)
+#endif
+
+#endif  // QF_COMMON_CHECK_H_

@@ -1,0 +1,34 @@
+// Hash-combining utilities used by Tuple/Value hashing and hash joins.
+#ifndef QF_COMMON_HASH_H_
+#define QF_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace qf {
+
+// Mixes `value` into running hash state `seed` (boost::hash_combine style,
+// with a 64-bit golden-ratio constant and extra avalanche).
+inline std::size_t HashCombine(std::size_t seed, std::size_t value) {
+  // splitmix64-style finalizer applied to the incoming value keeps poor
+  // std::hash implementations (identity on integers) from clustering.
+  std::uint64_t v = value;
+  v ^= v >> 30;
+  v *= 0xbf58476d1ce4e5b9ULL;
+  v ^= v >> 27;
+  v *= 0x94d049bb133111ebULL;
+  v ^= v >> 31;
+  return seed ^ (static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
+                 (seed << 6) + (seed >> 2));
+}
+
+// Hashes `value` with std::hash and mixes it into `seed`.
+template <typename T>
+std::size_t HashValueInto(std::size_t seed, const T& value) {
+  return HashCombine(seed, std::hash<T>{}(value));
+}
+
+}  // namespace qf
+
+#endif  // QF_COMMON_HASH_H_

@@ -1,0 +1,68 @@
+#include "common/rng.h"
+
+#include "common/check.h"
+
+namespace qf {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1) | 1u) {
+  // Standard PCG32 seeding sequence.
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+std::uint32_t Rng::NextUint32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t Rng::NextBelow(std::uint32_t bound) {
+  QF_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  std::uint32_t threshold = (-bound) % bound;
+  while (true) {
+    std::uint32_t r = NextUint32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  QF_CHECK(lo <= hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested; compose two 32-bit draws.
+    std::uint64_t r =
+        (static_cast<std::uint64_t>(NextUint32()) << 32) | NextUint32();
+    return static_cast<std::int64_t>(r);
+  }
+  if (span <= 0xffffffffULL) {
+    return lo + NextBelow(static_cast<std::uint32_t>(span));
+  }
+  // Wide span: rejection-sample 64-bit draws.
+  std::uint64_t limit = (~0ULL / span) * span;
+  while (true) {
+    std::uint64_t r =
+        (static_cast<std::uint64_t>(NextUint32()) << 32) | NextUint32();
+    if (r < limit) return lo + static_cast<std::int64_t>(r % span);
+  }
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  std::uint64_t r =
+      (static_cast<std::uint64_t>(NextUint32()) << 32) | NextUint32();
+  return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace qf

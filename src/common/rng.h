@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+// A small PCG32 implementation: reproducible across platforms (unlike
+// std::default_random_engine) and fast enough for generating millions of
+// tuples.
+#ifndef QF_COMMON_RNG_H_
+#define QF_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace qf {
+
+// PCG32 (O'Neill). Deterministic for a given (seed, stream) pair.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  // Returns the next 32 uniformly distributed bits.
+  std::uint32_t NextUint32();
+
+  // Returns a uniform integer in [0, bound). `bound` must be positive.
+  // Uses rejection sampling, so the result is exactly uniform.
+  std::uint32_t NextBelow(std::uint32_t bound);
+
+  // Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability `p` (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace qf
+
+#endif  // QF_COMMON_RNG_H_

@@ -1,0 +1,121 @@
+// Error handling without exceptions: Status for fallible operations with no
+// payload, Result<T> for fallible operations producing a value.
+//
+// Usage:
+//   qf::Result<int> ParsePort(std::string_view s);
+//   auto port = ParsePort("8080");
+//   if (!port.ok()) return port.status();
+//   Use(port.value());
+#ifndef QF_COMMON_STATUS_H_
+#define QF_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace qf {
+
+// Coarse error taxonomy; mirrors the subset of canonical codes the library
+// actually produces.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Value type describing the outcome of an operation. Cheap to copy when OK.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    QF_CHECK_MSG(code != StatusCode::kOk,
+                 "use the default constructor for OK statuses");
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "CODE: message" for diagnostics.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors, mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+// Either a value of type T or a non-OK Status. Accessing the value of a
+// failed Result aborts (QF_CHECK), so callers must test ok() first.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error keeps call sites terse:
+  //   return 42;                       // success
+  //   return InvalidArgumentError(…);  // failure
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    QF_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    QF_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    QF_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    QF_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace qf
+
+#endif  // QF_COMMON_STATUS_H_

@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace qf {
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  std::size_t begin = 0;
+  while (begin < text.size() &&
+         (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\n' ||
+          text[begin] == '\r')) {
+    ++begin;
+  }
+  std::size_t end = text.size();
+  while (end > begin &&
+         (text[end - 1] == ' ' || text[end - 1] == '\t' ||
+          text[end - 1] == '\n' || text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+Result<std::int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) return InvalidArgumentError("empty integer literal");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return OutOfRangeError("integer literal overflows int64: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return InvalidArgumentError("bad integer literal: " + buf);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return InvalidArgumentError("empty float literal");
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) {
+    return InvalidArgumentError("bad float literal: " + buf);
+  }
+  return v;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace qf

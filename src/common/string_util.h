@@ -1,0 +1,34 @@
+// Small string helpers shared by the Datalog parser, TSV IO, and printers.
+#ifndef QF_COMMON_STRING_UTIL_H_
+#define QF_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace qf {
+
+// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+// Parses a decimal integer; rejects trailing garbage and overflow.
+Result<std::int64_t> ParseInt64(std::string_view text);
+
+// Parses a floating-point number; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace qf
+
+#endif  // QF_COMMON_STRING_UTIL_H_

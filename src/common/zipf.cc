@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace qf {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double theta)
+    : n_(n), theta_(theta), cdf_(n) {
+  QF_CHECK(n > 0);
+  QF_CHECK(theta >= 0);
+  double total = 0;
+  for (std::uint32_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k) + 1.0, theta);
+    cdf_[k] = total;
+  }
+  for (std::uint32_t k = 0; k < n; ++k) cdf_[k] /= total;
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+std::uint32_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(std::uint32_t k) const {
+  QF_CHECK(k < n_);
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace qf

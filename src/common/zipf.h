@@ -1,0 +1,41 @@
+// Zipf-distributed sampling over ranks 0..n-1 with exponent theta.
+// Used by the workload generators: the paper's word-occurrence and
+// market-basket data are highly skewed, and the a-priori payoff depends on
+// exactly that skew (a few frequent items, a long tail of rare ones).
+#ifndef QF_COMMON_ZIPF_H_
+#define QF_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace qf {
+
+// Samples ranks from a Zipf(theta) distribution over {0, ..., n-1}:
+// P(rank = k) proportional to 1 / (k+1)^theta. theta = 0 is uniform;
+// larger theta is more skewed. Precomputes the CDF once (O(n)) and samples
+// by binary search (O(log n)).
+class ZipfSampler {
+ public:
+  // `n` must be positive; `theta` must be non-negative.
+  ZipfSampler(std::uint32_t n, double theta);
+
+  // Returns a rank in [0, n). Rank 0 is the most popular.
+  std::uint32_t Sample(Rng& rng) const;
+
+  std::uint32_t size() const { return n_; }
+  double theta() const { return theta_; }
+
+  // Probability mass of rank `k`.
+  double Probability(std::uint32_t k) const;
+
+ private:
+  std::uint32_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+}  // namespace qf
+
+#endif  // QF_COMMON_ZIPF_H_

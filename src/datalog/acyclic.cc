@@ -1,0 +1,85 @@
+#include "datalog/acyclic.h"
+
+#include <set>
+#include <string>
+
+#include "common/check.h"
+
+namespace qf {
+namespace {
+
+// Distinct variable/parameter names of a subgoal, tagged to keep a
+// parameter "$x" distinct from a variable "x".
+std::set<std::string> SubgoalVertices(const Subgoal& s) {
+  std::set<std::string> out;
+  for (const Term& t : s.terms()) {
+    if (t.is_variable()) out.insert("v:" + t.name());
+    if (t.is_parameter()) out.insert("p:" + t.name());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<JoinTree> BuildJoinTree(const ConjunctiveQuery& cq) {
+  std::vector<std::set<std::string>> vertices;
+  for (const Subgoal& s : cq.subgoals) {
+    if (s.is_positive()) vertices.push_back(SubgoalVertices(s));
+  }
+  if (vertices.empty()) return std::nullopt;
+
+  std::vector<bool> removed(vertices.size(), false);
+  std::size_t remaining = vertices.size();
+  JoinTree tree;
+
+  bool progress = true;
+  while (remaining > 1 && progress) {
+    progress = false;
+    for (std::size_t e = 0; e < vertices.size() && remaining > 1; ++e) {
+      if (removed[e]) continue;
+      // Vertices of e shared with some other remaining subgoal.
+      std::set<std::string> shared;
+      for (const std::string& v : vertices[e]) {
+        for (std::size_t other = 0; other < vertices.size(); ++other) {
+          if (other == e || removed[other]) continue;
+          if (vertices[other].contains(v)) {
+            shared.insert(v);
+            break;
+          }
+        }
+      }
+      // e is an ear iff some remaining witness w covers all shared
+      // vertices.
+      for (std::size_t w = 0; w < vertices.size(); ++w) {
+        if (w == e || removed[w]) continue;
+        bool covers = true;
+        for (const std::string& v : shared) {
+          if (!vertices[w].contains(v)) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          tree.ears.push_back(e);
+          tree.parents.push_back(w);
+          removed[e] = true;
+          --remaining;
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  if (remaining != 1) return std::nullopt;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    if (!removed[i]) tree.root = i;
+  }
+  QF_CHECK(tree.ears.size() + 1 == vertices.size());
+  return tree;
+}
+
+bool IsAcyclic(const ConjunctiveQuery& cq) {
+  return BuildJoinTree(cq).has_value();
+}
+
+}  // namespace qf

@@ -1,0 +1,39 @@
+// Hypergraph acyclicity (GYO ear removal) and join trees for conjunctive
+// queries. An acyclic CQ admits Yannakakis' full-reducer evaluation: two
+// semi-join sweeps over the join tree remove every dangling tuple, after
+// which the joins' intermediates never exceed what the output needs. This
+// complements the paper's FILTER steps — both are semi-join-shaped
+// reductions; FILTER steps prune *parameter values* by support, the full
+// reducer prunes *tuples* by joinability.
+#ifndef QF_DATALOG_ACYCLIC_H_
+#define QF_DATALOG_ACYCLIC_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace qf {
+
+// A join tree over the positive subgoals of a query. `ears[k]` was removed
+// at step k with witness/parent `parents[k]`; indices are positions in the
+// query's positive-subgoal list. `root` is the last subgoal standing.
+struct JoinTree {
+  std::vector<std::size_t> ears;
+  std::vector<std::size_t> parents;
+  std::size_t root = 0;
+};
+
+// Runs GYO ear removal over the positive subgoals. Returns the join tree
+// when the (positive part of the) query is alpha-acyclic, nullopt when it
+// is cyclic (e.g. the triangle query). Queries with 0 positive subgoals
+// yield nullopt; a single positive subgoal is trivially acyclic.
+std::optional<JoinTree> BuildJoinTree(const ConjunctiveQuery& cq);
+
+// True iff BuildJoinTree succeeds.
+bool IsAcyclic(const ConjunctiveQuery& cq);
+
+}  // namespace qf
+
+#endif  // QF_DATALOG_ACYCLIC_H_

@@ -1,0 +1,343 @@
+#include "datalog/ast.h"
+
+#include <tuple>
+
+#include "common/check.h"
+
+namespace qf {
+
+// ---------------------------------------------------------------- Term ----
+
+Term Term::Variable(std::string name) {
+  QF_CHECK_MSG(!name.empty(), "variable name must be non-empty");
+  Term t;
+  t.kind_ = Kind::kVariable;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Parameter(std::string name) {
+  QF_CHECK_MSG(!name.empty(), "parameter name must be non-empty");
+  QF_CHECK_MSG(name[0] != '$', "parameter name excludes the '$' sigil");
+  Term t;
+  t.kind_ = Kind::kParameter;
+  t.name_ = std::move(name);
+  return t;
+}
+
+Term Term::Constant(Value value) {
+  Term t;
+  t.kind_ = Kind::kConstant;
+  t.value_ = std::move(value);
+  return t;
+}
+
+const std::string& Term::name() const {
+  QF_CHECK_MSG(!is_constant(), "constants have no name");
+  return name_;
+}
+
+const Value& Term::constant() const {
+  QF_CHECK_MSG(is_constant(), "only constants carry a value");
+  return value_;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return name_;
+    case Kind::kParameter:
+      return "$" + name_;
+    case Kind::kConstant:
+      if (value_.is_string()) return "'" + value_.AsString() + "'";
+      return value_.ToString();
+  }
+  return "";
+}
+
+bool operator==(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) return false;
+  if (a.kind_ == Term::Kind::kConstant) return a.value_ == b.value_;
+  return a.name_ == b.name_;
+}
+
+bool operator<(const Term& a, const Term& b) {
+  if (a.kind_ != b.kind_) return a.kind_ < b.kind_;
+  if (a.kind_ == Term::Kind::kConstant) return a.value_ < b.value_;
+  return a.name_ < b.name_;
+}
+
+// ----------------------------------------------------------- CompareOp ----
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a < b || a == b;
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return !(a == b);
+    case CompareOp::kGe:
+      return b < a || a == b;
+    case CompareOp::kGt:
+      return b < a;
+  }
+  return false;
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+// ------------------------------------------------------------- Subgoal ----
+
+Subgoal Subgoal::Positive(std::string predicate, std::vector<Term> args) {
+  QF_CHECK_MSG(!predicate.empty(), "predicate name must be non-empty");
+  Subgoal s;
+  s.kind_ = Kind::kPositive;
+  s.predicate_ = std::move(predicate);
+  s.args_ = std::move(args);
+  return s;
+}
+
+Subgoal Subgoal::Negated(std::string predicate, std::vector<Term> args) {
+  Subgoal s = Positive(std::move(predicate), std::move(args));
+  s.kind_ = Kind::kNegated;
+  return s;
+}
+
+Subgoal Subgoal::Comparison(Term lhs, CompareOp op, Term rhs) {
+  Subgoal s;
+  s.kind_ = Kind::kComparison;
+  s.args_ = {std::move(lhs), std::move(rhs)};
+  s.op_ = op;
+  return s;
+}
+
+const std::string& Subgoal::predicate() const {
+  QF_CHECK(is_relational());
+  return predicate_;
+}
+
+const std::vector<Term>& Subgoal::args() const {
+  QF_CHECK(is_relational());
+  return args_;
+}
+
+const Term& Subgoal::lhs() const {
+  QF_CHECK(is_comparison());
+  return args_[0];
+}
+
+const Term& Subgoal::rhs() const {
+  QF_CHECK(is_comparison());
+  return args_[1];
+}
+
+CompareOp Subgoal::op() const {
+  QF_CHECK(is_comparison());
+  return op_;
+}
+
+std::string Subgoal::ToString() const {
+  if (is_comparison()) {
+    return args_[0].ToString() + " " + std::string(CompareOpName(op_)) + " " +
+           args_[1].ToString();
+  }
+  std::string out;
+  if (is_negated()) out += "NOT ";
+  out += predicate_ + "(";
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool operator==(const Subgoal& a, const Subgoal& b) {
+  if (a.kind_ != b.kind_) return false;
+  if (a.is_comparison()) return a.op_ == b.op_ && a.args_ == b.args_;
+  return a.predicate_ == b.predicate_ && a.args_ == b.args_;
+}
+
+// ---------------------------------------------------- ConjunctiveQuery ----
+
+namespace {
+
+void CollectNames(const Subgoal& s, Term::Kind kind,
+                  std::set<std::string>& out) {
+  for (const Term& t : s.terms()) {
+    if (t.kind() == kind) out.insert(t.name());
+  }
+}
+
+}  // namespace
+
+std::set<std::string> ConjunctiveQuery::Parameters() const {
+  std::set<std::string> out;
+  for (const Subgoal& s : subgoals) {
+    CollectNames(s, Term::Kind::kParameter, out);
+  }
+  return out;
+}
+
+std::set<std::string> ConjunctiveQuery::Variables() const {
+  std::set<std::string> out;
+  for (const Subgoal& s : subgoals) {
+    CollectNames(s, Term::Kind::kVariable, out);
+  }
+  for (const std::string& v : head_vars) out.insert(v);
+  return out;
+}
+
+ConjunctiveQuery ConjunctiveQuery::Subquery(
+    const std::vector<std::size_t>& keep) const {
+  ConjunctiveQuery out;
+  out.head_name = head_name;
+  out.head_vars = head_vars;
+  out.subgoals.reserve(keep.size());
+  for (std::size_t i : keep) {
+    QF_CHECK(i < subgoals.size());
+    out.subgoals.push_back(subgoals[i]);
+  }
+  return out;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = head_name + "(";
+  for (std::size_t i = 0; i < head_vars.size(); ++i) {
+    if (i > 0) out += ",";
+    out += head_vars[i];
+  }
+  out += ") :- ";
+  for (std::size_t i = 0; i < subgoals.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += subgoals[i].ToString();
+  }
+  return out;
+}
+
+bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b) {
+  return a.head_name == b.head_name && a.head_vars == b.head_vars &&
+         a.subgoals == b.subgoals;
+}
+
+// ---------------------------------------------------------- UnionQuery ----
+
+std::size_t UnionQuery::head_arity() const {
+  QF_CHECK_MSG(!disjuncts.empty(), "empty union query");
+  return disjuncts.front().head_vars.size();
+}
+
+const std::string& UnionQuery::head_name() const {
+  QF_CHECK_MSG(!disjuncts.empty(), "empty union query");
+  return disjuncts.front().head_name;
+}
+
+std::set<std::string> UnionQuery::Parameters() const {
+  std::set<std::string> out;
+  for (const ConjunctiveQuery& cq : disjuncts) {
+    std::set<std::string> p = cq.Parameters();
+    out.insert(p.begin(), p.end());
+  }
+  return out;
+}
+
+std::string UnionQuery::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < disjuncts.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += disjuncts[i].ToString();
+  }
+  return out;
+}
+
+bool operator==(const UnionQuery& a, const UnionQuery& b) {
+  return a.disjuncts == b.disjuncts;
+}
+
+// ------------------------------------------------------- Substitution ----
+
+namespace {
+
+Term SubstituteTerm(const Term& t,
+                    const std::map<std::string, Value>& bindings) {
+  if (!t.is_parameter()) return t;
+  auto it = bindings.find(t.name());
+  if (it == bindings.end()) return t;
+  return Term::Constant(it->second);
+}
+
+Subgoal SubstituteSubgoal(const Subgoal& s,
+                          const std::map<std::string, Value>& bindings) {
+  if (s.is_comparison()) {
+    return Subgoal::Comparison(SubstituteTerm(s.lhs(), bindings), s.op(),
+                               SubstituteTerm(s.rhs(), bindings));
+  }
+  std::vector<Term> args;
+  args.reserve(s.args().size());
+  for (const Term& t : s.args()) args.push_back(SubstituteTerm(t, bindings));
+  return s.is_negated() ? Subgoal::Negated(s.predicate(), std::move(args))
+                        : Subgoal::Positive(s.predicate(), std::move(args));
+}
+
+}  // namespace
+
+ConjunctiveQuery SubstituteParameters(
+    const ConjunctiveQuery& cq, const std::map<std::string, Value>& bindings) {
+  ConjunctiveQuery out;
+  out.head_name = cq.head_name;
+  out.head_vars = cq.head_vars;
+  out.subgoals.reserve(cq.subgoals.size());
+  for (const Subgoal& s : cq.subgoals) {
+    out.subgoals.push_back(SubstituteSubgoal(s, bindings));
+  }
+  return out;
+}
+
+UnionQuery SubstituteParameters(const UnionQuery& q,
+                                const std::map<std::string, Value>& bindings) {
+  UnionQuery out;
+  out.disjuncts.reserve(q.disjuncts.size());
+  for (const ConjunctiveQuery& cq : q.disjuncts) {
+    out.disjuncts.push_back(SubstituteParameters(cq, bindings));
+  }
+  return out;
+}
+
+}  // namespace qf

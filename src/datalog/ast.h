@@ -1,0 +1,166 @@
+// Abstract syntax for the query-flocks language of the paper (§2):
+// unions of *extended conjunctive queries* — conjunctive queries plus
+// negated subgoals and arithmetic subgoals — whose argument positions may
+// hold variables, constants, or flock *parameters* ($-names).
+//
+// A query flock pairs one of these queries with a filter condition; see
+// flocks/flock.h. The paper's Datalog notation is produced by ToString()
+// and consumed by datalog/parser.h.
+#ifndef QF_DATALOG_AST_H_
+#define QF_DATALOG_AST_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace qf {
+
+// One argument position: a variable (scoped to one conjunctive query), a
+// flock parameter (scoped to the whole flock; printed with a leading '$'),
+// or a constant.
+class Term {
+ public:
+  enum class Kind { kVariable, kParameter, kConstant };
+
+  static Term Variable(std::string name);
+  // `name` excludes the '$' sigil.
+  static Term Parameter(std::string name);
+  static Term Constant(Value value);
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_parameter() const { return kind_ == Kind::kParameter; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+
+  // Name of a variable or parameter (no sigil); aborts for constants.
+  const std::string& name() const;
+  // Value of a constant; aborts otherwise.
+  const Value& constant() const;
+
+  // Variables render as their name, parameters as "$name", constants as
+  // literals (symbols quoted).
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b);
+  friend bool operator<(const Term& a, const Term& b);
+
+ private:
+  Term() = default;
+  Kind kind_ = Kind::kVariable;
+  std::string name_;
+  Value value_;
+};
+
+// Comparison operators for arithmetic subgoals.
+enum class CompareOp { kLt, kLe, kEq, kNe, kGe, kGt };
+
+std::string_view CompareOpName(CompareOp op);  // "<", "<=", "=", "!=", ...
+
+// Evaluates `a op b` under the total order on Values.
+bool EvalCompare(CompareOp op, const Value& a, const Value& b);
+
+// Flips the operator across the comparison: a op b  <=>  b Flip(op) a.
+CompareOp FlipCompareOp(CompareOp op);
+
+// One subgoal of an extended conjunctive query: a positive relational
+// subgoal p(t1,...,tk), a negated one NOT p(t1,...,tk), or an arithmetic
+// subgoal t1 op t2.
+class Subgoal {
+ public:
+  enum class Kind { kPositive, kNegated, kComparison };
+
+  static Subgoal Positive(std::string predicate, std::vector<Term> args);
+  static Subgoal Negated(std::string predicate, std::vector<Term> args);
+  static Subgoal Comparison(Term lhs, CompareOp op, Term rhs);
+
+  Kind kind() const { return kind_; }
+  bool is_positive() const { return kind_ == Kind::kPositive; }
+  bool is_negated() const { return kind_ == Kind::kNegated; }
+  bool is_comparison() const { return kind_ == Kind::kComparison; }
+  bool is_relational() const { return !is_comparison(); }
+
+  // Relational accessors; abort for comparisons.
+  const std::string& predicate() const;
+  const std::vector<Term>& args() const;
+
+  // Comparison accessors; abort for relational subgoals.
+  const Term& lhs() const;
+  const Term& rhs() const;
+  CompareOp op() const;
+
+  // All terms appearing in the subgoal (args, or {lhs, rhs}).
+  const std::vector<Term>& terms() const { return args_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Subgoal& a, const Subgoal& b);
+
+ private:
+  Subgoal() = default;
+  Kind kind_ = Kind::kPositive;
+  std::string predicate_;
+  std::vector<Term> args_;  // for comparisons: {lhs, rhs}
+  CompareOp op_ = CompareOp::kEq;
+};
+
+// An extended conjunctive query:
+//   head_name(head_vars) :- subgoal AND subgoal AND ...
+// Head arguments are variables (parameters may not appear in the head —
+// §3.3 — and constants would be pointless there).
+struct ConjunctiveQuery {
+  std::string head_name = "answer";
+  std::vector<std::string> head_vars;
+  std::vector<Subgoal> subgoals;
+
+  // Sorted distinct names of parameters / variables appearing anywhere in
+  // the body.
+  std::set<std::string> Parameters() const;
+  std::set<std::string> Variables() const;
+
+  // The subquery keeping exactly the subgoals whose indices are in `keep`
+  // (same head). Indices must be valid.
+  ConjunctiveQuery Subquery(const std::vector<std::size_t>& keep) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const ConjunctiveQuery& a, const ConjunctiveQuery& b);
+};
+
+// A union of extended conjunctive queries (§3.4). All disjuncts must share
+// the head name and head arity; head variable *names* may differ between
+// disjuncts (cf. Fig. 4: answer(D) vs. answer(A)).
+struct UnionQuery {
+  std::vector<ConjunctiveQuery> disjuncts;
+
+  explicit UnionQuery(std::vector<ConjunctiveQuery> ds = {})
+      : disjuncts(std::move(ds)) {}
+  // Convenience: a single-disjunct union.
+  explicit UnionQuery(ConjunctiveQuery cq) { disjuncts.push_back(std::move(cq)); }
+
+  std::size_t head_arity() const;
+  const std::string& head_name() const;
+
+  // Union of the disjuncts' parameter sets. (A well-formed flock's
+  // disjuncts mention the same parameters; see Validate in flocks/flock.h.)
+  std::set<std::string> Parameters() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const UnionQuery& a, const UnionQuery& b);
+};
+
+// Replaces each parameter named in `bindings` with the bound constant.
+// Parameters absent from `bindings` are left in place. This realizes the
+// paper's semantics of "trying an assignment of values for the parameters".
+ConjunctiveQuery SubstituteParameters(
+    const ConjunctiveQuery& cq, const std::map<std::string, Value>& bindings);
+UnionQuery SubstituteParameters(const UnionQuery& q,
+                                const std::map<std::string, Value>& bindings);
+
+}  // namespace qf
+
+#endif  // QF_DATALOG_AST_H_

@@ -1,0 +1,113 @@
+#include "datalog/containment.h"
+
+#include <vector>
+
+namespace qf {
+namespace {
+
+// Tries to extend `mapping` so that q1-term `t` maps to q2-term `u`.
+// Returns false (leaving `mapping` possibly extended; callers backtrack by
+// copy) if impossible.
+bool UnifyTerm(const Term& t, const Term& u, ContainmentMapping& mapping) {
+  switch (t.kind()) {
+    case Term::Kind::kConstant:
+      return u.is_constant() && u.constant() == t.constant();
+    case Term::Kind::kParameter:
+      // Parameters act as distinguished constants: a subquery bounds the
+      // answer for each fixed parameter assignment, so h must fix them.
+      return u.is_parameter() && u.name() == t.name();
+    case Term::Kind::kVariable: {
+      auto it = mapping.find(t.name());
+      if (it != mapping.end()) return it->second == u;
+      mapping.emplace(t.name(), u);
+      return true;
+    }
+  }
+  return false;
+}
+
+// Whether subgoal s1 of q1 can map onto subgoal s2 of q2 under an extension
+// of `mapping`; if yes, `mapping` is extended in place.
+bool UnifySubgoal(const Subgoal& s1, const Subgoal& s2,
+                  ContainmentMapping& mapping) {
+  if (s1.kind() != s2.kind()) return false;
+  if (s1.is_relational()) {
+    if (s1.predicate() != s2.predicate()) return false;
+    if (s1.args().size() != s2.args().size()) return false;
+    for (std::size_t i = 0; i < s1.args().size(); ++i) {
+      if (!UnifyTerm(s1.args()[i], s2.args()[i], mapping)) return false;
+    }
+    return true;
+  }
+  // Comparisons: match the same operator directly, or the flipped operator
+  // with swapped sides (X < Y can map onto B > A with h(X)=A, h(Y)=B).
+  if (s1.op() == s2.op()) {
+    ContainmentMapping saved = mapping;
+    if (UnifyTerm(s1.lhs(), s2.lhs(), mapping) &&
+        UnifyTerm(s1.rhs(), s2.rhs(), mapping)) {
+      return true;
+    }
+    mapping = std::move(saved);
+  }
+  if (FlipCompareOp(s1.op()) == s2.op()) {
+    if (UnifyTerm(s1.lhs(), s2.rhs(), mapping) &&
+        UnifyTerm(s1.rhs(), s2.lhs(), mapping)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Search(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2,
+            std::size_t next, ContainmentMapping& mapping) {
+  if (next == q1.subgoals.size()) return true;
+  const Subgoal& s1 = q1.subgoals[next];
+  for (const Subgoal& s2 : q2.subgoals) {
+    ContainmentMapping saved = mapping;
+    if (UnifySubgoal(s1, s2, mapping) && Search(q1, q2, next + 1, mapping)) {
+      return true;
+    }
+    mapping = std::move(saved);
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<ContainmentMapping> FindContainmentMapping(
+    const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  if (q1.head_vars.size() != q2.head_vars.size()) return std::nullopt;
+  ContainmentMapping mapping;
+  // The head must map positionally.
+  for (std::size_t i = 0; i < q1.head_vars.size(); ++i) {
+    if (!UnifyTerm(Term::Variable(q1.head_vars[i]),
+                   Term::Variable(q2.head_vars[i]), mapping)) {
+      return std::nullopt;
+    }
+  }
+  if (!Search(q1, q2, 0, mapping)) return std::nullopt;
+  return mapping;
+}
+
+bool Contains(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return FindContainmentMapping(q1, q2).has_value();
+}
+
+bool SubsetContains(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  if (q1.head_name != q2.head_name || q1.head_vars != q2.head_vars) {
+    return false;
+  }
+  for (const Subgoal& s1 : q1.subgoals) {
+    bool found = false;
+    for (const Subgoal& s2 : q2.subgoals) {
+      if (s1 == s2) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace qf

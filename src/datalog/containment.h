@@ -1,0 +1,46 @@
+// Conjunctive-query containment via containment mappings (paper §3.1, after
+// Chandra–Merlin [CM77]).
+//
+// A containment mapping h from Q1 to Q2 maps Q1's variables to terms of Q2
+// such that h is the identity on constants and parameters, h carries Q1's
+// head onto Q2's head positionally, and h carries every subgoal of Q1 onto
+// a subgoal of Q2 of the same kind. If such a mapping exists then
+// Q2 ⊆ Q1 on every database.
+//
+// For *pure* conjunctive queries (positive relational subgoals only) the
+// test is also complete: Q2 ⊆ Q1 iff a mapping exists. With negation or
+// arithmetic the mapping test stays sound but is incomplete (§3.3 notes the
+// general decision procedures are heavier); the paper sidesteps
+// completeness by restricting candidate containers to subgoal subsets,
+// which this module's SubsetContains certifies directly.
+#ifndef QF_DATALOG_CONTAINMENT_H_
+#define QF_DATALOG_CONTAINMENT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace qf {
+
+// A homomorphism: Q1-variable name -> Q2 term.
+using ContainmentMapping = std::map<std::string, Term>;
+
+// Searches for a containment mapping from `q1` onto `q2` (witnessing
+// Q2 ⊆ Q1). Heads must have equal arity; otherwise no mapping exists.
+std::optional<ContainmentMapping> FindContainmentMapping(
+    const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+// True iff a containment mapping q1 -> q2 exists, i.e. q2 ⊆ q1 is
+// certified. Complete for pure CQs; sound for extended CQs.
+bool Contains(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+// True iff `q1` equals a subquery of `q2` obtained by deleting zero or more
+// subgoals (identical head). This is the restricted container class the
+// paper's optimization principle enumerates; it always implies q2 ⊆ q1.
+bool SubsetContains(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+}  // namespace qf
+
+#endif  // QF_DATALOG_CONTAINMENT_H_

@@ -1,0 +1,46 @@
+#include "datalog/minimize.h"
+
+#include <vector>
+
+#include "datalog/containment.h"
+#include "datalog/safety.h"
+
+namespace qf {
+
+ConjunctiveQuery MinimizeQuery(const ConjunctiveQuery& cq) {
+  ConjunctiveQuery current = cq;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < current.subgoals.size(); ++i) {
+      // Only positive relational subgoals are candidates: removing a
+      // negated or arithmetic subgoal changes semantics in ways the
+      // mapping test is not complete for.
+      if (!current.subgoals[i].is_positive()) continue;
+      ConjunctiveQuery candidate = current;
+      candidate.subgoals.erase(candidate.subgoals.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+      // Deleting a subgoal always gives a containing query
+      // (current ⊆ candidate); equivalence needs candidate ⊆ current.
+      // Keep the result safe: an unsafe "equivalent" is useless to every
+      // consumer downstream.
+      if (IsSafe(candidate) && Contains(current, candidate)) {
+        current = std::move(candidate);
+        changed = true;
+        break;  // restart: indices shifted
+      }
+    }
+  }
+  return current;
+}
+
+UnionQuery MinimizeQuery(const UnionQuery& query) {
+  UnionQuery out;
+  out.disjuncts.reserve(query.disjuncts.size());
+  for (const ConjunctiveQuery& cq : query.disjuncts) {
+    out.disjuncts.push_back(MinimizeQuery(cq));
+  }
+  return out;
+}
+
+}  // namespace qf

@@ -1,0 +1,30 @@
+// Conjunctive-query minimization — the classic application of the
+// containment mappings of §3.1 ([CM77]): a CQ has a unique (up to
+// renaming) minimal equivalent obtained by deleting redundant subgoals.
+// A subgoal is redundant when the query with it deleted still maps
+// homomorphically onto... itself; operationally, delete a subgoal, test
+// equivalence via containment both ways, repeat to fixpoint.
+//
+// Minimizing a flock's query before plan search shrinks the subquery
+// lattice the optimizer explores and removes join work the evaluator
+// would spend on subgoals that cannot change the answer.
+#ifndef QF_DATALOG_MINIMIZE_H_
+#define QF_DATALOG_MINIMIZE_H_
+
+#include "datalog/ast.h"
+
+namespace qf {
+
+// Returns an equivalent query with redundant subgoals removed. Relational
+// subgoals are candidates; arithmetic subgoals are kept as-is (the
+// mapping test is only complete for the positive-relational part).
+// Parameters and constants are rigid under the mappings, so a flock's
+// semantics is preserved exactly.
+ConjunctiveQuery MinimizeQuery(const ConjunctiveQuery& cq);
+
+// Minimizes every disjunct.
+UnionQuery MinimizeQuery(const UnionQuery& query);
+
+}  // namespace qf
+
+#endif  // QF_DATALOG_MINIMIZE_H_

@@ -1,0 +1,433 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace qf {
+namespace {
+
+enum class TokenKind {
+  kIdent,     // predicate / variable / symbolic constant
+  kParam,     // $name
+  kInt,
+  kFloat,
+  kString,    // quoted
+  kLParen,
+  kRParen,
+  kComma,
+  kTurnstile,  // :-
+  kCompare,    // < <= = != >= >
+  kPeriod,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;      // raw text (for idents/params/literals)
+  CompareOp op = CompareOp::kEq;
+  std::size_t offset = 0;  // for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      std::size_t start = pos_;
+      char c = text_[pos_];
+      if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "(", CompareOp::kEq, start});
+        ++pos_;
+      } else if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")", CompareOp::kEq, start});
+        ++pos_;
+      } else if (c == ',') {
+        tokens.push_back({TokenKind::kComma, ",", CompareOp::kEq, start});
+        ++pos_;
+      } else if (c == '.') {
+        tokens.push_back({TokenKind::kPeriod, ".", CompareOp::kEq, start});
+        ++pos_;
+      } else if (c == ';') {
+        tokens.push_back({TokenKind::kSemicolon, ";", CompareOp::kEq, start});
+        ++pos_;
+      } else if (c == ':') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+          tokens.push_back({TokenKind::kTurnstile, ":-", CompareOp::kEq, start});
+          pos_ += 2;
+        } else {
+          return ErrorAt(start, "expected ':-'");
+        }
+      } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+        Result<CompareOp> op = LexCompare();
+        if (!op.ok()) return op.status();
+        tokens.push_back({TokenKind::kCompare, "", *op, start});
+      } else if (c == '$') {
+        ++pos_;
+        std::string name = LexIdentChars();
+        if (name.empty()) return ErrorAt(start, "expected name after '$'");
+        tokens.push_back({TokenKind::kParam, std::move(name), CompareOp::kEq,
+                          start});
+      } else if (c == '\'' || c == '"') {
+        char quote = c;
+        ++pos_;
+        std::string body;
+        while (pos_ < text_.size() && text_[pos_] != quote) {
+          body += text_[pos_++];
+        }
+        if (pos_ >= text_.size()) {
+          return ErrorAt(start, "unterminated string literal");
+        }
+        ++pos_;  // closing quote
+        tokens.push_back({TokenKind::kString, std::move(body), CompareOp::kEq,
+                          start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        Result<Token> t = LexNumber(start);
+        if (!t.ok()) return t.status();
+        tokens.push_back(*t);
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back({TokenKind::kIdent, LexIdentChars(), CompareOp::kEq,
+                          start});
+      } else {
+        return ErrorAt(start, std::string("unexpected character '") + c + "'");
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, "", CompareOp::kEq, text_.size()});
+    return tokens;
+  }
+
+ private:
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '#' ||
+                 (c == '/' && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string LexIdentChars() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<CompareOp> LexCompare() {
+    char c = text_[pos_];
+    char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+    if (c == '<' && next == '=') {
+      pos_ += 2;
+      return CompareOp::kLe;
+    }
+    if (c == '<') {
+      ++pos_;
+      return CompareOp::kLt;
+    }
+    if (c == '>' && next == '=') {
+      pos_ += 2;
+      return CompareOp::kGe;
+    }
+    if (c == '>') {
+      ++pos_;
+      return CompareOp::kGt;
+    }
+    if (c == '=') {
+      // Accept both '=' and '=='.
+      pos_ += next == '=' ? 2 : 1;
+      return CompareOp::kEq;
+    }
+    if (c == '!' && next == '=') {
+      pos_ += 2;
+      return CompareOp::kNe;
+    }
+    return ErrorAt(pos_, "bad comparison operator");
+  }
+
+  Result<Token> LexNumber(std::size_t start) {
+    std::size_t begin = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    bool saw_digit = false;
+    bool is_float = false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        saw_digit = true;
+        ++pos_;
+      } else if (c == '.' && !is_float && pos_ + 1 < text_.size() &&
+                 std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+        is_float = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!saw_digit) return ErrorAt(start, "bad numeric literal");
+    std::string text(text_.substr(begin, pos_ - begin));
+    return Token{is_float ? TokenKind::kFloat : TokenKind::kInt,
+                 std::move(text), CompareOp::kEq, start};
+  }
+
+  Status ErrorAt(std::size_t offset, std::string message) {
+    return InvalidArgumentError("parse error at offset " +
+                                std::to_string(offset) + ": " +
+                                std::move(message));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool IsVariableName(std::string_view name) {
+  return !name.empty() && std::isupper(static_cast<unsigned char>(name[0]));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::vector<ConjunctiveQuery>> ParseAllRules() {
+    std::vector<ConjunctiveQuery> rules;
+    while (Peek().kind != TokenKind::kEnd) {
+      Result<ConjunctiveQuery> rule = ParseOneRule();
+      if (!rule.ok()) return rule.status();
+      rules.push_back(std::move(*rule));
+      // Optional rule terminator.
+      if (Peek().kind == TokenKind::kPeriod ||
+          Peek().kind == TokenKind::kSemicolon) {
+        Advance();
+      }
+    }
+    return rules;
+  }
+
+  Result<UnionQuery> ParseProgram() {
+    Result<std::vector<ConjunctiveQuery>> parsed = ParseAllRules();
+    if (!parsed.ok()) return parsed.status();
+    std::vector<ConjunctiveQuery> rules = std::move(*parsed);
+    if (rules.empty()) {
+      return InvalidArgumentError("no rules in query");
+    }
+    for (std::size_t i = 1; i < rules.size(); ++i) {
+      if (rules[i].head_name != rules[0].head_name) {
+        return InvalidArgumentError(
+            "all rules of a union query must share a head name; got '" +
+            rules[0].head_name + "' and '" + rules[i].head_name + "'");
+      }
+      if (rules[i].head_vars.size() != rules[0].head_vars.size()) {
+        return InvalidArgumentError(
+            "all rules of a union query must share the head arity");
+      }
+    }
+    return UnionQuery(std::move(rules));
+  }
+
+  Result<ConjunctiveQuery> ParseOneRule() {
+    ConjunctiveQuery cq;
+    Result<Token> head = Expect(TokenKind::kIdent, "head predicate");
+    if (!head.ok()) return head.status();
+    cq.head_name = head->text;
+    if (Status s = ExpectOnly(TokenKind::kLParen, "'(' after head"); !s.ok()) {
+      return s;
+    }
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        Result<Token> arg = Expect(TokenKind::kIdent, "head variable");
+        if (!arg.ok()) return arg.status();
+        if (!IsVariableName(arg->text)) {
+          return ErrorAt(arg->offset,
+                         "head arguments must be variables (uppercase): '" +
+                             arg->text + "'");
+        }
+        cq.head_vars.push_back(arg->text);
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Status s = ExpectOnly(TokenKind::kRParen, "')' after head args");
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = ExpectOnly(TokenKind::kTurnstile, "':-' after head");
+        !s.ok()) {
+      return s;
+    }
+    // Body: subgoals separated by AND or ','.
+    while (true) {
+      Result<Subgoal> sg = ParseSubgoal();
+      if (!sg.ok()) return sg.status();
+      cq.subgoals.push_back(std::move(*sg));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      if (Peek().kind == TokenKind::kIdent && Peek().text == "AND") {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return cq;
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status ErrorAt(std::size_t offset, std::string message) {
+    return InvalidArgumentError("parse error at offset " +
+                                std::to_string(offset) + ": " +
+                                std::move(message));
+  }
+
+  Result<Token> Expect(TokenKind kind, std::string_view what) {
+    if (Peek().kind != kind) {
+      return ErrorAt(Peek().offset, "expected " + std::string(what));
+    }
+    return Advance();
+  }
+
+  Status ExpectOnly(TokenKind kind, std::string_view what) {
+    Result<Token> t = Expect(kind, what);
+    return t.ok() ? Status::Ok() : t.status();
+  }
+
+  Result<Subgoal> ParseSubgoal() {
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "NOT") {
+      Advance();
+      Result<Subgoal> atom = ParseAtom();
+      if (!atom.ok()) return atom.status();
+      return Subgoal::Negated(atom->predicate(), atom->args());
+    }
+    // An atom iff an identifier directly followed by '('.
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek(1).kind == TokenKind::kLParen) {
+      return ParseAtom();
+    }
+    // Otherwise an arithmetic subgoal: term op term.
+    Result<Term> lhs = ParseTerm(/*argument_position=*/false);
+    if (!lhs.ok()) return lhs.status();
+    Result<Token> op = Expect(TokenKind::kCompare, "comparison operator");
+    if (!op.ok()) return op.status();
+    Result<Term> rhs = ParseTerm(/*argument_position=*/false);
+    if (!rhs.ok()) return rhs.status();
+    return Subgoal::Comparison(std::move(*lhs), op->op, std::move(*rhs));
+  }
+
+  Result<Subgoal> ParseAtom() {
+    Result<Token> pred = Expect(TokenKind::kIdent, "predicate name");
+    if (!pred.ok()) return pred.status();
+    if (Status s = ExpectOnly(TokenKind::kLParen, "'(' after predicate");
+        !s.ok()) {
+      return s;
+    }
+    std::vector<Term> args;
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        Result<Term> arg = ParseTerm(/*argument_position=*/true);
+        if (!arg.ok()) return arg.status();
+        args.push_back(std::move(*arg));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (Status s = ExpectOnly(TokenKind::kRParen, "')' after arguments");
+        !s.ok()) {
+      return s;
+    }
+    return Subgoal::Positive(pred->text, std::move(args));
+  }
+
+  // In argument position a lowercase identifier is a symbolic constant; in a
+  // comparison we only accept variables, parameters, and literals (a bare
+  // lowercase identifier there is almost certainly a typo for a parameter).
+  Result<Term> ParseTerm(bool argument_position) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kParam:
+        Advance();
+        return Term::Parameter(t.text);
+      case TokenKind::kIdent: {
+        Advance();
+        if (IsVariableName(t.text)) return Term::Variable(t.text);
+        if (argument_position) return Term::Constant(Value(t.text));
+        return ErrorAt(t.offset,
+                       "lowercase identifier '" + t.text +
+                           "' not allowed in a comparison; quote it if it is "
+                           "a constant");
+      }
+      case TokenKind::kInt: {
+        Advance();
+        Result<std::int64_t> v = ParseInt64(t.text);
+        if (!v.ok()) return v.status();
+        return Term::Constant(Value(*v));
+      }
+      case TokenKind::kFloat: {
+        Advance();
+        Result<double> v = ParseDouble(t.text);
+        if (!v.ok()) return v.status();
+        return Term::Constant(Value(*v));
+      }
+      case TokenKind::kString:
+        Advance();
+        return Term::Constant(Value(t.text));
+      default:
+        return ErrorAt(t.offset, "expected a term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<UnionQuery> ParseQuery(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(*tokens)).ParseProgram();
+}
+
+Result<ConjunctiveQuery> ParseRule(std::string_view text) {
+  Result<UnionQuery> q = ParseQuery(text);
+  if (!q.ok()) return q.status();
+  if (q->disjuncts.size() != 1) {
+    return InvalidArgumentError("expected exactly one rule, got " +
+                                std::to_string(q->disjuncts.size()));
+  }
+  return std::move(q->disjuncts.front());
+}
+
+Result<std::vector<ConjunctiveQuery>> ParseRules(std::string_view text) {
+  Result<std::vector<Token>> tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(*tokens)).ParseAllRules();
+}
+
+}  // namespace qf

@@ -1,0 +1,44 @@
+// Parser for the paper's Datalog notation for flock queries, e.g.
+//
+//   answer(P) :-
+//       exhibits(P,$s) AND
+//       treatments(P,$m) AND
+//       diagnoses(P,D) AND
+//       NOT causes(D,$s)
+//
+// Conventions (standard Datalog, matching the paper's examples):
+//   * identifiers starting with an uppercase letter are variables;
+//   * $name is a flock parameter;
+//   * numbers, 'quoted' / "quoted" strings, and lowercase identifiers in
+//     argument positions are constants;
+//   * AND or ',' separates subgoals; NOT negates a relational subgoal;
+//   * arithmetic subgoals use < <= = != >= >;
+//   * a union query is written as several rules with the same head name
+//     and arity (Fig. 4); an optional '.' or ';' may terminate a rule;
+//   * '#' and '//' start comments that run to end of line.
+#ifndef QF_DATALOG_PARSER_H_
+#define QF_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace qf {
+
+// Parses one or more rules into a union query. Returns INVALID_ARGUMENT
+// with a position-annotated message on malformed input, on head-name/arity
+// mismatch between rules, or when a head argument is not a variable.
+Result<UnionQuery> ParseQuery(std::string_view text);
+
+// Parses exactly one rule.
+Result<ConjunctiveQuery> ParseRule(std::string_view text);
+
+// Parses one or more rules *without* requiring a shared head name — the
+// form Datalog programs defining several intermediate predicates use
+// (datalog/program.h).
+Result<std::vector<ConjunctiveQuery>> ParseRules(std::string_view text);
+
+}  // namespace qf
+
+#endif  // QF_DATALOG_PARSER_H_

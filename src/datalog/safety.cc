@@ -1,0 +1,67 @@
+#include "datalog/safety.h"
+
+#include <set>
+#include <utility>
+
+namespace qf {
+namespace {
+
+// Names of variables and parameters appearing in positive relational
+// subgoals. Parameter names are tagged to avoid colliding with a variable
+// of the same spelling.
+std::set<std::pair<bool, std::string>> PositiveNames(
+    const ConjunctiveQuery& cq) {
+  std::set<std::pair<bool, std::string>> out;
+  for (const Subgoal& s : cq.subgoals) {
+    if (!s.is_positive()) continue;
+    for (const Term& t : s.terms()) {
+      if (t.is_variable()) out.insert({false, t.name()});
+      if (t.is_parameter()) out.insert({true, t.name()});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsSafe(const ConjunctiveQuery& cq, std::string* why) {
+  std::set<std::pair<bool, std::string>> positive = PositiveNames(cq);
+
+  // Condition (1): head variables.
+  for (const std::string& v : cq.head_vars) {
+    if (!positive.contains({false, v})) {
+      if (why != nullptr) {
+        *why = "head variable " + v +
+               " does not appear in a positive relational subgoal";
+      }
+      return false;
+    }
+  }
+
+  // Conditions (2) and (3): negated and arithmetic subgoals.
+  for (const Subgoal& s : cq.subgoals) {
+    if (s.is_positive()) continue;
+    for (const Term& t : s.terms()) {
+      if (t.is_constant()) continue;
+      bool is_param = t.is_parameter();
+      if (!positive.contains({is_param, t.name()})) {
+        if (why != nullptr) {
+          *why = std::string(s.is_negated() ? "negated" : "arithmetic") +
+                 " subgoal " + s.ToString() + " uses " + t.ToString() +
+                 ", which does not appear in a positive relational subgoal";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool IsSafe(const UnionQuery& q, std::string* why) {
+  for (const ConjunctiveQuery& cq : q.disjuncts) {
+    if (!IsSafe(cq, why)) return false;
+  }
+  return true;
+}
+
+}  // namespace qf

@@ -1,0 +1,34 @@
+// Safety of extended conjunctive queries (paper §3.2–3.3, after [UW97]).
+//
+// A query is *safe* when
+//   (1) every variable in the head appears in a non-negated, non-arithmetic
+//       subgoal of the body;
+//   (2) every variable in a negated subgoal appears in a non-negated,
+//       non-arithmetic subgoal of the body;
+//   (3) every variable in an arithmetic subgoal appears in a non-negated,
+//       non-arithmetic subgoal of the body.
+// Parameters are treated as variables for (2) and (3); they cannot appear
+// in the head, so (1) does not concern them (§3.3).
+//
+// Only safe subgoal subsets may serve as a-priori filter subqueries: an
+// unsafe subquery denotes an infinite relation and bounds nothing.
+#ifndef QF_DATALOG_SAFETY_H_
+#define QF_DATALOG_SAFETY_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace qf {
+
+// Returns true iff `cq` is safe. On failure, when `why` is non-null, an
+// explanation naming the violated condition and the offending name is
+// stored there.
+bool IsSafe(const ConjunctiveQuery& cq, std::string* why = nullptr);
+
+// A union query is safe iff every disjunct is safe (§3.4).
+bool IsSafe(const UnionQuery& q, std::string* why = nullptr);
+
+}  // namespace qf
+
+#endif  // QF_DATALOG_SAFETY_H_

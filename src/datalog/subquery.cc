@@ -1,0 +1,57 @@
+#include "datalog/subquery.h"
+
+#include "common/check.h"
+#include "datalog/safety.h"
+
+namespace qf {
+namespace {
+
+constexpr std::size_t kMaxSubgoals = 24;
+
+std::vector<std::size_t> BitmaskToIndices(std::uint32_t mask) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1u) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SubqueryCandidate> EnumerateSafeSubqueries(
+    const ConjunctiveQuery& cq, const SubqueryOptions& options) {
+  std::size_t n = cq.subgoals.size();
+  QF_CHECK_MSG(n <= kMaxSubgoals, "query too large for subquery enumeration");
+  std::vector<SubqueryCandidate> out;
+  std::uint32_t full = n == 32 ? 0xffffffffu : ((1u << n) - 1);
+  for (std::uint32_t mask = 1; mask <= full; ++mask) {
+    if (options.proper_only && mask == full) continue;
+    SubqueryCandidate cand;
+    cand.kept = BitmaskToIndices(mask);
+    cand.query = cq.Subquery(cand.kept);
+    if (!IsSafe(cand.query)) continue;
+    cand.parameters = cand.query.Parameters();
+    if (options.require_parameters && cand.parameters.empty()) continue;
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+std::vector<SubqueryCandidate> EnumerateSafeSubqueriesForParameters(
+    const ConjunctiveQuery& cq, const std::set<std::string>& params) {
+  std::vector<SubqueryCandidate> all =
+      EnumerateSafeSubqueries(cq, {.require_parameters = true});
+  std::vector<SubqueryCandidate> out;
+  for (SubqueryCandidate& cand : all) {
+    if (cand.parameters == params) out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+std::size_t CountSafeNontrivialSubsets(const ConjunctiveQuery& cq) {
+  std::vector<SubqueryCandidate> all = EnumerateSafeSubqueries(
+      cq, {.require_parameters = false, .proper_only = true});
+  return all.size();
+}
+
+}  // namespace qf

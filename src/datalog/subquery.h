@@ -1,0 +1,59 @@
+// Enumeration of the candidate filter subqueries of a query flock.
+//
+// The Optimization Principle for Conjunctive Queries (§3.1/§3.3): consider
+// only the *safe* subqueries formed by deleting one or more subgoals from
+// the flock's query. Each such subquery contains the original, so a
+// parameter value whose subquery answer falls below the support threshold
+// can never meet it in the full query — it may be pruned (the generalized
+// a-priori trick).
+#ifndef QF_DATALOG_SUBQUERY_H_
+#define QF_DATALOG_SUBQUERY_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace qf {
+
+// One candidate subquery.
+struct SubqueryCandidate {
+  // Indices (ascending) into the original query's `subgoals` that the
+  // subquery keeps.
+  std::vector<std::size_t> kept;
+  ConjunctiveQuery query;
+  // Parameters mentioned by the kept subgoals — the parameter set this
+  // subquery can prune.
+  std::set<std::string> parameters;
+};
+
+struct SubqueryOptions {
+  // Skip subqueries mentioning no parameter: they cannot prune anything.
+  bool require_parameters = true;
+  // Skip the improper subset (the query itself). The final plan step always
+  // uses the full query; the *candidates* are the proper subsets.
+  bool proper_only = true;
+};
+
+// Enumerates all safe subqueries of `cq` under `options`, in increasing
+// bitmask order. `cq` must have at most 24 subgoals (the search is
+// exponential; real flock queries are tiny — §4.3).
+std::vector<SubqueryCandidate> EnumerateSafeSubqueries(
+    const ConjunctiveQuery& cq, const SubqueryOptions& options = {});
+
+// Enumerates safe subqueries whose parameter set is exactly `params`
+// (heuristic 1 of §4.3 wants, per chosen parameter set S, subqueries with
+// "exactly the parameters of S").
+std::vector<SubqueryCandidate> EnumerateSafeSubqueriesForParameters(
+    const ConjunctiveQuery& cq, const std::set<std::string>& params);
+
+// Counts subsets of subgoals that are safe, over all 2^n - 2 nontrivial
+// proper subsets (Ex. 3.2 reports 8 of 14 for the medical flock). Intended
+// for tests and diagnostics.
+std::size_t CountSafeNontrivialSubsets(const ConjunctiveQuery& cq);
+
+}  // namespace qf
+
+#endif  // QF_DATALOG_SUBQUERY_H_

@@ -1,0 +1,274 @@
+#include "flocks/cq_eval.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "datalog/acyclic.h"
+#include "relational/ops.h"
+
+namespace qf {
+
+std::string TermColumn(const Term& term) {
+  QF_CHECK_MSG(!term.is_constant(), "constants have no binding column");
+  return term.is_parameter() ? "$" + term.name() : term.name();
+}
+
+Result<const Relation*> PredicateResolver::Resolve(
+    const std::string& name) const {
+  if (extra_ != nullptr) {
+    auto it = extra_->find(name);
+    if (it != extra_->end()) return it->second;
+  }
+  if (db_->Has(name)) return &db_->Get(name);
+  return NotFoundError("unknown predicate: " + name);
+}
+
+Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base) {
+  const std::vector<Term>& args = subgoal.args();
+  QF_CHECK_MSG(args.size() == base.arity(),
+               ("arity mismatch for predicate " + subgoal.predicate()).c_str());
+
+  // First occurrence position of each distinct column, plus the checks a
+  // row must pass: constant positions and repeated-term equalities.
+  std::vector<std::string> columns;
+  std::vector<std::size_t> keep;            // positions projected
+  std::vector<std::pair<std::size_t, Value>> constant_checks;
+  std::vector<std::pair<std::size_t, std::size_t>> equal_checks;
+  std::map<std::string, std::size_t> first_seen;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const Term& t = args[i];
+    if (t.is_constant()) {
+      constant_checks.emplace_back(i, t.constant());
+      continue;
+    }
+    std::string col = TermColumn(t);
+    auto [it, inserted] = first_seen.emplace(col, i);
+    if (inserted) {
+      columns.push_back(std::move(col));
+      keep.push_back(i);
+    } else {
+      equal_checks.emplace_back(it->second, i);
+    }
+  }
+
+  Relation out{Schema(columns)};
+  for (const Tuple& row : base.rows()) {
+    bool match = true;
+    for (const auto& [pos, value] : constant_checks) {
+      if (!(row[pos] == value)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      for (const auto& [a, b] : equal_checks) {
+        if (!(row[a] == row[b])) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (match) out.Add(ProjectTuple(row, keep));
+  }
+  // Dropping constant-checked positions cannot merge distinct base rows,
+  // but a subgoal with *no* variables (all constants) produces arity-0
+  // tuples that must collapse to at most one.
+  if (columns.empty()) out.Dedup();
+  return out;
+}
+
+namespace {
+
+// A comparison applied as a row predicate once its columns are bound.
+struct PendingComparison {
+  const Subgoal* subgoal;
+  bool applied = false;
+};
+
+struct PendingNegation {
+  const Subgoal* subgoal;
+  Relation bindings;  // binding relation of the negated atom
+  bool applied = false;
+};
+
+// Resolves the value of a term in a row of `schema` (column or constant).
+const Value& TermValue(const Term& t, const Schema& schema, const Tuple& row) {
+  if (t.is_constant()) return t.constant();
+  std::optional<std::size_t> idx = schema.IndexOf(TermColumn(t));
+  QF_CHECK(idx.has_value());
+  return row[*idx];
+}
+
+bool ColumnsBound(const std::vector<Term>& terms, const Schema& schema) {
+  for (const Term& t : terms) {
+    if (t.is_constant()) continue;
+    if (!schema.Contains(TermColumn(t))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Relation> EvaluateConjunctiveBindings(
+    const ConjunctiveQuery& cq, const PredicateResolver& resolver,
+    const std::vector<std::string>& output_columns,
+    const CqEvalOptions& options, std::size_t* peak_rows) {
+  // Partition subgoals.
+  std::vector<const Subgoal*> positives;
+  std::vector<PendingComparison> comparisons;
+  std::vector<PendingNegation> negations;
+  for (const Subgoal& s : cq.subgoals) {
+    if (s.is_positive()) {
+      positives.push_back(&s);
+    } else if (s.is_comparison()) {
+      comparisons.push_back({&s});
+    } else {
+      negations.push_back({&s, Relation()});
+    }
+  }
+  if (positives.empty()) {
+    return FailedPreconditionError(
+        "cannot evaluate a query with no positive subgoals (unsafe)");
+  }
+
+  // Constant-only comparisons decide emptiness up front.
+  for (PendingComparison& pc : comparisons) {
+    const Subgoal& s = *pc.subgoal;
+    if (s.lhs().is_constant() && s.rhs().is_constant()) {
+      pc.applied = true;
+      if (!EvalCompare(s.op(), s.lhs().constant(), s.rhs().constant())) {
+        return Relation{Schema(output_columns)};
+      }
+    }
+  }
+
+  // Resolve bases and precompute binding relations.
+  std::vector<Relation> positive_bindings;
+  positive_bindings.reserve(positives.size());
+  for (const Subgoal* s : positives) {
+    Result<const Relation*> base = resolver.Resolve(s->predicate());
+    if (!base.ok()) return base.status();
+    if ((*base)->arity() != s->args().size()) {
+      return InvalidArgumentError("arity mismatch for predicate " +
+                                  s->predicate());
+    }
+    positive_bindings.push_back(SubgoalBindings(*s, **base));
+  }
+  for (PendingNegation& pn : negations) {
+    Result<const Relation*> base = resolver.Resolve(pn.subgoal->predicate());
+    if (!base.ok()) return base.status();
+    if ((*base)->arity() != pn.subgoal->args().size()) {
+      return InvalidArgumentError("arity mismatch for predicate " +
+                                  pn.subgoal->predicate());
+    }
+    pn.bindings = SubgoalBindings(*pn.subgoal, **base);
+  }
+
+  // Optional Yannakakis full-reducer pass (acyclic queries only).
+  std::optional<JoinTree> tree;
+  if (options.full_reducer) {
+    tree = BuildJoinTree(cq);
+    if (tree.has_value()) {
+      // Bottom-up: parents lose tuples with no match in their ears.
+      for (std::size_t k = 0; k < tree->ears.size(); ++k) {
+        positive_bindings[tree->parents[k]] =
+            SemiJoin(positive_bindings[tree->parents[k]],
+                     positive_bindings[tree->ears[k]]);
+      }
+      // Top-down: ears lose tuples with no match in their (reduced)
+      // parents. After both sweeps the bindings are globally consistent.
+      for (std::size_t k = tree->ears.size(); k-- > 0;) {
+        positive_bindings[tree->ears[k]] =
+            SemiJoin(positive_bindings[tree->ears[k]],
+                     positive_bindings[tree->parents[k]]);
+      }
+    }
+  }
+
+  // Join order.
+  std::vector<std::size_t> order = options.join_order;
+  if (tree.has_value()) {
+    // Tree order: root first, then ears innermost-out, so every join
+    // touches its already-present parent (no cross products).
+    order.clear();
+    order.push_back(tree->root);
+    for (std::size_t k = tree->ears.size(); k-- > 0;) {
+      order.push_back(tree->ears[k]);
+    }
+  }
+  if (order.empty()) {
+    order.resize(positives.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  } else {
+    std::vector<std::size_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (i >= positives.size() || sorted[i] != i) {
+        return InvalidArgumentError(
+            "join_order must be a permutation of the positive subgoals");
+      }
+    }
+    if (sorted.size() != positives.size()) {
+      return InvalidArgumentError(
+          "join_order must be a permutation of the positive subgoals");
+    }
+  }
+
+  // Fold joins, applying comparisons and negations as soon as bound.
+  Relation current = std::move(positive_bindings[order[0]]);
+  std::size_t peak = current.size();
+  auto apply_ready = [&]() {
+    for (PendingComparison& pc : comparisons) {
+      if (pc.applied) continue;
+      const Subgoal& s = *pc.subgoal;
+      if (!ColumnsBound(s.terms(), current.schema())) continue;
+      pc.applied = true;
+      const Schema& schema = current.schema();
+      current = Select(current, [&s, &schema](const Tuple& row) {
+        return EvalCompare(s.op(), TermValue(s.lhs(), schema, row),
+                           TermValue(s.rhs(), schema, row));
+      });
+    }
+    for (PendingNegation& pn : negations) {
+      if (pn.applied) continue;
+      if (!ColumnsBound(pn.subgoal->terms(), current.schema())) continue;
+      pn.applied = true;
+      current = AntiJoin(current, pn.bindings);
+    }
+  };
+  apply_ready();
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    current = NaturalJoin(current, positive_bindings[order[k]]);
+    peak = std::max(peak, current.size());
+    apply_ready();
+  }
+
+  for (const PendingComparison& pc : comparisons) {
+    if (!pc.applied) {
+      return FailedPreconditionError(
+          "arithmetic subgoal never became bound (unsafe query): " +
+          pc.subgoal->ToString());
+    }
+  }
+  for (const PendingNegation& pn : negations) {
+    if (!pn.applied) {
+      return FailedPreconditionError(
+          "negated subgoal never became bound (unsafe query): " +
+          pn.subgoal->ToString());
+    }
+  }
+
+  for (const std::string& c : output_columns) {
+    if (!current.schema().Contains(c)) {
+      return InvalidArgumentError("output column " + c +
+                                  " is not bound by the query body");
+    }
+  }
+  if (peak_rows != nullptr) *peak_rows = peak;
+  return Project(current, output_columns);
+}
+
+}  // namespace qf

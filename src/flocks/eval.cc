@@ -1,0 +1,104 @@
+#include "flocks/eval.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "relational/ops.h"
+
+namespace qf {
+
+std::vector<std::string> FlockParameterColumns(const QueryFlock& flock) {
+  std::vector<std::string> out;
+  for (const std::string& p : flock.ParameterNames()) out.push_back("$" + p);
+  return out;
+}
+
+Result<Relation> EvaluateFlock(
+    const QueryFlock& flock, const Database& db,
+    const FlockEvalOptions& options,
+    const std::map<std::string, const Relation*>* extra,
+    FlockEvalInfo* info) {
+  if (!flock.filter.IsMonotone()) {
+    return InvalidArgumentError(
+        "the direct evaluator requires a monotone filter; use "
+        "NaiveEvaluateFlock for arbitrary filters");
+  }
+  if (Status s = flock.Validate(); !s.ok()) return s;
+
+  std::vector<std::string> param_columns = FlockParameterColumns(flock);
+  std::size_t head_arity = flock.query.head_arity();
+
+  // Canonical head column names, so disjuncts with differently named head
+  // variables (Fig. 4) union cleanly.
+  std::vector<std::string> canonical_heads;
+  for (std::size_t i = 0; i < head_arity; ++i) {
+    canonical_heads.push_back("_h" + std::to_string(i));
+  }
+  std::vector<std::string> answer_columns = param_columns;
+  answer_columns.insert(answer_columns.end(), canonical_heads.begin(),
+                        canonical_heads.end());
+
+  PredicateResolver resolver =
+      extra != nullptr ? PredicateResolver(db, *extra)
+                       : PredicateResolver(db);
+
+  Relation answers{Schema(answer_columns)};
+  std::size_t peak = 0;
+  for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
+    const ConjunctiveQuery& cq = flock.query.disjuncts[d];
+    std::vector<std::string> wanted = param_columns;
+    for (const std::string& h : cq.head_vars) wanted.push_back(h);
+    CqEvalOptions cq_options;
+    if (d < options.per_disjunct.size()) cq_options = options.per_disjunct[d];
+    std::size_t disjunct_peak = 0;
+    Result<Relation> bindings = EvaluateConjunctiveBindings(
+        cq, resolver, wanted, cq_options, &disjunct_peak);
+    if (!bindings.ok()) return bindings.status();
+    peak = std::max(peak, disjunct_peak);
+    Relation renamed = Rename(std::move(*bindings), answer_columns);
+    answers = flock.query.disjuncts.size() == 1
+                  ? std::move(renamed)
+                  : Union(answers, renamed);
+  }
+
+  if (flock.filter.agg == FilterAgg::kSum &&
+      options.require_nonnegative_sum) {
+    std::size_t agg_idx = param_columns.size() + flock.filter.agg_head_index;
+    for (const Tuple& t : answers.rows()) {
+      if (!t[agg_idx].IsNumeric() || t[agg_idx].AsNumber() < 0) {
+        return FailedPreconditionError(
+            "SUM filter saw a negative or non-numeric weight; monotone "
+            "pruning would be unsound (set require_nonnegative_sum=false "
+            "to override)");
+      }
+    }
+  }
+
+  if (info != nullptr) {
+    info->peak_rows = peak;
+    info->answer_rows = answers.size();
+  }
+
+  const FilterCondition& filter = flock.filter;
+  Relation grouped =
+      filter.agg == FilterAgg::kCount
+          ? GroupAggregate(answers, param_columns, AggKind::kCount, "",
+                           "_agg")
+          : GroupAggregate(
+                answers, param_columns,
+                filter.agg == FilterAgg::kSum
+                    ? AggKind::kSum
+                    : (filter.agg == FilterAgg::kMin ? AggKind::kMin
+                                                     : AggKind::kMax),
+                canonical_heads[filter.agg_head_index], "_agg");
+
+  std::size_t agg_col = grouped.schema().IndexOfOrDie("_agg");
+  Relation passing = Select(grouped, [&filter, agg_col](const Tuple& row) {
+    return filter.Accepts(row[agg_col]);
+  });
+  Relation result = Project(passing, param_columns);
+  result.set_name("flock_result");
+  return result;
+}
+
+}  // namespace qf

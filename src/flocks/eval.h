@@ -1,0 +1,58 @@
+// The direct (group-by) evaluator for query flocks.
+//
+// The semantics of a flock (§2) is generate-and-test: for every parameter
+// assignment, evaluate the query and test the filter. This evaluator
+// computes the same set without enumeration: it evaluates the query with
+// both parameter columns and head columns, groups by the parameters, and
+// filters groups by the aggregate. For monotone filters the two coincide
+// (assignments with empty answers fail monotone lower-bound filters, and
+// they are exactly the assignments grouping never sees).
+//
+// This evaluator applies *no* a-priori optimization; it is the stand-in
+// for the "conventional optimizer" baseline of §1.3, and the building
+// block the plan executor uses for each FILTER step.
+#ifndef QF_FLOCKS_EVAL_H_
+#define QF_FLOCKS_EVAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flocks/cq_eval.h"
+#include "flocks/flock.h"
+
+namespace qf {
+
+struct FlockEvalOptions {
+  // Per-disjunct join orders; empty means text order everywhere.
+  std::vector<CqEvalOptions> per_disjunct;
+  // Verify SUM filters only see non-negative weights (the monotonicity
+  // precondition of the Future Work section).
+  bool require_nonnegative_sum = true;
+};
+
+struct FlockEvalInfo {
+  // Peak intermediate relation size over all disjuncts.
+  std::size_t peak_rows = 0;
+  // Rows of the (unioned, deduplicated) answer relation before grouping.
+  std::size_t answer_rows = 0;
+};
+
+// Evaluates `flock` over `db` (plus `extra` predicate overlays, used by
+// plan steps). The result's columns are the flock's parameters, "$"-tagged,
+// in sorted order. Requires a monotone filter; non-monotone filters need
+// the naive evaluator (flocks/naive_eval.h), which can see empty answers.
+Result<Relation> EvaluateFlock(
+    const QueryFlock& flock, const Database& db,
+    const FlockEvalOptions& options = {},
+    const std::map<std::string, const Relation*>* extra = nullptr,
+    FlockEvalInfo* info = nullptr);
+
+// Sorted "$"-tagged parameter columns of `flock` — the schema of its
+// result.
+std::vector<std::string> FlockParameterColumns(const QueryFlock& flock);
+
+}  // namespace qf
+
+#endif  // QF_FLOCKS_EVAL_H_

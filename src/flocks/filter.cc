@@ -1,0 +1,101 @@
+#include "flocks/filter.h"
+
+#include "common/check.h"
+
+namespace qf {
+
+std::string_view FilterAggName(FilterAgg agg) {
+  switch (agg) {
+    case FilterAgg::kCount:
+      return "COUNT";
+    case FilterAgg::kSum:
+      return "SUM";
+    case FilterAgg::kMin:
+      return "MIN";
+    case FilterAgg::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+bool FilterCondition::IsMonotone() const {
+  switch (agg) {
+    case FilterAgg::kCount:
+    case FilterAgg::kSum:  // over non-negative values; checked at run time
+    case FilterAgg::kMax:
+      // Growing the answer set can only raise COUNT/SUM/MAX.
+      return cmp == CompareOp::kGe || cmp == CompareOp::kGt;
+    case FilterAgg::kMin:
+      // Growing the answer set can only lower MIN.
+      return cmp == CompareOp::kLe || cmp == CompareOp::kLt;
+  }
+  return false;
+}
+
+bool FilterCondition::Accepts(const Value& aggregate) const {
+  QF_CHECK_MSG(aggregate.IsNumeric(), "filter aggregate must be numeric");
+  return EvalCompare(cmp, Value(aggregate.AsNumber()), Value(threshold));
+}
+
+Value FilterCondition::Aggregate(const Relation& answers,
+                                 bool require_nonnegative) const {
+  if (agg == FilterAgg::kCount) {
+    return Value(static_cast<std::int64_t>(answers.size()));
+  }
+  QF_CHECK_MSG(agg_head_index < answers.arity(),
+               "aggregate column out of range");
+  double sum = 0;
+  bool has_extreme = false;
+  double extreme = 0;
+  for (const Tuple& t : answers.rows()) {
+    const Value& v = t[agg_head_index];
+    QF_CHECK_MSG(v.IsNumeric(), "filter aggregate over non-numeric column");
+    double x = v.AsNumber();
+    if (agg == FilterAgg::kSum) {
+      if (require_nonnegative) {
+        QF_CHECK_MSG(x >= 0,
+                     "SUM filter requires non-negative weights for "
+                     "monotonicity (paper Future Work)");
+      }
+      sum += x;
+    } else if (!has_extreme ||
+               (agg == FilterAgg::kMin ? x < extreme : x > extreme)) {
+      extreme = x;
+      has_extreme = true;
+    }
+  }
+  if (agg == FilterAgg::kSum) return Value(sum);
+  // MIN/MAX of an empty answer set: report an identity that fails ">= t"
+  // and "<= t" thresholds naturally is impossible with one value, so use
+  // the convention that an empty set never passes; callers special-case via
+  // Accepts on this sentinel.
+  if (!has_extreme) {
+    return Value(agg == FilterAgg::kMin ? 1.0 / 0.0 : -1.0 / 0.0);
+  }
+  return Value(extreme);
+}
+
+std::string FilterCondition::ToString(
+    const std::string& head_name,
+    const std::vector<std::string>& head_vars) const {
+  // COUNT over a single-variable head prints as the paper writes it,
+  // COUNT(answer.B); multi-variable heads (or missing names) use "*".
+  std::string column = "*";
+  std::size_t index = agg == FilterAgg::kCount ? 0 : agg_head_index;
+  if (index < head_vars.size() &&
+      (agg != FilterAgg::kCount || head_vars.size() == 1)) {
+    column = head_vars[index];
+  }
+  std::string out(FilterAggName(agg));
+  out += "(" + head_name + "." + column + ") ";
+  out += CompareOpName(cmp);
+  double t = threshold;
+  if (t == static_cast<double>(static_cast<std::int64_t>(t))) {
+    out += " " + std::to_string(static_cast<std::int64_t>(t));
+  } else {
+    out += " " + Value(t).ToString();
+  }
+  return out;
+}
+
+}  // namespace qf

@@ -1,0 +1,73 @@
+// Filter conditions of query flocks (paper §2, §4.2, Future Work).
+//
+// A filter is a condition on the *result relation* of the parametrized
+// query for one fixed parameter assignment. The paper's central case is a
+// support filter COUNT(answer.*) >= s; the Future Work section extends the
+// optimization to any *monotone* condition — one that stays true for every
+// superset — such as SUM of non-negative weights, MAX >= c, or MIN <= c.
+#ifndef QF_FLOCKS_FILTER_H_
+#define QF_FLOCKS_FILTER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "relational/relation.h"
+
+namespace qf {
+
+enum class FilterAgg { kCount, kSum, kMin, kMax };
+
+std::string_view FilterAggName(FilterAgg agg);  // "COUNT", "SUM", ...
+
+struct FilterCondition {
+  FilterAgg agg = FilterAgg::kCount;
+  CompareOp cmp = CompareOp::kGe;
+  double threshold = 1;
+  // For kSum/kMin/kMax: the head column (0-based) being aggregated.
+  // Ignored for kCount, which counts distinct answer tuples.
+  std::size_t agg_head_index = 0;
+
+  // Builds the paper's standard support filter, COUNT(answer.*) >= s.
+  static FilterCondition MinSupport(double s) {
+    return FilterCondition{FilterAgg::kCount, CompareOp::kGe, s, 0};
+  }
+
+  // True for the support shape the plan-generation rule of §4.2 covers:
+  // a lower bound on the number of answer tuples.
+  bool IsSupportStyle() const {
+    return agg == FilterAgg::kCount &&
+           (cmp == CompareOp::kGe || cmp == CompareOp::kGt);
+  }
+
+  // True when the condition is monotone in the answer set: once true for a
+  // relation it is true for every superset. These are the filters for which
+  // subquery-based pruning is sound (Future Work). SUM is monotone only
+  // over non-negative values; the evaluator verifies that at run time.
+  bool IsMonotone() const;
+
+  // Applies the condition to an aggregate value computed from an answer
+  // set (count, sum, min, or max as selected by `agg`).
+  bool Accepts(const Value& aggregate) const;
+
+  // Computes the aggregate of `answers` per this condition. `answers` must
+  // be duplicate-free (set semantics). Aborts if kSum sees a negative
+  // value while `require_nonnegative` is set.
+  Value Aggregate(const Relation& answers, bool require_nonnegative) const;
+
+  // Renders e.g. "COUNT(answer.P) >= 20" given the head name and head
+  // variable names of the (first disjunct of the) flock's query.
+  std::string ToString(const std::string& head_name,
+                       const std::vector<std::string>& head_vars) const;
+
+  friend bool operator==(const FilterCondition& a, const FilterCondition& b) {
+    return a.agg == b.agg && a.cmp == b.cmp && a.threshold == b.threshold &&
+           (a.agg == FilterAgg::kCount ||
+            a.agg_head_index == b.agg_head_index);
+  }
+};
+
+}  // namespace qf
+
+#endif  // QF_FLOCKS_FILTER_H_

@@ -1,0 +1,82 @@
+#include "flocks/flock.h"
+
+#include <set>
+
+#include "datalog/parser.h"
+#include "datalog/safety.h"
+
+namespace qf {
+
+std::vector<std::string> QueryFlock::ParameterNames() const {
+  std::set<std::string> params = query.Parameters();
+  return std::vector<std::string>(params.begin(), params.end());
+}
+
+Status QueryFlock::Validate(const Database* db) const {
+  if (query.disjuncts.empty()) {
+    return InvalidArgumentError("flock query has no disjuncts");
+  }
+  std::string why;
+  if (!IsSafe(query, &why)) {
+    return InvalidArgumentError("flock query is unsafe: " + why);
+  }
+  std::set<std::string> params = query.disjuncts.front().Parameters();
+  if (params.empty()) {
+    return InvalidArgumentError(
+        "flock query mentions no parameters; a flock is a query about its "
+        "parameters");
+  }
+  for (std::size_t i = 1; i < query.disjuncts.size(); ++i) {
+    if (query.disjuncts[i].Parameters() != params) {
+      return InvalidArgumentError(
+          "all disjuncts of a flock query must mention the same parameters");
+    }
+  }
+  if (filter.agg != FilterAgg::kCount &&
+      filter.agg_head_index >= query.head_arity()) {
+    return InvalidArgumentError("filter aggregates head column " +
+                                std::to_string(filter.agg_head_index) +
+                                " but the head has arity " +
+                                std::to_string(query.head_arity()));
+  }
+  if (db != nullptr) {
+    for (const ConjunctiveQuery& cq : query.disjuncts) {
+      for (const Subgoal& s : cq.subgoals) {
+        if (!s.is_relational()) continue;
+        if (!db->Has(s.predicate())) {
+          return NotFoundError("unknown predicate: " + s.predicate());
+        }
+        if (db->Get(s.predicate()).arity() != s.args().size()) {
+          return InvalidArgumentError(
+              "arity mismatch for predicate " + s.predicate() + ": relation " +
+              "has " + std::to_string(db->Get(s.predicate()).arity()) +
+              " columns, subgoal has " + std::to_string(s.args().size()));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::string QueryFlock::ToString() const {
+  std::string out = "QUERY:\n";
+  for (const ConjunctiveQuery& cq : query.disjuncts) {
+    out += "  " + cq.ToString() + "\n";
+  }
+  out += "FILTER:\n  ";
+  out += filter.ToString(query.head_name(),
+                         query.disjuncts.front().head_vars);
+  out += "\n";
+  return out;
+}
+
+Result<QueryFlock> MakeFlock(std::string_view query_text,
+                             FilterCondition filter) {
+  Result<UnionQuery> query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  QueryFlock flock(std::move(*query), std::move(filter));
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  return flock;
+}
+
+}  // namespace qf

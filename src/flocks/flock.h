@@ -1,0 +1,58 @@
+// QueryFlock: the paper's central object (§2) — a parametrized query plus a
+// filter over its per-assignment result. The flock's answer is the set of
+// parameter assignments whose query result passes the filter:
+//
+//   QUERY:  answer(B) :- baskets(B,$1) AND baskets(B,$2)
+//   FILTER: COUNT(answer.B) >= 20
+//
+// evaluates to the set of item pairs ($1,$2) appearing together in at
+// least 20 baskets. Remember: a flock is a query about its *parameters*,
+// not about the answer variables.
+#ifndef QF_FLOCKS_FLOCK_H_
+#define QF_FLOCKS_FLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "flocks/filter.h"
+#include "relational/database.h"
+
+namespace qf {
+
+struct QueryFlock {
+  UnionQuery query;
+  FilterCondition filter;
+
+  QueryFlock() = default;
+  QueryFlock(UnionQuery q, FilterCondition f)
+      : query(std::move(q)), filter(std::move(f)) {}
+  QueryFlock(ConjunctiveQuery cq, FilterCondition f)
+      : query(UnionQuery(std::move(cq))), filter(std::move(f)) {}
+
+  // Sorted parameter names (without the '$' sigil). These are the columns
+  // of the flock's result relation.
+  std::vector<std::string> ParameterNames() const;
+
+  // Structural well-formedness:
+  //   * at least one disjunct; every disjunct safe;
+  //   * at least one parameter (a flock is a query about its parameters);
+  //   * every disjunct mentions exactly the same parameter set;
+  //   * the aggregated head column exists (for SUM/MIN/MAX).
+  // With `db`, additionally checks every body predicate exists with the
+  // right arity.
+  Status Validate(const Database* db = nullptr) const;
+
+  // Renders the paper's "QUERY: ... FILTER: ..." notation.
+  std::string ToString() const;
+};
+
+// Convenience: parses `query_text` and attaches `filter`. Returns an error
+// on parse failure or if the flock fails Validate() (without a database).
+Result<QueryFlock> MakeFlock(std::string_view query_text,
+                             FilterCondition filter);
+
+}  // namespace qf
+
+#endif  // QF_FLOCKS_FLOCK_H_

@@ -1,0 +1,187 @@
+#include "flocks/sql_emit.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "flocks/cq_eval.h"
+
+namespace qf {
+namespace {
+
+std::string SqlLiteral(const Value& v) {
+  if (!v.is_string()) return v.ToString();
+  std::string out = "'";
+  for (char c : v.AsString()) {
+    out += c;
+    if (c == '\'') out += '\'';  // SQL escaping: double the quote
+  }
+  out += "'";
+  return out;
+}
+
+std::string_view SqlCompareOp(CompareOp op) {
+  // SQL uses '<>' for inequality; everything else matches our spelling.
+  return op == CompareOp::kNe ? "<>" : CompareOpName(op);
+}
+
+// Emits the FROM/WHERE skeleton of one conjunctive disjunct. On success,
+// `first_use` maps each variable/parameter column (TermColumn naming) to
+// its SQL expression "tK.col".
+struct DisjunctSql {
+  std::string from;
+  std::vector<std::string> where;
+  std::map<std::string, std::string> first_use;
+};
+
+Result<DisjunctSql> BuildDisjunct(const ConjunctiveQuery& cq,
+                                  const Database& db) {
+  DisjunctSql out;
+  int next_alias = 0;
+  auto column_ref = [&db](const Subgoal& s, const std::string& alias,
+                          std::size_t pos) {
+    return alias + "." + db.Get(s.predicate()).schema().column(pos);
+  };
+
+  // Positive subgoals: aliases + equality conditions.
+  for (const Subgoal& s : cq.subgoals) {
+    if (!s.is_positive()) continue;
+    if (!db.Has(s.predicate())) {
+      return NotFoundError("unknown predicate: " + s.predicate());
+    }
+    if (db.Get(s.predicate()).arity() != s.args().size()) {
+      return InvalidArgumentError("arity mismatch for predicate " +
+                                  s.predicate());
+    }
+    std::string alias = "t" + std::to_string(next_alias++);
+    if (!out.from.empty()) out.from += ", ";
+    out.from += s.predicate() + " " + alias;
+    for (std::size_t i = 0; i < s.args().size(); ++i) {
+      const Term& t = s.args()[i];
+      std::string ref = column_ref(s, alias, i);
+      if (t.is_constant()) {
+        out.where.push_back(ref + " = " + SqlLiteral(t.constant()));
+        continue;
+      }
+      auto [it, inserted] = out.first_use.emplace(TermColumn(t), ref);
+      if (!inserted) out.where.push_back(it->second + " = " + ref);
+    }
+  }
+
+  auto term_expr = [&out](const Term& t) -> Result<std::string> {
+    if (t.is_constant()) return SqlLiteral(t.constant());
+    auto it = out.first_use.find(TermColumn(t));
+    if (it == out.first_use.end()) {
+      return FailedPreconditionError(
+          "term " + t.ToString() +
+          " is not bound by a positive subgoal (unsafe query)");
+    }
+    return it->second;
+  };
+
+  // Arithmetic subgoals.
+  for (const Subgoal& s : cq.subgoals) {
+    if (!s.is_comparison()) continue;
+    Result<std::string> lhs = term_expr(s.lhs());
+    if (!lhs.ok()) return lhs.status();
+    Result<std::string> rhs = term_expr(s.rhs());
+    if (!rhs.ok()) return rhs.status();
+    out.where.push_back(*lhs + " " + std::string(SqlCompareOp(s.op())) + " " +
+                        *rhs);
+  }
+
+  // Negated subgoals become NOT EXISTS.
+  for (const Subgoal& s : cq.subgoals) {
+    if (!s.is_negated()) continue;
+    if (!db.Has(s.predicate())) {
+      return NotFoundError("unknown predicate: " + s.predicate());
+    }
+    std::string alias = "n" + std::to_string(next_alias++);
+    std::string cond;
+    for (std::size_t i = 0; i < s.args().size(); ++i) {
+      const Term& t = s.args()[i];
+      std::string ref = column_ref(s, alias, i);
+      std::string expr;
+      if (t.is_constant()) {
+        expr = SqlLiteral(t.constant());
+      } else {
+        Result<std::string> e = term_expr(t);
+        if (!e.ok()) return e.status();
+        expr = *e;
+      }
+      if (!cond.empty()) cond += " AND ";
+      cond += ref + " = " + expr;
+    }
+    out.where.push_back("NOT EXISTS (SELECT 1 FROM " + s.predicate() + " " +
+                        alias + (cond.empty() ? "" : " WHERE " + cond) + ")");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> EmitSql(const QueryFlock& flock, const Database& db) {
+  if (Status s = flock.Validate(); !s.ok()) return s;
+
+  std::vector<std::string> params = flock.ParameterNames();
+  std::string inner;
+  for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
+    const ConjunctiveQuery& cq = flock.query.disjuncts[d];
+    Result<DisjunctSql> built = BuildDisjunct(cq, db);
+    if (!built.ok()) return built.status();
+
+    std::string select = "  SELECT DISTINCT ";
+    bool first = true;
+    for (const std::string& p : params) {
+      auto it = built->first_use.find("$" + p);
+      if (it == built->first_use.end()) {
+        return FailedPreconditionError("parameter $" + p +
+                                       " is not bound in disjunct " +
+                                       std::to_string(d));
+      }
+      if (!first) select += ", ";
+      first = false;
+      select += it->second + " AS p_" + p;
+    }
+    for (std::size_t i = 0; i < cq.head_vars.size(); ++i) {
+      auto it = built->first_use.find(cq.head_vars[i]);
+      QF_CHECK(it != built->first_use.end());  // Validate ensured safety
+      select += ", " + it->second + " AS h_" + std::to_string(i);
+    }
+    select += "\n  FROM " + built->from;
+    if (!built->where.empty()) {
+      select += "\n  WHERE ";
+      for (std::size_t i = 0; i < built->where.size(); ++i) {
+        if (i > 0) select += "\n    AND ";
+        select += built->where[i];
+      }
+    }
+    if (d > 0) inner += "\n  UNION\n";
+    inner += select;
+  }
+
+  std::string group_by;
+  std::string outer_select;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) {
+      group_by += ", ";
+      outer_select += ", ";
+    }
+    group_by += "p_" + params[i];
+    outer_select += "p_" + params[i];
+  }
+
+  const FilterCondition& f = flock.filter;
+  std::string having(FilterAggName(f.agg));
+  having += f.agg == FilterAgg::kCount
+                ? "(*)"
+                : "(h_" + std::to_string(f.agg_head_index) + ")";
+  having += " " + std::string(SqlCompareOp(f.cmp)) + " " +
+            Value(f.threshold).ToString();
+
+  return "SELECT " + outer_select + "\nFROM (\n" + inner +
+         "\n) AS answer\nGROUP BY " + group_by + "\nHAVING " + having + ";";
+}
+
+}  // namespace qf

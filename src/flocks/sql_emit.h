@@ -1,0 +1,35 @@
+// Translation of query flocks to SQL (§1.3–1.4 of the paper: mining in SQL
+// is expressible — Fig. 1 — but conventional optimizers miss the a-priori
+// rewrite; emitting the SQL makes the correspondence concrete and lets a
+// flock run on an external DBMS).
+//
+// The emitted shape is
+//
+//   SELECT <params> FROM (
+//     SELECT DISTINCT <params>, <head>  FROM <subgoals> WHERE <conditions>
+//     UNION ...
+//   ) AS answer
+//   GROUP BY <params>
+//   HAVING COUNT(*) >= s
+//
+// which preserves the paper's set semantics (DISTINCT inner answers, UNION
+// deduplication, COUNT of distinct answer tuples).
+#ifndef QF_FLOCKS_SQL_EMIT_H_
+#define QF_FLOCKS_SQL_EMIT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "flocks/flock.h"
+#include "relational/database.h"
+
+namespace qf {
+
+// Emits SQL for `flock`. `db` supplies the column names of the base
+// relations (plan-step relations are named after their "$"-tagged
+// parameters). Negated subgoals become NOT EXISTS subqueries.
+Result<std::string> EmitSql(const QueryFlock& flock, const Database& db);
+
+}  // namespace qf
+
+#endif  // QF_FLOCKS_SQL_EMIT_H_

@@ -1,0 +1,90 @@
+#include "optimizer/itemset_plans.h"
+
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace qf {
+namespace {
+
+std::string ParamName(std::size_t i) { return std::to_string(i); }
+
+// Enumerates the size-`r` subsets of {1..k} in lexicographic order.
+std::vector<std::vector<std::size_t>> Subsets(std::size_t k, std::size_t r) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> current(r);
+  for (std::size_t i = 0; i < r; ++i) current[i] = i + 1;
+  while (true) {
+    out.push_back(current);
+    // Advance the combination.
+    std::size_t i = r;
+    while (i > 0) {
+      --i;
+      if (current[i] != i + 1 + k - r) break;
+    }
+    if (current[i] == i + 1 + k - r) break;
+    ++current[i];
+    for (std::size_t j = i + 1; j < r; ++j) current[j] = current[j - 1] + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<QueryFlock> MakeItemsetFlock(const std::string& relation,
+                                    std::size_t k, double min_support) {
+  if (k < 2) return InvalidArgumentError("itemset flocks need k >= 2");
+  ConjunctiveQuery cq;
+  cq.head_vars = {"B"};
+  for (std::size_t i = 1; i <= k; ++i) {
+    cq.subgoals.push_back(Subgoal::Positive(
+        relation, {Term::Variable("B"), Term::Parameter(ParamName(i))}));
+  }
+  for (std::size_t i = 1; i < k; ++i) {
+    cq.subgoals.push_back(Subgoal::Comparison(Term::Parameter(ParamName(i)),
+                                              CompareOp::kLt,
+                                              Term::Parameter(ParamName(i + 1))));
+  }
+  QueryFlock flock(std::move(cq), FilterCondition::MinSupport(min_support));
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  return flock;
+}
+
+Result<QueryPlan> ItemsetAprioriPlan(const QueryFlock& flock, std::size_t k,
+                                     std::size_t subset_size) {
+  if (subset_size < 1 || subset_size >= k) {
+    return InvalidArgumentError("need 1 <= subset_size < k");
+  }
+  if (flock.query.disjuncts.size() != 1 ||
+      flock.query.disjuncts[0].subgoals.size() != 2 * k - 1) {
+    return InvalidArgumentError(
+        "flock does not have the MakeItemsetFlock shape");
+  }
+
+  std::vector<FilterStep> prefilters;
+  for (const std::vector<std::size_t>& subset : Subsets(k, subset_size)) {
+    // Subgoal layout from MakeItemsetFlock: baskets subgoal for parameter
+    // i at index i-1; comparison $i < $(i+1) at index k + i - 1.
+    std::vector<std::size_t> kept;
+    std::vector<std::string> params;
+    std::string name = "ok";
+    for (std::size_t pos = 0; pos < subset.size(); ++pos) {
+      std::size_t i = subset[pos];
+      kept.push_back(i - 1);
+      params.push_back(ParamName(i));
+      name += "_" + ParamName(i);
+      // Keep the order comparison only when both of its parameters stay
+      // (the original only has comparisons between consecutive ones).
+      if (pos + 1 < subset.size() && subset[pos + 1] == i + 1) {
+        kept.push_back(k + i - 1);
+      }
+    }
+    Result<FilterStep> step =
+        MakeFilterStep(flock, std::move(name), std::move(params), kept);
+    if (!step.ok()) return step.status();
+    prefilters.push_back(std::move(*step));
+  }
+  return PlanWithPrefilters(flock, std::move(prefilters));
+}
+
+}  // namespace qf

@@ -1,0 +1,43 @@
+// A-priori for k-itemsets as query-flock plans (§4.3, restriction 2 and
+// footnote 3).
+//
+// The k-itemset flock is
+//   answer(B) :- baskets(B,$1) AND ... AND baskets(B,$k)
+//                AND $1 < $2 AND ... AND $[k-1] < $k
+// with a support filter. The paper notes that the levelwise a-priori
+// method corresponds to FILTER steps that restrict each (k-1)-subset of
+// the parameters — and that the classic algorithm exploits the symmetry
+// among parameters, while the general plan rule (§4.2) requires literal
+// copies of step left sides. We therefore materialize one prefilter per
+// parameter subset (e.g. for k=3: ok_12($1,$2), ok_13($1,$3),
+// ok_23($2,$3)), each a safe subquery of the flock keeping the subset's
+// baskets subgoals and order comparison; the final step joins them all in.
+#ifndef QF_OPTIMIZER_ITEMSET_PLANS_H_
+#define QF_OPTIMIZER_ITEMSET_PLANS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+#include "flocks/flock.h"
+#include "plan/plan.h"
+
+namespace qf {
+
+// Builds the k-itemset flock over `relation`(`bid_column`, `item_column`)
+// — parameters are named "1".."k" and constrained to strictly ascending
+// order, so each itemset is reported once. k must be at least 2.
+Result<QueryFlock> MakeItemsetFlock(const std::string& relation,
+                                    std::size_t k, double min_support);
+
+// Builds the generalized a-priori plan for an itemset flock produced by
+// MakeItemsetFlock: one FILTER step per parameter subset of size
+// `subset_size` (default k-1 would be the classic levelwise shape;
+// subset_size = 1 gives the frequent-items prefilter), plus the final
+// step referencing all of them. Requires 1 <= subset_size < k.
+Result<QueryPlan> ItemsetAprioriPlan(const QueryFlock& flock,
+                                     std::size_t k, std::size_t subset_size);
+
+}  // namespace qf
+
+#endif  // QF_OPTIMIZER_ITEMSET_PLANS_H_

@@ -1,0 +1,92 @@
+#include "optimizer/join_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace qf {
+namespace {
+
+constexpr std::size_t kDpLimit = 16;
+
+std::size_t CountPositives(const ConjunctiveQuery& cq) {
+  std::size_t n = 0;
+  for (const Subgoal& s : cq.subgoals) n += s.is_positive();
+  return n;
+}
+
+// Exact left-deep DP: state = subset of positive subgoals joined so far.
+// We re-estimate each candidate order's cost with the cost model's
+// sequential estimator, memoizing per subset the best (cost, order).
+std::vector<std::size_t> DpOrder(const ConjunctiveQuery& cq,
+                                 const CostModel& model, std::size_t n) {
+  struct State {
+    double cost = std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> order;
+  };
+  std::vector<State> best(std::size_t{1} << n);
+  best[0].cost = 0;
+  for (std::size_t mask = 0; mask + 1 < best.size(); ++mask) {
+    if (!std::isfinite(best[mask].cost)) continue;
+    for (std::size_t next = 0; next < n; ++next) {
+      if (mask & (std::size_t{1} << next)) continue;
+      std::size_t new_mask = mask | (std::size_t{1} << next);
+      std::vector<std::size_t> order = best[mask].order;
+      order.push_back(next);
+      double cost = model.EstimateCq(cq, order).cost;
+      if (cost < best[new_mask].cost) {
+        best[new_mask].cost = cost;
+        best[new_mask].order = std::move(order);
+      }
+    }
+  }
+  return best.back().order;
+}
+
+// Greedy fallback: start from the smallest estimated subgoal, repeatedly
+// append the subgoal minimizing the next intermediate size.
+std::vector<std::size_t> GreedyOrder(const ConjunctiveQuery& cq,
+                                     const CostModel& model, std::size_t n) {
+  std::vector<std::size_t> order;
+  std::vector<bool> used(n, false);
+  for (std::size_t step = 0; step < n; ++step) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t best_next = 0;
+    for (std::size_t next = 0; next < n; ++next) {
+      if (used[next]) continue;
+      std::vector<std::size_t> candidate = order;
+      candidate.push_back(next);
+      double cost = model.EstimateCq(cq, candidate).cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_next = next;
+      }
+    }
+    used[best_next] = true;
+    order.push_back(best_next);
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<std::size_t> ChooseJoinOrder(const ConjunctiveQuery& cq,
+                                         const CostModel& model) {
+  std::size_t n = CountPositives(cq);
+  if (n <= 1) return n == 1 ? std::vector<std::size_t>{0}
+                            : std::vector<std::size_t>{};
+  return n <= kDpLimit ? DpOrder(cq, model, n) : GreedyOrder(cq, model, n);
+}
+
+FlockEvalOptions ChooseJoinOrders(const QueryFlock& flock,
+                                  const CostModel& model) {
+  FlockEvalOptions options;
+  for (const ConjunctiveQuery& cq : flock.query.disjuncts) {
+    CqEvalOptions cq_options;
+    cq_options.join_order = ChooseJoinOrder(cq, model);
+    options.per_disjunct.push_back(std::move(cq_options));
+  }
+  return options;
+}
+
+}  // namespace qf

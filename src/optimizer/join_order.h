@@ -1,0 +1,28 @@
+// Cost-based join ordering for the positive subgoals of a conjunctive
+// query: Selinger-style dynamic programming over subsets (left-deep),
+// minimizing the estimated sum of intermediate sizes. Queries with more
+// than 16 positive subgoals fall back to a greedy smallest-next order.
+#ifndef QF_OPTIMIZER_JOIN_ORDER_H_
+#define QF_OPTIMIZER_JOIN_ORDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "flocks/eval.h"
+#include "flocks/flock.h"
+#include "optimizer/cost_model.h"
+
+namespace qf {
+
+// Join order (positions into the positive-subgoal list) minimizing the
+// model's cost for `cq`.
+std::vector<std::size_t> ChooseJoinOrder(const ConjunctiveQuery& cq,
+                                         const CostModel& model);
+
+// Per-disjunct orders for a whole flock, packaged as evaluator options.
+FlockEvalOptions ChooseJoinOrders(const QueryFlock& flock,
+                                  const CostModel& model);
+
+}  // namespace qf
+
+#endif  // QF_OPTIMIZER_JOIN_ORDER_H_

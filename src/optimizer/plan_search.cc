@@ -1,0 +1,266 @@
+#include "optimizer/plan_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+#include "datalog/subquery.h"
+#include "plan/legality.h"
+
+namespace qf {
+namespace {
+
+// One prefilter candidate: a parameter set with, per disjunct, the
+// cheapest safe subquery mentioning exactly those parameters.
+struct PrefilterCandidate {
+  std::set<std::string> parameters;
+  std::vector<std::vector<std::size_t>> kept_per_disjunct;
+  double survival_fraction = 1.0;  // worst (max) across disjuncts
+  double subquery_cost = 0;        // summed across disjuncts
+};
+
+std::string StepNameFor(const std::set<std::string>& params) {
+  std::string name = "ok";
+  for (const std::string& p : params) name += "_" + p;
+  return name;
+}
+
+// Builds the candidate for `params`, or nullopt if some disjunct has no
+// safe subquery with exactly those parameters.
+std::optional<PrefilterCandidate> BuildCandidate(
+    const QueryFlock& flock, const CostModel& model,
+    const std::set<std::string>& params) {
+  PrefilterCandidate cand;
+  cand.parameters = params;
+  cand.survival_fraction = 0;  // max over disjuncts, built up below
+  double threshold = flock.filter.threshold;
+  for (const ConjunctiveQuery& cq : flock.query.disjuncts) {
+    std::vector<SubqueryCandidate> subs =
+        EnumerateSafeSubqueriesForParameters(cq, params);
+    if (subs.empty()) return std::nullopt;
+    double best_cost = std::numeric_limits<double>::infinity();
+    const SubqueryCandidate* best = nullptr;
+    for (const SubqueryCandidate& s : subs) {
+      double cost = model.EstimateCq(s.query).cost;
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = &s;
+      }
+    }
+    cand.kept_per_disjunct.push_back(best->kept);
+    cand.subquery_cost += best_cost;
+    cand.survival_fraction = std::max(
+        cand.survival_fraction,
+        model.EstimateFilter(best->query, threshold).survival_fraction);
+  }
+  return cand;
+}
+
+std::vector<std::set<std::string>> CandidateParameterSets(
+    const QueryFlock& flock, bool include_multi) {
+  std::vector<std::set<std::string>> sets;
+  std::vector<std::string> params = flock.ParameterNames();
+  for (const std::string& p : params) sets.push_back({p});
+  if (include_multi && params.size() > 1) {
+    // All 2-subsets, then the full set.
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      for (std::size_t j = i + 1; j < params.size(); ++j) {
+        sets.push_back({params[i], params[j]});
+      }
+    }
+    if (params.size() > 2) {
+      sets.emplace_back(params.begin(), params.end());
+    }
+  }
+  return sets;
+}
+
+Result<QueryPlan> BuildPlanFromCandidates(
+    const QueryFlock& flock,
+    const std::vector<const PrefilterCandidate*>& chosen) {
+  std::vector<FilterStep> prefilters;
+  for (const PrefilterCandidate* cand : chosen) {
+    std::vector<std::string> params(cand->parameters.begin(),
+                                    cand->parameters.end());
+    Result<FilterStep> step =
+        MakeFilterStep(flock, StepNameFor(cand->parameters), params,
+                       cand->kept_per_disjunct);
+    if (!step.ok()) return step.status();
+    prefilters.push_back(std::move(*step));
+  }
+  return PlanWithPrefilters(flock, std::move(prefilters));
+}
+
+}  // namespace
+
+Result<QueryPlan> SearchPlanParameterSets(const QueryFlock& flock,
+                                          const CostModel& model,
+                                          const PlanSearchOptions& options) {
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  if (!flock.filter.IsSupportStyle()) {
+    // The survivor model is COUNT-specific; other monotone filters run the
+    // trivial plan.
+    return TrivialPlan(flock);
+  }
+  std::vector<PrefilterCandidate> candidates;
+  for (const std::set<std::string>& params : CandidateParameterSets(
+           flock, options.include_multi_parameter_sets)) {
+    std::optional<PrefilterCandidate> cand =
+        BuildCandidate(flock, model, params);
+    if (!cand.has_value()) continue;
+    if (cand->survival_fraction <= options.max_survival_fraction) {
+      candidates.push_back(std::move(*cand));
+    }
+  }
+
+  // Greedy selection on whole-plan estimated cost: a prefilter earns its
+  // place only when the model says its own evaluation costs less than it
+  // saves downstream (Ex. 3.2's "whether it is worth basing a preliminary
+  // step on (1) and/or (2) depends on the density ..." made operational).
+  std::vector<const PrefilterCandidate*> chosen;
+  Result<QueryPlan> best_plan = BuildPlanFromCandidates(flock, chosen);
+  if (!best_plan.ok()) return best_plan.status();
+  double best_cost = EstimatePlanCost(*best_plan, flock, model);
+  while (chosen.size() < options.max_prefilters) {
+    const PrefilterCandidate* best_add = nullptr;
+    QueryPlan best_add_plan;
+    for (const PrefilterCandidate& cand : candidates) {
+      if (std::find(chosen.begin(), chosen.end(), &cand) != chosen.end()) {
+        continue;
+      }
+      std::vector<const PrefilterCandidate*> trial = chosen;
+      trial.push_back(&cand);
+      Result<QueryPlan> plan = BuildPlanFromCandidates(flock, trial);
+      if (!plan.ok()) continue;
+      double cost = EstimatePlanCost(*plan, flock, model);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_add = &cand;
+        best_add_plan = std::move(*plan);
+      }
+    }
+    if (best_add == nullptr) break;
+    chosen.push_back(best_add);
+    *best_plan = std::move(best_add_plan);
+  }
+  return best_plan;
+}
+
+Result<QueryPlan> CascadePlan(
+    const QueryFlock& flock,
+    const std::vector<std::vector<std::size_t>>& prefixes) {
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  if (flock.query.disjuncts.size() != 1) {
+    return UnimplementedError(
+        "cascade plans are defined for single-disjunct flocks");
+  }
+  const ConjunctiveQuery& original = flock.query.disjuncts.front();
+
+  QueryPlan plan;
+  for (std::size_t k = 0; k < prefixes.size(); ++k) {
+    // Parameters of this step: those of its kept subgoals plus everything
+    // carried by the referenced previous step.
+    std::set<std::string> params;
+    for (std::size_t i : prefixes[k]) {
+      if (i >= original.subgoals.size()) {
+        return InvalidArgumentError("prefix subgoal index out of range");
+      }
+      for (const Term& t : original.subgoals[i].terms()) {
+        if (t.is_parameter()) params.insert(t.name());
+      }
+    }
+    std::vector<const FilterStep*> use;
+    if (k > 0) {
+      use.push_back(&plan.steps.back());
+      params.insert(plan.steps[k - 1].parameters.begin(),
+                    plan.steps[k - 1].parameters.end());
+    }
+    Result<FilterStep> step = MakeFilterStep(
+        flock, "ok" + std::to_string(k),
+        std::vector<std::string>(params.begin(), params.end()), prefixes[k],
+        use);
+    if (!step.ok()) return step.status();
+    plan.steps.push_back(std::move(*step));
+  }
+
+  // Final step: the whole query plus the last cascade relation.
+  std::vector<std::size_t> all(original.subgoals.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  std::vector<const FilterStep*> use;
+  if (!plan.steps.empty()) use.push_back(&plan.steps.back());
+  Result<FilterStep> final_step =
+      MakeFilterStep(flock, "result", flock.ParameterNames(), all, use);
+  if (!final_step.ok()) return final_step.status();
+  plan.steps.push_back(std::move(*final_step));
+  return plan;
+}
+
+double EstimatePlanCost(const QueryPlan& plan, const QueryFlock& flock,
+                        const CostModel& model) {
+  DatabaseStats stats = model.stats();
+  double threshold =
+      flock.filter.IsSupportStyle() ? flock.filter.threshold : 1.0;
+  double total = 0;
+  for (const FilterStep& step : plan.steps) {
+    CostModel local(stats, model.config());
+    double survivors = 0;
+    for (const ConjunctiveQuery& cq : step.query.disjuncts) {
+      CostModel::CqEstimate est = local.EstimateCq(cq);
+      total += est.cost;
+      survivors =
+          std::max(survivors, local.EstimateFilter(cq, threshold).survivors);
+    }
+    RelationStats step_stats;
+    step_stats.rows = static_cast<std::size_t>(std::ceil(survivors));
+    step_stats.column_distinct.assign(step.parameters.size(),
+                                      std::max<std::size_t>(
+                                          step_stats.rows, 1));
+    stats.Put(step.result_name, step_stats);
+  }
+  return total;
+}
+
+Result<SearchResult> ExhaustivePrefilterSearch(const QueryFlock& flock,
+                                               const CostModel& model,
+                                               std::size_t max_candidates) {
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  if (!flock.filter.IsSupportStyle()) {
+    return FailedPreconditionError(
+        "exhaustive search requires a support-style filter");
+  }
+  std::vector<PrefilterCandidate> candidates;
+  for (const std::set<std::string>& params :
+       CandidateParameterSets(flock, /*include_multi=*/true)) {
+    std::optional<PrefilterCandidate> cand =
+        BuildCandidate(flock, model, params);
+    if (cand.has_value()) candidates.push_back(std::move(*cand));
+  }
+  if (candidates.size() > max_candidates) candidates.resize(max_candidates);
+
+  SearchResult best;
+  best.estimated_cost = std::numeric_limits<double>::infinity();
+  std::size_t n = candidates.size();
+  QF_CHECK_MSG(n < 20, "too many prefilter candidates for exhaustion");
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::vector<const PrefilterCandidate*> chosen;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) chosen.push_back(&candidates[i]);
+    }
+    Result<QueryPlan> plan = BuildPlanFromCandidates(flock, chosen);
+    if (!plan.ok()) continue;
+    ++best.plans_considered;
+    double cost = EstimatePlanCost(*plan, flock, model);
+    if (cost < best.estimated_cost) {
+      best.estimated_cost = cost;
+      best.plan = std::move(*plan);
+    }
+  }
+  if (!std::isfinite(best.estimated_cost)) {
+    return InternalError("no legal plan found");
+  }
+  return best;
+}
+
+}  // namespace qf

@@ -1,0 +1,76 @@
+// Static plan search (§4.3). The space of legal plans is more than
+// exponential, so the paper proposes two restrictions, both implemented
+// here, plus an exhaustive cost-based search over prefilter subsets used
+// by the benches to calibrate the heuristics:
+//
+//   * Heuristic 1 (parameter sets): choose parameter sets S; for each,
+//     choose one safe subquery with exactly the parameters of S; the final
+//     step runs the original query plus all the R_S subgoals. This
+//     generalizes a-priori for two-item sets and is the shape of Fig. 5.
+//
+//   * Heuristic 2 (cascade): an ordered list of safe subqueries, each
+//     FILTER step adding the previous step's result — the (n+1)-step plan
+//     of Fig. 7 for path queries.
+#ifndef QF_OPTIMIZER_PLAN_SEARCH_H_
+#define QF_OPTIMIZER_PLAN_SEARCH_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flocks/flock.h"
+#include "optimizer/cost_model.h"
+#include "plan/plan.h"
+
+namespace qf {
+
+struct PlanSearchOptions {
+  // Include a prefilter for parameter set S only when the model predicts
+  // the surviving fraction of S-assignments is below this.
+  double max_survival_fraction = 0.75;
+  // Also consider multi-parameter sets (e.g. the ($s,$m) pair subquery (4)
+  // of Ex. 3.2), not just singletons.
+  bool include_multi_parameter_sets = true;
+  // Upper bound on the number of prefilter steps.
+  std::size_t max_prefilters = 4;
+};
+
+// Heuristic 1. Returns a legal plan: zero or more prefilter steps (one per
+// selected parameter set) and the mandatory final step. With no beneficial
+// prefilter the result is the trivial plan.
+Result<QueryPlan> SearchPlanParameterSets(const QueryFlock& flock,
+                                          const CostModel& model,
+                                          const PlanSearchOptions& options = {});
+
+// Heuristic 2. Builds a cascade: step k keeps the subgoals
+// `prefixes[k]` of each disjunct and references step k-1. The final step
+// keeps everything and references the last cascade step. Parameters of
+// each step are inferred from its kept subgoals. Single-disjunct flocks
+// only (the cascade shape of Fig. 7).
+Result<QueryPlan> CascadePlan(const QueryFlock& flock,
+                              const std::vector<std::vector<std::size_t>>& prefixes);
+
+// Exhaustive cost-based search over subsets of candidate prefilters (each
+// candidate = one parameter set with its cheapest safe subquery), scoring
+// each plan with the model. Exponential in the candidate count; callers
+// cap it. Returns the best plan and bookkeeping for the benches.
+struct SearchResult {
+  QueryPlan plan;
+  double estimated_cost = 0;
+  std::size_t plans_considered = 0;
+};
+Result<SearchResult> ExhaustivePrefilterSearch(const QueryFlock& flock,
+                                               const CostModel& model,
+                                               std::size_t max_candidates = 10);
+
+// Model-estimated execution cost of a plan: the sum over steps of the
+// estimated join cost of each step's query (prefilter results entering a
+// step are sized by the model's filter estimate).
+double EstimatePlanCost(const QueryPlan& plan, const QueryFlock& flock,
+                        const CostModel& model);
+
+}  // namespace qf
+
+#endif  // QF_OPTIMIZER_PLAN_SEARCH_H_

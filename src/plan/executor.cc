@@ -1,0 +1,77 @@
+#include "plan/executor.h"
+
+#include <map>
+
+#include "plan/legality.h"
+#include "relational/ops.h"
+
+namespace qf {
+
+Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
+                             const Database& db,
+                             const PlanExecOptions& options,
+                             PlanExecInfo* info) {
+  if (options.check_legal) {
+    if (Status s = CheckLegal(plan, flock); !s.ok()) return s;
+  }
+  if (plan.steps.empty()) return InvalidArgumentError("plan has no steps");
+
+  // Materialized step results, owned here, referenced by later steps.
+  std::vector<Relation> materialized;
+  materialized.reserve(plan.steps.size());
+  std::map<std::string, const Relation*> extra;
+  if (options.extra_predicates != nullptr) extra = *options.extra_predicates;
+
+  Relation final_result;
+  for (std::size_t k = 0; k < plan.steps.size(); ++k) {
+    const FilterStep& step = plan.steps[k];
+    if (options.precomputed_steps != nullptr && k + 1 < plan.steps.size()) {
+      auto it = options.precomputed_steps->find(step.result_name);
+      if (it != options.precomputed_steps->end()) {
+        extra[step.result_name] = it->second;
+        if (info != nullptr) {
+          info->steps.push_back({step.result_name, it->second->size(), 0, 0});
+        }
+        continue;
+      }
+    }
+    QueryFlock step_flock(step.query, flock.filter);
+    FlockEvalOptions eval_options;
+    if (options.order_chooser) {
+      eval_options = options.order_chooser(step.query, db, extra);
+    } else if (k < options.per_step.size()) {
+      eval_options = options.per_step[k];
+    }
+    FlockEvalInfo eval_info;
+    Result<Relation> result =
+        EvaluateFlock(step_flock, db, eval_options, &extra, &eval_info);
+    if (!result.ok()) return result.status();
+
+    // EvaluateFlock orders columns by sorted parameter name; reorder to the
+    // step's declared parameter order so step references bind positionally.
+    std::vector<std::string> declared;
+    for (const std::string& p : step.parameters) declared.push_back("$" + p);
+    Relation reordered = Project(*result, declared);
+    reordered.set_name(step.result_name);
+
+    if (info != nullptr) {
+      info->steps.push_back({step.result_name, reordered.size(),
+                             eval_info.peak_rows, eval_info.answer_rows});
+      info->total_peak_rows += eval_info.peak_rows;
+    }
+
+    if (k + 1 == plan.steps.size()) {
+      final_result = std::move(reordered);
+    } else {
+      materialized.push_back(std::move(reordered));
+      extra[step.result_name] = &materialized.back();
+    }
+  }
+
+  // Normalize to the flock evaluator's output shape (sorted parameters).
+  Relation normalized = Project(final_result, FlockParameterColumns(flock));
+  normalized.set_name("flock_result");
+  return normalized;
+}
+
+}  // namespace qf

@@ -1,0 +1,151 @@
+#include "plan/legality.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/safety.h"
+
+namespace qf {
+namespace {
+
+// Whether `subgoal` is an exact copy of `step`'s left side: the step name
+// as predicate, with the step's parameters, in order, as arguments.
+bool IsStepReference(const Subgoal& subgoal, const FilterStep& step) {
+  if (!subgoal.is_positive() || subgoal.predicate() != step.result_name) {
+    return false;
+  }
+  if (subgoal.args().size() != step.parameters.size()) return false;
+  for (std::size_t i = 0; i < subgoal.args().size(); ++i) {
+    const Term& t = subgoal.args()[i];
+    if (!t.is_parameter() || t.name() != step.parameters[i]) return false;
+  }
+  return true;
+}
+
+bool IsOriginalSubgoal(const Subgoal& subgoal,
+                       const ConjunctiveQuery& original) {
+  for (const Subgoal& s : original.subgoals) {
+    if (s == subgoal) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status CheckLegal(const QueryPlan& plan, const QueryFlock& flock) {
+  if (plan.steps.empty()) {
+    return InvalidArgumentError("plan has no steps");
+  }
+  if (!flock.filter.IsMonotone()) {
+    return FailedPreconditionError(
+        "plan legality is defined for support-type (monotone) filters");
+  }
+
+  // Base predicates of the flock, which step names must not shadow.
+  std::set<std::string> base_predicates;
+  for (const ConjunctiveQuery& cq : flock.query.disjuncts) {
+    for (const Subgoal& s : cq.subgoals) {
+      if (s.is_relational()) base_predicates.insert(s.predicate());
+    }
+  }
+
+  std::set<std::string> step_names;
+  for (std::size_t k = 0; k < plan.steps.size(); ++k) {
+    const FilterStep& step = plan.steps[k];
+    if (step.result_name.empty()) {
+      return InvalidArgumentError("step " + std::to_string(k) +
+                                  " has no result name");
+    }
+    if (!step_names.insert(step.result_name).second) {
+      return InvalidArgumentError("duplicate step name: " + step.result_name);
+    }
+    if (base_predicates.contains(step.result_name)) {
+      return InvalidArgumentError("step name shadows a base predicate: " +
+                                  step.result_name);
+    }
+
+    if (step.query.disjuncts.size() != flock.query.disjuncts.size()) {
+      return InvalidArgumentError(
+          "step " + step.result_name + " must have one disjunct per flock "
+          "disjunct (§3.4: unions prune with unions of subqueries)");
+    }
+
+    bool is_final = k + 1 == plan.steps.size();
+    for (std::size_t d = 0; d < step.query.disjuncts.size(); ++d) {
+      const ConjunctiveQuery& sub = step.query.disjuncts[d];
+      const ConjunctiveQuery& original = flock.query.disjuncts[d];
+      if (sub.head_name != original.head_name ||
+          sub.head_vars != original.head_vars) {
+        return InvalidArgumentError("step " + step.result_name +
+                                    " changes the query head");
+      }
+
+      // Every subgoal must be an original subgoal or a prior-step
+      // reference (condition 3b/3c).
+      std::set<std::size_t> originals_present;
+      for (const Subgoal& s : sub.subgoals) {
+        bool prior_ref = false;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (IsStepReference(s, plan.steps[j])) {
+            prior_ref = true;
+            break;
+          }
+        }
+        if (prior_ref) continue;
+        if (!IsOriginalSubgoal(s, original)) {
+          return InvalidArgumentError(
+              "step " + step.result_name + " contains subgoal " +
+              s.ToString() +
+              ", which is neither an original subgoal nor the left side of "
+              "an earlier step");
+        }
+        for (std::size_t i = 0; i < original.subgoals.size(); ++i) {
+          if (original.subgoals[i] == s) originals_present.insert(i);
+        }
+      }
+
+      std::string why;
+      if (!IsSafe(sub, &why)) {
+        return InvalidArgumentError("step " + step.result_name +
+                                    " is unsafe: " + why);
+      }
+
+      if (is_final &&
+          originals_present.size() != original.subgoals.size()) {
+        return InvalidArgumentError(
+            "the final step must not delete any original subgoal "
+            "(condition 4 of the plan-generation rule)");
+      }
+    }
+
+    // The defined relation's parameters must be exactly those of its query.
+    std::set<std::string> declared(step.parameters.begin(),
+                                   step.parameters.end());
+    if (declared.size() != step.parameters.size()) {
+      return InvalidArgumentError("step " + step.result_name +
+                                  " has duplicate parameters");
+    }
+    for (const ConjunctiveQuery& sub : step.query.disjuncts) {
+      if (sub.Parameters() != declared) {
+        return InvalidArgumentError(
+            "step " + step.result_name +
+            " declares parameters that do not match its query");
+      }
+    }
+  }
+
+  // The final step must produce the flock's parameters.
+  const FilterStep& last = plan.steps.back();
+  std::set<std::string> flock_params = flock.query.Parameters();
+  std::set<std::string> last_params(last.parameters.begin(),
+                                    last.parameters.end());
+  if (last_params != flock_params) {
+    return InvalidArgumentError(
+        "the final step must be over exactly the flock's parameters");
+  }
+  return Status::Ok();
+}
+
+}  // namespace qf

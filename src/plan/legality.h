@@ -1,0 +1,28 @@
+// The legality rule for query plans (paper §4.2): a sequence of FILTER
+// steps is equivalent to the original flock when
+//   (1) each step uses the same filter condition as the flock (checked by
+//       construction — plans carry no per-step filters);
+//   (2) each step defines a uniquely named relation (and the name does not
+//       shadow a base predicate of the query);
+//   (3) each step's query derives from the flock's query by adding
+//       subgoals that are exact copies of earlier steps' left sides and
+//       deleting original subgoals, keeping the result safe;
+//   (4) the final step deletes no original subgoal.
+// The rule is stated for support-type filters; per the paper's Future Work
+// we accept any monotone filter.
+#ifndef QF_PLAN_LEGALITY_H_
+#define QF_PLAN_LEGALITY_H_
+
+#include "common/status.h"
+#include "flocks/flock.h"
+#include "plan/plan.h"
+
+namespace qf {
+
+// Verifies `plan` is legal for `flock` per the rule above. Returns OK or an
+// INVALID_ARGUMENT/FAILED_PRECONDITION status naming the violated clause.
+Status CheckLegal(const QueryPlan& plan, const QueryFlock& flock);
+
+}  // namespace qf
+
+#endif  // QF_PLAN_LEGALITY_H_

@@ -1,0 +1,139 @@
+#include "plan/plan.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "datalog/safety.h"
+
+namespace qf {
+
+std::string FilterStep::ToString(const FilterCondition& filter) const {
+  std::string params;
+  for (std::size_t i = 0; i < parameters.size(); ++i) {
+    if (i > 0) params += ",";
+    params += "$" + parameters[i];
+  }
+  std::string out = result_name + "(" + params + ") := FILTER((" + params +
+                    "),\n";
+  for (const ConjunctiveQuery& cq : query.disjuncts) {
+    out += "    " + cq.ToString() + "\n";
+  }
+  out += "    " +
+         filter.ToString(query.head_name(),
+                         query.disjuncts.front().head_vars) +
+         "\n)";
+  return out;
+}
+
+std::string QueryPlan::ToString(const FilterCondition& filter) const {
+  std::string out;
+  for (const FilterStep& step : steps) {
+    out += step.ToString(filter) + ";\n";
+  }
+  return out;
+}
+
+QueryPlan TrivialPlan(const QueryFlock& flock) {
+  QueryPlan plan;
+  FilterStep step;
+  step.result_name = "result";
+  step.parameters = flock.ParameterNames();
+  step.query = flock.query;
+  plan.steps.push_back(std::move(step));
+  return plan;
+}
+
+Subgoal StepReferenceSubgoal(const FilterStep& step) {
+  std::vector<Term> args;
+  args.reserve(step.parameters.size());
+  for (const std::string& p : step.parameters) {
+    args.push_back(Term::Parameter(p));
+  }
+  return Subgoal::Positive(step.result_name, std::move(args));
+}
+
+Result<FilterStep> MakeFilterStep(
+    const QueryFlock& flock, std::string result_name,
+    std::vector<std::string> parameters,
+    const std::vector<std::vector<std::size_t>>& kept_per_disjunct,
+    const std::vector<const FilterStep*>& use_steps) {
+  if (kept_per_disjunct.size() != flock.query.disjuncts.size()) {
+    return InvalidArgumentError(
+        "need one kept-subgoal list per disjunct (" +
+        std::to_string(flock.query.disjuncts.size()) + "), got " +
+        std::to_string(kept_per_disjunct.size()));
+  }
+  FilterStep step;
+  step.result_name = std::move(result_name);
+  step.parameters = std::move(parameters);
+
+  for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
+    const ConjunctiveQuery& original = flock.query.disjuncts[d];
+    ConjunctiveQuery sub;
+    sub.head_name = original.head_name;
+    sub.head_vars = original.head_vars;
+    // Prior-step references first: they are small and prune early.
+    for (const FilterStep* prior : use_steps) {
+      QF_CHECK(prior != nullptr);
+      sub.subgoals.push_back(StepReferenceSubgoal(*prior));
+    }
+    for (std::size_t i : kept_per_disjunct[d]) {
+      if (i >= original.subgoals.size()) {
+        return InvalidArgumentError("kept subgoal index out of range");
+      }
+      sub.subgoals.push_back(original.subgoals[i]);
+    }
+    std::string why;
+    if (!IsSafe(sub, &why)) {
+      return InvalidArgumentError("step subquery is unsafe: " + why);
+    }
+    step.query.disjuncts.push_back(std::move(sub));
+  }
+
+  // P must be exactly the parameters the step query mentions, in every
+  // disjunct (mirroring QueryFlock::Validate).
+  std::set<std::string> want(step.parameters.begin(), step.parameters.end());
+  if (want.size() != step.parameters.size()) {
+    return InvalidArgumentError("duplicate parameter in step parameter list");
+  }
+  for (const ConjunctiveQuery& cq : step.query.disjuncts) {
+    if (cq.Parameters() != want) {
+      return InvalidArgumentError(
+          "step parameters must match the parameters of the step query "
+          "(every disjunct)");
+    }
+  }
+  return step;
+}
+
+Result<FilterStep> MakeFilterStep(
+    const QueryFlock& flock, std::string result_name,
+    std::vector<std::string> parameters, const std::vector<std::size_t>& kept,
+    const std::vector<const FilterStep*>& use_steps) {
+  return MakeFilterStep(flock, std::move(result_name), std::move(parameters),
+                        std::vector<std::vector<std::size_t>>{kept},
+                        use_steps);
+}
+
+Result<QueryPlan> PlanWithPrefilters(const QueryFlock& flock,
+                                     std::vector<FilterStep> prefilters) {
+  QueryPlan plan;
+  plan.steps = std::move(prefilters);
+
+  std::vector<const FilterStep*> refs;
+  refs.reserve(plan.steps.size());
+  for (const FilterStep& s : plan.steps) refs.push_back(&s);
+
+  std::vector<std::vector<std::size_t>> all(flock.query.disjuncts.size());
+  for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
+    all[d].resize(flock.query.disjuncts[d].subgoals.size());
+    for (std::size_t i = 0; i < all[d].size(); ++i) all[d][i] = i;
+  }
+  Result<FilterStep> final_step = MakeFilterStep(
+      flock, "result", flock.ParameterNames(), all, refs);
+  if (!final_step.ok()) return final_step.status();
+  plan.steps.push_back(std::move(*final_step));
+  return plan;
+}
+
+}  // namespace qf

@@ -1,0 +1,80 @@
+// Query plans for flocks (paper §4.1): sequences of FILTER steps
+//
+//   R(P) := FILTER(P, Q, C)
+//
+// where P is a list of parameters, Q a query over the base predicates plus
+// the relations defined by earlier steps, and C the flock's filter
+// condition. Each step materializes the parameter assignments of P whose
+// Q-answer passes C; the final step evaluates the original query augmented
+// with the earlier steps' relations and produces the flock's answer.
+#ifndef QF_PLAN_PLAN_H_
+#define QF_PLAN_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "flocks/flock.h"
+
+namespace qf {
+
+// One FILTER step.
+struct FilterStep {
+  // Name of the defined relation, e.g. "okS". Doubles as the predicate
+  // later steps use to reference it.
+  std::string result_name;
+  // The parameters P (sigil-free, in the column order of the produced
+  // relation).
+  std::vector<std::string> parameters;
+  // The step's query Q. Prior-step references appear as positive subgoals
+  // result_name($p1,...,$pk).
+  UnionQuery query;
+
+  // Renders "okS($s) := FILTER($s, <query>, <condition>)".
+  std::string ToString(const FilterCondition& filter) const;
+};
+
+struct QueryPlan {
+  std::vector<FilterStep> steps;
+
+  std::string ToString(const FilterCondition& filter) const;
+};
+
+// The one-step plan that evaluates the original query directly — the
+// baseline every optimized plan is compared against.
+QueryPlan TrivialPlan(const QueryFlock& flock);
+
+// Builds a FILTER step for `flock`:
+//   * `kept_per_disjunct[i]` selects the subgoals of disjunct i retained in
+//     the step's query (§3.4: one subquery per disjunct);
+//   * `use_steps` are earlier steps whose result relations are added as
+//     positive subgoals (placed first, so they restrict the join early);
+//   * `parameters` is the parameter list P of the defined relation.
+// Fails if the resulting query is unsafe or if P does not match the
+// parameters the step's query mentions.
+Result<FilterStep> MakeFilterStep(
+    const QueryFlock& flock, std::string result_name,
+    std::vector<std::string> parameters,
+    const std::vector<std::vector<std::size_t>>& kept_per_disjunct,
+    const std::vector<const FilterStep*>& use_steps = {});
+
+// Convenience for single-disjunct flocks.
+Result<FilterStep> MakeFilterStep(
+    const QueryFlock& flock, std::string result_name,
+    std::vector<std::string> parameters, const std::vector<std::size_t>& kept,
+    const std::vector<const FilterStep*>& use_steps = {});
+
+// The subgoal referencing a step's result: result_name($p1,...,$pk).
+Subgoal StepReferenceSubgoal(const FilterStep& step);
+
+// Builds the standard two-phase plan: the given pre-filter steps followed
+// by a final step that keeps every original subgoal and references all
+// pre-filter steps. This realizes heuristic 1 of §4.3 (and Fig. 5).
+Result<QueryPlan> PlanWithPrefilters(const QueryFlock& flock,
+                                     std::vector<FilterStep> prefilters);
+
+}  // namespace qf
+
+#endif  // QF_PLAN_PLAN_H_

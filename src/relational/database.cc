@@ -1,0 +1,42 @@
+#include "relational/database.h"
+
+#include "common/check.h"
+
+namespace qf {
+
+Status Database::AddRelation(Relation rel) {
+  if (rel.name().empty()) {
+    return InvalidArgumentError("relation must be named to enter a database");
+  }
+  std::string name = rel.name();
+  auto [it, inserted] = relations_.emplace(name, std::move(rel));
+  if (!inserted) {
+    return AlreadyExistsError("relation already exists: " + name);
+  }
+  return Status::Ok();
+}
+
+void Database::PutRelation(Relation rel) {
+  QF_CHECK_MSG(!rel.name().empty(), "relation must be named");
+  std::string name = rel.name();
+  relations_.insert_or_assign(name, std::move(rel));
+}
+
+bool Database::Has(std::string_view name) const {
+  return relations_.find(name) != relations_.end();
+}
+
+const Relation& Database::Get(std::string_view name) const {
+  auto it = relations_.find(name);
+  QF_CHECK_MSG(it != relations_.end(), "relation not found in database");
+  return it->second;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+}  // namespace qf

@@ -1,0 +1,42 @@
+// Database: a catalog of named base relations — the "predicates that
+// represent data stored as relations" of a query flock (paper §2, item 1).
+#ifndef QF_RELATIONAL_DATABASE_H_
+#define QF_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace qf {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Registers `rel` under its name; the name must be non-empty and unused.
+  Status AddRelation(Relation rel);
+
+  // Replaces or inserts `rel` under its name.
+  void PutRelation(Relation rel);
+
+  bool Has(std::string_view name) const;
+
+  // Returns the relation; aborts if absent (use Has() to probe).
+  const Relation& Get(std::string_view name) const;
+
+  // Returns all relation names in sorted order.
+  std::vector<std::string> Names() const;
+
+  std::size_t size() const { return relations_.size(); }
+
+ private:
+  std::map<std::string, Relation, std::less<>> relations_;
+};
+
+}  // namespace qf
+
+#endif  // QF_RELATIONAL_DATABASE_H_

@@ -1,0 +1,362 @@
+#include "relational/ops.h"
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace qf {
+namespace {
+
+// Column indices in `a` and `b` of the columns they share (by name), plus
+// the indices of b's non-shared columns.
+struct JoinLayout {
+  std::vector<std::size_t> a_key;
+  std::vector<std::size_t> b_key;
+  std::vector<std::size_t> b_rest;
+};
+
+JoinLayout ComputeJoinLayout(const Relation& a, const Relation& b) {
+  JoinLayout layout;
+  for (std::size_t j = 0; j < b.arity(); ++j) {
+    std::optional<std::size_t> i = a.schema().IndexOf(b.schema().column(j));
+    if (i.has_value()) {
+      layout.a_key.push_back(*i);
+      layout.b_key.push_back(j);
+    } else {
+      layout.b_rest.push_back(j);
+    }
+  }
+  return layout;
+}
+
+// Hash index: key tuple -> indices of matching rows.
+using RowIndex =
+    std::unordered_map<Tuple, std::vector<std::size_t>, TupleHash>;
+
+RowIndex BuildIndex(const Relation& rel, const std::vector<std::size_t>& key) {
+  RowIndex index;
+  index.reserve(rel.size());
+  for (std::size_t r = 0; r < rel.size(); ++r) {
+    index[ProjectTuple(rel.rows()[r], key)].push_back(r);
+  }
+  return index;
+}
+
+Schema JoinedSchema(const Relation& a, const Relation& b,
+                    const JoinLayout& layout) {
+  std::vector<std::string> columns = a.schema().columns();
+  for (std::size_t j : layout.b_rest) columns.push_back(b.schema().column(j));
+  return Schema(std::move(columns));
+}
+
+}  // namespace
+
+Relation Project(const Relation& rel,
+                 const std::vector<std::string>& columns) {
+  std::vector<std::size_t> indices;
+  indices.reserve(columns.size());
+  for (const std::string& c : columns) {
+    indices.push_back(rel.schema().IndexOfOrDie(c));
+  }
+  Relation out{Schema(columns)};
+  std::unordered_set<Tuple, TupleHash> seen;
+  seen.reserve(rel.size());
+  for (const Tuple& t : rel.rows()) {
+    Tuple projected = ProjectTuple(t, indices);
+    if (seen.insert(projected).second) out.Add(std::move(projected));
+  }
+  return out;
+}
+
+Relation Select(const Relation& rel,
+                const std::function<bool(const Tuple&)>& pred) {
+  Relation out(rel.schema());
+  for (const Tuple& t : rel.rows()) {
+    if (pred(t)) out.Add(t);
+  }
+  return out;
+}
+
+Relation Rename(const Relation& rel, std::vector<std::string> new_names) {
+  QF_CHECK_MSG(new_names.size() == rel.arity(), "Rename arity mismatch");
+  Relation out(Schema(std::move(new_names)));
+  for (const Tuple& t : rel.rows()) out.Add(t);
+  return out;
+}
+
+Relation NaturalJoin(const Relation& a, const Relation& b) {
+  JoinLayout layout = ComputeJoinLayout(a, b);
+  // Build the hash index on the smaller input; probe with the other. The
+  // output layout is fixed (a's columns then b's extras) either way.
+  Relation out(JoinedSchema(a, b, layout));
+  if (a.empty() || b.empty()) return out;
+  RowIndex index = BuildIndex(b, layout.b_key);
+  for (const Tuple& ta : a.rows()) {
+    auto it = index.find(ProjectTuple(ta, layout.a_key));
+    if (it == index.end()) continue;
+    for (std::size_t rb : it->second) {
+      Tuple combined = ta;
+      const Tuple& tb = b.rows()[rb];
+      for (std::size_t j : layout.b_rest) combined.push_back(tb[j]);
+      out.Add(std::move(combined));
+    }
+  }
+  return out;
+}
+
+Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
+                             unsigned threads) {
+  JoinLayout layout = ComputeJoinLayout(a, b);
+  constexpr std::size_t kMinRowsPerThread = 4096;
+  if (threads <= 1 || layout.a_key.empty() ||
+      a.size() < threads * kMinRowsPerThread || b.empty()) {
+    return NaturalJoin(a, b);
+  }
+
+  // Shared read-only build index over b; probe ranges of a in parallel.
+  RowIndex index = BuildIndex(b, layout.b_key);
+  std::vector<std::vector<Tuple>> outputs(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  std::size_t chunk = (a.size() + threads - 1) / threads;
+  for (unsigned w = 0; w < threads; ++w) {
+    std::size_t begin = w * chunk;
+    std::size_t end = std::min(a.size(), begin + chunk);
+    workers.emplace_back([&, begin, end, w] {
+      std::vector<Tuple>& out = outputs[w];
+      for (std::size_t r = begin; r < end; ++r) {
+        const Tuple& ta = a.rows()[r];
+        auto it = index.find(ProjectTuple(ta, layout.a_key));
+        if (it == index.end()) continue;
+        for (std::size_t rb : it->second) {
+          Tuple combined = ta;
+          const Tuple& tb = b.rows()[rb];
+          for (std::size_t j : layout.b_rest) combined.push_back(tb[j]);
+          out.push_back(std::move(combined));
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  Relation out(JoinedSchema(a, b, layout));
+  std::size_t total = 0;
+  for (const auto& part : outputs) total += part.size();
+  out.mutable_rows().reserve(total);
+  for (auto& part : outputs) {
+    for (Tuple& t : part) out.mutable_rows().push_back(std::move(t));
+  }
+  return out;
+}
+
+Relation SortMergeJoin(const Relation& a, const Relation& b) {
+  JoinLayout layout = ComputeJoinLayout(a, b);
+  Relation out(JoinedSchema(a, b, layout));
+  if (a.empty() || b.empty()) return out;
+  if (layout.a_key.empty()) return NaturalJoin(a, b);  // cross product
+
+  // Sort row indices of both sides by their key projections.
+  auto make_order = [](const Relation& rel,
+                       const std::vector<std::size_t>& key) {
+    std::vector<std::size_t> order(rel.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&rel, &key](std::size_t x, std::size_t y) {
+                for (std::size_t k : key) {
+                  const Value& vx = rel.rows()[x][k];
+                  const Value& vy = rel.rows()[y][k];
+                  if (vx < vy) return true;
+                  if (vy < vx) return false;
+                }
+                return false;
+              });
+    return order;
+  };
+  std::vector<std::size_t> oa = make_order(a, layout.a_key);
+  std::vector<std::size_t> ob = make_order(b, layout.b_key);
+
+  auto compare_keys = [&](std::size_t ia, std::size_t ib) {
+    for (std::size_t k = 0; k < layout.a_key.size(); ++k) {
+      const Value& va = a.rows()[ia][layout.a_key[k]];
+      const Value& vb = b.rows()[ib][layout.b_key[k]];
+      if (va < vb) return -1;
+      if (vb < va) return 1;
+    }
+    return 0;
+  };
+
+  std::size_t i = 0, j = 0;
+  while (i < oa.size() && j < ob.size()) {
+    int cmp = compare_keys(oa[i], ob[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      // Emit the run x run block of equal keys.
+      std::size_t i_end = i;
+      while (i_end + 1 < oa.size() &&
+             compare_keys(oa[i_end + 1], ob[j]) == 0) {
+        ++i_end;
+      }
+      std::size_t j_end = j;
+      while (j_end + 1 < ob.size() &&
+             compare_keys(oa[i], ob[j_end + 1]) == 0) {
+        ++j_end;
+      }
+      for (std::size_t x = i; x <= i_end; ++x) {
+        for (std::size_t y = j; y <= j_end; ++y) {
+          Tuple combined = a.rows()[oa[x]];
+          const Tuple& tb = b.rows()[ob[y]];
+          for (std::size_t r : layout.b_rest) combined.push_back(tb[r]);
+          out.Add(std::move(combined));
+        }
+      }
+      i = i_end + 1;
+      j = j_end + 1;
+    }
+  }
+  return out;
+}
+
+Relation SemiJoin(const Relation& a, const Relation& b) {
+  JoinLayout layout = ComputeJoinLayout(a, b);
+  Relation out(a.schema());
+  out.set_name(a.name());
+  if (layout.a_key.empty()) {
+    // No shared columns: b acts as a boolean guard.
+    return b.empty() ? out : a;
+  }
+  std::unordered_set<Tuple, TupleHash> keys;
+  keys.reserve(b.size());
+  for (const Tuple& tb : b.rows()) {
+    keys.insert(ProjectTuple(tb, layout.b_key));
+  }
+  for (const Tuple& ta : a.rows()) {
+    if (keys.contains(ProjectTuple(ta, layout.a_key))) out.Add(ta);
+  }
+  return out;
+}
+
+Relation AntiJoin(const Relation& a, const Relation& b) {
+  JoinLayout layout = ComputeJoinLayout(a, b);
+  Relation out(a.schema());
+  out.set_name(a.name());
+  if (layout.a_key.empty()) {
+    return b.empty() ? a : out;
+  }
+  std::unordered_set<Tuple, TupleHash> keys;
+  keys.reserve(b.size());
+  for (const Tuple& tb : b.rows()) {
+    keys.insert(ProjectTuple(tb, layout.b_key));
+  }
+  for (const Tuple& ta : a.rows()) {
+    if (!keys.contains(ProjectTuple(ta, layout.a_key))) out.Add(ta);
+  }
+  return out;
+}
+
+Relation Union(const Relation& a, const Relation& b) {
+  QF_CHECK_MSG(a.arity() == b.arity(), "Union arity mismatch");
+  Relation out(a.schema());
+  std::unordered_set<Tuple, TupleHash> seen;
+  seen.reserve(a.size() + b.size());
+  for (const Tuple& t : a.rows()) {
+    if (seen.insert(t).second) out.Add(t);
+  }
+  for (const Tuple& t : b.rows()) {
+    if (seen.insert(t).second) out.Add(t);
+  }
+  return out;
+}
+
+Relation Difference(const Relation& a, const Relation& b) {
+  QF_CHECK_MSG(a.arity() == b.arity(), "Difference arity mismatch");
+  std::unordered_set<Tuple, TupleHash> exclude(b.rows().begin(),
+                                               b.rows().end());
+  Relation out(a.schema());
+  for (const Tuple& t : a.rows()) {
+    if (!exclude.contains(t)) out.Add(t);
+  }
+  return out;
+}
+
+Relation Distinct(const Relation& rel) {
+  Relation out = rel;
+  out.Dedup();
+  return out;
+}
+
+Relation GroupAggregate(const Relation& rel,
+                        const std::vector<std::string>& group_columns,
+                        AggKind kind, const std::string& agg_column,
+                        const std::string& output_column) {
+  std::vector<std::size_t> group_idx;
+  group_idx.reserve(group_columns.size());
+  for (const std::string& c : group_columns) {
+    group_idx.push_back(rel.schema().IndexOfOrDie(c));
+  }
+  std::size_t agg_idx = 0;
+  if (kind != AggKind::kCount) {
+    agg_idx = rel.schema().IndexOfOrDie(agg_column);
+  }
+
+  struct Accumulator {
+    std::int64_t count = 0;
+    double sum = 0;
+    bool has_extreme = false;
+    Value extreme;
+  };
+  std::unordered_map<Tuple, Accumulator, TupleHash> groups;
+  groups.reserve(rel.size());
+  for (const Tuple& t : rel.rows()) {
+    Accumulator& acc = groups[ProjectTuple(t, group_idx)];
+    switch (kind) {
+      case AggKind::kCount:
+        acc.count += 1;
+        break;
+      case AggKind::kSum:
+        QF_CHECK_MSG(t[agg_idx].IsNumeric(), "SUM over non-numeric value");
+        acc.sum += t[agg_idx].AsNumber();
+        break;
+      case AggKind::kMin:
+        if (!acc.has_extreme || t[agg_idx] < acc.extreme) {
+          acc.extreme = t[agg_idx];
+          acc.has_extreme = true;
+        }
+        break;
+      case AggKind::kMax:
+        if (!acc.has_extreme || acc.extreme < t[agg_idx]) {
+          acc.extreme = t[agg_idx];
+          acc.has_extreme = true;
+        }
+        break;
+    }
+  }
+
+  std::vector<std::string> out_columns = group_columns;
+  out_columns.push_back(output_column);
+  Relation out(Schema(std::move(out_columns)));
+  for (auto& [key, acc] : groups) {
+    Tuple row = key;
+    switch (kind) {
+      case AggKind::kCount:
+        row.push_back(Value(acc.count));
+        break;
+      case AggKind::kSum:
+        row.push_back(Value(acc.sum));
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax:
+        row.push_back(acc.extreme);
+        break;
+    }
+    out.Add(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace qf

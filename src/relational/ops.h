@@ -1,0 +1,84 @@
+// Relational operators over set-semantics relations.
+//
+// Joins are *natural*: they match on equally named columns, which is exactly
+// the shape conjunctive-query evaluation needs when each subgoal's binding
+// relation names its columns after the query's variables and parameters.
+#ifndef QF_RELATIONAL_OPS_H_
+#define QF_RELATIONAL_OPS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace qf {
+
+// Projects onto `columns` (each must exist), removing duplicates.
+Relation Project(const Relation& rel, const std::vector<std::string>& columns);
+
+// Keeps rows satisfying `pred`. Preserves set-ness.
+Relation Select(const Relation& rel,
+                const std::function<bool(const Tuple&)>& pred);
+
+// Renames columns: new_names.size() must equal arity.
+Relation Rename(const Relation& rel, std::vector<std::string> new_names);
+
+// Natural join: matches rows agreeing on all shared column names. Output
+// schema is a's columns followed by b's non-shared columns. If the inputs
+// share no columns this is a cross product. Inputs must be duplicate-free
+// for the output to be duplicate-free.
+Relation NaturalJoin(const Relation& a, const Relation& b);
+
+// Natural join computed by sort-merge instead of hashing: identical
+// result set (row order differs). Wins over the hash join when inputs are
+// large relative to cache, or as a cross-check in tests; the evaluators
+// use the hash join by default.
+Relation SortMergeJoin(const Relation& a, const Relation& b);
+
+// Natural join with the probe side partitioned across `threads` worker
+// threads (hash-partitioned build side, one output buffer per worker,
+// concatenated at the end). Identical result set to NaturalJoin; row
+// order differs. `threads` <= 1, small inputs, and cross products fall
+// back to the serial join. Opt-in: the evaluators use the serial join so
+// their behaviour stays deterministic.
+Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
+                             unsigned threads);
+
+// Rows of `a` with at least one match in `b` on the shared columns.
+// If no columns are shared: returns `a` when `b` is non-empty, else empty.
+Relation SemiJoin(const Relation& a, const Relation& b);
+
+// Rows of `a` with *no* match in `b` on the shared columns — evaluates
+// NOT-subgoals. If no columns are shared: returns `a` when `b` is empty,
+// else empty.
+Relation AntiJoin(const Relation& a, const Relation& b);
+
+// Set union; schemas must have equal arity (column names taken from `a`).
+Relation Union(const Relation& a, const Relation& b);
+
+// Set difference a - b; arities must match (names from `a`).
+Relation Difference(const Relation& a, const Relation& b);
+
+// Removes duplicates (copy of Relation::Dedup that leaves input intact).
+Relation Distinct(const Relation& rel);
+
+// Aggregation kinds for GroupAggregate. All but kCount read `agg_column`.
+enum class AggKind { kCount, kSum, kMin, kMax };
+
+// Groups `rel` by `group_columns` and computes one aggregate per group over
+// the remaining data:
+//   kCount — number of (distinct) rows in the group;
+//   kSum / kMin / kMax — over the numeric column `agg_column`.
+// Output schema: group_columns + {output_column}. Input must be
+// duplicate-free: under set semantics COUNT of a flock's answers is exactly
+// the number of distinct rows per group.
+Relation GroupAggregate(const Relation& rel,
+                        const std::vector<std::string>& group_columns,
+                        AggKind kind, const std::string& agg_column,
+                        const std::string& output_column);
+
+}  // namespace qf
+
+#endif  // QF_RELATIONAL_OPS_H_

@@ -1,0 +1,49 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace qf {
+
+void Relation::Add(Tuple t) {
+  QF_CHECK_MSG(t.size() == schema_.arity(), "tuple arity mismatch");
+  rows_.push_back(std::move(t));
+}
+
+void Relation::AddRow(std::initializer_list<Value> values) {
+  Add(Tuple(values));
+}
+
+void Relation::Dedup() {
+  std::unordered_set<Tuple, TupleHash> seen;
+  seen.reserve(rows_.size());
+  std::vector<Tuple> unique;
+  unique.reserve(rows_.size());
+  for (Tuple& t : rows_) {
+    if (seen.insert(t).second) unique.push_back(std::move(t));
+  }
+  rows_ = std::move(unique);
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::find(rows_.begin(), rows_.end(), t) != rows_.end();
+}
+
+void Relation::SortRows() { std::sort(rows_.begin(), rows_.end()); }
+
+std::string Relation::ToString(std::size_t max_rows) const {
+  std::string out = name_.empty() ? "<anonymous>" : name_;
+  out += schema_.ToString();
+  out += " [" + std::to_string(rows_.size()) + " rows]\n";
+  for (std::size_t i = 0; i < rows_.size() && i < max_rows; ++i) {
+    out += "  " + TupleToString(rows_[i]) + "\n";
+  }
+  if (rows_.size() > max_rows) {
+    out += "  ... (" + std::to_string(rows_.size() - max_rows) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace qf

@@ -1,0 +1,65 @@
+// Relation: a named, schema-ed collection of tuples with set semantics.
+//
+// Section 2.3 of the paper fixes set semantics for the query language
+// ("some of our claims would not hold for bag semantics"), so every operator
+// in relational/ops.h produces duplicate-free output. Builders may append
+// duplicates and call Dedup() once at the end, which the workload generators
+// rely on.
+#ifndef QF_RELATIONAL_RELATION_H_
+#define QF_RELATIONAL_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace qf {
+
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  const Schema& schema() const { return schema_; }
+  std::size_t arity() const { return schema_.arity(); }
+  std::size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::vector<Tuple>& mutable_rows() { return rows_; }
+
+  // Appends a tuple; aborts on arity mismatch. May introduce duplicates —
+  // call Dedup() before handing the relation to set-semantics consumers.
+  void Add(Tuple t);
+
+  // Convenience for literals in tests: r.AddRow({Value(1), Value("a")}).
+  void AddRow(std::initializer_list<Value> values);
+
+  // Removes duplicate tuples in place (order not preserved).
+  void Dedup();
+
+  // True if `t` occurs in the relation (linear scan; intended for tests).
+  bool Contains(const Tuple& t) const;
+
+  // Sorts rows lexicographically; gives deterministic output for printing
+  // and golden tests.
+  void SortRows();
+
+  // Renders up to `max_rows` rows, e.g. for example programs.
+  std::string ToString(std::size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace qf
+
+#endif  // QF_RELATIONAL_RELATION_H_

@@ -1,0 +1,40 @@
+#include "relational/schema.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace qf {
+
+Schema::Schema(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& c : columns_) {
+    QF_CHECK_MSG(seen.insert(c).second, "duplicate column name in schema");
+  }
+}
+
+std::optional<std::size_t> Schema::IndexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t Schema::IndexOfOrDie(std::string_view name) const {
+  std::optional<std::size_t> i = IndexOf(name);
+  QF_CHECK_MSG(i.has_value(), "column not found in schema");
+  return *i;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i];
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace qf

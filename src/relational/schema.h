@@ -1,0 +1,50 @@
+// Schema: ordered, named columns of a relation. The data model is untyped
+// (Datalog-style), so a schema is a list of distinct column names.
+#ifndef QF_RELATIONAL_SCHEMA_H_
+#define QF_RELATIONAL_SCHEMA_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qf {
+
+class Schema {
+ public:
+  Schema() = default;
+  // Column names must be pairwise distinct; duplicates abort.
+  explicit Schema(std::vector<std::string> columns);
+  Schema(std::initializer_list<std::string> columns)
+      : Schema(std::vector<std::string>(columns)) {}
+
+  std::size_t arity() const { return columns_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::string& column(std::size_t i) const { return columns_[i]; }
+
+  // Returns the index of `name`, or nullopt if absent.
+  std::optional<std::size_t> IndexOf(std::string_view name) const;
+
+  // Returns the index of `name`; aborts if absent.
+  std::size_t IndexOfOrDie(std::string_view name) const;
+
+  bool Contains(std::string_view name) const {
+    return IndexOf(name).has_value();
+  }
+
+  // Renders "(c1, c2, ...)".
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.columns_ == b.columns_;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+}  // namespace qf
+
+#endif  // QF_RELATIONAL_SCHEMA_H_

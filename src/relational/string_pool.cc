@@ -1,0 +1,26 @@
+#include "relational/string_pool.h"
+
+namespace qf {
+
+StringPool& StringPool::Instance() {
+  static StringPool* pool = new StringPool;  // leaked by design
+  return *pool;
+}
+
+const std::string* StringPool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  strings_.emplace_back(s);
+  const std::string* canonical = &strings_.back();
+  // The key view points at the deque-owned string, which never moves.
+  ids_.emplace(std::string_view(*canonical), canonical);
+  return canonical;
+}
+
+std::size_t StringPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return strings_.size();
+}
+
+}  // namespace qf

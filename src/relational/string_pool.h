@@ -1,0 +1,43 @@
+// Global string interning for Value. Every distinct string stored in a
+// relation is kept once in a process-wide pool; Values carry a pointer to
+// the pooled string. This makes Value trivially copyable (tuple copies are
+// flat loops), equality a pointer compare, and hashing a pointer mix — the
+// operations hash joins and set-semantics deduplication live on. Ordering
+// dereferences the pooled bytes, preserving lexicographic semantics for
+// the paper's "$1 < $2" subgoals.
+#ifndef QF_RELATIONAL_STRING_POOL_H_
+#define QF_RELATIONAL_STRING_POOL_H_
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace qf {
+
+class StringPool {
+ public:
+  // The process-wide pool. Never destroyed (intentionally leaked, so
+  // interned pointers stay valid through static destruction).
+  static StringPool& Instance();
+
+  // Returns the canonical pooled instance of `s`, interning it on first
+  // sight. The returned pointer is stable for the process lifetime; two
+  // equal strings always intern to the same pointer. Thread-safe.
+  const std::string* Intern(std::string_view s);
+
+  std::size_t size() const;
+
+ private:
+  StringPool() = default;
+
+  mutable std::mutex mutex_;
+  // deque: stable addresses under growth.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, const std::string*> ids_;
+};
+
+}  // namespace qf
+
+#endif  // QF_RELATIONAL_STRING_POOL_H_

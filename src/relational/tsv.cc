@@ -1,0 +1,110 @@
+#include "relational/tsv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace qf {
+
+Result<Relation> LoadTsv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return InvalidArgumentError("empty TSV file: " + path);
+  }
+  std::vector<std::string> columns;
+  for (std::string_view field : Split(line, '\t')) {
+    columns.emplace_back(StripWhitespace(field));
+  }
+  Relation rel(name, Schema(std::move(columns)));
+
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string_view> fields = Split(line, '\t');
+    if (fields.size() != rel.arity()) {
+      return InvalidArgumentError(path + ":" + std::to_string(line_no) +
+                                  ": expected " + std::to_string(rel.arity()) +
+                                  " fields, got " +
+                                  std::to_string(fields.size()));
+    }
+    Tuple t;
+    t.reserve(fields.size());
+    for (std::string_view raw : fields) {
+      std::string_view field = StripWhitespace(raw);
+      if (Result<std::int64_t> i = ParseInt64(field); i.ok()) {
+        t.push_back(Value(*i));
+      } else if (Result<double> d = ParseDouble(field); d.ok()) {
+        t.push_back(Value(*d));
+      } else {
+        t.push_back(Value(field));
+      }
+    }
+    rel.Add(std::move(t));
+  }
+  rel.Dedup();
+  return rel;
+}
+
+Status StoreDatabase(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return InvalidArgumentError("cannot create directory " + dir + ": " +
+                                ec.message());
+  }
+  std::ofstream manifest(dir + "/MANIFEST");
+  if (!manifest) {
+    return InvalidArgumentError("cannot write manifest in " + dir);
+  }
+  for (const std::string& name : db.Names()) {
+    if (Status s = StoreTsv(db.Get(name), dir + "/" + name + ".tsv");
+        !s.ok()) {
+      return s;
+    }
+    manifest << name << '\n';
+  }
+  if (!manifest) return InternalError("manifest write failed in " + dir);
+  return Status::Ok();
+}
+
+Result<Database> LoadDatabase(const std::string& dir) {
+  std::ifstream manifest(dir + "/MANIFEST");
+  if (!manifest) return NotFoundError("no MANIFEST in " + dir);
+  Database db;
+  std::string name;
+  while (std::getline(manifest, name)) {
+    if (StripWhitespace(name).empty()) continue;
+    Result<Relation> rel = LoadTsv(dir + "/" + name + ".tsv", name);
+    if (!rel.ok()) return rel.status();
+    db.PutRelation(std::move(*rel));
+  }
+  return db;
+}
+
+Status StoreTsv(const Relation& rel, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InvalidArgumentError("cannot open for writing: " + path);
+  const Schema& schema = rel.schema();
+  for (std::size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) out << '\t';
+    out << schema.column(i);
+  }
+  out << '\n';
+  for (const Tuple& t : rel.rows()) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << '\t';
+      out << t[i].ToString();
+    }
+    out << '\n';
+  }
+  if (!out) return InternalError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace qf

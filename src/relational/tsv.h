@@ -1,0 +1,31 @@
+// Tab-separated load/store so example programs can persist generated data
+// and users can bring their own. The first line is the header (column
+// names); every field is parsed as int64, then double, then symbol.
+#ifndef QF_RELATIONAL_TSV_H_
+#define QF_RELATIONAL_TSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace qf {
+
+// Reads a relation from `path`. The relation is named `name` and
+// deduplicated on load (set semantics).
+Result<Relation> LoadTsv(const std::string& path, const std::string& name);
+
+// Writes `rel` to `path`, header first.
+Status StoreTsv(const Relation& rel, const std::string& path);
+
+// Persists every relation of `db` as <dir>/<name>.tsv (creating the
+// directory), plus a MANIFEST listing the relation names.
+Status StoreDatabase(const Database& db, const std::string& dir);
+
+// Loads a database persisted by StoreDatabase.
+Result<Database> LoadDatabase(const std::string& dir);
+
+}  // namespace qf
+
+#endif  // QF_RELATIONAL_TSV_H_

@@ -1,0 +1,28 @@
+#include "relational/tuple.h"
+
+#include "common/hash.h"
+
+namespace qf {
+
+std::size_t TupleHash::HashCombineValue(std::size_t seed, const Value& v) {
+  return HashCombine(seed, v.Hash());
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Tuple ProjectTuple(const Tuple& t, const std::vector<std::size_t>& indices) {
+  Tuple out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(t[i]);
+  return out;
+}
+
+}  // namespace qf

@@ -1,0 +1,34 @@
+// Tuple: an ordered list of Values, plus the hashing/equality functors the
+// relational operators use for hash joins and deduplication.
+#ifndef QF_RELATIONAL_TUPLE_H_
+#define QF_RELATIONAL_TUPLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace qf {
+
+using Tuple = std::vector<Value>;
+
+// Hashes a whole tuple (order-sensitive).
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const {
+    std::size_t seed = t.size();
+    for (const Value& v : t) seed = HashCombineValue(seed, v);
+    return seed;
+  }
+  static std::size_t HashCombineValue(std::size_t seed, const Value& v);
+};
+
+// Renders "(v1, v2, ...)" for diagnostics and example output.
+std::string TupleToString(const Tuple& t);
+
+// Returns the projection of `t` onto `indices` (in that order).
+Tuple ProjectTuple(const Tuple& t, const std::vector<std::size_t>& indices);
+
+}  // namespace qf
+
+#endif  // QF_RELATIONAL_TUPLE_H_

@@ -1,0 +1,665 @@
+#include "shell/shell.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datalog/parser.h"
+#include "flocks/eval.h"
+#include "flocks/program_eval.h"
+#include "flocks/sql_emit.h"
+#include "mining/maximal.h"
+#include "optimizer/dynamic.h"
+#include "optimizer/executor_support.h"
+#include "optimizer/plan_search.h"
+#include "relational/tsv.h"
+#include "workload/basket_gen.h"
+#include "workload/graph_gen.h"
+#include "workload/medical_gen.h"
+#include "workload/web_gen.h"
+
+namespace qf {
+namespace {
+
+// First whitespace-delimited word of `text`, uppercased, plus the rest.
+std::pair<std::string, std::string_view> SplitCommand(std::string_view text) {
+  text = StripWhitespace(text);
+  std::size_t end = 0;
+  while (end < text.size() && !std::isspace(static_cast<unsigned char>(
+                                  text[end]))) {
+    ++end;
+  }
+  std::string word(text.substr(0, end));
+  for (char& c : word) c = static_cast<char>(std::toupper(
+                               static_cast<unsigned char>(c)));
+  return {std::move(word), StripWhitespace(text.substr(end))};
+}
+
+// Case-sensitive search for the keyword as a standalone word.
+std::size_t FindKeyword(std::string_view text, std::string_view keyword) {
+  std::size_t pos = 0;
+  while ((pos = text.find(keyword, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || std::isspace(static_cast<unsigned char>(
+                                   text[pos - 1]));
+    std::size_t after = pos + keyword.size();
+    bool right_ok = after >= text.size() ||
+                    std::isspace(static_cast<unsigned char>(text[after]));
+    if (left_ok && right_ok) return pos;
+    pos += keyword.size();
+  }
+  return std::string_view::npos;
+}
+
+Result<FilterCondition> ParseFilterSpec(std::string_view text,
+                                        const UnionQuery& query) {
+  text = StripWhitespace(text);
+  FilterCondition filter;
+  std::string agg_name;
+  std::size_t i = 0;
+  while (i < text.size() &&
+         std::isalpha(static_cast<unsigned char>(text[i]))) {
+    agg_name += static_cast<char>(
+        std::toupper(static_cast<unsigned char>(text[i])));
+    ++i;
+  }
+  if (agg_name == "COUNT") {
+    filter.agg = FilterAgg::kCount;
+  } else if (agg_name == "SUM") {
+    filter.agg = FilterAgg::kSum;
+  } else if (agg_name == "MIN") {
+    filter.agg = FilterAgg::kMin;
+  } else if (agg_name == "MAX") {
+    filter.agg = FilterAgg::kMax;
+  } else {
+    return InvalidArgumentError("unknown filter aggregate: " + agg_name);
+  }
+
+  std::string_view rest = StripWhitespace(text.substr(i));
+  if (!rest.empty() && rest.front() == '(') {
+    std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      return InvalidArgumentError("unterminated '(' in filter");
+    }
+    std::string_view column = StripWhitespace(rest.substr(1, close - 1));
+    const std::vector<std::string>& head_vars =
+        query.disjuncts.front().head_vars;
+    auto it = std::find(head_vars.begin(), head_vars.end(), column);
+    if (column != "*" && it == head_vars.end()) {
+      return InvalidArgumentError("filter column " + std::string(column) +
+                                  " is not a head variable");
+    }
+    if (it != head_vars.end()) {
+      filter.agg_head_index =
+          static_cast<std::size_t>(it - head_vars.begin());
+    }
+    rest = StripWhitespace(rest.substr(close + 1));
+  } else if (filter.agg != FilterAgg::kCount) {
+    return InvalidArgumentError(
+        "SUM/MIN/MAX filters need a head column, e.g. SUM(W) >= 10");
+  }
+
+  // Operator.
+  static constexpr std::pair<std::string_view, CompareOp> kOps[] = {
+      {">=", CompareOp::kGe}, {"<=", CompareOp::kLe}, {"!=", CompareOp::kNe},
+      {">", CompareOp::kGt},  {"<", CompareOp::kLt},  {"=", CompareOp::kEq},
+  };
+  bool found = false;
+  for (const auto& [spelling, op] : kOps) {
+    if (StartsWith(rest, spelling)) {
+      filter.cmp = op;
+      rest = StripWhitespace(rest.substr(spelling.size()));
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    return InvalidArgumentError("expected a comparison operator in filter");
+  }
+  Result<double> threshold = ParseDouble(rest);
+  if (!threshold.ok()) {
+    return InvalidArgumentError("bad filter threshold: " + std::string(rest));
+  }
+  filter.threshold = *threshold;
+  return filter;
+}
+
+std::string PreviewRelation(Relation rel, std::size_t limit) {
+  rel.SortRows();
+  return rel.ToString(limit);
+}
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+constexpr std::string_view kHelp =
+    "statements:\n"
+    "  LOAD <rel> FROM <path.tsv>;   SAVE <rel> TO <path.tsv>;\n"
+    "  LOADDB <dir>;                 SAVEDB <dir>;\n"
+    "  GEN BASKETS <rel> [n_baskets=N n_items=N avg_size=X theta=X\n"
+    "      locality=X topics=N seed=N];\n"
+    "  GEN MEDICAL|WEB|GRAPH <name> [key=value ...];\n"
+    "  DEFINE <head>(<vars>) :- <body>;       # intermediate predicate\n"
+    "  FLOCK <name> QUERY <rules> FILTER <AGG>[(<HeadVar>)] <op> <num>;\n"
+    "  EXPLAIN <name>;\n"
+    "  RUN <name> [DIRECT|PLAN|DYNAMIC|REDUCED] [LIMIT <n>];\n"
+    "  SQL <name>;\n"
+    "  MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];\n"
+    "  SHOW RELATIONS; | SHOW FLOCKS; | SHOW <rel>;\n"
+    "  HELP;\n";
+
+}  // namespace
+
+Result<std::string> Shell::Execute(std::string_view statement) {
+  auto [command, rest] = SplitCommand(statement);
+  if (command.empty()) return std::string();
+  if (command == "LOAD") return Load(rest);
+  if (command == "SAVE") return Save(rest);
+  if (command == "LOADDB") {
+    std::string dir(StripWhitespace(rest));
+    Result<Database> loaded = LoadDatabase(dir);
+    if (!loaded.ok()) return loaded.status();
+    std::string out;
+    for (const std::string& name : loaded->Names()) {
+      Relation rel = loaded->Get(name);
+      out += "loaded " + name + ": " + std::to_string(rel.size()) +
+             " rows\n";
+      db_.PutRelation(std::move(rel));
+    }
+    views_dirty_ = true;
+    return out;
+  }
+  if (command == "SAVEDB") {
+    std::string dir(StripWhitespace(rest));
+    if (Status s = StoreDatabase(db_, dir); !s.ok()) return s;
+    return "saved " + std::to_string(db_.size()) + " relations to " + dir +
+           "\n";
+  }
+  if (command == "GEN") return Gen(rest);
+  if (command == "DEFINE") return Define(rest);
+  if (command == "FLOCK") return DeclareFlock(rest);
+  if (command == "EXPLAIN") return Explain(rest);
+  if (command == "RUN") return Run(rest);
+  if (command == "SQL") return Sql(rest);
+  if (command == "SHOW") return Show(rest);
+  if (command == "MAXIMAL") return Maximal(rest);
+  if (command == "HELP") return std::string(kHelp);
+  return InvalidArgumentError("unknown command: " + command +
+                              " (try HELP)");
+}
+
+Result<std::string> Shell::ExecuteScript(std::string_view script) {
+  // Strip comments (quote-aware), then split on ';' outside quotes.
+  std::string cleaned;
+  cleaned.reserve(script.size());
+  {
+    bool in_quote = false;
+    char quote = '\0';
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      char c = script[i];
+      if (c == '\'' || c == '"') {
+        if (!in_quote) {
+          in_quote = true;
+          quote = c;
+        } else if (c == quote) {
+          in_quote = false;
+        }
+      }
+      if (c == '#' && !in_quote) {
+        while (i < script.size() && script[i] != '\n') ++i;
+        cleaned += '\n';
+        continue;
+      }
+      cleaned += c;
+    }
+  }
+
+  std::string output;
+  std::size_t start = 0;
+  bool in_quote = false;
+  char quote = '\0';
+  for (std::size_t i = 0; i <= cleaned.size(); ++i) {
+    bool at_end = i == cleaned.size();
+    char c = at_end ? ';' : cleaned[i];
+    if (!at_end && (c == '\'' || c == '"')) {
+      if (!in_quote) {
+        in_quote = true;
+        quote = c;
+      } else if (c == quote) {
+        in_quote = false;
+      }
+    }
+    if (c == ';' && !in_quote) {
+      std::string_view statement =
+          std::string_view(cleaned).substr(start, i - start);
+      start = i + 1;
+      if (StripWhitespace(statement).empty()) continue;
+      Result<std::string> result = Execute(statement);
+      if (!result.ok()) return result.status();
+      output += *result;
+    }
+  }
+  return output;
+}
+
+Result<std::string> Shell::Load(std::string_view args) {
+  auto [name, rest] = SplitCommand(args);
+  // SplitCommand uppercases; recover the original spelling.
+  std::string rel_name(StripWhitespace(args).substr(0, name.size()));
+  auto [kw, path] = SplitCommand(rest);
+  if (kw != "FROM" || path.empty()) {
+    return InvalidArgumentError("usage: LOAD <rel> FROM <path>");
+  }
+  Result<Relation> rel = LoadTsv(std::string(path), rel_name);
+  if (!rel.ok()) return rel.status();
+  std::size_t rows = rel->size();
+  db_.PutRelation(std::move(*rel));
+  views_dirty_ = true;
+  return "loaded " + rel_name + ": " + std::to_string(rows) + " rows\n";
+}
+
+Result<std::string> Shell::Save(std::string_view args) {
+  auto [name, rest] = SplitCommand(args);
+  std::string rel_name(StripWhitespace(args).substr(0, name.size()));
+  auto [kw, path] = SplitCommand(rest);
+  if (kw != "TO" || path.empty()) {
+    return InvalidArgumentError("usage: SAVE <rel> TO <path>");
+  }
+  if (!db_.Has(rel_name)) {
+    return NotFoundError("no relation named " + rel_name);
+  }
+  if (Status s = StoreTsv(db_.Get(rel_name), std::string(path)); !s.ok()) {
+    return s;
+  }
+  return "saved " + rel_name + " to " + std::string(path) + "\n";
+}
+
+namespace {
+
+// Parses "key=value key=value ..." into a map of doubles.
+Result<std::map<std::string, double>> ParseKeyValues(
+    std::string_view params) {
+  std::map<std::string, double> out;
+  std::string_view remaining = params;
+  while (!StripWhitespace(remaining).empty()) {
+    auto [pair_raw, next] = SplitCommand(remaining);
+    std::string_view pair =
+        StripWhitespace(remaining).substr(0, pair_raw.size());
+    remaining = next;
+    std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return InvalidArgumentError("expected key=value, got " +
+                                  std::string(pair));
+    }
+    Result<double> value = ParseDouble(pair.substr(eq + 1));
+    if (!value.ok()) return value.status();
+    out[std::string(pair.substr(0, eq))] = *value;
+  }
+  return out;
+}
+
+// Pops `key` from `kv` into `target` (cast as needed), if present.
+template <typename T>
+void TakeKey(std::map<std::string, double>& kv, const std::string& key,
+             T& target) {
+  auto it = kv.find(key);
+  if (it == kv.end()) return;
+  target = static_cast<T>(it->second);
+  kv.erase(it);
+}
+
+Status RejectLeftovers(const std::map<std::string, double>& kv) {
+  if (kv.empty()) return Status::Ok();
+  return InvalidArgumentError("unknown GEN key: " + kv.begin()->first);
+}
+
+}  // namespace
+
+Result<std::string> Shell::Gen(std::string_view args) {
+  auto [kind, rest] = SplitCommand(args);
+  auto [name_upper, params] = SplitCommand(rest);
+  std::string rel_name(StripWhitespace(rest).substr(0, name_upper.size()));
+  if (rel_name.empty()) {
+    return InvalidArgumentError(
+        "usage: GEN BASKETS|MEDICAL|WEB|GRAPH <name> [key=value ...]");
+  }
+  Result<std::map<std::string, double>> parsed = ParseKeyValues(params);
+  if (!parsed.ok()) return parsed.status();
+  std::map<std::string, double> kv = std::move(*parsed);
+
+  if (kind == "BASKETS") {
+    BasketConfig config;
+    TakeKey(kv, "n_baskets", config.n_baskets);
+    TakeKey(kv, "n_items", config.n_items);
+    TakeKey(kv, "avg_size", config.avg_basket_size);
+    TakeKey(kv, "theta", config.zipf_theta);
+    TakeKey(kv, "locality", config.topic_locality);
+    TakeKey(kv, "topics", config.n_topics);
+    TakeKey(kv, "seed", config.seed);
+    if (Status s = RejectLeftovers(kv); !s.ok()) return s;
+    Relation rel = GenerateBaskets(config);
+    rel.set_name(rel_name);
+    std::size_t rows = rel.size();
+    db_.PutRelation(std::move(rel));
+    views_dirty_ = true;
+    return "generated " + rel_name + ": " + std::to_string(rows) + " rows\n";
+  }
+
+  if (kind == "GRAPH") {
+    GraphConfig config;
+    TakeKey(kv, "n_nodes", config.n_nodes);
+    TakeKey(kv, "degree", config.avg_out_degree);
+    TakeKey(kv, "theta", config.target_theta);
+    TakeKey(kv, "seed", config.seed);
+    if (Status s = RejectLeftovers(kv); !s.ok()) return s;
+    Relation rel = GenerateGraph(config);
+    rel.set_name(rel_name);
+    std::size_t rows = rel.size();
+    db_.PutRelation(std::move(rel));
+    views_dirty_ = true;
+    return "generated " + rel_name + ": " + std::to_string(rows) + " rows\n";
+  }
+
+  // MEDICAL and WEB generate several relations; <name> is ignored beyond
+  // requiring a placeholder, and the canonical relation names are used.
+  if (kind == "MEDICAL") {
+    MedicalConfig config;
+    TakeKey(kv, "n_patients", config.n_patients);
+    TakeKey(kv, "n_diseases", config.n_diseases);
+    TakeKey(kv, "n_symptoms", config.n_symptoms);
+    TakeKey(kv, "n_medicines", config.n_medicines);
+    if (auto it = kv.find("theta"); it != kv.end()) {
+      config.symptom_theta = it->second;
+      config.medicine_theta = it->second;
+      kv.erase(it);
+    }
+    TakeKey(kv, "locality", config.disease_locality);
+    TakeKey(kv, "seed", config.seed);
+    if (Status s = RejectLeftovers(kv); !s.ok()) return s;
+    Database generated = GenerateMedical(config);
+    std::string out;
+    for (const std::string& name : generated.Names()) {
+      Relation rel = generated.Get(name);
+      out += "generated " + name + ": " + std::to_string(rel.size()) +
+             " rows\n";
+      db_.PutRelation(std::move(rel));
+    }
+    views_dirty_ = true;
+    return out;
+  }
+
+  if (kind == "WEB") {
+    WebConfig config;
+    TakeKey(kv, "n_docs", config.n_docs);
+    TakeKey(kv, "n_words", config.n_words);
+    TakeKey(kv, "n_anchors", config.n_anchors);
+    TakeKey(kv, "theta", config.word_theta);
+    TakeKey(kv, "locality", config.topic_locality);
+    TakeKey(kv, "topics", config.n_topics);
+    TakeKey(kv, "seed", config.seed);
+    if (Status s = RejectLeftovers(kv); !s.ok()) return s;
+    Database generated = GenerateWeb(config);
+    std::string out;
+    for (const std::string& name : generated.Names()) {
+      Relation rel = generated.Get(name);
+      out += "generated " + name + ": " + std::to_string(rel.size()) +
+             " rows\n";
+      db_.PutRelation(std::move(rel));
+    }
+    views_dirty_ = true;
+    return out;
+  }
+
+  return InvalidArgumentError(
+      "usage: GEN BASKETS|MEDICAL|WEB|GRAPH <name> [key=value ...]");
+}
+
+Result<std::string> Shell::Define(std::string_view args) {
+  Result<ConjunctiveQuery> rule = ParseRule(args);
+  if (!rule.ok()) return rule.status();
+  Program candidate = program_;
+  candidate.AddRule(*rule);
+  if (Status s = candidate.Validate(); !s.ok()) return s;
+  program_ = std::move(candidate);
+  views_dirty_ = true;
+  return "defined " + rule->head_name + "\n";
+}
+
+Result<std::string> Shell::DeclareFlock(std::string_view args) {
+  std::size_t query_pos = FindKeyword(args, "QUERY");
+  std::size_t filter_pos = FindKeyword(args, "FILTER");
+  if (query_pos == std::string_view::npos ||
+      filter_pos == std::string_view::npos || filter_pos < query_pos) {
+    return InvalidArgumentError(
+        "usage: FLOCK <name> QUERY <rules> FILTER <condition>");
+  }
+  std::string name(StripWhitespace(args.substr(0, query_pos)));
+  if (name.empty() || name.find(' ') != std::string::npos) {
+    return InvalidArgumentError("bad flock name: '" + name + "'");
+  }
+  std::string_view query_text =
+      args.substr(query_pos + 5, filter_pos - query_pos - 5);
+  std::string_view filter_text = args.substr(filter_pos + 6);
+
+  Result<UnionQuery> query = ParseQuery(query_text);
+  if (!query.ok()) return query.status();
+  Result<FilterCondition> filter = ParseFilterSpec(filter_text, *query);
+  if (!filter.ok()) return filter.status();
+  QueryFlock flock(std::move(*query), std::move(*filter));
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  flocks_[name] = std::move(flock);
+  return "flock " + name + " declared\n" + flocks_[name].ToString();
+}
+
+Result<const std::map<std::string, Relation>*> Shell::Views() {
+  if (views_dirty_) {
+    Result<std::map<std::string, Relation>> views =
+        MaterializeProgram(program_, db_);
+    if (!views.ok()) return views.status();
+    views_ = std::move(*views);
+    views_dirty_ = false;
+  }
+  return &views_;
+}
+
+Result<std::string> Shell::Explain(std::string_view args) {
+  std::string name(StripWhitespace(args));
+  auto it = flocks_.find(name);
+  if (it == flocks_.end()) return NotFoundError("no flock named " + name);
+  Result<const std::map<std::string, Relation>*> views = Views();
+  if (!views.ok()) return views.status();
+
+  DatabaseStats stats = DatabaseStats::Compute(db_);
+  for (const auto& [view_name, rel] : **views) {
+    stats.Put(view_name, ComputeStats(rel));
+  }
+  CostModel model(std::move(stats));
+  Result<QueryPlan> plan = SearchPlanParameterSets(it->second, model);
+  if (!plan.ok()) return plan.status();
+  double cost = EstimatePlanCost(*plan, it->second, model);
+  double trivial =
+      EstimatePlanCost(TrivialPlan(it->second), it->second, model);
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "estimated cost %.0f rows (trivial plan: %.0f)\n", cost,
+                trivial);
+  return "plan for " + name + ":\n" + plan->ToString(it->second.filter) +
+         buf;
+}
+
+Result<std::string> Shell::Run(std::string_view args) {
+  auto [name_upper, rest] = SplitCommand(args);
+  std::string name(StripWhitespace(args).substr(0, name_upper.size()));
+  auto it = flocks_.find(name);
+  if (it == flocks_.end()) return NotFoundError("no flock named " + name);
+  const QueryFlock& flock = it->second;
+
+  std::string mode = "PLAN";
+  std::size_t limit = 10;
+  while (!StripWhitespace(rest).empty()) {
+    auto [word, next] = SplitCommand(rest);
+    if (word == "DIRECT" || word == "PLAN" || word == "DYNAMIC" ||
+        word == "REDUCED") {
+      mode = word;
+      rest = next;
+    } else if (word == "LIMIT") {
+      auto [num, after] = SplitCommand(next);
+      Result<std::int64_t> n = ParseInt64(num);
+      if (!n.ok() || *n < 0) {
+        return InvalidArgumentError("bad LIMIT: " + num);
+      }
+      limit = static_cast<std::size_t>(*n);
+      rest = after;
+    } else {
+      return InvalidArgumentError("unknown RUN option: " + word);
+    }
+  }
+
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  Result<const std::map<std::string, Relation>*> views = Views();
+  if (!views.ok()) return views.status();
+  std::map<std::string, const Relation*> extra;
+  for (const auto& [view_name, rel] : **views) extra[view_name] = &rel;
+
+  auto start = std::chrono::steady_clock::now();
+  Result<Relation> result = NotFoundError("unreachable");
+  if (mode == "DIRECT") {
+    result = EvaluateFlock(flock, db_, {}, &extra);
+  } else if (mode == "REDUCED") {
+    // Yannakakis full-reducer evaluation (falls back on cyclic queries).
+    FlockEvalOptions options;
+    for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
+      CqEvalOptions cq_options;
+      cq_options.full_reducer = true;
+      options.per_disjunct.push_back(std::move(cq_options));
+    }
+    result = EvaluateFlock(flock, db_, options, &extra);
+  } else if (mode == "DYNAMIC") {
+    if (!extra.empty()) {
+      return UnimplementedError(
+          "RUN ... DYNAMIC does not support intermediate predicates yet; "
+          "use DIRECT or PLAN");
+    }
+    result = DynamicEvaluate(flock, db_);
+  } else {
+    DatabaseStats stats = DatabaseStats::Compute(db_);
+    for (const auto& [view_name, rel] : **views) {
+      stats.Put(view_name, ComputeStats(rel));
+    }
+    CostModel model(std::move(stats));
+    Result<QueryPlan> plan = SearchPlanParameterSets(flock, model);
+    if (!plan.ok()) return plan.status();
+    PlanExecOptions options;
+    options.order_chooser = CostBasedOrderChooser();
+    options.extra_predicates = &extra;
+    result = ExecutePlan(*plan, flock, db_, options);
+  }
+  double ms = MillisSince(start);
+  if (!result.ok()) return result.status();
+
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s: %zu assignments in %.1f ms (%s)\n",
+                name.c_str(), result->size(), ms, mode.c_str());
+  return buf + PreviewRelation(std::move(*result), limit);
+}
+
+Result<std::string> Shell::Sql(std::string_view args) {
+  std::string name(StripWhitespace(args));
+  auto it = flocks_.find(name);
+  if (it == flocks_.end()) return NotFoundError("no flock named " + name);
+  // Views appear as tables named by their head variables.
+  Database with_views = db_;
+  Result<const std::map<std::string, Relation>*> views = Views();
+  if (!views.ok()) return views.status();
+  for (const auto& [view_name, rel] : **views) {
+    Relation named = rel;
+    named.set_name(view_name);
+    with_views.PutRelation(std::move(named));
+  }
+  Result<std::string> sql = EmitSql(it->second, with_views);
+  if (!sql.ok()) return sql.status();
+  return *sql + "\n";
+}
+
+Result<std::string> Shell::Maximal(std::string_view args) {
+  auto [name_upper, rest] = SplitCommand(args);
+  std::string rel_name(StripWhitespace(args).substr(0, name_upper.size()));
+  MaximalItemsetsOptions options;
+  bool have_support = false;
+  while (!StripWhitespace(rest).empty()) {
+    auto [kw, next] = SplitCommand(rest);
+    auto [num, after] = SplitCommand(next);
+    Result<double> value = ParseDouble(num);
+    if (!value.ok()) return value.status();
+    if (kw == "SUPPORT") {
+      options.min_support = *value;
+      have_support = true;
+    } else if (kw == "MAXSIZE") {
+      options.max_size = static_cast<std::size_t>(*value);
+    } else {
+      return InvalidArgumentError("unknown MAXIMAL option: " + kw);
+    }
+    rest = after;
+  }
+  if (!have_support) {
+    return InvalidArgumentError(
+        "usage: MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>]");
+  }
+  Result<MaximalItemsetsResult> result =
+      MaximalFrequentItemsets(db_, rel_name, options);
+  if (!result.ok()) return result.status();
+  std::string out = "maximal frequent itemsets of " + rel_name +
+                    " (support >= " + Value(options.min_support).ToString() +
+                    "):\n";
+  for (const Tuple& t : result->maximal) {
+    out += "  " + TupleToString(t) + "\n";
+  }
+  out += "frequent per level:";
+  for (std::size_t n : result->frequent_per_level) {
+    out += " " + std::to_string(n);
+  }
+  out += "\n";
+  return out;
+}
+
+Result<std::string> Shell::Show(std::string_view args) {
+  auto [what, rest] = SplitCommand(args);
+  if (what == "RELATIONS") {
+    std::string out;
+    for (const std::string& name : db_.Names()) {
+      out += name + db_.Get(name).schema().ToString() + " [" +
+             std::to_string(db_.Get(name).size()) + " rows]\n";
+    }
+    Result<const std::map<std::string, Relation>*> views = Views();
+    if (views.ok()) {
+      for (const auto& [name, rel] : **views) {
+        out += name + rel.schema().ToString() + " [" +
+               std::to_string(rel.size()) + " rows, view]\n";
+      }
+    }
+    return out.empty() ? std::string("(no relations)\n") : out;
+  }
+  if (what == "FLOCKS") {
+    std::string out;
+    for (const auto& [name, flock] : flocks_) {
+      out += name + ":\n" + flock.ToString();
+    }
+    return out.empty() ? std::string("(no flocks)\n") : out;
+  }
+  std::string rel_name(StripWhitespace(args).substr(0, what.size()));
+  if (db_.Has(rel_name)) {
+    return PreviewRelation(db_.Get(rel_name), 10);
+  }
+  Result<const std::map<std::string, Relation>*> views = Views();
+  if (views.ok()) {
+    auto it = (*views)->find(rel_name);
+    if (it != (*views)->end()) return PreviewRelation(it->second, 10);
+  }
+  return NotFoundError("no relation named " + rel_name);
+}
+
+}  // namespace qf

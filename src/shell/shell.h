@@ -1,0 +1,81 @@
+// The query-flocks processor: a small command interpreter around the
+// library, in the spirit of §1's "general-purpose mining system" whose
+// mining queries "can be issued quickly to whatever data is appropriate".
+//
+// Statements (terminated by ';'; '#' comments):
+//
+//   LOAD <rel> FROM <path.tsv>;
+//   SAVE <rel> TO <path.tsv>;
+//   GEN BASKETS <rel> [key=value ...];      # synthetic data, keys below
+//   DEFINE <rule>;                          # intermediate predicate
+//   FLOCK <name> QUERY <rules> FILTER <AGG>[(<HeadVar>)] <op> <number>;
+//   EXPLAIN <name>;                         # chosen plan + estimates
+//   RUN <name> [DIRECT|PLAN|DYNAMIC] [LIMIT <n>];
+//   SQL <name>;
+//   MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];   # flock-sequence mining
+//   SHOW RELATIONS; | SHOW FLOCKS; | SHOW <rel>;
+//   HELP;
+//
+// GEN BASKETS keys: n_baskets n_items avg_size theta locality topics seed.
+//
+// The shell is an ordinary library class (tools/qfshell.cc wraps it in a
+// REPL); Execute returns the printable output, so tests drive it
+// directly.
+#ifndef QF_SHELL_SHELL_H_
+#define QF_SHELL_SHELL_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/program.h"
+#include "flocks/flock.h"
+#include "relational/database.h"
+
+namespace qf {
+
+class Shell {
+ public:
+  Shell() = default;
+
+  // Executes one statement (no trailing ';' required) and returns its
+  // output text. Errors come back as non-OK statuses; the shell object
+  // stays usable.
+  Result<std::string> Execute(std::string_view statement);
+
+  // Splits `script` into statements on ';' (quote-aware) and executes
+  // them in order, concatenating output. Stops at the first error.
+  Result<std::string> ExecuteScript(std::string_view script);
+
+  const Database& database() const { return db_; }
+  const Program& program() const { return program_; }
+  bool HasFlock(const std::string& name) const {
+    return flocks_.contains(name);
+  }
+
+ private:
+  Result<std::string> Load(std::string_view args);
+  Result<std::string> Save(std::string_view args);
+  Result<std::string> Gen(std::string_view args);
+  Result<std::string> Define(std::string_view args);
+  Result<std::string> DeclareFlock(std::string_view args);
+  Result<std::string> Explain(std::string_view args);
+  Result<std::string> Run(std::string_view args);
+  Result<std::string> Sql(std::string_view args);
+  Result<std::string> Show(std::string_view args);
+  Result<std::string> Maximal(std::string_view args);
+
+  // Materializes program views (cached until the program changes).
+  Result<const std::map<std::string, Relation>*> Views();
+
+  Database db_;
+  Program program_;
+  std::map<std::string, QueryFlock> flocks_;
+  std::map<std::string, Relation> views_;
+  bool views_dirty_ = false;
+};
+
+}  // namespace qf
+
+#endif  // QF_SHELL_SHELL_H_

@@ -1,0 +1,65 @@
+#include "workload/basket_gen.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace qf {
+namespace {
+
+std::string ItemName(std::uint32_t rank) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "item%05u", rank);
+  return buf;
+}
+
+}  // namespace
+
+Relation GenerateBaskets(const BasketConfig& config) {
+  Rng rng(config.seed);
+  ZipfSampler zipf(config.n_items, config.zipf_theta);
+  ZipfSampler topic_offset(24, 1.0);
+  std::vector<std::uint32_t> topic_anchor(std::max(1u, config.n_topics));
+  for (std::uint32_t t = 0; t < topic_anchor.size(); ++t) {
+    topic_anchor[t] = rng.NextBelow(config.n_items);
+  }
+  Relation rel("baskets", Schema({"BID", "Item"}));
+
+  for (std::uint32_t b = 0; b < config.n_baskets; ++b) {
+    std::uint32_t base = topic_anchor[rng.NextBelow(
+        static_cast<std::uint32_t>(topic_anchor.size()))];
+    // Basket size: average +- 50% jitter, at least 1.
+    double jitter = 0.5 + rng.NextDouble();
+    std::uint32_t size = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(config.avg_basket_size * jitter));
+    for (std::uint32_t i = 0; i < size; ++i) {
+      std::uint32_t item =
+          rng.NextBernoulli(config.topic_locality)
+              ? (base + topic_offset.Sample(rng)) % config.n_items
+              : zipf.Sample(rng);
+      rel.AddRow(
+          {Value(static_cast<std::int64_t>(b)), Value(ItemName(item))});
+    }
+  }
+  rel.Dedup();
+  return rel;
+}
+
+Relation GenerateImportance(const BasketConfig& config, double mean_weight) {
+  Rng rng(config.seed + 0x9e3779b9);
+  Relation rel("importance", Schema({"BID", "W"}));
+  for (std::uint32_t b = 0; b < config.n_baskets; ++b) {
+    // Pareto(alpha=2) scaled to the requested mean: heavy tail, finite
+    // mean, strictly positive.
+    double u = 1.0 - rng.NextDouble();
+    double pareto = 1.0 / std::sqrt(u);      // mean 2 for alpha=2, xm=1
+    double w = mean_weight * pareto / 2.0;
+    rel.AddRow({Value(static_cast<std::int64_t>(b)), Value(w)});
+  }
+  rel.Dedup();
+  return rel;
+}
+
+}  // namespace qf

@@ -1,0 +1,43 @@
+// Synthetic market-basket data, standing in for the paper's retail and
+// newspaper word-occurrence data sets (DESIGN.md, "Data substitutions").
+// Item popularity is Zipf-distributed: the a-priori payoff measured in
+// bench_fig1/bench_fig2 exists precisely because a few items are frequent
+// and the long tail is not.
+#ifndef QF_WORKLOAD_BASKET_GEN_H_
+#define QF_WORKLOAD_BASKET_GEN_H_
+
+#include <cstdint>
+
+#include "relational/relation.h"
+
+namespace qf {
+
+struct BasketConfig {
+  std::uint32_t n_baskets = 10000;
+  std::uint32_t n_items = 1000;
+  // Items are drawn per basket until this average size is reached
+  // (basket sizes are Poisson-like via per-basket jitter).
+  double avg_basket_size = 10;
+  // Zipf exponent of item popularity (0 = uniform).
+  double zipf_theta = 1.0;
+  // Probability an item is drawn from the basket's topic cluster rather
+  // than the global distribution, and the number of shared topics.
+  // Correlated purchases are what makes item *pairs* frequent (the
+  // hamburger-and-ketchup effect the paper's intro is about).
+  double topic_locality = 0.3;
+  std::uint32_t n_topics = 100;
+  std::uint64_t seed = 1;
+};
+
+// Generates baskets(BID, Item): BID an integer, Item a zero-padded symbol
+// ("item00042") so lexicographic comparisons behave like the paper's
+// word/item examples. Duplicate (basket, item) draws are collapsed.
+Relation GenerateBaskets(const BasketConfig& config);
+
+// Generates importance(BID, W) weights for the weighted-basket extension
+// (Fig. 10): non-negative, heavy-tailed (Pareto-like) weights.
+Relation GenerateImportance(const BasketConfig& config, double mean_weight);
+
+}  // namespace qf
+
+#endif  // QF_WORKLOAD_BASKET_GEN_H_

@@ -1,0 +1,30 @@
+#include "workload/graph_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace qf {
+
+Relation GenerateGraph(const GraphConfig& config) {
+  Rng rng(config.seed);
+  ZipfSampler target_zipf(config.n_nodes, config.target_theta);
+  Relation arc("arc", Schema({"From", "To"}));
+  for (std::uint32_t v = 0; v < config.n_nodes; ++v) {
+    if (rng.NextBernoulli(config.sink_fraction)) continue;  // sink node
+    double jitter = 0.5 + rng.NextDouble();
+    std::uint32_t degree = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(config.avg_out_degree * jitter));
+    for (std::uint32_t i = 0; i < degree; ++i) {
+      std::uint32_t to = target_zipf.Sample(rng);
+      if (to == v) continue;  // no self-loops
+      arc.AddRow({Value(static_cast<std::int64_t>(v)),
+                  Value(static_cast<std::int64_t>(to))});
+    }
+  }
+  arc.Dedup();
+  return arc;
+}
+
+}  // namespace qf

@@ -1,0 +1,32 @@
+// Random directed graphs for the "pathological" path-query flock of
+// Ex. 4.3 / Figs. 6-7: arc(From, To). In-degrees are Zipf-skewed so a few
+// hub nodes have many successors while the tail has few — the regime where
+// each cascade step of the (n+1)-step plan prunes more of the tail.
+#ifndef QF_WORKLOAD_GRAPH_GEN_H_
+#define QF_WORKLOAD_GRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "relational/relation.h"
+
+namespace qf {
+
+struct GraphConfig {
+  std::uint32_t n_nodes = 2000;
+  double avg_out_degree = 8;
+  // Zipf exponent for target popularity (0 = Erdos-Renyi-like).
+  double target_theta = 0.8;
+  // Fraction of nodes that are sinks (no outgoing arcs). Sinks make arcs
+  // *dangle* for path queries — the tuples a Yannakakis full reducer
+  // eliminates and a support cascade prunes.
+  double sink_fraction = 0;
+  std::uint64_t seed = 1;
+};
+
+// Generates arc(From, To) with integer node ids, no self-loops,
+// duplicates collapsed.
+Relation GenerateGraph(const GraphConfig& config);
+
+}  // namespace qf
+
+#endif  // QF_WORKLOAD_GRAPH_GEN_H_

@@ -1,0 +1,104 @@
+#include "workload/medical_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace qf {
+namespace {
+
+std::string Name(const char* prefix, std::uint32_t n) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%s%05u", prefix, n);
+  return buf;
+}
+
+}  // namespace
+
+Database GenerateMedical(const MedicalConfig& config) {
+  Rng rng(config.seed);
+  ZipfSampler symptom_zipf(config.n_symptoms, config.symptom_theta);
+  ZipfSampler medicine_zipf(config.n_medicines, config.medicine_theta);
+  // Within a disease's cluster, nearby ranks are likelier: diseases have a
+  // few hallmark symptoms and standard treatments.
+  ZipfSampler cluster_offset(32, 1.0);
+
+  // Each disease anchors a cluster of symptoms and medicines.
+  std::vector<std::uint32_t> symptom_base(config.n_diseases);
+  std::vector<std::uint32_t> medicine_base(config.n_diseases);
+  for (std::uint32_t d = 0; d < config.n_diseases; ++d) {
+    symptom_base[d] = rng.NextBelow(config.n_symptoms);
+    medicine_base[d] = rng.NextBelow(config.n_medicines);
+  }
+
+  Relation diagnoses("diagnoses", Schema({"Patient", "Disease"}));
+  Relation exhibits("exhibits", Schema({"Patient", "Symptom"}));
+  Relation treatments("treatments", Schema({"Patient", "Medicine"}));
+  Relation causes("causes", Schema({"Disease", "Symptom"}));
+
+  auto pick = [&](const ZipfSampler& global, std::uint32_t base,
+                  std::uint32_t n) {
+    if (rng.NextBernoulli(config.disease_locality)) {
+      return (base + cluster_offset.Sample(rng)) % n;
+    }
+    return global.Sample(rng);
+  };
+
+  for (std::uint32_t p = 0; p < config.n_patients; ++p) {
+    std::string patient = Name("pat", p);
+    std::uint32_t disease = rng.NextBelow(config.n_diseases);
+    diagnoses.AddRow({Value(patient), Value(Name("dis", disease))});
+
+    double jitter = 0.5 + rng.NextDouble();
+    auto count = [&jitter](double avg) {
+      return std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(avg * jitter));
+    };
+    std::uint32_t n_symptoms = count(config.symptoms_per_patient);
+    for (std::uint32_t i = 0; i < n_symptoms; ++i) {
+      std::uint32_t s =
+          pick(symptom_zipf, symptom_base[disease], config.n_symptoms);
+      exhibits.AddRow({Value(patient), Value(Name("sym", s))});
+    }
+    std::uint32_t n_meds = count(config.medicines_per_patient);
+    for (std::uint32_t i = 0; i < n_meds; ++i) {
+      std::uint32_t m =
+          pick(medicine_zipf, medicine_base[disease], config.n_medicines);
+      treatments.AddRow({Value(patient), Value(Name("med", m))});
+    }
+  }
+
+  // `causes` covers a fraction of each disease's cluster (the explained
+  // symptoms) — what remains unexplained is exactly what the side-effects
+  // flock hunts for.
+  for (std::uint32_t d = 0; d < config.n_diseases; ++d) {
+    for (std::uint32_t off = 0; off < 32; ++off) {
+      if (!rng.NextBernoulli(config.causes_coverage)) continue;
+      std::uint32_t s = (symptom_base[d] + off) % config.n_symptoms;
+      causes.AddRow({Value(Name("dis", d)), Value(Name("sym", s))});
+    }
+    // Plus a smattering of globally common symptoms every disease may
+    // plausibly explain.
+    for (int i = 0; i < 4; ++i) {
+      causes.AddRow({Value(Name("dis", d)),
+                     Value(Name("sym", symptom_zipf.Sample(rng)))});
+    }
+  }
+
+  diagnoses.Dedup();
+  exhibits.Dedup();
+  treatments.Dedup();
+  causes.Dedup();
+
+  Database db;
+  db.PutRelation(std::move(diagnoses));
+  db.PutRelation(std::move(exhibits));
+  db.PutRelation(std::move(treatments));
+  db.PutRelation(std::move(causes));
+  return db;
+}
+
+}  // namespace qf

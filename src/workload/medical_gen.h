@@ -1,0 +1,46 @@
+// Synthetic medical database for the side-effects flock (Ex. 2.2/3.2 and
+// the plans of §4): diagnoses(Patient, Disease), exhibits(Patient,
+// Symptom), treatments(Patient, Medicine), causes(Disease, Symptom).
+//
+// The generator's knobs mirror the statistics the paper says drive the
+// filter-step decisions: the density of rare symptoms and rarely used
+// medicines (Ex. 3.2's discussion of when subqueries (1)/(2) pay off).
+#ifndef QF_WORKLOAD_MEDICAL_GEN_H_
+#define QF_WORKLOAD_MEDICAL_GEN_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+
+namespace qf {
+
+struct MedicalConfig {
+  std::uint32_t n_patients = 10000;
+  std::uint32_t n_diseases = 50;
+  std::uint32_t n_symptoms = 500;
+  std::uint32_t n_medicines = 300;
+  // Symptoms/medicines recorded per patient.
+  double symptoms_per_patient = 4;
+  double medicines_per_patient = 2;
+  // Zipf exponents: higher = fewer common symptoms/medicines and a longer
+  // rare tail, which makes the okS/okM prefilters (Fig. 5) more valuable.
+  double symptom_theta = 1.0;
+  double medicine_theta = 1.0;
+  // Fraction of a disease's symptom list covered by `causes` (how often a
+  // symptom is "explained").
+  double causes_coverage = 0.3;
+  // Probability that a patient's symptom/medicine is drawn from their
+  // disease's cluster rather than the global distribution. Real medical
+  // data is disease-correlated; without correlation no ($s,$m) pair
+  // reaches meaningful support.
+  double disease_locality = 0.6;
+  std::uint64_t seed = 1;
+};
+
+// Generates the four relations into a fresh database. Each patient has
+// exactly one disease (the paper's simplifying assumption in Ex. 2.2).
+Database GenerateMedical(const MedicalConfig& config);
+
+}  // namespace qf
+
+#endif  // QF_WORKLOAD_MEDICAL_GEN_H_

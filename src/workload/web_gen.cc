@@ -1,0 +1,86 @@
+#include "workload/web_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace qf {
+namespace {
+
+std::string Name(const char* prefix, std::uint32_t n) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%s%06u", prefix, n);
+  return buf;
+}
+
+}  // namespace
+
+Database GenerateWeb(const WebConfig& config) {
+  Rng rng(config.seed);
+  ZipfSampler word_zipf(config.n_words, config.word_theta);
+  ZipfSampler topic_offset(24, 1.0);
+
+  // Documents share a bounded set of topics; each topic is a cluster of
+  // nearby word ranks. Titles of a document, and anchors pointing at it,
+  // draw from its topic's cluster.
+  std::vector<std::uint32_t> topic_anchor(std::max(1u, config.n_topics));
+  for (std::uint32_t t = 0; t < topic_anchor.size(); ++t) {
+    topic_anchor[t] = rng.NextBelow(config.n_words);
+  }
+  std::vector<std::uint32_t> topic_base(config.n_docs);
+  for (std::uint32_t d = 0; d < config.n_docs; ++d) {
+    topic_base[d] =
+        topic_anchor[rng.NextBelow(static_cast<std::uint32_t>(
+            topic_anchor.size()))];
+  }
+  auto pick_word = [&](std::uint32_t doc) {
+    if (rng.NextBernoulli(config.topic_locality)) {
+      return (topic_base[doc] + topic_offset.Sample(rng)) % config.n_words;
+    }
+    return word_zipf.Sample(rng);
+  };
+
+  Relation in_title("inTitle", Schema({"Doc", "Word"}));
+  Relation in_anchor("inAnchor", Schema({"Anchor", "Word"}));
+  Relation link("link", Schema({"Anchor", "From", "To"}));
+
+  for (std::uint32_t d = 0; d < config.n_docs; ++d) {
+    double jitter = 0.5 + rng.NextDouble();
+    std::uint32_t n = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(config.words_per_title * jitter));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      in_title.AddRow(
+          {Value(Name("doc", d)), Value(Name("w", pick_word(d)))});
+    }
+  }
+
+  for (std::uint32_t a = 0; a < config.n_anchors; ++a) {
+    std::string anchor = Name("anc", a);
+    std::uint32_t from = rng.NextBelow(config.n_docs);
+    std::uint32_t to = rng.NextBelow(config.n_docs);
+    link.AddRow(
+        {Value(anchor), Value(Name("doc", from)), Value(Name("doc", to))});
+    double jitter = 0.5 + rng.NextDouble();
+    std::uint32_t n = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(config.words_per_anchor * jitter));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      // Anchor text describes the link target.
+      in_anchor.AddRow({Value(anchor), Value(Name("w", pick_word(to)))});
+    }
+  }
+
+  in_title.Dedup();
+  in_anchor.Dedup();
+  link.Dedup();
+
+  Database db;
+  db.PutRelation(std::move(in_title));
+  db.PutRelation(std::move(in_anchor));
+  db.PutRelation(std::move(link));
+  return db;
+}
+
+}  // namespace qf

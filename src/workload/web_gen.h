@@ -1,0 +1,37 @@
+// Synthetic HTML-corpus relations for the strongly-connected-words union
+// flock (Ex. 2.3 / Fig. 4): inTitle(Doc, Word), inAnchor(Anchor, Word),
+// link(Anchor, From, To). Word frequencies are Zipf (real text is), which
+// is what makes per-disjunct union prefilters (§3.4) pay off.
+#ifndef QF_WORKLOAD_WEB_GEN_H_
+#define QF_WORKLOAD_WEB_GEN_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+
+namespace qf {
+
+struct WebConfig {
+  std::uint32_t n_docs = 5000;
+  std::uint32_t n_words = 2000;
+  std::uint32_t n_anchors = 8000;
+  double words_per_title = 5;
+  double words_per_anchor = 2;
+  double word_theta = 1.0;
+  // Probability that a title/anchor word comes from the document's topic
+  // cluster rather than the global distribution. Real text is topical;
+  // without correlation no word pair reaches meaningful support.
+  double topic_locality = 0.5;
+  // Number of distinct topics documents are spread over; many documents
+  // share a topic, which is what makes topical word pairs frequent.
+  std::uint32_t n_topics = 200;
+  std::uint64_t seed = 1;
+};
+
+// Generates the three relations. Anchor ids are disjoint from document ids
+// (the COUNT of Fig. 4 assumes no values are shared between the two).
+Database GenerateWeb(const WebConfig& config);
+
+}  // namespace qf
+
+#endif  // QF_WORKLOAD_WEB_GEN_H_

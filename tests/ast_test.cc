@@ -1,0 +1,138 @@
+// Unit tests for the Datalog AST: terms, subgoals, queries, substitution.
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+
+namespace qf {
+namespace {
+
+TEST(TermTest, Kinds) {
+  EXPECT_TRUE(Term::Variable("X").is_variable());
+  EXPECT_TRUE(Term::Parameter("s").is_parameter());
+  EXPECT_TRUE(Term::Constant(Value(3)).is_constant());
+}
+
+TEST(TermTest, ToString) {
+  EXPECT_EQ(Term::Variable("X").ToString(), "X");
+  EXPECT_EQ(Term::Parameter("s").ToString(), "$s");
+  EXPECT_EQ(Term::Constant(Value(3)).ToString(), "3");
+  EXPECT_EQ(Term::Constant(Value("beer")).ToString(), "'beer'");
+}
+
+TEST(TermTest, EqualityDistinguishesKinds) {
+  EXPECT_FALSE(Term::Variable("x") == Term::Parameter("x"));
+  EXPECT_TRUE(Term::Parameter("s") == Term::Parameter("s"));
+  EXPECT_FALSE(Term::Constant(Value(1)) == Term::Constant(Value(2)));
+}
+
+TEST(CompareOpTest, EvalCompareAllOps) {
+  Value a(1), b(2);
+  EXPECT_TRUE(EvalCompare(CompareOp::kLt, a, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kLe, a, a));
+  EXPECT_TRUE(EvalCompare(CompareOp::kEq, a, a));
+  EXPECT_TRUE(EvalCompare(CompareOp::kNe, a, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGe, b, b));
+  EXPECT_TRUE(EvalCompare(CompareOp::kGt, b, a));
+  EXPECT_FALSE(EvalCompare(CompareOp::kLt, b, a));
+  EXPECT_FALSE(EvalCompare(CompareOp::kGt, a, b));
+}
+
+TEST(CompareOpTest, FlipIsInvolutionOnOrderOps) {
+  EXPECT_EQ(FlipCompareOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(FlipCompareOp(FlipCompareOp(CompareOp::kLe)), CompareOp::kLe);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(FlipCompareOp(CompareOp::kNe), CompareOp::kNe);
+}
+
+TEST(SubgoalTest, PositiveToString) {
+  Subgoal s = Subgoal::Positive(
+      "baskets", {Term::Variable("B"), Term::Parameter("1")});
+  EXPECT_EQ(s.ToString(), "baskets(B,$1)");
+  EXPECT_TRUE(s.is_positive());
+  EXPECT_TRUE(s.is_relational());
+}
+
+TEST(SubgoalTest, NegatedToString) {
+  Subgoal s = Subgoal::Negated(
+      "causes", {Term::Variable("D"), Term::Parameter("s")});
+  EXPECT_EQ(s.ToString(), "NOT causes(D,$s)");
+  EXPECT_TRUE(s.is_negated());
+}
+
+TEST(SubgoalTest, ComparisonToString) {
+  Subgoal s = Subgoal::Comparison(Term::Parameter("1"), CompareOp::kLt,
+                                  Term::Parameter("2"));
+  EXPECT_EQ(s.ToString(), "$1 < $2");
+  EXPECT_TRUE(s.is_comparison());
+}
+
+ConjunctiveQuery MarketBasket() {
+  ConjunctiveQuery cq;
+  cq.head_vars = {"B"};
+  cq.subgoals = {
+      Subgoal::Positive("baskets", {Term::Variable("B"), Term::Parameter("1")}),
+      Subgoal::Positive("baskets", {Term::Variable("B"), Term::Parameter("2")}),
+      Subgoal::Comparison(Term::Parameter("1"), CompareOp::kLt,
+                          Term::Parameter("2")),
+  };
+  return cq;
+}
+
+TEST(ConjunctiveQueryTest, ParametersAndVariables) {
+  ConjunctiveQuery cq = MarketBasket();
+  EXPECT_EQ(cq.Parameters(), (std::set<std::string>{"1", "2"}));
+  EXPECT_EQ(cq.Variables(), (std::set<std::string>{"B"}));
+}
+
+TEST(ConjunctiveQueryTest, ToString) {
+  EXPECT_EQ(MarketBasket().ToString(),
+            "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2");
+}
+
+TEST(ConjunctiveQueryTest, Subquery) {
+  ConjunctiveQuery sub = MarketBasket().Subquery({0});
+  EXPECT_EQ(sub.ToString(), "answer(B) :- baskets(B,$1)");
+  EXPECT_EQ(sub.head_vars, MarketBasket().head_vars);
+}
+
+TEST(UnionQueryTest, HeadArityAndParameters) {
+  ConjunctiveQuery a = MarketBasket();
+  ConjunctiveQuery b = MarketBasket();
+  b.head_vars = {"C"};
+  b.subgoals[0] = Subgoal::Positive(
+      "other", {Term::Variable("C"), Term::Parameter("1")});
+  UnionQuery u({a, b});
+  EXPECT_EQ(u.head_arity(), 1u);
+  EXPECT_EQ(u.head_name(), "answer");
+  EXPECT_EQ(u.Parameters(), (std::set<std::string>{"1", "2"}));
+}
+
+TEST(SubstituteTest, ReplacesOnlyBoundParameters) {
+  ConjunctiveQuery cq = MarketBasket();
+  ConjunctiveQuery ground =
+      SubstituteParameters(cq, {{"1", Value("beer")}});
+  EXPECT_EQ(ground.ToString(),
+            "answer(B) :- baskets(B,'beer') AND baskets(B,$2) AND 'beer' < "
+            "$2");
+}
+
+TEST(SubstituteTest, FullGrounding) {
+  ConjunctiveQuery cq = MarketBasket();
+  ConjunctiveQuery ground = SubstituteParameters(
+      cq, {{"1", Value("beer")}, {"2", Value("diapers")}});
+  EXPECT_TRUE(ground.Parameters().empty());
+}
+
+TEST(SubstituteTest, NegatedSubgoalsSubstituted) {
+  ConjunctiveQuery cq;
+  cq.head_vars = {"P"};
+  cq.subgoals = {
+      Subgoal::Positive("exhibits", {Term::Variable("P"), Term::Parameter("s")}),
+      Subgoal::Negated("causes", {Term::Variable("D"), Term::Parameter("s")}),
+  };
+  ConjunctiveQuery ground = SubstituteParameters(cq, {{"s", Value("rash")}});
+  EXPECT_EQ(ground.subgoals[1].ToString(), "NOT causes(D,'rash')");
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,150 @@
+// Semantic soundness of containment (§3.1) and of a-priori pruning, tested
+// on live data: whenever the machinery *certifies* Q2 ⊆ Q1, the evaluated
+// results must actually be contained, for random queries and databases.
+// This is the property the whole optimization rests on.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/containment.h"
+#include "datalog/parser.h"
+#include "datalog/subquery.h"
+#include "flocks/cq_eval.h"
+#include "flocks/eval.h"
+#include "relational/ops.h"
+
+namespace qf {
+namespace {
+
+Database RandomGraphDb(std::uint64_t seed, int nodes, int arcs) {
+  Rng rng(seed);
+  Relation arc("arc", Schema({"S", "T"}));
+  for (int i = 0; i < arcs; ++i) {
+    arc.AddRow({Value(static_cast<std::int64_t>(rng.NextBelow(nodes))),
+                Value(static_cast<std::int64_t>(rng.NextBelow(nodes)))});
+  }
+  arc.Dedup();
+  Relation label("label", Schema({"N", "L"}));
+  for (int n = 0; n < nodes; ++n) {
+    label.AddRow({Value(n), Value(static_cast<std::int64_t>(
+                                rng.NextBelow(3)))});
+  }
+  label.Dedup();
+  Database db;
+  db.PutRelation(std::move(arc));
+  db.PutRelation(std::move(label));
+  return db;
+}
+
+// A pool of structurally varied pure CQs over arc/label.
+std::vector<ConjunctiveQuery> QueryPool() {
+  const char* texts[] = {
+      "answer(X) :- arc(X,Y)",
+      "answer(X) :- arc(X,Y) AND arc(Y,Z)",
+      "answer(X) :- arc(X,Y) AND arc(Y,X)",
+      "answer(X) :- arc(X,X)",
+      "answer(X) :- arc(X,Y) AND label(Y,L)",
+      "answer(X) :- arc(X,Y) AND label(X,L) AND label(Y,L)",
+      "answer(X) :- arc(X,Y) AND arc(Y,Z) AND arc(Z,W)",
+      "answer(X) :- arc(X,Y) AND arc(X,Z)",
+      "answer(X) :- label(X,L)",
+      "answer(X) :- arc(Y,X)",
+  };
+  std::vector<ConjunctiveQuery> pool;
+  for (const char* t : texts) {
+    auto cq = ParseRule(t);
+    EXPECT_TRUE(cq.ok());
+    pool.push_back(*cq);
+  }
+  return pool;
+}
+
+Relation Evaluate(const ConjunctiveQuery& cq, const Database& db) {
+  PredicateResolver resolver(db);
+  auto result = EvaluateConjunctiveBindings(cq, resolver, cq.head_vars);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+class ContainmentSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContainmentSoundness, CertifiedContainmentHoldsSemantically) {
+  Database db = RandomGraphDb(GetParam(), 8, 20);
+  std::vector<ConjunctiveQuery> pool = QueryPool();
+  int certified = 0;
+  for (const ConjunctiveQuery& q1 : pool) {
+    for (const ConjunctiveQuery& q2 : pool) {
+      if (!Contains(q1, q2)) continue;  // q2 ⊆ q1 certified
+      ++certified;
+      Relation r1 = Evaluate(q1, db);
+      Relation r2 = Evaluate(q2, db);
+      for (const Tuple& t : r2.rows()) {
+        ASSERT_TRUE(r1.Contains(t))
+            << q2.ToString() << " ⊆ " << q1.ToString() << " violated at "
+            << TupleToString(t);
+      }
+    }
+  }
+  // The pool is built so containments exist (every query contains itself).
+  EXPECT_GE(certified, static_cast<int>(pool.size()));
+}
+
+TEST_P(ContainmentSoundness, SafeSubqueriesContainTheirQuery) {
+  Database db = RandomGraphDb(GetParam() + 100, 8, 22);
+  for (const ConjunctiveQuery& cq : QueryPool()) {
+    Relation full = Evaluate(cq, db);
+    for (const SubqueryCandidate& sub : EnumerateSafeSubqueries(
+             cq, {.require_parameters = false, .proper_only = true})) {
+      Relation restricted = Evaluate(sub.query, db);
+      for (const Tuple& t : full.rows()) {
+        ASSERT_TRUE(restricted.Contains(t))
+            << sub.query.ToString() << " lost a tuple of " << cq.ToString();
+      }
+    }
+  }
+}
+
+// The a-priori pruning guarantee end to end: a parameter value failing the
+// support threshold in a safe subquery never appears in the flock answer.
+TEST_P(ContainmentSoundness, SubqueryPruningNeverLosesAnswers) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  Database db;
+  Relation r("baskets", Schema({"BID", "Item"}));
+  for (int b = 0; b < 60; ++b) {
+    for (int i = 0; i < 6; ++i) {
+      if (rng.NextBernoulli(0.4)) {
+        r.AddRow({Value(b), Value(static_cast<std::int64_t>(i))});
+      }
+    }
+  }
+  r.Dedup();
+  db.PutRelation(std::move(r));
+
+  auto flock = MakeFlock(
+      "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+      FilterCondition::MinSupport(6));
+  ASSERT_TRUE(flock.ok());
+  auto answer = EvaluateFlock(*flock, db);
+  ASSERT_TRUE(answer.ok());
+
+  for (const SubqueryCandidate& sub :
+       EnumerateSafeSubqueries(flock->query.disjuncts[0])) {
+    // Survivors of the subquery at the same threshold.
+    QueryFlock sub_flock(sub.query, flock->filter);
+    auto survivors = EvaluateFlock(sub_flock, db);
+    ASSERT_TRUE(survivors.ok()) << survivors.status().ToString();
+    // Every answer's projection onto the subquery's parameters survives.
+    std::vector<std::string> columns;
+    for (const std::string& p : sub.parameters) columns.push_back("$" + p);
+    Relation projected = Project(*answer, columns);
+    for (const Tuple& t : projected.rows()) {
+      ASSERT_TRUE(survivors->Contains(t))
+          << "pruning via " << sub.query.ToString() << " would lose "
+          << TupleToString(t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentSoundness, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,135 @@
+// Unit tests for containment mappings (§3.1): positives, negatives, and the
+// paper's motivating cases (subqueries contain the original query).
+#include <gtest/gtest.h>
+
+#include "datalog/containment.h"
+#include "datalog/parser.h"
+
+namespace qf {
+namespace {
+
+ConjunctiveQuery Parse(const char* text) {
+  auto cq = ParseRule(text);
+  EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+  return *cq;
+}
+
+TEST(ContainmentTest, QueryContainsItself) {
+  ConjunctiveQuery q = Parse("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+  EXPECT_TRUE(Contains(q, q));
+}
+
+TEST(ContainmentTest, SubqueryContainsOriginal) {
+  // Example 3.1: answer(B) :- baskets(B,$1) contains the pair query.
+  ConjunctiveQuery full =
+      Parse("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+  ConjunctiveQuery sub = Parse("answer(B) :- baskets(B,$1)");
+  EXPECT_TRUE(Contains(sub, full));   // full ⊆ sub
+  EXPECT_FALSE(Contains(full, sub));  // sub ⊄ full: no image for $2's subgoal
+}
+
+TEST(ContainmentTest, VariableSplittingDetected) {
+  // q1: p(X,Y) — contains q2: p(X,X) via h(Y)=X.
+  ConjunctiveQuery general = Parse("answer(X) :- p(X,Y)");
+  ConjunctiveQuery diagonal = Parse("answer(X) :- p(X,X)");
+  EXPECT_TRUE(Contains(general, diagonal));
+  EXPECT_FALSE(Contains(diagonal, general));
+}
+
+TEST(ContainmentTest, ParametersAreRigid) {
+  // A parameter must map to the same parameter: a subquery about $1 says
+  // nothing about $2 even though the queries are isomorphic.
+  ConjunctiveQuery q1 = Parse("answer(B) :- baskets(B,$1)");
+  ConjunctiveQuery q2 = Parse("answer(B) :- baskets(B,$2)");
+  EXPECT_FALSE(Contains(q1, q2));
+  EXPECT_FALSE(Contains(q2, q1));
+}
+
+TEST(ContainmentTest, ConstantsMustMatch) {
+  ConjunctiveQuery beer = Parse("answer(B) :- baskets(B,'beer')");
+  ConjunctiveQuery wine = Parse("answer(B) :- baskets(B,'wine')");
+  ConjunctiveQuery var = Parse("answer(B) :- baskets(B,X)");
+  EXPECT_FALSE(Contains(beer, wine));
+  EXPECT_TRUE(Contains(var, beer));   // beer ⊆ var
+  EXPECT_FALSE(Contains(beer, var));  // var ⊄ beer
+}
+
+TEST(ContainmentTest, HeadMustMapPositionally) {
+  ConjunctiveQuery q1 = Parse("answer(X,Y) :- p(X,Y)");
+  ConjunctiveQuery q2 = Parse("answer(Y,X) :- p(X,Y)");
+  // q1 -> q2 would need h(X)=Y,h(Y)=X and p(h(X),h(Y))=p(Y,X), which is not
+  // a subgoal of q2; so no containment certificate either way.
+  EXPECT_FALSE(Contains(q1, q2));
+  EXPECT_FALSE(Contains(q2, q1));
+}
+
+TEST(ContainmentTest, DifferentPredicatesNeverMap) {
+  EXPECT_FALSE(
+      Contains(Parse("answer(X) :- p(X)"), Parse("answer(X) :- q(X)")));
+}
+
+TEST(ContainmentTest, ClassicRedundantSubgoal) {
+  // p(X,Y) AND p(X,Z) is equivalent to p(X,Y): containment both ways.
+  ConjunctiveQuery two = Parse("answer(X) :- p(X,Y) AND p(X,Z)");
+  ConjunctiveQuery one = Parse("answer(X) :- p(X,Y)");
+  EXPECT_TRUE(Contains(one, two));
+  EXPECT_TRUE(Contains(two, one));
+}
+
+TEST(ContainmentTest, PathQueryContainment) {
+  // A shorter path query contains a longer one when heads allow folding.
+  ConjunctiveQuery long_path =
+      Parse("answer(X) :- arc(X,Y) AND arc(Y,Z) AND arc(Z,W)");
+  ConjunctiveQuery short_path = Parse("answer(X) :- arc(X,Y)");
+  EXPECT_TRUE(Contains(short_path, long_path));
+  EXPECT_FALSE(Contains(long_path, short_path));
+}
+
+TEST(ContainmentTest, MappingWitnessIsReturned) {
+  ConjunctiveQuery sub = Parse("answer(B) :- baskets(B,$1)");
+  ConjunctiveQuery full =
+      Parse("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+  auto mapping = FindContainmentMapping(sub, full);
+  ASSERT_TRUE(mapping.has_value());
+  ASSERT_TRUE(mapping->contains("B"));
+  EXPECT_EQ(mapping->at("B"), Term::Variable("B"));
+}
+
+TEST(ContainmentTest, ArityMismatchFails) {
+  EXPECT_FALSE(
+      Contains(Parse("answer(X,Y) :- p(X,Y)"), Parse("answer(X) :- p(X,X)")));
+}
+
+TEST(ContainmentTest, NegatedSubgoalsMatchExactly) {
+  // Sound direction: identical shape including the negation maps.
+  ConjunctiveQuery q =
+      Parse("answer(P) :- diagnoses(P,D) AND NOT causes(D,$s) AND "
+            "exhibits(P,$s)");
+  EXPECT_TRUE(Contains(q, q));
+  // A negated subgoal cannot map onto a positive one.
+  ConjunctiveQuery pos =
+      Parse("answer(P) :- diagnoses(P,D) AND causes(D,$s) AND "
+            "exhibits(P,$s)");
+  EXPECT_FALSE(Contains(q, pos));
+}
+
+TEST(ContainmentTest, ComparisonMatchesFlippedForm) {
+  ConjunctiveQuery lt = Parse("answer(X) :- p(X,Y) AND X < Y");
+  ConjunctiveQuery gt = Parse("answer(X) :- p(X,Y) AND Y > X");
+  EXPECT_TRUE(Contains(lt, gt));
+  EXPECT_TRUE(Contains(gt, lt));
+}
+
+TEST(ContainmentTest, SubsetContains) {
+  ConjunctiveQuery full =
+      Parse("answer(P) :- exhibits(P,$s) AND treatments(P,$m)");
+  ConjunctiveQuery sub = Parse("answer(P) :- exhibits(P,$s)");
+  EXPECT_TRUE(SubsetContains(sub, full));
+  EXPECT_FALSE(SubsetContains(full, sub));
+  // Different head kills subset containment.
+  ConjunctiveQuery other_head = Parse("answer(Q) :- exhibits(Q,$s)");
+  EXPECT_FALSE(SubsetContains(other_head, full));
+}
+
+}  // namespace
+}  // namespace qf

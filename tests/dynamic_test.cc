@@ -1,0 +1,207 @@
+// Tests for dynamic filter selection (§4.4): correctness against the
+// static evaluator on fixtures and random data, plus decision-log
+// behavior under different aggressiveness settings.
+#include <gtest/gtest.h>
+
+#include "flocks/eval.h"
+#include "optimizer/dynamic.h"
+#include "optimizer/join_order.h"
+#include "workload/basket_gen.h"
+#include "workload/graph_gen.h"
+#include "workload/medical_gen.h"
+
+namespace qf {
+namespace {
+
+QueryFlock Flock(const char* text, FilterCondition filter) {
+  auto f = MakeFlock(text, filter);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *f;
+}
+
+void ExpectSame(Result<Relation> a, Result<Relation> b) {
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  a->SortRows();
+  b->SortRows();
+  EXPECT_EQ(a->rows(), b->rows());
+}
+
+TEST(DynamicTest, MatchesDirectOnBaskets) {
+  Database db;
+  db.PutRelation(GenerateBaskets({.n_baskets = 300, .n_items = 50,
+                                  .avg_basket_size = 5, .zipf_theta = 1.0,
+                                  .seed = 21}));
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(6));
+  DynamicLog log;
+  ExpectSame(EvaluateFlock(flock, db),
+             DynamicEvaluate(flock, db, {}, &log));
+  EXPECT_FALSE(log.decisions.empty());
+}
+
+TEST(DynamicTest, MatchesDirectOnMedical) {
+  MedicalConfig config;
+  config.n_patients = 300;
+  config.n_symptoms = 80;
+  config.symptom_theta = 1.2;
+  config.seed = 22;
+  Database db = GenerateMedical(config);
+  QueryFlock flock = Flock(
+      "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND "
+      "diagnoses(P,D) AND NOT causes(D,$s)",
+      FilterCondition::MinSupport(5));
+  ExpectSame(EvaluateFlock(flock, db), DynamicEvaluate(flock, db));
+}
+
+TEST(DynamicTest, MatchesDirectWithChosenJoinOrder) {
+  MedicalConfig config;
+  config.n_patients = 250;
+  config.seed = 23;
+  Database db = GenerateMedical(config);
+  CostModel model(db);
+  QueryFlock flock = Flock(
+      "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND "
+      "diagnoses(P,D) AND NOT causes(D,$s)",
+      FilterCondition::MinSupport(4));
+  DynamicOptions options;
+  options.join_order =
+      ChooseJoinOrder(flock.query.disjuncts.front(), model);
+  ExpectSame(EvaluateFlock(flock, db),
+             DynamicEvaluate(flock, db, options));
+}
+
+TEST(DynamicTest, ZeroAggressivenessNeverFilters) {
+  Database db;
+  db.PutRelation(GenerateBaskets({.n_baskets = 100, .n_items = 20,
+                                  .avg_basket_size = 4, .zipf_theta = 0.8,
+                                  .seed = 24}));
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(4));
+  DynamicOptions options;
+  options.aggressiveness = 0;
+  options.improvement_factor = 0;
+  DynamicLog log;
+  ExpectSame(EvaluateFlock(flock, db),
+             DynamicEvaluate(flock, db, options, &log));
+  EXPECT_EQ(log.filters_applied, 0u);
+  for (const DynamicDecision& d : log.decisions) EXPECT_FALSE(d.filtered);
+}
+
+TEST(DynamicTest, HighAggressivenessFiltersAndStaysCorrect) {
+  Database db;
+  db.PutRelation(GenerateBaskets({.n_baskets = 400, .n_items = 120,
+                                  .avg_basket_size = 5, .zipf_theta = 1.2,
+                                  .seed = 25}));
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(10));
+  DynamicOptions options;
+  options.aggressiveness = 100;  // filter at every opportunity
+  options.improvement_factor = 1.0;
+  DynamicLog log;
+  ExpectSame(EvaluateFlock(flock, db),
+             DynamicEvaluate(flock, db, options, &log));
+  EXPECT_GT(log.filters_applied, 0u);
+}
+
+TEST(DynamicTest, FilteringShrinksIntermediates) {
+  // On skewed data with a selective threshold, the dynamic evaluator's
+  // peak intermediate should not exceed the unfiltered evaluator's.
+  Database db;
+  db.PutRelation(GenerateBaskets({.n_baskets = 500, .n_items = 200,
+                                  .avg_basket_size = 6, .zipf_theta = 1.2,
+                                  .seed = 26}));
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(15));
+  FlockEvalInfo direct_info;
+  auto direct = EvaluateFlock(flock, db, {}, nullptr, &direct_info);
+  ASSERT_TRUE(direct.ok());
+  DynamicLog log;
+  auto dynamic = DynamicEvaluate(flock, db, {}, &log);
+  ASSERT_TRUE(dynamic.ok());
+  EXPECT_GT(log.filters_applied, 0u);
+  EXPECT_LT(log.peak_rows, direct_info.peak_rows);
+}
+
+TEST(DynamicTest, DecisionLogRecordsRatios) {
+  Database db;
+  db.PutRelation(GenerateBaskets({.n_baskets = 100, .n_items = 30,
+                                  .avg_basket_size = 4, .zipf_theta = 1.0,
+                                  .seed = 27}));
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(5));
+  DynamicLog log;
+  auto result = DynamicEvaluate(flock, db, {}, &log);
+  ASSERT_TRUE(result.ok());
+  for (const DynamicDecision& d : log.decisions) {
+    EXPECT_GT(d.ratio, 0);
+    EXPECT_FALSE(d.parameters.empty());
+    EXPECT_FALSE(d.at.empty());
+    if (d.filtered) {
+      EXPECT_LE(d.rows_after, d.rows_before);
+    }
+  }
+}
+
+TEST(DynamicTest, GraphPathQueryCorrect) {
+  Database db;
+  db.PutRelation(GenerateGraph({.n_nodes = 120, .avg_out_degree = 3,
+                                .target_theta = 0.9, .seed = 28}));
+  QueryFlock flock =
+      Flock("answer(X) :- arc($1,X) AND arc(X,Y1) AND arc(Y1,Y2)",
+            FilterCondition::MinSupport(2));
+  ExpectSame(EvaluateFlock(flock, db), DynamicEvaluate(flock, db));
+}
+
+TEST(DynamicTest, RejectsUnionFlocks) {
+  Database db;
+  db.PutRelation(Relation("p", Schema({"B", "I"})));
+  db.PutRelation(Relation("q", Schema({"B", "I"})));
+  QueryFlock flock = Flock("answer(B) :- p(B,$1)\nanswer(B) :- q(B,$1)",
+                           FilterCondition::MinSupport(2));
+  EXPECT_EQ(DynamicEvaluate(flock, db).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(DynamicTest, RejectsNonSupportFilter) {
+  Database db;
+  db.PutRelation(Relation("p", Schema({"B", "I", "W"})));
+  QueryFlock flock = Flock("answer(B,W) :- p(B,$1,W)",
+                           {FilterAgg::kSum, CompareOp::kGe, 5, 1});
+  EXPECT_EQ(DynamicEvaluate(flock, db).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Property: dynamic evaluation agrees with the direct evaluator across
+// random seeds, thresholds, and aggressiveness settings.
+class DynamicEquivalenceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(DynamicEquivalenceProperty, AgreesWithDirect) {
+  auto [seed, threshold, aggressiveness] = GetParam();
+  Database db;
+  db.PutRelation(GenerateBaskets(
+      {.n_baskets = 200, .n_items = 40, .avg_basket_size = 5,
+       .zipf_theta = 1.0, .seed = static_cast<std::uint64_t>(seed)}));
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(threshold));
+  DynamicOptions options;
+  options.aggressiveness = aggressiveness;
+  ExpectSame(EvaluateFlock(flock, db),
+             DynamicEvaluate(flock, db, options));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DynamicEquivalenceProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(2, 5, 10),
+                       ::testing::Values(0.5, 1.0, 4.0)));
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,136 @@
+// Tests for conjunctive-query minimization: hand cases and the semantic
+// property that minimization preserves results on random databases.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datalog/minimize.h"
+#include "datalog/parser.h"
+#include "flocks/cq_eval.h"
+
+namespace qf {
+namespace {
+
+ConjunctiveQuery Parse(const char* text) {
+  auto cq = ParseRule(text);
+  EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+  return *cq;
+}
+
+TEST(MinimizeTest, ClassicRedundantSubgoal) {
+  // p(X,Y) AND p(X,Z): Z folds onto Y.
+  ConjunctiveQuery minimized =
+      MinimizeQuery(Parse("answer(X) :- p(X,Y) AND p(X,Z)"));
+  EXPECT_EQ(minimized.subgoals.size(), 1u);
+}
+
+TEST(MinimizeTest, AlreadyMinimalUntouched) {
+  ConjunctiveQuery cq = Parse("answer(X) :- p(X,Y) AND q(Y,Z)");
+  EXPECT_EQ(MinimizeQuery(cq), cq);
+}
+
+TEST(MinimizeTest, SelfJoinOnDistinctColumnsKept) {
+  // arc(X,Y) AND arc(Y,X) is a genuine 2-cycle; neither subgoal folds.
+  ConjunctiveQuery cq = Parse("answer(X) :- arc(X,Y) AND arc(Y,X)");
+  EXPECT_EQ(MinimizeQuery(cq).subgoals.size(), 2u);
+}
+
+TEST(MinimizeTest, ChainWithRedundantTail) {
+  // arc(X,Y) AND arc(X,Z) AND arc(Z,W): Z,W fold onto Y-chain? arc(X,Z)
+  // folds onto arc(X,Y) only if arc(Z,W) also maps (Z->Y), needing
+  // arc(Y,?) — absent. The full fold exists: Z->Y requires arc(Y,W') in
+  // the image... not present, so only the middle subgoal is redundant
+  // relative to itself; verify by checking equivalence semantically below
+  // and structurally that minimization is idempotent.
+  ConjunctiveQuery cq =
+      Parse("answer(X) :- arc(X,Y) AND arc(X,Z) AND arc(Z,W)");
+  ConjunctiveQuery minimized = MinimizeQuery(cq);
+  EXPECT_EQ(MinimizeQuery(minimized), minimized);
+  EXPECT_LE(minimized.subgoals.size(), cq.subgoals.size());
+}
+
+TEST(MinimizeTest, ParametersAreRigid) {
+  // baskets(B,$1) AND baskets(B,$2): different parameters, nothing folds.
+  ConjunctiveQuery cq =
+      Parse("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+  EXPECT_EQ(MinimizeQuery(cq).subgoals.size(), 2u);
+  // Same parameter twice IS redundant.
+  ConjunctiveQuery dup =
+      Parse("answer(B) :- baskets(B,$1) AND baskets(B,$1)");
+  EXPECT_EQ(MinimizeQuery(dup).subgoals.size(), 1u);
+}
+
+TEST(MinimizeTest, ConstantsAreRigid) {
+  ConjunctiveQuery cq =
+      Parse("answer(B) :- baskets(B,'beer') AND baskets(B,'wine')");
+  EXPECT_EQ(MinimizeQuery(cq).subgoals.size(), 2u);
+  ConjunctiveQuery fold =
+      Parse("answer(B) :- baskets(B,'beer') AND baskets(B,X)");
+  EXPECT_EQ(MinimizeQuery(fold).subgoals.size(), 1u);
+}
+
+TEST(MinimizeTest, ArithmeticBindersSurvive) {
+  // The comparison pins Y; dropping p(X,Y) would be unsafe, so it stays.
+  ConjunctiveQuery cq = Parse("answer(X) :- p(X,Y) AND p(X,Z) AND Y < 5");
+  ConjunctiveQuery minimized = MinimizeQuery(cq);
+  EXPECT_TRUE(minimized.Variables().contains("Y"));
+  // p(X,Z) is still redundant.
+  EXPECT_EQ(minimized.subgoals.size(), 2u);
+}
+
+TEST(MinimizeTest, UnionMinimizesEachDisjunct) {
+  auto q = ParseQuery(
+      "answer(X) :- p(X,Y) AND p(X,Z)\nanswer(X) :- q(X,Y)");
+  ASSERT_TRUE(q.ok());
+  UnionQuery minimized = MinimizeQuery(*q);
+  EXPECT_EQ(minimized.disjuncts[0].subgoals.size(), 1u);
+  EXPECT_EQ(minimized.disjuncts[1].subgoals.size(), 1u);
+}
+
+// Property: minimization preserves evaluation results.
+class MinimizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimizeProperty, PreservesSemantics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Database db;
+  Relation arc("arc", Schema({"S", "T"}));
+  for (int i = 0; i < 25; ++i) {
+    arc.AddRow({Value(static_cast<std::int64_t>(rng.NextBelow(7))),
+                Value(static_cast<std::int64_t>(rng.NextBelow(7)))});
+  }
+  arc.Dedup();
+  db.PutRelation(std::move(arc));
+  Relation p("p", Schema({"A", "B"}));
+  for (int i = 0; i < 20; ++i) {
+    p.AddRow({Value(static_cast<std::int64_t>(rng.NextBelow(6))),
+              Value(static_cast<std::int64_t>(rng.NextBelow(6)))});
+  }
+  p.Dedup();
+  db.PutRelation(std::move(p));
+
+  const char* queries[] = {
+      "answer(X) :- p(X,Y) AND p(X,Z)",
+      "answer(X) :- arc(X,Y) AND arc(X,Z) AND arc(Z,W)",
+      "answer(X,Y) :- arc(X,Y) AND arc(X,Z)",
+      "answer(X) :- arc(X,Y) AND arc(Y,Z) AND arc(X,W)",
+      "answer(X) :- p(X,X) AND p(X,Y)",
+  };
+  PredicateResolver resolver(db);
+  for (const char* text : queries) {
+    ConjunctiveQuery original = *ParseRule(text);
+    ConjunctiveQuery minimized = MinimizeQuery(original);
+    auto a = EvaluateConjunctiveBindings(original, resolver,
+                                         original.head_vars);
+    auto b = EvaluateConjunctiveBindings(minimized, resolver,
+                                         minimized.head_vars);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    a->SortRows();
+    b->SortRows();
+    EXPECT_EQ(a->rows(), b->rows()) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimizeProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace qf

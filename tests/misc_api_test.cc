@@ -1,0 +1,103 @@
+// Coverage for small public-API surfaces: printers, rendering corner
+// cases, Value extremes, and Program::ToString.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "datalog/parser.h"
+#include "datalog/program.h"
+#include "flocks/flock.h"
+#include "plan/plan.h"
+#include "relational/relation.h"
+
+namespace qf {
+namespace {
+
+TEST(PrintersTest, ProgramToString) {
+  auto program = ParseProgram(R"(
+      explained(P,S) :- diagnoses(P,D) AND causes(D,S)
+      loud(P) :- exhibits(P,'scream')
+  )");
+  ASSERT_TRUE(program.ok());
+  std::string text = program->ToString();
+  EXPECT_NE(text.find("explained(P,S) :- diagnoses(P,D) AND causes(D,S)"),
+            std::string::npos);
+  EXPECT_NE(text.find("loud(P) :- exhibits(P,'scream')"),
+            std::string::npos);
+  // Round-trips.
+  auto again = ParseProgram(text);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+TEST(PrintersTest, UnionQueryToStringOneRulePerLine) {
+  auto q = ParseQuery("answer(B) :- p(B,$1)\nanswer(B) :- q(B,$1)");
+  ASSERT_TRUE(q.ok());
+  std::string text = q->ToString();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(PrintersTest, UnionFilterStepToString) {
+  auto flock = MakeFlock("answer(B) :- p(B,$1)\nanswer(B) :- q(B,$1)",
+                         FilterCondition::MinSupport(3));
+  ASSERT_TRUE(flock.ok());
+  auto step = MakeFilterStep(
+      *flock, "ok1", {"1"},
+      {std::vector<std::size_t>{0}, std::vector<std::size_t>{0}});
+  ASSERT_TRUE(step.ok());
+  std::string text = step->ToString(flock->filter);
+  // Both disjunct subqueries appear in the step rendering.
+  EXPECT_NE(text.find("p(B,$1)"), std::string::npos);
+  EXPECT_NE(text.find("q(B,$1)"), std::string::npos);
+  EXPECT_NE(text.find(":= FILTER"), std::string::npos);
+}
+
+TEST(PrintersTest, ZeroArityRelationToString) {
+  Relation guard("flag", Schema(std::vector<std::string>{}));
+  guard.Add(Tuple{});
+  std::string text = guard.ToString();
+  EXPECT_NE(text.find("flag()"), std::string::npos);
+  EXPECT_NE(text.find("[1 rows]"), std::string::npos);
+}
+
+TEST(ValueExtremesTest, InfinityOrdering) {
+  Value inf(std::numeric_limits<double>::infinity());
+  Value ninf(-std::numeric_limits<double>::infinity());
+  Value zero(0.0);
+  EXPECT_LT(ninf, zero);
+  EXPECT_LT(zero, inf);
+  EXPECT_LT(ninf, inf);
+}
+
+TEST(ValueExtremesTest, Int64Bounds) {
+  Value lo(std::numeric_limits<std::int64_t>::min());
+  Value hi(std::numeric_limits<std::int64_t>::max());
+  EXPECT_LT(lo, hi);
+  EXPECT_EQ(lo.ToString(), "-9223372036854775808");
+  EXPECT_EQ(hi.ToString(), "9223372036854775807");
+}
+
+TEST(ValueExtremesTest, EmptyStringInterns) {
+  Value empty("");
+  Value also_empty{std::string()};
+  EXPECT_EQ(empty, also_empty);
+  EXPECT_EQ(empty.ToString(), "");
+  EXPECT_LT(empty, Value("a"));
+}
+
+TEST(FilterPrintTest, StrictAndFloatThresholds) {
+  FilterCondition gt{FilterAgg::kCount, CompareOp::kGt, 5, 0};
+  EXPECT_EQ(gt.ToString("answer", {"B"}), "COUNT(answer.B) > 5");
+  FilterCondition frac{FilterAgg::kSum, CompareOp::kGe, 2.5, 0};
+  EXPECT_EQ(frac.ToString("answer", {"W"}), "SUM(answer.W) >= 2.5");
+}
+
+TEST(FlockPrintTest, MultiHeadCountUsesStar) {
+  auto flock = MakeFlock("answer(B,W) :- p(B,W,$1)",
+                         FilterCondition::MinSupport(3));
+  ASSERT_TRUE(flock.ok());
+  EXPECT_NE(flock->ToString().find("COUNT(answer.*) >= 3"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace qf

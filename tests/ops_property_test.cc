@@ -1,0 +1,198 @@
+// Property tests for the relational operators: on random relations, each
+// operator must agree with a brute-force reference implementation, and
+// set-semantics invariants (no duplicate rows in any output) must hold.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/rng.h"
+#include "relational/ops.h"
+
+namespace qf {
+namespace {
+
+Relation RandomRelation(Rng& rng, std::vector<std::string> columns,
+                        std::size_t rows, int domain) {
+  Relation rel{Schema(std::move(columns))};
+  for (std::size_t i = 0; i < rows; ++i) {
+    Tuple t;
+    for (std::size_t c = 0; c < rel.arity(); ++c) {
+      t.push_back(Value(static_cast<std::int64_t>(
+          rng.NextBelow(static_cast<std::uint32_t>(domain)))));
+    }
+    rel.Add(std::move(t));
+  }
+  rel.Dedup();
+  return rel;
+}
+
+bool IsSet(const Relation& rel) {
+  Relation copy = rel;
+  copy.Dedup();
+  return copy.size() == rel.size();
+}
+
+std::vector<Tuple> Sorted(const Relation& rel) {
+  std::vector<Tuple> rows = rel.rows();
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// Reference natural join: nested loops over all row pairs.
+Relation ReferenceNaturalJoin(const Relation& a, const Relation& b) {
+  std::vector<std::size_t> a_key, b_key, b_rest;
+  for (std::size_t j = 0; j < b.arity(); ++j) {
+    auto i = a.schema().IndexOf(b.schema().column(j));
+    if (i.has_value()) {
+      a_key.push_back(*i);
+      b_key.push_back(j);
+    } else {
+      b_rest.push_back(j);
+    }
+  }
+  std::vector<std::string> columns = a.schema().columns();
+  for (std::size_t j : b_rest) columns.push_back(b.schema().column(j));
+  Relation out{Schema(columns)};
+  for (const Tuple& ta : a.rows()) {
+    for (const Tuple& tb : b.rows()) {
+      bool match = true;
+      for (std::size_t k = 0; k < a_key.size(); ++k) {
+        if (!(ta[a_key[k]] == tb[b_key[k]])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Tuple combined = ta;
+      for (std::size_t j : b_rest) combined.push_back(tb[j]);
+      out.Add(std::move(combined));
+    }
+  }
+  return out;
+}
+
+class OpsProperty : public ::testing::TestWithParam<int> {
+ protected:
+  OpsProperty() : rng_(static_cast<std::uint64_t>(GetParam())) {}
+  Rng rng_;
+};
+
+TEST_P(OpsProperty, NaturalJoinMatchesReference) {
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 40, 6);
+  Relation b = RandomRelation(rng_, {"Y", "Z"}, 40, 6);
+  Relation fast = NaturalJoin(a, b);
+  Relation reference = ReferenceNaturalJoin(a, b);
+  EXPECT_EQ(Sorted(fast), Sorted(reference));
+  EXPECT_TRUE(IsSet(fast));
+}
+
+TEST_P(OpsProperty, SortMergeJoinMatchesHashJoin) {
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 45, 7);
+  Relation b = RandomRelation(rng_, {"Y", "Z"}, 45, 7);
+  Relation hash = NaturalJoin(a, b);
+  Relation merge = SortMergeJoin(a, b);
+  EXPECT_EQ(hash.schema(), merge.schema());
+  EXPECT_EQ(Sorted(hash), Sorted(merge));
+
+  // Multi-key overlap as well.
+  Relation c = RandomRelation(rng_, {"X", "Y", "W"}, 40, 4);
+  Relation d = RandomRelation(rng_, {"X", "Y", "V"}, 40, 4);
+  EXPECT_EQ(Sorted(NaturalJoin(c, d)), Sorted(SortMergeJoin(c, d)));
+
+  // Empty sides and cross products delegate correctly.
+  Relation empty{Schema({"Y", "Q"})};
+  EXPECT_TRUE(SortMergeJoin(a, empty).empty());
+  Relation no_shared = RandomRelation(rng_, {"Q"}, 5, 3);
+  EXPECT_EQ(SortMergeJoin(a, no_shared).size(),
+            NaturalJoin(a, no_shared).size());
+}
+
+TEST_P(OpsProperty, ParallelJoinMatchesSerial) {
+  // Large enough to cross the parallel threshold with 2 workers.
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 10000, 400);
+  Relation b = RandomRelation(rng_, {"Y", "Z"}, 3000, 400);
+  Relation serial = NaturalJoin(a, b);
+  Relation parallel2 = ParallelNaturalJoin(a, b, 2);
+  Relation parallel4 = ParallelNaturalJoin(a, b, 4);
+  EXPECT_EQ(Sorted(serial), Sorted(parallel2));
+  EXPECT_EQ(Sorted(serial), Sorted(parallel4));
+  // Small inputs and single-thread fall back to the serial join.
+  Relation small = RandomRelation(rng_, {"X", "Y"}, 20, 5);
+  EXPECT_EQ(Sorted(NaturalJoin(small, b)),
+            Sorted(ParallelNaturalJoin(small, b, 4)));
+  EXPECT_EQ(Sorted(serial), Sorted(ParallelNaturalJoin(a, b, 1)));
+}
+
+TEST_P(OpsProperty, JoinIsCommutativeUpToColumnOrder) {
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 30, 5);
+  Relation b = RandomRelation(rng_, {"Y", "Z"}, 30, 5);
+  Relation ab = NaturalJoin(a, b);
+  Relation ba = NaturalJoin(b, a);
+  EXPECT_EQ(ab.size(), ba.size());
+  Relation ba_reordered = Project(ba, ab.schema().columns());
+  EXPECT_EQ(Sorted(ab), Sorted(ba_reordered));
+}
+
+TEST_P(OpsProperty, SemiAntiJoinPartitionInput) {
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 50, 6);
+  Relation b = RandomRelation(rng_, {"Y", "W"}, 25, 6);
+  Relation semi = SemiJoin(a, b);
+  Relation anti = AntiJoin(a, b);
+  // semi + anti = a, disjointly.
+  EXPECT_EQ(semi.size() + anti.size(), a.size());
+  EXPECT_EQ(Sorted(Union(semi, anti)), Sorted(a));
+  for (const Tuple& t : semi.rows()) EXPECT_FALSE(anti.Contains(t));
+}
+
+TEST_P(OpsProperty, SemiJoinEqualsJoinProjection) {
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 40, 5);
+  Relation b = RandomRelation(rng_, {"Y", "Z"}, 40, 5);
+  Relation semi = SemiJoin(a, b);
+  Relation via_join = Project(NaturalJoin(a, b), a.schema().columns());
+  EXPECT_EQ(Sorted(semi), Sorted(via_join));
+}
+
+TEST_P(OpsProperty, UnionDifferenceRoundTrip) {
+  Relation a = RandomRelation(rng_, {"X"}, 30, 12);
+  Relation b = RandomRelation(rng_, {"X"}, 30, 12);
+  // (a ∪ b) - b = a - b; and a ⊆ a ∪ b.
+  Relation u = Union(a, b);
+  EXPECT_EQ(Sorted(Difference(u, b)), Sorted(Difference(a, b)));
+  for (const Tuple& t : a.rows()) EXPECT_TRUE(u.Contains(t));
+  EXPECT_TRUE(IsSet(u));
+}
+
+TEST_P(OpsProperty, GroupCountMatchesReference) {
+  Relation a = RandomRelation(rng_, {"K", "V"}, 60, 6);
+  Relation grouped = GroupAggregate(a, {"K"}, AggKind::kCount, "", "n");
+  std::map<Value, std::int64_t> reference;
+  for (const Tuple& t : a.rows()) ++reference[t[0]];
+  EXPECT_EQ(grouped.size(), reference.size());
+  for (const Tuple& t : grouped.rows()) {
+    EXPECT_EQ(t[1].AsInt(), reference[t[0]]);
+  }
+}
+
+TEST_P(OpsProperty, GroupSumMatchesReference) {
+  Relation a = RandomRelation(rng_, {"K", "V"}, 60, 6);
+  Relation grouped = GroupAggregate(a, {"K"}, AggKind::kSum, "V", "s");
+  std::map<Value, double> reference;
+  for (const Tuple& t : a.rows()) reference[t[0]] += t[1].AsNumber();
+  for (const Tuple& t : grouped.rows()) {
+    EXPECT_DOUBLE_EQ(t[1].AsNumber(), reference[t[0]]);
+  }
+}
+
+TEST_P(OpsProperty, ProjectIdempotent) {
+  Relation a = RandomRelation(rng_, {"X", "Y", "Z"}, 50, 4);
+  Relation once = Project(a, {"X", "Z"});
+  Relation twice = Project(once, {"X", "Z"});
+  EXPECT_EQ(Sorted(once), Sorted(twice));
+  EXPECT_TRUE(IsSet(once));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace qf

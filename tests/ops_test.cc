@@ -1,0 +1,194 @@
+// Unit tests for the relational operators (project, select, joins, union,
+// difference, group-aggregate) including set-semantics guarantees.
+#include <gtest/gtest.h>
+
+#include "relational/ops.h"
+
+namespace qf {
+namespace {
+
+Relation MakeR(std::initializer_list<std::string> columns,
+               std::initializer_list<Tuple> rows) {
+  Relation r{Schema(std::vector<std::string>(columns))};
+  for (const Tuple& t : rows) r.Add(t);
+  return r;
+}
+
+TEST(OpsTest, ProjectDeduplicates) {
+  Relation r = MakeR({"A", "B"}, {{Value(1), Value(10)},
+                                  {Value(1), Value(20)},
+                                  {Value(2), Value(30)}});
+  Relation p = Project(r, {"A"});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.Contains({Value(1)}));
+  EXPECT_TRUE(p.Contains({Value(2)}));
+}
+
+TEST(OpsTest, ProjectReorders) {
+  Relation r = MakeR({"A", "B"}, {{Value(1), Value(2)}});
+  Relation p = Project(r, {"B", "A"});
+  EXPECT_EQ(p.schema(), Schema({"B", "A"}));
+  EXPECT_TRUE(p.Contains({Value(2), Value(1)}));
+}
+
+TEST(OpsTest, SelectFilters) {
+  Relation r = MakeR({"A"}, {{Value(1)}, {Value(2)}, {Value(3)}});
+  Relation s = Select(r, [](const Tuple& t) { return t[0].AsInt() >= 2; });
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.Contains({Value(1)}));
+}
+
+TEST(OpsTest, RenameKeepsRows) {
+  Relation r = MakeR({"A"}, {{Value(1)}});
+  Relation renamed = Rename(r, {"X"});
+  EXPECT_EQ(renamed.schema(), Schema({"X"}));
+  EXPECT_TRUE(renamed.Contains({Value(1)}));
+}
+
+TEST(OpsTest, NaturalJoinOnSharedColumn) {
+  Relation a = MakeR({"BID", "Item"}, {{Value(1), Value("beer")},
+                                       {Value(1), Value("chips")},
+                                       {Value(2), Value("beer")}});
+  Relation b = MakeR({"BID", "Store"}, {{Value(1), Value("north")},
+                                        {Value(3), Value("south")}});
+  Relation j = NaturalJoin(a, b);
+  EXPECT_EQ(j.schema(), Schema({"BID", "Item", "Store"}));
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_TRUE(j.Contains({Value(1), Value("beer"), Value("north")}));
+  EXPECT_TRUE(j.Contains({Value(1), Value("chips"), Value("north")}));
+}
+
+TEST(OpsTest, NaturalJoinMultiKey) {
+  Relation a = MakeR({"X", "Y"}, {{Value(1), Value(2)}, {Value(1), Value(3)}});
+  Relation b = MakeR({"X", "Y"}, {{Value(1), Value(2)}});
+  Relation j = NaturalJoin(a, b);
+  EXPECT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.arity(), 2u);
+}
+
+TEST(OpsTest, NaturalJoinNoSharedIsCrossProduct) {
+  Relation a = MakeR({"A"}, {{Value(1)}, {Value(2)}});
+  Relation b = MakeR({"B"}, {{Value(10)}, {Value(20)}});
+  Relation j = NaturalJoin(a, b);
+  EXPECT_EQ(j.size(), 4u);
+}
+
+TEST(OpsTest, NaturalJoinEmptyInput) {
+  Relation a = MakeR({"A"}, {});
+  Relation b = MakeR({"A"}, {{Value(1)}});
+  EXPECT_TRUE(NaturalJoin(a, b).empty());
+  EXPECT_TRUE(NaturalJoin(b, a).empty());
+}
+
+TEST(OpsTest, SemiJoinKeepsMatching) {
+  Relation a = MakeR({"A", "B"}, {{Value(1), Value(2)}, {Value(3), Value(4)}});
+  Relation b = MakeR({"A"}, {{Value(1)}});
+  Relation s = SemiJoin(a, b);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Contains({Value(1), Value(2)}));
+  EXPECT_EQ(s.schema(), a.schema());
+}
+
+TEST(OpsTest, SemiJoinNoSharedColumnsActsAsGuard) {
+  Relation a = MakeR({"A"}, {{Value(1)}});
+  Relation empty = MakeR({"B"}, {});
+  Relation nonempty = MakeR({"B"}, {{Value(9)}});
+  EXPECT_TRUE(SemiJoin(a, empty).empty());
+  EXPECT_EQ(SemiJoin(a, nonempty).size(), 1u);
+}
+
+TEST(OpsTest, AntiJoinRemovesMatching) {
+  // AntiJoin implements NOT subgoals: keep rows with no match.
+  Relation a = MakeR({"D", "S"}, {{Value("flu"), Value("fever")},
+                                  {Value("flu"), Value("rash")}});
+  Relation causes = MakeR({"D", "S"}, {{Value("flu"), Value("fever")}});
+  Relation kept = AntiJoin(a, causes);
+  EXPECT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(kept.Contains({Value("flu"), Value("rash")}));
+}
+
+TEST(OpsTest, AntiJoinNoSharedColumnsActsAsGuard) {
+  Relation a = MakeR({"A"}, {{Value(1)}});
+  Relation empty = MakeR({"B"}, {});
+  Relation nonempty = MakeR({"B"}, {{Value(9)}});
+  EXPECT_EQ(AntiJoin(a, empty).size(), 1u);
+  EXPECT_TRUE(AntiJoin(a, nonempty).empty());
+}
+
+TEST(OpsTest, AntiJoinPartialColumnOverlap) {
+  Relation a = MakeR({"A", "B"}, {{Value(1), Value(2)}, {Value(3), Value(4)}});
+  Relation b = MakeR({"B", "C"}, {{Value(2), Value(99)}});
+  Relation kept = AntiJoin(a, b);
+  EXPECT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(kept.Contains({Value(3), Value(4)}));
+}
+
+TEST(OpsTest, UnionDeduplicates) {
+  Relation a = MakeR({"A"}, {{Value(1)}, {Value(2)}});
+  Relation b = MakeR({"A"}, {{Value(2)}, {Value(3)}});
+  Relation u = Union(a, b);
+  EXPECT_EQ(u.size(), 3u);
+}
+
+TEST(OpsTest, DifferenceBasic) {
+  Relation a = MakeR({"A"}, {{Value(1)}, {Value(2)}});
+  Relation b = MakeR({"A"}, {{Value(2)}});
+  Relation d = Difference(a, b);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.Contains({Value(1)}));
+}
+
+TEST(OpsTest, DistinctCopies) {
+  Relation a = MakeR({"A"}, {{Value(1)}, {Value(1)}});
+  Relation d = Distinct(a);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(a.size(), 2u);  // input untouched
+}
+
+TEST(OpsTest, GroupCount) {
+  Relation r = MakeR({"Item", "BID"}, {{Value("beer"), Value(1)},
+                                       {Value("beer"), Value(2)},
+                                       {Value("wine"), Value(1)}});
+  Relation g = GroupAggregate(r, {"Item"}, AggKind::kCount, "", "n");
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.Contains({Value("beer"), Value(std::int64_t{2})}));
+  EXPECT_TRUE(g.Contains({Value("wine"), Value(std::int64_t{1})}));
+}
+
+TEST(OpsTest, GroupSum) {
+  Relation r = MakeR({"K", "W"}, {{Value("a"), Value(1.5)},
+                                  {Value("a"), Value(2.5)},
+                                  {Value("b"), Value(4.0)}});
+  Relation g = GroupAggregate(r, {"K"}, AggKind::kSum, "W", "total");
+  EXPECT_TRUE(g.Contains({Value("a"), Value(4.0)}));
+  EXPECT_TRUE(g.Contains({Value("b"), Value(4.0)}));
+}
+
+TEST(OpsTest, GroupMinMax) {
+  Relation r = MakeR({"K", "V"}, {{Value("a"), Value(3)},
+                                  {Value("a"), Value(1)},
+                                  {Value("a"), Value(2)}});
+  Relation lo = GroupAggregate(r, {"K"}, AggKind::kMin, "V", "m");
+  Relation hi = GroupAggregate(r, {"K"}, AggKind::kMax, "V", "m");
+  EXPECT_TRUE(lo.Contains({Value("a"), Value(1)}));
+  EXPECT_TRUE(hi.Contains({Value("a"), Value(3)}));
+}
+
+TEST(OpsTest, GroupByMultipleColumns) {
+  Relation r = MakeR({"A", "B", "C"}, {{Value(1), Value(1), Value(10)},
+                                       {Value(1), Value(1), Value(20)},
+                                       {Value(1), Value(2), Value(30)}});
+  Relation g = GroupAggregate(r, {"A", "B"}, AggKind::kCount, "", "n");
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.Contains({Value(1), Value(1), Value(std::int64_t{2})}));
+}
+
+TEST(OpsTest, GroupByEmptyGroupColumnsAggregatesAll) {
+  Relation r = MakeR({"V"}, {{Value(1)}, {Value(2)}});
+  Relation g = GroupAggregate(r, {}, AggKind::kCount, "", "n");
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.rows()[0][0], Value(std::int64_t{2}));
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,181 @@
+// Unit tests for the Datalog parser, including the paper's Figures 2-4 and
+// error paths.
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace qf {
+namespace {
+
+TEST(ParserTest, Figure2MarketBasket) {
+  auto q = ParseQuery("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->disjuncts.size(), 1u);
+  const ConjunctiveQuery& cq = q->disjuncts[0];
+  EXPECT_EQ(cq.head_name, "answer");
+  EXPECT_EQ(cq.head_vars, std::vector<std::string>{"B"});
+  ASSERT_EQ(cq.subgoals.size(), 2u);
+  EXPECT_EQ(cq.subgoals[0].ToString(), "baskets(B,$1)");
+  EXPECT_EQ(cq.subgoals[1].ToString(), "baskets(B,$2)");
+}
+
+TEST(ParserTest, ArithmeticSubgoal) {
+  auto cq = ParseRule(
+      "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2");
+  ASSERT_TRUE(cq.ok());
+  ASSERT_EQ(cq->subgoals.size(), 3u);
+  EXPECT_TRUE(cq->subgoals[2].is_comparison());
+  EXPECT_EQ(cq->subgoals[2].op(), CompareOp::kLt);
+}
+
+TEST(ParserTest, Figure3MedicalWithNegation) {
+  auto cq = ParseRule(R"(
+      answer(P) :-
+          exhibits(P,$s) AND
+          treatments(P,$m) AND
+          diagnoses(P,D) AND
+          NOT causes(D,$s)
+  )");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  ASSERT_EQ(cq->subgoals.size(), 4u);
+  EXPECT_TRUE(cq->subgoals[3].is_negated());
+  EXPECT_EQ(cq->subgoals[3].predicate(), "causes");
+  EXPECT_EQ(cq->Parameters(), (std::set<std::string>{"s", "m"}));
+}
+
+TEST(ParserTest, Figure4UnionOfThreeRules) {
+  auto q = ParseQuery(R"(
+      answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+      answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2)
+                   AND $1 < $2
+      answer(A) :- link(A,D1,D2) AND inAnchor(A,$2) AND inTitle(D2,$1)
+                   AND $1 < $2
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->disjuncts.size(), 3u);
+  EXPECT_EQ(q->head_arity(), 1u);
+  EXPECT_EQ(q->disjuncts[0].head_vars, std::vector<std::string>{"D"});
+  EXPECT_EQ(q->disjuncts[1].head_vars, std::vector<std::string>{"A"});
+}
+
+TEST(ParserTest, CommaSeparatedBody) {
+  auto cq = ParseRule("answer(X) :- p(X,$a), q(X), $a < 5");
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(cq->subgoals.size(), 3u);
+}
+
+TEST(ParserTest, CommentsAndTerminators) {
+  auto q = ParseQuery(R"(
+      # finds pairs
+      answer(B) :- baskets(B,$1).  // rule one
+      answer(B) :- extra(B,$1);
+  )");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->disjuncts.size(), 2u);
+}
+
+TEST(ParserTest, ConstantsInArguments) {
+  auto cq = ParseRule(
+      "answer(B) :- baskets(B,beer) AND baskets(B,'ice cream') AND "
+      "weights(B,3,2.5)");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  EXPECT_EQ(cq->subgoals[0].args()[1], Term::Constant(Value("beer")));
+  EXPECT_EQ(cq->subgoals[1].args()[1], Term::Constant(Value("ice cream")));
+  EXPECT_EQ(cq->subgoals[2].args()[1], Term::Constant(Value(3)));
+  EXPECT_EQ(cq->subgoals[2].args()[2], Term::Constant(Value(2.5)));
+}
+
+TEST(ParserTest, NegativeNumbersAndFloats) {
+  auto cq = ParseRule("answer(X) :- p(X) AND X > -5 AND X <= 2.75");
+  ASSERT_TRUE(cq.ok()) << cq.status().ToString();
+  EXPECT_EQ(cq->subgoals[1].rhs(), Term::Constant(Value(-5)));
+  EXPECT_EQ(cq->subgoals[2].rhs(), Term::Constant(Value(2.75)));
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  auto cq = ParseRule(
+      "answer(X) :- p(X,Y) AND X < Y AND X <= Y AND X = Y AND X != Y AND "
+      "X >= Y AND X > Y");
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(cq->subgoals[1].op(), CompareOp::kLt);
+  EXPECT_EQ(cq->subgoals[2].op(), CompareOp::kLe);
+  EXPECT_EQ(cq->subgoals[3].op(), CompareOp::kEq);
+  EXPECT_EQ(cq->subgoals[4].op(), CompareOp::kNe);
+  EXPECT_EQ(cq->subgoals[5].op(), CompareOp::kGe);
+  EXPECT_EQ(cq->subgoals[6].op(), CompareOp::kGt);
+}
+
+TEST(ParserTest, DoubleEqualsAccepted) {
+  auto cq = ParseRule("answer(X) :- p(X,Y) AND X == Y");
+  ASSERT_TRUE(cq.ok());
+  EXPECT_EQ(cq->subgoals[1].op(), CompareOp::kEq);
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  auto cq = ParseRule("answer(X) :- p(X) AND flag()");
+  ASSERT_TRUE(cq.ok());
+  EXPECT_TRUE(cq->subgoals[1].args().empty());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* text =
+      "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) "
+      "AND NOT causes(D,$s)";
+  auto cq = ParseRule(text);
+  ASSERT_TRUE(cq.ok());
+  auto again = ParseRule(cq->ToString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*cq, *again);
+}
+
+// ----------------------------------------------------------- Errors ----
+
+TEST(ParserErrorTest, EmptyInput) { EXPECT_FALSE(ParseQuery("").ok()); }
+
+TEST(ParserErrorTest, MissingTurnstile) {
+  EXPECT_FALSE(ParseQuery("answer(B) baskets(B,$1)").ok());
+}
+
+TEST(ParserErrorTest, UnbalancedParens) {
+  EXPECT_FALSE(ParseQuery("answer(B :- baskets(B,$1)").ok());
+  EXPECT_FALSE(ParseQuery("answer(B) :- baskets(B,$1").ok());
+}
+
+TEST(ParserErrorTest, HeadArgumentMustBeVariable) {
+  EXPECT_FALSE(ParseQuery("answer(b) :- baskets(b,$1)").ok());
+}
+
+TEST(ParserErrorTest, MixedHeadNames) {
+  EXPECT_FALSE(
+      ParseQuery("answer(B) :- p(B,$1)\nother(B) :- q(B,$1)").ok());
+}
+
+TEST(ParserErrorTest, MixedHeadArity) {
+  EXPECT_FALSE(
+      ParseQuery("answer(B) :- p(B,$1)\nanswer(B,C) :- q(B,C,$1)").ok());
+}
+
+TEST(ParserErrorTest, UnterminatedString) {
+  EXPECT_FALSE(ParseQuery("answer(B) :- p(B,'oops)").ok());
+}
+
+TEST(ParserErrorTest, DollarWithoutName) {
+  EXPECT_FALSE(ParseQuery("answer(B) :- p(B,$)").ok());
+}
+
+TEST(ParserErrorTest, LowercaseIdentInComparison) {
+  EXPECT_FALSE(ParseQuery("answer(B) :- p(B,$1) AND $1 < beer").ok());
+}
+
+TEST(ParserErrorTest, ErrorMessageCarriesOffset) {
+  auto q = ParseQuery("answer(B) :- p(B,$1) AND");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserErrorTest, ParseRuleRejectsUnion) {
+  EXPECT_FALSE(ParseRule("answer(B) :- p(B,$1)\nanswer(B) :- q(B,$1)").ok());
+}
+
+}  // namespace
+}  // namespace qf

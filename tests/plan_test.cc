@@ -1,0 +1,209 @@
+// Tests for FILTER-step plans: construction, printing, and the §4.2
+// legality rule (accept and reject cases).
+#include <gtest/gtest.h>
+
+#include "plan/legality.h"
+#include "plan/plan.h"
+
+namespace qf {
+namespace {
+
+QueryFlock MedicalFlock() {
+  auto f = MakeFlock(
+      "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND "
+      "diagnoses(P,D) AND NOT causes(D,$s)",
+      FilterCondition::MinSupport(20));
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *f;
+}
+
+// Subgoal indices in the medical flock.
+constexpr std::size_t kExhibits = 0;
+constexpr std::size_t kTreatments = 1;
+constexpr std::size_t kDiagnoses = 2;
+constexpr std::size_t kNotCauses = 3;
+
+// The Fig. 5 plan: okS from exhibits, okM from treatments, final step with
+// everything plus both ok relations.
+QueryPlan Figure5Plan(const QueryFlock& flock) {
+  auto okS = MakeFilterStep(flock, "okS", {"s"},
+                            std::vector<std::size_t>{kExhibits});
+  EXPECT_TRUE(okS.ok()) << okS.status().ToString();
+  auto okM = MakeFilterStep(flock, "okM", {"m"},
+                            std::vector<std::size_t>{kTreatments});
+  EXPECT_TRUE(okM.ok()) << okM.status().ToString();
+  auto plan = PlanWithPrefilters(flock, {*okS, *okM});
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+TEST(PlanTest, TrivialPlanIsLegal) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = TrivialPlan(flock);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_TRUE(CheckLegal(plan, flock).ok());
+}
+
+TEST(PlanTest, Figure5PlanIsLegal) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  ASSERT_EQ(plan.steps.size(), 3u);
+  Status s = CheckLegal(plan, flock);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+}
+
+TEST(PlanTest, Figure5FinalStepReferencesPriorSteps) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  const ConjunctiveQuery& final_cq =
+      plan.steps.back().query.disjuncts.front();
+  // okS($s) and okM($m) first, then the four original subgoals.
+  ASSERT_EQ(final_cq.subgoals.size(), 6u);
+  EXPECT_EQ(final_cq.subgoals[0].ToString(), "okS($s)");
+  EXPECT_EQ(final_cq.subgoals[1].ToString(), "okM($m)");
+}
+
+TEST(PlanTest, ToStringShowsFilterNotation) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  std::string text = plan.ToString(flock.filter);
+  EXPECT_NE(text.find("okS($s) := FILTER(($s),"), std::string::npos);
+  EXPECT_NE(text.find("COUNT(answer.P) >= 20"), std::string::npos);
+}
+
+TEST(PlanTest, MakeFilterStepRejectsUnsafeSubquery) {
+  QueryFlock flock = MedicalFlock();
+  // NOT causes alone is unsafe.
+  auto step = MakeFilterStep(flock, "bad", {"s"},
+                             std::vector<std::size_t>{kNotCauses});
+  EXPECT_FALSE(step.ok());
+}
+
+TEST(PlanTest, MakeFilterStepRejectsWrongParameters) {
+  QueryFlock flock = MedicalFlock();
+  // exhibits(P,$s) mentions $s, not $m.
+  auto step = MakeFilterStep(flock, "bad", {"m"},
+                             std::vector<std::size_t>{kExhibits});
+  EXPECT_FALSE(step.ok());
+}
+
+TEST(PlanTest, MakeFilterStepRejectsBadIndex) {
+  QueryFlock flock = MedicalFlock();
+  auto step =
+      MakeFilterStep(flock, "bad", {"s"}, std::vector<std::size_t>{99});
+  EXPECT_FALSE(step.ok());
+}
+
+TEST(LegalityTest, RejectsEmptyPlan) {
+  QueryFlock flock = MedicalFlock();
+  EXPECT_FALSE(CheckLegal(QueryPlan{}, flock).ok());
+}
+
+TEST(LegalityTest, RejectsDuplicateStepNames) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  plan.steps[1].result_name = "okS";
+  EXPECT_FALSE(CheckLegal(plan, flock).ok());
+}
+
+TEST(LegalityTest, RejectsStepNameShadowingBasePredicate) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  plan.steps[0].result_name = "exhibits";
+  // The final step references okS by name; rename breaks that too, but the
+  // shadowing check fires first.
+  EXPECT_FALSE(CheckLegal(plan, flock).ok());
+}
+
+TEST(LegalityTest, RejectsFinalStepThatDeletesSubgoals) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = TrivialPlan(flock);
+  // Drop the negated subgoal from the final (only) step.
+  plan.steps[0].query.disjuncts[0].subgoals.pop_back();
+  EXPECT_FALSE(CheckLegal(plan, flock).ok());
+}
+
+TEST(LegalityTest, RejectsForeignSubgoal) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  plan.steps[0].query.disjuncts[0].subgoals.push_back(Subgoal::Positive(
+      "unrelated", {Term::Variable("P"), Term::Parameter("s")}));
+  EXPECT_FALSE(CheckLegal(plan, flock).ok());
+}
+
+TEST(LegalityTest, RejectsReferenceToLaterStep) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  // okS's query referencing okM (defined later) is a foreign subgoal at
+  // that point.
+  plan.steps[0].query.disjuncts[0].subgoals.push_back(
+      StepReferenceSubgoal(plan.steps[1]));
+  EXPECT_FALSE(CheckLegal(plan, flock).ok());
+}
+
+TEST(LegalityTest, RejectsChangedHead) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  plan.steps[0].query.disjuncts[0].head_vars = {"Q"};
+  EXPECT_FALSE(CheckLegal(plan, flock).ok());
+}
+
+TEST(LegalityTest, RejectsParameterMismatch) {
+  QueryFlock flock = MedicalFlock();
+  QueryPlan plan = Figure5Plan(flock);
+  plan.steps[0].parameters = {"s", "m"};
+  EXPECT_FALSE(CheckLegal(plan, flock).ok());
+}
+
+TEST(LegalityTest, RejectsNonMonotoneFilter) {
+  auto f = MakeFlock("answer(B) :- baskets(B,$1)",
+                     FilterCondition{FilterAgg::kCount, CompareOp::kLe, 5, 0});
+  ASSERT_TRUE(f.ok());
+  QueryPlan plan = TrivialPlan(*f);
+  EXPECT_EQ(CheckLegal(plan, *f).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LegalityTest, RejectsFinalStepOverWrongParameters) {
+  QueryFlock flock = MedicalFlock();
+  // A "plan" whose only step is the okS prefilter: it is step-wise fine
+  // but does not produce the flock's ($s,$m) answer.
+  auto okS = MakeFilterStep(flock, "okS", {"s"},
+                            std::vector<std::size_t>{kExhibits});
+  ASSERT_TRUE(okS.ok());
+  QueryPlan plan;
+  plan.steps.push_back(*okS);
+  EXPECT_FALSE(CheckLegal(plan, flock).ok());
+}
+
+TEST(LegalityTest, UnionPlanNeedsOneSubqueryPerDisjunct) {
+  auto flock = MakeFlock(
+      "answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2\n"
+      "answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2) AND "
+      "$1 < $2",
+      FilterCondition::MinSupport(20));
+  ASSERT_TRUE(flock.ok()) << flock.status().ToString();
+  QueryPlan plan = TrivialPlan(*flock);
+  EXPECT_TRUE(CheckLegal(plan, *flock).ok());
+  // Dropping one disjunct from the final step is illegal.
+  plan.steps[0].query.disjuncts.pop_back();
+  EXPECT_FALSE(CheckLegal(plan, *flock).ok());
+}
+
+TEST(PlanTest, CascadeReferenceSubgoalShape) {
+  QueryFlock flock = MedicalFlock();
+  auto okS = MakeFilterStep(flock, "okS", {"s"},
+                            std::vector<std::size_t>{kExhibits});
+  ASSERT_TRUE(okS.ok());
+  Subgoal ref = StepReferenceSubgoal(*okS);
+  EXPECT_EQ(ref.ToString(), "okS($s)");
+  // A second step can reference the first.
+  auto step2 = MakeFilterStep(
+      flock, "okS2", {"s"},
+      std::vector<std::size_t>{kExhibits, kDiagnoses, kNotCauses},
+      {&*okS});
+  ASSERT_TRUE(step2.ok()) << step2.status().ToString();
+  EXPECT_EQ(step2->query.disjuncts[0].subgoals[0].ToString(), "okS($s)");
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,206 @@
+// Unit tests for Schema, Tuple helpers, Relation, Database, and TSV IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/tsv.h"
+
+namespace qf {
+namespace {
+
+TEST(SchemaTest, BasicLookup) {
+  Schema s({"A", "B", "C"});
+  EXPECT_EQ(s.arity(), 3u);
+  EXPECT_EQ(s.IndexOfOrDie("B"), 1u);
+  EXPECT_FALSE(s.IndexOf("Z").has_value());
+  EXPECT_TRUE(s.Contains("C"));
+  EXPECT_EQ(s.ToString(), "(A, B, C)");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(Schema({"A", "B"}), Schema({"A", "B"}));
+  EXPECT_FALSE(Schema({"A", "B"}) == Schema({"B", "A"}));
+}
+
+TEST(TupleTest, ProjectTuple) {
+  Tuple t = {Value(1), Value(2), Value(3)};
+  Tuple p = ProjectTuple(t, {2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], Value(3));
+  EXPECT_EQ(p[1], Value(1));
+}
+
+TEST(TupleTest, HashConsistent) {
+  Tuple a = {Value(1), Value("x")};
+  Tuple b = {Value(1), Value("x")};
+  EXPECT_EQ(TupleHash{}(a), TupleHash{}(b));
+}
+
+TEST(TupleTest, ToString) {
+  Tuple t = {Value(1), Value("x")};
+  EXPECT_EQ(TupleToString(t), "(1, x)");
+}
+
+TEST(RelationTest, AddAndSize) {
+  Relation r("test", Schema({"A", "B"}));
+  r.AddRow({Value(1), Value(2)});
+  r.AddRow({Value(1), Value(2)});
+  EXPECT_EQ(r.size(), 2u);
+  r.Dedup();
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, DedupPreservesDistinctRows) {
+  Relation r(Schema({"A"}));
+  for (int i = 0; i < 10; ++i) {
+    r.AddRow({Value(i % 3)});
+  }
+  r.Dedup();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.Contains({Value(0)}));
+  EXPECT_TRUE(r.Contains({Value(1)}));
+  EXPECT_TRUE(r.Contains({Value(2)}));
+}
+
+TEST(RelationTest, SortRowsIsDeterministic) {
+  Relation r(Schema({"A"}));
+  r.AddRow({Value(3)});
+  r.AddRow({Value(1)});
+  r.AddRow({Value(2)});
+  r.SortRows();
+  EXPECT_EQ(r.rows()[0][0], Value(1));
+  EXPECT_EQ(r.rows()[2][0], Value(3));
+}
+
+TEST(RelationTest, ToStringTruncates) {
+  Relation r("r", Schema({"A"}));
+  for (int i = 0; i < 30; ++i) r.AddRow({Value(i)});
+  std::string s = r.ToString(5);
+  EXPECT_NE(s.find("[30 rows]"), std::string::npos);
+  EXPECT_NE(s.find("25 more"), std::string::npos);
+}
+
+TEST(DatabaseTest, AddAndGet) {
+  Database db;
+  Relation r("baskets", Schema({"BID", "Item"}));
+  r.AddRow({Value(1), Value("beer")});
+  ASSERT_TRUE(db.AddRelation(r).ok());
+  EXPECT_TRUE(db.Has("baskets"));
+  EXPECT_EQ(db.Get("baskets").size(), 1u);
+}
+
+TEST(DatabaseTest, RejectsUnnamed) {
+  Database db;
+  EXPECT_FALSE(db.AddRelation(Relation(Schema({"A"}))).ok());
+}
+
+TEST(DatabaseTest, RejectsDuplicate) {
+  Database db;
+  ASSERT_TRUE(db.AddRelation(Relation("r", Schema({"A"}))).ok());
+  Status s = db.AddRelation(Relation("r", Schema({"A"})));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, PutReplaces) {
+  Database db;
+  Relation r1("r", Schema({"A"}));
+  r1.AddRow({Value(1)});
+  db.PutRelation(r1);
+  Relation r2("r", Schema({"A"}));
+  db.PutRelation(r2);
+  EXPECT_EQ(db.Get("r").size(), 0u);
+}
+
+TEST(DatabaseTest, NamesSorted) {
+  Database db;
+  db.PutRelation(Relation("zeta", Schema({"A"})));
+  db.PutRelation(Relation("alpha", Schema({"A"})));
+  std::vector<std::string> names = db.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+class TsvTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+};
+
+TEST_F(TsvTest, RoundTrip) {
+  Relation r("mixed", Schema({"Id", "Weight", "Label"}));
+  r.AddRow({Value(1), Value(2.5), Value("alpha")});
+  r.AddRow({Value(2), Value(-1.0), Value("beta gamma")});
+  std::string path = TempPath("qf_tsv_roundtrip.tsv");
+  ASSERT_TRUE(StoreTsv(r, path).ok());
+
+  Result<Relation> loaded = LoadTsv(path, "mixed");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->schema(), r.schema());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_TRUE(loaded->Contains({Value(1), Value(2.5), Value("alpha")}));
+  EXPECT_TRUE(loaded->Contains({Value(2), Value(-1.0), Value("beta gamma")}));
+  std::remove(path.c_str());
+}
+
+TEST_F(TsvTest, DedupsOnLoad) {
+  std::string path = TempPath("qf_tsv_dedup.tsv");
+  {
+    std::ofstream out(path);
+    out << "A\tB\n1\tx\n1\tx\n2\ty\n";
+  }
+  Result<Relation> loaded = LoadTsv(path, "r");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(TsvTest, RejectsRaggedRows) {
+  std::string path = TempPath("qf_tsv_ragged.tsv");
+  {
+    std::ofstream out(path);
+    out << "A\tB\n1\n";
+  }
+  EXPECT_FALSE(LoadTsv(path, "r").ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(TsvTest, DatabaseRoundTrip) {
+  Database db;
+  Relation a("alpha", Schema({"X", "Y"}));
+  a.AddRow({Value(1), Value("one")});
+  a.AddRow({Value(2), Value("two")});
+  db.PutRelation(a);
+  Relation b("beta", Schema({"K"}));
+  b.AddRow({Value(3.5)});
+  db.PutRelation(b);
+
+  std::string dir = TempPath("qf_db_roundtrip");
+  ASSERT_TRUE(StoreDatabase(db, dir).ok());
+  Result<Database> loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Names(), db.Names());
+  EXPECT_EQ(loaded->Get("alpha").size(), 2u);
+  EXPECT_TRUE(loaded->Get("alpha").Contains({Value(1), Value("one")}));
+  EXPECT_TRUE(loaded->Get("beta").Contains({Value(3.5)}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(TsvTest, LoadDatabaseWithoutManifestFails) {
+  EXPECT_EQ(LoadDatabase("/nonexistent/qf_db").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(TsvTest, MissingFileIsNotFound) {
+  Result<Relation> r = LoadTsv("/nonexistent/definitely/missing.tsv", "r");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace qf

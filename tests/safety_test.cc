@@ -1,0 +1,130 @@
+// Unit tests for the safety conditions of §3.2-3.3, including the full
+// 14-subset truth table of Example 3.2.
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/safety.h"
+
+namespace qf {
+namespace {
+
+ConjunctiveQuery Parse(const char* text) {
+  auto cq = ParseRule(text);
+  EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+  return *cq;
+}
+
+TEST(SafetyTest, SimplePositiveQueryIsSafe) {
+  EXPECT_TRUE(IsSafe(Parse("answer(B) :- baskets(B,$1)")));
+}
+
+TEST(SafetyTest, HeadVariableMustBeBound) {
+  std::string why;
+  EXPECT_FALSE(IsSafe(Parse("answer(P) :- NOT causes(D,$s)"), &why));
+  EXPECT_NE(why.find("head variable P"), std::string::npos);
+}
+
+TEST(SafetyTest, HeadVariableBoundOnlyByNegationIsUnsafe) {
+  // Condition (1) demands a *positive* relational subgoal.
+  EXPECT_FALSE(IsSafe(Parse("answer(X) :- p(Y) AND NOT q(X)")));
+}
+
+TEST(SafetyTest, HeadVariableBoundOnlyByComparisonIsUnsafe) {
+  EXPECT_FALSE(IsSafe(Parse("answer(X) :- p(Y) AND X < Y")));
+}
+
+TEST(SafetyTest, NegatedVariableMustAppearPositively) {
+  std::string why;
+  EXPECT_FALSE(
+      IsSafe(Parse("answer(P) :- exhibits(P,$s) AND NOT causes(D,$s)"), &why));
+  EXPECT_NE(why.find("negated"), std::string::npos);
+}
+
+TEST(SafetyTest, NegatedParameterMustAppearPositively) {
+  // Parameters are treated as variables by condition (2) — §3.3.
+  EXPECT_FALSE(
+      IsSafe(Parse("answer(P) :- diagnoses(P,D) AND NOT causes(D,$s)")));
+}
+
+TEST(SafetyTest, ArithmeticParameterMustAppearPositively) {
+  // Condition (3) applied to parameters.
+  EXPECT_FALSE(IsSafe(Parse("answer(B) :- baskets(B,$1) AND $1 < $2")));
+  EXPECT_TRUE(IsSafe(
+      Parse("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2")));
+}
+
+TEST(SafetyTest, ArithmeticVariableMustAppearPositively) {
+  EXPECT_FALSE(IsSafe(Parse("answer(X) :- p(X) AND X < Y")));
+}
+
+TEST(SafetyTest, ConstantsAreAlwaysSafe) {
+  EXPECT_TRUE(IsSafe(Parse("answer(X) :- p(X) AND X < 5")));
+  EXPECT_TRUE(IsSafe(Parse("answer(X) :- p(X) AND NOT q(X,'beer')")));
+}
+
+TEST(SafetyTest, NegationOverConstantsOnlyIsSafe) {
+  EXPECT_TRUE(IsSafe(Parse("answer(X) :- p(X) AND NOT q('a',1)")));
+}
+
+TEST(SafetyTest, ParameterAndVariableWithSameSpellingAreDistinct) {
+  // $X (parameter) vs X (variable): binding the variable X positively does
+  // not bind the parameter $X.
+  ConjunctiveQuery cq;
+  cq.head_vars = {"P"};
+  cq.subgoals = {
+      Subgoal::Positive("p", {Term::Variable("P"), Term::Variable("X")}),
+      Subgoal::Comparison(Term::Parameter("X"), CompareOp::kLt,
+                          Term::Variable("X")),
+  };
+  EXPECT_FALSE(IsSafe(cq));
+}
+
+TEST(SafetyTest, UnionSafeIffAllDisjunctsSafe) {
+  auto safe = ParseQuery("answer(B) :- p(B,$1)\nanswer(B) :- q(B,$1)");
+  ASSERT_TRUE(safe.ok());
+  EXPECT_TRUE(IsSafe(*safe));
+
+  auto unsafe =
+      ParseQuery("answer(B) :- p(B,$1)\nanswer(B) :- q(B,$1) AND $2 < $1");
+  ASSERT_TRUE(unsafe.ok());
+  std::string why;
+  EXPECT_FALSE(IsSafe(*unsafe, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+// Example 3.2: exactly 8 of the 14 nontrivial proper subgoal subsets of the
+// medical flock are safe. Enumerate all subsets and check each against the
+// paper's analysis.
+class Example32Safety : public ::testing::TestWithParam<int> {
+ protected:
+  static ConjunctiveQuery Medical() {
+    return Parse(
+        "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND "
+        "diagnoses(P,D) AND NOT causes(D,$s)");
+  }
+};
+
+TEST_P(Example32Safety, SubsetSafetyMatchesPaper) {
+  int mask = GetParam();
+  ConjunctiveQuery full = Medical();
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (mask & (1 << i)) keep.push_back(i);
+  }
+  ConjunctiveQuery sub = full.Subquery(keep);
+
+  // Subgoals: 0=exhibits(P,$s) 1=treatments(P,$m) 2=diagnoses(P,D)
+  //           3=NOT causes(D,$s).
+  bool has_positive = (mask & 0b0111) != 0;  // binds head variable P
+  bool negation_ok =
+      (mask & 0b1000) == 0 ||
+      (((mask & 0b0100) != 0) && ((mask & 0b0001) != 0));  // D and $s bound
+  bool expected = has_positive && negation_ok;
+  EXPECT_EQ(IsSafe(sub), expected) << sub.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubsets, Example32Safety,
+                         ::testing::Range(1, 15));  // nontrivial proper
+
+}  // namespace
+}  // namespace qf

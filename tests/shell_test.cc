@@ -1,0 +1,269 @@
+// Tests for the query-flocks shell: statement parsing, the full command
+// set, error handling, and end-to-end scripts.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "shell/shell.h"
+
+namespace qf {
+namespace {
+
+std::string MustRun(Shell& shell, std::string_view statement) {
+  Result<std::string> out = shell.Execute(statement);
+  EXPECT_TRUE(out.ok()) << out.status().ToString() << " for: " << statement;
+  return out.ok() ? *out : std::string();
+}
+
+TEST(ShellTest, HelpAndUnknownCommand) {
+  Shell shell;
+  EXPECT_NE(MustRun(shell, "HELP").find("FLOCK"), std::string::npos);
+  Result<std::string> bad = shell.Execute("FROBNICATE x");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("unknown command"),
+            std::string::npos);
+}
+
+TEST(ShellTest, EmptyStatementIsNoop) {
+  Shell shell;
+  EXPECT_EQ(MustRun(shell, "   "), "");
+}
+
+TEST(ShellTest, GenShowAndSave) {
+  Shell shell;
+  std::string out = MustRun(
+      shell, "GEN BASKETS baskets n_baskets=50 n_items=10 seed=3");
+  EXPECT_NE(out.find("generated baskets"), std::string::npos);
+  EXPECT_TRUE(shell.database().Has("baskets"));
+
+  std::string relations = MustRun(shell, "SHOW RELATIONS");
+  EXPECT_NE(relations.find("baskets(BID, Item)"), std::string::npos);
+
+  std::string preview = MustRun(shell, "SHOW baskets");
+  EXPECT_NE(preview.find("rows]"), std::string::npos);
+
+  std::string path =
+      (std::filesystem::temp_directory_path() / "qf_shell_save.tsv")
+          .string();
+  MustRun(shell, "SAVE baskets TO " + path);
+
+  Shell other;
+  std::string loaded = MustRun(other, "LOAD baskets FROM " + path);
+  EXPECT_NE(loaded.find("loaded baskets"), std::string::npos);
+  EXPECT_EQ(other.database().Get("baskets").size(),
+            shell.database().Get("baskets").size());
+  std::remove(path.c_str());
+}
+
+TEST(ShellTest, GenRejectsBadKey) {
+  Shell shell;
+  EXPECT_FALSE(shell.Execute("GEN BASKETS b wibble=3").ok());
+  EXPECT_FALSE(shell.Execute("GEN WIDGETS b").ok());
+}
+
+TEST(ShellTest, FlockDeclareRunDirectAndPlan) {
+  Shell shell;
+  MustRun(shell,
+          "GEN BASKETS baskets n_baskets=300 n_items=40 avg_size=6 "
+          "theta=0.8 locality=0.5 topics=8 seed=5");
+  std::string declared = MustRun(
+      shell,
+      "FLOCK pairs QUERY answer(B) :- baskets(B,$1) AND baskets(B,$2) AND "
+      "$1 < $2 FILTER COUNT >= 8");
+  EXPECT_NE(declared.find("flock pairs declared"), std::string::npos);
+  EXPECT_TRUE(shell.HasFlock("pairs"));
+
+  std::string direct = MustRun(shell, "RUN pairs DIRECT LIMIT 3");
+  std::string plan = MustRun(shell, "RUN pairs PLAN LIMIT 3");
+  std::string dynamic = MustRun(shell, "RUN pairs DYNAMIC LIMIT 3");
+  std::string reduced = MustRun(shell, "RUN pairs REDUCED LIMIT 3");
+  // All strategies report the same assignment count.
+  auto count_of = [](const std::string& s) {
+    return s.substr(0, s.find(" assignments"));
+  };
+  EXPECT_EQ(count_of(direct), count_of(plan));
+  EXPECT_EQ(count_of(direct), count_of(dynamic));
+  EXPECT_EQ(count_of(direct), count_of(reduced));
+}
+
+TEST(ShellTest, ExplainShowsPlanAndEstimates) {
+  Shell shell;
+  MustRun(shell, "GEN BASKETS baskets n_baskets=200 n_items=30 seed=7");
+  MustRun(shell,
+          "FLOCK pairs QUERY answer(B) :- baskets(B,$1) AND baskets(B,$2) "
+          "AND $1 < $2 FILTER COUNT >= 10");
+  std::string out = MustRun(shell, "EXPLAIN pairs");
+  EXPECT_NE(out.find("result($1,$2) := FILTER"), std::string::npos);
+  EXPECT_NE(out.find("estimated cost"), std::string::npos);
+}
+
+TEST(ShellTest, SqlEmitsQuery) {
+  Shell shell;
+  MustRun(shell, "GEN BASKETS baskets n_baskets=50 n_items=10 seed=9");
+  MustRun(shell,
+          "FLOCK pairs QUERY answer(B) :- baskets(B,$1) AND baskets(B,$2) "
+          "AND $1 < $2 FILTER COUNT >= 5");
+  std::string sql = MustRun(shell, "SQL pairs");
+  EXPECT_NE(sql.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(sql.find("HAVING COUNT(*) >= 5"), std::string::npos);
+}
+
+TEST(ShellTest, FilterSpecVariants) {
+  Shell shell;
+  MustRun(shell, "GEN BASKETS baskets n_baskets=50 n_items=10 seed=11");
+  // SUM over a named head variable needs the weight relation; declare the
+  // flock only (RUN would need importance data).
+  std::string declared = MustRun(
+      shell,
+      "FLOCK heavy QUERY answer(B,W) :- baskets(B,$1) AND importance(B,W) "
+      "FILTER SUM(W) >= 12.5");
+  EXPECT_NE(declared.find("SUM(answer.W) >= 12.5"), std::string::npos);
+
+  EXPECT_FALSE(shell
+                   .Execute("FLOCK bad QUERY answer(B) :- baskets(B,$1) "
+                            "FILTER SUM >= 5")
+                   .ok());
+  EXPECT_FALSE(shell
+                   .Execute("FLOCK bad QUERY answer(B) :- baskets(B,$1) "
+                            "FILTER COUNT >= nope")
+                   .ok());
+  EXPECT_FALSE(shell
+                   .Execute("FLOCK bad QUERY answer(B) :- baskets(B,$1) "
+                            "FILTER MAX(Z) >= 5")
+                   .ok());
+}
+
+TEST(ShellTest, DefineAndRunWithView) {
+  Shell shell;
+  MustRun(shell, "GEN BASKETS baskets n_baskets=200 n_items=25 seed=13");
+  MustRun(shell, "DEFINE bought(B,I) :- baskets(B,I)");
+  std::string relations = MustRun(shell, "SHOW RELATIONS");
+  EXPECT_NE(relations.find("view]"), std::string::npos);
+
+  MustRun(shell,
+          "FLOCK pairs QUERY answer(B) :- bought(B,$1) AND bought(B,$2) "
+          "AND $1 < $2 FILTER COUNT >= 5");
+  std::string via_view = MustRun(shell, "RUN pairs DIRECT LIMIT 2");
+
+  MustRun(shell,
+          "FLOCK base_pairs QUERY answer(B) :- baskets(B,$1) AND "
+          "baskets(B,$2) AND $1 < $2 FILTER COUNT >= 5");
+  std::string via_base = MustRun(shell, "RUN base_pairs DIRECT LIMIT 2");
+  // Same counts through the view and the base relation (ignore timings).
+  auto count_of = [](const std::string& s) {
+    std::size_t colon = s.find(':');
+    std::size_t word = s.find(" assignments");
+    return s.substr(colon, word - colon);
+  };
+  EXPECT_EQ(count_of(via_view), count_of(via_base));
+}
+
+TEST(ShellTest, DefineRejectsRecursion) {
+  Shell shell;
+  EXPECT_FALSE(shell.Execute("DEFINE tc(X,Y) :- tc(X,Z) AND arc(Z,Y)").ok());
+}
+
+TEST(ShellTest, RunErrors) {
+  Shell shell;
+  EXPECT_EQ(shell.Execute("RUN nothing").status().code(),
+            StatusCode::kNotFound);
+  MustRun(shell, "GEN BASKETS baskets n_baskets=20 n_items=5 seed=1");
+  MustRun(shell,
+          "FLOCK p QUERY answer(B) :- baskets(B,$1) FILTER COUNT >= 2");
+  EXPECT_FALSE(shell.Execute("RUN p SIDEWAYS").ok());
+  EXPECT_FALSE(shell.Execute("RUN p LIMIT x").ok());
+}
+
+TEST(ShellTest, GenMedicalWebGraph) {
+  Shell shell;
+  std::string medical =
+      MustRun(shell, "GEN MEDICAL med n_patients=60 theta=0.8 seed=3");
+  EXPECT_NE(medical.find("generated diagnoses"), std::string::npos);
+  EXPECT_TRUE(shell.database().Has("exhibits"));
+  EXPECT_TRUE(shell.database().Has("causes"));
+
+  std::string web = MustRun(
+      shell, "GEN WEB corpus n_docs=40 n_words=30 n_anchors=50 seed=4");
+  EXPECT_TRUE(shell.database().Has("inTitle"));
+  EXPECT_TRUE(shell.database().Has("link"));
+
+  std::string graph =
+      MustRun(shell, "GEN GRAPH arc n_nodes=30 degree=3 seed=5");
+  EXPECT_TRUE(shell.database().Has("arc"));
+
+  EXPECT_FALSE(shell.Execute("GEN MEDICAL med wibble=1").ok());
+}
+
+TEST(ShellTest, SaveAndLoadDatabase) {
+  Shell shell;
+  MustRun(shell, "GEN BASKETS baskets n_baskets=40 n_items=8 seed=6");
+  MustRun(shell, "GEN GRAPH arc n_nodes=20 degree=2 seed=7");
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "qf_shell_db").string();
+  std::string saved = MustRun(shell, "SAVEDB " + dir);
+  EXPECT_NE(saved.find("saved 2 relations"), std::string::npos);
+
+  Shell other;
+  std::string loaded = MustRun(other, "LOADDB " + dir);
+  EXPECT_NE(loaded.find("loaded arc"), std::string::npos);
+  EXPECT_EQ(other.database().Get("baskets").size(),
+            shell.database().Get("baskets").size());
+  EXPECT_EQ(other.database().Get("arc").size(),
+            shell.database().Get("arc").size());
+  std::filesystem::remove_all(dir);
+
+  EXPECT_FALSE(other.Execute("LOADDB /nonexistent/qf_nowhere").ok());
+}
+
+TEST(ShellTest, MaximalCommand) {
+  Shell shell;
+  MustRun(shell,
+          "GEN BASKETS baskets n_baskets=200 n_items=20 avg_size=5 "
+          "theta=0.7 locality=0.6 topics=4 seed=17");
+  std::string out = MustRun(shell, "MAXIMAL baskets SUPPORT 8 MAXSIZE 4");
+  EXPECT_NE(out.find("maximal frequent itemsets"), std::string::npos);
+  EXPECT_NE(out.find("frequent per level:"), std::string::npos);
+
+  EXPECT_FALSE(shell.Execute("MAXIMAL baskets").ok());          // no SUPPORT
+  EXPECT_FALSE(shell.Execute("MAXIMAL nowhere SUPPORT 5").ok());
+  EXPECT_FALSE(shell.Execute("MAXIMAL baskets SUPPORT x").ok());
+}
+
+TEST(ShellTest, ScriptExecutesStatementsInOrder) {
+  Shell shell;
+  Result<std::string> out = shell.ExecuteScript(R"(
+      # build data, declare, run
+      GEN BASKETS baskets n_baskets=100 n_items=12 seed=21;
+      FLOCK pairs
+        QUERY answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2
+        FILTER COUNT >= 4;
+      RUN pairs DIRECT LIMIT 2;
+  )");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("generated baskets"), std::string::npos);
+  EXPECT_NE(out->find("assignments"), std::string::npos);
+}
+
+TEST(ShellTest, ScriptStopsAtFirstError) {
+  Shell shell;
+  Result<std::string> out = shell.ExecuteScript(
+      "GEN BASKETS b n_baskets=10 n_items=3 seed=1; BOGUS; SHOW RELATIONS;");
+  EXPECT_FALSE(out.ok());
+  // The first statement still took effect.
+  EXPECT_TRUE(shell.database().Has("b"));
+}
+
+TEST(ShellTest, ScriptHandlesQuotedSemicolons) {
+  Shell shell;
+  MustRun(shell, "GEN BASKETS baskets n_baskets=10 n_items=3 seed=2");
+  Result<std::string> out = shell.ExecuteScript(
+      "FLOCK q QUERY answer(B) :- baskets(B,$1) AND baskets(B,'a;b') "
+      "FILTER COUNT >= 1;");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(shell.HasFlock("q"));
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,123 @@
+// Tests for the flock -> SQL translation (§1.3/Fig. 1 correspondence).
+#include <gtest/gtest.h>
+
+#include "flocks/sql_emit.h"
+
+namespace qf {
+namespace {
+
+Database BasketsDb() {
+  Database db;
+  db.PutRelation(Relation("baskets", Schema({"BID", "Item"})));
+  return db;
+}
+
+QueryFlock Flock(const char* text, FilterCondition filter) {
+  auto f = MakeFlock(text, filter);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *f;
+}
+
+TEST(SqlEmitTest, Figure1Shape) {
+  Database db = BasketsDb();
+  QueryFlock f =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(20));
+  auto sql = EmitSql(f, db);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("SELECT DISTINCT"), std::string::npos);
+  EXPECT_NE(sql->find("FROM baskets t0, baskets t1"), std::string::npos);
+  EXPECT_NE(sql->find("t0.BID = t1.BID"), std::string::npos);
+  EXPECT_NE(sql->find("t0.Item < t1.Item"), std::string::npos);
+  EXPECT_NE(sql->find("GROUP BY p_1, p_2"), std::string::npos);
+  EXPECT_NE(sql->find("HAVING COUNT(*) >= 20"), std::string::npos);
+}
+
+TEST(SqlEmitTest, ConstantsBecomeLiterals) {
+  Database db = BasketsDb();
+  QueryFlock f = Flock("answer(B) :- baskets(B,$1) AND baskets(B,'beer')",
+                       FilterCondition::MinSupport(5));
+  auto sql = EmitSql(f, db);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("t1.Item = 'beer'"), std::string::npos);
+}
+
+TEST(SqlEmitTest, QuotesAreEscaped) {
+  Database db = BasketsDb();
+  // Build the constant directly; the Datalog lexer has no quote escaping.
+  ConjunctiveQuery cq;
+  cq.head_vars = {"B"};
+  cq.subgoals = {
+      Subgoal::Positive("baskets",
+                        {Term::Variable("B"), Term::Parameter("1")}),
+      Subgoal::Positive("baskets",
+                        {Term::Variable("B"), Term::Constant(Value("o'b"))}),
+  };
+  QueryFlock direct(cq, FilterCondition::MinSupport(5));
+  auto sql = EmitSql(direct, db);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("'o''b'"), std::string::npos);
+}
+
+TEST(SqlEmitTest, NegationBecomesNotExists) {
+  Database db;
+  db.PutRelation(Relation("exhibits", Schema({"Patient", "Symptom"})));
+  db.PutRelation(Relation("treatments", Schema({"Patient", "Medicine"})));
+  db.PutRelation(Relation("diagnoses", Schema({"Patient", "Disease"})));
+  db.PutRelation(Relation("causes", Schema({"Disease", "Symptom"})));
+  QueryFlock f = Flock(
+      "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND "
+      "diagnoses(P,D) AND NOT causes(D,$s)",
+      FilterCondition::MinSupport(20));
+  auto sql = EmitSql(f, db);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("NOT EXISTS (SELECT 1 FROM causes"), std::string::npos);
+}
+
+TEST(SqlEmitTest, UnionQueryEmitsUnion) {
+  Database db;
+  db.PutRelation(Relation("inTitle", Schema({"Doc", "Word"})));
+  db.PutRelation(Relation("inAnchor", Schema({"Anchor", "Word"})));
+  db.PutRelation(Relation("link", Schema({"Anchor", "From", "To"})));
+  QueryFlock f = Flock(R"(
+      answer(D) :- inTitle(D,$1) AND inTitle(D,$2) AND $1 < $2
+      answer(A) :- link(A,D1,D2) AND inAnchor(A,$1) AND inTitle(D2,$2)
+                   AND $1 < $2
+  )",
+                       FilterCondition::MinSupport(20));
+  auto sql = EmitSql(f, db);
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+  EXPECT_NE(sql->find("UNION"), std::string::npos);
+}
+
+TEST(SqlEmitTest, SumFilterEmitsSumHaving) {
+  Database db = BasketsDb();
+  db.PutRelation(Relation("importance", Schema({"BID", "W"})));
+  QueryFlock f =
+      Flock("answer(B,W) :- baskets(B,$1) AND importance(B,W)",
+            {FilterAgg::kSum, CompareOp::kGe, 20, 1});
+  auto sql = EmitSql(f, db);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("HAVING SUM(h_1) >= 20"), std::string::npos);
+}
+
+TEST(SqlEmitTest, UnknownPredicateFails) {
+  Database db;
+  QueryFlock f = Flock("answer(B) :- nowhere(B,$1)",
+                       FilterCondition::MinSupport(5));
+  EXPECT_EQ(EmitSql(f, db).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SqlEmitTest, NotEqualsUsesSqlSpelling) {
+  Database db = BasketsDb();
+  QueryFlock f =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 != $2",
+            FilterCondition::MinSupport(5));
+  auto sql = EmitSql(f, db);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_NE(sql->find("t0.Item <> t1.Item"), std::string::npos);
+  EXPECT_EQ(sql->find("!="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qf

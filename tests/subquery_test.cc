@@ -1,0 +1,121 @@
+// Unit tests for safe-subquery enumeration (§3.1-3.3), cross-checked with
+// containment: every enumerated subquery must contain the original.
+#include <gtest/gtest.h>
+
+#include "datalog/containment.h"
+#include "datalog/parser.h"
+#include "datalog/subquery.h"
+
+namespace qf {
+namespace {
+
+ConjunctiveQuery Parse(const char* text) {
+  auto cq = ParseRule(text);
+  EXPECT_TRUE(cq.ok()) << cq.status().ToString();
+  return *cq;
+}
+
+ConjunctiveQuery Medical() {
+  return Parse(
+      "answer(P) :- exhibits(P,$s) AND treatments(P,$m) AND diagnoses(P,D) "
+      "AND NOT causes(D,$s)");
+}
+
+TEST(SubqueryTest, Example32CountsEightSafeSubsets) {
+  EXPECT_EQ(CountSafeNontrivialSubsets(Medical()), 8u);
+}
+
+TEST(SubqueryTest, RequireParametersDropsParameterFreeSubqueries) {
+  // Of the 8 safe subsets, {diagnoses(P,D)} mentions no parameter.
+  std::vector<SubqueryCandidate> with_params =
+      EnumerateSafeSubqueries(Medical());
+  EXPECT_EQ(with_params.size(), 7u);
+  for (const SubqueryCandidate& c : with_params) {
+    EXPECT_FALSE(c.parameters.empty());
+  }
+}
+
+TEST(SubqueryTest, EveryCandidateContainsOriginal) {
+  ConjunctiveQuery full = Medical();
+  for (const SubqueryCandidate& c : EnumerateSafeSubqueries(full)) {
+    EXPECT_TRUE(SubsetContains(c.query, full)) << c.query.ToString();
+    EXPECT_TRUE(Contains(c.query, full)) << c.query.ToString();
+  }
+}
+
+TEST(SubqueryTest, MarketBasketSubqueries) {
+  // Example 3.1: exactly two nontrivial subqueries, one per parameter.
+  ConjunctiveQuery pair =
+      Parse("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+  std::vector<SubqueryCandidate> subs = EnumerateSafeSubqueries(pair);
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].query.ToString(), "answer(B) :- baskets(B,$1)");
+  EXPECT_EQ(subs[1].query.ToString(), "answer(B) :- baskets(B,$2)");
+}
+
+TEST(SubqueryTest, ParameterSetsRecorded) {
+  for (const SubqueryCandidate& c : EnumerateSafeSubqueries(Medical())) {
+    EXPECT_EQ(c.parameters, c.query.Parameters());
+  }
+}
+
+TEST(SubqueryTest, ForParametersExactMatchOnly) {
+  // Example 3.2's candidates for $s alone: subqueries (1) exhibits and
+  // (3) diagnoses+exhibits+NOT causes, plus exhibits+diagnoses.
+  std::vector<SubqueryCandidate> s_only =
+      EnumerateSafeSubqueriesForParameters(Medical(), {"s"});
+  ASSERT_EQ(s_only.size(), 3u);
+  for (const SubqueryCandidate& c : s_only) {
+    EXPECT_EQ(c.parameters, (std::set<std::string>{"s"}));
+  }
+
+  std::vector<SubqueryCandidate> m_only =
+      EnumerateSafeSubqueriesForParameters(Medical(), {"m"});
+  // $m appears only in treatments(P,$m): {t}, {t,d} — {t,e} has both params.
+  ASSERT_EQ(m_only.size(), 2u);
+
+  std::vector<SubqueryCandidate> both =
+      EnumerateSafeSubqueriesForParameters(Medical(), {"s", "m"});
+  // {e,t}, {e,t,d} (the full set is excluded as improper).
+  ASSERT_EQ(both.size(), 2u);
+}
+
+TEST(SubqueryTest, ArithmeticSubgoalForcesBindingSubgoals) {
+  ConjunctiveQuery q =
+      Parse("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2");
+  // Any subquery keeping the comparison must keep both baskets subgoals.
+  for (const SubqueryCandidate& c : EnumerateSafeSubqueries(q)) {
+    bool has_cmp = false;
+    std::size_t relational = 0;
+    for (const Subgoal& s : c.query.subgoals) {
+      has_cmp |= s.is_comparison();
+      relational += s.is_relational();
+    }
+    if (has_cmp) {
+      EXPECT_EQ(relational, 2u);
+    }
+  }
+}
+
+TEST(SubqueryTest, KeptIndicesReconstructQuery) {
+  ConjunctiveQuery full = Medical();
+  for (const SubqueryCandidate& c : EnumerateSafeSubqueries(full)) {
+    EXPECT_EQ(full.Subquery(c.kept), c.query);
+  }
+}
+
+TEST(SubqueryTest, ProperOnlyFalseIncludesFullQuery) {
+  ConjunctiveQuery pair =
+      Parse("answer(B) :- baskets(B,$1) AND baskets(B,$2)");
+  std::vector<SubqueryCandidate> subs = EnumerateSafeSubqueries(
+      pair, {.require_parameters = true, .proper_only = false});
+  bool has_full = false;
+  for (const SubqueryCandidate& c : subs) {
+    has_full |= c.query == pair;
+  }
+  EXPECT_TRUE(has_full);
+  EXPECT_EQ(subs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qf

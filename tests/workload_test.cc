@@ -1,0 +1,202 @@
+// Tests for the synthetic workload generators: schemas, determinism,
+// distributional knobs, and structural invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/basket_gen.h"
+#include "workload/graph_gen.h"
+#include "workload/medical_gen.h"
+#include "workload/web_gen.h"
+
+namespace qf {
+namespace {
+
+TEST(BasketGenTest, SchemaAndSize) {
+  Relation r = GenerateBaskets({.n_baskets = 100, .n_items = 20,
+                                .avg_basket_size = 5, .zipf_theta = 1.0,
+                                .seed = 1});
+  EXPECT_EQ(r.name(), "baskets");
+  EXPECT_EQ(r.schema(), Schema({"BID", "Item"}));
+  EXPECT_GT(r.size(), 100u);  // ~5 items per basket, minus collisions
+}
+
+TEST(BasketGenTest, DeterministicForSeed) {
+  BasketConfig config{.n_baskets = 50, .n_items = 10, .avg_basket_size = 4,
+                      .zipf_theta = 1.0, .seed = 42};
+  Relation a = GenerateBaskets(config);
+  Relation b = GenerateBaskets(config);
+  a.SortRows();
+  b.SortRows();
+  EXPECT_EQ(a.rows(), b.rows());
+}
+
+TEST(BasketGenTest, DifferentSeedsDiffer) {
+  BasketConfig a_cfg{.n_baskets = 50, .n_items = 10, .avg_basket_size = 4,
+                     .zipf_theta = 1.0, .seed = 1};
+  BasketConfig b_cfg = a_cfg;
+  b_cfg.seed = 2;
+  Relation a = GenerateBaskets(a_cfg);
+  Relation b = GenerateBaskets(b_cfg);
+  a.SortRows();
+  b.SortRows();
+  EXPECT_NE(a.rows(), b.rows());
+}
+
+TEST(BasketGenTest, ZipfSkewsItemFrequencies) {
+  Relation r = GenerateBaskets({.n_baskets = 2000, .n_items = 100,
+                                .avg_basket_size = 6, .zipf_theta = 1.2,
+                                .seed = 3});
+  std::map<Value, int> counts;
+  std::size_t item_col = r.schema().IndexOfOrDie("Item");
+  for (const Tuple& t : r.rows()) ++counts[t[item_col]];
+  // The most popular item should appear far more often than the median.
+  std::vector<int> freqs;
+  for (auto& [item, c] : counts) freqs.push_back(c);
+  std::sort(freqs.rbegin(), freqs.rend());
+  EXPECT_GT(freqs.front(), 10 * freqs[freqs.size() / 2]);
+}
+
+TEST(BasketGenTest, ItemNamesZeroPadded) {
+  Relation r = GenerateBaskets({.n_baskets = 10, .n_items = 5,
+                                .avg_basket_size = 3, .zipf_theta = 0,
+                                .seed = 4});
+  std::size_t item_col = r.schema().IndexOfOrDie("Item");
+  for (const Tuple& t : r.rows()) {
+    const std::string& name = t[item_col].AsString();
+    EXPECT_EQ(name.size(), 9u);  // "item" + 5 digits
+    EXPECT_EQ(name.substr(0, 4), "item");
+  }
+}
+
+TEST(BasketGenTest, ImportanceWeightsPositive) {
+  BasketConfig config{.n_baskets = 200, .seed = 5};
+  Relation imp = GenerateImportance(config, 10.0);
+  EXPECT_EQ(imp.schema(), Schema({"BID", "W"}));
+  EXPECT_EQ(imp.size(), 200u);
+  std::size_t w = imp.schema().IndexOfOrDie("W");
+  double total = 0;
+  for (const Tuple& t : imp.rows()) {
+    EXPECT_GT(t[w].AsNumber(), 0);
+    total += t[w].AsNumber();
+  }
+  // Heavy-tailed around the requested mean.
+  EXPECT_GT(total / imp.size(), 2.0);
+}
+
+TEST(MedicalGenTest, AllRelationsPresent) {
+  MedicalConfig config;
+  config.n_patients = 100;
+  Database db = GenerateMedical(config);
+  EXPECT_TRUE(db.Has("diagnoses"));
+  EXPECT_TRUE(db.Has("exhibits"));
+  EXPECT_TRUE(db.Has("treatments"));
+  EXPECT_TRUE(db.Has("causes"));
+  EXPECT_EQ(db.Get("diagnoses").schema(), Schema({"Patient", "Disease"}));
+  EXPECT_EQ(db.Get("causes").schema(), Schema({"Disease", "Symptom"}));
+}
+
+TEST(MedicalGenTest, OneDiseasePerPatient) {
+  MedicalConfig config;
+  config.n_patients = 200;
+  config.seed = 6;
+  Database db = GenerateMedical(config);
+  const Relation& diagnoses = db.Get("diagnoses");
+  EXPECT_EQ(diagnoses.size(), 200u);  // exactly one row per patient
+  std::set<Value> patients;
+  std::size_t p = diagnoses.schema().IndexOfOrDie("Patient");
+  for (const Tuple& t : diagnoses.rows()) patients.insert(t[p]);
+  EXPECT_EQ(patients.size(), 200u);
+}
+
+TEST(MedicalGenTest, EveryPatientHasSymptomAndMedicine) {
+  MedicalConfig config;
+  config.n_patients = 150;
+  config.seed = 7;
+  Database db = GenerateMedical(config);
+  std::set<Value> with_symptom, with_medicine;
+  const Relation& ex = db.Get("exhibits");
+  std::size_t pe = ex.schema().IndexOfOrDie("Patient");
+  for (const Tuple& t : ex.rows()) with_symptom.insert(t[pe]);
+  const Relation& tr = db.Get("treatments");
+  std::size_t pt = tr.schema().IndexOfOrDie("Patient");
+  for (const Tuple& t : tr.rows()) with_medicine.insert(t[pt]);
+  EXPECT_EQ(with_symptom.size(), 150u);
+  EXPECT_EQ(with_medicine.size(), 150u);
+}
+
+TEST(MedicalGenTest, DeterministicForSeed) {
+  MedicalConfig config;
+  config.n_patients = 80;
+  config.seed = 99;
+  Database a = GenerateMedical(config);
+  Database b = GenerateMedical(config);
+  for (const std::string& name : a.Names()) {
+    Relation ra = a.Get(name), rb = b.Get(name);
+    ra.SortRows();
+    rb.SortRows();
+    EXPECT_EQ(ra.rows(), rb.rows()) << name;
+  }
+}
+
+TEST(WebGenTest, SchemaAndDisjointIds) {
+  WebConfig config;
+  config.n_docs = 100;
+  config.n_anchors = 150;
+  config.seed = 8;
+  Database db = GenerateWeb(config);
+  EXPECT_EQ(db.Get("inTitle").schema(), Schema({"Doc", "Word"}));
+  EXPECT_EQ(db.Get("inAnchor").schema(), Schema({"Anchor", "Word"}));
+  EXPECT_EQ(db.Get("link").schema(), Schema({"Anchor", "From", "To"}));
+  // Anchor ids and doc ids are disjoint (Fig. 4's counting assumption).
+  std::set<Value> docs, anchors;
+  const Relation& titles = db.Get("inTitle");
+  for (const Tuple& t : titles.rows()) docs.insert(t[0]);
+  const Relation& anchor_words = db.Get("inAnchor");
+  for (const Tuple& t : anchor_words.rows()) anchors.insert(t[0]);
+  for (const Value& a : anchors) EXPECT_FALSE(docs.contains(a));
+}
+
+TEST(WebGenTest, LinksReferenceGeneratedDocs) {
+  WebConfig config;
+  config.n_docs = 50;
+  config.n_anchors = 80;
+  config.seed = 9;
+  Database db = GenerateWeb(config);
+  const Relation& link = db.Get("link");
+  for (const Tuple& t : link.rows()) {
+    EXPECT_EQ(t[1].AsString().substr(0, 3), "doc");
+    EXPECT_EQ(t[2].AsString().substr(0, 3), "doc");
+  }
+}
+
+TEST(GraphGenTest, NoSelfLoops) {
+  Relation arc = GenerateGraph({.n_nodes = 100, .avg_out_degree = 5,
+                                .target_theta = 0.8, .seed = 10});
+  EXPECT_EQ(arc.schema(), Schema({"From", "To"}));
+  for (const Tuple& t : arc.rows()) EXPECT_NE(t[0], t[1]);
+}
+
+TEST(GraphGenTest, SkewProducesHubs) {
+  Relation arc = GenerateGraph({.n_nodes = 500, .avg_out_degree = 6,
+                                .target_theta = 1.0, .seed = 11});
+  std::map<Value, int> in_degree;
+  for (const Tuple& t : arc.rows()) ++in_degree[t[1]];
+  int max_in = 0;
+  for (auto& [node, d] : in_degree) max_in = std::max(max_in, d);
+  // A Zipf target distribution concentrates many arcs on a few hubs.
+  EXPECT_GT(max_in, 30);
+}
+
+TEST(GraphGenTest, DeterministicForSeed) {
+  GraphConfig config{.n_nodes = 60, .avg_out_degree = 4, .target_theta = 0.5,
+                     .seed = 12};
+  Relation a = GenerateGraph(config);
+  Relation b = GenerateGraph(config);
+  a.SortRows();
+  b.SortRows();
+  EXPECT_EQ(a.rows(), b.rows());
+}
+
+}  // namespace
+}  // namespace qf

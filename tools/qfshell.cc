@@ -1,0 +1,66 @@
+// qfshell — the interactive query-flocks processor.
+//
+//   ./qfshell                 # REPL on stdin
+//   ./qfshell script.qf       # execute a script file
+//
+// See `HELP;` or src/shell/shell.h for the statement language.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "shell/shell.h"
+
+namespace {
+
+int RunScript(qf::Shell& shell, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  qf::Result<std::string> output = shell.ExecuteScript(buffer.str());
+  if (!output.ok()) {
+    std::fprintf(stderr, "error: %s\n", output.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(output->c_str(), stdout);
+  return 0;
+}
+
+int RunRepl(qf::Shell& shell) {
+  std::printf("query-flocks shell — statements end with ';', HELP; for "
+              "help, ctrl-D to exit\n");
+  std::string pending;
+  std::string line;
+  std::printf("qf> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    pending += line + "\n";
+    // Execute once the buffer holds at least one full statement.
+    if (line.find(';') != std::string::npos) {
+      qf::Result<std::string> output = shell.ExecuteScript(pending);
+      if (output.ok()) {
+        std::fputs(output->c_str(), stdout);
+      } else {
+        std::printf("error: %s\n", output.status().ToString().c_str());
+      }
+      pending.clear();
+    }
+    std::printf(pending.empty() ? "qf> " : "  > ");
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qf::Shell shell;
+  if (argc > 1) return RunScript(shell, argv[1]);
+  return RunRepl(shell);
+}
