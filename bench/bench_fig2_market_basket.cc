@@ -13,6 +13,7 @@
 
 #include "apriori/apriori.h"
 #include "bench/bench_util.h"
+#include "common/check.h"
 #include "flocks/eval.h"
 #include "optimizer/executor_support.h"
 #include "plan/plan.h"
@@ -105,13 +106,86 @@ void BM_Fig2_NaivePairs(benchmark::State& state) {
   state.counters["pairs"] = static_cast<double>(pairs);
 }
 
+// Threads-parameterized variants (args: support, threads). Before timing,
+// each verifies the parallel result is byte-identical to the serial one —
+// the determinism contract the morsel engine promises (DESIGN.md,
+// "Threading model"). Wall-clock gains require real cores; on a 1-core
+// host these measure the coordination overhead instead.
+void BM_Fig2_FlockDirectThreads(benchmark::State& state) {
+  QueryFlock flock = bench::MustFlock(
+      kPairQuery, FilterCondition::MinSupport(state.range(0)));
+  FlockEvalOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  {
+    Relation serial = bench::MustOk(EvaluateFlock(flock, RetailDb()));
+    Relation parallel =
+        bench::MustOk(EvaluateFlock(flock, RetailDb(), options));
+    QF_CHECK(serial.schema() == parallel.schema());
+    QF_CHECK(serial.rows() == parallel.rows());
+  }
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    Relation result =
+        bench::MustOk(EvaluateFlock(flock, RetailDb(), options));
+    pairs = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_Fig2_FlockPlanThreads(benchmark::State& state) {
+  QueryFlock flock = bench::MustFlock(
+      kPairQuery, FilterCondition::MinSupport(state.range(0)));
+  auto ok1 = bench::MustOk(
+      MakeFilterStep(flock, "ok1", {"1"}, std::vector<std::size_t>{0}));
+  auto ok2 = bench::MustOk(
+      MakeFilterStep(flock, "ok2", {"2"}, std::vector<std::size_t>{1}));
+  QueryPlan plan = bench::MustOk(PlanWithPrefilters(flock, {ok1, ok2}));
+  unsigned threads = static_cast<unsigned>(state.range(1));
+  {
+    Relation serial =
+        bench::MustOk(ExecutePlanOptimized(plan, flock, RetailDb()));
+    Relation parallel = bench::MustOk(
+        ExecutePlanOptimized(plan, flock, RetailDb(), nullptr, threads));
+    QF_CHECK(serial.schema() == parallel.schema());
+    QF_CHECK(serial.rows() == parallel.rows());
+  }
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    Relation result = bench::MustOk(
+        ExecutePlanOptimized(plan, flock, RetailDb(), nullptr, threads));
+    pairs = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_Fig2_AprioriThreads(benchmark::State& state) {
+  const BasketData& data = RetailBaskets();
+  unsigned threads = static_cast<unsigned>(state.range(1));
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    std::vector<Itemset> result =
+        AprioriFrequentPairs(data, state.range(0), threads);
+    pairs = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
 #define QF_FIG2_ARGS \
   ->Arg(20)->Arg(50)->Arg(100)->Arg(200)->Unit(benchmark::kMillisecond)
+#define QF_FIG2_THREAD_ARGS                            \
+  ->Args({50, 1})->Args({50, 2})->Args({50, 4})        \
+  ->Unit(benchmark::kMillisecond)
 
 BENCHMARK(BM_Fig2_FlockDirect) QF_FIG2_ARGS;
 BENCHMARK(BM_Fig2_FlockPlan) QF_FIG2_ARGS;
 BENCHMARK(BM_Fig2_Apriori) QF_FIG2_ARGS;
 BENCHMARK(BM_Fig2_NaivePairs) QF_FIG2_ARGS;
+BENCHMARK(BM_Fig2_FlockDirectThreads) QF_FIG2_THREAD_ARGS;
+BENCHMARK(BM_Fig2_FlockPlanThreads) QF_FIG2_THREAD_ARGS;
+BENCHMARK(BM_Fig2_AprioriThreads) QF_FIG2_THREAD_ARGS;
 
 }  // namespace
 }  // namespace qf

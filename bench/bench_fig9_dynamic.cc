@@ -14,6 +14,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "common/check.h"
 #include "flocks/eval.h"
 #include "optimizer/dynamic.h"
 #include "optimizer/executor_support.h"
@@ -113,12 +114,46 @@ void BM_Fig9_Dynamic(benchmark::State& state) {
   state.counters["peak_rows"] = static_cast<double>(peak);
 }
 
+// Parallel plan execution (args: theta index, threads): both prefilter
+// steps are independent, so the wave scheduler runs them concurrently and
+// every step's joins and group-bys go morsel-parallel. Verified outside
+// the timed region to return exactly the serial rows.
+void BM_Fig9_StaticAlwaysThreads(benchmark::State& state) {
+  const Database& db = BasketsDb(static_cast<int>(state.range(0)));
+  QueryFlock flock = PairFlock();
+  auto ok1 = bench::MustOk(
+      MakeFilterStep(flock, "ok1", {"1"}, std::vector<std::size_t>{0}));
+  auto ok2 = bench::MustOk(
+      MakeFilterStep(flock, "ok2", {"2"}, std::vector<std::size_t>{1}));
+  QueryPlan plan = bench::MustOk(PlanWithPrefilters(flock, {ok1, ok2}));
+  unsigned threads = static_cast<unsigned>(state.range(1));
+  {
+    Relation serial = bench::MustOk(ExecutePlanOptimized(plan, flock, db));
+    Relation parallel = bench::MustOk(
+        ExecutePlanOptimized(plan, flock, db, nullptr, threads));
+    QF_CHECK(serial.rows() == parallel.rows());
+  }
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    Relation result = bench::MustOk(
+        ExecutePlanOptimized(plan, flock, db, nullptr, threads));
+    pairs = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
 #define QF_FIG9_ARGS ->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)
 
 BENCHMARK(BM_Fig9_StaticNone) QF_FIG9_ARGS;
 BENCHMARK(BM_Fig9_StaticAlways) QF_FIG9_ARGS;
 BENCHMARK(BM_Fig9_CostChosen) QF_FIG9_ARGS;
 BENCHMARK(BM_Fig9_Dynamic) QF_FIG9_ARGS;
+BENCHMARK(BM_Fig9_StaticAlwaysThreads)
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace qf

@@ -61,11 +61,30 @@ void BM_Micro_SortMergeJoin(benchmark::State& state) {
 
 void BM_Micro_ParallelJoin(benchmark::State& state) {
   std::size_t n = static_cast<std::size_t>(state.range(0));
+  unsigned threads = static_cast<unsigned>(state.range(1));
   Relation a = RandomRelation(n, n / 10, 1);
   Relation b = Rename(RandomRelation(n / 4, n / 10, 2), {"K", "W"});
+  // The parallel join promises the serial join's exact row order.
+  QF_CHECK(ParallelNaturalJoin(a, b, threads).rows() ==
+           NaturalJoin(a, b).rows());
   for (auto _ : state) {
-    Relation j = ParallelNaturalJoin(a, b, 4);
+    Relation j = ParallelNaturalJoin(a, b, threads);
     benchmark::DoNotOptimize(j);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_Micro_ParallelGroupCount(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  unsigned threads = static_cast<unsigned>(state.range(1));
+  Relation a = RandomRelation(n, n / 20, 4);
+  // Parallel group-by is bit-identical for every thread count.
+  QF_CHECK(GroupAggregate(a, {"K"}, AggKind::kCount, "", "n", threads)
+               .rows() ==
+           GroupAggregate(a, {"K"}, AggKind::kCount, "", "n", 1).rows());
+  for (auto _ : state) {
+    Relation g = GroupAggregate(a, {"K"}, AggKind::kCount, "", "n", threads);
+    benchmark::DoNotOptimize(g);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
@@ -152,9 +171,17 @@ void BM_Micro_Parser(benchmark::State& state) {
 
 BENCHMARK(BM_Micro_NaturalJoin)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_Micro_SortMergeJoin)->Arg(1000)->Arg(10000)->Arg(100000);
-BENCHMARK(BM_Micro_ParallelJoin)->Arg(100000)->Arg(400000);
+BENCHMARK(BM_Micro_ParallelJoin)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({400000, 4});
 BENCHMARK(BM_Micro_ProjectDedup)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_Micro_GroupCount)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_ParallelGroupCount)
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4});
 BENCHMARK(BM_Micro_AntiJoin)->Arg(1000)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_Micro_Containment)->DenseRange(2, 6);
 BENCHMARK(BM_Micro_Safety);

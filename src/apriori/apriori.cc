@@ -7,9 +7,83 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace qf {
 namespace {
+
+// Baskets per morsel for the parallel counting passes. Counts merge by
+// addition, so the decomposition affects nothing but scheduling.
+constexpr std::size_t kMorselBaskets = 256;
+
+// Counts item occurrences over all baskets, morsel-parallel: per-morsel
+// count vectors summed elementwise (integer adds commute, so the result
+// is the serial one for every thread count).
+std::vector<std::size_t> CountItems(const BasketData& data, unsigned threads) {
+  std::vector<std::size_t> item_counts(data.item_count(), 0);
+  if (threads <= 1 || data.baskets.size() < 2 * kMorselBaskets) {
+    for (const std::vector<ItemId>& basket : data.baskets) {
+      for (ItemId item : basket) ++item_counts[item];
+    }
+    return item_counts;
+  }
+  std::vector<std::vector<std::size_t>> partials(
+      MorselCount(data.baskets.size(), kMorselBaskets));
+  ParallelFor(threads, data.baskets.size(), kMorselBaskets,
+              [&](std::size_t begin, std::size_t end) {
+                std::vector<std::size_t>& local =
+                    partials[begin / kMorselBaskets];
+                local.assign(data.item_count(), 0);
+                for (std::size_t b = begin; b < end; ++b) {
+                  for (ItemId item : data.baskets[b]) ++local[item];
+                }
+              });
+  for (const std::vector<std::size_t>& local : partials) {
+    for (std::size_t i = 0; i < local.size(); ++i) item_counts[i] += local[i];
+  }
+  return item_counts;
+}
+
+// Counts co-occurring pairs (packed as hi<<32|lo) over all baskets whose
+// items pass `keep`, morsel-parallel with per-morsel maps merged by
+// addition.
+template <typename Keep>
+std::unordered_map<std::uint64_t, std::size_t> CountPairs(
+    const BasketData& data, unsigned threads, const Keep& keep) {
+  using PairCounts = std::unordered_map<std::uint64_t, std::size_t>;
+  auto count_range = [&](std::size_t begin, std::size_t end,
+                         PairCounts& counts) {
+    std::vector<ItemId> filtered;
+    for (std::size_t b = begin; b < end; ++b) {
+      filtered.clear();
+      for (ItemId item : data.baskets[b]) {
+        if (keep(item)) filtered.push_back(item);
+      }
+      for (std::size_t i = 0; i < filtered.size(); ++i) {
+        for (std::size_t j = i + 1; j < filtered.size(); ++j) {
+          std::uint64_t key =
+              (static_cast<std::uint64_t>(filtered[i]) << 32) | filtered[j];
+          ++counts[key];
+        }
+      }
+    }
+  };
+  PairCounts pair_counts;
+  if (threads <= 1 || data.baskets.size() < 2 * kMorselBaskets) {
+    count_range(0, data.baskets.size(), pair_counts);
+    return pair_counts;
+  }
+  std::vector<PairCounts> partials(
+      MorselCount(data.baskets.size(), kMorselBaskets));
+  ParallelFor(threads, data.baskets.size(), kMorselBaskets,
+              [&](std::size_t begin, std::size_t end) {
+                count_range(begin, end, partials[begin / kMorselBaskets]);
+              });
+  for (PairCounts& local : partials) {
+    for (const auto& [key, count] : local) pair_counts[key] += count;
+  }
+  return pair_counts;
+}
 
 struct ItemVecHash {
   std::size_t operator()(const std::vector<ItemId>& v) const {
@@ -63,10 +137,12 @@ std::vector<std::vector<ItemId>> GenerateCandidates(
 
 // Counts candidate occurrences by enumerating the size-k subsets of each
 // basket (restricted to items that appear in some candidate) and probing
-// the candidate set.
+// the candidate set. Morsel-parallel over baskets with per-morsel count
+// maps merged by addition — supports are identical for every thread
+// count.
 void CountCandidates(const BasketData& data,
                      const std::vector<std::vector<ItemId>>& candidates,
-                     CandidateCounts& counts) {
+                     unsigned threads, CandidateCounts& counts) {
   if (candidates.empty()) return;
   std::size_t k = candidates.front().size();
   std::unordered_set<std::vector<ItemId>, ItemVecHash> candidate_set(
@@ -74,33 +150,50 @@ void CountCandidates(const BasketData& data,
   std::unordered_set<ItemId> live_items;
   for (const auto& c : candidates) live_items.insert(c.begin(), c.end());
 
-  std::vector<ItemId> filtered;
-  std::vector<std::size_t> choose;
-  for (const std::vector<ItemId>& basket : data.baskets) {
-    filtered.clear();
-    for (ItemId item : basket) {
-      if (live_items.contains(item)) filtered.push_back(item);
-    }
-    if (filtered.size() < k) continue;
-    // Enumerate k-combinations of `filtered` (sorted, so combinations are
-    // sorted too).
-    choose.assign(k, 0);
-    for (std::size_t i = 0; i < k; ++i) choose[i] = i;
-    while (true) {
-      std::vector<ItemId> subset(k);
-      for (std::size_t i = 0; i < k; ++i) subset[i] = filtered[choose[i]];
-      auto it = candidate_set.find(subset);
-      if (it != candidate_set.end()) ++counts[subset];
-      // Next combination.
-      std::size_t i = k;
-      while (i > 0) {
-        --i;
-        if (choose[i] != i + filtered.size() - k) break;
+  auto count_range = [&](std::size_t begin, std::size_t end,
+                         CandidateCounts& local) {
+    std::vector<ItemId> filtered;
+    std::vector<std::size_t> choose;
+    for (std::size_t b = begin; b < end; ++b) {
+      filtered.clear();
+      for (ItemId item : data.baskets[b]) {
+        if (live_items.contains(item)) filtered.push_back(item);
       }
-      if (choose[i] == i + filtered.size() - k) break;
-      ++choose[i];
-      for (std::size_t j = i + 1; j < k; ++j) choose[j] = choose[j - 1] + 1;
+      if (filtered.size() < k) continue;
+      // Enumerate k-combinations of `filtered` (sorted, so combinations
+      // are sorted too).
+      choose.assign(k, 0);
+      for (std::size_t i = 0; i < k; ++i) choose[i] = i;
+      while (true) {
+        std::vector<ItemId> subset(k);
+        for (std::size_t i = 0; i < k; ++i) subset[i] = filtered[choose[i]];
+        auto it = candidate_set.find(subset);
+        if (it != candidate_set.end()) ++local[subset];
+        // Next combination.
+        std::size_t i = k;
+        while (i > 0) {
+          --i;
+          if (choose[i] != i + filtered.size() - k) break;
+        }
+        if (choose[i] == i + filtered.size() - k) break;
+        ++choose[i];
+        for (std::size_t j = i + 1; j < k; ++j) choose[j] = choose[j - 1] + 1;
+      }
     }
+  };
+
+  if (threads <= 1 || data.baskets.size() < 2 * kMorselBaskets) {
+    count_range(0, data.baskets.size(), counts);
+    return;
+  }
+  std::vector<CandidateCounts> partials(
+      MorselCount(data.baskets.size(), kMorselBaskets));
+  ParallelFor(threads, data.baskets.size(), kMorselBaskets,
+              [&](std::size_t begin, std::size_t end) {
+                count_range(begin, end, partials[begin / kMorselBaskets]);
+              });
+  for (CandidateCounts& local : partials) {
+    for (auto& [subset, count] : local) counts[subset] += count;
   }
 }
 
@@ -149,10 +242,7 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
   std::vector<Itemset> result;
 
   // Level 1: plain counting pass.
-  std::vector<std::size_t> item_counts(data.item_count(), 0);
-  for (const std::vector<ItemId>& basket : data.baskets) {
-    for (ItemId item : basket) ++item_counts[item];
-  }
+  std::vector<std::size_t> item_counts = CountItems(data, options.threads);
   std::vector<std::vector<ItemId>> frequent;
   for (ItemId item = 0; item < data.item_count(); ++item) {
     if (item_counts[item] >= options.min_support) {
@@ -173,7 +263,7 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
     if (candidates.empty()) break;
     CandidateCounts counts;
     counts.reserve(candidates.size());
-    CountCandidates(data, candidates, counts);
+    CountCandidates(data, candidates, options.threads, counts);
     frequent.clear();
     for (const std::vector<ItemId>& c : candidates) {
       auto it = counts.find(c);
@@ -194,33 +284,18 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
 }
 
 std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
-                                          std::size_t min_support) {
+                                          std::size_t min_support,
+                                          unsigned threads) {
   // Pass 1: singleton counts; the pre-filter of §1.2.
-  std::vector<std::size_t> item_counts(data.item_count(), 0);
-  for (const std::vector<ItemId>& basket : data.baskets) {
-    for (ItemId item : basket) ++item_counts[item];
-  }
+  std::vector<std::size_t> item_counts = CountItems(data, threads);
   std::vector<bool> frequent_item(data.item_count(), false);
   for (ItemId i = 0; i < data.item_count(); ++i) {
     frequent_item[i] = item_counts[i] >= min_support;
   }
 
   // Pass 2: count pairs of surviving items only.
-  std::unordered_map<std::uint64_t, std::size_t> pair_counts;
-  std::vector<ItemId> filtered;
-  for (const std::vector<ItemId>& basket : data.baskets) {
-    filtered.clear();
-    for (ItemId item : basket) {
-      if (frequent_item[item]) filtered.push_back(item);
-    }
-    for (std::size_t i = 0; i < filtered.size(); ++i) {
-      for (std::size_t j = i + 1; j < filtered.size(); ++j) {
-        std::uint64_t key =
-            (static_cast<std::uint64_t>(filtered[i]) << 32) | filtered[j];
-        ++pair_counts[key];
-      }
-    }
-  }
+  std::unordered_map<std::uint64_t, std::size_t> pair_counts = CountPairs(
+      data, threads, [&](ItemId item) { return bool{frequent_item[item]}; });
 
   std::vector<Itemset> result;
   for (const auto& [key, count] : pair_counts) {
@@ -236,18 +311,11 @@ std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
 }
 
 std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
-                                        std::size_t min_support) {
+                                        std::size_t min_support,
+                                        unsigned threads) {
   // No pre-filter: every co-occurring pair is counted.
-  std::unordered_map<std::uint64_t, std::size_t> pair_counts;
-  for (const std::vector<ItemId>& basket : data.baskets) {
-    for (std::size_t i = 0; i < basket.size(); ++i) {
-      for (std::size_t j = i + 1; j < basket.size(); ++j) {
-        std::uint64_t key =
-            (static_cast<std::uint64_t>(basket[i]) << 32) | basket[j];
-        ++pair_counts[key];
-      }
-    }
-  }
+  std::unordered_map<std::uint64_t, std::size_t> pair_counts =
+      CountPairs(data, threads, [](ItemId) { return true; });
   std::vector<Itemset> result;
   for (const auto& [key, count] : pair_counts) {
     if (count >= min_support) {

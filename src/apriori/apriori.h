@@ -46,6 +46,11 @@ struct AprioriOptions {
   std::size_t min_support = 1;
   // Largest itemset size to mine; 0 = keep going until a level is empty.
   std::size_t max_size = 0;
+  // Workers for the counting passes (1 = serial). Baskets are counted in
+  // morsels with per-morsel tables merged by addition — integer counts,
+  // so the supports (and therefore the mined itemsets, which are emitted
+  // in candidate order) are identical for every value.
+  unsigned threads = 1;
 };
 
 struct AprioriStats {
@@ -64,14 +69,17 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
                                              AprioriStats* stats = nullptr);
 
 // Frequent pairs only, with the a-priori pre-filter (count singletons,
-// drop infrequent items, then count surviving pairs).
+// drop infrequent items, then count surviving pairs). `threads` works as
+// in AprioriOptions: same result for every value.
 std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
-                                          std::size_t min_support);
+                                          std::size_t min_support,
+                                          unsigned threads = 1);
 
 // The unoptimized baseline: counts every co-occurring pair (the Fig. 1 SQL
 // query as a conventional optimizer executes it) and filters at the end.
 std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
-                                        std::size_t min_support);
+                                        std::size_t min_support,
+                                        unsigned threads = 1);
 
 // Renders itemsets as a relation over item-name columns I1..Ik plus
 // Support, for comparison against flock results.

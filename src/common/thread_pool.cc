@@ -1,0 +1,243 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace qf {
+namespace {
+
+// Set while the current thread executes inside a pool worker; nested
+// ParallelFor calls check it and run inline instead of re-entering the
+// pool (which could deadlock a saturated pool).
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+}  // namespace
+
+// One ParallelFor invocation: an atomic cursor over the morsels plus the
+// bookkeeping to know when the last in-flight morsel finished. Lives on
+// the submitting thread's stack; workers hold a pointer only while the
+// job is registered in `pending_`.
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  std::size_t morsel = 1;
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next_morsel{0};
+  std::size_t morsel_count = 0;
+  // Workers still inside fn; the submitter waits for this to reach zero
+  // once the cursor is exhausted.
+  std::atomic<unsigned> active{0};
+  // How many pool workers may still pick this job up (bounds parallelism).
+  unsigned slots = 0;
+
+  // First failure in morsel-index order (exception or Status).
+  std::mutex error_mutex;
+  std::size_t error_morsel = 0;
+  std::exception_ptr exception;
+  Status status;  // used by ParallelForStatus
+  std::atomic<bool> failed{false};
+
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+  unsigned retired_workers = 0;
+
+  void RecordError(std::size_t morsel_index, std::exception_ptr e, Status s) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!failed.load(std::memory_order_relaxed) ||
+        morsel_index < error_morsel) {
+      error_morsel = morsel_index;
+      exception = std::move(e);
+      status = std::move(s);
+      failed.store(true, std::memory_order_release);
+    }
+  }
+
+  // Runs morsels until the cursor is exhausted (or a failure stops the
+  // loop). Every participant — caller and workers — funnels through here.
+  void Drain() {
+    while (!failed.load(std::memory_order_acquire)) {
+      std::size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
+      if (m >= morsel_count) break;
+      std::size_t begin = m * morsel;
+      std::size_t end = std::min(n, begin + morsel);
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        RecordError(m, std::current_exception(), InternalError("exception"));
+      }
+    }
+  }
+};
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::InWorker() const { return tls_current_pool == this; }
+
+void ThreadPool::WorkerLoop() {
+  tls_current_pool = this;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      if (shutdown_ && pending_.empty()) return;
+      job = pending_.back();
+      if (--job->slots == 0) {
+        pending_.pop_back();
+      }
+      job->active.fetch_add(1, std::memory_order_relaxed);
+    }
+    job->Drain();
+    {
+      // Notify while still holding done_mutex: the submitter destroys the
+      // Job as soon as its wait predicate holds, and it can only return
+      // from wait() after re-acquiring the mutex — so signalling under the
+      // lock is what keeps the condition variable alive for this call.
+      std::lock_guard<std::mutex> lock(job->done_mutex);
+      ++job->retired_workers;
+      job->active.fetch_sub(1, std::memory_order_release);
+      job->done_cv.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunJob(Job& job) {
+  job.morsel_count = MorselCount(job.n, job.morsel);
+  if (job.morsel_count == 0) return;
+
+  // Nested call from a worker, a trivial loop, or no spare parallelism:
+  // run inline. Morsel order is identical either way.
+  if (InWorker() || job.slots == 0 || job.morsel_count == 1 ||
+      workers_.empty()) {
+    job.Drain();
+    return;
+  }
+
+  unsigned invited;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.slots = static_cast<unsigned>(std::min<std::size_t>(
+        {job.slots, workers_.size(), job.morsel_count - 1}));
+    invited = job.slots;
+    if (invited > 0) pending_.push_back(&job);
+  }
+  if (invited == 1) {
+    wake_.notify_one();
+  } else if (invited > 1) {
+    wake_.notify_all();
+  }
+
+  // The caller works too: even if every worker is busy elsewhere, the
+  // loop completes.
+  job.Drain();
+
+  // Wait until no worker is still inside fn, and no worker can still pick
+  // the job up (it may sit in pending_ with slots left if workers were
+  // busy — remove it before returning, since the job dies with this
+  // frame).
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = std::find(pending_.begin(), pending_.end(), &job);
+    if (it != pending_.end()) {
+      invited -= job.slots;  // slots never claimed
+      pending_.erase(it);
+    }
+  }
+  std::unique_lock<std::mutex> lock(job.done_mutex);
+  job.done_cv.wait(lock, [&job, invited] {
+    return job.retired_workers == invited &&
+           job.active.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t n, std::size_t morsel, unsigned parallelism,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  QF_CHECK_MSG(morsel > 0, "ParallelFor morsel size must be positive");
+  Job job;
+  job.n = n;
+  job.morsel = morsel;
+  job.fn = &fn;
+  job.slots = parallelism > 0 ? parallelism - 1 : 0;  // caller takes one
+  RunJob(job);
+  if (job.failed.load(std::memory_order_acquire) && job.exception) {
+    std::rethrow_exception(job.exception);
+  }
+}
+
+Status ThreadPool::ParallelForStatus(
+    std::size_t n, std::size_t morsel, unsigned parallelism,
+    const std::function<Status(std::size_t, std::size_t)>& fn) {
+  QF_CHECK_MSG(morsel > 0, "ParallelFor morsel size must be positive");
+  Job job;
+  job.n = n;
+  job.morsel = morsel;
+  // Adapter: a failed morsel records its Status (keyed by begin/morsel to
+  // preserve "lowest morsel wins") and stops the loop via job.failed.
+  std::function<void(std::size_t, std::size_t)> wrapped =
+      [&job, &fn](std::size_t begin, std::size_t end) {
+        Status s = fn(begin, end);
+        if (!s.ok()) {
+          job.RecordError(begin / job.morsel, nullptr, std::move(s));
+        }
+      };
+  job.fn = &wrapped;
+  job.slots = parallelism > 0 ? parallelism - 1 : 0;
+  RunJob(job);
+  if (job.failed.load(std::memory_order_acquire)) {
+    if (job.exception) std::rethrow_exception(job.exception);
+    return job.status;
+  }
+  return Status::Ok();
+}
+
+void ParallelFor(unsigned threads, std::size_t n, std::size_t morsel,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  QF_CHECK_MSG(morsel > 0, "ParallelFor morsel size must be positive");
+  if (threads <= 1 || MorselCount(n, morsel) <= 1) {
+    // Inline, but still morsel-at-a-time so observable call patterns (and
+    // morsel-indexed buffers) match the parallel path exactly.
+    for (std::size_t begin = 0; begin < n; begin += morsel) {
+      fn(begin, std::min(n, begin + morsel));
+    }
+    return;
+  }
+  ThreadPool::Global().ParallelFor(n, morsel, threads, fn);
+}
+
+Status ParallelForStatus(
+    unsigned threads, std::size_t n, std::size_t morsel,
+    const std::function<Status(std::size_t, std::size_t)>& fn) {
+  QF_CHECK_MSG(morsel > 0, "ParallelFor morsel size must be positive");
+  if (threads <= 1 || MorselCount(n, morsel) <= 1) {
+    for (std::size_t begin = 0; begin < n; begin += morsel) {
+      Status s = fn(begin, std::min(n, begin + morsel));
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+  return ThreadPool::Global().ParallelForStatus(n, morsel, threads, fn);
+}
+
+}  // namespace qf

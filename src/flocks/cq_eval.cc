@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "datalog/acyclic.h"
 #include "relational/ops.h"
 
@@ -26,7 +27,8 @@ Result<const Relation*> PredicateResolver::Resolve(
   return NotFoundError("unknown predicate: " + name);
 }
 
-Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base) {
+Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
+                         unsigned threads) {
   const std::vector<Term>& args = subgoal.args();
   QF_CHECK_MSG(args.size() == base.arity(),
                ("arity mismatch for predicate " + subgoal.predicate()).c_str());
@@ -54,24 +56,41 @@ Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base) {
     }
   }
 
-  Relation out{Schema(columns)};
-  for (const Tuple& row : base.rows()) {
-    bool match = true;
+  auto matches = [&constant_checks, &equal_checks](const Tuple& row) {
     for (const auto& [pos, value] : constant_checks) {
-      if (!(row[pos] == value)) {
-        match = false;
-        break;
-      }
+      if (!(row[pos] == value)) return false;
     }
-    if (match) {
-      for (const auto& [a, b] : equal_checks) {
-        if (!(row[a] == row[b])) {
-          match = false;
-          break;
-        }
-      }
+    for (const auto& [a, b] : equal_checks) {
+      if (!(row[a] == row[b])) return false;
     }
-    if (match) out.Add(ProjectTuple(row, keep));
+    return true;
+  };
+
+  Relation out{Schema(columns)};
+  constexpr std::size_t kMorselRows = 4096;
+  if (threads <= 1 || base.size() < 2 * kMorselRows) {
+    for (const Tuple& row : base.rows()) {
+      if (matches(row)) out.Add(ProjectTuple(row, keep));
+    }
+  } else {
+    // Morsel-parallel scan; concatenating the per-morsel buffers in
+    // morsel order reproduces the serial row order exactly.
+    std::vector<std::vector<Tuple>> buffers(
+        MorselCount(base.size(), kMorselRows));
+    ParallelFor(threads, base.size(), kMorselRows,
+                [&](std::size_t begin, std::size_t end) {
+                  std::vector<Tuple>& buf = buffers[begin / kMorselRows];
+                  for (std::size_t r = begin; r < end; ++r) {
+                    const Tuple& row = base.rows()[r];
+                    if (matches(row)) buf.push_back(ProjectTuple(row, keep));
+                  }
+                });
+    std::size_t total = 0;
+    for (const auto& buf : buffers) total += buf.size();
+    out.mutable_rows().reserve(total);
+    for (auto& buf : buffers) {
+      for (Tuple& t : buf) out.mutable_rows().push_back(std::move(t));
+    }
   }
   // Dropping constant-checked positions cannot merge distinct base rows,
   // but a subgoal with *no* variables (all constants) produces arity-0
@@ -155,7 +174,7 @@ Result<Relation> EvaluateConjunctiveBindings(
       return InvalidArgumentError("arity mismatch for predicate " +
                                   s->predicate());
     }
-    positive_bindings.push_back(SubgoalBindings(*s, **base));
+    positive_bindings.push_back(SubgoalBindings(*s, **base, options.threads));
   }
   for (PendingNegation& pn : negations) {
     Result<const Relation*> base = resolver.Resolve(pn.subgoal->predicate());
@@ -164,7 +183,7 @@ Result<Relation> EvaluateConjunctiveBindings(
       return InvalidArgumentError("arity mismatch for predicate " +
                                   pn.subgoal->predicate());
     }
-    pn.bindings = SubgoalBindings(*pn.subgoal, **base);
+    pn.bindings = SubgoalBindings(*pn.subgoal, **base, options.threads);
   }
 
   // Optional Yannakakis full-reducer pass (acyclic queries only).
@@ -241,7 +260,12 @@ Result<Relation> EvaluateConjunctiveBindings(
   };
   apply_ready();
   for (std::size_t k = 1; k < order.size(); ++k) {
-    current = NaturalJoin(current, positive_bindings[order[k]]);
+    // The parallel join preserves the serial join's row order, so the
+    // fold's intermediates are identical for every thread count.
+    current = options.threads > 1
+                  ? ParallelNaturalJoin(current, positive_bindings[order[k]],
+                                        options.threads)
+                  : NaturalJoin(current, positive_bindings[order[k]]);
     peak = std::max(peak, current.size());
     apply_ready();
   }

@@ -44,8 +44,11 @@ class PredicateResolver {
 
 // The binding relation of one relational subgoal over its base relation:
 // one column per distinct variable/parameter of the subgoal, one row per
-// base row matching the subgoal's constants and repeated terms.
-Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base);
+// base row matching the subgoal's constants and repeated terms. With
+// `threads` > 1 the scan runs morsel-parallel on the shared pool; the
+// output rows and their order are identical for every thread count.
+Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
+                         unsigned threads = 1);
 
 struct CqEvalOptions {
   // Join order as positions into the query's list of *positive* subgoals
@@ -58,6 +61,11 @@ struct CqEvalOptions {
   // join_order when a join tree exists; silently falls back to the normal
   // fold on cyclic queries.
   bool full_reducer = false;
+  // Workers for the subgoal scans and the join fold (1 = serial). The
+  // result is identical — same rows, same order — for every value: the
+  // parallel scan and join both preserve the serial row order (see
+  // relational/ops.h on ParallelNaturalJoin).
+  unsigned threads = 1;
 };
 
 // Evaluates the body of `cq` and projects the bindings onto

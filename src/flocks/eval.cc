@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "relational/ops.h"
 
 namespace qf {
@@ -42,23 +43,39 @@ Result<Relation> EvaluateFlock(
       extra != nullptr ? PredicateResolver(db, *extra)
                        : PredicateResolver(db);
 
-  Relation answers{Schema(answer_columns)};
-  std::size_t peak = 0;
-  for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
+  // Evaluate the disjuncts — concurrently when threads allow, each into
+  // its own slot — then union the slots in disjunct order. The union
+  // order matches the serial loop's, so the answer relation is identical
+  // for every thread count.
+  std::size_t n_disjuncts = flock.query.disjuncts.size();
+  std::vector<Relation> disjunct_answers(n_disjuncts);
+  std::vector<std::size_t> disjunct_peaks(n_disjuncts, 0);
+  auto eval_disjunct = [&](std::size_t d) -> Status {
     const ConjunctiveQuery& cq = flock.query.disjuncts[d];
     std::vector<std::string> wanted = param_columns;
     for (const std::string& h : cq.head_vars) wanted.push_back(h);
     CqEvalOptions cq_options;
     if (d < options.per_disjunct.size()) cq_options = options.per_disjunct[d];
-    std::size_t disjunct_peak = 0;
+    if (cq_options.threads <= 1) cq_options.threads = options.threads;
     Result<Relation> bindings = EvaluateConjunctiveBindings(
-        cq, resolver, wanted, cq_options, &disjunct_peak);
+        cq, resolver, wanted, cq_options, &disjunct_peaks[d]);
     if (!bindings.ok()) return bindings.status();
-    peak = std::max(peak, disjunct_peak);
-    Relation renamed = Rename(std::move(*bindings), answer_columns);
-    answers = flock.query.disjuncts.size() == 1
-                  ? std::move(renamed)
-                  : Union(answers, renamed);
+    disjunct_answers[d] = Rename(std::move(*bindings), answer_columns);
+    return Status::Ok();
+  };
+  if (Status s = ParallelForStatus(
+          std::min<std::size_t>(options.threads, n_disjuncts), n_disjuncts,
+          1, [&](std::size_t begin, std::size_t) { return eval_disjunct(begin); });
+      !s.ok()) {
+    return s;
+  }
+
+  Relation answers{Schema(answer_columns)};
+  std::size_t peak = 0;
+  for (std::size_t d = 0; d < n_disjuncts; ++d) {
+    peak = std::max(peak, disjunct_peaks[d]);
+    answers = n_disjuncts == 1 ? std::move(disjunct_answers[d])
+                               : Union(answers, disjunct_answers[d]);
   }
 
   if (flock.filter.agg == FilterAgg::kSum &&
@@ -80,23 +97,33 @@ Result<Relation> EvaluateFlock(
   }
 
   const FilterCondition& filter = flock.filter;
-  Relation grouped =
+  AggKind agg_kind =
       filter.agg == FilterAgg::kCount
-          ? GroupAggregate(answers, param_columns, AggKind::kCount, "",
-                           "_agg")
-          : GroupAggregate(
-                answers, param_columns,
-                filter.agg == FilterAgg::kSum
-                    ? AggKind::kSum
-                    : (filter.agg == FilterAgg::kMin ? AggKind::kMin
-                                                     : AggKind::kMax),
-                canonical_heads[filter.agg_head_index], "_agg");
+          ? AggKind::kCount
+          : (filter.agg == FilterAgg::kSum
+                 ? AggKind::kSum
+                 : (filter.agg == FilterAgg::kMin ? AggKind::kMin
+                                                  : AggKind::kMax));
+  std::string agg_column = filter.agg == FilterAgg::kCount
+                               ? std::string()
+                               : canonical_heads[filter.agg_head_index];
+  // The parallel overload aggregates morsel-locally and merges; the
+  // serial one is kept for threads <= 1 so the single-core path carries
+  // zero coordination overhead. Both feed the same filter + projection,
+  // and the final sort makes the returned row order identical.
+  Relation grouped =
+      options.threads > 1
+          ? GroupAggregate(answers, param_columns, agg_kind, agg_column,
+                           "_agg", options.threads)
+          : GroupAggregate(answers, param_columns, agg_kind, agg_column,
+                           "_agg");
 
   std::size_t agg_col = grouped.schema().IndexOfOrDie("_agg");
   Relation passing = Select(grouped, [&filter, agg_col](const Tuple& row) {
     return filter.Accepts(row[agg_col]);
   });
   Relation result = Project(passing, param_columns);
+  result.SortRows();
   result.set_name("flock_result");
   return result;
 }

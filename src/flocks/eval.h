@@ -30,6 +30,14 @@ struct FlockEvalOptions {
   // Verify SUM filters only see non-negative weights (the monotonicity
   // precondition of the Future Work section).
   bool require_nonnegative_sum = true;
+  // Workers for the evaluation (1 = serial). With more than one:
+  // independent disjuncts of a union flock evaluate concurrently on the
+  // shared pool (common/thread_pool.h), each disjunct's scans and joins
+  // run morsel-parallel, and the group-by/aggregate uses thread-local
+  // tables merged in morsel order. The answer set is identical for every
+  // value, and the result relation is returned in canonically sorted row
+  // order regardless (see DESIGN.md, "Threading model").
+  unsigned threads = 1;
 };
 
 struct FlockEvalInfo {
@@ -41,8 +49,10 @@ struct FlockEvalInfo {
 
 // Evaluates `flock` over `db` (plus `extra` predicate overlays, used by
 // plan steps). The result's columns are the flock's parameters, "$"-tagged,
-// in sorted order. Requires a monotone filter; non-monotone filters need
-// the naive evaluator (flocks/naive_eval.h), which can see empty answers.
+// in sorted order, and its rows are canonically (lexicographically)
+// sorted — deterministic for every options.threads value. Requires a
+// monotone filter; non-monotone filters need the naive evaluator
+// (flocks/naive_eval.h), which can see empty answers.
 Result<Relation> EvaluateFlock(
     const QueryFlock& flock, const Database& db,
     const FlockEvalOptions& options = {},

@@ -33,9 +33,10 @@ StepOrderChooser CostBasedOrderChooser(CostModelConfig config) {
 Result<Relation> ExecutePlanOptimized(const QueryPlan& plan,
                                       const QueryFlock& flock,
                                       const Database& db,
-                                      PlanExecInfo* info) {
+                                      PlanExecInfo* info, unsigned threads) {
   PlanExecOptions options;
   options.order_chooser = CostBasedOrderChooser();
+  options.threads = threads;
   return ExecutePlan(plan, flock, db, options, info);
 }
 

@@ -65,10 +65,18 @@ struct PlanExecOptions {
   // Verify legality before executing (recommended; turn off only in
   // benches that check it once outside the timed region).
   bool check_legal = true;
+  // Workers for plan execution (1 = serial). With more than one, steps
+  // that do not reference each other's results evaluate concurrently in
+  // dependency waves on the shared pool, and each step's flock evaluation
+  // inherits the knob (FlockEvalOptions::threads). The executed plan's
+  // result — and every per-step materialization — is identical for every
+  // value; see DESIGN.md, "Threading model".
+  unsigned threads = 1;
 };
 
 // Executes `plan` for `flock` over `db`. The result matches
-// EvaluateFlock(flock, db) for every legal plan (the §4.2 equivalence).
+// EvaluateFlock(flock, db) for every legal plan (the §4.2 equivalence),
+// with the same canonically sorted row order.
 Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
                              const Database& db,
                              const PlanExecOptions& options = {},

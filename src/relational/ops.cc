@@ -1,11 +1,11 @@
 #include "relational/ops.h"
 
 #include <algorithm>
-#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace qf {
 namespace {
@@ -110,38 +110,40 @@ Relation NaturalJoin(const Relation& a, const Relation& b) {
 Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
                              unsigned threads) {
   JoinLayout layout = ComputeJoinLayout(a, b);
-  constexpr std::size_t kMinRowsPerThread = 4096;
-  if (threads <= 1 || layout.a_key.empty() ||
-      a.size() < threads * kMinRowsPerThread || b.empty()) {
+  // Probe-side morsel size. Fixed — never derived from `threads` — so the
+  // morsel decomposition, and with it the output row order, is a function
+  // of the inputs alone.
+  constexpr std::size_t kMorselRows = 4096;
+  if (threads <= 1 || layout.a_key.empty() || a.size() < 2 * kMorselRows ||
+      b.empty()) {
     return NaturalJoin(a, b);
   }
 
-  // Shared read-only build index over b; probe ranges of a in parallel.
+  // Shared read-only build index over b; morsels of a probe it on the
+  // pool, each into its own buffer.
   RowIndex index = BuildIndex(b, layout.b_key);
-  std::vector<std::vector<Tuple>> outputs(threads);
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  std::size_t chunk = (a.size() + threads - 1) / threads;
-  for (unsigned w = 0; w < threads; ++w) {
-    std::size_t begin = w * chunk;
-    std::size_t end = std::min(a.size(), begin + chunk);
-    workers.emplace_back([&, begin, end, w] {
-      std::vector<Tuple>& out = outputs[w];
-      for (std::size_t r = begin; r < end; ++r) {
-        const Tuple& ta = a.rows()[r];
-        auto it = index.find(ProjectTuple(ta, layout.a_key));
-        if (it == index.end()) continue;
-        for (std::size_t rb : it->second) {
-          Tuple combined = ta;
-          const Tuple& tb = b.rows()[rb];
-          for (std::size_t j : layout.b_rest) combined.push_back(tb[j]);
-          out.push_back(std::move(combined));
-        }
-      }
-    });
-  }
-  for (std::thread& t : workers) t.join();
+  std::vector<std::vector<Tuple>> outputs(MorselCount(a.size(), kMorselRows));
+  ParallelFor(threads, a.size(), kMorselRows,
+              [&](std::size_t begin, std::size_t end) {
+                std::vector<Tuple>& out = outputs[begin / kMorselRows];
+                for (std::size_t r = begin; r < end; ++r) {
+                  const Tuple& ta = a.rows()[r];
+                  auto it = index.find(ProjectTuple(ta, layout.a_key));
+                  if (it == index.end()) continue;
+                  for (std::size_t rb : it->second) {
+                    Tuple combined = ta;
+                    const Tuple& tb = b.rows()[rb];
+                    for (std::size_t j : layout.b_rest) {
+                      combined.push_back(tb[j]);
+                    }
+                    out.push_back(std::move(combined));
+                  }
+                }
+              });
 
+  // Concatenate in morsel order: morsels cover a's rows in index order and
+  // each morsel emits matches in probe order, so the result row order
+  // equals the serial NaturalJoin's.
   Relation out(JoinedSchema(a, b, layout));
   std::size_t total = 0;
   for (const auto& part : outputs) total += part.size();
@@ -290,72 +292,170 @@ Relation Distinct(const Relation& rel) {
   return out;
 }
 
+namespace {
+
+struct Accumulator {
+  std::int64_t count = 0;
+  double sum = 0;
+  bool has_extreme = false;
+  Value extreme;
+};
+
+using GroupTable = std::unordered_map<Tuple, Accumulator, TupleHash>;
+
+void AccumulateRow(Accumulator& acc, AggKind kind, const Tuple& t,
+                   std::size_t agg_idx) {
+  switch (kind) {
+    case AggKind::kCount:
+      acc.count += 1;
+      break;
+    case AggKind::kSum:
+      QF_CHECK_MSG(t[agg_idx].IsNumeric(), "SUM over non-numeric value");
+      acc.sum += t[agg_idx].AsNumber();
+      break;
+    case AggKind::kMin:
+      if (!acc.has_extreme || t[agg_idx] < acc.extreme) {
+        acc.extreme = t[agg_idx];
+        acc.has_extreme = true;
+      }
+      break;
+    case AggKind::kMax:
+      if (!acc.has_extreme || acc.extreme < t[agg_idx]) {
+        acc.extreme = t[agg_idx];
+        acc.has_extreme = true;
+      }
+      break;
+  }
+}
+
+void MergeAccumulator(Accumulator& into, const Accumulator& from,
+                      AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      into.count += from.count;
+      break;
+    case AggKind::kSum:
+      into.sum += from.sum;
+      break;
+    case AggKind::kMin:
+      if (!into.has_extreme ||
+          (from.has_extreme && from.extreme < into.extreme)) {
+        into = from;
+      }
+      break;
+    case AggKind::kMax:
+      if (!into.has_extreme ||
+          (from.has_extreme && into.extreme < from.extreme)) {
+        into = from;
+      }
+      break;
+  }
+}
+
+Tuple FinishGroup(const Tuple& key, const Accumulator& acc, AggKind kind) {
+  Tuple row = key;
+  switch (kind) {
+    case AggKind::kCount:
+      row.push_back(Value(acc.count));
+      break;
+    case AggKind::kSum:
+      row.push_back(Value(acc.sum));
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax:
+      row.push_back(acc.extreme);
+      break;
+  }
+  return row;
+}
+
+struct GroupLayout {
+  std::vector<std::size_t> group_idx;
+  std::size_t agg_idx = 0;
+};
+
+GroupLayout ComputeGroupLayout(const Relation& rel,
+                               const std::vector<std::string>& group_columns,
+                               AggKind kind, const std::string& agg_column) {
+  GroupLayout layout;
+  layout.group_idx.reserve(group_columns.size());
+  for (const std::string& c : group_columns) {
+    layout.group_idx.push_back(rel.schema().IndexOfOrDie(c));
+  }
+  if (kind != AggKind::kCount) {
+    layout.agg_idx = rel.schema().IndexOfOrDie(agg_column);
+  }
+  return layout;
+}
+
+}  // namespace
+
 Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
                         const std::string& output_column) {
-  std::vector<std::size_t> group_idx;
-  group_idx.reserve(group_columns.size());
-  for (const std::string& c : group_columns) {
-    group_idx.push_back(rel.schema().IndexOfOrDie(c));
-  }
-  std::size_t agg_idx = 0;
-  if (kind != AggKind::kCount) {
-    agg_idx = rel.schema().IndexOfOrDie(agg_column);
-  }
-
-  struct Accumulator {
-    std::int64_t count = 0;
-    double sum = 0;
-    bool has_extreme = false;
-    Value extreme;
-  };
-  std::unordered_map<Tuple, Accumulator, TupleHash> groups;
+  GroupLayout layout =
+      ComputeGroupLayout(rel, group_columns, kind, agg_column);
+  GroupTable groups;
   groups.reserve(rel.size());
   for (const Tuple& t : rel.rows()) {
-    Accumulator& acc = groups[ProjectTuple(t, group_idx)];
-    switch (kind) {
-      case AggKind::kCount:
-        acc.count += 1;
-        break;
-      case AggKind::kSum:
-        QF_CHECK_MSG(t[agg_idx].IsNumeric(), "SUM over non-numeric value");
-        acc.sum += t[agg_idx].AsNumber();
-        break;
-      case AggKind::kMin:
-        if (!acc.has_extreme || t[agg_idx] < acc.extreme) {
-          acc.extreme = t[agg_idx];
-          acc.has_extreme = true;
-        }
-        break;
-      case AggKind::kMax:
-        if (!acc.has_extreme || acc.extreme < t[agg_idx]) {
-          acc.extreme = t[agg_idx];
-          acc.has_extreme = true;
-        }
-        break;
-    }
+    AccumulateRow(groups[ProjectTuple(t, layout.group_idx)], kind, t,
+                  layout.agg_idx);
   }
 
   std::vector<std::string> out_columns = group_columns;
   out_columns.push_back(output_column);
   Relation out(Schema(std::move(out_columns)));
   for (auto& [key, acc] : groups) {
-    Tuple row = key;
-    switch (kind) {
-      case AggKind::kCount:
-        row.push_back(Value(acc.count));
-        break;
-      case AggKind::kSum:
-        row.push_back(Value(acc.sum));
-        break;
-      case AggKind::kMin:
-      case AggKind::kMax:
-        row.push_back(acc.extreme);
-        break;
-    }
-    out.Add(std::move(row));
+    out.Add(FinishGroup(key, acc, kind));
   }
+  return out;
+}
+
+Relation GroupAggregate(const Relation& rel,
+                        const std::vector<std::string>& group_columns,
+                        AggKind kind, const std::string& agg_column,
+                        const std::string& output_column, unsigned threads) {
+  GroupLayout layout =
+      ComputeGroupLayout(rel, group_columns, kind, agg_column);
+
+  // Fixed morsel size: the decomposition (and therefore the association
+  // order of floating-point SUM partials) depends only on the input, so
+  // every `threads` value computes bit-identical aggregates.
+  constexpr std::size_t kMorselRows = 2048;
+  std::vector<GroupTable> partials(MorselCount(rel.size(), kMorselRows));
+  ParallelFor(threads, rel.size(), kMorselRows,
+              [&](std::size_t begin, std::size_t end) {
+                GroupTable& local = partials[begin / kMorselRows];
+                local.reserve(end - begin);
+                for (std::size_t r = begin; r < end; ++r) {
+                  const Tuple& t = rel.rows()[r];
+                  AccumulateRow(local[ProjectTuple(t, layout.group_idx)],
+                                kind, t, layout.agg_idx);
+                }
+              });
+
+  // Merge thread-local tables in morsel order (deterministic), then sort
+  // the output rows: group keys are unique, so the lexicographic sort is
+  // a total order and pins the row order independently of hash-table
+  // iteration.
+  GroupTable groups;
+  groups.reserve(rel.size());
+  for (GroupTable& partial : partials) {
+    for (auto& [key, acc] : partial) {
+      auto [it, inserted] = groups.try_emplace(key, acc);
+      if (!inserted) MergeAccumulator(it->second, acc, kind);
+    }
+  }
+
+  std::vector<std::string> out_columns = group_columns;
+  out_columns.push_back(output_column);
+  Relation out(Schema(std::move(out_columns)));
+  out.mutable_rows().reserve(groups.size());
+  for (auto& [key, acc] : groups) {
+    out.Add(FinishGroup(key, acc, kind));
+  }
+  out.SortRows();
   return out;
 }
 

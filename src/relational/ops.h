@@ -37,12 +37,15 @@ Relation NaturalJoin(const Relation& a, const Relation& b);
 // use the hash join by default.
 Relation SortMergeJoin(const Relation& a, const Relation& b);
 
-// Natural join with the probe side partitioned across `threads` worker
-// threads (hash-partitioned build side, one output buffer per worker,
-// concatenated at the end). Identical result set to NaturalJoin; row
-// order differs. `threads` <= 1, small inputs, and cross products fall
-// back to the serial join. Opt-in: the evaluators use the serial join so
-// their behaviour stays deterministic.
+// Natural join with the probe side split into fixed-size morsels handed
+// to the shared thread pool (common/thread_pool.h): a shared read-only
+// hash index over `b`, one output buffer per morsel, buffers concatenated
+// in morsel order. Because morsel boundaries depend only on the input
+// size — never on `threads` — the output row order is *identical to
+// NaturalJoin(a, b)* for every thread count, so the evaluators can switch
+// between the serial and parallel join freely without changing results.
+// `threads` <= 1, small inputs, and cross products fall back to the
+// serial join (same rows, same order).
 Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
                              unsigned threads);
 
@@ -78,6 +81,20 @@ Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
                         const std::string& output_column);
+
+// Morsel-parallel GroupAggregate: rows are split into fixed-size morsels,
+// each aggregated into a thread-local hash table on the shared pool, the
+// per-morsel tables merged in morsel order, and the output rows sorted
+// lexicographically. The result is bit-identical for every `threads`
+// value (including 1): morsel boundaries and the merge order depend only
+// on the input, so even floating-point SUM associates identically, and
+// the final sort pins the row order. Differs from the serial overload
+// above only in row order (and, for SUM, in float association — the sums
+// are equal up to rounding).
+Relation GroupAggregate(const Relation& rel,
+                        const std::vector<std::string>& group_columns,
+                        AggKind kind, const std::string& agg_column,
+                        const std::string& output_column, unsigned threads);
 
 }  // namespace qf
 

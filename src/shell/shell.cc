@@ -146,8 +146,9 @@ constexpr std::string_view kHelp =
     "  DEFINE <head>(<vars>) :- <body>;       # intermediate predicate\n"
     "  FLOCK <name> QUERY <rules> FILTER <AGG>[(<HeadVar>)] <op> <num>;\n"
     "  EXPLAIN <name>;\n"
-    "  RUN <name> [DIRECT|PLAN|DYNAMIC|REDUCED] [LIMIT <n>];\n"
+    "  RUN <name> [DIRECT|PLAN|DYNAMIC|REDUCED] [LIMIT <n>] [THREADS <n>];\n"
     "  SQL <name>;\n"
+    "  THREADS <n>;                  # default workers for RUN (1 = serial)\n"
     "  MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];\n"
     "  SHOW RELATIONS; | SHOW FLOCKS; | SHOW <rel>;\n"
     "  HELP;\n";
@@ -187,6 +188,15 @@ Result<std::string> Shell::Execute(std::string_view statement) {
   if (command == "SQL") return Sql(rest);
   if (command == "SHOW") return Show(rest);
   if (command == "MAXIMAL") return Maximal(rest);
+  if (command == "THREADS") {
+    auto [num, after] = SplitCommand(rest);
+    Result<std::int64_t> n = ParseInt64(num);
+    if (!n.ok() || *n < 1 || !StripWhitespace(after).empty()) {
+      return InvalidArgumentError("usage: THREADS <n> (n >= 1)");
+    }
+    default_threads_ = static_cast<unsigned>(*n);
+    return "threads set to " + std::to_string(default_threads_) + "\n";
+  }
   if (command == "HELP") return std::string(kHelp);
   return InvalidArgumentError("unknown command: " + command +
                               " (try HELP)");
@@ -500,6 +510,7 @@ Result<std::string> Shell::Run(std::string_view args) {
 
   std::string mode = "PLAN";
   std::size_t limit = 10;
+  unsigned threads = default_threads_;
   while (!StripWhitespace(rest).empty()) {
     auto [word, next] = SplitCommand(rest);
     if (word == "DIRECT" || word == "PLAN" || word == "DYNAMIC" ||
@@ -513,6 +524,14 @@ Result<std::string> Shell::Run(std::string_view args) {
         return InvalidArgumentError("bad LIMIT: " + num);
       }
       limit = static_cast<std::size_t>(*n);
+      rest = after;
+    } else if (word == "THREADS") {
+      auto [num, after] = SplitCommand(next);
+      Result<std::int64_t> n = ParseInt64(num);
+      if (!n.ok() || *n < 1) {
+        return InvalidArgumentError("bad THREADS: " + num);
+      }
+      threads = static_cast<unsigned>(*n);
       rest = after;
     } else {
       return InvalidArgumentError("unknown RUN option: " + word);
@@ -528,10 +547,13 @@ Result<std::string> Shell::Run(std::string_view args) {
   auto start = std::chrono::steady_clock::now();
   Result<Relation> result = NotFoundError("unreachable");
   if (mode == "DIRECT") {
-    result = EvaluateFlock(flock, db_, {}, &extra);
+    FlockEvalOptions options;
+    options.threads = threads;
+    result = EvaluateFlock(flock, db_, options, &extra);
   } else if (mode == "REDUCED") {
     // Yannakakis full-reducer evaluation (falls back on cyclic queries).
     FlockEvalOptions options;
+    options.threads = threads;
     for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
       CqEvalOptions cq_options;
       cq_options.full_reducer = true;
@@ -556,6 +578,7 @@ Result<std::string> Shell::Run(std::string_view args) {
     PlanExecOptions options;
     options.order_chooser = CostBasedOrderChooser();
     options.extra_predicates = &extra;
+    options.threads = threads;
     result = ExecutePlan(*plan, flock, db_, options);
   }
   double ms = MillisSince(start);

@@ -10,8 +10,9 @@
 //   DEFINE <rule>;                          # intermediate predicate
 //   FLOCK <name> QUERY <rules> FILTER <AGG>[(<HeadVar>)] <op> <number>;
 //   EXPLAIN <name>;                         # chosen plan + estimates
-//   RUN <name> [DIRECT|PLAN|DYNAMIC] [LIMIT <n>];
+//   RUN <name> [DIRECT|PLAN|DYNAMIC] [LIMIT <n>] [THREADS <n>];
 //   SQL <name>;
+//   THREADS <n>;                            # default worker count for RUN
 //   MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];   # flock-sequence mining
 //   SHOW RELATIONS; | SHOW FLOCKS; | SHOW <rel>;
 //   HELP;
@@ -53,6 +54,10 @@ class Shell {
   bool HasFlock(const std::string& name) const {
     return flocks_.contains(name);
   }
+  // Default worker count RUN statements use (set by `THREADS <n>;`,
+  // overridable per statement with `RUN ... THREADS <n>`). Results are
+  // identical for every value; see DESIGN.md, "Threading model".
+  unsigned default_threads() const { return default_threads_; }
 
  private:
   Result<std::string> Load(std::string_view args);
@@ -74,6 +79,7 @@ class Shell {
   std::map<std::string, QueryFlock> flocks_;
   std::map<std::string, Relation> views_;
   bool views_dirty_ = false;
+  unsigned default_threads_ = 1;
 };
 
 }  // namespace qf

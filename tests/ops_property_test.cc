@@ -184,6 +184,75 @@ TEST_P(OpsProperty, GroupSumMatchesReference) {
   }
 }
 
+TEST_P(OpsProperty, ParallelGroupAggregateMatchesSerial) {
+  // Big enough to span many morsels. The parallel overload sorts its
+  // output and must be bit-identical across thread counts; the serial
+  // overload must agree as a set.
+  Relation a = RandomRelation(rng_, {"K", "V"}, 6000, 40);
+  for (AggKind kind : {AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                       AggKind::kMax}) {
+    std::string agg_col = kind == AggKind::kCount ? "" : "V";
+    Relation serial = GroupAggregate(a, {"K"}, kind, agg_col, "agg");
+    Relation t1 = GroupAggregate(a, {"K"}, kind, agg_col, "agg", 1);
+    Relation t2 = GroupAggregate(a, {"K"}, kind, agg_col, "agg", 2);
+    Relation t8 = GroupAggregate(a, {"K"}, kind, agg_col, "agg", 8);
+    EXPECT_EQ(Sorted(serial), Sorted(t1));
+    // Exact rows-and-order identity between thread counts.
+    EXPECT_EQ(t1.rows(), t2.rows());
+    EXPECT_EQ(t1.rows(), t8.rows());
+    EXPECT_TRUE(IsSet(t8));
+  }
+}
+
+TEST_P(OpsProperty, ParallelGroupAggregateEmptyInput) {
+  Relation empty{Schema({"K", "V"})};
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Relation g = GroupAggregate(empty, {"K"}, AggKind::kCount, "", "n",
+                                threads);
+    EXPECT_TRUE(g.empty());
+    EXPECT_EQ(g.schema(), Schema({"K", "n"}));
+  }
+}
+
+TEST_P(OpsProperty, ParallelGroupAggregateAllOneGroup) {
+  // A constant key: every morsel contributes a partial for the same
+  // group, exercising the cross-morsel merge on one accumulator.
+  Relation a{Schema({"K", "V"})};
+  std::int64_t expected_sum = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::int64_t v = static_cast<std::int64_t>(rng_.NextBelow(100));
+    // Keep V distinct per row so set semantics don't collapse rows.
+    a.Add({Value(std::int64_t{1}), Value(v * 8192 + i)});
+    expected_sum += v * 8192 + i;
+  }
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Relation count = GroupAggregate(a, {"K"}, AggKind::kCount, "", "n",
+                                    threads);
+    ASSERT_EQ(count.size(), 1u);
+    EXPECT_EQ(count.rows()[0][1].AsInt(), 5000);
+    Relation sum = GroupAggregate(a, {"K"}, AggKind::kSum, "V", "s",
+                                  threads);
+    ASSERT_EQ(sum.size(), 1u);
+    EXPECT_DOUBLE_EQ(sum.rows()[0][1].AsNumber(),
+                     static_cast<double>(expected_sum));
+  }
+}
+
+TEST_P(OpsProperty, ParallelGroupSumWithNegativeValuesMatchesSerial) {
+  // GroupAggregate itself has no sign restriction (the flock evaluator
+  // enforces that); sums over mixed-sign integers are exact and must be
+  // identical for every thread count.
+  Relation a{Schema({"K", "V"})};
+  for (int i = 0; i < 6000; ++i) {
+    std::int64_t v = static_cast<std::int64_t>(rng_.NextBelow(50)) - 25;
+    a.Add({Value(static_cast<std::int64_t>(rng_.NextBelow(10))),
+           Value(v * 8192 + i)});
+  }
+  Relation t1 = GroupAggregate(a, {"K"}, AggKind::kSum, "V", "s", 1);
+  Relation t8 = GroupAggregate(a, {"K"}, AggKind::kSum, "V", "s", 8);
+  EXPECT_EQ(t1.rows(), t8.rows());
+}
+
 TEST_P(OpsProperty, ProjectIdempotent) {
   Relation a = RandomRelation(rng_, {"X", "Y", "Z"}, 50, 4);
   Relation once = Project(a, {"X", "Z"});

@@ -190,5 +190,29 @@ TEST(OpsTest, GroupByEmptyGroupColumnsAggregatesAll) {
   EXPECT_EQ(g.rows()[0][0], Value(std::int64_t{2}));
 }
 
+TEST(OpsTest, ParallelNaturalJoinPreservesSerialRowOrder) {
+  // Regression: the parallel join must emit rows in *exactly* the serial
+  // join's order (per-morsel buffers concatenated in morsel order), not
+  // merely the same set. Build a probe side big enough to cross the
+  // parallel threshold and span several morsels.
+  Relation a{Schema({"X", "Y"})};
+  for (int i = 0; i < 9000; ++i) {
+    a.Add({Value(i), Value(i % 37)});
+  }
+  Relation b{Schema({"Y", "Z"})};
+  for (int y = 0; y < 37; ++y) {
+    b.Add({Value(y), Value(y * 10)});
+    b.Add({Value(y), Value(y * 10 + 1)});
+  }
+  Relation serial = NaturalJoin(a, b);
+  ASSERT_GT(serial.size(), 0u);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    Relation parallel = ParallelNaturalJoin(a, b, threads);
+    EXPECT_EQ(serial.schema(), parallel.schema());
+    // Exact vector equality: same rows, same order.
+    EXPECT_EQ(serial.rows(), parallel.rows()) << "threads=" << threads;
+  }
+}
+
 }  // namespace
 }  // namespace qf

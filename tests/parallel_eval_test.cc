@@ -1,0 +1,260 @@
+// Differential tests for the morsel-parallel evaluation engine: the flock
+// evaluator, the plan executor, and the a-priori counters must return
+// results *identical* to their serial runs for every thread count — same
+// rows, same order — and must agree with the naive generate-and-test
+// oracle on randomized workloads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apriori/apriori.h"
+#include "common/rng.h"
+#include "flocks/eval.h"
+#include "flocks/flock.h"
+#include "flocks/naive_eval.h"
+#include "plan/executor.h"
+#include "plan/plan.h"
+#include "workload/basket_gen.h"
+
+namespace qf {
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 8};
+
+QueryFlock Flock(const char* text, FilterCondition filter) {
+  auto f = MakeFlock(text, filter);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *f;
+}
+
+// Exact comparison — schema, rows, AND row order. The determinism
+// contract promises byte-identical results, not just equal sets.
+void ExpectIdentical(const Relation& serial, const Relation& parallel,
+                     unsigned threads) {
+  ASSERT_EQ(serial.schema(), parallel.schema()) << "threads=" << threads;
+  ASSERT_EQ(serial.rows(), parallel.rows()) << "threads=" << threads;
+}
+
+void ExpectSameSet(const Relation& a, const Relation& b) {
+  Relation sa = a, sb = b;
+  sa.SortRows();
+  sb.SortRows();
+  EXPECT_EQ(sa.schema(), sb.schema());
+  EXPECT_EQ(sa.rows(), sb.rows());
+}
+
+Database RandomBaskets(std::uint64_t seed, std::uint32_t n_baskets = 300,
+                       std::uint32_t n_items = 40) {
+  BasketConfig config;
+  config.n_baskets = n_baskets;
+  config.n_items = n_items;
+  config.avg_basket_size = 6;
+  config.zipf_theta = 0.9;
+  config.seed = seed;
+  Database db;
+  db.PutRelation(GenerateBaskets(config));
+  return db;
+}
+
+// A randomized weighted-sales relation for SUM flocks: sales(BID, Item,
+// Weight) with small non-negative integer weights.
+Database RandomSales(std::uint64_t seed, bool negative_weights = false) {
+  Rng rng(seed);
+  Relation r("sales", Schema({"BID", "Item", "W"}));
+  for (int bid = 0; bid < 120; ++bid) {
+    std::size_t size = 2 + rng.NextBelow(5);
+    for (std::size_t k = 0; k < size; ++k) {
+      std::int64_t w = static_cast<std::int64_t>(rng.NextBelow(10));
+      if (negative_weights && rng.NextBernoulli(0.05)) w = -w - 1;
+      r.AddRow({Value(bid), Value("i" + std::to_string(rng.NextBelow(25))),
+                Value(w)});
+    }
+  }
+  Database db;
+  db.PutRelation(std::move(r));
+  return db;
+}
+
+TEST(ParallelEvalTest, FlockPairSupportMatchesSerialAndNaive) {
+  for (std::uint64_t seed : {3u, 17u, 99u}) {
+    Database db = RandomBaskets(seed);
+    QueryFlock flock =
+        Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+              FilterCondition::MinSupport(8));
+    FlockEvalOptions serial_options;
+    auto serial = EvaluateFlock(flock, db, serial_options);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (unsigned threads : kThreadCounts) {
+      FlockEvalOptions options;
+      options.threads = threads;
+      auto parallel = EvaluateFlock(flock, db, options);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      ExpectIdentical(*serial, *parallel, threads);
+    }
+    auto naive = NaiveEvaluateFlock(flock, db);
+    ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+    ExpectSameSet(*serial, *naive);
+  }
+}
+
+TEST(ParallelEvalTest, UnionFlockDisjunctsEvaluateConcurrently) {
+  for (std::uint64_t seed : {5u, 23u}) {
+    Database db = RandomBaskets(seed);
+    // Two disjuncts with differently named head variables (Fig. 4 shape).
+    QueryFlock flock = Flock(
+        "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\n"
+        "answer(C) :- baskets(C,$2) AND baskets(C,$1) AND $1 < $2",
+        FilterCondition::MinSupport(6));
+    auto serial = EvaluateFlock(flock, db);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (unsigned threads : kThreadCounts) {
+      FlockEvalOptions options;
+      options.threads = threads;
+      auto parallel = EvaluateFlock(flock, db, options);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      ExpectIdentical(*serial, *parallel, threads);
+    }
+  }
+}
+
+TEST(ParallelEvalTest, SumFilterMatchesSerial) {
+  for (std::uint64_t seed : {7u, 31u}) {
+    Database db = RandomSales(seed);
+    QueryFlock flock =
+        Flock("answer(B,W) :- sales(B,$i,W)",
+              FilterCondition{FilterAgg::kSum, CompareOp::kGe, 25, 1});
+    auto serial = EvaluateFlock(flock, db);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (unsigned threads : kThreadCounts) {
+      FlockEvalOptions options;
+      options.threads = threads;
+      auto parallel = EvaluateFlock(flock, db, options);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      ExpectIdentical(*serial, *parallel, threads);
+    }
+  }
+}
+
+TEST(ParallelEvalTest, NegativeWeightSumRejectedAtEveryThreadCount) {
+  Database db = RandomSales(/*seed=*/41, /*negative_weights=*/true);
+  QueryFlock flock =
+      Flock("answer(B,W) :- sales(B,$i,W)",
+            FilterCondition{FilterAgg::kSum, CompareOp::kGe, 25, 1});
+  for (unsigned threads : kThreadCounts) {
+    FlockEvalOptions options;
+    options.threads = threads;
+    auto result = EvaluateFlock(flock, db, options);
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEvalTest, PrefilterPlanMatchesSerialAndDirect) {
+  for (std::uint64_t seed : {11u, 43u}) {
+    Database db = RandomBaskets(seed);
+    QueryFlock flock =
+        Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+              FilterCondition::MinSupport(8));
+    // Prefilter both parameters — two independent steps that the wave
+    // scheduler runs concurrently, then the dependent final step.
+    auto ok1 = MakeFilterStep(flock, "ok1", {"1"}, std::vector<std::size_t>{0});
+    ASSERT_TRUE(ok1.ok()) << ok1.status().ToString();
+    auto ok2 = MakeFilterStep(flock, "ok2", {"2"}, std::vector<std::size_t>{1});
+    ASSERT_TRUE(ok2.ok());
+    auto plan = PlanWithPrefilters(flock, {*ok1, *ok2});
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+    auto serial = ExecutePlan(*plan, flock, db);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    for (unsigned threads : kThreadCounts) {
+      PlanExecOptions options;
+      options.threads = threads;
+      PlanExecInfo info;
+      auto parallel = ExecutePlan(*plan, flock, db, options, &info);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+      ExpectIdentical(*serial, *parallel, threads);
+      // Per-step info must arrive in step order regardless of scheduling.
+      ASSERT_EQ(info.steps.size(), plan->steps.size());
+      for (std::size_t k = 0; k < plan->steps.size(); ++k) {
+        EXPECT_EQ(info.steps[k].step_name, plan->steps[k].result_name);
+      }
+    }
+    auto direct = EvaluateFlock(flock, db);
+    ASSERT_TRUE(direct.ok());
+    ExpectIdentical(*direct, *serial, /*threads=*/1);
+  }
+}
+
+TEST(ParallelEvalTest, ExecutePlanErrorIsDeterministic) {
+  // A flock over a predicate missing from the database fails identically
+  // at every thread count.
+  Database db = RandomBaskets(59);
+  QueryFlock flock =
+      Flock("answer(B) :- missing(B,$1)", FilterCondition::MinSupport(2));
+  QueryPlan plan = TrivialPlan(flock);
+  for (unsigned threads : kThreadCounts) {
+    PlanExecOptions options;
+    options.threads = threads;
+    auto result = ExecutePlan(plan, flock, db, options);
+    ASSERT_FALSE(result.ok()) << "threads=" << threads;
+    EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  }
+}
+
+TEST(ParallelEvalTest, AprioriItemsetsMatchSerial) {
+  for (std::uint64_t seed : {13u, 77u}) {
+    Database db = RandomBaskets(seed, /*n_baskets=*/1200, /*n_items=*/30);
+    auto data = BasketsFromRelation(db.Get("baskets"), "BID", "Item");
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+
+    AprioriOptions serial_options;
+    serial_options.min_support = 20;
+    AprioriStats serial_stats;
+    std::vector<Itemset> serial =
+        AprioriFrequentItemsets(*data, serial_options, &serial_stats);
+    ASSERT_FALSE(serial.empty());
+
+    for (unsigned threads : kThreadCounts) {
+      AprioriOptions options = serial_options;
+      options.threads = threads;
+      AprioriStats stats;
+      std::vector<Itemset> parallel =
+          AprioriFrequentItemsets(*data, options, &stats);
+      ASSERT_EQ(serial.size(), parallel.size()) << "threads=" << threads;
+      for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].items, parallel[i].items);
+        EXPECT_EQ(serial[i].support, parallel[i].support);
+      }
+      EXPECT_EQ(serial_stats.candidates_per_level, stats.candidates_per_level);
+      EXPECT_EQ(serial_stats.frequent_per_level, stats.frequent_per_level);
+    }
+  }
+}
+
+TEST(ParallelEvalTest, AprioriAndNaivePairCountersMatchSerial) {
+  Database db = RandomBaskets(29, /*n_baskets=*/1500, /*n_items=*/25);
+  auto data = BasketsFromRelation(db.Get("baskets"), "BID", "Item");
+  ASSERT_TRUE(data.ok());
+  std::vector<Itemset> apriori_serial = AprioriFrequentPairs(*data, 15);
+  std::vector<Itemset> naive_serial = NaiveFrequentPairs(*data, 15);
+  ASSERT_FALSE(apriori_serial.empty());
+  for (unsigned threads : kThreadCounts) {
+    std::vector<Itemset> apriori = AprioriFrequentPairs(*data, 15, threads);
+    std::vector<Itemset> naive = NaiveFrequentPairs(*data, 15, threads);
+    ASSERT_EQ(apriori.size(), apriori_serial.size()) << "threads=" << threads;
+    ASSERT_EQ(naive.size(), naive_serial.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < apriori.size(); ++i) {
+      EXPECT_EQ(apriori[i].items, apriori_serial[i].items);
+      EXPECT_EQ(apriori[i].support, apriori_serial[i].support);
+    }
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_EQ(naive[i].items, naive_serial[i].items);
+      EXPECT_EQ(naive[i].support, naive_serial[i].support);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qf

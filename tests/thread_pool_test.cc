@@ -1,0 +1,216 @@
+// Unit and stress tests for the shared morsel-driven thread pool: range
+// coverage, morsel-boundary determinism, inline fallbacks, nesting,
+// exception and Status propagation, and pool reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace qf {
+namespace {
+
+TEST(MorselCountTest, RoundsUp) {
+  EXPECT_EQ(MorselCount(0, 16), 0u);
+  EXPECT_EQ(MorselCount(1, 16), 1u);
+  EXPECT_EQ(MorselCount(16, 16), 1u);
+  EXPECT_EQ(MorselCount(17, 16), 2u);
+  EXPECT_EQ(MorselCount(100, 7), 15u);
+}
+
+TEST(ThreadPoolTest, CoversRangeExactlyOnce) {
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> touched(kN);
+  ParallelFor(8, kN, 97, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      touched[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MorselBoundariesIndependentOfThreadCount) {
+  constexpr std::size_t kN = 1000;
+  constexpr std::size_t kMorsel = 64;
+  auto boundaries = [&](unsigned threads) {
+    std::vector<std::pair<std::size_t, std::size_t>> spans(
+        MorselCount(kN, kMorsel));
+    ParallelFor(threads, kN, kMorsel,
+                [&](std::size_t begin, std::size_t end) {
+                  spans[begin / kMorsel] = {begin, end};
+                });
+    return spans;
+  };
+  auto serial = boundaries(1);
+  EXPECT_EQ(serial, boundaries(2));
+  EXPECT_EQ(serial, boundaries(8));
+  // And the spans tile [0, kN) in order.
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : serial) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_GT(end, begin);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, kN);
+}
+
+TEST(ThreadPoolTest, ZeroItemsNeverCallsFn) {
+  bool called = false;
+  ParallelFor(8, 0, 16, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  Status s = ParallelForStatus(8, 0, 16, [&](std::size_t, std::size_t) {
+    called = true;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleMorselRunsInlineOnCaller) {
+  // n <= morsel: one call with the full range, on the calling thread.
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  bool in_worker = true;
+  ParallelFor(8, 10, 16, [&](std::size_t begin, std::size_t end) {
+    calls.emplace_back(begin, end);
+    in_worker = ThreadPool::Global().InWorker();
+  });
+  ASSERT_EQ(calls.size(), 1u);
+  std::pair<std::size_t, std::size_t> full_range{0, 10};
+  EXPECT_EQ(calls[0], full_range);
+  EXPECT_FALSE(in_worker);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 1000;
+  std::atomic<std::size_t> total{0};
+  ParallelFor(8, kOuter, 1, [&](std::size_t, std::size_t) {
+    ParallelFor(8, kInner, 10, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesLowestMorselFirst) {
+  // Every morsel throws its index; the lowest one must win (morsel 0 is
+  // always handed out, and RecordError keeps the minimum).
+  try {
+    ParallelFor(8, 64 * 16, 16, [&](std::size_t begin, std::size_t) {
+      throw std::runtime_error("m" + std::to_string(begin / 16));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "m0");
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionFromMiddleMorselPropagates) {
+  EXPECT_THROW(
+      ParallelFor(8, 1000, 16,
+                  [&](std::size_t begin, std::size_t) {
+                    if (begin == 3 * 16) throw std::logic_error("boom");
+                  }),
+      std::logic_error);
+}
+
+TEST(ThreadPoolTest, StatusFailureIsDeterministic) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Status s = ParallelForStatus(
+        threads, 64 * 16, 16, [&](std::size_t begin, std::size_t) -> Status {
+          return InvalidArgumentError("m" + std::to_string(begin / 16));
+        });
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "m0") << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, StatusSingleFailureSurvivesConcurrency) {
+  for (unsigned threads : {1u, 2u, 8u}) {
+    Status s = ParallelForStatus(
+        threads, 1000, 16, [&](std::size_t begin, std::size_t) -> Status {
+          if (begin == 5 * 16) return NotFoundError("needle");
+          return Status::Ok();
+        });
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.message(), "needle") << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPoolTest, StatusOkWhenAllMorselsSucceed) {
+  std::atomic<std::size_t> total{0};
+  Status s = ParallelForStatus(
+      8, 1000, 7, [&](std::size_t begin, std::size_t end) -> Status {
+        total.fetch_add(end - begin, std::memory_order_relaxed);
+        return Status::Ok();
+      });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(total.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, PoolReuseAcrossManyLoops) {
+  // The global pool must stay healthy across many submissions (stress for
+  // the job registration/retirement protocol).
+  for (int iter = 0; iter < 200; ++iter) {
+    std::atomic<std::size_t> total{0};
+    ParallelFor(4, 257, 16, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(total.load(), 257u) << "iteration " << iter;
+  }
+}
+
+TEST(ThreadPoolTest, PrivatePoolForcesConcurrencyBeyondHardware) {
+  // A private 8-worker pool exercises real concurrency even on a 1-core
+  // host. Hammer it with interleaved loops and verify exact coverage.
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.worker_count(), 8u);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::atomic<int>> touched(4096);
+    pool.ParallelFor(touched.size(), 64, 8,
+                     [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         touched[i].fetch_add(1, std::memory_order_relaxed);
+                       }
+                     });
+    for (std::size_t i = 0; i < touched.size(); ++i) {
+      ASSERT_EQ(touched[i].load(), 1) << "iter " << iter << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  std::size_t total = 0;  // no atomics needed: everything runs inline
+  pool.ParallelFor(100, 8, 8, [&](std::size_t begin, std::size_t end) {
+    total += end - begin;
+  });
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ThreadPoolTest, WorkerSeesInWorkerTrue) {
+  ThreadPool pool(4);
+  std::atomic<int> worker_calls{0};
+  std::atomic<int> caller_calls{0};
+  pool.ParallelFor(64, 1, 4, [&](std::size_t, std::size_t) {
+    if (pool.InWorker()) {
+      worker_calls.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      caller_calls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(worker_calls.load() + caller_calls.load(), 64);
+  // The calling thread is never a worker of the private pool.
+  EXPECT_FALSE(pool.InWorker());
+}
+
+}  // namespace
+}  // namespace qf
