@@ -7,6 +7,7 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "datalog/containment.h"
 #include "datalog/parser.h"
@@ -120,6 +121,75 @@ void BM_Micro_AntiJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
 
+// Observability overhead (DESIGN.md "Observability"): the same
+// join+group pipeline with metrics disabled (null pointer — the
+// production default), with a metrics tree attached, and with trace
+// spans emitted on top. The acceptance bar is that Off stays within
+// noise (<5%) of the plain operator benchmarks above: the disabled path
+// is one branch per operator, no clock reads, no allocations.
+void BM_Micro_PipelineMetricsOff(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 10, 7);
+  Relation b = Rename(RandomRelation(n / 4, n / 10, 8), {"K", "W"});
+  for (auto _ : state) {
+    Relation j = NaturalJoin(a, b);
+    Relation g = GroupAggregate(j, {"K"}, AggKind::kCount, "", "n");
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_Micro_PipelineMetricsOn(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 10, 7);
+  Relation b = Rename(RandomRelation(n / 4, n / 10, 8), {"K", "W"});
+  OpMetrics root("pipeline");
+  OpMetrics* join_m = root.AddChild("join");
+  OpMetrics* group_m = root.AddChild("group_by");
+  for (auto _ : state) {
+    Relation j;
+    {
+      ScopedOp span(join_m);
+      j = NaturalJoin(a, b, join_m);
+    }
+    ScopedOp span(group_m);
+    Relation g = GroupAggregate(j, {"K"}, AggKind::kCount, "", "n", group_m);
+    benchmark::DoNotOptimize(g);
+  }
+  // Surface the observed counters in the benchmark's own (JSON-ready)
+  // output: `--benchmark_out=BENCH_micro.json --benchmark_out_format=json`
+  // carries them into the CI artifact.
+  state.counters["join_rows_out"] =
+      static_cast<double>(join_m->rows_out / state.iterations());
+  state.counters["group_rows_out"] =
+      static_cast<double>(group_m->rows_out / state.iterations());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_Micro_PipelineMetricsTraced(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 10, 7);
+  Relation b = Rename(RandomRelation(n / 4, n / 10, 8), {"K", "W"});
+  OpMetrics root("pipeline");
+  OpMetrics* join_m = root.AddChild("join");
+  OpMetrics* group_m = root.AddChild("group_by");
+  MemoryTraceSink sink;
+  for (auto _ : state) {
+    Relation j;
+    {
+      ScopedOp span(join_m, &sink);
+      j = NaturalJoin(a, b, join_m);
+    }
+    ScopedOp span(group_m, &sink);
+    Relation g = GroupAggregate(j, {"K"}, AggKind::kCount, "", "n", group_m);
+    benchmark::DoNotOptimize(g);
+    // Keep the buffer bounded; Clear holds the same lock the spans take,
+    // so the per-event cost stays in the measurement.
+    if (sink.event_count() > 4096) sink.Clear();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
 // Containment mapping on path queries of growing length: backtracking
 // search over subgoal images.
 std::string PathQuery(int n) {
@@ -183,6 +253,9 @@ BENCHMARK(BM_Micro_ParallelGroupCount)
     ->Args({100000, 2})
     ->Args({100000, 4});
 BENCHMARK(BM_Micro_AntiJoin)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_PipelineMetricsOff)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_PipelineMetricsOn)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_PipelineMetricsTraced)->Arg(10000)->Arg(100000);
 BENCHMARK(BM_Micro_Containment)->DenseRange(2, 6);
 BENCHMARK(BM_Micro_Safety);
 BENCHMARK(BM_Micro_Parser);

@@ -19,13 +19,17 @@ constexpr std::size_t kMorselBaskets = 256;
 // Counts item occurrences over all baskets, morsel-parallel: per-morsel
 // count vectors summed elementwise (integer adds commute, so the result
 // is the serial one for every thread count).
-std::vector<std::size_t> CountItems(const BasketData& data, unsigned threads) {
+std::vector<std::size_t> CountItems(const BasketData& data, unsigned threads,
+                                    OpMetrics* metrics = nullptr) {
   std::vector<std::size_t> item_counts(data.item_count(), 0);
   if (threads <= 1 || data.baskets.size() < 2 * kMorselBaskets) {
     for (const std::vector<ItemId>& basket : data.baskets) {
       for (ItemId item : basket) ++item_counts[item];
     }
     return item_counts;
+  }
+  if (metrics != nullptr) {
+    metrics->morsels += MorselCount(data.baskets.size(), kMorselBaskets);
   }
   std::vector<std::vector<std::size_t>> partials(
       MorselCount(data.baskets.size(), kMorselBaskets));
@@ -49,7 +53,8 @@ std::vector<std::size_t> CountItems(const BasketData& data, unsigned threads) {
 // addition.
 template <typename Keep>
 std::unordered_map<std::uint64_t, std::size_t> CountPairs(
-    const BasketData& data, unsigned threads, const Keep& keep) {
+    const BasketData& data, unsigned threads, const Keep& keep,
+    OpMetrics* metrics = nullptr) {
   using PairCounts = std::unordered_map<std::uint64_t, std::size_t>;
   auto count_range = [&](std::size_t begin, std::size_t end,
                          PairCounts& counts) {
@@ -72,6 +77,9 @@ std::unordered_map<std::uint64_t, std::size_t> CountPairs(
   if (threads <= 1 || data.baskets.size() < 2 * kMorselBaskets) {
     count_range(0, data.baskets.size(), pair_counts);
     return pair_counts;
+  }
+  if (metrics != nullptr) {
+    metrics->morsels += MorselCount(data.baskets.size(), kMorselBaskets);
   }
   std::vector<PairCounts> partials(
       MorselCount(data.baskets.size(), kMorselBaskets));
@@ -142,7 +150,8 @@ std::vector<std::vector<ItemId>> GenerateCandidates(
 // count.
 void CountCandidates(const BasketData& data,
                      const std::vector<std::vector<ItemId>>& candidates,
-                     unsigned threads, CandidateCounts& counts) {
+                     unsigned threads, CandidateCounts& counts,
+                     OpMetrics* metrics = nullptr) {
   if (candidates.empty()) return;
   std::size_t k = candidates.front().size();
   std::unordered_set<std::vector<ItemId>, ItemVecHash> candidate_set(
@@ -185,6 +194,9 @@ void CountCandidates(const BasketData& data,
   if (threads <= 1 || data.baskets.size() < 2 * kMorselBaskets) {
     count_range(0, data.baskets.size(), counts);
     return;
+  }
+  if (metrics != nullptr) {
+    metrics->morsels += MorselCount(data.baskets.size(), kMorselBaskets);
   }
   std::vector<CandidateCounts> partials(
       MorselCount(data.baskets.size(), kMorselBaskets));
@@ -240,14 +252,28 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
                                              const AprioriOptions& options,
                                              AprioriStats* stats) {
   std::vector<Itemset> result;
+  OpMetrics* m = options.metrics;
+  TraceSink* tr = m != nullptr ? options.trace : nullptr;
+  if (m != nullptr && m->op.empty()) m->op = "apriori";
 
   // Level 1: plain counting pass.
-  std::vector<std::size_t> item_counts = CountItems(data, options.threads);
   std::vector<std::vector<ItemId>> frequent;
-  for (ItemId item = 0; item < data.item_count(); ++item) {
-    if (item_counts[item] >= options.min_support) {
-      frequent.push_back({item});
-      result.push_back({{item}, item_counts[item]});
+  {
+    OpMetrics* node = m != nullptr ? m->AddChild("count_level", "k=1")
+                                   : nullptr;
+    ScopedOp span(node, tr);
+    std::vector<std::size_t> item_counts =
+        CountItems(data, options.threads, node);
+    for (ItemId item = 0; item < data.item_count(); ++item) {
+      if (item_counts[item] >= options.min_support) {
+        frequent.push_back({item});
+        result.push_back({{item}, item_counts[item]});
+      }
+    }
+    if (node != nullptr) {
+      node->rows_in = data.baskets.size();
+      node->tuples_probed = data.item_count();
+      node->rows_out = frequent.size();
     }
   }
   if (stats != nullptr) {
@@ -261,9 +287,13 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
     std::vector<std::vector<ItemId>> candidates =
         GenerateCandidates(frequent);
     if (candidates.empty()) break;
+    OpMetrics* node =
+        m != nullptr ? m->AddChild("count_level", "k=" + std::to_string(k + 1))
+                     : nullptr;
+    ScopedOp span(node, tr);
     CandidateCounts counts;
     counts.reserve(candidates.size());
-    CountCandidates(data, candidates, options.threads, counts);
+    CountCandidates(data, candidates, options.threads, counts, node);
     frequent.clear();
     for (const std::vector<ItemId>& c : candidates) {
       auto it = counts.find(c);
@@ -274,6 +304,11 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
       }
     }
     std::sort(frequent.begin(), frequent.end());
+    if (node != nullptr) {
+      node->rows_in = data.baskets.size();
+      node->tuples_probed = candidates.size();
+      node->rows_out = frequent.size();
+    }
     if (stats != nullptr) {
       stats->candidates_per_level.push_back(candidates.size());
       stats->frequent_per_level.push_back(frequent.size());
@@ -285,17 +320,35 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
 
 std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
                                           std::size_t min_support,
-                                          unsigned threads) {
+                                          unsigned threads,
+                                          OpMetrics* metrics) {
+  if (metrics != nullptr && metrics->op.empty()) metrics->op = "apriori";
   // Pass 1: singleton counts; the pre-filter of §1.2.
-  std::vector<std::size_t> item_counts = CountItems(data, threads);
   std::vector<bool> frequent_item(data.item_count(), false);
-  for (ItemId i = 0; i < data.item_count(); ++i) {
-    frequent_item[i] = item_counts[i] >= min_support;
+  std::size_t frequent_items = 0;
+  {
+    OpMetrics* node =
+        metrics != nullptr ? metrics->AddChild("count_level", "k=1") : nullptr;
+    ScopedOp span(node);
+    std::vector<std::size_t> item_counts = CountItems(data, threads, node);
+    for (ItemId i = 0; i < data.item_count(); ++i) {
+      frequent_item[i] = item_counts[i] >= min_support;
+      if (frequent_item[i]) ++frequent_items;
+    }
+    if (node != nullptr) {
+      node->rows_in = data.baskets.size();
+      node->tuples_probed = data.item_count();
+      node->rows_out = frequent_items;
+    }
   }
 
   // Pass 2: count pairs of surviving items only.
-  std::unordered_map<std::uint64_t, std::size_t> pair_counts = CountPairs(
-      data, threads, [&](ItemId item) { return bool{frequent_item[item]}; });
+  OpMetrics* node =
+      metrics != nullptr ? metrics->AddChild("count_level", "k=2") : nullptr;
+  ScopedOp span(node);
+  std::unordered_map<std::uint64_t, std::size_t> pair_counts =
+      CountPairs(data, threads,
+                 [&](ItemId item) { return bool{frequent_item[item]}; }, node);
 
   std::vector<Itemset> result;
   for (const auto& [key, count] : pair_counts) {
@@ -307,15 +360,26 @@ std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
   }
   std::sort(result.begin(), result.end(),
             [](const Itemset& a, const Itemset& b) { return a.items < b.items; });
+  if (node != nullptr) {
+    node->rows_in = data.baskets.size();
+    node->tuples_probed = pair_counts.size();
+    node->rows_out = result.size();
+  }
   return result;
 }
 
 std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
                                         std::size_t min_support,
-                                        unsigned threads) {
+                                        unsigned threads,
+                                        OpMetrics* metrics) {
+  if (metrics != nullptr && metrics->op.empty()) metrics->op = "naive_pairs";
+  OpMetrics* node =
+      metrics != nullptr ? metrics->AddChild("count_level", "k=2 (no prefilter)")
+                         : nullptr;
+  ScopedOp span(node);
   // No pre-filter: every co-occurring pair is counted.
   std::unordered_map<std::uint64_t, std::size_t> pair_counts =
-      CountPairs(data, threads, [](ItemId) { return true; });
+      CountPairs(data, threads, [](ItemId) { return true; }, node);
   std::vector<Itemset> result;
   for (const auto& [key, count] : pair_counts) {
     if (count >= min_support) {
@@ -326,6 +390,11 @@ std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
   }
   std::sort(result.begin(), result.end(),
             [](const Itemset& a, const Itemset& b) { return a.items < b.items; });
+  if (node != nullptr) {
+    node->rows_in = data.baskets.size();
+    node->tuples_probed = pair_counts.size();
+    node->rows_out = result.size();
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "relational/relation.h"
 
@@ -51,6 +52,12 @@ struct AprioriOptions {
   // so the supports (and therefore the mined itemsets, which are emitted
   // in candidate order) are identical for every value.
   unsigned threads = 1;
+  // Observability (common/metrics.h): one "count_level" child per level
+  // ("k=1", "k=2", ...), with rows_in = baskets scanned, tuples_probed =
+  // candidates counted, rows_out = frequent sets found. `trace` receives
+  // span events; ignored unless `metrics` is set.
+  OpMetrics* metrics = nullptr;
+  TraceSink* trace = nullptr;
 };
 
 struct AprioriStats {
@@ -73,13 +80,15 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
 // in AprioriOptions: same result for every value.
 std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
                                           std::size_t min_support,
-                                          unsigned threads = 1);
+                                          unsigned threads = 1,
+                                          OpMetrics* metrics = nullptr);
 
 // The unoptimized baseline: counts every co-occurring pair (the Fig. 1 SQL
 // query as a conventional optimizer executes it) and filters at the end.
 std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
                                         std::size_t min_support,
-                                        unsigned threads = 1);
+                                        unsigned threads = 1,
+                                        OpMetrics* metrics = nullptr);
 
 // Renders itemsets as a relation over item-name columns I1..Ik plus
 // Support, for comparison against flock results.

@@ -28,7 +28,7 @@ Result<const Relation*> PredicateResolver::Resolve(
 }
 
 Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
-                         unsigned threads) {
+                         unsigned threads, OpMetrics* metrics) {
   const std::vector<Term>& args = subgoal.args();
   QF_CHECK_MSG(args.size() == base.arity(),
                ("arity mismatch for predicate " + subgoal.predicate()).c_str());
@@ -73,6 +73,9 @@ Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
       if (matches(row)) out.Add(ProjectTuple(row, keep));
     }
   } else {
+    if (metrics != nullptr) {
+      metrics->morsels += MorselCount(base.size(), kMorselRows);
+    }
     // Morsel-parallel scan; concatenating the per-morsel buffers in
     // morsel order reproduces the serial row order exactly.
     std::vector<std::vector<Tuple>> buffers(
@@ -96,6 +99,10 @@ Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
   // but a subgoal with *no* variables (all constants) produces arity-0
   // tuples that must collapse to at most one.
   if (columns.empty()) out.Dedup();
+  if (metrics != nullptr) {
+    metrics->rows_in += base.size();
+    metrics->rows_out += out.size();
+  }
   return out;
 }
 
@@ -164,6 +171,11 @@ Result<Relation> EvaluateConjunctiveBindings(
     }
   }
 
+  // Observability: `m` roots this query's operator tree; the trace sink
+  // is only consulted when metrics are on (ScopedOp enforces this too).
+  OpMetrics* m = options.metrics;
+  TraceSink* tr = m != nullptr ? options.trace : nullptr;
+
   // Resolve bases and precompute binding relations.
   std::vector<Relation> positive_bindings;
   positive_bindings.reserve(positives.size());
@@ -174,7 +186,11 @@ Result<Relation> EvaluateConjunctiveBindings(
       return InvalidArgumentError("arity mismatch for predicate " +
                                   s->predicate());
     }
-    positive_bindings.push_back(SubgoalBindings(*s, **base, options.threads));
+    OpMetrics* node = m != nullptr ? m->AddChild("scan", s->predicate())
+                                   : nullptr;
+    ScopedOp span(node, tr);
+    positive_bindings.push_back(
+        SubgoalBindings(*s, **base, options.threads, node));
   }
   for (PendingNegation& pn : negations) {
     Result<const Relation*> base = resolver.Resolve(pn.subgoal->predicate());
@@ -183,7 +199,11 @@ Result<Relation> EvaluateConjunctiveBindings(
       return InvalidArgumentError("arity mismatch for predicate " +
                                   pn.subgoal->predicate());
     }
-    pn.bindings = SubgoalBindings(*pn.subgoal, **base, options.threads);
+    OpMetrics* node =
+        m != nullptr ? m->AddChild("scan", "NOT " + pn.subgoal->predicate())
+                     : nullptr;
+    ScopedOp span(node, tr);
+    pn.bindings = SubgoalBindings(*pn.subgoal, **base, options.threads, node);
   }
 
   // Optional Yannakakis full-reducer pass (acyclic queries only).
@@ -191,18 +211,25 @@ Result<Relation> EvaluateConjunctiveBindings(
   if (options.full_reducer) {
     tree = BuildJoinTree(cq);
     if (tree.has_value()) {
+      auto reduce = [&](std::size_t target, std::size_t with) {
+        OpMetrics* node =
+            m != nullptr
+                ? m->AddChild("semi_join",
+                              "reduce " + positives[target]->predicate() +
+                                  " by " + positives[with]->predicate())
+                : nullptr;
+        ScopedOp span(node, tr);
+        positive_bindings[target] =
+            SemiJoin(positive_bindings[target], positive_bindings[with], node);
+      };
       // Bottom-up: parents lose tuples with no match in their ears.
       for (std::size_t k = 0; k < tree->ears.size(); ++k) {
-        positive_bindings[tree->parents[k]] =
-            SemiJoin(positive_bindings[tree->parents[k]],
-                     positive_bindings[tree->ears[k]]);
+        reduce(tree->parents[k], tree->ears[k]);
       }
       // Top-down: ears lose tuples with no match in their (reduced)
       // parents. After both sweeps the bindings are globally consistent.
       for (std::size_t k = tree->ears.size(); k-- > 0;) {
-        positive_bindings[tree->ears[k]] =
-            SemiJoin(positive_bindings[tree->ears[k]],
-                     positive_bindings[tree->parents[k]]);
+        reduce(tree->ears[k], tree->parents[k]);
       }
     }
   }
@@ -246,26 +273,42 @@ Result<Relation> EvaluateConjunctiveBindings(
       if (!ColumnsBound(s.terms(), current.schema())) continue;
       pc.applied = true;
       const Schema& schema = current.schema();
-      current = Select(current, [&s, &schema](const Tuple& row) {
-        return EvalCompare(s.op(), TermValue(s.lhs(), schema, row),
-                           TermValue(s.rhs(), schema, row));
-      });
+      OpMetrics* node =
+          m != nullptr ? m->AddChild("select", s.ToString()) : nullptr;
+      ScopedOp span(node, tr);
+      current = Select(
+          current,
+          [&s, &schema](const Tuple& row) {
+            return EvalCompare(s.op(), TermValue(s.lhs(), schema, row),
+                               TermValue(s.rhs(), schema, row));
+          },
+          node);
     }
     for (PendingNegation& pn : negations) {
       if (pn.applied) continue;
       if (!ColumnsBound(pn.subgoal->terms(), current.schema())) continue;
       pn.applied = true;
-      current = AntiJoin(current, pn.bindings);
+      OpMetrics* node =
+          m != nullptr ? m->AddChild("anti_join", pn.subgoal->predicate())
+                       : nullptr;
+      ScopedOp span(node, tr);
+      current = AntiJoin(current, pn.bindings, node);
     }
   };
   apply_ready();
   for (std::size_t k = 1; k < order.size(); ++k) {
-    // The parallel join preserves the serial join's row order, so the
-    // fold's intermediates are identical for every thread count.
-    current = options.threads > 1
-                  ? ParallelNaturalJoin(current, positive_bindings[order[k]],
-                                        options.threads)
-                  : NaturalJoin(current, positive_bindings[order[k]]);
+    {
+      OpMetrics* node =
+          m != nullptr ? m->AddChild("join", positives[order[k]]->predicate())
+                       : nullptr;
+      ScopedOp span(node, tr);
+      // The parallel join preserves the serial join's row order, so the
+      // fold's intermediates are identical for every thread count.
+      current = options.threads > 1
+                    ? ParallelNaturalJoin(current, positive_bindings[order[k]],
+                                          options.threads, node)
+                    : NaturalJoin(current, positive_bindings[order[k]], node);
+    }
     peak = std::max(peak, current.size());
     apply_ready();
   }
@@ -292,7 +335,14 @@ Result<Relation> EvaluateConjunctiveBindings(
     }
   }
   if (peak_rows != nullptr) *peak_rows = peak;
-  return Project(current, output_columns);
+  OpMetrics* node = m != nullptr ? m->AddChild("project") : nullptr;
+  ScopedOp span(node, tr);
+  Relation projected = Project(current, output_columns, node);
+  if (m != nullptr) {
+    m->rows_in += current.size();
+    m->rows_out += projected.size();
+  }
+  return projected;
 }
 
 }  // namespace qf

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "datalog/ast.h"
 #include "relational/database.h"
@@ -48,7 +49,7 @@ class PredicateResolver {
 // `threads` > 1 the scan runs morsel-parallel on the shared pool; the
 // output rows and their order are identical for every thread count.
 Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
-                         unsigned threads = 1);
+                         unsigned threads = 1, OpMetrics* metrics = nullptr);
 
 struct CqEvalOptions {
   // Join order as positions into the query's list of *positive* subgoals
@@ -66,6 +67,15 @@ struct CqEvalOptions {
   // parallel scan and join both preserve the serial row order (see
   // relational/ops.h on ParallelNaturalJoin).
   unsigned threads = 1;
+  // Observability (common/metrics.h). When `metrics` is non-null the
+  // evaluation appends one child node per operator it runs — "scan" per
+  // subgoal, then the fold chain ("join" / "select" / "anti_join", plus
+  // "semi_join" nodes for full-reducer sweeps) and a final "project" — each
+  // carrying row counters and wall time. `trace` additionally receives
+  // span begin/end events; it is ignored unless `metrics` is set. Both
+  // pointers must outlive the call. Null (the default) is allocation-free.
+  OpMetrics* metrics = nullptr;
+  TraceSink* trace = nullptr;
 };
 
 // Evaluates the body of `cq` and projects the bindings onto

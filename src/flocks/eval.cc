@@ -43,6 +43,13 @@ Result<Relation> EvaluateFlock(
       extra != nullptr ? PredicateResolver(db, *extra)
                        : PredicateResolver(db);
 
+  // Observability: one pre-allocated "disjunct" child per disjunct, so
+  // the concurrent evaluations below write disjoint subtrees (the
+  // children vector is never resized during the fan-out).
+  OpMetrics* m = options.metrics;
+  TraceSink* tr = m != nullptr ? options.trace : nullptr;
+  if (m != nullptr && m->op.empty()) m->op = "flock";
+
   // Evaluate the disjuncts — concurrently when threads allow, each into
   // its own slot — then union the slots in disjunct order. The union
   // order matches the serial loop's, so the answer relation is identical
@@ -50,6 +57,10 @@ Result<Relation> EvaluateFlock(
   std::size_t n_disjuncts = flock.query.disjuncts.size();
   std::vector<Relation> disjunct_answers(n_disjuncts);
   std::vector<std::size_t> disjunct_peaks(n_disjuncts, 0);
+  std::vector<OpMetrics*> disjunct_nodes(n_disjuncts, nullptr);
+  if (m != nullptr) {
+    disjunct_nodes = m->AddChildren(n_disjuncts, "disjunct");
+  }
   auto eval_disjunct = [&](std::size_t d) -> Status {
     const ConjunctiveQuery& cq = flock.query.disjuncts[d];
     std::vector<std::string> wanted = param_columns;
@@ -57,6 +68,9 @@ Result<Relation> EvaluateFlock(
     CqEvalOptions cq_options;
     if (d < options.per_disjunct.size()) cq_options = options.per_disjunct[d];
     if (cq_options.threads <= 1) cq_options.threads = options.threads;
+    cq_options.metrics = disjunct_nodes[d];
+    cq_options.trace = tr;
+    ScopedOp span(disjunct_nodes[d], tr);
     Result<Relation> bindings = EvaluateConjunctiveBindings(
         cq, resolver, wanted, cq_options, &disjunct_peaks[d]);
     if (!bindings.ok()) return bindings.status();
@@ -72,10 +86,21 @@ Result<Relation> EvaluateFlock(
 
   Relation answers{Schema(answer_columns)};
   std::size_t peak = 0;
-  for (std::size_t d = 0; d < n_disjuncts; ++d) {
-    peak = std::max(peak, disjunct_peaks[d]);
-    answers = n_disjuncts == 1 ? std::move(disjunct_answers[d])
-                               : Union(answers, disjunct_answers[d]);
+  {
+    // One "union" node for the whole fold; counters filled once so
+    // rows_out is the exact cardinality of the unioned answer set.
+    OpMetrics* node =
+        m != nullptr && n_disjuncts > 1 ? m->AddChild("union") : nullptr;
+    ScopedOp span(node, tr);
+    for (std::size_t d = 0; d < n_disjuncts; ++d) {
+      peak = std::max(peak, disjunct_peaks[d]);
+      answers = n_disjuncts == 1 ? std::move(disjunct_answers[d])
+                                 : Union(answers, disjunct_answers[d]);
+    }
+    if (node != nullptr) {
+      for (const Relation& r : disjunct_answers) node->rows_in += r.size();
+      node->rows_out = answers.size();
+    }
   }
 
   if (flock.filter.agg == FilterAgg::kSum &&
@@ -111,19 +136,45 @@ Result<Relation> EvaluateFlock(
   // serial one is kept for threads <= 1 so the single-core path carries
   // zero coordination overhead. Both feed the same filter + projection,
   // and the final sort makes the returned row order identical.
-  Relation grouped =
-      options.threads > 1
-          ? GroupAggregate(answers, param_columns, agg_kind, agg_column,
-                           "_agg", options.threads)
-          : GroupAggregate(answers, param_columns, agg_kind, agg_column,
-                           "_agg");
+  Relation grouped;
+  {
+    std::string agg_detail;
+    switch (agg_kind) {
+      case AggKind::kCount: agg_detail = "COUNT"; break;
+      case AggKind::kSum: agg_detail = "SUM(" + agg_column + ")"; break;
+      case AggKind::kMin: agg_detail = "MIN(" + agg_column + ")"; break;
+      case AggKind::kMax: agg_detail = "MAX(" + agg_column + ")"; break;
+    }
+    OpMetrics* node =
+        m != nullptr ? m->AddChild("group_by", agg_detail) : nullptr;
+    ScopedOp span(node, tr);
+    grouped = options.threads > 1
+                  ? GroupAggregate(answers, param_columns, agg_kind,
+                                   agg_column, "_agg", options.threads, node)
+                  : GroupAggregate(answers, param_columns, agg_kind,
+                                   agg_column, "_agg", node);
+  }
 
   std::size_t agg_col = grouped.schema().IndexOfOrDie("_agg");
-  Relation passing = Select(grouped, [&filter, agg_col](const Tuple& row) {
-    return filter.Accepts(row[agg_col]);
-  });
-  Relation result = Project(passing, param_columns);
-  result.SortRows();
+  Relation passing;
+  {
+    OpMetrics* node = m != nullptr ? m->AddChild("filter") : nullptr;
+    ScopedOp span(node, tr);
+    passing = Select(
+        grouped,
+        [&filter, agg_col](const Tuple& row) {
+          return filter.Accepts(row[agg_col]);
+        },
+        node);
+  }
+  Relation result;
+  {
+    OpMetrics* node = m != nullptr ? m->AddChild("project") : nullptr;
+    ScopedOp span(node, tr);
+    result = Project(passing, param_columns, node);
+    result.SortRows();
+  }
+  if (m != nullptr) m->rows_out += result.size();
   result.set_name("flock_result");
   return result;
 }

@@ -38,6 +38,16 @@ struct FlockEvalOptions {
   // value, and the result relation is returned in canonically sorted row
   // order regardless (see DESIGN.md, "Threading model").
   unsigned threads = 1;
+  // Observability (common/metrics.h). When `metrics` is non-null the
+  // evaluator builds its operator tree under it: one "disjunct" child per
+  // disjunct (holding that disjunct's scans/joins — pre-allocated before
+  // the parallel fan-out, so concurrent disjuncts write disjoint
+  // subtrees), then "union" / "group_by" / "filter" / "project" nodes.
+  // Row counters are identical for every `threads` value; `morsels` and
+  // wall times reflect the actual execution. `trace` receives span events
+  // and must be thread-safe; it is ignored unless `metrics` is set.
+  OpMetrics* metrics = nullptr;
+  TraceSink* trace = nullptr;
 };
 
 struct FlockEvalInfo {

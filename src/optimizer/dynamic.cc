@@ -92,16 +92,27 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
         "join_order must be a permutation of the positive subgoals");
   }
 
+  OpMetrics* m = options.metrics;
+  TraceSink* tr = m != nullptr ? options.trace : nullptr;
+  if (m != nullptr && m->op.empty()) m->op = "dynamic";
+
   // Binding relations per positive subgoal.
   std::vector<Relation> bindings;
   bindings.reserve(positives.size());
   for (const Subgoal* s : positives) {
-    bindings.push_back(SubgoalBindings(*s, db.Get(s->predicate())));
+    OpMetrics* node = m != nullptr ? m->AddChild("scan", s->predicate())
+                                   : nullptr;
+    ScopedOp span(node, tr);
+    bindings.push_back(SubgoalBindings(*s, db.Get(s->predicate()), 1, node));
   }
   std::vector<Relation> negation_bindings;
   negation_bindings.reserve(negations.size());
   for (const Subgoal* s : negations) {
-    negation_bindings.push_back(SubgoalBindings(*s, db.Get(s->predicate())));
+    OpMetrics* node =
+        m != nullptr ? m->AddChild("scan", "NOT " + s->predicate()) : nullptr;
+    ScopedOp span(node, tr);
+    negation_bindings.push_back(
+        SubgoalBindings(*s, db.Get(s->predicate()), 1, node));
   }
 
   // Ratio history per parameter set (the §4.4 "previously encountered"
@@ -117,12 +128,21 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
   auto maybe_filter = [&](Relation& rel, const std::string& at) {
     std::set<std::string> params = ParamColumnsIn(rel.schema());
     if (params.empty() || rel.empty()) return;
+    const std::uint64_t start_ns = MetricsNowNs();
+    OpMetrics* node = m != nullptr ? m->AddChild("dyn_filter", at) : nullptr;
+    ScopedOp span(node, tr);
     Relation view_storage;
     const Relation* view =
         AnswerUpperBoundView(rel, params, cq.head_vars, view_storage);
     std::vector<std::string> param_list(params.begin(), params.end());
-    Relation counts =
-        GroupAggregate(*view, param_list, AggKind::kCount, "", "_n");
+    Relation counts;
+    {
+      OpMetrics* gnode =
+          node != nullptr ? node->AddChild("group_by", "COUNT") : nullptr;
+      ScopedOp gspan(gnode, tr);
+      counts =
+          GroupAggregate(*view, param_list, AggKind::kCount, "", "_n", gnode);
+    }
     std::size_t n_col = counts.schema().IndexOfOrDie("_n");
     double ratio = static_cast<double>(view->size()) /
                    static_cast<double>(counts.size());
@@ -165,7 +185,11 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
                    return static_cast<double>(t[n_col].AsInt()) >= threshold;
                  }),
           param_list);
-      rel = SemiJoin(rel, ok);
+      OpMetrics* snode =
+          node != nullptr ? node->AddChild("semi_join", "reduce by support")
+                          : nullptr;
+      ScopedOp sspan(snode, tr);
+      rel = SemiJoin(rel, ok, snode);
       ++out_log.filters_applied;
       // Surviving groups all hold >= threshold tuples; that post-filter
       // ratio is the baseline future decisions must beat.
@@ -178,6 +202,11 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
 
     decision.filtered = should_filter;
     decision.rows_after = rel.size();
+    decision.wall_ns = MetricsNowNs() - start_ns;
+    if (node != nullptr) {
+      node->rows_in = decision.rows_before;
+      node->rows_out = decision.rows_after;
+    }
     out_log.decisions.push_back(std::move(decision));
   };
 
@@ -229,7 +258,13 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
   for (std::size_t k = 1; k < order.size(); ++k) {
     maybe_filter(bindings[order[k]],
                  "leaf " + positives[order[k]]->ToString());
-    current = NaturalJoin(current, bindings[order[k]]);
+    {
+      OpMetrics* node =
+          m != nullptr ? m->AddChild("join", positives[order[k]]->predicate())
+                       : nullptr;
+      ScopedOp span(node, tr);
+      current = NaturalJoin(current, bindings[order[k]], node);
+    }
     out_log.peak_rows = std::max(out_log.peak_rows, current.size());
     apply_ready(current);
     maybe_filter(current, "after join " + std::to_string(k));
@@ -239,15 +274,35 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
   std::vector<std::string> param_columns = FlockParameterColumns(flock);
   std::vector<std::string> answer_columns = param_columns;
   for (const std::string& h : cq.head_vars) answer_columns.push_back(h);
-  Relation answers = Project(current, answer_columns);
-  Relation counts =
-      GroupAggregate(answers, param_columns, AggKind::kCount, "", "_n");
+  Relation answers;
+  {
+    OpMetrics* node = m != nullptr ? m->AddChild("project", "answers")
+                                   : nullptr;
+    ScopedOp span(node, tr);
+    answers = Project(current, answer_columns, node);
+  }
+  Relation counts;
+  {
+    OpMetrics* node = m != nullptr ? m->AddChild("group_by", "COUNT")
+                                   : nullptr;
+    ScopedOp span(node, tr);
+    counts =
+        GroupAggregate(answers, param_columns, AggKind::kCount, "", "_n", node);
+  }
   std::size_t n_col = counts.schema().IndexOfOrDie("_n");
   const FilterCondition& filter = flock.filter;
-  Relation passing = Select(counts, [&](const Tuple& t) {
-    return filter.Accepts(t[n_col]);
-  });
-  Relation result = Project(passing, param_columns);
+  Relation passing;
+  {
+    OpMetrics* node = m != nullptr ? m->AddChild("filter") : nullptr;
+    ScopedOp span(node, tr);
+    passing = Select(
+        counts,
+        [&](const Tuple& t) { return filter.Accepts(t[n_col]); }, node);
+  }
+  OpMetrics* node = m != nullptr ? m->AddChild("project") : nullptr;
+  ScopedOp span(node, tr);
+  Relation result = Project(passing, param_columns, node);
+  if (m != nullptr) m->rows_out += result.size();
   result.set_name("flock_result");
   return result;
 }
@@ -261,17 +316,24 @@ std::string RenderDynamicTrace(const DynamicLog& log) {
       if (!params.empty()) params += ",";
       params += p;
     }
-    char buf[160];
+    char timing[40] = "";
+    if (d.wall_ns > 0) {
+      std::snprintf(timing, sizeof(timing), "; %.3fms",
+                    static_cast<double>(d.wall_ns) / 1e6);
+    }
+    char buf[224];
     if (d.filtered) {
       std::snprintf(buf, sizeof(buf),
                     "temp%d(%s) := FILTER at %s   [ratio %.2f; %zu -> %zu "
-                    "rows]\n",
+                    "rows%s]\n",
                     step++, params.c_str(), d.at.c_str(), d.ratio,
-                    d.rows_before, d.rows_after);
+                    d.rows_before, d.rows_after, timing);
     } else {
       std::snprintf(buf, sizeof(buf),
-                    "         no filter at %s (%s)   [ratio %.2f; %zu rows]\n",
-                    d.at.c_str(), params.c_str(), d.ratio, d.rows_before);
+                    "         no filter at %s (%s)   [ratio %.2f; %zu "
+                    "rows%s]\n",
+                    d.at.c_str(), params.c_str(), d.ratio, d.rows_before,
+                    timing);
     }
     out += buf;
   }

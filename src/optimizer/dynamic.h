@@ -19,10 +19,12 @@
 #define QF_OPTIMIZER_DYNAMIC_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "flocks/flock.h"
 #include "relational/database.h"
@@ -46,6 +48,12 @@ struct DynamicOptions {
   // §4.4 made operational: a mean ratio below threshold does not help if
   // the mass sits in a few huge groups.
   double min_removed_fraction = 0.2;
+  // Observability (common/metrics.h): the evaluation appends "scan",
+  // "dyn_filter" (one per decision point, with "group_by"/"semi_join"
+  // children when those ran), "join", and the final aggregation nodes.
+  // `trace` receives span events; ignored unless `metrics` is set.
+  OpMetrics* metrics = nullptr;
+  TraceSink* trace = nullptr;
 };
 
 struct DynamicDecision {
@@ -57,6 +65,9 @@ struct DynamicDecision {
   bool filtered = false;
   std::size_t rows_before = 0;
   std::size_t rows_after = 0;
+  // Wall time spent at this decision point (the group-count pass plus the
+  // semi-join when applied). Rendered by EXPLAIN ANALYZE DYNAMIC.
+  std::uint64_t wall_ns = 0;
 };
 
 struct DynamicLog {

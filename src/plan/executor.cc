@@ -42,6 +42,19 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
   std::map<std::string, const Relation*> extra;
   if (options.extra_predicates != nullptr) extra = *options.extra_predicates;
 
+  // Observability: pre-allocate one "step" node per plan step, in plan
+  // order, before any wave fans out — concurrent steps then write
+  // disjoint, stably addressed subtrees.
+  OpMetrics* m = options.metrics;
+  TraceSink* tr = m != nullptr ? options.trace : nullptr;
+  if (m != nullptr && m->op.empty()) m->op = "plan";
+  std::vector<OpMetrics*> step_nodes(n_steps, nullptr);
+  if (m != nullptr) {
+    for (std::size_t k = 0; k < n_steps; ++k) {
+      step_nodes[k] = m->AddChild("step", plan.steps[k].result_name);
+    }
+  }
+
   // Execute in dependency waves: a wave is the maximal run of remaining
   // steps in which no step reads a result produced by an *earlier step of
   // the same wave*. That is exactly the dependency that distinguishes
@@ -72,6 +85,10 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
           precomputed[k - done] = true;
           extra[step.result_name] = it->second;
           step_infos[k] = {step.result_name, it->second->size(), 0, 0};
+          if (step_nodes[k] != nullptr) {
+            step_nodes[k]->detail += " (precomputed)";
+            step_nodes[k]->rows_out = it->second->size();
+          }
           continue;
         }
       }
@@ -82,6 +99,8 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
         eval_options = options.per_step[k];
       }
       if (eval_options.threads <= 1) eval_options.threads = options.threads;
+      eval_options.metrics = step_nodes[k];
+      eval_options.trace = tr;
       wave_options[k - done] = std::move(eval_options);
     }
 
@@ -93,6 +112,7 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
           if (precomputed[i]) return Status::Ok();
           QueryFlock step_flock(step.query, flock.filter);
           FlockEvalInfo eval_info;
+          ScopedOp span(step_nodes[k], tr);
           Result<Relation> result = EvaluateFlock(
               step_flock, db, wave_options[i], &extra, &eval_info);
           if (!result.ok()) return result.status();
@@ -131,9 +151,13 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
 
   // Normalize to the flock evaluator's output shape (sorted parameters,
   // canonically sorted rows).
+  OpMetrics* node = m != nullptr ? m->AddChild("project", "normalize")
+                                 : nullptr;
+  ScopedOp span(node, tr);
   Relation normalized =
-      Project(materialized[n_steps - 1], FlockParameterColumns(flock));
+      Project(materialized[n_steps - 1], FlockParameterColumns(flock), node);
   normalized.SortRows();
+  if (m != nullptr) m->rows_out += normalized.size();
   normalized.set_name("flock_result");
   return normalized;
 }

@@ -72,6 +72,14 @@ struct PlanExecOptions {
   // result — and every per-step materialization — is identical for every
   // value; see DESIGN.md, "Threading model".
   unsigned threads = 1;
+  // Observability (common/metrics.h). When `metrics` is non-null the
+  // executor builds one "step" child per plan step (in plan order,
+  // pre-allocated before each wave fans out, so concurrent steps write
+  // disjoint subtrees) plus a final "project" child; each step child
+  // holds that step's flock-evaluation tree. `trace` receives span events
+  // and must be thread-safe; ignored unless `metrics` is set.
+  OpMetrics* metrics = nullptr;
+  TraceSink* trace = nullptr;
 };
 
 // Executes `plan` for `flock` over `db`. The result matches

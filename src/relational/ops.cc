@@ -55,7 +55,8 @@ Schema JoinedSchema(const Relation& a, const Relation& b,
 }  // namespace
 
 Relation Project(const Relation& rel,
-                 const std::vector<std::string>& columns) {
+                 const std::vector<std::string>& columns,
+                 OpMetrics* metrics) {
   std::vector<std::size_t> indices;
   indices.reserve(columns.size());
   for (const std::string& c : columns) {
@@ -68,14 +69,24 @@ Relation Project(const Relation& rel,
     Tuple projected = ProjectTuple(t, indices);
     if (seen.insert(projected).second) out.Add(std::move(projected));
   }
+  if (metrics != nullptr) {
+    metrics->rows_in += rel.size();
+    metrics->rows_out += out.size();
+    metrics->tuples_probed += rel.size();  // dedup-set inserts
+  }
   return out;
 }
 
 Relation Select(const Relation& rel,
-                const std::function<bool(const Tuple&)>& pred) {
+                const std::function<bool(const Tuple&)>& pred,
+                OpMetrics* metrics) {
   Relation out(rel.schema());
   for (const Tuple& t : rel.rows()) {
     if (pred(t)) out.Add(t);
+  }
+  if (metrics != nullptr) {
+    metrics->rows_in += rel.size();
+    metrics->rows_out += out.size();
   }
   return out;
 }
@@ -87,12 +98,34 @@ Relation Rename(const Relation& rel, std::vector<std::string> new_names) {
   return out;
 }
 
-Relation NaturalJoin(const Relation& a, const Relation& b) {
+namespace {
+
+// Shared counter bookkeeping for the hash-join variants: row counters are
+// identical whichever execution path produced `out`, so serial and
+// parallel joins report the same numbers for the same inputs.
+void RecordJoinMetrics(OpMetrics* metrics, const Relation& a,
+                       const Relation& b, const Relation& out) {
+  if (metrics == nullptr) return;
+  metrics->rows_in += a.size();
+  metrics->rows_in_right += b.size();
+  metrics->rows_out += out.size();
+  // One index lookup per probe-side row (none when an empty input
+  // short-circuits the probe phase).
+  if (!a.empty() && !b.empty()) metrics->tuples_probed += a.size();
+}
+
+}  // namespace
+
+Relation NaturalJoin(const Relation& a, const Relation& b,
+                     OpMetrics* metrics) {
   JoinLayout layout = ComputeJoinLayout(a, b);
   // Build the hash index on the smaller input; probe with the other. The
   // output layout is fixed (a's columns then b's extras) either way.
   Relation out(JoinedSchema(a, b, layout));
-  if (a.empty() || b.empty()) return out;
+  if (a.empty() || b.empty()) {
+    RecordJoinMetrics(metrics, a, b, out);
+    return out;
+  }
   RowIndex index = BuildIndex(b, layout.b_key);
   for (const Tuple& ta : a.rows()) {
     auto it = index.find(ProjectTuple(ta, layout.a_key));
@@ -104,11 +137,12 @@ Relation NaturalJoin(const Relation& a, const Relation& b) {
       out.Add(std::move(combined));
     }
   }
+  RecordJoinMetrics(metrics, a, b, out);
   return out;
 }
 
 Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
-                             unsigned threads) {
+                             unsigned threads, OpMetrics* metrics) {
   JoinLayout layout = ComputeJoinLayout(a, b);
   // Probe-side morsel size. Fixed — never derived from `threads` — so the
   // morsel decomposition, and with it the output row order, is a function
@@ -116,7 +150,7 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
   constexpr std::size_t kMorselRows = 4096;
   if (threads <= 1 || layout.a_key.empty() || a.size() < 2 * kMorselRows ||
       b.empty()) {
-    return NaturalJoin(a, b);
+    return NaturalJoin(a, b, metrics);
   }
 
   // Shared read-only build index over b; morsels of a probe it on the
@@ -151,6 +185,8 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
   for (auto& part : outputs) {
     for (Tuple& t : part) out.mutable_rows().push_back(std::move(t));
   }
+  RecordJoinMetrics(metrics, a, b, out);
+  if (metrics != nullptr) metrics->morsels += outputs.size();
   return out;
 }
 
@@ -224,13 +260,29 @@ Relation SortMergeJoin(const Relation& a, const Relation& b) {
   return out;
 }
 
-Relation SemiJoin(const Relation& a, const Relation& b) {
+namespace {
+
+void RecordSemiAntiMetrics(OpMetrics* metrics, const Relation& a,
+                           const Relation& b, std::size_t rows_out,
+                           bool probed) {
+  if (metrics == nullptr) return;
+  metrics->rows_in += a.size();
+  metrics->rows_in_right += b.size();
+  metrics->rows_out += rows_out;
+  if (probed) metrics->tuples_probed += a.size();
+}
+
+}  // namespace
+
+Relation SemiJoin(const Relation& a, const Relation& b, OpMetrics* metrics) {
   JoinLayout layout = ComputeJoinLayout(a, b);
   Relation out(a.schema());
   out.set_name(a.name());
   if (layout.a_key.empty()) {
     // No shared columns: b acts as a boolean guard.
-    return b.empty() ? out : a;
+    const Relation& result = b.empty() ? out : a;
+    RecordSemiAntiMetrics(metrics, a, b, result.size(), false);
+    return result;
   }
   std::unordered_set<Tuple, TupleHash> keys;
   keys.reserve(b.size());
@@ -240,15 +292,18 @@ Relation SemiJoin(const Relation& a, const Relation& b) {
   for (const Tuple& ta : a.rows()) {
     if (keys.contains(ProjectTuple(ta, layout.a_key))) out.Add(ta);
   }
+  RecordSemiAntiMetrics(metrics, a, b, out.size(), true);
   return out;
 }
 
-Relation AntiJoin(const Relation& a, const Relation& b) {
+Relation AntiJoin(const Relation& a, const Relation& b, OpMetrics* metrics) {
   JoinLayout layout = ComputeJoinLayout(a, b);
   Relation out(a.schema());
   out.set_name(a.name());
   if (layout.a_key.empty()) {
-    return b.empty() ? a : out;
+    const Relation& result = b.empty() ? a : out;
+    RecordSemiAntiMetrics(metrics, a, b, result.size(), false);
+    return result;
   }
   std::unordered_set<Tuple, TupleHash> keys;
   keys.reserve(b.size());
@@ -258,10 +313,11 @@ Relation AntiJoin(const Relation& a, const Relation& b) {
   for (const Tuple& ta : a.rows()) {
     if (!keys.contains(ProjectTuple(ta, layout.a_key))) out.Add(ta);
   }
+  RecordSemiAntiMetrics(metrics, a, b, out.size(), true);
   return out;
 }
 
-Relation Union(const Relation& a, const Relation& b) {
+Relation Union(const Relation& a, const Relation& b, OpMetrics* metrics) {
   QF_CHECK_MSG(a.arity() == b.arity(), "Union arity mismatch");
   Relation out(a.schema());
   std::unordered_set<Tuple, TupleHash> seen;
@@ -271,6 +327,12 @@ Relation Union(const Relation& a, const Relation& b) {
   }
   for (const Tuple& t : b.rows()) {
     if (seen.insert(t).second) out.Add(t);
+  }
+  if (metrics != nullptr) {
+    metrics->rows_in += a.size();
+    metrics->rows_in_right += b.size();
+    metrics->rows_out += out.size();
+    metrics->tuples_probed += a.size() + b.size();  // dedup-set inserts
   }
   return out;
 }
@@ -390,10 +452,23 @@ GroupLayout ComputeGroupLayout(const Relation& rel,
 
 }  // namespace
 
+namespace {
+
+void RecordGroupMetrics(OpMetrics* metrics, const Relation& rel,
+                        std::size_t rows_out) {
+  if (metrics == nullptr) return;
+  metrics->rows_in += rel.size();
+  metrics->rows_out += rows_out;
+  metrics->tuples_probed += rel.size();  // one table upsert per input row
+}
+
+}  // namespace
+
 Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
-                        const std::string& output_column) {
+                        const std::string& output_column,
+                        OpMetrics* metrics) {
   GroupLayout layout =
       ComputeGroupLayout(rel, group_columns, kind, agg_column);
   GroupTable groups;
@@ -409,13 +484,21 @@ Relation GroupAggregate(const Relation& rel,
   for (auto& [key, acc] : groups) {
     out.Add(FinishGroup(key, acc, kind));
   }
+  // Sort for a deterministic row order: group keys are unique, so the
+  // lexicographic order is total, and the serial overload now agrees
+  // row-for-row with the parallel one instead of exposing hash-table
+  // iteration order (an inconsistency found while instrumenting;
+  // ops_test.cc pins it).
+  out.SortRows();
+  RecordGroupMetrics(metrics, rel, out.size());
   return out;
 }
 
 Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
-                        const std::string& output_column, unsigned threads) {
+                        const std::string& output_column, unsigned threads,
+                        OpMetrics* metrics) {
   GroupLayout layout =
       ComputeGroupLayout(rel, group_columns, kind, agg_column);
 
@@ -456,6 +539,8 @@ Relation GroupAggregate(const Relation& rel,
     out.Add(FinishGroup(key, acc, kind));
   }
   out.SortRows();
+  RecordGroupMetrics(metrics, rel, out.size());
+  if (metrics != nullptr) metrics->morsels += partials.size();
   return out;
 }
 

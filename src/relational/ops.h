@@ -3,6 +3,19 @@
 // Joins are *natural*: they match on equally named columns, which is exactly
 // the shape conjunctive-query evaluation needs when each subgoal's binding
 // relation names its columns after the query's variables and parameters.
+//
+// Observability: every operator the evaluators use takes a trailing
+// nullable OpMetrics* (common/metrics.h). When non-null the operator adds
+// its observed counters — rows_in (left/only input), rows_in_right (build
+// side of binary ops), rows_out (exact result cardinality), tuples_probed
+// (hash lookups + table upserts), morsels (parallel decomposition; 0 when
+// the op ran as one piece) — into the node. Operators fill *counters
+// only*; naming the node and timing it (ScopedOp) is the caller's job, so
+// wall time has a single source. All row counters are identical for every
+// thread count (the same determinism contract as the results themselves);
+// `morsels` reflects the actual decomposition and is 0 on serial paths.
+// A null pointer costs one branch — the disabled path stays
+// allocation-free.
 #ifndef QF_RELATIONAL_OPS_H_
 #define QF_RELATIONAL_OPS_H_
 
@@ -11,16 +24,19 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "relational/relation.h"
 
 namespace qf {
 
 // Projects onto `columns` (each must exist), removing duplicates.
-Relation Project(const Relation& rel, const std::vector<std::string>& columns);
+Relation Project(const Relation& rel, const std::vector<std::string>& columns,
+                 OpMetrics* metrics = nullptr);
 
 // Keeps rows satisfying `pred`. Preserves set-ness.
 Relation Select(const Relation& rel,
-                const std::function<bool(const Tuple&)>& pred);
+                const std::function<bool(const Tuple&)>& pred,
+                OpMetrics* metrics = nullptr);
 
 // Renames columns: new_names.size() must equal arity.
 Relation Rename(const Relation& rel, std::vector<std::string> new_names);
@@ -29,7 +45,8 @@ Relation Rename(const Relation& rel, std::vector<std::string> new_names);
 // schema is a's columns followed by b's non-shared columns. If the inputs
 // share no columns this is a cross product. Inputs must be duplicate-free
 // for the output to be duplicate-free.
-Relation NaturalJoin(const Relation& a, const Relation& b);
+Relation NaturalJoin(const Relation& a, const Relation& b,
+                     OpMetrics* metrics = nullptr);
 
 // Natural join computed by sort-merge instead of hashing: identical
 // result set (row order differs). Wins over the hash join when inputs are
@@ -44,22 +61,26 @@ Relation SortMergeJoin(const Relation& a, const Relation& b);
 // size — never on `threads` — the output row order is *identical to
 // NaturalJoin(a, b)* for every thread count, so the evaluators can switch
 // between the serial and parallel join freely without changing results.
-// `threads` <= 1, small inputs, and cross products fall back to the
-// serial join (same rows, same order).
+// `threads` <= 1 (including 0), small inputs, and cross products fall
+// back to the serial join (same rows, same order, same row counters;
+// morsels stays 0 on the fallback).
 Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
-                             unsigned threads);
+                             unsigned threads, OpMetrics* metrics = nullptr);
 
 // Rows of `a` with at least one match in `b` on the shared columns.
 // If no columns are shared: returns `a` when `b` is non-empty, else empty.
-Relation SemiJoin(const Relation& a, const Relation& b);
+Relation SemiJoin(const Relation& a, const Relation& b,
+                  OpMetrics* metrics = nullptr);
 
 // Rows of `a` with *no* match in `b` on the shared columns — evaluates
 // NOT-subgoals. If no columns are shared: returns `a` when `b` is empty,
 // else empty.
-Relation AntiJoin(const Relation& a, const Relation& b);
+Relation AntiJoin(const Relation& a, const Relation& b,
+                  OpMetrics* metrics = nullptr);
 
 // Set union; schemas must have equal arity (column names taken from `a`).
-Relation Union(const Relation& a, const Relation& b);
+Relation Union(const Relation& a, const Relation& b,
+               OpMetrics* metrics = nullptr);
 
 // Set difference a - b; arities must match (names from `a`).
 Relation Difference(const Relation& a, const Relation& b);
@@ -74,27 +95,31 @@ enum class AggKind { kCount, kSum, kMin, kMax };
 // the remaining data:
 //   kCount — number of (distinct) rows in the group;
 //   kSum / kMin / kMax — over the numeric column `agg_column`.
-// Output schema: group_columns + {output_column}. Input must be
-// duplicate-free: under set semantics COUNT of a flock's answers is exactly
-// the number of distinct rows per group.
+// Output schema: group_columns + {output_column}, rows in lexicographic
+// order (both overloads sort, so serial and parallel agree row-for-row —
+// see the note on the parallel overload). Input must be duplicate-free:
+// under set semantics COUNT of a flock's answers is exactly the number of
+// distinct rows per group.
 Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
-                        const std::string& output_column);
+                        const std::string& output_column,
+                        OpMetrics* metrics = nullptr);
 
 // Morsel-parallel GroupAggregate: rows are split into fixed-size morsels,
 // each aggregated into a thread-local hash table on the shared pool, the
 // per-morsel tables merged in morsel order, and the output rows sorted
 // lexicographically. The result is bit-identical for every `threads`
-// value (including 1): morsel boundaries and the merge order depend only
-// on the input, so even floating-point SUM associates identically, and
-// the final sort pins the row order. Differs from the serial overload
-// above only in row order (and, for SUM, in float association — the sums
-// are equal up to rounding).
+// value (including 0 and 1): morsel boundaries and the merge order depend
+// only on the input, so even floating-point SUM associates identically,
+// and the final sort pins the row order. The serial overload above now
+// sorts as well, so the two agree exactly except that floating-point SUM
+// may differ in association (the sums are equal up to rounding).
 Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
-                        const std::string& output_column, unsigned threads);
+                        const std::string& output_column, unsigned threads,
+                        OpMetrics* metrics = nullptr);
 
 }  // namespace qf
 

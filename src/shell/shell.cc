@@ -145,13 +145,57 @@ constexpr std::string_view kHelp =
     "  GEN MEDICAL|WEB|GRAPH <name> [key=value ...];\n"
     "  DEFINE <head>(<vars>) :- <body>;       # intermediate predicate\n"
     "  FLOCK <name> QUERY <rules> FILTER <AGG>[(<HeadVar>)] <op> <num>;\n"
-    "  EXPLAIN <name>;\n"
+    "  EXPLAIN <name>;               # chosen plan + cost estimates\n"
+    "  EXPLAIN ANALYZE <name> [DIRECT|PLAN|DYNAMIC|REDUCED] [LIMIT <n>]\n"
+    "      [THREADS <n>];            # execute + per-operator metrics tree\n"
     "  RUN <name> [DIRECT|PLAN|DYNAMIC|REDUCED] [LIMIT <n>] [THREADS <n>];\n"
     "  SQL <name>;\n"
     "  THREADS <n>;                  # default workers for RUN (1 = serial)\n"
+    "  TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events, JSON lines\n"
     "  MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];\n"
-    "  SHOW RELATIONS; | SHOW FLOCKS; | SHOW <rel>;\n"
+    "  SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;\n"
     "  HELP;\n";
+
+// Options shared by RUN and EXPLAIN ANALYZE:
+// [DIRECT|PLAN|DYNAMIC|REDUCED] [LIMIT <n>] [THREADS <n>] in any order.
+struct RunOptions {
+  std::string mode = "PLAN";
+  std::size_t limit = 10;
+  unsigned threads = 1;
+};
+
+Result<RunOptions> ParseRunOptions(std::string_view rest,
+                                   unsigned default_threads) {
+  RunOptions out;
+  out.threads = default_threads;
+  while (!StripWhitespace(rest).empty()) {
+    auto [word, next] = SplitCommand(rest);
+    if (word == "DIRECT" || word == "PLAN" || word == "DYNAMIC" ||
+        word == "REDUCED") {
+      out.mode = word;
+      rest = next;
+    } else if (word == "LIMIT") {
+      auto [num, after] = SplitCommand(next);
+      Result<std::int64_t> n = ParseInt64(num);
+      if (!n.ok() || *n < 0) {
+        return InvalidArgumentError("bad LIMIT: " + num);
+      }
+      out.limit = static_cast<std::size_t>(*n);
+      rest = after;
+    } else if (word == "THREADS") {
+      auto [num, after] = SplitCommand(next);
+      Result<std::int64_t> n = ParseInt64(num);
+      if (!n.ok() || *n < 1) {
+        return InvalidArgumentError("bad THREADS: " + num);
+      }
+      out.threads = static_cast<unsigned>(*n);
+      rest = after;
+    } else {
+      return InvalidArgumentError("unknown RUN option: " + word);
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -188,6 +232,7 @@ Result<std::string> Shell::Execute(std::string_view statement) {
   if (command == "SQL") return Sql(rest);
   if (command == "SHOW") return Show(rest);
   if (command == "MAXIMAL") return Maximal(rest);
+  if (command == "TRACE") return Trace(rest);
   if (command == "THREADS") {
     auto [num, after] = SplitCommand(rest);
     Result<std::int64_t> n = ParseInt64(num);
@@ -477,6 +522,9 @@ Result<const std::map<std::string, Relation>*> Shell::Views() {
 }
 
 Result<std::string> Shell::Explain(std::string_view args) {
+  if (auto [first, rest] = SplitCommand(args); first == "ANALYZE") {
+    return ExplainAnalyze(rest);
+  }
   std::string name(StripWhitespace(args));
   auto it = flocks_.find(name);
   if (it == flocks_.end()) return NotFoundError("no flock named " + name);
@@ -501,6 +549,97 @@ Result<std::string> Shell::Explain(std::string_view args) {
          buf;
 }
 
+Result<Relation> Shell::Evaluate(const std::string& mode,
+                                 const QueryFlock& flock, unsigned threads,
+                                 OpMetrics* metrics,
+                                 std::string* dynamic_trace) {
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  Result<const std::map<std::string, Relation>*> views = Views();
+  if (!views.ok()) return views.status();
+  std::map<std::string, const Relation*> extra;
+  for (const auto& [view_name, rel] : **views) extra[view_name] = &rel;
+  TraceSink* trace = trace_sink_.get();
+
+  // Estimated surviving assignments of a FILTER over `query`, for the
+  // est-vs-actual skew EXPLAIN ANALYZE renders. Only support-style
+  // filters have a calibrated model.
+  auto estimate_survivors = [&](const UnionQuery& query,
+                                const CostModel& model) {
+    double est = 0;
+    for (const ConjunctiveQuery& cq : query.disjuncts) {
+      est += model.EstimateFilter(cq, flock.filter.threshold).survivors;
+    }
+    return est;
+  };
+  auto build_model = [&]() {
+    DatabaseStats stats = DatabaseStats::Compute(db_);
+    for (const auto& [view_name, rel] : **views) {
+      stats.Put(view_name, ComputeStats(rel));
+    }
+    return CostModel(std::move(stats));
+  };
+
+  if (mode == "DIRECT" || mode == "REDUCED") {
+    FlockEvalOptions options;
+    options.threads = threads;
+    options.metrics = metrics;
+    options.trace = trace;
+    if (mode == "REDUCED") {
+      // Yannakakis full-reducer evaluation (falls back on cyclic queries).
+      for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
+        CqEvalOptions cq_options;
+        cq_options.full_reducer = true;
+        options.per_disjunct.push_back(std::move(cq_options));
+      }
+    }
+    if (metrics != nullptr && flock.filter.IsSupportStyle()) {
+      metrics->est_rows = estimate_survivors(flock.query, build_model());
+    }
+    return EvaluateFlock(flock, db_, options, &extra);
+  }
+
+  if (mode == "DYNAMIC") {
+    if (!extra.empty()) {
+      return UnimplementedError(
+          "RUN ... DYNAMIC does not support intermediate predicates yet; "
+          "use DIRECT or PLAN");
+    }
+    DynamicOptions options;
+    options.metrics = metrics;
+    options.trace = trace;
+    DynamicLog log;
+    Result<Relation> result = DynamicEvaluate(flock, db_, options, &log);
+    if (result.ok() && dynamic_trace != nullptr) {
+      *dynamic_trace = RenderDynamicTrace(log);
+    }
+    return result;
+  }
+
+  CostModel model = build_model();
+  Result<QueryPlan> plan = SearchPlanParameterSets(flock, model);
+  if (!plan.ok()) return plan.status();
+  PlanExecOptions options;
+  options.order_chooser = CostBasedOrderChooser();
+  options.extra_predicates = &extra;
+  options.threads = threads;
+  options.metrics = metrics;
+  options.trace = trace;
+  Result<Relation> result = ExecutePlan(*plan, flock, db_, options);
+  if (result.ok() && metrics != nullptr && flock.filter.IsSupportStyle()) {
+    // The executor pre-allocates step children in plan order, so child k
+    // is step k; attach the optimizer's per-step estimate to each.
+    for (std::size_t k = 0;
+         k < plan->steps.size() && k < metrics->children.size(); ++k) {
+      metrics->children[k]->est_rows =
+          estimate_survivors(plan->steps[k].query, model);
+    }
+    if (!plan->steps.empty()) {
+      metrics->est_rows = metrics->children[plan->steps.size() - 1]->est_rows;
+    }
+  }
+  return result;
+}
+
 Result<std::string> Shell::Run(std::string_view args) {
   auto [name_upper, rest] = SplitCommand(args);
   std::string name(StripWhitespace(args).substr(0, name_upper.size()));
@@ -508,86 +647,110 @@ Result<std::string> Shell::Run(std::string_view args) {
   if (it == flocks_.end()) return NotFoundError("no flock named " + name);
   const QueryFlock& flock = it->second;
 
-  std::string mode = "PLAN";
-  std::size_t limit = 10;
-  unsigned threads = default_threads_;
-  while (!StripWhitespace(rest).empty()) {
-    auto [word, next] = SplitCommand(rest);
-    if (word == "DIRECT" || word == "PLAN" || word == "DYNAMIC" ||
-        word == "REDUCED") {
-      mode = word;
-      rest = next;
-    } else if (word == "LIMIT") {
-      auto [num, after] = SplitCommand(next);
-      Result<std::int64_t> n = ParseInt64(num);
-      if (!n.ok() || *n < 0) {
-        return InvalidArgumentError("bad LIMIT: " + num);
-      }
-      limit = static_cast<std::size_t>(*n);
-      rest = after;
-    } else if (word == "THREADS") {
-      auto [num, after] = SplitCommand(next);
-      Result<std::int64_t> n = ParseInt64(num);
-      if (!n.ok() || *n < 1) {
-        return InvalidArgumentError("bad THREADS: " + num);
-      }
-      threads = static_cast<unsigned>(*n);
-      rest = after;
-    } else {
-      return InvalidArgumentError("unknown RUN option: " + word);
-    }
-  }
+  Result<RunOptions> opts = ParseRunOptions(rest, default_threads_);
+  if (!opts.ok()) return opts.status();
 
-  if (Status s = flock.Validate(); !s.ok()) return s;
-  Result<const std::map<std::string, Relation>*> views = Views();
-  if (!views.ok()) return views.status();
-  std::map<std::string, const Relation*> extra;
-  for (const auto& [view_name, rel] : **views) extra[view_name] = &rel;
+  // With tracing on, spans need metrics nodes to describe them; the tree
+  // itself is discarded after the run.
+  OpMetrics root;
+  OpMetrics* metrics = tracing() ? &root : nullptr;
 
   auto start = std::chrono::steady_clock::now();
-  Result<Relation> result = NotFoundError("unreachable");
-  if (mode == "DIRECT") {
-    FlockEvalOptions options;
-    options.threads = threads;
-    result = EvaluateFlock(flock, db_, options, &extra);
-  } else if (mode == "REDUCED") {
-    // Yannakakis full-reducer evaluation (falls back on cyclic queries).
-    FlockEvalOptions options;
-    options.threads = threads;
-    for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
-      CqEvalOptions cq_options;
-      cq_options.full_reducer = true;
-      options.per_disjunct.push_back(std::move(cq_options));
-    }
-    result = EvaluateFlock(flock, db_, options, &extra);
-  } else if (mode == "DYNAMIC") {
-    if (!extra.empty()) {
-      return UnimplementedError(
-          "RUN ... DYNAMIC does not support intermediate predicates yet; "
-          "use DIRECT or PLAN");
-    }
-    result = DynamicEvaluate(flock, db_);
-  } else {
-    DatabaseStats stats = DatabaseStats::Compute(db_);
-    for (const auto& [view_name, rel] : **views) {
-      stats.Put(view_name, ComputeStats(rel));
-    }
-    CostModel model(std::move(stats));
-    Result<QueryPlan> plan = SearchPlanParameterSets(flock, model);
-    if (!plan.ok()) return plan.status();
-    PlanExecOptions options;
-    options.order_chooser = CostBasedOrderChooser();
-    options.extra_predicates = &extra;
-    options.threads = threads;
-    result = ExecutePlan(*plan, flock, db_, options);
-  }
+  Result<Relation> result =
+      Evaluate(opts->mode, flock, opts->threads, metrics, nullptr);
   double ms = MillisSince(start);
   if (!result.ok()) return result.status();
 
   char buf[128];
   std::snprintf(buf, sizeof(buf), "%s: %zu assignments in %.1f ms (%s)\n",
-                name.c_str(), result->size(), ms, mode.c_str());
-  return buf + PreviewRelation(std::move(*result), limit);
+                name.c_str(), result->size(), ms, opts->mode.c_str());
+  return buf + PreviewRelation(std::move(*result), opts->limit);
+}
+
+Result<std::string> Shell::ExplainAnalyze(std::string_view args) {
+  auto [name_upper, rest] = SplitCommand(args);
+  std::string name(StripWhitespace(args).substr(0, name_upper.size()));
+  if (name.empty()) {
+    return InvalidArgumentError(
+        "usage: EXPLAIN ANALYZE <name> [DIRECT|PLAN|DYNAMIC|REDUCED] "
+        "[LIMIT <n>] [THREADS <n>]");
+  }
+  auto it = flocks_.find(name);
+  if (it == flocks_.end()) return NotFoundError("no flock named " + name);
+  const QueryFlock& flock = it->second;
+
+  Result<RunOptions> opts = ParseRunOptions(rest, default_threads_);
+  if (!opts.ok()) return opts.status();
+
+  OpMetrics root;
+  std::string dynamic_trace;
+  auto start = std::chrono::steady_clock::now();
+  Result<Relation> result =
+      Evaluate(opts->mode, flock, opts->threads, &root, &dynamic_trace);
+  double ms = MillisSince(start);
+  if (!result.ok()) return result.status();
+  // The evaluators time their children; the root's span is the statement.
+  root.wall_ns = static_cast<std::uint64_t>(ms * 1e6);
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %zu assignments in %.1f ms (%s, threads %u)\n",
+                name.c_str(), result->size(), ms, opts->mode.c_str(),
+                opts->threads);
+  std::string out = buf;
+  if (!dynamic_trace.empty()) {
+    out += "dynamic decisions:\n" + dynamic_trace;
+  }
+  out += "metrics:\n" + root.ToString();
+  out += "result:\n" + PreviewRelation(std::move(*result), opts->limit);
+  return out;
+}
+
+Result<std::string> Shell::Trace(std::string_view args) {
+  auto [what, rest] = SplitCommand(args);
+  if (what == "ON") {
+    if (!StripWhitespace(rest).empty()) {
+      return InvalidArgumentError("usage: TRACE ON|OFF|TO <path>");
+    }
+    auto sink = std::make_unique<MemoryTraceSink>();
+    memory_trace_ = sink.get();
+    file_trace_ = nullptr;
+    trace_path_.clear();
+    trace_sink_ = std::move(sink);
+    return std::string("trace on (buffering in memory; SHOW TRACE to inspect)\n");
+  }
+  if (what == "OFF") {
+    if (!StripWhitespace(rest).empty()) {
+      return InvalidArgumentError("usage: TRACE ON|OFF|TO <path>");
+    }
+    if (trace_sink_ == nullptr) return std::string("trace already off\n");
+    std::size_t events = memory_trace_ != nullptr
+                             ? memory_trace_->event_count()
+                             : file_trace_->event_count();
+    std::string where = trace_path_.empty() ? "memory" : trace_path_;
+    memory_trace_ = nullptr;
+    file_trace_ = nullptr;
+    trace_path_.clear();
+    trace_sink_.reset();
+    return "trace off (" + std::to_string(events) + " events in " + where +
+           ")\n";
+  }
+  if (what == "TO") {
+    std::string path(StripWhitespace(rest));
+    if (path.empty()) {
+      return InvalidArgumentError("usage: TRACE TO <path>");
+    }
+    auto sink = std::make_unique<JsonLinesTraceSink>(path);
+    if (!sink->ok()) {
+      return InvalidArgumentError("cannot open trace file: " + path);
+    }
+    file_trace_ = sink.get();
+    memory_trace_ = nullptr;
+    trace_path_ = path;
+    trace_sink_ = std::move(sink);
+    return "tracing to " + path + "\n";
+  }
+  return InvalidArgumentError("usage: TRACE ON|OFF|TO <path>");
 }
 
 Result<std::string> Shell::Sql(std::string_view args) {
@@ -672,6 +835,23 @@ Result<std::string> Shell::Show(std::string_view args) {
       out += name + ":\n" + flock.ToString();
     }
     return out.empty() ? std::string("(no flocks)\n") : out;
+  }
+  if (what == "TRACE") {
+    if (memory_trace_ != nullptr) {
+      std::vector<std::string> lines = memory_trace_->Lines();
+      std::string out;
+      for (const std::string& line : lines) {
+        out += line;
+        out += '\n';
+      }
+      out += std::to_string(lines.size()) + " events\n";
+      return out;
+    }
+    if (file_trace_ != nullptr) {
+      return "tracing to " + trace_path_ + " (" +
+             std::to_string(file_trace_->event_count()) + " events)\n";
+    }
+    return std::string("(trace is off)\n");
   }
   std::string rel_name(StripWhitespace(args).substr(0, what.size()));
   if (db_.Has(rel_name)) {

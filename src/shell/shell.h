@@ -10,11 +10,13 @@
 //   DEFINE <rule>;                          # intermediate predicate
 //   FLOCK <name> QUERY <rules> FILTER <AGG>[(<HeadVar>)] <op> <number>;
 //   EXPLAIN <name>;                         # chosen plan + estimates
+//   EXPLAIN ANALYZE <name> [mode ...];      # execute + metrics tree
 //   RUN <name> [DIRECT|PLAN|DYNAMIC] [LIMIT <n>] [THREADS <n>];
 //   SQL <name>;
 //   THREADS <n>;                            # default worker count for RUN
+//   TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events (JSON lines)
 //   MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];   # flock-sequence mining
-//   SHOW RELATIONS; | SHOW FLOCKS; | SHOW <rel>;
+//   SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;
 //   HELP;
 //
 // GEN BASKETS keys: n_baskets n_items avg_size theta locality topics seed.
@@ -26,9 +28,11 @@
 #define QF_SHELL_SHELL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "datalog/program.h"
 #include "flocks/flock.h"
@@ -59,6 +63,9 @@ class Shell {
   // identical for every value; see DESIGN.md, "Threading model".
   unsigned default_threads() const { return default_threads_; }
 
+  // True while a trace sink is installed (TRACE ON or TRACE TO <path>).
+  bool tracing() const { return trace_sink_ != nullptr; }
+
  private:
   Result<std::string> Load(std::string_view args);
   Result<std::string> Save(std::string_view args);
@@ -66,10 +73,20 @@ class Shell {
   Result<std::string> Define(std::string_view args);
   Result<std::string> DeclareFlock(std::string_view args);
   Result<std::string> Explain(std::string_view args);
+  Result<std::string> ExplainAnalyze(std::string_view args);
   Result<std::string> Run(std::string_view args);
   Result<std::string> Sql(std::string_view args);
   Result<std::string> Show(std::string_view args);
   Result<std::string> Maximal(std::string_view args);
+  Result<std::string> Trace(std::string_view args);
+
+  // Evaluates flock `name` in `mode` ("DIRECT"|"PLAN"|"REDUCED"|"DYNAMIC"),
+  // optionally collecting metrics under `metrics` (spans go to the
+  // installed trace sink). `dynamic_trace`, when non-null, receives the
+  // Fig. 9-style decision log of DYNAMIC runs.
+  Result<Relation> Evaluate(const std::string& mode, const QueryFlock& flock,
+                            unsigned threads, OpMetrics* metrics,
+                            std::string* dynamic_trace);
 
   // Materializes program views (cached until the program changes).
   Result<const std::map<std::string, Relation>*> Views();
@@ -80,6 +97,12 @@ class Shell {
   std::map<std::string, Relation> views_;
   bool views_dirty_ = false;
   unsigned default_threads_ = 1;
+  // Installed trace sink (TRACE ON/TO); the typed aliases identify which
+  // kind is active (memory_trace_ backs SHOW TRACE).
+  std::unique_ptr<TraceSink> trace_sink_;
+  MemoryTraceSink* memory_trace_ = nullptr;
+  JsonLinesTraceSink* file_trace_ = nullptr;
+  std::string trace_path_;
 };
 
 }  // namespace qf

@@ -253,6 +253,118 @@ TEST_P(OpsProperty, ParallelGroupSumWithNegativeValuesMatchesSerial) {
   EXPECT_EQ(t1.rows(), t8.rows());
 }
 
+TEST_P(OpsProperty, MetricsRowsOutEqualsCardinality) {
+  // Metrics invariant: for every operator, rows_out equals the actual
+  // result cardinality and rows_in the actual input sizes — on random
+  // relations, for the serial and parallel variants alike.
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 60, 6);
+  Relation b = RandomRelation(rng_, {"Y", "Z"}, 45, 6);
+
+  OpMetrics join_m;
+  Relation joined = NaturalJoin(a, b, &join_m);
+  EXPECT_EQ(join_m.rows_in, a.size());
+  EXPECT_EQ(join_m.rows_in_right, b.size());
+  EXPECT_EQ(join_m.rows_out, joined.size());
+  EXPECT_EQ(join_m.tuples_probed, a.size());  // one probe per probe row
+
+  OpMetrics semi_m, anti_m;
+  Relation semi = SemiJoin(a, b, &semi_m);
+  Relation anti = AntiJoin(a, b, &anti_m);
+  EXPECT_EQ(semi_m.rows_out, semi.size());
+  EXPECT_EQ(anti_m.rows_out, anti.size());
+  EXPECT_EQ(semi_m.rows_out + anti_m.rows_out, a.size());
+
+  OpMetrics union_m;
+  Relation u = Union(semi, anti, &union_m);
+  EXPECT_EQ(union_m.rows_in, semi.size());
+  EXPECT_EQ(union_m.rows_in_right, anti.size());
+  EXPECT_EQ(union_m.rows_out, u.size());
+
+  OpMetrics group_m;
+  Relation grouped = GroupAggregate(a, {"X"}, AggKind::kCount, "", "n",
+                                    &group_m);
+  EXPECT_EQ(group_m.rows_in, a.size());
+  EXPECT_EQ(group_m.rows_out, grouped.size());
+
+  OpMetrics project_m, select_m;
+  Relation projected = Project(joined, {"X", "Z"}, &project_m);
+  EXPECT_EQ(project_m.rows_in, joined.size());
+  EXPECT_EQ(project_m.rows_out, projected.size());
+  Relation selected = Select(
+      joined, [](const Tuple& t) { return t[0].AsInt() % 2 == 0; },
+      &select_m);
+  EXPECT_EQ(select_m.rows_in, joined.size());
+  EXPECT_EQ(select_m.rows_out, selected.size());
+}
+
+TEST_P(OpsProperty, MetricsRowCountersThreadInvariant) {
+  // The determinism contract extends to metrics: row counters (rows_in,
+  // rows_out, tuples_probed) are identical for every thread count.
+  // `morsels` reflects the actual decomposition (0 on the serial path,
+  // input-size-determined when parallel) and is checked separately.
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 10000, 400);
+  Relation b = RandomRelation(rng_, {"Y", "Z"}, 3000, 400);
+  OpMetrics serial_m;
+  Relation serial = NaturalJoin(a, b, &serial_m);
+  EXPECT_EQ(serial_m.morsels, 0u);
+  std::uint64_t parallel_morsels = 0;
+  for (unsigned threads : {2u, 8u}) {
+    OpMetrics m;
+    Relation parallel = ParallelNaturalJoin(a, b, threads, &m);
+    EXPECT_EQ(Sorted(serial), Sorted(parallel));
+    EXPECT_EQ(m.rows_in, serial_m.rows_in) << "threads=" << threads;
+    EXPECT_EQ(m.rows_in_right, serial_m.rows_in_right);
+    EXPECT_EQ(m.rows_out, serial_m.rows_out) << "threads=" << threads;
+    EXPECT_EQ(m.tuples_probed, serial_m.tuples_probed);
+    EXPECT_GT(m.morsels, 0u) << "threads=" << threads;
+    if (parallel_morsels == 0) parallel_morsels = m.morsels;
+    // Morsel count depends only on the input size, never on threads.
+    EXPECT_EQ(m.morsels, parallel_morsels) << "threads=" << threads;
+  }
+
+  OpMetrics g_serial;
+  Relation grouped =
+      GroupAggregate(a, {"X"}, AggKind::kCount, "", "n", &g_serial);
+  for (unsigned threads : {1u, 2u, 8u}) {
+    OpMetrics m;
+    Relation parallel =
+        GroupAggregate(a, {"X"}, AggKind::kCount, "", "n", threads, &m);
+    EXPECT_EQ(Sorted(grouped), Sorted(parallel));
+    EXPECT_EQ(m.rows_in, g_serial.rows_in) << "threads=" << threads;
+    EXPECT_EQ(m.rows_out, g_serial.rows_out) << "threads=" << threads;
+  }
+}
+
+TEST_P(OpsProperty, MetricsChainLinksRowsAcrossOperators) {
+  // Plan-edge invariant: feeding one operator's output into the next, the
+  // downstream node's rows_in must equal the upstream node's rows_out.
+  Relation a = RandomRelation(rng_, {"X", "Y"}, 50, 5);
+  Relation b = RandomRelation(rng_, {"Y", "Z"}, 50, 5);
+  OpMetrics root("chain");
+  OpMetrics* join_m = root.AddChild("join");
+  OpMetrics* group_m = root.AddChild("group_by");
+  OpMetrics* project_m = root.AddChild("project");
+  Relation joined = NaturalJoin(a, b, join_m);
+  Relation grouped =
+      GroupAggregate(joined, {"X"}, AggKind::kCount, "", "n", group_m);
+  Relation projected = Project(grouped, {"X"}, project_m);
+  EXPECT_EQ(group_m->rows_in, join_m->rows_out);
+  EXPECT_EQ(project_m->rows_in, group_m->rows_out);
+  EXPECT_EQ(project_m->rows_out, projected.size());
+  EXPECT_EQ(root.NodeCount(), 4u);
+}
+
+TEST_P(OpsProperty, MetricsAccumulateAcrossCalls) {
+  // Reusing one node across calls accumulates (+=) — the contract that
+  // lets a loop of unions or repeated scans share a node.
+  Relation a = RandomRelation(rng_, {"X"}, 30, 10);
+  OpMetrics m;
+  Relation p1 = Project(a, {"X"}, &m);
+  Relation p2 = Project(a, {"X"}, &m);
+  EXPECT_EQ(m.rows_in, 2 * a.size());
+  EXPECT_EQ(m.rows_out, p1.size() + p2.size());
+}
+
 TEST_P(OpsProperty, ProjectIdempotent) {
   Relation a = RandomRelation(rng_, {"X", "Y", "Z"}, 50, 4);
   Relation once = Project(a, {"X", "Z"});

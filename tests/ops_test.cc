@@ -2,6 +2,9 @@
 // difference, group-aggregate) including set-semantics guarantees.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "relational/ops.h"
 
 namespace qf {
@@ -211,6 +214,95 @@ TEST(OpsTest, ParallelNaturalJoinPreservesSerialRowOrder) {
     EXPECT_EQ(serial.schema(), parallel.schema());
     // Exact vector equality: same rows, same order.
     EXPECT_EQ(serial.rows(), parallel.rows()) << "threads=" << threads;
+  }
+}
+
+TEST(OpsTest, SerialGroupAggregateOutputIsSorted) {
+  // Regression: the serial GroupAggregate used to emit rows in hash-table
+  // order; it now sorts like the parallel overload, so the two agree
+  // row-for-row and downstream consumers see a deterministic order.
+  Relation r = MakeR({"K", "V"}, {{Value("zebra"), Value(1)},
+                                  {Value("ant"), Value(2)},
+                                  {Value("mule"), Value(3)},
+                                  {Value("ant"), Value(9)}});
+  Relation serial = GroupAggregate(r, {"K"}, AggKind::kCount, "", "n");
+  ASSERT_EQ(serial.size(), 3u);
+  std::vector<Tuple> rows = serial.rows();
+  std::vector<Tuple> sorted = rows;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(rows, sorted);
+  // And serial == parallel exactly, for every thread count.
+  for (unsigned threads : {0u, 1u, 2u, 8u}) {
+    Relation parallel =
+        GroupAggregate(r, {"K"}, AggKind::kCount, "", "n", threads);
+    EXPECT_EQ(serial.rows(), parallel.rows()) << "threads=" << threads;
+  }
+}
+
+TEST(OpsTest, GroupAggregateEmptyInputEveryThreadCount) {
+  // Regression: empty input must yield an empty relation with the output
+  // schema intact (group columns + aggregate column), never a crash or a
+  // phantom row, on the serial path and every parallel thread count.
+  Relation empty{Schema({"K", "V"})};
+  for (AggKind kind : {AggKind::kCount, AggKind::kSum, AggKind::kMin,
+                       AggKind::kMax}) {
+    std::string agg_col = kind == AggKind::kCount ? "" : "V";
+    Relation serial = GroupAggregate(empty, {"K"}, kind, agg_col, "out");
+    EXPECT_TRUE(serial.empty());
+    EXPECT_EQ(serial.schema(), Schema({"K", "out"}));
+    for (unsigned threads : {0u, 1u, 2u, 8u}) {
+      OpMetrics m;
+      Relation parallel =
+          GroupAggregate(empty, {"K"}, kind, agg_col, "out", threads, &m);
+      EXPECT_TRUE(parallel.empty()) << "threads=" << threads;
+      EXPECT_EQ(parallel.schema(), Schema({"K", "out"}));
+      EXPECT_EQ(m.rows_in, 0u);
+      EXPECT_EQ(m.rows_out, 0u);
+    }
+  }
+}
+
+TEST(OpsTest, ParallelNaturalJoinEmptyInputsEveryThreadCount) {
+  // Regression: empty probe or build sides must short-circuit to an empty
+  // result with the joined schema — identically for threads 0, 1, and
+  // many, and without recording phantom probes in the metrics.
+  Relation a = MakeR({"X", "Y"}, {{Value(1), Value(2)}});
+  Relation empty_b{Schema({"Y", "Z"})};
+  Relation empty_a{Schema({"X", "Y"})};
+  for (unsigned threads : {0u, 1u, 2u, 8u}) {
+    OpMetrics m1;
+    Relation r1 = ParallelNaturalJoin(a, empty_b, threads, &m1);
+    EXPECT_TRUE(r1.empty()) << "threads=" << threads;
+    EXPECT_EQ(r1.schema(), Schema({"X", "Y", "Z"}));
+    EXPECT_EQ(m1.tuples_probed, 0u);  // probe phase short-circuited
+    EXPECT_EQ(m1.morsels, 0u);        // fallback path, no decomposition
+
+    OpMetrics m2;
+    Relation r2 = ParallelNaturalJoin(empty_a, empty_b, threads, &m2);
+    EXPECT_TRUE(r2.empty()) << "threads=" << threads;
+    EXPECT_EQ(m2.rows_in, 0u);
+    EXPECT_EQ(m2.rows_out, 0u);
+  }
+}
+
+TEST(OpsTest, ParallelNaturalJoinZeroAndOneThreadMatchSerialExactly) {
+  // threads == 0 and threads == 1 are documented fallbacks to the serial
+  // join: same rows, same order, same counters, morsels stays 0.
+  Relation a{Schema({"X", "Y"})};
+  for (int i = 0; i < 500; ++i) a.Add({Value(i), Value(i % 7)});
+  Relation b{Schema({"Y", "Z"})};
+  for (int y = 0; y < 7; ++y) b.Add({Value(y), Value(y * 100)});
+  OpMetrics serial_m;
+  Relation serial = NaturalJoin(a, b, &serial_m);
+  for (unsigned threads : {0u, 1u}) {
+    OpMetrics m;
+    Relation parallel = ParallelNaturalJoin(a, b, threads, &m);
+    EXPECT_EQ(serial.rows(), parallel.rows()) << "threads=" << threads;
+    EXPECT_EQ(m.rows_in, serial_m.rows_in);
+    EXPECT_EQ(m.rows_in_right, serial_m.rows_in_right);
+    EXPECT_EQ(m.rows_out, serial_m.rows_out);
+    EXPECT_EQ(m.tuples_probed, serial_m.tuples_probed);
+    EXPECT_EQ(m.morsels, 0u) << "threads=" << threads;
   }
 }
 

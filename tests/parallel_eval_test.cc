@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "apriori/apriori.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "flocks/eval.h"
 #include "flocks/flock.h"
@@ -254,6 +255,190 @@ TEST(ParallelEvalTest, AprioriAndNaivePairCountersMatchSerial) {
       EXPECT_EQ(naive[i].support, naive_serial[i].support);
     }
   }
+}
+
+// Strips the fields that legitimately vary with execution (wall time) or
+// with the serial/parallel path choice (morsel decomposition) so trees
+// from different thread counts can be compared exactly.
+void ZeroTimingAndMorsels(OpMetrics& node) {
+  node.wall_ns = 0;
+  node.morsels = 0;
+  for (auto& child : node.children) ZeroTimingAndMorsels(*child);
+}
+
+TEST(ParallelEvalTest, FlockMetricsIdenticalAcrossThreadCounts) {
+  // The determinism contract extends to observability: the metrics tree —
+  // shape, node names, and every row counter — is identical for every
+  // thread count once timing and morsel counts are zeroed out.
+  Database db = RandomBaskets(21);
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(8));
+
+  FlockEvalOptions plain_options;
+  auto plain = EvaluateFlock(flock, db, plain_options);
+  ASSERT_TRUE(plain.ok());
+
+  std::string reference_tree;
+  for (unsigned threads : kThreadCounts) {
+    OpMetrics metrics;
+    FlockEvalOptions options;
+    options.threads = threads;
+    options.metrics = &metrics;
+    auto result = EvaluateFlock(flock, db, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Collecting metrics must not change the result.
+    ExpectIdentical(*plain, *result, threads);
+    // The root totals the answer cardinality.
+    EXPECT_EQ(metrics.op, "flock");
+    EXPECT_EQ(metrics.rows_out, result->size());
+    // Interior nodes report exact cardinalities too.
+    const OpMetrics* group = metrics.Find("group_by");
+    ASSERT_NE(group, nullptr);
+    const OpMetrics* filter = metrics.Find("filter");
+    ASSERT_NE(filter, nullptr);
+    EXPECT_EQ(filter->rows_in, group->rows_out);
+    ZeroTimingAndMorsels(metrics);
+    std::string tree = metrics.ToJson();
+    if (reference_tree.empty()) {
+      reference_tree = tree;
+    } else {
+      EXPECT_EQ(tree, reference_tree) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEvalTest, UnionFlockMetricsCoverEveryDisjunct) {
+  Database db = RandomBaskets(33);
+  QueryFlock flock = Flock(
+      "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\n"
+      "answer(C) :- baskets(C,$2) AND baskets(C,$1) AND $1 < $2",
+      FilterCondition::MinSupport(6));
+  for (unsigned threads : kThreadCounts) {
+    OpMetrics metrics;
+    FlockEvalOptions options;
+    options.threads = threads;
+    options.metrics = &metrics;
+    auto result = EvaluateFlock(flock, db, options);
+    ASSERT_TRUE(result.ok());
+    // One pre-allocated child per disjunct (written concurrently when
+    // threads > 1), plus the union/group/filter/project tail.
+    std::size_t disjuncts = 0;
+    std::uint64_t union_in = 0;
+    for (const auto& child : metrics.children) {
+      if (child->op == "disjunct") ++disjuncts;
+    }
+    EXPECT_EQ(disjuncts, 2u) << "threads=" << threads;
+    const OpMetrics* u = metrics.Find("union");
+    ASSERT_NE(u, nullptr) << "threads=" << threads;
+    union_in = u->rows_in + u->rows_in_right;
+    // The union consumed exactly what the disjuncts produced.
+    std::uint64_t produced = 0;
+    for (const auto& child : metrics.children) {
+      if (child->op == "disjunct") produced += child->rows_out;
+    }
+    EXPECT_EQ(union_in, produced) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEvalTest, PlanMetricsStepsArriveInPlanOrder) {
+  Database db = RandomBaskets(47);
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(8));
+  auto ok1 = MakeFilterStep(flock, "ok1", {"1"}, std::vector<std::size_t>{0});
+  ASSERT_TRUE(ok1.ok());
+  auto ok2 = MakeFilterStep(flock, "ok2", {"2"}, std::vector<std::size_t>{1});
+  ASSERT_TRUE(ok2.ok());
+  auto plan = PlanWithPrefilters(flock, {*ok1, *ok2});
+  ASSERT_TRUE(plan.ok());
+
+  auto plain = ExecutePlan(*plan, flock, db);
+  ASSERT_TRUE(plain.ok());
+
+  std::string reference_tree;
+  for (unsigned threads : kThreadCounts) {
+    OpMetrics metrics;
+    PlanExecOptions options;
+    options.threads = threads;
+    options.metrics = &metrics;
+    auto result = ExecutePlan(*plan, flock, db, options);
+    ASSERT_TRUE(result.ok());
+    ExpectIdentical(*plain, *result, threads);
+    EXPECT_EQ(metrics.op, "plan");
+    EXPECT_EQ(metrics.rows_out, result->size());
+    // Step nodes are pre-allocated in plan order, so even though the
+    // wave scheduler may run ok1/ok2 concurrently, children[k] is step k.
+    ASSERT_GE(metrics.children.size(), plan->steps.size());
+    for (std::size_t k = 0; k < plan->steps.size(); ++k) {
+      EXPECT_EQ(metrics.children[k]->op, "step");
+      EXPECT_EQ(metrics.children[k]->detail.substr(
+                    0, plan->steps[k].result_name.size()),
+                plan->steps[k].result_name);
+    }
+    ZeroTimingAndMorsels(metrics);
+    std::string tree = metrics.ToJson();
+    if (reference_tree.empty()) {
+      reference_tree = tree;
+    } else {
+      EXPECT_EQ(tree, reference_tree) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEvalTest, AprioriMetricsLevelsThreadInvariant) {
+  Database db = RandomBaskets(61, /*n_baskets=*/1200, /*n_items=*/30);
+  auto data = BasketsFromRelation(db.Get("baskets"), "BID", "Item");
+  ASSERT_TRUE(data.ok());
+  std::string reference_tree;
+  for (unsigned threads : kThreadCounts) {
+    OpMetrics metrics;
+    AprioriOptions options;
+    options.min_support = 20;
+    options.threads = threads;
+    options.metrics = &metrics;
+    std::vector<Itemset> frequent = AprioriFrequentItemsets(*data, options);
+    ASSERT_FALSE(frequent.empty());
+    EXPECT_EQ(metrics.op, "apriori");
+    // One count_level node per level, each scanning every basket.
+    ASSERT_FALSE(metrics.children.empty());
+    for (const auto& level : metrics.children) {
+      EXPECT_EQ(level->op, "count_level");
+      EXPECT_EQ(level->rows_in, data->baskets.size());
+    }
+    ZeroTimingAndMorsels(metrics);
+    std::string tree = metrics.ToJson();
+    if (reference_tree.empty()) {
+      reference_tree = tree;
+    } else {
+      EXPECT_EQ(tree, reference_tree) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEvalTest, TraceSinkSeesBalancedSpansUnderParallelism) {
+  // Span events from concurrently evaluated disjuncts interleave in the
+  // sink; every begin must still pair with an end (TSan runs this too).
+  Database db = RandomBaskets(71);
+  QueryFlock flock = Flock(
+      "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2\n"
+      "answer(C) :- baskets(C,$2) AND baskets(C,$1) AND $1 < $2",
+      FilterCondition::MinSupport(6));
+  MemoryTraceSink sink;
+  OpMetrics metrics;
+  FlockEvalOptions options;
+  options.threads = 8;
+  options.metrics = &metrics;
+  options.trace = &sink;
+  auto result = EvaluateFlock(flock, db, options);
+  ASSERT_TRUE(result.ok());
+  std::size_t begins = 0, ends = 0;
+  for (const std::string& line : sink.Lines()) {
+    if (line.find("\"ev\":\"B\"") != std::string::npos) ++begins;
+    if (line.find("\"ev\":\"E\"") != std::string::npos) ++ends;
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
 }
 
 }  // namespace

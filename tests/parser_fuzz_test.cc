@@ -75,15 +75,61 @@ TEST_P(ParserFuzz, MutatedValidQueriesNeverCrash) {
 TEST_P(ParserFuzz, ShellStatementsNeverCrash) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) + 900);
   Shell shell;
-  const char* prefixes[] = {"LOAD ", "GEN BASKETS ", "FLOCK ", "RUN ",
-                            "SHOW ", "DEFINE ", "MAXIMAL ", ""};
+  // "TRACE ON "/"TRACE OFF " rather than bare "TRACE ": appended garbage
+  // makes every statement a parse error, so the fuzzer cannot stumble into
+  // "TRACE TO <garbage>" and litter the working directory with files.
+  const char* prefixes[] = {"LOAD ",    "GEN BASKETS ",     "FLOCK ",
+                            "RUN ",     "SHOW ",            "DEFINE ",
+                            "MAXIMAL ", "",                 "EXPLAIN ANALYZE ",
+                            "EXPLAIN ", "TRACE ON ",        "TRACE OFF ",
+                            "THREADS ", "SHOW TRACE "};
+  constexpr std::uint32_t kPrefixCount =
+      sizeof(prefixes) / sizeof(prefixes[0]);
   for (int i = 0; i < 120; ++i) {
     std::string statement =
-        std::string(prefixes[rng.NextBelow(8)]) +
+        std::string(prefixes[rng.NextBelow(kPrefixCount)]) +
         RandomBytes(rng, 1 + rng.NextBelow(60));
     auto result = shell.Execute(statement);  // ok or error, no crash
     (void)result;
   }
+}
+
+TEST(ParserFuzzCorpus, MalformedObservabilityStatementsErrorCleanly) {
+  // Deterministic corpus of malformed EXPLAIN ANALYZE / TRACE statements:
+  // each must return a non-OK status (never crash, never succeed) and
+  // leave the shell usable.
+  Shell shell;
+  const char* corpus[] = {
+      "EXPLAIN ANALYZE",
+      "EXPLAIN ANALYZE ",
+      "EXPLAIN ANALYZE no_such_flock",
+      "EXPLAIN ANALYZE no_such_flock DIRECT",
+      "EXPLAIN ANALYZE pairs SIDEWAYS",
+      "EXPLAIN ANALYZE pairs LIMIT",
+      "EXPLAIN ANALYZE pairs LIMIT banana",
+      "EXPLAIN ANALYZE pairs THREADS",
+      "EXPLAIN ANALYZE pairs THREADS -1",
+      "EXPLAIN ANALYZE pairs DIRECT DIRECT DIRECT LIMIT LIMIT",
+      "TRACE",
+      "TRACE TO",
+      "TRACE TO ",
+      "TRACE TO\t",
+      "TRACE ONWARD",
+      "TRACE ON extra tokens",
+      "TRACE OFF but why",
+      "TRACE OFFBEAT",
+      "TRACE trace trace",
+      "TRACE TO /nonexistent-dir-qf/sub/trace.jsonl",
+  };
+  for (const char* statement : corpus) {
+    auto result = shell.Execute(statement);
+    EXPECT_FALSE(result.ok()) << "unexpectedly ok: " << statement;
+  }
+  // The shell survives the whole corpus: a normal statement still works
+  // and no trace sink was left half-installed.
+  EXPECT_FALSE(shell.tracing());
+  auto help = shell.Execute("HELP");
+  EXPECT_TRUE(help.ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 7));
