@@ -30,6 +30,22 @@ Relation RandomRelation(std::size_t rows, std::size_t key_domain,
   return rel;
 }
 
+// Duplicate-heavy relation: both columns draw from `domain`, duplicates
+// kept — the input shape Dedup/Distinct exist for.
+Relation RandomDupRelation(std::size_t rows, std::size_t domain,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  Relation rel(Schema({"K", "V"}));
+  rel.mutable_rows().reserve(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    rel.AddRow({Value(static_cast<std::int64_t>(
+                    rng.NextBelow(static_cast<std::uint32_t>(domain)))),
+                Value(static_cast<std::int64_t>(
+                    rng.NextBelow(static_cast<std::uint32_t>(domain))))});
+  }
+  return rel;
+}
+
 void BM_Micro_NaturalJoin(benchmark::State& state) {
   std::size_t n = static_cast<std::size_t>(state.range(0));
   Relation a = RandomRelation(n, n / 10, 1);
@@ -86,6 +102,51 @@ void BM_Micro_ParallelGroupCount(benchmark::State& state) {
   for (auto _ : state) {
     Relation g = GroupAggregate(a, {"K"}, AggKind::kCount, "", "n", threads);
     benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+// Join dominated by hash-index build + probe rather than by output
+// construction: near-unique keys on both sides (domain == n), probe side
+// 4x the build side, output ~n/4 rows. This is the kernel the flat-hash
+// acceptance bar measures at 1M rows.
+void BM_Micro_JoinBuildProbe(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n, 11);
+  Relation b = Rename(RandomRelation(n / 4, n, 12), {"K", "W"});
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    Relation j = NaturalJoin(a, b);
+    out_rows = j.size();
+    benchmark::DoNotOptimize(j);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+// Whole-row set-semantics dedup (Relation::Dedup via Distinct) on a
+// duplicate-heavy input — the other kernel of the flat-hash acceptance
+// bar at 1M rows.
+void BM_Micro_Dedup(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomDupRelation(n, 1200, 13);
+  std::size_t out_rows = 0;
+  for (auto _ : state) {
+    Relation d = Distinct(a);
+    out_rows = d.size();
+    benchmark::DoNotOptimize(d);
+  }
+  state.counters["out_rows"] = static_cast<double>(out_rows);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+void BM_Micro_SemiJoin(benchmark::State& state) {
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  Relation a = RandomRelation(n, n / 10, 14);
+  Relation b = Rename(RandomRelation(n / 4, n / 10, 15), {"K", "W"});
+  for (auto _ : state) {
+    Relation j = SemiJoin(a, b);
+    benchmark::DoNotOptimize(j);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
@@ -246,8 +307,13 @@ BENCHMARK(BM_Micro_ParallelJoin)
     ->Args({100000, 2})
     ->Args({100000, 4})
     ->Args({400000, 4});
-BENCHMARK(BM_Micro_ProjectDedup)->Arg(1000)->Arg(10000)->Arg(100000);
-BENCHMARK(BM_Micro_GroupCount)->Arg(1000)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_Micro_JoinBuildProbe)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Micro_Dedup)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Micro_SemiJoin)->Arg(100000)->Arg(1000000);
+BENCHMARK(BM_Micro_ProjectDedup)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Arg(1000000);
+BENCHMARK(BM_Micro_GroupCount)->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Arg(1000000);
 BENCHMARK(BM_Micro_ParallelGroupCount)
     ->Args({100000, 1})
     ->Args({100000, 2})

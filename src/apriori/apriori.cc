@@ -1,11 +1,11 @@
 #include "apriori/apriori.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/check.h"
+#include "common/flat_hash.h"
 #include "common/hash.h"
 #include "common/thread_pool.h"
 
@@ -48,16 +48,38 @@ std::vector<std::size_t> CountItems(const BasketData& data, unsigned threads,
   return item_counts;
 }
 
-// Counts co-occurring pairs (packed as hi<<32|lo) over all baskets whose
-// items pass `keep`, morsel-parallel with per-morsel maps merged by
-// addition.
+// Distinct co-occurring pairs (packed as hi<<32|lo) with their counts:
+// a flat table maps pair key -> dense id, keys/counts live in parallel
+// dense vectors indexed by that id.
+struct PairCounts {
+  FlatIdTable table;
+  std::vector<std::uint64_t> keys;
+  std::vector<std::size_t> counts;
+
+  std::size_t size() const { return keys.size(); }
+
+  void Bump(std::uint64_t key, std::size_t by, std::uint64_t& probes) {
+    auto [id, inserted] = table.Upsert(
+        HashCombine(0, key),
+        [&](std::uint32_t prev) { return keys[prev] == key; }, probes);
+    if (inserted) {
+      keys.push_back(key);
+      counts.push_back(by);
+    } else {
+      counts[id] += by;
+    }
+  }
+};
+
+// Counts co-occurring pairs over all baskets whose items pass `keep`,
+// morsel-parallel with per-morsel tables merged by addition (the merge
+// reuses each key's stored hash — pairs are never re-hashed).
 template <typename Keep>
-std::unordered_map<std::uint64_t, std::size_t> CountPairs(
-    const BasketData& data, unsigned threads, const Keep& keep,
-    OpMetrics* metrics = nullptr) {
-  using PairCounts = std::unordered_map<std::uint64_t, std::size_t>;
+PairCounts CountPairs(const BasketData& data, unsigned threads,
+                      const Keep& keep, OpMetrics* metrics = nullptr) {
   auto count_range = [&](std::size_t begin, std::size_t end,
                          PairCounts& counts) {
+    std::uint64_t probes = 0;
     std::vector<ItemId> filtered;
     for (std::size_t b = begin; b < end; ++b) {
       filtered.clear();
@@ -68,7 +90,7 @@ std::unordered_map<std::uint64_t, std::size_t> CountPairs(
         for (std::size_t j = i + 1; j < filtered.size(); ++j) {
           std::uint64_t key =
               (static_cast<std::uint64_t>(filtered[i]) << 32) | filtered[j];
-          ++counts[key];
+          counts.Bump(key, 1, probes);
         }
       }
     }
@@ -87,22 +109,65 @@ std::unordered_map<std::uint64_t, std::size_t> CountPairs(
               [&](std::size_t begin, std::size_t end) {
                 count_range(begin, end, partials[begin / kMorselBaskets]);
               });
-  for (PairCounts& local : partials) {
-    for (const auto& [key, count] : local) pair_counts[key] += count;
+  std::uint64_t merge_probes = 0;
+  for (const PairCounts& local : partials) {
+    for (std::size_t i = 0; i < local.size(); ++i) {
+      std::uint64_t key = local.keys[i];
+      auto [id, inserted] = pair_counts.table.Upsert(
+          local.table.hash_at(static_cast<std::uint32_t>(i)),
+          [&](std::uint32_t prev) { return pair_counts.keys[prev] == key; },
+          merge_probes);
+      if (inserted) {
+        pair_counts.keys.push_back(key);
+        pair_counts.counts.push_back(local.counts[i]);
+      } else {
+        pair_counts.counts[id] += local.counts[i];
+      }
+    }
   }
   return pair_counts;
 }
 
-struct ItemVecHash {
-  std::size_t operator()(const std::vector<ItemId>& v) const {
-    std::size_t seed = v.size();
-    for (ItemId i : v) seed = HashCombine(seed, i);
-    return seed;
-  }
-};
+std::size_t ItemVecHash(const std::vector<ItemId>& v) {
+  std::size_t seed = v.size();
+  for (ItemId i : v) seed = HashCombine(seed, i);
+  return seed;
+}
 
-using CandidateCounts =
-    std::unordered_map<std::vector<ItemId>, std::size_t, ItemVecHash>;
+// Flat set over a fixed roster of itemsets (frequent sets or candidates):
+// dense ids are roster positions, membership tests hash the probe vector
+// once and compare against roster entries in place.
+class ItemsetIndex {
+ public:
+  explicit ItemsetIndex(const std::vector<std::vector<ItemId>>& sets)
+      : sets_(sets) {
+    table_.Reserve(sets.size());
+    std::uint64_t probes = 0;
+    for (const std::vector<ItemId>& s : sets_) {
+      auto [id, inserted] = table_.Upsert(
+          ItemVecHash(s),
+          [&](std::uint32_t prev) { return sets_[prev] == s; }, probes);
+      QF_CHECK_MSG(inserted, "itemset roster contains duplicates");
+      static_cast<void>(id);
+    }
+  }
+
+  // Roster position of `s`, or FlatIdTable::kNone.
+  std::uint32_t Find(const std::vector<ItemId>& s) const {
+    std::uint64_t probes = 0;
+    return table_.Find(ItemVecHash(s),
+                       [&](std::uint32_t prev) { return sets_[prev] == s; },
+                       probes);
+  }
+
+  bool Contains(const std::vector<ItemId>& s) const {
+    return Find(s) != FlatIdTable::kNone;
+  }
+
+ private:
+  const std::vector<std::vector<ItemId>>& sets_;
+  FlatIdTable table_;
+};
 
 // Generates level-(k+1) candidates from the frequent level-k sets: join
 // pairs sharing their first k-1 items, then prune candidates having any
@@ -111,8 +176,7 @@ std::vector<std::vector<ItemId>> GenerateCandidates(
     const std::vector<std::vector<ItemId>>& frequent) {
   std::vector<std::vector<ItemId>> candidates;
   if (frequent.empty()) return candidates;
-  std::unordered_set<std::vector<ItemId>, ItemVecHash> frequent_set(
-      frequent.begin(), frequent.end());
+  ItemsetIndex frequent_set(frequent);
   std::size_t k = frequent.front().size();
   // frequent is sorted lexicographically; sets sharing a (k-1)-prefix are
   // adjacent, so a double loop over each prefix group suffices.
@@ -128,13 +192,14 @@ std::vector<std::vector<ItemId>> GenerateCandidates(
       // the first k-1 positions need checking (the two parents cover the
       // other two).
       bool prune = false;
+      std::vector<ItemId> subset;
+      subset.reserve(k);
       for (std::size_t drop = 0; drop + 2 <= k + 1 && !prune; ++drop) {
-        std::vector<ItemId> subset;
-        subset.reserve(k);
+        subset.clear();
         for (std::size_t p = 0; p < candidate.size(); ++p) {
           if (p != drop) subset.push_back(candidate[p]);
         }
-        prune = !frequent_set.contains(subset);
+        prune = !frequent_set.Contains(subset);
       }
       if (!prune) candidates.push_back(std::move(candidate));
     }
@@ -145,28 +210,32 @@ std::vector<std::vector<ItemId>> GenerateCandidates(
 
 // Counts candidate occurrences by enumerating the size-k subsets of each
 // basket (restricted to items that appear in some candidate) and probing
-// the candidate set. Morsel-parallel over baskets with per-morsel count
-// maps merged by addition — supports are identical for every thread
-// count.
+// a flat candidate index; supports land in `counts`, a dense vector
+// indexed by candidate roster position. Morsel-parallel over baskets
+// with per-morsel vectors merged by addition — supports are identical
+// for every thread count.
 void CountCandidates(const BasketData& data,
                      const std::vector<std::vector<ItemId>>& candidates,
-                     unsigned threads, CandidateCounts& counts,
+                     unsigned threads, std::vector<std::size_t>& counts,
                      OpMetrics* metrics = nullptr) {
+  counts.assign(candidates.size(), 0);
   if (candidates.empty()) return;
   std::size_t k = candidates.front().size();
-  std::unordered_set<std::vector<ItemId>, ItemVecHash> candidate_set(
-      candidates.begin(), candidates.end());
-  std::unordered_set<ItemId> live_items;
-  for (const auto& c : candidates) live_items.insert(c.begin(), c.end());
+  ItemsetIndex candidate_set(candidates);
+  std::vector<char> live_items(data.item_count(), 0);
+  for (const auto& c : candidates) {
+    for (ItemId item : c) live_items[item] = 1;
+  }
 
   auto count_range = [&](std::size_t begin, std::size_t end,
-                         CandidateCounts& local) {
+                         std::vector<std::size_t>& local) {
     std::vector<ItemId> filtered;
     std::vector<std::size_t> choose;
+    std::vector<ItemId> subset(k);  // reused across all combinations
     for (std::size_t b = begin; b < end; ++b) {
       filtered.clear();
       for (ItemId item : data.baskets[b]) {
-        if (live_items.contains(item)) filtered.push_back(item);
+        if (live_items[item]) filtered.push_back(item);
       }
       if (filtered.size() < k) continue;
       // Enumerate k-combinations of `filtered` (sorted, so combinations
@@ -174,10 +243,9 @@ void CountCandidates(const BasketData& data,
       choose.assign(k, 0);
       for (std::size_t i = 0; i < k; ++i) choose[i] = i;
       while (true) {
-        std::vector<ItemId> subset(k);
         for (std::size_t i = 0; i < k; ++i) subset[i] = filtered[choose[i]];
-        auto it = candidate_set.find(subset);
-        if (it != candidate_set.end()) ++local[subset];
+        std::uint32_t id = candidate_set.Find(subset);
+        if (id != FlatIdTable::kNone) ++local[id];
         // Next combination.
         std::size_t i = k;
         while (i > 0) {
@@ -198,14 +266,17 @@ void CountCandidates(const BasketData& data,
   if (metrics != nullptr) {
     metrics->morsels += MorselCount(data.baskets.size(), kMorselBaskets);
   }
-  std::vector<CandidateCounts> partials(
+  std::vector<std::vector<std::size_t>> partials(
       MorselCount(data.baskets.size(), kMorselBaskets));
   ParallelFor(threads, data.baskets.size(), kMorselBaskets,
               [&](std::size_t begin, std::size_t end) {
-                count_range(begin, end, partials[begin / kMorselBaskets]);
+                std::vector<std::size_t>& local =
+                    partials[begin / kMorselBaskets];
+                local.assign(candidates.size(), 0);
+                count_range(begin, end, local);
               });
-  for (CandidateCounts& local : partials) {
-    for (auto& [subset, count] : local) counts[subset] += count;
+  for (const std::vector<std::size_t>& local : partials) {
+    for (std::size_t i = 0; i < local.size(); ++i) counts[i] += local[i];
   }
 }
 
@@ -291,19 +362,16 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
         m != nullptr ? m->AddChild("count_level", "k=" + std::to_string(k + 1))
                      : nullptr;
     ScopedOp span(node, tr);
-    CandidateCounts counts;
-    counts.reserve(candidates.size());
+    std::vector<std::size_t> counts;
     CountCandidates(data, candidates, options.threads, counts, node);
     frequent.clear();
-    for (const std::vector<ItemId>& c : candidates) {
-      auto it = counts.find(c);
-      std::size_t support = it == counts.end() ? 0 : it->second;
-      if (support >= options.min_support) {
-        frequent.push_back(c);
-        result.push_back({c, support});
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (counts[i] >= options.min_support) {
+        frequent.push_back(candidates[i]);
+        result.push_back({candidates[i], counts[i]});
       }
     }
-    std::sort(frequent.begin(), frequent.end());
+    // `candidates` is sorted, so `frequent` already is.
     if (node != nullptr) {
       node->rows_in = data.baskets.size();
       node->tuples_probed = candidates.size();
@@ -346,12 +414,14 @@ std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
   OpMetrics* node =
       metrics != nullptr ? metrics->AddChild("count_level", "k=2") : nullptr;
   ScopedOp span(node);
-  std::unordered_map<std::uint64_t, std::size_t> pair_counts =
+  PairCounts pair_counts =
       CountPairs(data, threads,
                  [&](ItemId item) { return bool{frequent_item[item]}; }, node);
 
   std::vector<Itemset> result;
-  for (const auto& [key, count] : pair_counts) {
+  for (std::size_t i = 0; i < pair_counts.size(); ++i) {
+    std::uint64_t key = pair_counts.keys[i];
+    std::size_t count = pair_counts.counts[i];
     if (count >= min_support) {
       result.push_back({{static_cast<ItemId>(key >> 32),
                          static_cast<ItemId>(key & 0xffffffffu)},
@@ -378,10 +448,12 @@ std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
                          : nullptr;
   ScopedOp span(node);
   // No pre-filter: every co-occurring pair is counted.
-  std::unordered_map<std::uint64_t, std::size_t> pair_counts =
+  PairCounts pair_counts =
       CountPairs(data, threads, [](ItemId) { return true; }, node);
   std::vector<Itemset> result;
-  for (const auto& [key, count] : pair_counts) {
+  for (std::size_t i = 0; i < pair_counts.size(); ++i) {
+    std::uint64_t key = pair_counts.keys[i];
+    std::size_t count = pair_counts.counts[i];
     if (count >= min_support) {
       result.push_back({{static_cast<ItemId>(key >> 32),
                          static_cast<ItemId>(key & 0xffffffffu)},

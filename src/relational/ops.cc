@@ -1,10 +1,10 @@
 #include "relational/ops.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+#include <cstdint>
 
 #include "common/check.h"
+#include "common/flat_hash.h"
 #include "common/thread_pool.h"
 
 namespace qf {
@@ -32,16 +32,28 @@ JoinLayout ComputeJoinLayout(const Relation& a, const Relation& b) {
   return layout;
 }
 
-// Hash index: key tuple -> indices of matching rows.
-using RowIndex =
-    std::unordered_map<Tuple, std::vector<std::size_t>, TupleHash>;
+// The flat-hash kernels address rows by 32-bit refs.
+void CheckRefRange(std::size_t rows) {
+  QF_CHECK_MSG(rows < 0xFFFFFFFFull,
+               "flat-hash kernels address at most 2^32-1 rows");
+}
 
-RowIndex BuildIndex(const Relation& rel, const std::vector<std::size_t>& key) {
-  RowIndex index;
-  index.reserve(rel.size());
-  for (std::size_t r = 0; r < rel.size(); ++r) {
-    index[ProjectTuple(rel.rows()[r], key)].push_back(r);
+// Builds the join hash index over `rel`'s `key` columns: key columns are
+// hashed/compared in place on the stored rows, so no key Tuple is ever
+// materialized. Slot probes accumulate into `probes`.
+FlatKeyIndex BuildFlatIndex(const Relation& rel, const KeyCols& key,
+                            std::uint64_t& probes) {
+  CheckRefRange(rel.size());
+  FlatKeyIndex index;
+  index.Reserve(rel.size());
+  const std::vector<Tuple>& rows = rel.rows();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Tuple& t = rows[r];
+    index.AddRow(
+        static_cast<std::uint32_t>(r), key.Hash(t),
+        [&](std::uint32_t prev) { return key.Eq(t, rows[prev]); }, probes);
   }
+  index.Finalize();
   return index;
 }
 
@@ -63,16 +75,25 @@ Relation Project(const Relation& rel,
     indices.push_back(rel.schema().IndexOfOrDie(c));
   }
   Relation out{Schema(columns)};
-  std::unordered_set<Tuple, TupleHash> seen;
-  seen.reserve(rel.size());
-  for (const Tuple& t : rel.rows()) {
-    Tuple projected = ProjectTuple(t, indices);
-    if (seen.insert(projected).second) out.Add(std::move(projected));
+  CheckRefRange(rel.size());
+  KeyCols key(indices, rel.arity());
+  // Dedup rows by their projected columns in place — the projection is
+  // materialized only for rows that survive.
+  FlatTupleSet seen;
+  seen.Reserve(rel.size());
+  std::uint64_t probes = 0;
+  const std::vector<Tuple>& rows = rel.rows();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Tuple& t = rows[r];
+    bool fresh = seen.Insert(
+        static_cast<std::uint32_t>(r), key.Hash(t),
+        [&](std::uint32_t prev) { return key.Eq(t, rows[prev]); }, probes);
+    if (fresh) out.Add(key.Extract(t));
   }
   if (metrics != nullptr) {
     metrics->rows_in += rel.size();
     metrics->rows_out += out.size();
-    metrics->tuples_probed += rel.size();  // dedup-set inserts
+    metrics->tuples_probed += probes;  // dedup-set slot probes
   }
   return out;
 }
@@ -104,14 +125,17 @@ namespace {
 // identical whichever execution path produced `out`, so serial and
 // parallel joins report the same numbers for the same inputs.
 void RecordJoinMetrics(OpMetrics* metrics, const Relation& a,
-                       const Relation& b, const Relation& out) {
+                       const Relation& b, const Relation& out,
+                       std::uint64_t probes) {
   if (metrics == nullptr) return;
   metrics->rows_in += a.size();
   metrics->rows_in_right += b.size();
   metrics->rows_out += out.size();
-  // One index lookup per probe-side row (none when an empty input
-  // short-circuits the probe phase).
-  if (!a.empty() && !b.empty()) metrics->tuples_probed += a.size();
+  // Hash-table slot probes across the build and probe phases (zero when
+  // an empty input short-circuits both). The build index and per-row
+  // probe paths are identical at every thread count, so the count is
+  // thread-invariant.
+  metrics->tuples_probed += probes;
 }
 
 }  // namespace
@@ -123,21 +147,28 @@ Relation NaturalJoin(const Relation& a, const Relation& b,
   // output layout is fixed (a's columns then b's extras) either way.
   Relation out(JoinedSchema(a, b, layout));
   if (a.empty() || b.empty()) {
-    RecordJoinMetrics(metrics, a, b, out);
+    RecordJoinMetrics(metrics, a, b, out, 0);
     return out;
   }
-  RowIndex index = BuildIndex(b, layout.b_key);
+  KeyCols a_key(layout.a_key, a.arity());
+  KeyCols b_key(layout.b_key, b.arity());
+  std::uint64_t probes = 0;
+  FlatKeyIndex index = BuildFlatIndex(b, b_key, probes);
   for (const Tuple& ta : a.rows()) {
-    auto it = index.find(ProjectTuple(ta, layout.a_key));
-    if (it == index.end()) continue;
-    for (std::size_t rb : it->second) {
+    FlatKeyIndex::Span span = index.Probe(
+        a_key.Hash(ta),
+        [&](std::uint32_t rb) {
+          return a_key.EqAcross(ta, b_key, b.rows()[rb]);
+        },
+        probes);
+    for (const std::uint32_t* p = span.begin; p != span.end; ++p) {
       Tuple combined = ta;
-      const Tuple& tb = b.rows()[rb];
+      const Tuple& tb = b.rows()[*p];
       for (std::size_t j : layout.b_rest) combined.push_back(tb[j]);
       out.Add(std::move(combined));
     }
   }
-  RecordJoinMetrics(metrics, a, b, out);
+  RecordJoinMetrics(metrics, a, b, out, probes);
   return out;
 }
 
@@ -153,20 +184,32 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
     return NaturalJoin(a, b, metrics);
   }
 
-  // Shared read-only build index over b; morsels of a probe it on the
-  // pool, each into its own buffer.
-  RowIndex index = BuildIndex(b, layout.b_key);
+  // Shared read-only build index over b (finalized before any probe, so
+  // cross-thread sharing is safe); morsels of a probe it on the pool,
+  // each into its own buffer with its own slot-probe counter.
+  KeyCols a_key(layout.a_key, a.arity());
+  KeyCols b_key(layout.b_key, b.arity());
+  std::uint64_t probes = 0;
+  FlatKeyIndex index = BuildFlatIndex(b, b_key, probes);
   std::vector<std::vector<Tuple>> outputs(MorselCount(a.size(), kMorselRows));
+  std::vector<std::uint64_t> morsel_probes(outputs.size(), 0);
   ParallelFor(threads, a.size(), kMorselRows,
               [&](std::size_t begin, std::size_t end) {
                 std::vector<Tuple>& out = outputs[begin / kMorselRows];
+                std::uint64_t& local_probes =
+                    morsel_probes[begin / kMorselRows];
                 for (std::size_t r = begin; r < end; ++r) {
                   const Tuple& ta = a.rows()[r];
-                  auto it = index.find(ProjectTuple(ta, layout.a_key));
-                  if (it == index.end()) continue;
-                  for (std::size_t rb : it->second) {
+                  FlatKeyIndex::Span span = index.Probe(
+                      a_key.Hash(ta),
+                      [&](std::uint32_t rb) {
+                        return a_key.EqAcross(ta, b_key, b.rows()[rb]);
+                      },
+                      local_probes);
+                  for (const std::uint32_t* p = span.begin; p != span.end;
+                       ++p) {
                     Tuple combined = ta;
-                    const Tuple& tb = b.rows()[rb];
+                    const Tuple& tb = b.rows()[*p];
                     for (std::size_t j : layout.b_rest) {
                       combined.push_back(tb[j]);
                     }
@@ -174,6 +217,7 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
                   }
                 }
               });
+  for (std::uint64_t p : morsel_probes) probes += p;
 
   // Concatenate in morsel order: morsels cover a's rows in index order and
   // each morsel emits matches in probe order, so the result row order
@@ -185,7 +229,7 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
   for (auto& part : outputs) {
     for (Tuple& t : part) out.mutable_rows().push_back(std::move(t));
   }
-  RecordJoinMetrics(metrics, a, b, out);
+  RecordJoinMetrics(metrics, a, b, out, probes);
   if (metrics != nullptr) metrics->morsels += outputs.size();
   return out;
 }
@@ -264,86 +308,123 @@ namespace {
 
 void RecordSemiAntiMetrics(OpMetrics* metrics, const Relation& a,
                            const Relation& b, std::size_t rows_out,
-                           bool probed) {
+                           std::uint64_t probes) {
   if (metrics == nullptr) return;
   metrics->rows_in += a.size();
   metrics->rows_in_right += b.size();
   metrics->rows_out += rows_out;
-  if (probed) metrics->tuples_probed += a.size();
+  metrics->tuples_probed += probes;  // key-set slot probes (build + probe)
+}
+
+// Shared core of SemiJoin/AntiJoin: builds the flat set of b's key
+// tuples (hashed in place) and keeps the a rows whose key membership
+// equals `keep_present`.
+Relation SemiAntiJoin(const Relation& a, const Relation& b,
+                      bool keep_present, bool empty_key_keeps_a,
+                      OpMetrics* metrics) {
+  JoinLayout layout = ComputeJoinLayout(a, b);
+  Relation out(a.schema());
+  out.set_name(a.name());
+  if (layout.a_key.empty()) {
+    // No shared columns: b acts as a boolean guard, nothing is probed.
+    const Relation& result = (b.empty() == empty_key_keeps_a) ? a : out;
+    RecordSemiAntiMetrics(metrics, a, b, result.size(), 0);
+    return result;
+  }
+  CheckRefRange(b.size());
+  KeyCols a_key(layout.a_key, a.arity());
+  KeyCols b_key(layout.b_key, b.arity());
+  FlatTupleSet keys;
+  keys.Reserve(b.size());
+  std::uint64_t probes = 0;
+  const std::vector<Tuple>& b_rows = b.rows();
+  for (std::size_t r = 0; r < b_rows.size(); ++r) {
+    const Tuple& tb = b_rows[r];
+    keys.Insert(
+        static_cast<std::uint32_t>(r), b_key.Hash(tb),
+        [&](std::uint32_t prev) { return b_key.Eq(tb, b_rows[prev]); },
+        probes);
+  }
+  for (const Tuple& ta : a.rows()) {
+    bool present = keys.Contains(
+        a_key.Hash(ta),
+        [&](std::uint32_t rb) {
+          return a_key.EqAcross(ta, b_key, b_rows[rb]);
+        },
+        probes);
+    if (present == keep_present) out.Add(ta);
+  }
+  RecordSemiAntiMetrics(metrics, a, b, out.size(), probes);
+  return out;
 }
 
 }  // namespace
 
 Relation SemiJoin(const Relation& a, const Relation& b, OpMetrics* metrics) {
-  JoinLayout layout = ComputeJoinLayout(a, b);
-  Relation out(a.schema());
-  out.set_name(a.name());
-  if (layout.a_key.empty()) {
-    // No shared columns: b acts as a boolean guard.
-    const Relation& result = b.empty() ? out : a;
-    RecordSemiAntiMetrics(metrics, a, b, result.size(), false);
-    return result;
-  }
-  std::unordered_set<Tuple, TupleHash> keys;
-  keys.reserve(b.size());
-  for (const Tuple& tb : b.rows()) {
-    keys.insert(ProjectTuple(tb, layout.b_key));
-  }
-  for (const Tuple& ta : a.rows()) {
-    if (keys.contains(ProjectTuple(ta, layout.a_key))) out.Add(ta);
-  }
-  RecordSemiAntiMetrics(metrics, a, b, out.size(), true);
-  return out;
+  return SemiAntiJoin(a, b, /*keep_present=*/true,
+                      /*empty_key_keeps_a=*/false, metrics);
 }
 
 Relation AntiJoin(const Relation& a, const Relation& b, OpMetrics* metrics) {
-  JoinLayout layout = ComputeJoinLayout(a, b);
-  Relation out(a.schema());
-  out.set_name(a.name());
-  if (layout.a_key.empty()) {
-    const Relation& result = b.empty() ? a : out;
-    RecordSemiAntiMetrics(metrics, a, b, result.size(), false);
-    return result;
-  }
-  std::unordered_set<Tuple, TupleHash> keys;
-  keys.reserve(b.size());
-  for (const Tuple& tb : b.rows()) {
-    keys.insert(ProjectTuple(tb, layout.b_key));
-  }
-  for (const Tuple& ta : a.rows()) {
-    if (!keys.contains(ProjectTuple(ta, layout.a_key))) out.Add(ta);
-  }
-  RecordSemiAntiMetrics(metrics, a, b, out.size(), true);
-  return out;
+  return SemiAntiJoin(a, b, /*keep_present=*/false,
+                      /*empty_key_keeps_a=*/true, metrics);
 }
 
 Relation Union(const Relation& a, const Relation& b, OpMetrics* metrics) {
   QF_CHECK_MSG(a.arity() == b.arity(), "Union arity mismatch");
   Relation out(a.schema());
-  std::unordered_set<Tuple, TupleHash> seen;
-  seen.reserve(a.size() + b.size());
-  for (const Tuple& t : a.rows()) {
-    if (seen.insert(t).second) out.Add(t);
+  CheckRefRange(a.size() + b.size());
+  // One dedup set over both inputs; refs < a.size() name a's rows, the
+  // rest name b's (offset by a.size()).
+  auto row_of = [&](std::uint32_t ref) -> const Tuple& {
+    return ref < a.size() ? a.rows()[ref] : b.rows()[ref - a.size()];
+  };
+  TupleHash hash;
+  FlatTupleSet seen;
+  seen.Reserve(a.size() + b.size());
+  std::uint64_t probes = 0;
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    const Tuple& t = a.rows()[r];
+    bool fresh = seen.Insert(
+        static_cast<std::uint32_t>(r), hash(t),
+        [&](std::uint32_t prev) { return row_of(prev) == t; }, probes);
+    if (fresh) out.Add(t);
   }
-  for (const Tuple& t : b.rows()) {
-    if (seen.insert(t).second) out.Add(t);
+  for (std::size_t r = 0; r < b.size(); ++r) {
+    const Tuple& t = b.rows()[r];
+    bool fresh = seen.Insert(
+        static_cast<std::uint32_t>(a.size() + r), hash(t),
+        [&](std::uint32_t prev) { return row_of(prev) == t; }, probes);
+    if (fresh) out.Add(t);
   }
   if (metrics != nullptr) {
     metrics->rows_in += a.size();
     metrics->rows_in_right += b.size();
     metrics->rows_out += out.size();
-    metrics->tuples_probed += a.size() + b.size();  // dedup-set inserts
+    metrics->tuples_probed += probes;  // dedup-set slot probes
   }
   return out;
 }
 
 Relation Difference(const Relation& a, const Relation& b) {
   QF_CHECK_MSG(a.arity() == b.arity(), "Difference arity mismatch");
-  std::unordered_set<Tuple, TupleHash> exclude(b.rows().begin(),
-                                               b.rows().end());
+  CheckRefRange(b.size());
+  TupleHash hash;
+  FlatTupleSet exclude;
+  exclude.Reserve(b.size());
+  std::uint64_t probes = 0;
+  const std::vector<Tuple>& b_rows = b.rows();
+  for (std::size_t r = 0; r < b_rows.size(); ++r) {
+    const Tuple& t = b_rows[r];
+    exclude.Insert(
+        static_cast<std::uint32_t>(r), hash(t),
+        [&](std::uint32_t prev) { return b_rows[prev] == t; }, probes);
+  }
   Relation out(a.schema());
   for (const Tuple& t : a.rows()) {
-    if (!exclude.contains(t)) out.Add(t);
+    bool present = exclude.Contains(
+        hash(t), [&](std::uint32_t rb) { return b_rows[rb] == t; }, probes);
+    if (!present) out.Add(t);
   }
   return out;
 }
@@ -362,8 +443,6 @@ struct Accumulator {
   bool has_extreme = false;
   Value extreme;
 };
-
-using GroupTable = std::unordered_map<Tuple, Accumulator, TupleHash>;
 
 void AccumulateRow(Accumulator& acc, AggKind kind, const Tuple& t,
                    std::size_t agg_idx) {
@@ -414,8 +493,7 @@ void MergeAccumulator(Accumulator& into, const Accumulator& from,
   }
 }
 
-Tuple FinishGroup(const Tuple& key, const Accumulator& acc, AggKind kind) {
-  Tuple row = key;
+Tuple FinishGroup(Tuple row, const Accumulator& acc, AggKind kind) {
   switch (kind) {
     case AggKind::kCount:
       row.push_back(Value(acc.count));
@@ -450,6 +528,47 @@ GroupLayout ComputeGroupLayout(const Relation& rel,
   return layout;
 }
 
+// Flat grouping state: group keys are the group columns of rel's rows,
+// hashed/compared in place (identity fast path when the group columns
+// are the whole row); accumulators live in a dense vector indexed by
+// group id. Shared by the serial kernel and each parallel morsel.
+struct FlatGroups {
+  FlatGroupTable table;
+  std::vector<Accumulator> accs;
+
+  // Upserts `rel.rows()[r]`'s group and returns its accumulator.
+  Accumulator& Upsert(const std::vector<Tuple>& rows, std::size_t r,
+                      const KeyCols& key, std::uint64_t& probes) {
+    const Tuple& t = rows[r];
+    auto [group, inserted] = table.Upsert(
+        static_cast<std::uint32_t>(r), key.Hash(t),
+        [&](std::uint32_t prev) { return key.Eq(t, rows[prev]); }, probes);
+    if (inserted) accs.emplace_back();
+    return accs[group];
+  }
+};
+
+// Emits one output row per group (key columns of the representative row
+// + the finished aggregate), then sorts: group keys are unique, so the
+// lexicographic order is total and the row order is independent of any
+// hash-table layout.
+Relation FinishGroups(const Relation& rel, const FlatGroups& groups,
+                      const KeyCols& key,
+                      const std::vector<std::string>& group_columns,
+                      AggKind kind, const std::string& output_column) {
+  std::vector<std::string> out_columns = group_columns;
+  out_columns.push_back(output_column);
+  Relation out(Schema(std::move(out_columns)));
+  out.mutable_rows().reserve(groups.accs.size());
+  for (std::size_t g = 0; g < groups.accs.size(); ++g) {
+    const Tuple& rep =
+        rel.rows()[groups.table.ref_at(static_cast<std::uint32_t>(g))];
+    out.Add(FinishGroup(key.Extract(rep), groups.accs[g], kind));
+  }
+  out.SortRows();
+  return out;
+}
+
 }  // namespace
 
 namespace {
@@ -471,25 +590,21 @@ Relation GroupAggregate(const Relation& rel,
                         OpMetrics* metrics) {
   GroupLayout layout =
       ComputeGroupLayout(rel, group_columns, kind, agg_column);
-  GroupTable groups;
-  groups.reserve(rel.size());
-  for (const Tuple& t : rel.rows()) {
-    AccumulateRow(groups[ProjectTuple(t, layout.group_idx)], kind, t,
+  CheckRefRange(rel.size());
+  KeyCols key(layout.group_idx, rel.arity());
+  FlatGroups groups;
+  groups.table.Reserve(rel.size());
+  groups.accs.reserve(rel.size());
+  std::uint64_t probes = 0;
+  const std::vector<Tuple>& rows = rel.rows();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    AccumulateRow(groups.Upsert(rows, r, key, probes), kind, rows[r],
                   layout.agg_idx);
   }
-
-  std::vector<std::string> out_columns = group_columns;
-  out_columns.push_back(output_column);
-  Relation out(Schema(std::move(out_columns)));
-  for (auto& [key, acc] : groups) {
-    out.Add(FinishGroup(key, acc, kind));
-  }
-  // Sort for a deterministic row order: group keys are unique, so the
-  // lexicographic order is total, and the serial overload now agrees
-  // row-for-row with the parallel one instead of exposing hash-table
-  // iteration order (an inconsistency found while instrumenting;
-  // ops_test.cc pins it).
-  out.SortRows();
+  // Sorted output (see FinishGroups): the serial overload agrees
+  // row-for-row with the parallel one at every thread count.
+  Relation out =
+      FinishGroups(rel, groups, key, group_columns, kind, output_column);
   RecordGroupMetrics(metrics, rel, out.size());
   return out;
 }
@@ -501,44 +616,57 @@ Relation GroupAggregate(const Relation& rel,
                         OpMetrics* metrics) {
   GroupLayout layout =
       ComputeGroupLayout(rel, group_columns, kind, agg_column);
+  CheckRefRange(rel.size());
+  KeyCols key(layout.group_idx, rel.arity());
+  const std::vector<Tuple>& rows = rel.rows();
 
   // Fixed morsel size: the decomposition (and therefore the association
   // order of floating-point SUM partials) depends only on the input, so
   // every `threads` value computes bit-identical aggregates.
   constexpr std::size_t kMorselRows = 2048;
-  std::vector<GroupTable> partials(MorselCount(rel.size(), kMorselRows));
+  std::vector<FlatGroups> partials(MorselCount(rel.size(), kMorselRows));
   ParallelFor(threads, rel.size(), kMorselRows,
               [&](std::size_t begin, std::size_t end) {
-                GroupTable& local = partials[begin / kMorselRows];
-                local.reserve(end - begin);
+                FlatGroups& local = partials[begin / kMorselRows];
+                local.table.Reserve(end - begin);
+                local.accs.reserve(end - begin);
+                std::uint64_t probes = 0;  // morsel-local; see below
                 for (std::size_t r = begin; r < end; ++r) {
-                  const Tuple& t = rel.rows()[r];
-                  AccumulateRow(local[ProjectTuple(t, layout.group_idx)],
-                                kind, t, layout.agg_idx);
+                  AccumulateRow(local.Upsert(rows, r, key, probes), kind,
+                                rows[r], layout.agg_idx);
                 }
               });
 
-  // Merge thread-local tables in morsel order (deterministic), then sort
-  // the output rows: group keys are unique, so the lexicographic sort is
-  // a total order and pins the row order independently of hash-table
-  // iteration.
-  GroupTable groups;
-  groups.reserve(rel.size());
-  for (GroupTable& partial : partials) {
-    for (auto& [key, acc] : partial) {
-      auto [it, inserted] = groups.try_emplace(key, acc);
-      if (!inserted) MergeAccumulator(it->second, acc, kind);
+  // Merge thread-local tables in morsel order (deterministic). Each
+  // group's stored hash is reused — the merge never re-hashes a key.
+  // Copying the first partial's accumulator on insert (rather than
+  // merging into a fresh one) keeps the per-group float association
+  // exactly `(p0 + p1) + p2 ...` — the same at every thread count.
+  FlatGroups groups;
+  groups.table.Reserve(rel.size());
+  std::uint64_t merge_probes = 0;
+  for (FlatGroups& partial : partials) {
+    for (std::size_t g = 0; g < partial.accs.size(); ++g) {
+      std::uint32_t rep = partial.table.ref_at(static_cast<std::uint32_t>(g));
+      const Tuple& t = rows[rep];
+      auto [group, inserted] = groups.table.Upsert(
+          rep, partial.table.hash_at(static_cast<std::uint32_t>(g)),
+          [&](std::uint32_t prev) { return key.Eq(t, rows[prev]); },
+          merge_probes);
+      if (inserted) {
+        groups.accs.push_back(partial.accs[g]);
+      } else {
+        MergeAccumulator(groups.accs[group], partial.accs[g], kind);
+      }
     }
   }
 
-  std::vector<std::string> out_columns = group_columns;
-  out_columns.push_back(output_column);
-  Relation out(Schema(std::move(out_columns)));
-  out.mutable_rows().reserve(groups.size());
-  for (auto& [key, acc] : groups) {
-    out.Add(FinishGroup(key, acc, kind));
-  }
-  out.SortRows();
+  // Sorted output (see FinishGroups); row order is a pure function of
+  // the input. tuples_probed stays "one upsert per input row" — slot
+  // counts would differ between the serial and parallel table layouts,
+  // and the metrics tree must be identical at every thread count.
+  Relation out =
+      FinishGroups(rel, groups, key, group_columns, kind, output_column);
   RecordGroupMetrics(metrics, rel, out.size());
   if (metrics != nullptr) metrics->morsels += partials.size();
   return out;

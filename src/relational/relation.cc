@@ -1,9 +1,10 @@
 #include "relational/relation.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <cstdint>
 
 #include "common/check.h"
+#include "common/flat_hash.h"
 
 namespace qf {
 
@@ -17,12 +18,24 @@ void Relation::AddRow(std::initializer_list<Value> values) {
 }
 
 void Relation::Dedup() {
-  std::unordered_set<Tuple, TupleHash> seen;
-  seen.reserve(rows_.size());
+  QF_CHECK_MSG(rows_.size() < 0xFFFFFFFFull,
+               "Dedup addresses at most 2^32-1 rows");
+  // Flat dedup set over row refs: rows are hashed and compared in place
+  // (whole-row identity — no key tuples are built), first occurrences
+  // survive in order.
+  TupleHash hash;
+  FlatTupleSet seen;
+  seen.Reserve(rows_.size());
+  std::uint64_t probes = 0;
   std::vector<Tuple> unique;
   unique.reserve(rows_.size());
   for (Tuple& t : rows_) {
-    if (seen.insert(t).second) unique.push_back(std::move(t));
+    // Refs name positions in `unique` (not `rows_`): survivors are moved
+    // out of `rows_`, so later probes must compare against their new home.
+    bool fresh = seen.Insert(
+        static_cast<std::uint32_t>(unique.size()), hash(t),
+        [&](std::uint32_t prev) { return unique[prev] == t; }, probes);
+    if (fresh) unique.push_back(std::move(t));
   }
   rows_ = std::move(unique);
 }

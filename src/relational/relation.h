@@ -41,7 +41,8 @@ class Relation {
   // Convenience for literals in tests: r.AddRow({Value(1), Value("a")}).
   void AddRow(std::initializer_list<Value> values);
 
-  // Removes duplicate tuples in place (order not preserved).
+  // Removes duplicate tuples in place; the first occurrence of each
+  // tuple survives, in its original relative order.
   void Dedup();
 
   // True if `t` occurs in the relation (linear scan; intended for tests).

@@ -1,5 +1,7 @@
 #include "relational/string_pool.h"
 
+#include <functional>
+
 namespace qf {
 
 StringPool& StringPool::Instance() {
@@ -8,19 +10,28 @@ StringPool& StringPool::Instance() {
 }
 
 const std::string* StringPool::Intern(std::string_view s) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = ids_.find(s);
-  if (it != ids_.end()) return it->second;
-  strings_.emplace_back(s);
-  const std::string* canonical = &strings_.back();
+  // Shard by content hash; the per-shard map reuses the same hash via its
+  // own std::hash<string_view>, so equal strings always pick (and find
+  // themselves in) the same shard.
+  Shard& shard =
+      shards_[std::hash<std::string_view>{}(s) & (kShards - 1)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.ids.find(s);
+  if (it != shard.ids.end()) return it->second;
+  shard.strings.emplace_back(s);
+  const std::string* canonical = &shard.strings.back();
   // The key view points at the deque-owned string, which never moves.
-  ids_.emplace(std::string_view(*canonical), canonical);
+  shard.ids.emplace(std::string_view(*canonical), canonical);
   return canonical;
 }
 
 std::size_t StringPool::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return strings_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.strings.size();
+  }
+  return total;
 }
 
 }  // namespace qf

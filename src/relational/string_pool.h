@@ -5,6 +5,11 @@
 // operations hash joins and set-semantics deduplication live on. Ordering
 // dereferences the pooled bytes, preserving lexicographic semantics for
 // the paper's "$1 < $2" subgoals.
+//
+// The pool is sharded by string hash: each shard has its own mutex, so
+// concurrent bulk loaders (TSV import, workload generators on the thread
+// pool) contend only when two threads intern strings landing in the same
+// shard, not on one global lock.
 #ifndef QF_RELATIONAL_STRING_POOL_H_
 #define QF_RELATIONAL_STRING_POOL_H_
 
@@ -18,6 +23,8 @@ namespace qf {
 
 class StringPool {
  public:
+  static constexpr std::size_t kShards = 16;  // power of two
+
   // The process-wide pool. Never destroyed (intentionally leaked, so
   // interned pointers stay valid through static destruction).
   static StringPool& Instance();
@@ -27,15 +34,20 @@ class StringPool {
   // equal strings always intern to the same pointer. Thread-safe.
   const std::string* Intern(std::string_view s);
 
+  // Total interned strings across all shards.
   std::size_t size() const;
 
  private:
+  struct Shard {
+    mutable std::mutex mutex;
+    // deque: stable addresses under growth.
+    std::deque<std::string> strings;
+    std::unordered_map<std::string_view, const std::string*> ids;
+  };
+
   StringPool() = default;
 
-  mutable std::mutex mutex_;
-  // deque: stable addresses under growth.
-  std::deque<std::string> strings_;
-  std::unordered_map<std::string_view, const std::string*> ids_;
+  Shard shards_[kShards];
 };
 
 }  // namespace qf

@@ -1,7 +1,9 @@
 #include "relational/tsv.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <system_error>
 #include <vector>
 
@@ -10,21 +12,42 @@
 namespace qf {
 
 Result<Relation> LoadTsv(const std::string& path, const std::string& name) {
-  std::ifstream in(path);
+  // Slurp the whole file once: lines and fields are string_views into the
+  // buffer, and string Values intern straight from those views — bulk
+  // loading allocates no per-line or per-field std::string.
+  std::ifstream in(path, std::ios::binary);
   if (!in) return NotFoundError("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line)) {
+  std::ostringstream slurp;
+  slurp << in.rdbuf();
+  std::string content = std::move(slurp).str();
+  if (content.empty()) {
     return InvalidArgumentError("empty TSV file: " + path);
   }
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto next_line = [&](std::string_view& line) {
+    if (pos >= content.size()) return false;
+    std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) eol = content.size();
+    line = std::string_view(content).substr(pos, eol - pos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos = eol + 1;
+    ++line_no;
+    return true;
+  };
+
+  std::string_view line;
+  next_line(line);
   std::vector<std::string> columns;
   for (std::string_view field : Split(line, '\t')) {
     columns.emplace_back(StripWhitespace(field));
   }
   Relation rel(name, Schema(std::move(columns)));
+  rel.mutable_rows().reserve(static_cast<std::size_t>(
+      std::count(content.begin(), content.end(), '\n')));
 
-  std::size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
+  while (next_line(line)) {
     if (StripWhitespace(line).empty()) continue;
     std::vector<std::string_view> fields = Split(line, '\t');
     if (fields.size() != rel.arity()) {

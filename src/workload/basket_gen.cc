@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string_view>
 
 #include "common/rng.h"
 #include "common/zipf.h"
@@ -9,10 +10,11 @@
 namespace qf {
 namespace {
 
-std::string ItemName(std::uint32_t rank) {
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "item%05u", rank);
-  return buf;
+// Formats into the caller's stack buffer; the returned view is interned
+// directly by Value(string_view) with no intermediate std::string.
+std::string_view ItemName(std::uint32_t rank, char (&buf)[16]) {
+  int len = std::snprintf(buf, sizeof(buf), "item%05u", rank);
+  return std::string_view(buf, static_cast<std::size_t>(len));
 }
 
 }  // namespace
@@ -26,7 +28,10 @@ Relation GenerateBaskets(const BasketConfig& config) {
     topic_anchor[t] = rng.NextBelow(config.n_items);
   }
   Relation rel("baskets", Schema({"BID", "Item"}));
+  rel.mutable_rows().reserve(
+      static_cast<std::size_t>(config.n_baskets * config.avg_basket_size));
 
+  char buf[16];
   for (std::uint32_t b = 0; b < config.n_baskets; ++b) {
     std::uint32_t base = topic_anchor[rng.NextBelow(
         static_cast<std::uint32_t>(topic_anchor.size()))];
@@ -40,7 +45,7 @@ Relation GenerateBaskets(const BasketConfig& config) {
               ? (base + topic_offset.Sample(rng)) % config.n_items
               : zipf.Sample(rng);
       rel.AddRow(
-          {Value(static_cast<std::int64_t>(b)), Value(ItemName(item))});
+          {Value(static_cast<std::int64_t>(b)), Value(ItemName(item, buf))});
     }
   }
   rel.Dedup();
@@ -50,6 +55,7 @@ Relation GenerateBaskets(const BasketConfig& config) {
 Relation GenerateImportance(const BasketConfig& config, double mean_weight) {
   Rng rng(config.seed + 0x9e3779b9);
   Relation rel("importance", Schema({"BID", "W"}));
+  rel.mutable_rows().reserve(config.n_baskets);
   for (std::uint32_t b = 0; b < config.n_baskets; ++b) {
     // Pareto(alpha=2) scaled to the requested mean: heavy tail, finite
     // mean, strictly positive.
@@ -58,7 +64,8 @@ Relation GenerateImportance(const BasketConfig& config, double mean_weight) {
     double w = mean_weight * pareto / 2.0;
     rel.AddRow({Value(static_cast<std::int64_t>(b)), Value(w)});
   }
-  rel.Dedup();
+  // No Dedup: one row per basket id by construction, so deduplicating
+  // was a full hash pass that could never drop a row.
   return rel;
 }
 

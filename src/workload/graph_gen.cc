@@ -11,6 +11,8 @@ Relation GenerateGraph(const GraphConfig& config) {
   Rng rng(config.seed);
   ZipfSampler target_zipf(config.n_nodes, config.target_theta);
   Relation arc("arc", Schema({"From", "To"}));
+  arc.mutable_rows().reserve(
+      static_cast<std::size_t>(config.n_nodes * config.avg_out_degree));
   for (std::uint32_t v = 0; v < config.n_nodes; ++v) {
     if (rng.NextBernoulli(config.sink_fraction)) continue;  // sink node
     double jitter = 0.5 + rng.NextDouble();

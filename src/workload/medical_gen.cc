@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -10,10 +11,11 @@
 namespace qf {
 namespace {
 
-std::string Name(const char* prefix, std::uint32_t n) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%s%05u", prefix, n);
-  return buf;
+// Formats into the caller's stack buffer; the returned view is interned
+// directly by Value(string_view) with no intermediate std::string.
+std::string_view Name(const char* prefix, std::uint32_t n, char (&buf)[24]) {
+  int len = std::snprintf(buf, sizeof(buf), "%s%05u", prefix, n);
+  return std::string_view(buf, static_cast<std::size_t>(len));
 }
 
 }  // namespace
@@ -38,6 +40,13 @@ Database GenerateMedical(const MedicalConfig& config) {
   Relation exhibits("exhibits", Schema({"Patient", "Symptom"}));
   Relation treatments("treatments", Schema({"Patient", "Medicine"}));
   Relation causes("causes", Schema({"Disease", "Symptom"}));
+  diagnoses.mutable_rows().reserve(config.n_patients);
+  exhibits.mutable_rows().reserve(static_cast<std::size_t>(
+      config.n_patients * config.symptoms_per_patient));
+  treatments.mutable_rows().reserve(static_cast<std::size_t>(
+      config.n_patients * config.medicines_per_patient));
+  causes.mutable_rows().reserve(static_cast<std::size_t>(config.n_diseases) *
+                                36);
 
   auto pick = [&](const ZipfSampler& global, std::uint32_t base,
                   std::uint32_t n) {
@@ -47,10 +56,11 @@ Database GenerateMedical(const MedicalConfig& config) {
     return global.Sample(rng);
   };
 
+  char buf_a[24], buf_b[24];
   for (std::uint32_t p = 0; p < config.n_patients; ++p) {
-    std::string patient = Name("pat", p);
+    Value patient(Name("pat", p, buf_a));  // interned once per patient
     std::uint32_t disease = rng.NextBelow(config.n_diseases);
-    diagnoses.AddRow({Value(patient), Value(Name("dis", disease))});
+    diagnoses.AddRow({patient, Value(Name("dis", disease, buf_b))});
 
     double jitter = 0.5 + rng.NextDouble();
     auto count = [&jitter](double avg) {
@@ -61,13 +71,13 @@ Database GenerateMedical(const MedicalConfig& config) {
     for (std::uint32_t i = 0; i < n_symptoms; ++i) {
       std::uint32_t s =
           pick(symptom_zipf, symptom_base[disease], config.n_symptoms);
-      exhibits.AddRow({Value(patient), Value(Name("sym", s))});
+      exhibits.AddRow({patient, Value(Name("sym", s, buf_b))});
     }
     std::uint32_t n_meds = count(config.medicines_per_patient);
     for (std::uint32_t i = 0; i < n_meds; ++i) {
       std::uint32_t m =
           pick(medicine_zipf, medicine_base[disease], config.n_medicines);
-      treatments.AddRow({Value(patient), Value(Name("med", m))});
+      treatments.AddRow({patient, Value(Name("med", m, buf_b))});
     }
   }
 
@@ -78,13 +88,14 @@ Database GenerateMedical(const MedicalConfig& config) {
     for (std::uint32_t off = 0; off < 32; ++off) {
       if (!rng.NextBernoulli(config.causes_coverage)) continue;
       std::uint32_t s = (symptom_base[d] + off) % config.n_symptoms;
-      causes.AddRow({Value(Name("dis", d)), Value(Name("sym", s))});
+      causes.AddRow(
+          {Value(Name("dis", d, buf_a)), Value(Name("sym", s, buf_b))});
     }
     // Plus a smattering of globally common symptoms every disease may
     // plausibly explain.
     for (int i = 0; i < 4; ++i) {
-      causes.AddRow({Value(Name("dis", d)),
-                     Value(Name("sym", symptom_zipf.Sample(rng)))});
+      causes.AddRow({Value(Name("dis", d, buf_a)),
+                     Value(Name("sym", symptom_zipf.Sample(rng), buf_b))});
     }
   }
 

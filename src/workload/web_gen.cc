@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -10,10 +11,11 @@
 namespace qf {
 namespace {
 
-std::string Name(const char* prefix, std::uint32_t n) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%s%06u", prefix, n);
-  return buf;
+// Formats into the caller's stack buffer; the returned view is interned
+// directly by Value(string_view) with no intermediate std::string.
+std::string_view Name(const char* prefix, std::uint32_t n, char (&buf)[24]) {
+  int len = std::snprintf(buf, sizeof(buf), "%s%06u", prefix, n);
+  return std::string_view(buf, static_cast<std::size_t>(len));
 }
 
 }  // namespace
@@ -46,29 +48,35 @@ Database GenerateWeb(const WebConfig& config) {
   Relation in_title("inTitle", Schema({"Doc", "Word"}));
   Relation in_anchor("inAnchor", Schema({"Anchor", "Word"}));
   Relation link("link", Schema({"Anchor", "From", "To"}));
+  in_title.mutable_rows().reserve(
+      static_cast<std::size_t>(config.n_docs * config.words_per_title));
+  in_anchor.mutable_rows().reserve(
+      static_cast<std::size_t>(config.n_anchors * config.words_per_anchor));
+  link.mutable_rows().reserve(config.n_anchors);
 
+  char buf_a[24], buf_b[24], buf_c[24];
   for (std::uint32_t d = 0; d < config.n_docs; ++d) {
     double jitter = 0.5 + rng.NextDouble();
     std::uint32_t n = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(config.words_per_title * jitter));
     for (std::uint32_t i = 0; i < n; ++i) {
-      in_title.AddRow(
-          {Value(Name("doc", d)), Value(Name("w", pick_word(d)))});
+      in_title.AddRow({Value(Name("doc", d, buf_a)),
+                       Value(Name("w", pick_word(d), buf_b))});
     }
   }
 
   for (std::uint32_t a = 0; a < config.n_anchors; ++a) {
-    std::string anchor = Name("anc", a);
+    Value anchor(Name("anc", a, buf_a));  // interned once per anchor
     std::uint32_t from = rng.NextBelow(config.n_docs);
     std::uint32_t to = rng.NextBelow(config.n_docs);
-    link.AddRow(
-        {Value(anchor), Value(Name("doc", from)), Value(Name("doc", to))});
+    link.AddRow({anchor, Value(Name("doc", from, buf_b)),
+                 Value(Name("doc", to, buf_c))});
     double jitter = 0.5 + rng.NextDouble();
     std::uint32_t n = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(config.words_per_anchor * jitter));
     for (std::uint32_t i = 0; i < n; ++i) {
       // Anchor text describes the link target.
-      in_anchor.AddRow({Value(anchor), Value(Name("w", pick_word(to)))});
+      in_anchor.AddRow({anchor, Value(Name("w", pick_word(to), buf_b))});
     }
   }
 

@@ -1,0 +1,103 @@
+// Concurrent-intern stress for the sharded StringPool: many threads
+// interning overlapping string sets must agree on one canonical pointer
+// per distinct string, and the pool must grow by exactly the distinct
+// count. Uses the engine's own ThreadPool so the contention pattern
+// matches real parallel loads (generators + parallel operators).
+#include "relational/string_pool.h"
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "relational/value.h"
+
+namespace qf {
+namespace {
+
+TEST(StringPool, InternReturnsCanonicalPointer) {
+  StringPool& pool = StringPool::Instance();
+  const std::string* a = pool.Intern("string_pool_test.alpha");
+  const std::string* b = pool.Intern("string_pool_test.alpha");
+  const std::string* c = pool.Intern("string_pool_test.beta");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(*a, "string_pool_test.alpha");
+}
+
+TEST(StringPool, ViewIntoTemporaryBufferIsCopied) {
+  StringPool& pool = StringPool::Instance();
+  const std::string* first;
+  {
+    std::string scratch = "string_pool_test.temp_buffer";
+    first = pool.Intern(std::string_view(scratch));
+    scratch.assign(scratch.size(), 'x');  // clobber the source buffer
+  }
+  EXPECT_EQ(*first, "string_pool_test.temp_buffer");
+  EXPECT_EQ(pool.Intern("string_pool_test.temp_buffer"), first);
+}
+
+TEST(StringPool, ConcurrentInternStress) {
+  // Many morsels hammer a small overlapping key space so that distinct
+  // threads race to intern the SAME string at the same moment — the case
+  // shard locking must serialize. The pool is a process-wide singleton,
+  // so distinct strings are namespaced and growth is measured as a delta.
+  StringPool& pool = StringPool::Instance();
+  constexpr std::size_t kDistinct = 512;
+  constexpr std::size_t kTasks = 20000;
+  const std::size_t size_before = pool.size();
+
+  std::vector<std::atomic<const std::string*>> canon(kDistinct);
+  for (auto& p : canon) p.store(nullptr, std::memory_order_relaxed);
+  std::atomic<std::size_t> mismatches{0};
+
+  ParallelFor(8, kTasks, /*morsel=*/64,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  std::size_t k = (i * 2654435761u) % kDistinct;
+                  std::string key =
+                      "string_pool_test.stress." + std::to_string(k);
+                  const std::string* got = pool.Intern(key);
+                  if (*got != key) {
+                    mismatches.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                  }
+                  const std::string* expected = nullptr;
+                  if (!canon[k].compare_exchange_strong(
+                          expected, got, std::memory_order_acq_rel) &&
+                      expected != got) {
+                    // Another thread registered a different canonical
+                    // pointer for the same string: interning broke.
+                    mismatches.fetch_add(1, std::memory_order_relaxed);
+                  }
+                }
+              });
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(pool.size() - size_before, kDistinct);
+  // Re-interning serially still lands on the same canonical pointers.
+  for (std::size_t k = 0; k < kDistinct; ++k) {
+    std::string key = "string_pool_test.stress." + std::to_string(k);
+    EXPECT_EQ(pool.Intern(key), canon[k].load());
+  }
+}
+
+TEST(StringPool, ValuesInternedConcurrentlyCompareEqual) {
+  // Value's string representation relies on pointer identity from the
+  // pool; concurrent construction must yield equal Values.
+  std::vector<Value> values(64, Value(std::int64_t{0}));
+  ParallelFor(8, values.size(), /*morsel=*/4,
+              [&](std::size_t begin, std::size_t end) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  values[i] = Value("string_pool_test.value_identity");
+                }
+              });
+  for (const Value& v : values) {
+    ASSERT_EQ(v, values[0]);
+  }
+}
+
+}  // namespace
+}  // namespace qf

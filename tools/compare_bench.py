@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare fresh google-benchmark JSON runs against the committed baseline.
+
+Usage:
+    compare_bench.py BASELINE.json FRESH.json [FRESH2.json ...]
+
+BASELINE is the merged BENCH_PR3.json written by tools/run_bench.sh
+(``{"context": ..., "suites": {name: [benchmarks...]}}``); each FRESH file
+is a raw google-benchmark document. Benchmarks are matched by name across
+all suites. A fresh run more than REGRESSION_THRESHOLD slower than the
+baseline prints a warning (GitHub Actions ``::warning::`` annotation when
+running under CI). The exit code is always 0: CI machines are noisy, so
+regressions warn rather than gate — the flat-hash kernel benches
+(join/dedup/aggregate) are listed first so they are the easiest to spot.
+"""
+
+import json
+import os
+import sys
+
+REGRESSION_THRESHOLD = 0.10  # warn when fresh is >10% slower
+
+# The kernel benches this repo's perf acceptance tracks; reported first.
+KERNEL_PREFIXES = (
+    "BM_Micro_JoinBuildProbe",
+    "BM_Micro_NaturalJoin",
+    "BM_Micro_SemiJoin",
+    "BM_Micro_AntiJoin",
+    "BM_Micro_Dedup",
+    "BM_Micro_ProjectDedup",
+    "BM_Micro_GroupCount",
+    "BM_Micro_GroupSum",
+)
+
+
+def times_by_name(benchmarks):
+    """name -> real_time, preferring median aggregates over raw iterations."""
+    out = {}
+    for b in benchmarks:
+        name = b.get("name", "")
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b.get("run_name", name.removesuffix("_median"))
+        elif name in out:
+            continue  # keep the first repetition only
+        out[name] = (b["real_time"], b.get("time_unit", "ns"))
+    return out
+
+
+def load_baseline(path):
+    with open(path) as f:
+        doc = json.load(f)
+    merged = {}
+    for benchmarks in doc.get("suites", {}).values():
+        merged.update(times_by_name(benchmarks))
+    return merged
+
+
+def load_fresh(paths):
+    merged = {}
+    for path in paths:
+        with open(path) as f:
+            merged.update(times_by_name(json.load(f).get("benchmarks", [])))
+    return merged
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load_baseline(argv[1])
+    fresh = load_fresh(argv[2:])
+    in_ci = os.environ.get("GITHUB_ACTIONS") == "true"
+
+    common = [n for n in fresh if n in baseline]
+    common.sort(key=lambda n: (not n.startswith(KERNEL_PREFIXES), n))
+    if not common:
+        print("compare_bench: no common benchmark names; nothing to compare")
+        return 0
+
+    regressions = 0
+    for name in common:
+        base_t, unit = baseline[name]
+        new_t, _ = fresh[name]
+        delta = (new_t - base_t) / base_t if base_t else 0.0
+        marker = " "
+        if delta > REGRESSION_THRESHOLD:
+            regressions += 1
+            marker = "!"
+            msg = (f"bench regression: {name} {base_t:.1f}{unit} -> "
+                   f"{new_t:.1f}{unit} (+{delta * 100:.1f}%)")
+            if in_ci:
+                print(f"::warning::{msg}")
+        print(f"{marker} {name:50s} base={base_t:12.1f}{unit} "
+              f"fresh={new_t:12.1f}{unit} {delta * 100:+7.1f}%")
+
+    print(f"compare_bench: {len(common)} compared, {regressions} slower "
+          f"than baseline by >{REGRESSION_THRESHOLD * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the two acceptance benchmark binaries (bench_micro and
+# bench_fig2_market_basket) in Release mode with google-benchmark JSON
+# output and merges the two documents into BENCH_PR3.json at the repo
+# root — the committed baseline that CI compares fresh runs against
+# (tools/compare_bench.py, >10% regression warning).
+#
+# Environment knobs:
+#   BUILD_DIR       build tree to use (default: <repo>/build)
+#   BENCH_FILTER    --benchmark_filter regex forwarded to both binaries
+#   BENCH_MIN_TIME  --benchmark_min_time value (seconds, plain double)
+#   OUT             output path (default: <repo>/BENCH_PR3.json)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="${OUT:-$ROOT/BENCH_PR3.json}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j "$(nproc)" \
+  --target bench_micro bench_fig2_market_basket
+
+args=()
+[[ -n "${BENCH_FILTER:-}" ]] && args+=("--benchmark_filter=${BENCH_FILTER}")
+[[ -n "${BENCH_MIN_TIME:-}" ]] && args+=("--benchmark_min_time=${BENCH_MIN_TIME}")
+
+"$BUILD/bench/bench_micro" \
+  --benchmark_out="$BUILD/BENCH_micro.json" \
+  --benchmark_out_format=json "${args[@]+"${args[@]}"}"
+"$BUILD/bench/bench_fig2_market_basket" \
+  --benchmark_out="$BUILD/BENCH_fig2_market_basket.json" \
+  --benchmark_out_format=json "${args[@]+"${args[@]}"}"
+
+python3 - "$BUILD/BENCH_micro.json" "$BUILD/BENCH_fig2_market_basket.json" \
+  "$OUT" <<'EOF'
+import json, sys
+micro, fig2, out = sys.argv[1:4]
+with open(micro) as f:
+    m = json.load(f)
+with open(fig2) as f:
+    g = json.load(f)
+merged = {
+    "context": m["context"],
+    "suites": {
+        "bench_micro": m["benchmarks"],
+        "bench_fig2_market_basket": g["benchmarks"],
+    },
+}
+with open(out, "w") as f:
+    json.dump(merged, f, indent=1)
+    f.write("\n")
+EOF
+
+echo "wrote $OUT"
