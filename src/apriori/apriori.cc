@@ -20,10 +20,13 @@ constexpr std::size_t kMorselBaskets = 256;
 // count vectors summed elementwise (integer adds commute, so the result
 // is the serial one for every thread count).
 std::vector<std::size_t> CountItems(const BasketData& data, unsigned threads,
-                                    OpMetrics* metrics = nullptr) {
+                                    OpMetrics* metrics = nullptr,
+                                    QueryContext* ctx = nullptr) {
   std::vector<std::size_t> item_counts(data.item_count(), 0);
   if (threads <= 1 || data.baskets.size() < 2 * kMorselBaskets) {
+    OpGovernor gov(ctx, /*bytes_per_row=*/0);
     for (const std::vector<ItemId>& basket : data.baskets) {
+      if (!gov.TickInput()) break;
       for (ItemId item : basket) ++item_counts[item];
     }
     return item_counts;
@@ -38,7 +41,10 @@ std::vector<std::size_t> CountItems(const BasketData& data, unsigned threads,
                 std::vector<std::size_t>& local =
                     partials[begin / kMorselBaskets];
                 local.assign(data.item_count(), 0);
+                if (ctx != nullptr && !ctx->Poll()) return;
+                OpGovernor gov(ctx, /*bytes_per_row=*/0);
                 for (std::size_t b = begin; b < end; ++b) {
+                  if (!gov.TickInput()) break;
                   for (ItemId item : data.baskets[b]) ++local[item];
                 }
               });
@@ -76,23 +82,34 @@ struct PairCounts {
 // reuses each key's stored hash — pairs are never re-hashed).
 template <typename Keep>
 PairCounts CountPairs(const BasketData& data, unsigned threads,
-                      const Keep& keep, OpMetrics* metrics = nullptr) {
+                      const Keep& keep, OpMetrics* metrics = nullptr,
+                      QueryContext* ctx = nullptr) {
   auto count_range = [&](std::size_t begin, std::size_t end,
                          PairCounts& counts) {
     std::uint64_t probes = 0;
     std::vector<ItemId> filtered;
+    // Pair tables grow with the co-occurrence structure; charge one
+    // table entry per distinct pair via the governor's admit path.
+    OpGovernor gov(ctx, sizeof(std::uint64_t) + sizeof(std::size_t));
     for (std::size_t b = begin; b < end; ++b) {
+      if (!gov.TickInput()) break;
       filtered.clear();
       for (ItemId item : data.baskets[b]) {
         if (keep(item)) filtered.push_back(item);
       }
-      for (std::size_t i = 0; i < filtered.size(); ++i) {
+      bool live = true;
+      for (std::size_t i = 0; live && i < filtered.size(); ++i) {
         for (std::size_t j = i + 1; j < filtered.size(); ++j) {
+          if (!gov.Admit()) {
+            live = false;
+            break;
+          }
           std::uint64_t key =
               (static_cast<std::uint64_t>(filtered[i]) << 32) | filtered[j];
           counts.Bump(key, 1, probes);
         }
       }
+      if (!live) break;
     }
   };
   PairCounts pair_counts;
@@ -107,6 +124,7 @@ PairCounts CountPairs(const BasketData& data, unsigned threads,
       MorselCount(data.baskets.size(), kMorselBaskets));
   ParallelFor(threads, data.baskets.size(), kMorselBaskets,
               [&](std::size_t begin, std::size_t end) {
+                if (ctx != nullptr && !ctx->Poll()) return;
                 count_range(begin, end, partials[begin / kMorselBaskets]);
               });
   std::uint64_t merge_probes = 0;
@@ -217,7 +235,8 @@ std::vector<std::vector<ItemId>> GenerateCandidates(
 void CountCandidates(const BasketData& data,
                      const std::vector<std::vector<ItemId>>& candidates,
                      unsigned threads, std::vector<std::size_t>& counts,
-                     OpMetrics* metrics = nullptr) {
+                     OpMetrics* metrics = nullptr,
+                     QueryContext* ctx = nullptr) {
   counts.assign(candidates.size(), 0);
   if (candidates.empty()) return;
   std::size_t k = candidates.front().size();
@@ -232,7 +251,9 @@ void CountCandidates(const BasketData& data,
     std::vector<ItemId> filtered;
     std::vector<std::size_t> choose;
     std::vector<ItemId> subset(k);  // reused across all combinations
+    OpGovernor gov(ctx, /*bytes_per_row=*/0);
     for (std::size_t b = begin; b < end; ++b) {
+      if (!gov.TickInput()) break;
       filtered.clear();
       for (ItemId item : data.baskets[b]) {
         if (live_items[item]) filtered.push_back(item);
@@ -243,6 +264,9 @@ void CountCandidates(const BasketData& data,
       choose.assign(k, 0);
       for (std::size_t i = 0; i < k; ++i) choose[i] = i;
       while (true) {
+        // The k-combination space of one basket can itself be huge; poll
+        // inside it, too.
+        if (!gov.TickInput()) break;
         for (std::size_t i = 0; i < k; ++i) subset[i] = filtered[choose[i]];
         std::uint32_t id = candidate_set.Find(subset);
         if (id != FlatIdTable::kNone) ++local[id];
@@ -273,6 +297,7 @@ void CountCandidates(const BasketData& data,
                 std::vector<std::size_t>& local =
                     partials[begin / kMorselBaskets];
                 local.assign(candidates.size(), 0);
+                if (ctx != nullptr && !ctx->Poll()) return;
                 count_range(begin, end, local);
               });
   for (const std::vector<std::size_t>& local : partials) {
@@ -334,7 +359,7 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
                                    : nullptr;
     ScopedOp span(node, tr);
     std::vector<std::size_t> item_counts =
-        CountItems(data, options.threads, node);
+        CountItems(data, options.threads, node, options.ctx);
     for (ItemId item = 0; item < data.item_count(); ++item) {
       if (item_counts[item] >= options.min_support) {
         frequent.push_back({item});
@@ -355,6 +380,7 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
   std::size_t k = 1;
   while (!frequent.empty() &&
          (options.max_size == 0 || k < options.max_size)) {
+    if (options.ctx != nullptr && !options.ctx->ok()) break;
     std::vector<std::vector<ItemId>> candidates =
         GenerateCandidates(frequent);
     if (candidates.empty()) break;
@@ -363,7 +389,8 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
                      : nullptr;
     ScopedOp span(node, tr);
     std::vector<std::size_t> counts;
-    CountCandidates(data, candidates, options.threads, counts, node);
+    CountCandidates(data, candidates, options.threads, counts, node,
+                    options.ctx);
     frequent.clear();
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (counts[i] >= options.min_support) {
@@ -389,7 +416,8 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
 std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
                                           std::size_t min_support,
                                           unsigned threads,
-                                          OpMetrics* metrics) {
+                                          OpMetrics* metrics,
+                                          QueryContext* ctx) {
   if (metrics != nullptr && metrics->op.empty()) metrics->op = "apriori";
   // Pass 1: singleton counts; the pre-filter of §1.2.
   std::vector<bool> frequent_item(data.item_count(), false);
@@ -398,7 +426,8 @@ std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
     OpMetrics* node =
         metrics != nullptr ? metrics->AddChild("count_level", "k=1") : nullptr;
     ScopedOp span(node);
-    std::vector<std::size_t> item_counts = CountItems(data, threads, node);
+    std::vector<std::size_t> item_counts =
+        CountItems(data, threads, node, ctx);
     for (ItemId i = 0; i < data.item_count(); ++i) {
       frequent_item[i] = item_counts[i] >= min_support;
       if (frequent_item[i]) ++frequent_items;
@@ -414,9 +443,9 @@ std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
   OpMetrics* node =
       metrics != nullptr ? metrics->AddChild("count_level", "k=2") : nullptr;
   ScopedOp span(node);
-  PairCounts pair_counts =
-      CountPairs(data, threads,
-                 [&](ItemId item) { return bool{frequent_item[item]}; }, node);
+  PairCounts pair_counts = CountPairs(
+      data, threads, [&](ItemId item) { return bool{frequent_item[item]}; },
+      node, ctx);
 
   std::vector<Itemset> result;
   for (std::size_t i = 0; i < pair_counts.size(); ++i) {
@@ -441,7 +470,8 @@ std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
 std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
                                         std::size_t min_support,
                                         unsigned threads,
-                                        OpMetrics* metrics) {
+                                        OpMetrics* metrics,
+                                        QueryContext* ctx) {
   if (metrics != nullptr && metrics->op.empty()) metrics->op = "naive_pairs";
   OpMetrics* node =
       metrics != nullptr ? metrics->AddChild("count_level", "k=2 (no prefilter)")
@@ -449,7 +479,7 @@ std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
   ScopedOp span(node);
   // No pre-filter: every co-occurring pair is counted.
   PairCounts pair_counts =
-      CountPairs(data, threads, [](ItemId) { return true; }, node);
+      CountPairs(data, threads, [](ItemId) { return true; }, node, ctx);
   std::vector<Itemset> result;
   for (std::size_t i = 0; i < pair_counts.size(); ++i) {
     std::uint64_t key = pair_counts.keys[i];

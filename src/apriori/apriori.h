@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/status.h"
 #include "relational/relation.h"
 
@@ -58,6 +59,12 @@ struct AprioriOptions {
   // span events; ignored unless `metrics` is set.
   OpMetrics* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // Resource governance (common/resource.h): counting passes poll the
+  // context at basket granularity (and at morsel starts) and stop early
+  // once it latches. Because the miners return plain vectors, a governed
+  // caller MUST call ctx->Check() afterwards and discard the (possibly
+  // truncated) result on failure.
+  QueryContext* ctx = nullptr;
 };
 
 struct AprioriStats {
@@ -81,14 +88,16 @@ std::vector<Itemset> AprioriFrequentItemsets(const BasketData& data,
 std::vector<Itemset> AprioriFrequentPairs(const BasketData& data,
                                           std::size_t min_support,
                                           unsigned threads = 1,
-                                          OpMetrics* metrics = nullptr);
+                                          OpMetrics* metrics = nullptr,
+                                          QueryContext* ctx = nullptr);
 
 // The unoptimized baseline: counts every co-occurring pair (the Fig. 1 SQL
 // query as a conventional optimizer executes it) and filters at the end.
 std::vector<Itemset> NaiveFrequentPairs(const BasketData& data,
                                         std::size_t min_support,
                                         unsigned threads = 1,
-                                        OpMetrics* metrics = nullptr);
+                                        OpMetrics* metrics = nullptr,
+                                        QueryContext* ctx = nullptr);
 
 // Renders itemsets as a relation over item-name columns I1..Ik plus
 // Support, for comparison against flock results.

@@ -90,6 +90,10 @@ void AppendTreeLines(const OpMetrics& node, int depth, std::string& out) {
     std::snprintf(buf, sizeof(buf), " morsels=%" PRIu64, node.morsels);
     out += buf;
   }
+  if (node.mem_bytes > 0) {
+    std::snprintf(buf, sizeof(buf), " mem=%" PRIu64, node.mem_bytes);
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), " t=%.3fms",
                 static_cast<double>(node.wall_ns) / 1e6);
   out += buf;
@@ -109,9 +113,11 @@ void AppendJson(const OpMetrics& node, std::string& out) {
   std::snprintf(buf, sizeof(buf),
                 ",\"rows_in\":%" PRIu64 ",\"rows_in_right\":%" PRIu64
                 ",\"rows_out\":%" PRIu64 ",\"tuples_probed\":%" PRIu64
-                ",\"morsels\":%" PRIu64 ",\"wall_ns\":%" PRIu64,
+                ",\"morsels\":%" PRIu64 ",\"mem_bytes\":%" PRIu64
+                ",\"wall_ns\":%" PRIu64,
                 node.rows_in, node.rows_in_right, node.rows_out,
-                node.tuples_probed, node.morsels, node.wall_ns);
+                node.tuples_probed, node.morsels, node.mem_bytes,
+                node.wall_ns);
   out += buf;
   if (node.est_rows >= 0) {
     std::snprintf(buf, sizeof(buf), ",\"est_rows\":%.17g", node.est_rows);
@@ -135,6 +141,7 @@ std::unique_ptr<OpMetrics> DeepCopy(const OpMetrics& node) {
   copy->rows_out = node.rows_out;
   copy->tuples_probed = node.tuples_probed;
   copy->morsels = node.morsels;
+  copy->mem_bytes = node.mem_bytes;
   copy->wall_ns = node.wall_ns;
   copy->est_rows = node.est_rows;
   for (const auto& child : node.children) {
@@ -175,6 +182,7 @@ void OpMetrics::MergeFrom(const OpMetrics& other) {
   rows_out += other.rows_out;
   tuples_probed += other.tuples_probed;
   morsels += other.morsels;
+  mem_bytes += other.mem_bytes;
   wall_ns += other.wall_ns;
   if (est_rows < 0) est_rows = other.est_rows;
   std::size_t shared = std::min(children.size(), other.children.size());

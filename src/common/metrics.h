@@ -63,6 +63,10 @@ struct OpMetrics {
   // Morsels the operator was decomposed into (0 when it ran as one piece).
   // Depends only on the input size, never on the thread count.
   std::uint64_t morsels = 0;
+  // Bytes this operator charged to the query's resource accountant
+  // (ApproxTupleBytes per output row; see common/resource.h). 0 when the
+  // run was ungoverned. Rendered by EXPLAIN ANALYZE as "mem=".
+  std::uint64_t mem_bytes = 0;
   // Wall time attributed to this node (exclusive of nothing: parents
   // include their children's time). Filled by ScopedOp.
   std::uint64_t wall_ns = 0;

@@ -1,0 +1,67 @@
+#include "common/resource.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace qf {
+
+std::size_t ApproxTupleBytes(std::size_t arity) {
+  // One Value is 16 bytes (tagged 8-byte payload); the row's element array
+  // plus the vector header stored in the containing rows vector.
+  return sizeof(std::vector<int>) + arity * 16;
+}
+
+void QueryContext::LatchError(StatusCode code) {
+  int expected = static_cast<int>(StatusCode::kOk);
+  error_code_.compare_exchange_strong(expected, static_cast<int>(code),
+                                      std::memory_order_relaxed);
+}
+
+bool QueryContext::Charge(std::uint64_t bytes) {
+  if (!ok()) return false;
+  if (fault_countdown_.load(std::memory_order_relaxed) > 0 &&
+      fault_countdown_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+    LatchError(StatusCode::kResourceExhausted);
+    return false;
+  }
+  std::uint64_t used =
+      used_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  // Maintain the high-water mark; contended only while usage climbs.
+  std::uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (used > peak && !peak_bytes_.compare_exchange_weak(
+                            peak, used, std::memory_order_relaxed)) {
+  }
+  if (budget_bytes_ != 0 && used > budget_bytes_) {
+    LatchError(StatusCode::kResourceExhausted);
+    return false;
+  }
+  return true;
+}
+
+Status QueryContext::Check() const {
+  switch (static_cast<StatusCode>(error_code_.load(std::memory_order_relaxed))) {
+    case StatusCode::kOk:
+      return Status::Ok();
+    case StatusCode::kCancelled:
+      return CancelledError("query cancelled");
+    case StatusCode::kDeadlineExceeded:
+      return DeadlineExceededError("query deadline exceeded");
+    case StatusCode::kResourceExhausted:
+      return ResourceExhaustedError("query memory budget exceeded");
+    default:
+      QF_CHECK_MSG(false, "QueryContext latched a non-governor code");
+      return InternalError("unreachable");
+  }
+}
+
+bool OpGovernor::FlushAndPoll() {
+  std::uint64_t bytes =
+      static_cast<std::uint64_t>(pending_rows_) * bytes_per_row_;
+  pending_rows_ = 0;
+  total_bytes_ += bytes;
+  bool admitted = ctx_->Charge(bytes);
+  return admitted && ctx_->Poll();
+}
+
+}  // namespace qf

@@ -29,6 +29,12 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  // Resource-governor outcomes (see common/resource.h): the query was
+  // cancelled cooperatively, overran its wall-clock deadline, or exceeded
+  // its accounted-memory budget.
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 // Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -72,6 +78,9 @@ Status FailedPreconditionError(std::string message);
 Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status CancelledError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // Either a value of type T or a non-OK Status. Accessing the value of a
 // failed Result aborts (QF_CHECK), so callers must test ok() first.

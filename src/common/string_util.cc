@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace qf {
@@ -61,12 +62,30 @@ Result<std::int64_t> ParseInt64(std::string_view text) {
 
 Result<double> ParseDouble(std::string_view text) {
   if (text.empty()) return InvalidArgumentError("empty float literal");
+  // strtod accepts spellings the engine's Value model cannot tolerate:
+  // "inf"/"nan" (non-finite Values break equality, dedup, and join
+  // invariants) and C99 hex floats. Reject those up front; only decimal
+  // digit/sign/dot/exponent characters may appear.
+  for (char c : text) {
+    if (!((c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' ||
+          c == 'e' || c == 'E')) {
+      return InvalidArgumentError("bad float literal: " + std::string(text));
+    }
+  }
   std::string buf(text);
   errno = 0;
   char* end = nullptr;
   double v = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) {
     return InvalidArgumentError("bad float literal: " + buf);
+  }
+  // ERANGE overflow ("1e999") yields ±HUGE_VAL — reject; gradual
+  // underflow to a denormal or zero is an acceptable rounding.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return OutOfRangeError("float literal overflows double: " + buf);
+  }
+  if (!std::isfinite(v)) {
+    return InvalidArgumentError("non-finite float literal: " + buf);
   }
   return v;
 }

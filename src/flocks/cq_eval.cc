@@ -28,7 +28,8 @@ Result<const Relation*> PredicateResolver::Resolve(
 }
 
 Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
-                         unsigned threads, OpMetrics* metrics) {
+                         unsigned threads, OpMetrics* metrics,
+                         QueryContext* ctx) {
   const std::vector<Term>& args = subgoal.args();
   QF_CHECK_MSG(args.size() == base.arity(),
                ("arity mismatch for predicate " + subgoal.predicate()).c_str());
@@ -67,26 +68,44 @@ Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
   };
 
   Relation out{Schema(columns)};
+  std::uint64_t mem = 0;
   constexpr std::size_t kMorselRows = 4096;
   if (threads <= 1 || base.size() < 2 * kMorselRows) {
+    OpGovernor gov(ctx, ApproxTupleBytes(columns.size()));
     for (const Tuple& row : base.rows()) {
-      if (matches(row)) out.Add(ProjectTuple(row, keep));
+      if (!gov.TickInput()) break;
+      if (matches(row)) {
+        if (!gov.Admit()) break;
+        out.Add(ProjectTuple(row, keep));
+      }
     }
+    gov.Flush();
+    mem = gov.total_bytes();
   } else {
     if (metrics != nullptr) {
       metrics->morsels += MorselCount(base.size(), kMorselRows);
     }
     // Morsel-parallel scan; concatenating the per-morsel buffers in
-    // morsel order reproduces the serial row order exactly.
+    // morsel order reproduces the serial row order exactly. Workers test
+    // the governor latch at morsel start and bail per stride within.
     std::vector<std::vector<Tuple>> buffers(
         MorselCount(base.size(), kMorselRows));
+    std::vector<std::uint64_t> morsel_bytes(buffers.size(), 0);
     ParallelFor(threads, base.size(), kMorselRows,
                 [&](std::size_t begin, std::size_t end) {
+                  if (ctx != nullptr && !ctx->Poll()) return;
                   std::vector<Tuple>& buf = buffers[begin / kMorselRows];
+                  OpGovernor gov(ctx, ApproxTupleBytes(columns.size()));
                   for (std::size_t r = begin; r < end; ++r) {
+                    if (!gov.TickInput()) break;
                     const Tuple& row = base.rows()[r];
-                    if (matches(row)) buf.push_back(ProjectTuple(row, keep));
+                    if (matches(row)) {
+                      if (!gov.Admit()) break;
+                      buf.push_back(ProjectTuple(row, keep));
+                    }
                   }
+                  gov.Flush();
+                  morsel_bytes[begin / kMorselRows] = gov.total_bytes();
                 });
     std::size_t total = 0;
     for (const auto& buf : buffers) total += buf.size();
@@ -94,6 +113,7 @@ Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
     for (auto& buf : buffers) {
       for (Tuple& t : buf) out.mutable_rows().push_back(std::move(t));
     }
+    for (std::uint64_t mb : morsel_bytes) mem += mb;
   }
   // Dropping constant-checked positions cannot merge distinct base rows,
   // but a subgoal with *no* variables (all constants) produces arity-0
@@ -102,6 +122,7 @@ Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
   if (metrics != nullptr) {
     metrics->rows_in += base.size();
     metrics->rows_out += out.size();
+    metrics->mem_bytes += mem;
   }
   return out;
 }
@@ -175,6 +196,19 @@ Result<Relation> EvaluateConjunctiveBindings(
   // is only consulted when metrics are on (ScopedOp enforces this too).
   OpMetrics* m = options.metrics;
   TraceSink* tr = m != nullptr ? options.trace : nullptr;
+  // Governance: check the context after every operator (truncated output
+  // from a tripped operator must never be mistaken for a result), and
+  // return accounted bytes of dropped intermediates to the pool.
+  QueryContext* ctx = options.ctx;
+  auto governed = [ctx]() {
+    return ctx != nullptr ? ctx->Check() : Status::Ok();
+  };
+  auto release = [ctx](const Relation& r) {
+    if (ctx != nullptr) {
+      ctx->Release(static_cast<std::uint64_t>(r.size()) *
+                   ApproxTupleBytes(r.arity()));
+    }
+  };
 
   // Resolve bases and precompute binding relations.
   std::vector<Relation> positive_bindings;
@@ -190,7 +224,8 @@ Result<Relation> EvaluateConjunctiveBindings(
                                    : nullptr;
     ScopedOp span(node, tr);
     positive_bindings.push_back(
-        SubgoalBindings(*s, **base, options.threads, node));
+        SubgoalBindings(*s, **base, options.threads, node, ctx));
+    if (Status s2 = governed(); !s2.ok()) return s2;
   }
   for (PendingNegation& pn : negations) {
     Result<const Relation*> base = resolver.Resolve(pn.subgoal->predicate());
@@ -203,7 +238,9 @@ Result<Relation> EvaluateConjunctiveBindings(
         m != nullptr ? m->AddChild("scan", "NOT " + pn.subgoal->predicate())
                      : nullptr;
     ScopedOp span(node, tr);
-    pn.bindings = SubgoalBindings(*pn.subgoal, **base, options.threads, node);
+    pn.bindings =
+        SubgoalBindings(*pn.subgoal, **base, options.threads, node, ctx);
+    if (Status s2 = governed(); !s2.ok()) return s2;
   }
 
   // Optional Yannakakis full-reducer pass (acyclic queries only).
@@ -219,17 +256,27 @@ Result<Relation> EvaluateConjunctiveBindings(
                                   " by " + positives[with]->predicate())
                 : nullptr;
         ScopedOp span(node, tr);
-        positive_bindings[target] =
-            SemiJoin(positive_bindings[target], positive_bindings[with], node);
+        std::uint64_t dropped = 0;
+        if (ctx != nullptr) {
+          dropped = static_cast<std::uint64_t>(
+                        positive_bindings[target].size()) *
+                    ApproxTupleBytes(positive_bindings[target].arity());
+        }
+        positive_bindings[target] = SemiJoin(positive_bindings[target],
+                                             positive_bindings[with], node,
+                                             ctx);
+        if (ctx != nullptr) ctx->Release(dropped);
       };
       // Bottom-up: parents lose tuples with no match in their ears.
       for (std::size_t k = 0; k < tree->ears.size(); ++k) {
         reduce(tree->parents[k], tree->ears[k]);
+        if (Status s2 = governed(); !s2.ok()) return s2;
       }
       // Top-down: ears lose tuples with no match in their (reduced)
       // parents. After both sweeps the bindings are globally consistent.
       for (std::size_t k = tree->ears.size(); k-- > 0;) {
         reduce(tree->ears[k], tree->parents[k]);
+        if (Status s2 = governed(); !s2.ok()) return s2;
       }
     }
   }
@@ -276,13 +323,16 @@ Result<Relation> EvaluateConjunctiveBindings(
       OpMetrics* node =
           m != nullptr ? m->AddChild("select", s.ToString()) : nullptr;
       ScopedOp span(node, tr);
+      std::uint64_t dropped = static_cast<std::uint64_t>(current.size()) *
+                              ApproxTupleBytes(current.arity());
       current = Select(
           current,
           [&s, &schema](const Tuple& row) {
             return EvalCompare(s.op(), TermValue(s.lhs(), schema, row),
                                TermValue(s.rhs(), schema, row));
           },
-          node);
+          node, ctx);
+      if (ctx != nullptr) ctx->Release(dropped);
     }
     for (PendingNegation& pn : negations) {
       if (pn.applied) continue;
@@ -292,10 +342,18 @@ Result<Relation> EvaluateConjunctiveBindings(
           m != nullptr ? m->AddChild("anti_join", pn.subgoal->predicate())
                        : nullptr;
       ScopedOp span(node, tr);
-      current = AntiJoin(current, pn.bindings, node);
+      std::uint64_t dropped = static_cast<std::uint64_t>(current.size()) *
+                              ApproxTupleBytes(current.arity());
+      current = AntiJoin(current, pn.bindings, node, ctx);
+      if (ctx != nullptr) {
+        ctx->Release(dropped);
+        release(pn.bindings);
+        pn.bindings = Relation();
+      }
     }
   };
   apply_ready();
+  if (Status s2 = governed(); !s2.ok()) return s2;
   for (std::size_t k = 1; k < order.size(); ++k) {
     {
       OpMetrics* node =
@@ -304,13 +362,25 @@ Result<Relation> EvaluateConjunctiveBindings(
       ScopedOp span(node, tr);
       // The parallel join preserves the serial join's row order, so the
       // fold's intermediates are identical for every thread count.
-      current = options.threads > 1
-                    ? ParallelNaturalJoin(current, positive_bindings[order[k]],
-                                          options.threads, node)
-                    : NaturalJoin(current, positive_bindings[order[k]], node);
+      std::uint64_t dropped = static_cast<std::uint64_t>(current.size()) *
+                              ApproxTupleBytes(current.arity());
+      current =
+          options.threads > 1
+              ? ParallelNaturalJoin(current, positive_bindings[order[k]],
+                                    options.threads, node, ctx)
+              : NaturalJoin(current, positive_bindings[order[k]], node, ctx);
+      if (ctx != nullptr) {
+        // The old intermediate and the consumed binding are dead; hand
+        // their accounted bytes back (and actually free the binding).
+        ctx->Release(dropped);
+        release(positive_bindings[order[k]]);
+        positive_bindings[order[k]] = Relation();
+      }
     }
+    if (Status s2 = governed(); !s2.ok()) return s2;
     peak = std::max(peak, current.size());
     apply_ready();
+    if (Status s2 = governed(); !s2.ok()) return s2;
   }
 
   for (const PendingComparison& pc : comparisons) {
@@ -337,7 +407,9 @@ Result<Relation> EvaluateConjunctiveBindings(
   if (peak_rows != nullptr) *peak_rows = peak;
   OpMetrics* node = m != nullptr ? m->AddChild("project") : nullptr;
   ScopedOp span(node, tr);
-  Relation projected = Project(current, output_columns, node);
+  Relation projected = Project(current, output_columns, node, ctx);
+  if (Status s2 = governed(); !s2.ok()) return s2;
+  release(current);
   if (m != nullptr) {
     m->rows_in += current.size();
     m->rows_out += projected.size();

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/status.h"
 #include "datalog/ast.h"
 #include "relational/database.h"
@@ -49,7 +50,8 @@ class PredicateResolver {
 // `threads` > 1 the scan runs morsel-parallel on the shared pool; the
 // output rows and their order are identical for every thread count.
 Relation SubgoalBindings(const Subgoal& subgoal, const Relation& base,
-                         unsigned threads = 1, OpMetrics* metrics = nullptr);
+                         unsigned threads = 1, OpMetrics* metrics = nullptr,
+                         QueryContext* ctx = nullptr);
 
 struct CqEvalOptions {
   // Join order as positions into the query's list of *positive* subgoals
@@ -76,6 +78,12 @@ struct CqEvalOptions {
   // pointers must outlive the call. Null (the default) is allocation-free.
   OpMetrics* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // Resource governance (common/resource.h). When non-null every operator
+  // polls the context and charges its output; the evaluation returns the
+  // context's typed error (CANCELLED / DEADLINE_EXCEEDED /
+  // RESOURCE_EXHAUSTED) as soon as it latches, discarding intermediates.
+  // Null (the default) is cost-free.
+  QueryContext* ctx = nullptr;
 };
 
 // Evaluates the body of `cq` and projects the bindings onto

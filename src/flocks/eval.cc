@@ -49,6 +49,10 @@ Result<Relation> EvaluateFlock(
   OpMetrics* m = options.metrics;
   TraceSink* tr = m != nullptr ? options.trace : nullptr;
   if (m != nullptr && m->op.empty()) m->op = "flock";
+  QueryContext* ctx = options.ctx;
+  auto governed = [ctx]() {
+    return ctx != nullptr ? ctx->Check() : Status::Ok();
+  };
 
   // Evaluate the disjuncts — concurrently when threads allow, each into
   // its own slot — then union the slots in disjunct order. The union
@@ -70,6 +74,7 @@ Result<Relation> EvaluateFlock(
     if (cq_options.threads <= 1) cq_options.threads = options.threads;
     cq_options.metrics = disjunct_nodes[d];
     cq_options.trace = tr;
+    cq_options.ctx = ctx;
     ScopedOp span(disjunct_nodes[d], tr);
     Result<Relation> bindings = EvaluateConjunctiveBindings(
         cq, resolver, wanted, cq_options, &disjunct_peaks[d]);
@@ -83,6 +88,7 @@ Result<Relation> EvaluateFlock(
       !s.ok()) {
     return s;
   }
+  if (Status s = governed(); !s.ok()) return s;
 
   Relation answers{Schema(answer_columns)};
   std::size_t peak = 0;
@@ -94,9 +100,25 @@ Result<Relation> EvaluateFlock(
     ScopedOp span(node, tr);
     for (std::size_t d = 0; d < n_disjuncts; ++d) {
       peak = std::max(peak, disjunct_peaks[d]);
-      answers = n_disjuncts == 1 ? std::move(disjunct_answers[d])
-                                 : Union(answers, disjunct_answers[d]);
+      if (n_disjuncts == 1) {
+        answers = std::move(disjunct_answers[d]);
+      } else {
+        std::uint64_t dropped = 0;
+        if (ctx != nullptr) {
+          dropped = static_cast<std::uint64_t>(answers.size() +
+                                               disjunct_answers[d].size()) *
+                    ApproxTupleBytes(answers.arity());
+        }
+        answers = Union(answers, disjunct_answers[d], nullptr, ctx);
+        if (ctx != nullptr) {
+          // Both union inputs are dead: the consumed disjunct result is
+          // freed here, the previous accumulator was replaced.
+          ctx->Release(dropped);
+          disjunct_answers[d] = Relation();
+        }
+      }
     }
+    if (Status s = governed(); !s.ok()) return s;
     if (node != nullptr) {
       for (const Relation& r : disjunct_answers) node->rows_in += r.size();
       node->rows_out = answers.size();
@@ -148,12 +170,14 @@ Result<Relation> EvaluateFlock(
     OpMetrics* node =
         m != nullptr ? m->AddChild("group_by", agg_detail) : nullptr;
     ScopedOp span(node, tr);
-    grouped = options.threads > 1
-                  ? GroupAggregate(answers, param_columns, agg_kind,
-                                   agg_column, "_agg", options.threads, node)
-                  : GroupAggregate(answers, param_columns, agg_kind,
-                                   agg_column, "_agg", node);
+    grouped =
+        options.threads > 1
+            ? GroupAggregate(answers, param_columns, agg_kind, agg_column,
+                             "_agg", options.threads, node, ctx)
+            : GroupAggregate(answers, param_columns, agg_kind, agg_column,
+                             "_agg", node, ctx);
   }
+  if (Status s = governed(); !s.ok()) return s;
 
   std::size_t agg_col = grouped.schema().IndexOfOrDie("_agg");
   Relation passing;
@@ -165,15 +189,17 @@ Result<Relation> EvaluateFlock(
         [&filter, agg_col](const Tuple& row) {
           return filter.Accepts(row[agg_col]);
         },
-        node);
+        node, ctx);
   }
+  if (Status s = governed(); !s.ok()) return s;
   Relation result;
   {
     OpMetrics* node = m != nullptr ? m->AddChild("project") : nullptr;
     ScopedOp span(node, tr);
-    result = Project(passing, param_columns, node);
+    result = Project(passing, param_columns, node, ctx);
     result.SortRows();
   }
+  if (Status s = governed(); !s.ok()) return s;
   if (m != nullptr) m->rows_out += result.size();
   result.set_name("flock_result");
   return result;

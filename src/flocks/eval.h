@@ -48,6 +48,11 @@ struct FlockEvalOptions {
   // and must be thread-safe; it is ignored unless `metrics` is set.
   OpMetrics* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // Resource governance (common/resource.h): propagated into every
+  // disjunct's CqEvalOptions and into the union/group/filter/project
+  // phases. A latched deadline/cancel/budget failure surfaces as the
+  // context's typed Status. Null (the default) is cost-free.
+  QueryContext* ctx = nullptr;
 };
 
 struct FlockEvalInfo {

@@ -76,9 +76,15 @@ Result<Relation> NaiveEvaluateFlock(const QueryFlock& flock,
   }
   PredicateResolver resolver(db);
 
+  CqEvalOptions cq_options;
+  cq_options.ctx = options.ctx;
+
   // Odometer over the candidate assignments.
   std::vector<std::size_t> index(params.size(), 0);
   while (true) {
+    if (options.ctx != nullptr && !options.ctx->Poll()) {
+      return options.ctx->Check();
+    }
     std::map<std::string, Value> assignment;
     for (std::size_t i = 0; i < params.size(); ++i) {
       assignment.emplace(params[i], domain_vectors[i][index[i]]);
@@ -91,7 +97,7 @@ Result<Relation> NaiveEvaluateFlock(const QueryFlock& flock,
     for (const ConjunctiveQuery& cq : flock.query.disjuncts) {
       ConjunctiveQuery ground = SubstituteParameters(cq, assignment);
       Result<Relation> bindings = EvaluateConjunctiveBindings(
-          ground, resolver, ground.head_vars, CqEvalOptions{});
+          ground, resolver, ground.head_vars, cq_options);
       if (!bindings.ok()) {
         error = true;
         error_status = bindings.status();

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "flocks/flock.h"
 
@@ -28,6 +29,10 @@ struct NaiveEvalOptions {
   // data).
   std::size_t max_assignments = 10'000'000;
   bool require_nonnegative_sum = true;
+  // Resource governance (common/resource.h): checked once per candidate
+  // assignment and threaded into the per-assignment CQ evaluations, so
+  // even the oracle honours deadlines and cancellation.
+  QueryContext* ctx = nullptr;
 };
 
 // Evaluates `flock` by explicit enumeration. Result columns are the

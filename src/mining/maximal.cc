@@ -31,7 +31,9 @@ Result<MaximalItemsetsResult> MaximalFrequentItemsets(
       MakeFlock("answer(B) :- " + relation + "(B,$1)",
                 FilterCondition::MinSupport(options.min_support));
   if (!flock1.ok()) return flock1.status();
-  Result<Relation> freq = EvaluateFlock(*flock1, db);
+  FlockEvalOptions eval_options;
+  eval_options.ctx = options.ctx;
+  Result<Relation> freq = EvaluateFlock(*flock1, db, eval_options);
   if (!freq.ok()) return freq.status();
   result.levels = 1;
   result.frequent_per_level.push_back(freq->size());
@@ -57,6 +59,7 @@ Result<MaximalItemsetsResult> MaximalFrequentItemsets(
     PlanExecOptions exec_options;
     exec_options.order_chooser = CostBasedOrderChooser();
     exec_options.precomputed_steps = &precomputed;
+    exec_options.ctx = options.ctx;
     Result<Relation> level = ExecutePlan(*plan, *flock, db, exec_options);
     if (!level.ok()) return level.status();
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/resource.h"
 #include "common/status.h"
 #include "relational/database.h"
 #include "relational/relation.h"
@@ -26,6 +27,9 @@ struct MaximalItemsetsOptions {
   double min_support = 1;
   // Safety stop; 0 means run until a level is empty.
   std::size_t max_size = 0;
+  // Resource governance (common/resource.h), threaded through every
+  // level's flock evaluation.
+  QueryContext* ctx = nullptr;
 };
 
 struct MaximalItemsetsResult {

@@ -95,6 +95,10 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
   OpMetrics* m = options.metrics;
   TraceSink* tr = m != nullptr ? options.trace : nullptr;
   if (m != nullptr && m->op.empty()) m->op = "dynamic";
+  QueryContext* ctx = options.ctx;
+  auto governed = [ctx]() {
+    return ctx != nullptr ? ctx->Check() : Status::Ok();
+  };
 
   // Binding relations per positive subgoal.
   std::vector<Relation> bindings;
@@ -103,7 +107,9 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
     OpMetrics* node = m != nullptr ? m->AddChild("scan", s->predicate())
                                    : nullptr;
     ScopedOp span(node, tr);
-    bindings.push_back(SubgoalBindings(*s, db.Get(s->predicate()), 1, node));
+    bindings.push_back(
+        SubgoalBindings(*s, db.Get(s->predicate()), 1, node, ctx));
+    if (Status s2 = governed(); !s2.ok()) return s2;
   }
   std::vector<Relation> negation_bindings;
   negation_bindings.reserve(negations.size());
@@ -112,7 +118,8 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
         m != nullptr ? m->AddChild("scan", "NOT " + s->predicate()) : nullptr;
     ScopedOp span(node, tr);
     negation_bindings.push_back(
-        SubgoalBindings(*s, db.Get(s->predicate()), 1, node));
+        SubgoalBindings(*s, db.Get(s->predicate()), 1, node, ctx));
+    if (Status s2 = governed(); !s2.ok()) return s2;
   }
 
   // Ratio history per parameter set (the §4.4 "previously encountered"
@@ -140,8 +147,8 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
       OpMetrics* gnode =
           node != nullptr ? node->AddChild("group_by", "COUNT") : nullptr;
       ScopedOp gspan(gnode, tr);
-      counts =
-          GroupAggregate(*view, param_list, AggKind::kCount, "", "_n", gnode);
+      counts = GroupAggregate(*view, param_list, AggKind::kCount, "", "_n",
+                              gnode, ctx);
     }
     std::size_t n_col = counts.schema().IndexOfOrDie("_n");
     double ratio = static_cast<double>(view->size()) /
@@ -189,7 +196,7 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
           node != nullptr ? node->AddChild("semi_join", "reduce by support")
                           : nullptr;
       ScopedOp sspan(snode, tr);
-      rel = SemiJoin(rel, ok, snode);
+      rel = SemiJoin(rel, ok, snode, ctx);
       ++out_log.filters_applied;
       // Surviving groups all hold >= threshold tuples; that post-filter
       // ratio is the baseline future decisions must beat.
@@ -263,11 +270,21 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
           m != nullptr ? m->AddChild("join", positives[order[k]]->predicate())
                        : nullptr;
       ScopedOp span(node, tr);
-      current = NaturalJoin(current, bindings[order[k]], node);
+      std::uint64_t dropped = static_cast<std::uint64_t>(current.size()) *
+                              ApproxTupleBytes(current.arity());
+      current = NaturalJoin(current, bindings[order[k]], node, ctx);
+      if (ctx != nullptr) {
+        ctx->Release(dropped);
+        ctx->Release(static_cast<std::uint64_t>(bindings[order[k]].size()) *
+                     ApproxTupleBytes(bindings[order[k]].arity()));
+        bindings[order[k]] = Relation();
+      }
     }
+    if (Status s2 = governed(); !s2.ok()) return s2;
     out_log.peak_rows = std::max(out_log.peak_rows, current.size());
     apply_ready(current);
     maybe_filter(current, "after join " + std::to_string(k));
+    if (Status s2 = governed(); !s2.ok()) return s2;
   }
 
   // Mandatory filtering at the root (§4.4: "We must filter at the root").
@@ -279,16 +296,18 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
     OpMetrics* node = m != nullptr ? m->AddChild("project", "answers")
                                    : nullptr;
     ScopedOp span(node, tr);
-    answers = Project(current, answer_columns, node);
+    answers = Project(current, answer_columns, node, ctx);
   }
+  if (Status s2 = governed(); !s2.ok()) return s2;
   Relation counts;
   {
     OpMetrics* node = m != nullptr ? m->AddChild("group_by", "COUNT")
                                    : nullptr;
     ScopedOp span(node, tr);
-    counts =
-        GroupAggregate(answers, param_columns, AggKind::kCount, "", "_n", node);
+    counts = GroupAggregate(answers, param_columns, AggKind::kCount, "", "_n",
+                            node, ctx);
   }
+  if (Status s2 = governed(); !s2.ok()) return s2;
   std::size_t n_col = counts.schema().IndexOfOrDie("_n");
   const FilterCondition& filter = flock.filter;
   Relation passing;
@@ -297,11 +316,12 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
     ScopedOp span(node, tr);
     passing = Select(
         counts,
-        [&](const Tuple& t) { return filter.Accepts(t[n_col]); }, node);
+        [&](const Tuple& t) { return filter.Accepts(t[n_col]); }, node, ctx);
   }
   OpMetrics* node = m != nullptr ? m->AddChild("project") : nullptr;
   ScopedOp span(node, tr);
-  Relation result = Project(passing, param_columns, node);
+  Relation result = Project(passing, param_columns, node, ctx);
+  if (Status s2 = governed(); !s2.ok()) return s2;
   if (m != nullptr) m->rows_out += result.size();
   result.set_name("flock_result");
   return result;

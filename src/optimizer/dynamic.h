@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/status.h"
 #include "flocks/flock.h"
 #include "relational/database.h"
@@ -54,6 +55,10 @@ struct DynamicOptions {
   // `trace` receives span events; ignored unless `metrics` is set.
   OpMetrics* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // Resource governance (common/resource.h): polled by every operator in
+  // the fold and checked after each decision point, so a runaway dynamic
+  // evaluation aborts with the context's typed Status.
+  QueryContext* ctx = nullptr;
 };
 
 struct DynamicDecision {

@@ -101,6 +101,7 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
       if (eval_options.threads <= 1) eval_options.threads = options.threads;
       eval_options.metrics = step_nodes[k];
       eval_options.trace = tr;
+      eval_options.ctx = options.ctx;
       wave_options[k - done] = std::move(eval_options);
     }
 
@@ -124,7 +125,8 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
           for (const std::string& p : step.parameters) {
             declared.push_back("$" + p);
           }
-          Relation reordered = Project(*result, declared);
+          Relation reordered = Project(*result, declared, nullptr,
+                                       options.ctx);
           reordered.set_name(step.result_name);
           step_infos[k] = {step.result_name, reordered.size(),
                            eval_info.peak_rows, eval_info.answer_rows};
@@ -132,6 +134,9 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
           return Status::Ok();
         });
     if (!wave_status.ok()) return wave_status;
+    if (options.ctx != nullptr) {
+      if (Status s = options.ctx->Check(); !s.ok()) return s;
+    }
 
     // Publish the wave's results for later waves (single-threaded again).
     for (std::size_t k = done; k < wave_end; ++k) {
@@ -154,8 +159,12 @@ Result<Relation> ExecutePlan(const QueryPlan& plan, const QueryFlock& flock,
   OpMetrics* node = m != nullptr ? m->AddChild("project", "normalize")
                                  : nullptr;
   ScopedOp span(node, tr);
-  Relation normalized =
-      Project(materialized[n_steps - 1], FlockParameterColumns(flock), node);
+  Relation normalized = Project(materialized[n_steps - 1],
+                                FlockParameterColumns(flock), node,
+                                options.ctx);
+  if (options.ctx != nullptr) {
+    if (Status s = options.ctx->Check(); !s.ok()) return s;
+  }
   normalized.SortRows();
   if (m != nullptr) m->rows_out += normalized.size();
   normalized.set_name("flock_result");

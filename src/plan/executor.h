@@ -80,6 +80,11 @@ struct PlanExecOptions {
   // and must be thread-safe; ignored unless `metrics` is set.
   OpMetrics* metrics = nullptr;
   TraceSink* trace = nullptr;
+  // Resource governance (common/resource.h): propagated into every step's
+  // flock evaluation and checked between dependency waves, so a latched
+  // deadline/cancel/budget failure stops the plan before the next wave
+  // starts and surfaces as the context's typed Status.
+  QueryContext* ctx = nullptr;
 };
 
 // Executes `plan` for `flock` over `db`. The result matches

@@ -68,7 +68,7 @@ Schema JoinedSchema(const Relation& a, const Relation& b,
 
 Relation Project(const Relation& rel,
                  const std::vector<std::string>& columns,
-                 OpMetrics* metrics) {
+                 OpMetrics* metrics, QueryContext* ctx) {
   std::vector<std::size_t> indices;
   indices.reserve(columns.size());
   for (const std::string& c : columns) {
@@ -82,32 +82,46 @@ Relation Project(const Relation& rel,
   FlatTupleSet seen;
   seen.Reserve(rel.size());
   std::uint64_t probes = 0;
+  OpGovernor gov(ctx, ApproxTupleBytes(columns.size()));
   const std::vector<Tuple>& rows = rel.rows();
   for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (!gov.TickInput()) break;
     const Tuple& t = rows[r];
     bool fresh = seen.Insert(
         static_cast<std::uint32_t>(r), key.Hash(t),
         [&](std::uint32_t prev) { return key.Eq(t, rows[prev]); }, probes);
-    if (fresh) out.Add(key.Extract(t));
+    if (fresh) {
+      if (!gov.Admit()) break;
+      out.Add(key.Extract(t));
+    }
   }
+  gov.Flush();
   if (metrics != nullptr) {
     metrics->rows_in += rel.size();
     metrics->rows_out += out.size();
     metrics->tuples_probed += probes;  // dedup-set slot probes
+    metrics->mem_bytes += gov.total_bytes();
   }
   return out;
 }
 
 Relation Select(const Relation& rel,
                 const std::function<bool(const Tuple&)>& pred,
-                OpMetrics* metrics) {
+                OpMetrics* metrics, QueryContext* ctx) {
   Relation out(rel.schema());
+  OpGovernor gov(ctx, ApproxTupleBytes(rel.arity()));
   for (const Tuple& t : rel.rows()) {
-    if (pred(t)) out.Add(t);
+    if (!gov.TickInput()) break;
+    if (pred(t)) {
+      if (!gov.Admit()) break;
+      out.Add(t);
+    }
   }
+  gov.Flush();
   if (metrics != nullptr) {
     metrics->rows_in += rel.size();
     metrics->rows_out += out.size();
+    metrics->mem_bytes += gov.total_bytes();
   }
   return out;
 }
@@ -141,7 +155,7 @@ void RecordJoinMetrics(OpMetrics* metrics, const Relation& a,
 }  // namespace
 
 Relation NaturalJoin(const Relation& a, const Relation& b,
-                     OpMetrics* metrics) {
+                     OpMetrics* metrics, QueryContext* ctx) {
   JoinLayout layout = ComputeJoinLayout(a, b);
   // Build the hash index on the smaller input; probe with the other. The
   // output layout is fixed (a's columns then b's extras) either way.
@@ -154,7 +168,10 @@ Relation NaturalJoin(const Relation& a, const Relation& b,
   KeyCols b_key(layout.b_key, b.arity());
   std::uint64_t probes = 0;
   FlatKeyIndex index = BuildFlatIndex(b, b_key, probes);
+  OpGovernor gov(ctx, ApproxTupleBytes(out.arity()));
+  bool live = true;
   for (const Tuple& ta : a.rows()) {
+    if (!live || !gov.TickInput()) break;
     FlatKeyIndex::Span span = index.Probe(
         a_key.Hash(ta),
         [&](std::uint32_t rb) {
@@ -162,18 +179,25 @@ Relation NaturalJoin(const Relation& a, const Relation& b,
         },
         probes);
     for (const std::uint32_t* p = span.begin; p != span.end; ++p) {
+      if (!gov.Admit()) {
+        live = false;
+        break;
+      }
       Tuple combined = ta;
       const Tuple& tb = b.rows()[*p];
       for (std::size_t j : layout.b_rest) combined.push_back(tb[j]);
       out.Add(std::move(combined));
     }
   }
+  gov.Flush();
   RecordJoinMetrics(metrics, a, b, out, probes);
+  if (metrics != nullptr) metrics->mem_bytes += gov.total_bytes();
   return out;
 }
 
 Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
-                             unsigned threads, OpMetrics* metrics) {
+                             unsigned threads, OpMetrics* metrics,
+                             QueryContext* ctx) {
   JoinLayout layout = ComputeJoinLayout(a, b);
   // Probe-side morsel size. Fixed — never derived from `threads` — so the
   // morsel decomposition, and with it the output row order, is a function
@@ -181,24 +205,32 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
   constexpr std::size_t kMorselRows = 4096;
   if (threads <= 1 || layout.a_key.empty() || a.size() < 2 * kMorselRows ||
       b.empty()) {
-    return NaturalJoin(a, b, metrics);
+    return NaturalJoin(a, b, metrics, ctx);
   }
 
   // Shared read-only build index over b (finalized before any probe, so
   // cross-thread sharing is safe); morsels of a probe it on the pool,
-  // each into its own buffer with its own slot-probe counter.
+  // each into its own buffer with its own slot-probe counter. Each morsel
+  // owns an OpGovernor: workers test the context latch at morsel start
+  // and unwind their morsel early once any failure latches.
   KeyCols a_key(layout.a_key, a.arity());
   KeyCols b_key(layout.b_key, b.arity());
   std::uint64_t probes = 0;
   FlatKeyIndex index = BuildFlatIndex(b, b_key, probes);
+  const std::size_t out_arity = a.arity() + layout.b_rest.size();
   std::vector<std::vector<Tuple>> outputs(MorselCount(a.size(), kMorselRows));
   std::vector<std::uint64_t> morsel_probes(outputs.size(), 0);
+  std::vector<std::uint64_t> morsel_bytes(outputs.size(), 0);
   ParallelFor(threads, a.size(), kMorselRows,
               [&](std::size_t begin, std::size_t end) {
+                if (ctx != nullptr && !ctx->Poll()) return;
                 std::vector<Tuple>& out = outputs[begin / kMorselRows];
                 std::uint64_t& local_probes =
                     morsel_probes[begin / kMorselRows];
-                for (std::size_t r = begin; r < end; ++r) {
+                OpGovernor gov(ctx, ApproxTupleBytes(out_arity));
+                bool live = true;
+                for (std::size_t r = begin; live && r < end; ++r) {
+                  if (!gov.TickInput()) break;
                   const Tuple& ta = a.rows()[r];
                   FlatKeyIndex::Span span = index.Probe(
                       a_key.Hash(ta),
@@ -208,6 +240,10 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
                       local_probes);
                   for (const std::uint32_t* p = span.begin; p != span.end;
                        ++p) {
+                    if (!gov.Admit()) {
+                      live = false;
+                      break;
+                    }
                     Tuple combined = ta;
                     const Tuple& tb = b.rows()[*p];
                     for (std::size_t j : layout.b_rest) {
@@ -216,6 +252,8 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
                     out.push_back(std::move(combined));
                   }
                 }
+                gov.Flush();
+                morsel_bytes[begin / kMorselRows] = gov.total_bytes();
               });
   for (std::uint64_t p : morsel_probes) probes += p;
 
@@ -230,7 +268,10 @@ Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
     for (Tuple& t : part) out.mutable_rows().push_back(std::move(t));
   }
   RecordJoinMetrics(metrics, a, b, out, probes);
-  if (metrics != nullptr) metrics->morsels += outputs.size();
+  if (metrics != nullptr) {
+    metrics->morsels += outputs.size();
+    for (std::uint64_t mb : morsel_bytes) metrics->mem_bytes += mb;
+  }
   return out;
 }
 
@@ -321,7 +362,7 @@ void RecordSemiAntiMetrics(OpMetrics* metrics, const Relation& a,
 // equals `keep_present`.
 Relation SemiAntiJoin(const Relation& a, const Relation& b,
                       bool keep_present, bool empty_key_keeps_a,
-                      OpMetrics* metrics) {
+                      OpMetrics* metrics, QueryContext* ctx) {
   JoinLayout layout = ComputeJoinLayout(a, b);
   Relation out(a.schema());
   out.set_name(a.name());
@@ -345,32 +386,42 @@ Relation SemiAntiJoin(const Relation& a, const Relation& b,
         [&](std::uint32_t prev) { return b_key.Eq(tb, b_rows[prev]); },
         probes);
   }
+  OpGovernor gov(ctx, ApproxTupleBytes(a.arity()));
   for (const Tuple& ta : a.rows()) {
+    if (!gov.TickInput()) break;
     bool present = keys.Contains(
         a_key.Hash(ta),
         [&](std::uint32_t rb) {
           return a_key.EqAcross(ta, b_key, b_rows[rb]);
         },
         probes);
-    if (present == keep_present) out.Add(ta);
+    if (present == keep_present) {
+      if (!gov.Admit()) break;
+      out.Add(ta);
+    }
   }
+  gov.Flush();
   RecordSemiAntiMetrics(metrics, a, b, out.size(), probes);
+  if (metrics != nullptr) metrics->mem_bytes += gov.total_bytes();
   return out;
 }
 
 }  // namespace
 
-Relation SemiJoin(const Relation& a, const Relation& b, OpMetrics* metrics) {
+Relation SemiJoin(const Relation& a, const Relation& b, OpMetrics* metrics,
+                  QueryContext* ctx) {
   return SemiAntiJoin(a, b, /*keep_present=*/true,
-                      /*empty_key_keeps_a=*/false, metrics);
+                      /*empty_key_keeps_a=*/false, metrics, ctx);
 }
 
-Relation AntiJoin(const Relation& a, const Relation& b, OpMetrics* metrics) {
+Relation AntiJoin(const Relation& a, const Relation& b, OpMetrics* metrics,
+                  QueryContext* ctx) {
   return SemiAntiJoin(a, b, /*keep_present=*/false,
-                      /*empty_key_keeps_a=*/true, metrics);
+                      /*empty_key_keeps_a=*/true, metrics, ctx);
 }
 
-Relation Union(const Relation& a, const Relation& b, OpMetrics* metrics) {
+Relation Union(const Relation& a, const Relation& b, OpMetrics* metrics,
+               QueryContext* ctx) {
   QF_CHECK_MSG(a.arity() == b.arity(), "Union arity mismatch");
   Relation out(a.schema());
   CheckRefRange(a.size() + b.size());
@@ -383,25 +434,40 @@ Relation Union(const Relation& a, const Relation& b, OpMetrics* metrics) {
   FlatTupleSet seen;
   seen.Reserve(a.size() + b.size());
   std::uint64_t probes = 0;
-  for (std::size_t r = 0; r < a.size(); ++r) {
+  OpGovernor gov(ctx, ApproxTupleBytes(a.arity()));
+  bool live = true;
+  for (std::size_t r = 0; live && r < a.size(); ++r) {
+    if (!gov.TickInput()) break;
     const Tuple& t = a.rows()[r];
     bool fresh = seen.Insert(
         static_cast<std::uint32_t>(r), hash(t),
         [&](std::uint32_t prev) { return row_of(prev) == t; }, probes);
-    if (fresh) out.Add(t);
+    if (fresh) {
+      if (!gov.Admit()) {
+        live = false;
+        break;
+      }
+      out.Add(t);
+    }
   }
-  for (std::size_t r = 0; r < b.size(); ++r) {
+  for (std::size_t r = 0; live && r < b.size(); ++r) {
+    if (!gov.TickInput()) break;
     const Tuple& t = b.rows()[r];
     bool fresh = seen.Insert(
         static_cast<std::uint32_t>(a.size() + r), hash(t),
         [&](std::uint32_t prev) { return row_of(prev) == t; }, probes);
-    if (fresh) out.Add(t);
+    if (fresh) {
+      if (!gov.Admit()) break;
+      out.Add(t);
+    }
   }
+  gov.Flush();
   if (metrics != nullptr) {
     metrics->rows_in += a.size();
     metrics->rows_in_right += b.size();
     metrics->rows_out += out.size();
     metrics->tuples_probed += probes;  // dedup-set slot probes
+    metrics->mem_bytes += gov.total_bytes();
   }
   return out;
 }
@@ -583,11 +649,26 @@ void RecordGroupMetrics(OpMetrics* metrics, const Relation& rel,
 
 }  // namespace
 
+namespace {
+
+// Group outputs are charged in one post-hoc Charge (group count is only
+// known at the end); the group *table* itself is unaccounted — a blow-up
+// feeding an aggregate is caught where the feeding join materializes it.
+std::uint64_t ChargeGroupOutput(QueryContext* ctx, const Relation& out) {
+  if (ctx == nullptr) return 0;
+  std::uint64_t bytes =
+      static_cast<std::uint64_t>(out.size()) * ApproxTupleBytes(out.arity());
+  ctx->Charge(bytes);
+  return bytes;
+}
+
+}  // namespace
+
 Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
                         const std::string& output_column,
-                        OpMetrics* metrics) {
+                        OpMetrics* metrics, QueryContext* ctx) {
   GroupLayout layout =
       ComputeGroupLayout(rel, group_columns, kind, agg_column);
   CheckRefRange(rel.size());
@@ -596,8 +677,10 @@ Relation GroupAggregate(const Relation& rel,
   groups.table.Reserve(rel.size());
   groups.accs.reserve(rel.size());
   std::uint64_t probes = 0;
+  OpGovernor gov(ctx, /*bytes_per_row=*/0);  // input-side polling only
   const std::vector<Tuple>& rows = rel.rows();
   for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (!gov.TickInput()) break;
     AccumulateRow(groups.Upsert(rows, r, key, probes), kind, rows[r],
                   layout.agg_idx);
   }
@@ -605,7 +688,9 @@ Relation GroupAggregate(const Relation& rel,
   // row-for-row with the parallel one at every thread count.
   Relation out =
       FinishGroups(rel, groups, key, group_columns, kind, output_column);
+  std::uint64_t mem = ChargeGroupOutput(ctx, out);
   RecordGroupMetrics(metrics, rel, out.size());
+  if (metrics != nullptr) metrics->mem_bytes += mem;
   return out;
 }
 
@@ -613,7 +698,7 @@ Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
                         const std::string& output_column, unsigned threads,
-                        OpMetrics* metrics) {
+                        OpMetrics* metrics, QueryContext* ctx) {
   GroupLayout layout =
       ComputeGroupLayout(rel, group_columns, kind, agg_column);
   CheckRefRange(rel.size());
@@ -627,11 +712,14 @@ Relation GroupAggregate(const Relation& rel,
   std::vector<FlatGroups> partials(MorselCount(rel.size(), kMorselRows));
   ParallelFor(threads, rel.size(), kMorselRows,
               [&](std::size_t begin, std::size_t end) {
+                if (ctx != nullptr && !ctx->Poll()) return;
                 FlatGroups& local = partials[begin / kMorselRows];
                 local.table.Reserve(end - begin);
                 local.accs.reserve(end - begin);
                 std::uint64_t probes = 0;  // morsel-local; see below
+                OpGovernor gov(ctx, /*bytes_per_row=*/0);
                 for (std::size_t r = begin; r < end; ++r) {
+                  if (!gov.TickInput()) break;
                   AccumulateRow(local.Upsert(rows, r, key, probes), kind,
                                 rows[r], layout.agg_idx);
                 }
@@ -667,8 +755,12 @@ Relation GroupAggregate(const Relation& rel,
   // and the metrics tree must be identical at every thread count.
   Relation out =
       FinishGroups(rel, groups, key, group_columns, kind, output_column);
+  std::uint64_t mem = ChargeGroupOutput(ctx, out);
   RecordGroupMetrics(metrics, rel, out.size());
-  if (metrics != nullptr) metrics->morsels += partials.size();
+  if (metrics != nullptr) {
+    metrics->morsels += partials.size();
+    metrics->mem_bytes += mem;
+  }
   return out;
 }
 

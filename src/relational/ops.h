@@ -16,6 +16,16 @@
 // `morsels` reflects the actual decomposition and is 0 on serial paths.
 // A null pointer costs one branch — the disabled path stays
 // allocation-free.
+//
+// Governance: the same operators take a trailing nullable QueryContext*
+// (common/resource.h). When non-null the operator polls the context's
+// deadline/cancel token every QueryContext::kPollStride rows (and at
+// morsel granularity on parallel paths) and charges ApproxTupleBytes per
+// *output* row to the memory accountant, recording the charged bytes in
+// metrics->mem_bytes. Once the context latches an error the operator
+// bails out early with truncated output; callers must ctx->Check() after
+// each operator and discard the truncated result. Governance never
+// changes the rows of a run that completes — only whether it completes.
 #ifndef QF_RELATIONAL_OPS_H_
 #define QF_RELATIONAL_OPS_H_
 
@@ -25,18 +35,19 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "relational/relation.h"
 
 namespace qf {
 
 // Projects onto `columns` (each must exist), removing duplicates.
 Relation Project(const Relation& rel, const std::vector<std::string>& columns,
-                 OpMetrics* metrics = nullptr);
+                 OpMetrics* metrics = nullptr, QueryContext* ctx = nullptr);
 
 // Keeps rows satisfying `pred`. Preserves set-ness.
 Relation Select(const Relation& rel,
                 const std::function<bool(const Tuple&)>& pred,
-                OpMetrics* metrics = nullptr);
+                OpMetrics* metrics = nullptr, QueryContext* ctx = nullptr);
 
 // Renames columns: new_names.size() must equal arity.
 Relation Rename(const Relation& rel, std::vector<std::string> new_names);
@@ -46,7 +57,7 @@ Relation Rename(const Relation& rel, std::vector<std::string> new_names);
 // share no columns this is a cross product. Inputs must be duplicate-free
 // for the output to be duplicate-free.
 Relation NaturalJoin(const Relation& a, const Relation& b,
-                     OpMetrics* metrics = nullptr);
+                     OpMetrics* metrics = nullptr, QueryContext* ctx = nullptr);
 
 // Natural join computed by sort-merge instead of hashing: identical
 // result set (row order differs). Wins over the hash join when inputs are
@@ -65,22 +76,23 @@ Relation SortMergeJoin(const Relation& a, const Relation& b);
 // back to the serial join (same rows, same order, same row counters;
 // morsels stays 0 on the fallback).
 Relation ParallelNaturalJoin(const Relation& a, const Relation& b,
-                             unsigned threads, OpMetrics* metrics = nullptr);
+                             unsigned threads, OpMetrics* metrics = nullptr,
+                             QueryContext* ctx = nullptr);
 
 // Rows of `a` with at least one match in `b` on the shared columns.
 // If no columns are shared: returns `a` when `b` is non-empty, else empty.
 Relation SemiJoin(const Relation& a, const Relation& b,
-                  OpMetrics* metrics = nullptr);
+                  OpMetrics* metrics = nullptr, QueryContext* ctx = nullptr);
 
 // Rows of `a` with *no* match in `b` on the shared columns — evaluates
 // NOT-subgoals. If no columns are shared: returns `a` when `b` is empty,
 // else empty.
 Relation AntiJoin(const Relation& a, const Relation& b,
-                  OpMetrics* metrics = nullptr);
+                  OpMetrics* metrics = nullptr, QueryContext* ctx = nullptr);
 
 // Set union; schemas must have equal arity (column names taken from `a`).
 Relation Union(const Relation& a, const Relation& b,
-               OpMetrics* metrics = nullptr);
+               OpMetrics* metrics = nullptr, QueryContext* ctx = nullptr);
 
 // Set difference a - b; arities must match (names from `a`).
 Relation Difference(const Relation& a, const Relation& b);
@@ -104,7 +116,8 @@ Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
                         const std::string& output_column,
-                        OpMetrics* metrics = nullptr);
+                        OpMetrics* metrics = nullptr,
+                        QueryContext* ctx = nullptr);
 
 // Morsel-parallel GroupAggregate: rows are split into fixed-size morsels,
 // each aggregated into a thread-local hash table on the shared pool, the
@@ -119,7 +132,8 @@ Relation GroupAggregate(const Relation& rel,
                         const std::vector<std::string>& group_columns,
                         AggKind kind, const std::string& agg_column,
                         const std::string& output_column, unsigned threads,
-                        OpMetrics* metrics = nullptr);
+                        OpMetrics* metrics = nullptr,
+                        QueryContext* ctx = nullptr);
 
 }  // namespace qf
 

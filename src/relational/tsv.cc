@@ -39,14 +39,31 @@ Result<Relation> LoadTsv(const std::string& path, const std::string& name) {
 
   std::string_view line;
   next_line(line);
+  if (StripWhitespace(line).empty()) {
+    // A blank or whitespace-only first line is a malformed header, not a
+    // schema with one empty column (covers CRLF-only files too).
+    return InvalidArgumentError(path + ": blank header line");
+  }
   std::vector<std::string> columns;
   for (std::string_view field : Split(line, '\t')) {
-    columns.emplace_back(StripWhitespace(field));
+    std::string_view col = StripWhitespace(field);
+    if (col.empty()) {
+      return InvalidArgumentError(path + ": empty column name in header");
+    }
+    columns.emplace_back(col);
   }
   Relation rel(name, Schema(std::move(columns)));
   rel.mutable_rows().reserve(static_cast<std::size_t>(
       std::count(content.begin(), content.end(), '\n')));
 
+  // Pass 1: collect rows and decide one type per *column* — the least
+  // upper bound of its fields under int64 < double < string. Sniffing
+  // per field would let a column holding `1, 2, foo` (or `1` vs `1.0`)
+  // mix Value kinds, silently breaking join/group-by equality and the
+  // flat-hash whole-row fast path.
+  enum class ColType { kInt64 = 0, kDouble = 1, kString = 2 };
+  std::vector<ColType> col_types(rel.arity(), ColType::kInt64);
+  std::vector<std::vector<std::string_view>> raw_rows;
   while (next_line(line)) {
     if (StripWhitespace(line).empty()) continue;
     std::vector<std::string_view> fields = Split(line, '\t');
@@ -56,16 +73,33 @@ Result<Relation> LoadTsv(const std::string& path, const std::string& name) {
                                   " fields, got " +
                                   std::to_string(fields.size()));
     }
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      fields[c] = StripWhitespace(fields[c]);
+      if (col_types[c] == ColType::kString) continue;
+      if (ParseInt64(fields[c]).ok()) continue;  // fits any numeric column
+      if (ParseDouble(fields[c]).ok()) {
+        col_types[c] = std::max(col_types[c], ColType::kDouble);
+      } else {
+        col_types[c] = ColType::kString;
+      }
+    }
+    raw_rows.push_back(std::move(fields));
+  }
+  // Pass 2: materialize every field at its column's decided type.
+  for (const std::vector<std::string_view>& fields : raw_rows) {
     Tuple t;
     t.reserve(fields.size());
-    for (std::string_view raw : fields) {
-      std::string_view field = StripWhitespace(raw);
-      if (Result<std::int64_t> i = ParseInt64(field); i.ok()) {
-        t.push_back(Value(*i));
-      } else if (Result<double> d = ParseDouble(field); d.ok()) {
-        t.push_back(Value(*d));
-      } else {
-        t.push_back(Value(field));
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      switch (col_types[c]) {
+        case ColType::kInt64:
+          t.push_back(Value(*ParseInt64(fields[c])));
+          break;
+        case ColType::kDouble:
+          t.push_back(Value(*ParseDouble(fields[c])));
+          break;
+        case ColType::kString:
+          t.push_back(Value(fields[c]));
+          break;
       }
     }
     rel.Add(std::move(t));

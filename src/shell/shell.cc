@@ -151,6 +151,8 @@ constexpr std::string_view kHelp =
     "  RUN <name> [DIRECT|PLAN|DYNAMIC|REDUCED] [LIMIT <n>] [THREADS <n>];\n"
     "  SQL <name>;\n"
     "  THREADS <n>;                  # default workers for RUN (1 = serial)\n"
+    "  SET TIMEOUT <ms>;             # wall-clock deadline per statement\n"
+    "  SET MEMORY <mb>;              # memory budget per statement (0=off)\n"
     "  TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events, JSON lines\n"
     "  MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];\n"
     "  SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;\n"
@@ -241,6 +243,30 @@ Result<std::string> Shell::Execute(std::string_view statement) {
     }
     default_threads_ = static_cast<unsigned>(*n);
     return "threads set to " + std::to_string(default_threads_) + "\n";
+  }
+  if (command == "SET") {
+    auto [what, next] = SplitCommand(rest);
+    auto [num, after] = SplitCommand(next);
+    Result<std::int64_t> n = ParseInt64(num);
+    if (what == "TIMEOUT") {
+      if (!n.ok() || *n < 0 || !StripWhitespace(after).empty()) {
+        return InvalidArgumentError("usage: SET TIMEOUT <ms> (0 = off)");
+      }
+      timeout_ms_ = *n;
+      return timeout_ms_ == 0
+                 ? std::string("timeout off\n")
+                 : "timeout set to " + std::to_string(timeout_ms_) + " ms\n";
+    }
+    if (what == "MEMORY") {
+      if (!n.ok() || *n < 0 || !StripWhitespace(after).empty()) {
+        return InvalidArgumentError("usage: SET MEMORY <mb> (0 = off)");
+      }
+      memory_bytes_ = static_cast<std::uint64_t>(*n) * 1024 * 1024;
+      return memory_bytes_ == 0
+                 ? std::string("memory budget off\n")
+                 : "memory budget set to " + std::to_string(*n) + " MB\n";
+    }
+    return InvalidArgumentError("usage: SET TIMEOUT <ms> | SET MEMORY <mb>");
   }
   if (command == "HELP") return std::string(kHelp);
   return InvalidArgumentError("unknown command: " + command +
@@ -552,7 +578,8 @@ Result<std::string> Shell::Explain(std::string_view args) {
 Result<Relation> Shell::Evaluate(const std::string& mode,
                                  const QueryFlock& flock, unsigned threads,
                                  OpMetrics* metrics,
-                                 std::string* dynamic_trace) {
+                                 std::string* dynamic_trace,
+                                 QueryContext* ctx) {
   if (Status s = flock.Validate(); !s.ok()) return s;
   Result<const std::map<std::string, Relation>*> views = Views();
   if (!views.ok()) return views.status();
@@ -584,6 +611,7 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     options.threads = threads;
     options.metrics = metrics;
     options.trace = trace;
+    options.ctx = ctx;
     if (mode == "REDUCED") {
       // Yannakakis full-reducer evaluation (falls back on cyclic queries).
       for (std::size_t d = 0; d < flock.query.disjuncts.size(); ++d) {
@@ -607,6 +635,7 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     DynamicOptions options;
     options.metrics = metrics;
     options.trace = trace;
+    options.ctx = ctx;
     DynamicLog log;
     Result<Relation> result = DynamicEvaluate(flock, db_, options, &log);
     if (result.ok() && dynamic_trace != nullptr) {
@@ -624,6 +653,7 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
   options.threads = threads;
   options.metrics = metrics;
   options.trace = trace;
+  options.ctx = ctx;
   Result<Relation> result = ExecutePlan(*plan, flock, db_, options);
   if (result.ok() && metrics != nullptr && flock.filter.IsSupportStyle()) {
     // The executor pre-allocates step children in plan order, so child k
@@ -638,6 +668,12 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     }
   }
   return result;
+}
+
+void Shell::ConfigureContext(QueryContext& ctx) const {
+  if (timeout_ms_ > 0) ctx.set_timeout_ms(timeout_ms_);
+  if (memory_bytes_ > 0) ctx.set_memory_budget(memory_bytes_);
+  ctx.set_cancel_flag(cancel_flag_);
 }
 
 Result<std::string> Shell::Run(std::string_view args) {
@@ -655,9 +691,11 @@ Result<std::string> Shell::Run(std::string_view args) {
   OpMetrics root;
   OpMetrics* metrics = tracing() ? &root : nullptr;
 
+  QueryContext ctx;
+  ConfigureContext(ctx);
   auto start = std::chrono::steady_clock::now();
   Result<Relation> result =
-      Evaluate(opts->mode, flock, opts->threads, metrics, nullptr);
+      Evaluate(opts->mode, flock, opts->threads, metrics, nullptr, &ctx);
   double ms = MillisSince(start);
   if (!result.ok()) return result.status();
 
@@ -684,9 +722,11 @@ Result<std::string> Shell::ExplainAnalyze(std::string_view args) {
 
   OpMetrics root;
   std::string dynamic_trace;
+  QueryContext ctx;
+  ConfigureContext(ctx);
   auto start = std::chrono::steady_clock::now();
   Result<Relation> result =
-      Evaluate(opts->mode, flock, opts->threads, &root, &dynamic_trace);
+      Evaluate(opts->mode, flock, opts->threads, &root, &dynamic_trace, &ctx);
   double ms = MillisSince(start);
   if (!result.ok()) return result.status();
   // The evaluators time their children; the root's span is the statement.
@@ -701,6 +741,9 @@ Result<std::string> Shell::ExplainAnalyze(std::string_view args) {
   if (!dynamic_trace.empty()) {
     out += "dynamic decisions:\n" + dynamic_trace;
   }
+  std::snprintf(buf, sizeof(buf), "governor: peak %llu bytes accounted\n",
+                static_cast<unsigned long long>(ctx.peak_bytes()));
+  out += buf;
   out += "metrics:\n" + root.ToString();
   out += "result:\n" + PreviewRelation(std::move(*result), opts->limit);
   return out;
@@ -795,6 +838,9 @@ Result<std::string> Shell::Maximal(std::string_view args) {
     return InvalidArgumentError(
         "usage: MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>]");
   }
+  QueryContext ctx;
+  ConfigureContext(ctx);
+  options.ctx = &ctx;
   Result<MaximalItemsetsResult> result =
       MaximalFrequentItemsets(db_, rel_name, options);
   if (!result.ok()) return result.status();

@@ -14,6 +14,7 @@
 //   RUN <name> [DIRECT|PLAN|DYNAMIC] [LIMIT <n>] [THREADS <n>];
 //   SQL <name>;
 //   THREADS <n>;                            # default worker count for RUN
+//   SET TIMEOUT <ms>; | SET MEMORY <mb>;    # resource limits (0 = off)
 //   TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events (JSON lines)
 //   MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];   # flock-sequence mining
 //   SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;
@@ -27,12 +28,15 @@
 #ifndef QF_SHELL_SHELL_H_
 #define QF_SHELL_SHELL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/status.h"
 #include "datalog/program.h"
 #include "flocks/flock.h"
@@ -66,6 +70,17 @@ class Shell {
   // True while a trace sink is installed (TRACE ON or TRACE TO <path>).
   bool tracing() const { return trace_sink_ != nullptr; }
 
+  // Resource limits applied to every governed statement (RUN, EXPLAIN
+  // ANALYZE, MAXIMAL), set by `SET TIMEOUT <ms>;` / `SET MEMORY <mb>;`.
+  // 0 means no limit.
+  std::int64_t timeout_ms() const { return timeout_ms_; }
+  std::uint64_t memory_budget_bytes() const { return memory_bytes_; }
+
+  // External cancellation flag (e.g. the REPL's SIGINT flag) watched by
+  // every governed statement. The pointee must outlive the shell; the
+  // caller clears it between statements.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+
  private:
   Result<std::string> Load(std::string_view args);
   Result<std::string> Save(std::string_view args);
@@ -86,7 +101,11 @@ class Shell {
   // Fig. 9-style decision log of DYNAMIC runs.
   Result<Relation> Evaluate(const std::string& mode, const QueryFlock& flock,
                             unsigned threads, OpMetrics* metrics,
-                            std::string* dynamic_trace);
+                            std::string* dynamic_trace, QueryContext* ctx);
+
+  // Builds the governor for one statement from the session limits and the
+  // installed cancellation flag.
+  void ConfigureContext(QueryContext& ctx) const;
 
   // Materializes program views (cached until the program changes).
   Result<const std::map<std::string, Relation>*> Views();
@@ -97,6 +116,9 @@ class Shell {
   std::map<std::string, Relation> views_;
   bool views_dirty_ = false;
   unsigned default_threads_ = 1;
+  std::int64_t timeout_ms_ = 0;      // 0 = no deadline
+  std::uint64_t memory_bytes_ = 0;   // 0 = no budget
+  const std::atomic<bool>* cancel_flag_ = nullptr;
   // Installed trace sink (TRACE ON/TO); the typed aliases identify which
   // kind is active (memory_trace_ backs SHOW TRACE).
   std::unique_ptr<TraceSink> trace_sink_;

@@ -206,6 +206,61 @@ TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
   EXPECT_FALSE(ParseDouble("1.5z").ok());
 }
 
+TEST(StringUtilTest, ParseDoubleAcceptsSignsAndExponents) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("-3e2"), -300.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("+4.5"), 4.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1E-2"), 0.01);
+}
+
+// Regression: strtod happily parses "inf", "nan", and C99 hex floats, all
+// of which used to leak through as Values and break equality/dedup/join
+// invariants downstream.
+TEST(StringUtilTest, ParseDoubleRejectsNonFiniteSpellings) {
+  for (const char* text : {"inf", "INF", "-inf", "infinity", "nan", "NaN",
+                           "-nan", "nan(0x1)"}) {
+    Result<double> r = ParseDouble(text);
+    EXPECT_FALSE(r.ok()) << text;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsHexFloats) {
+  for (const char* text : {"0x10", "0x1p3", "0X1.8p1"}) {
+    Result<double> r = ParseDouble(text);
+    EXPECT_FALSE(r.ok()) << text;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+// Regression: "1e999" overflows to +-HUGE_VAL with ERANGE; it used to be
+// returned as an infinite Value instead of a typed error.
+TEST(StringUtilTest, ParseDoubleRejectsOverflowToInfinity) {
+  for (const char* text : {"1e999", "-1e999", "1e99999"}) {
+    Result<double> r = ParseDouble(text);
+    EXPECT_FALSE(r.ok()) << text;
+    EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange) << text;
+  }
+}
+
+TEST(StringUtilTest, ParseDoubleAllowsGradualUnderflow) {
+  // Underflow rounds toward zero (possibly through a denormal); that is
+  // an acceptable rounding, not an error.
+  Result<double> r = ParseDouble("1e-999");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0.0);
+  Result<double> denormal = ParseDouble("4.9e-324");
+  ASSERT_TRUE(denormal.ok());
+  EXPECT_GE(*denormal, 0.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsEmptyAndLoneSigns) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("+").ok());
+  EXPECT_FALSE(ParseDouble("-").ok());
+  EXPECT_FALSE(ParseDouble(".").ok());
+  EXPECT_FALSE(ParseDouble("e5").ok());
+}
+
 TEST(StringUtilTest, StartsWith) {
   EXPECT_TRUE(StartsWith("foobar", "foo"));
   EXPECT_FALSE(StartsWith("fo", "foo"));

@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
 
 #include "relational/database.h"
 #include "relational/relation.h"
@@ -202,5 +206,228 @@ TEST_F(TsvTest, MissingFileIsNotFound) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
+// --- LoadTsv column typing and degenerate-header regressions ---
+
+class TsvTypingTest : public ::testing::Test {
+ protected:
+  std::string WriteFile(const std::string& name, const std::string& content) {
+    std::string path =
+        (std::filesystem::temp_directory_path() / name).string();
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    out.close();
+    return path;
+  }
+  void TearDown() override {
+    for (const std::string& p : to_remove_) std::remove(p.c_str());
+  }
+  std::string Path(const std::string& name, const std::string& content) {
+    std::string p = WriteFile(name, content);
+    to_remove_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> to_remove_;
+};
+
+// Regression: per-field sniffing turned "1, 2, foo" into two ints and one
+// string in the same column, silently breaking join/group-by equality.
+// The column's type is the least upper bound of its fields.
+TEST_F(TsvTypingTest, MixedNumericAndTextColumnLoadsAsString) {
+  std::string path = Path("qf_mixed_col.tsv", "A\tB\n1\tx\n2\ty\nfoo\tz\n");
+  Result<Relation> r = LoadTsv(path, "r");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 3u);
+  for (const Tuple& t : r->rows()) {
+    EXPECT_TRUE(t[0].is_string()) << t[0].ToString();
+  }
+  EXPECT_TRUE(r->Contains({Value("1"), Value("x")}));
+  EXPECT_TRUE(r->Contains({Value("foo"), Value("z")}));
+}
+
+// Regression: "1" vs "1.0" in one column mixed int and double Values,
+// which compare unequal under the typed Value model.
+TEST_F(TsvTypingTest, IntAndDoubleColumnPromotesToDouble) {
+  std::string path = Path("qf_promote_col.tsv", "A\n1\n1.5\n2\n");
+  Result<Relation> r = LoadTsv(path, "r");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  for (const Tuple& t : r->rows()) {
+    EXPECT_TRUE(t[0].is_double()) << t[0].ToString();
+  }
+  EXPECT_TRUE(r->Contains({Value(1.0)}));
+  EXPECT_TRUE(r->Contains({Value(1.5)}));
+}
+
+TEST_F(TsvTypingTest, PureIntColumnStaysInt) {
+  std::string path = Path("qf_int_col.tsv", "A\n1\n-7\n9223372036854775807\n");
+  Result<Relation> r = LoadTsv(path, "r");
+  ASSERT_TRUE(r.ok());
+  for (const Tuple& t : r->rows()) EXPECT_TRUE(t[0].is_int());
+  EXPECT_TRUE(r->Contains({Value(std::int64_t{9223372036854775807LL})}));
+}
+
+// An integer too large for int64 falls back like any other unparsable
+// numeric: the column becomes double (if it parses as one) or string.
+TEST_F(TsvTypingTest, Int64OverflowPromotesColumn) {
+  std::string path = Path("qf_overflow_col.tsv", "A\n1\n99999999999999999999\n");
+  Result<Relation> r = LoadTsv(path, "r");
+  ASSERT_TRUE(r.ok());
+  for (const Tuple& t : r->rows()) EXPECT_TRUE(t[0].is_double());
+}
+
+TEST_F(TsvTypingTest, NonFiniteSpellingsLoadAsStrings) {
+  std::string path = Path("qf_inf_col.tsv", "A\ninf\nnan\n1e999\n");
+  Result<Relation> r = LoadTsv(path, "r");
+  ASSERT_TRUE(r.ok());
+  for (const Tuple& t : r->rows()) EXPECT_TRUE(t[0].is_string());
+}
+
+TEST_F(TsvTypingTest, BlankHeaderLineIsError) {
+  for (const char* content : {"\n1\t2\n", "   \n1\t2\n", "\r\n", "\r\n\r\n"}) {
+    std::string path = Path("qf_blank_header.tsv", content);
+    Result<Relation> r = LoadTsv(path, "r");
+    ASSERT_FALSE(r.ok()) << "content: " << content;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("header"), std::string::npos);
+  }
+}
+
+TEST_F(TsvTypingTest, EmptyColumnNameIsError) {
+  std::string path = Path("qf_empty_col_name.tsv", "A\t\tB\n1\t2\t3\n");
+  Result<Relation> r = LoadTsv(path, "r");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("column name"), std::string::npos);
+}
+
+// A header with no trailing newline is a legal, empty relation — the
+// last-line parse used to depend on the trailing '\n'.
+TEST_F(TsvTypingTest, HeaderOnlyWithoutTrailingNewlineLoads) {
+  std::string path = Path("qf_header_only.tsv", "A\tB");
+  Result<Relation> r = LoadTsv(path, "r");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->arity(), 2u);
+  EXPECT_EQ(r->size(), 0u);
+}
+
+TEST_F(TsvTypingTest, LastRowWithoutTrailingNewlineLoads) {
+  std::string path = Path("qf_no_trailing_nl.tsv", "A\tB\n1\tx\n2\ty");
+  Result<Relation> r = LoadTsv(path, "r");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(r->Contains({Value(2), Value("y")}));
+}
+
+// Store -> Load property: randomized relations with kind-consistent
+// columns (the TSV format is untyped text, so a column whose every field
+// parses numeric cannot round-trip as strings) must reload with the exact
+// same schema, rows, and Value kinds. Covers negative numbers, tab-
+// adjacent empty strings, and int64 extremes.
+TEST_F(TsvTypingTest, StoreLoadRoundTripProperty) {
+  Rng rng(20260806);
+  for (int iter = 0; iter < 25; ++iter) {
+    std::size_t n_cols = 1 + rng.NextBelow(4);
+    std::vector<int> kinds;  // 0 = int, 1 = double, 2 = string
+    std::vector<std::string> names;
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      kinds.push_back(static_cast<int>(rng.NextBelow(3)));
+      names.push_back("C" + std::to_string(c));
+    }
+    Relation r("prop", Schema(names));
+    std::size_t n_rows = 1 + rng.NextBelow(40);
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      Tuple t;
+      for (std::size_t c = 0; c < n_cols; ++c) {
+        switch (kinds[c]) {
+          case 0: {
+            // Mix extremes with small signed values.
+            std::uint64_t pick = rng.NextBelow(10);
+            if (pick == 0) {
+              t.push_back(Value(std::int64_t{9223372036854775807LL}));
+            } else if (pick == 1) {
+              t.push_back(Value(std::int64_t{-9223372036854775807LL - 1}));
+            } else {
+              t.push_back(Value(static_cast<std::int64_t>(rng.NextBelow(200)) -
+                                100));
+            }
+            break;
+          }
+          case 1:
+            // Multiples of 0.25 print exactly under the %g-style
+            // formatter and reparse to the same double.
+            t.push_back(
+                Value((static_cast<double>(rng.NextBelow(800)) - 400) / 4.0));
+            break;
+          default: {
+            // Guaranteed non-numeric via the letter prefix; sometimes the
+            // empty string, which lands tab-adjacent in the file.
+            std::uint64_t pick = rng.NextBelow(8);
+            if (pick == 0) {
+              t.push_back(Value(""));
+            } else {
+              t.push_back(Value("s" + std::to_string(rng.NextBelow(50))));
+            }
+            break;
+          }
+        }
+      }
+      // A row whose every field is the empty string would serialize as a
+      // whitespace-only line, which the loader rightly skips; keep at
+      // least one visible field.
+      bool all_empty = true;
+      for (const Value& v : t) {
+        if (!v.is_string() || !v.AsString().empty()) {
+          all_empty = false;
+          break;
+        }
+      }
+      if (all_empty) t[0] = Value("nonempty");
+      r.Add(std::move(t));
+    }
+    // A fully-empty or all-numeric-looking string column cannot assert its
+    // kind back; pin one definitely-alphabetic witness per string column.
+    for (std::size_t c = 0; c < n_cols; ++c) {
+      if (kinds[c] == 2) {
+        Tuple witness;
+        for (std::size_t k = 0; k < n_cols; ++k) {
+          switch (kinds[k]) {
+            case 0:
+              witness.push_back(Value(std::int64_t{0}));
+              break;
+            case 1:
+              witness.push_back(Value(0.25));
+              break;
+            default:
+              witness.push_back(Value("witness"));
+              break;
+          }
+        }
+        r.Add(std::move(witness));
+        break;
+      }
+    }
+    r.Dedup();
+
+    std::string path = Path("qf_roundtrip_prop_" + std::to_string(iter) +
+                            ".tsv", "");
+    ASSERT_TRUE(StoreTsv(r, path).ok());
+    Result<Relation> loaded = LoadTsv(path, "prop");
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+    Relation expected = r;
+    expected.SortRows();
+    loaded->SortRows();
+    ASSERT_EQ(expected.schema(), loaded->schema()) << "iter=" << iter;
+    ASSERT_EQ(expected.rows(), loaded->rows()) << "iter=" << iter;
+    for (const Tuple& t : loaded->rows()) {
+      for (std::size_t c = 0; c < n_cols; ++c) {
+        EXPECT_EQ(static_cast<int>(t[c].kind()), kinds[c])
+            << "iter=" << iter << " col=" << c << " value=" << t[c].ToString();
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qf
+

@@ -1,0 +1,193 @@
+// Unit tests for the resource governor (common/resource.h): latching,
+// deadlines, cancellation, memory budgets, fault injection, and the
+// OpGovernor batching helper.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/resource.h"
+#include "common/status.h"
+
+namespace qf {
+namespace {
+
+TEST(QueryContextTest, FreshContextIsOk) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.ok());
+  EXPECT_TRUE(ctx.Poll());
+  EXPECT_TRUE(ctx.Charge(1024));
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_EQ(ctx.used_bytes(), 1024u);
+  EXPECT_EQ(ctx.peak_bytes(), 1024u);
+}
+
+TEST(QueryContextTest, PastDeadlineTripsOnPoll) {
+  QueryContext ctx;
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_FALSE(ctx.Poll());
+  EXPECT_FALSE(ctx.ok());
+  Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.message().find("deadline"), std::string::npos);
+}
+
+TEST(QueryContextTest, FutureDeadlinePassesThenExpires) {
+  QueryContext ctx;
+  ctx.set_timeout_ms(20);
+  EXPECT_TRUE(ctx.Poll());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(ctx.Poll());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, ExternalCancelFlagTrips) {
+  std::atomic<bool> flag{false};
+  QueryContext ctx;
+  ctx.set_cancel_flag(&flag);
+  EXPECT_TRUE(ctx.Poll());
+  flag.store(true);
+  EXPECT_FALSE(ctx.Poll());
+  Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_NE(s.message().find("cancelled"), std::string::npos);
+}
+
+TEST(QueryContextTest, RequestCancelLatchesFromAnotherThread) {
+  QueryContext ctx;
+  std::thread t([&] { ctx.RequestCancel(); });
+  t.join();
+  EXPECT_FALSE(ctx.ok());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, FirstErrorWinsAndLatches) {
+  QueryContext ctx;
+  ctx.RequestCancel();
+  // A later deadline violation must not overwrite the latched CANCELLED.
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_FALSE(ctx.Poll());
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, BudgetTripsAndChargeIsNotUndone) {
+  QueryContext ctx;
+  ctx.set_memory_budget(1000);
+  EXPECT_TRUE(ctx.Charge(600));
+  EXPECT_FALSE(ctx.Charge(600));  // 1200 > 1000
+  Status s = ctx.Check();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.message().find("memory budget"), std::string::npos);
+  // The failed charge still counts: the caller is unwinding and will
+  // Release() what it drops.
+  EXPECT_EQ(ctx.used_bytes(), 1200u);
+  EXPECT_EQ(ctx.peak_bytes(), 1200u);
+}
+
+TEST(QueryContextTest, ZeroBudgetMeansUnlimited) {
+  QueryContext ctx;
+  EXPECT_TRUE(ctx.Charge(1ull << 40));
+  EXPECT_TRUE(ctx.Check().ok());
+}
+
+TEST(QueryContextTest, ReleaseNetsToZeroButPeakStays) {
+  QueryContext ctx;
+  ctx.set_memory_budget(1 << 20);
+  EXPECT_TRUE(ctx.Charge(800));
+  ctx.Release(800);
+  EXPECT_EQ(ctx.used_bytes(), 0u);
+  EXPECT_EQ(ctx.peak_bytes(), 800u);
+  EXPECT_TRUE(ctx.Charge(50));
+  EXPECT_EQ(ctx.used_bytes(), 50u);
+  EXPECT_EQ(ctx.peak_bytes(), 800u);  // high-water mark, not current
+}
+
+TEST(QueryContextTest, FaultInjectionTripsOnNthCharge) {
+  QueryContext ctx;
+  ctx.set_fail_after_charges(3);
+  EXPECT_TRUE(ctx.Charge(1));
+  EXPECT_TRUE(ctx.Charge(1));
+  EXPECT_FALSE(ctx.Charge(1));
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryContextTest, ConcurrentChargesSumExactly) {
+  QueryContext ctx;
+  constexpr int kThreads = 8;
+  constexpr int kCharges = 10000;
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kThreads; ++i) {
+    workers.emplace_back([&] {
+      for (int k = 0; k < kCharges; ++k) ctx.Charge(3);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  EXPECT_EQ(ctx.used_bytes(), 3u * kThreads * kCharges);
+  EXPECT_EQ(ctx.peak_bytes(), 3u * kThreads * kCharges);
+}
+
+TEST(ApproxTupleBytesTest, GrowsWithArity) {
+  EXPECT_GT(ApproxTupleBytes(1), 0u);
+  EXPECT_LT(ApproxTupleBytes(1), ApproxTupleBytes(4));
+}
+
+TEST(OpGovernorTest, NullContextAdmitsEverything) {
+  OpGovernor gov(nullptr, 64);
+  for (int i = 0; i < 5000; ++i) EXPECT_TRUE(gov.Admit());
+  EXPECT_TRUE(gov.Flush());
+  EXPECT_EQ(gov.total_bytes(), 0u);
+}
+
+TEST(OpGovernorTest, ChargesBytesPerAdmittedRow) {
+  QueryContext ctx;
+  std::size_t rows = 3 * QueryContext::kPollStride + 17;
+  {
+    OpGovernor gov(&ctx, 10);
+    for (std::size_t i = 0; i < rows; ++i) EXPECT_TRUE(gov.Admit());
+    EXPECT_TRUE(gov.Flush());
+    EXPECT_EQ(gov.total_bytes(), 10u * rows);
+  }
+  EXPECT_EQ(ctx.used_bytes(), 10u * rows);
+}
+
+TEST(OpGovernorTest, DestructorFlushesRemainder) {
+  QueryContext ctx;
+  {
+    OpGovernor gov(&ctx, 8);
+    for (int i = 0; i < 5; ++i) gov.Admit();  // below one stride
+  }
+  EXPECT_EQ(ctx.used_bytes(), 40u);
+}
+
+TEST(OpGovernorTest, AdmitStopsOnceBudgetTrips) {
+  QueryContext ctx;
+  ctx.set_memory_budget(QueryContext::kPollStride * 4);  // one stride of 4B rows
+  OpGovernor gov(&ctx, 4);
+  std::size_t admitted = 0;
+  for (std::size_t i = 0; i < 10 * QueryContext::kPollStride; ++i) {
+    if (!gov.Admit()) break;
+    ++admitted;
+  }
+  EXPECT_LT(admitted, 10 * QueryContext::kPollStride);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(OpGovernorTest, TickInputHonoursDeadlineWithoutCharging) {
+  QueryContext ctx;
+  ctx.set_deadline(std::chrono::steady_clock::now() -
+                   std::chrono::milliseconds(1));
+  OpGovernor gov(&ctx, 0);
+  std::size_t ticks = 0;
+  while (gov.TickInput() && ticks < 10 * QueryContext::kPollStride) ++ticks;
+  // The stride-boundary poll must notice the expired deadline within one
+  // stride of input rows, and input ticks never charge memory.
+  EXPECT_LT(ticks, QueryContext::kPollStride + 1);
+  EXPECT_EQ(ctx.used_bytes(), 0u);
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace qf

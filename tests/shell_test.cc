@@ -2,6 +2,8 @@
 // set, error handling, and end-to-end scripts.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -263,6 +265,113 @@ TEST(ShellTest, ScriptHandlesQuotedSemicolons) {
       "FILTER COUNT >= 1;");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
   EXPECT_TRUE(shell.HasFlock("q"));
+}
+
+// --- Resource governor statements ---
+
+// A workload slow enough (tens of ms) that a 1 ms deadline always lands
+// mid-flight, but small enough to keep the suite quick.
+void LoadGovernorWorkload(Shell& shell) {
+  MustRun(shell,
+          "GEN BASKETS gb n_baskets=4000 n_items=300 avg_size=8 seed=5");
+  MustRun(shell,
+          "FLOCK gf QUERY answer(B) :- gb(B,$1) AND gb(B,$2) AND $1 < $2 "
+          "FILTER COUNT >= 8");
+}
+
+TEST(ShellGovernorTest, SetTimeoutFailsFastAndSessionStaysUsable) {
+  Shell shell;
+  LoadGovernorWorkload(shell);
+  MustRun(shell, "SET TIMEOUT 1");
+
+  auto start = std::chrono::steady_clock::now();
+  Result<std::string> out = shell.Execute("RUN gf");
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  // The acceptance bound is ~50 ms of overshoot past the 1 ms deadline;
+  // leave headroom for loaded CI machines.
+  EXPECT_LT(ms, 250.0);
+
+  // The statement died, not the session.
+  MustRun(shell, "SET TIMEOUT 0");
+  std::string rerun = MustRun(shell, "RUN gf LIMIT 2");
+  EXPECT_NE(rerun.find("assignments"), std::string::npos);
+}
+
+TEST(ShellGovernorTest, SetMemoryTripsTyped) {
+  Shell shell;
+  LoadGovernorWorkload(shell);
+  MustRun(shell, "SET MEMORY 1");
+  Result<std::string> out = shell.Execute("RUN gf");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+  MustRun(shell, "SET MEMORY 0");
+  MustRun(shell, "RUN gf LIMIT 2");
+}
+
+TEST(ShellGovernorTest, GovernedRunMatchesUngovernedAtEveryThreadCount) {
+  for (const char* threads : {"1", "4"}) {
+    Shell shell;
+    LoadGovernorWorkload(shell);
+    std::string baseline =
+        MustRun(shell, std::string("RUN gf THREADS ") + threads);
+    MustRun(shell, "SET TIMEOUT 60000");
+    MustRun(shell, "SET MEMORY 1024");
+    std::string governed =
+        MustRun(shell, std::string("RUN gf THREADS ") + threads);
+    // Strip the timing prefix line; row previews must match exactly.
+    EXPECT_EQ(baseline.substr(baseline.find('\n')),
+              governed.substr(governed.find('\n')))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ShellGovernorTest, ExplainAnalyzeReportsAccountedBytes) {
+  Shell shell;
+  MustRun(shell, "GEN BASKETS b n_baskets=500 n_items=60 seed=3");
+  MustRun(shell, "FLOCK f QUERY answer(B) :- b(B,$1) FILTER COUNT >= 4");
+  std::string out = MustRun(shell, "EXPLAIN ANALYZE f PLAN LIMIT 2");
+  EXPECT_NE(out.find("governor: peak "), std::string::npos) << out;
+  EXPECT_NE(out.find(" mem="), std::string::npos) << out;
+}
+
+TEST(ShellGovernorTest, CancelFlagAbortsStatement) {
+  Shell shell;
+  std::atomic<bool> flag{true};  // pre-set: cancel at the first poll
+  shell.set_cancel_flag(&flag);
+  LoadGovernorWorkload(shell);
+  Result<std::string> out = shell.Execute("RUN gf");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCancelled);
+  // REPL clears the flag between statements; the session recovers.
+  flag.store(false);
+  MustRun(shell, "RUN gf LIMIT 2");
+}
+
+TEST(ShellGovernorTest, SetRejectsBadArguments) {
+  Shell shell;
+  EXPECT_FALSE(shell.Execute("SET TIMEOUT").ok());
+  EXPECT_FALSE(shell.Execute("SET TIMEOUT -5").ok());
+  EXPECT_FALSE(shell.Execute("SET TIMEOUT abc").ok());
+  EXPECT_FALSE(shell.Execute("SET MEMORY -1").ok());
+  EXPECT_FALSE(shell.Execute("SET GIZMO 5").ok());
+  EXPECT_NE(MustRun(shell, "SET TIMEOUT 0").find("off"), std::string::npos);
+  EXPECT_NE(MustRun(shell, "SET MEMORY 64").find("64 MB"),
+            std::string::npos);
+  EXPECT_NE(MustRun(shell, "HELP").find("SET TIMEOUT"), std::string::npos);
+}
+
+TEST(ShellGovernorTest, MaximalIsGoverned) {
+  Shell shell;
+  MustRun(shell, "GEN BASKETS mb n_baskets=2000 n_items=100 avg_size=8 seed=9");
+  MustRun(shell, "SET TIMEOUT 1");
+  Result<std::string> out = shell.Execute("MAXIMAL mb SUPPORT 5");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  MustRun(shell, "SET TIMEOUT 0");
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 //   ./qfshell script.qf       # execute a script file
 //
 // See `HELP;` or src/shell/shell.h for the statement language.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -14,6 +16,13 @@
 
 namespace {
 
+// Set by SIGINT; every governed statement polls it and aborts with
+// CANCELLED. The REPL clears it after each statement, so one ctrl-C kills
+// the running query, not the session.
+std::atomic<bool> g_interrupted{false};
+
+void HandleSigint(int) { g_interrupted.store(true, std::memory_order_relaxed); }
+
 int RunScript(qf::Shell& shell, const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -23,6 +32,7 @@ int RunScript(qf::Shell& shell, const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   qf::Result<std::string> output = shell.ExecuteScript(buffer.str());
+  g_interrupted.store(false, std::memory_order_relaxed);
   if (!output.ok()) {
     std::fprintf(stderr, "error: %s\n", output.status().ToString().c_str());
     return 1;
@@ -43,6 +53,7 @@ int RunRepl(qf::Shell& shell) {
     // Execute once the buffer holds at least one full statement.
     if (line.find(';') != std::string::npos) {
       qf::Result<std::string> output = shell.ExecuteScript(pending);
+      g_interrupted.store(false, std::memory_order_relaxed);
       if (output.ok()) {
         std::fputs(output->c_str(), stdout);
       } else {
@@ -61,6 +72,8 @@ int RunRepl(qf::Shell& shell) {
 
 int main(int argc, char** argv) {
   qf::Shell shell;
+  shell.set_cancel_flag(&g_interrupted);
+  std::signal(SIGINT, HandleSigint);
   if (argc > 1) return RunScript(shell, argv[1]);
   return RunRepl(shell);
 }
