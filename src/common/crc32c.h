@@ -1,0 +1,42 @@
+// CRC32C (Castagnoli, reflected polynomial 0x1EDC6A41 / 0x82F63B78):
+// the checksum guarding every WAL record and snapshot of the durable
+// catalog (storage/). Castagnoli rather than the zlib CRC32 because its
+// error-detection properties for short records are better studied and it
+// matches what LevelDB/RocksDB-style logs use, so on-disk artifacts are
+// recognizable to standard tooling (tools/corrupt_wal.py recomputes it in
+// pure Python).
+//
+// Software slicing-by-4 implementation — no SSE4.2 dependency, identical
+// bytes on every platform. Throughput is ~1 GB/s, far above what the WAL
+// ever sustains (records are fsync-bound).
+#ifndef QF_COMMON_CRC32C_H_
+#define QF_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace qf {
+
+// Extends `crc` (the running checksum, 0 for a fresh one) over `data`.
+// The returned value is the plain (unmasked) CRC32C.
+std::uint32_t Crc32cExtend(std::uint32_t crc, std::string_view data);
+
+inline std::uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data);
+}
+
+// Masked form for values stored next to the bytes they checksum, after
+// LevelDB: a CRC of data that *contains* CRCs degenerates (a record
+// embedding its own checksum field checks trivially), so stored checksums
+// are rotated and offset. Verifiers unmask before comparing.
+inline std::uint32_t Crc32cMask(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline std::uint32_t Crc32cUnmask(std::uint32_t masked) {
+  std::uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace qf
+
+#endif  // QF_COMMON_CRC32C_H_

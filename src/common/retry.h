@@ -1,0 +1,90 @@
+// Retry-with-backoff for transient failures (EINTR/EAGAIN in PosixVfs,
+// and any caller-classified retryable Status). Capped exponential backoff
+// with *deterministic* jitter: the jitter stream comes from a caller-owned
+// Rng (common/rng.h), so a fixed seed reproduces the exact delay sequence
+// — tests assert delays, not sleep side effects.
+//
+// The loop is governor-aware: between attempts (and while sleeping, in
+// 1 ms slices) it polls the QueryContext, so a SIGINT or deadline aborts
+// a retry storm early with the governor's typed status instead of
+// sleeping through the full budget.
+#ifndef QF_COMMON_RETRY_H_
+#define QF_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/resource.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qf {
+
+struct RetryPolicy {
+  // Total tries including the first; RetryWithBackoff never invokes the
+  // operation more than this many times.
+  int max_attempts = 5;
+  // Delay before retry k (0-based) is base_delay_us << k, capped at
+  // max_delay_us, plus uniform jitter in [0, base_delay_us).
+  std::int64_t base_delay_us = 100;
+  std::int64_t max_delay_us = 10'000;
+};
+
+// Backoff before retry `attempt` (0-based: the delay between the first
+// failure and the second try). Exposed so tests can pin the schedule.
+inline std::int64_t BackoffDelayUs(const RetryPolicy& policy, int attempt,
+                                   Rng& rng) {
+  std::int64_t base = std::max<std::int64_t>(policy.base_delay_us, 0);
+  std::int64_t delay = base;
+  for (int k = 0; k < attempt && delay < policy.max_delay_us; ++k) {
+    delay *= 2;
+  }
+  delay = std::min(delay, policy.max_delay_us);
+  if (base > 0) {
+    delay += static_cast<std::int64_t>(
+        rng.NextBelow(static_cast<std::uint32_t>(std::min<std::int64_t>(
+            base, 0xffffffffll))));
+  }
+  return delay;
+}
+
+// Sleeps ~delay_us, polling `ctx` every millisecond so cancellation and
+// deadlines cut the sleep short. Returns false once the context tripped.
+inline bool InterruptibleSleepUs(std::int64_t delay_us, QueryContext* ctx) {
+  while (delay_us > 0) {
+    if (ctx != nullptr && !ctx->Poll()) return false;
+    std::int64_t slice = std::min<std::int64_t>(delay_us, 1000);
+    std::this_thread::sleep_for(std::chrono::microseconds(slice));
+    delay_us -= slice;
+  }
+  return ctx == nullptr || ctx->Poll();
+}
+
+// Runs `op` (a callable returning Status) until it succeeds, fails with a
+// non-retryable status, exhausts policy.max_attempts, or the governor
+// trips. `retryable` classifies failures (e.g. "errno was EINTR/EAGAIN").
+// Returns the final status: OK, the last non-retryable / exhausted error,
+// or the governor's typed CANCELLED/DEADLINE_EXCEEDED.
+template <typename Op, typename RetryablePred>
+Status RetryWithBackoff(const RetryPolicy& policy, Rng& rng, Op&& op,
+                        RetryablePred&& retryable,
+                        QueryContext* ctx = nullptr) {
+  Status last = InternalError("retry loop made no attempts");
+  int attempts = std::max(policy.max_attempts, 1);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
+    last = op();
+    if (last.ok() || !retryable(last)) return last;
+    if (attempt + 1 == attempts) break;  // out of budget: report the error
+    if (!InterruptibleSleepUs(BackoffDelayUs(policy, attempt, rng), ctx)) {
+      return ctx->Check();
+    }
+  }
+  return last;
+}
+
+}  // namespace qf
+
+#endif  // QF_COMMON_RETRY_H_

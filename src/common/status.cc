@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruptWal:
+      return "CORRUPT_WAL";
   }
   return "UNKNOWN";
 }
@@ -68,6 +72,12 @@ Status DeadlineExceededError(std::string message) {
 }
 Status ResourceExhaustedError(std::string message) {
   return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status IoError(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+Status CorruptWalError(std::string message) {
+  return Status(StatusCode::kCorruptWal, std::move(message));
 }
 
 }  // namespace qf

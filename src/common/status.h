@@ -35,6 +35,13 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  // Storage outcomes (see common/vfs.h, storage/catalog.h): an operating-
+  // system I/O failure (ENOSPC, EIO, ...) vs. on-disk bytes whose checksum
+  // verified-false in a way recovery cannot repair by truncation (a
+  // corrupt snapshot, or a well-checksummed WAL record that fails to
+  // decode).
+  kIoError,
+  kCorruptWal,
 };
 
 // Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -81,6 +88,8 @@ Status InternalError(std::string message);
 Status CancelledError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status IoError(std::string message);
+Status CorruptWalError(std::string message);
 
 // Either a value of type T or a non-OK Status. Accessing the value of a
 // failed Result aborts (QF_CHECK), so callers must test ok() first.

@@ -1,33 +1,31 @@
 #include "relational/tsv.h"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <system_error>
 #include <vector>
 
 #include "common/string_util.h"
 
 namespace qf {
 
-Result<Relation> LoadTsv(const std::string& path, const std::string& name) {
+Result<Relation> LoadTsv(const std::string& path, const std::string& name,
+                         Vfs* vfs) {
+  if (vfs == nullptr) vfs = &DefaultVfs();
   // Slurp the whole file once: lines and fields are string_views into the
   // buffer, and string Values intern straight from those views — bulk
   // loading allocates no per-line or per-field std::string.
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return NotFoundError("cannot open " + path);
-  std::ostringstream slurp;
-  slurp << in.rdbuf();
-  std::string content = std::move(slurp).str();
+  Result<std::string> read = vfs->ReadFile(path);
+  if (!read.ok()) return read.status();
+  std::string content = std::move(*read);
   if (content.empty()) {
     return InvalidArgumentError("empty TSV file: " + path);
   }
 
   std::size_t line_no = 0;
   std::size_t pos = 0;
+  std::size_t line_offset = 0;  // byte offset of the current line's start
   auto next_line = [&](std::string_view& line) {
     if (pos >= content.size()) return false;
+    line_offset = pos;
     std::size_t eol = content.find('\n', pos);
     if (eol == std::string::npos) eol = content.size();
     line = std::string_view(content).substr(pos, eol - pos);
@@ -36,19 +34,26 @@ Result<Relation> LoadTsv(const std::string& path, const std::string& name) {
     ++line_no;
     return true;
   };
+  // "path:line: ... (byte offset N)" — the offset lets tooling seek
+  // straight to the bad row of a multi-gigabyte file.
+  auto at = [&](const std::string& what) {
+    return InvalidArgumentError(path + ":" + std::to_string(line_no) + ": " +
+                                what + " (byte offset " +
+                                std::to_string(line_offset) + ")");
+  };
 
   std::string_view line;
   next_line(line);
   if (StripWhitespace(line).empty()) {
     // A blank or whitespace-only first line is a malformed header, not a
     // schema with one empty column (covers CRLF-only files too).
-    return InvalidArgumentError(path + ": blank header line");
+    return at("blank header line");
   }
   std::vector<std::string> columns;
   for (std::string_view field : Split(line, '\t')) {
     std::string_view col = StripWhitespace(field);
     if (col.empty()) {
-      return InvalidArgumentError(path + ": empty column name in header");
+      return at("empty column name in header");
     }
     columns.emplace_back(col);
   }
@@ -68,10 +73,10 @@ Result<Relation> LoadTsv(const std::string& path, const std::string& name) {
     if (StripWhitespace(line).empty()) continue;
     std::vector<std::string_view> fields = Split(line, '\t');
     if (fields.size() != rel.arity()) {
-      return InvalidArgumentError(path + ":" + std::to_string(line_no) +
-                                  ": expected " + std::to_string(rel.arity()) +
-                                  " fields, got " +
-                                  std::to_string(fields.size()));
+      // Wrong-arity rows are rejected outright — padding short rows (or
+      // dropping extra fields) would silently invent or lose data.
+      return at("expected " + std::to_string(rel.arity()) + " fields, got " +
+                std::to_string(fields.size()));
     }
     for (std::size_t c = 0; c < fields.size(); ++c) {
       fields[c] = StripWhitespace(fields[c]);
@@ -108,60 +113,62 @@ Result<Relation> LoadTsv(const std::string& path, const std::string& name) {
   return rel;
 }
 
-Status StoreDatabase(const Database& db, const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return InvalidArgumentError("cannot create directory " + dir + ": " +
-                                ec.message());
+Status StoreTsv(const Relation& rel, const std::string& path, Vfs* vfs) {
+  if (vfs == nullptr) vfs = &DefaultVfs();
+  std::string content;
+  const Schema& schema = rel.schema();
+  for (std::size_t i = 0; i < schema.arity(); ++i) {
+    if (i > 0) content += '\t';
+    content += schema.column(i);
   }
-  std::ofstream manifest(dir + "/MANIFEST");
-  if (!manifest) {
-    return InvalidArgumentError("cannot write manifest in " + dir);
+  content += '\n';
+  for (const Tuple& t : rel.rows()) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) content += '\t';
+      content += t[i].ToString();
+    }
+    content += '\n';
   }
+  // Temp + fsync + rename + dir fsync: a crash or ENOSPC mid-store leaves
+  // either the previous file or nothing — never a truncated TSV.
+  return AtomicWriteFile(*vfs, path, content);
+}
+
+Status StoreDatabase(const Database& db, const std::string& dir, Vfs* vfs) {
+  if (vfs == nullptr) vfs = &DefaultVfs();
+  if (Status s = vfs->CreateDirs(dir); !s.ok()) return s;
+  std::string manifest;
   for (const std::string& name : db.Names()) {
-    if (Status s = StoreTsv(db.Get(name), dir + "/" + name + ".tsv");
+    if (Status s = StoreTsv(db.Get(name), dir + "/" + name + ".tsv", vfs);
         !s.ok()) {
       return s;
     }
-    manifest << name << '\n';
+    manifest += name + '\n';
   }
-  if (!manifest) return InternalError("manifest write failed in " + dir);
-  return Status::Ok();
+  // The MANIFEST goes last, atomically: a crash mid-store leaves at worst
+  // orphan .tsv files, never a manifest naming a missing relation.
+  return AtomicWriteFile(*vfs, dir + "/MANIFEST", manifest);
 }
 
-Result<Database> LoadDatabase(const std::string& dir) {
-  std::ifstream manifest(dir + "/MANIFEST");
-  if (!manifest) return NotFoundError("no MANIFEST in " + dir);
+Result<Database> LoadDatabase(const std::string& dir, Vfs* vfs) {
+  if (vfs == nullptr) vfs = &DefaultVfs();
+  Result<std::string> manifest = vfs->ReadFile(dir + "/MANIFEST");
+  if (!manifest.ok()) {
+    if (manifest.status().code() == StatusCode::kNotFound) {
+      return NotFoundError("no MANIFEST in " + dir);
+    }
+    return manifest.status();
+  }
   Database db;
-  std::string name;
-  while (std::getline(manifest, name)) {
-    if (StripWhitespace(name).empty()) continue;
-    Result<Relation> rel = LoadTsv(dir + "/" + name + ".tsv", name);
+  for (std::string_view name : Split(*manifest, '\n')) {
+    name = StripWhitespace(name);
+    if (name.empty()) continue;
+    Result<Relation> rel =
+        LoadTsv(dir + "/" + std::string(name) + ".tsv", std::string(name), vfs);
     if (!rel.ok()) return rel.status();
     db.PutRelation(std::move(*rel));
   }
   return db;
-}
-
-Status StoreTsv(const Relation& rel, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return InvalidArgumentError("cannot open for writing: " + path);
-  const Schema& schema = rel.schema();
-  for (std::size_t i = 0; i < schema.arity(); ++i) {
-    if (i > 0) out << '\t';
-    out << schema.column(i);
-  }
-  out << '\n';
-  for (const Tuple& t : rel.rows()) {
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (i > 0) out << '\t';
-      out << t[i].ToString();
-    }
-    out << '\n';
-  }
-  if (!out) return InternalError("write failed: " + path);
-  return Status::Ok();
 }
 
 }  // namespace qf

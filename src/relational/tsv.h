@@ -1,30 +1,43 @@
 // Tab-separated load/store so example programs can persist generated data
 // and users can bring their own. The first line is the header (column
-// names); every field is parsed as int64, then double, then symbol.
+// names); every column is typed by the least upper bound of its fields
+// under int64 < double < string.
+//
+// All I/O goes through a Vfs (common/vfs.h): pass one to inject faults in
+// tests; the default is the process-wide PosixVfs. Stores are crash-safe
+// (temp file + fsync + rename + directory fsync), so an ENOSPC or a crash
+// mid-write can never leave a truncated TSV at the destination.
 #ifndef QF_RELATIONAL_TSV_H_
 #define QF_RELATIONAL_TSV_H_
 
 #include <string>
 
 #include "common/status.h"
+#include "common/vfs.h"
 #include "relational/database.h"
 #include "relational/relation.h"
 
 namespace qf {
 
 // Reads a relation from `path`. The relation is named `name` and
-// deduplicated on load (set semantics).
-Result<Relation> LoadTsv(const std::string& path, const std::string& name);
+// deduplicated on load (set semantics). Malformed rows are rejected —
+// never padded or truncated — with the 1-based line number and the byte
+// offset of the offending line in the error message.
+Result<Relation> LoadTsv(const std::string& path, const std::string& name,
+                         Vfs* vfs = nullptr);
 
-// Writes `rel` to `path`, header first.
-Status StoreTsv(const Relation& rel, const std::string& path);
+// Writes `rel` to `path`, header first, atomically (temp + rename).
+Status StoreTsv(const Relation& rel, const std::string& path,
+                Vfs* vfs = nullptr);
 
 // Persists every relation of `db` as <dir>/<name>.tsv (creating the
-// directory), plus a MANIFEST listing the relation names.
-Status StoreDatabase(const Database& db, const std::string& dir);
+// directory), plus a MANIFEST listing the relation names. Each file is
+// written atomically; the MANIFEST is written last.
+Status StoreDatabase(const Database& db, const std::string& dir,
+                     Vfs* vfs = nullptr);
 
 // Loads a database persisted by StoreDatabase.
-Result<Database> LoadDatabase(const std::string& dir);
+Result<Database> LoadDatabase(const std::string& dir, Vfs* vfs = nullptr);
 
 }  // namespace qf
 

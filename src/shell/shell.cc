@@ -156,6 +156,8 @@ constexpr std::string_view kHelp =
     "  TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events, JSON lines\n"
     "  MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];\n"
     "  SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;\n"
+    "  OPEN <dir>;                   # open/recover durable catalog\n"
+    "  CHECKPOINT;                   # snapshot catalog + reset its WAL\n"
     "  HELP;\n";
 
 // Options shared by RUN and EXPLAIN ANALYZE:
@@ -208,23 +210,36 @@ Result<std::string> Shell::Execute(std::string_view statement) {
   if (command == "SAVE") return Save(rest);
   if (command == "LOADDB") {
     std::string dir(StripWhitespace(rest));
-    Result<Database> loaded = LoadDatabase(dir);
+    Result<Database> loaded = LoadDatabase(dir, &vfs());
     if (!loaded.ok()) return loaded.status();
     std::string out;
+    std::vector<Relation> rels;
     for (const std::string& name : loaded->Names()) {
       Relation rel = loaded->Get(name);
       out += "loaded " + name + ": " + std::to_string(rel.size()) +
              " rows\n";
-      db_.PutRelation(std::move(rel));
+      rels.push_back(std::move(rel));
+    }
+    QueryContext ctx;
+    ConfigureContext(ctx);
+    if (Status s = PersistRelations(std::move(rels), &ctx); !s.ok()) {
+      return s;
     }
     views_dirty_ = true;
     return out;
   }
   if (command == "SAVEDB") {
     std::string dir(StripWhitespace(rest));
-    if (Status s = StoreDatabase(db_, dir); !s.ok()) return s;
-    return "saved " + std::to_string(db_.size()) + " relations to " + dir +
+    if (Status s = StoreDatabase(db(), dir, &vfs()); !s.ok()) return s;
+    return "saved " + std::to_string(db().size()) + " relations to " + dir +
            "\n";
+  }
+  if (command == "OPEN") return Open(rest);
+  if (command == "CHECKPOINT") {
+    if (!StripWhitespace(rest).empty()) {
+      return InvalidArgumentError("usage: CHECKPOINT");
+    }
+    return Checkpoint();
   }
   if (command == "GEN") return Gen(rest);
   if (command == "DEFINE") return Define(rest);
@@ -241,6 +256,7 @@ Result<std::string> Shell::Execute(std::string_view statement) {
     if (!n.ok() || *n < 1 || !StripWhitespace(after).empty()) {
       return InvalidArgumentError("usage: THREADS <n> (n >= 1)");
     }
+    if (Status s = PersistKnob("THREADS", *n); !s.ok()) return s;
     default_threads_ = static_cast<unsigned>(*n);
     return "threads set to " + std::to_string(default_threads_) + "\n";
   }
@@ -252,6 +268,7 @@ Result<std::string> Shell::Execute(std::string_view statement) {
       if (!n.ok() || *n < 0 || !StripWhitespace(after).empty()) {
         return InvalidArgumentError("usage: SET TIMEOUT <ms> (0 = off)");
       }
+      if (Status s = PersistKnob("TIMEOUT_MS", *n); !s.ok()) return s;
       timeout_ms_ = *n;
       return timeout_ms_ == 0
                  ? std::string("timeout off\n")
@@ -261,6 +278,7 @@ Result<std::string> Shell::Execute(std::string_view statement) {
       if (!n.ok() || *n < 0 || !StripWhitespace(after).empty()) {
         return InvalidArgumentError("usage: SET MEMORY <mb> (0 = off)");
       }
+      if (Status s = PersistKnob("MEMORY_MB", *n); !s.ok()) return s;
       memory_bytes_ = static_cast<std::uint64_t>(*n) * 1024 * 1024;
       return memory_bytes_ == 0
                  ? std::string("memory budget off\n")
@@ -335,10 +353,14 @@ Result<std::string> Shell::Load(std::string_view args) {
   if (kw != "FROM" || path.empty()) {
     return InvalidArgumentError("usage: LOAD <rel> FROM <path>");
   }
-  Result<Relation> rel = LoadTsv(std::string(path), rel_name);
+  Result<Relation> rel = LoadTsv(std::string(path), rel_name, &vfs());
   if (!rel.ok()) return rel.status();
   std::size_t rows = rel->size();
-  db_.PutRelation(std::move(*rel));
+  QueryContext ctx;
+  ConfigureContext(ctx);
+  std::vector<Relation> rels;
+  rels.push_back(std::move(*rel));
+  if (Status s = PersistRelations(std::move(rels), &ctx); !s.ok()) return s;
   views_dirty_ = true;
   return "loaded " + rel_name + ": " + std::to_string(rows) + " rows\n";
 }
@@ -350,10 +372,11 @@ Result<std::string> Shell::Save(std::string_view args) {
   if (kw != "TO" || path.empty()) {
     return InvalidArgumentError("usage: SAVE <rel> TO <path>");
   }
-  if (!db_.Has(rel_name)) {
+  if (!db().Has(rel_name)) {
     return NotFoundError("no relation named " + rel_name);
   }
-  if (Status s = StoreTsv(db_.Get(rel_name), std::string(path)); !s.ok()) {
+  if (Status s = StoreTsv(db().Get(rel_name), std::string(path), &vfs());
+      !s.ok()) {
     return s;
   }
   return "saved " + rel_name + " to " + std::string(path) + "\n";
@@ -425,7 +448,11 @@ Result<std::string> Shell::Gen(std::string_view args) {
     Relation rel = GenerateBaskets(config);
     rel.set_name(rel_name);
     std::size_t rows = rel.size();
-    db_.PutRelation(std::move(rel));
+    std::vector<Relation> rels;
+    rels.push_back(std::move(rel));
+    QueryContext ctx;
+    ConfigureContext(ctx);
+    if (Status s = PersistRelations(std::move(rels), &ctx); !s.ok()) return s;
     views_dirty_ = true;
     return "generated " + rel_name + ": " + std::to_string(rows) + " rows\n";
   }
@@ -440,7 +467,11 @@ Result<std::string> Shell::Gen(std::string_view args) {
     Relation rel = GenerateGraph(config);
     rel.set_name(rel_name);
     std::size_t rows = rel.size();
-    db_.PutRelation(std::move(rel));
+    std::vector<Relation> rels;
+    rels.push_back(std::move(rel));
+    QueryContext ctx;
+    ConfigureContext(ctx);
+    if (Status s = PersistRelations(std::move(rels), &ctx); !s.ok()) return s;
     views_dirty_ = true;
     return "generated " + rel_name + ": " + std::to_string(rows) + " rows\n";
   }
@@ -463,12 +494,16 @@ Result<std::string> Shell::Gen(std::string_view args) {
     if (Status s = RejectLeftovers(kv); !s.ok()) return s;
     Database generated = GenerateMedical(config);
     std::string out;
+    std::vector<Relation> rels;
     for (const std::string& name : generated.Names()) {
       Relation rel = generated.Get(name);
       out += "generated " + name + ": " + std::to_string(rel.size()) +
              " rows\n";
-      db_.PutRelation(std::move(rel));
+      rels.push_back(std::move(rel));
     }
+    QueryContext ctx;
+    ConfigureContext(ctx);
+    if (Status s = PersistRelations(std::move(rels), &ctx); !s.ok()) return s;
     views_dirty_ = true;
     return out;
   }
@@ -485,12 +520,16 @@ Result<std::string> Shell::Gen(std::string_view args) {
     if (Status s = RejectLeftovers(kv); !s.ok()) return s;
     Database generated = GenerateWeb(config);
     std::string out;
+    std::vector<Relation> rels;
     for (const std::string& name : generated.Names()) {
       Relation rel = generated.Get(name);
       out += "generated " + name + ": " + std::to_string(rel.size()) +
              " rows\n";
-      db_.PutRelation(std::move(rel));
+      rels.push_back(std::move(rel));
     }
+    QueryContext ctx;
+    ConfigureContext(ctx);
+    if (Status s = PersistRelations(std::move(rels), &ctx); !s.ok()) return s;
     views_dirty_ = true;
     return out;
   }
@@ -505,26 +544,32 @@ Result<std::string> Shell::Define(std::string_view args) {
   Program candidate = program_;
   candidate.AddRule(*rule);
   if (Status s = candidate.Validate(); !s.ok()) return s;
+  if (catalog_ != nullptr) {
+    if (Status s = catalog_->DefineRule(std::string(StripWhitespace(args)));
+        !s.ok()) {
+      return s;
+    }
+  }
   program_ = std::move(candidate);
   views_dirty_ = true;
   return "defined " + rule->head_name + "\n";
 }
 
-Result<std::string> Shell::DeclareFlock(std::string_view args) {
-  std::size_t query_pos = FindKeyword(args, "QUERY");
-  std::size_t filter_pos = FindKeyword(args, "FILTER");
-  if (query_pos == std::string_view::npos ||
-      filter_pos == std::string_view::npos || filter_pos < query_pos) {
+namespace {
+
+// Parses a flock declaration body — everything after the name, starting
+// at QUERY. Split out of DeclareFlock so OPEN can re-parse the bodies the
+// catalog persisted.
+Result<QueryFlock> ParseFlockBody(std::string_view body) {
+  std::size_t query_pos = FindKeyword(body, "QUERY");
+  std::size_t filter_pos = FindKeyword(body, "FILTER");
+  if (query_pos != 0 || filter_pos == std::string_view::npos) {
     return InvalidArgumentError(
         "usage: FLOCK <name> QUERY <rules> FILTER <condition>");
   }
-  std::string name(StripWhitespace(args.substr(0, query_pos)));
-  if (name.empty() || name.find(' ') != std::string::npos) {
-    return InvalidArgumentError("bad flock name: '" + name + "'");
-  }
   std::string_view query_text =
-      args.substr(query_pos + 5, filter_pos - query_pos - 5);
-  std::string_view filter_text = args.substr(filter_pos + 6);
+      body.substr(query_pos + 5, filter_pos - query_pos - 5);
+  std::string_view filter_text = body.substr(filter_pos + 6);
 
   Result<UnionQuery> query = ParseQuery(query_text);
   if (!query.ok()) return query.status();
@@ -532,14 +577,35 @@ Result<std::string> Shell::DeclareFlock(std::string_view args) {
   if (!filter.ok()) return filter.status();
   QueryFlock flock(std::move(*query), std::move(*filter));
   if (Status s = flock.Validate(); !s.ok()) return s;
-  flocks_[name] = std::move(flock);
+  return flock;
+}
+
+}  // namespace
+
+Result<std::string> Shell::DeclareFlock(std::string_view args) {
+  std::size_t query_pos = FindKeyword(args, "QUERY");
+  if (query_pos == std::string_view::npos) {
+    return InvalidArgumentError(
+        "usage: FLOCK <name> QUERY <rules> FILTER <condition>");
+  }
+  std::string name(StripWhitespace(args.substr(0, query_pos)));
+  if (name.empty() || name.find(' ') != std::string::npos) {
+    return InvalidArgumentError("bad flock name: '" + name + "'");
+  }
+  std::string body(StripWhitespace(args.substr(query_pos)));
+  Result<QueryFlock> flock = ParseFlockBody(body);
+  if (!flock.ok()) return flock.status();
+  if (catalog_ != nullptr) {
+    if (Status s = catalog_->PutFlock(name, body); !s.ok()) return s;
+  }
+  flocks_[name] = std::move(*flock);
   return "flock " + name + " declared\n" + flocks_[name].ToString();
 }
 
 Result<const std::map<std::string, Relation>*> Shell::Views() {
   if (views_dirty_) {
     Result<std::map<std::string, Relation>> views =
-        MaterializeProgram(program_, db_);
+        MaterializeProgram(program_, db());
     if (!views.ok()) return views.status();
     views_ = std::move(*views);
     views_dirty_ = false;
@@ -557,7 +623,7 @@ Result<std::string> Shell::Explain(std::string_view args) {
   Result<const std::map<std::string, Relation>*> views = Views();
   if (!views.ok()) return views.status();
 
-  DatabaseStats stats = DatabaseStats::Compute(db_);
+  DatabaseStats stats = DatabaseStats::Compute(db());
   for (const auto& [view_name, rel] : **views) {
     stats.Put(view_name, ComputeStats(rel));
   }
@@ -599,7 +665,7 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     return est;
   };
   auto build_model = [&]() {
-    DatabaseStats stats = DatabaseStats::Compute(db_);
+    DatabaseStats stats = DatabaseStats::Compute(db());
     for (const auto& [view_name, rel] : **views) {
       stats.Put(view_name, ComputeStats(rel));
     }
@@ -623,7 +689,7 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     if (metrics != nullptr && flock.filter.IsSupportStyle()) {
       metrics->est_rows = estimate_survivors(flock.query, build_model());
     }
-    return EvaluateFlock(flock, db_, options, &extra);
+    return EvaluateFlock(flock, db(), options, &extra);
   }
 
   if (mode == "DYNAMIC") {
@@ -637,7 +703,7 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     options.trace = trace;
     options.ctx = ctx;
     DynamicLog log;
-    Result<Relation> result = DynamicEvaluate(flock, db_, options, &log);
+    Result<Relation> result = DynamicEvaluate(flock, db(), options, &log);
     if (result.ok() && dynamic_trace != nullptr) {
       *dynamic_trace = RenderDynamicTrace(log);
     }
@@ -654,7 +720,7 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
   options.metrics = metrics;
   options.trace = trace;
   options.ctx = ctx;
-  Result<Relation> result = ExecutePlan(*plan, flock, db_, options);
+  Result<Relation> result = ExecutePlan(*plan, flock, db(), options);
   if (result.ok() && metrics != nullptr && flock.filter.IsSupportStyle()) {
     // The executor pre-allocates step children in plan order, so child k
     // is step k; attach the optimizer's per-step estimate to each.
@@ -745,6 +811,27 @@ Result<std::string> Shell::ExplainAnalyze(std::string_view args) {
                 static_cast<unsigned long long>(ctx.peak_bytes()));
   out += buf;
   out += "metrics:\n" + root.ToString();
+  if (catalog_ != nullptr) {
+    // Session-level durability counters (cumulative since OPEN), rendered
+    // as their own subtree below the statement's operator metrics.
+    const StorageStats& st = catalog_->stats();
+    OpMetrics storage("storage", catalog_->dir());
+    OpMetrics* wal =
+        storage.AddChild("wal", "fsyncs=" + std::to_string(st.fsyncs));
+    wal->rows_out = st.wal_records;
+    wal->mem_bytes = st.wal_bytes;
+    wal->wall_ns = st.wal_sync_ns;
+    OpMetrics* snap = storage.AddChild(
+        "snapshot", "checkpoints=" + std::to_string(st.snapshots));
+    snap->rows_out = st.snapshots;
+    snap->mem_bytes = st.snapshot_bytes;
+    snap->wall_ns = st.snapshot_ns;
+    OpMetrics* replay = storage.AddChild(
+        "replay", "truncated_bytes=" + std::to_string(st.truncated_bytes));
+    replay->rows_out = st.replayed_records;
+    replay->wall_ns = st.replay_ns;
+    out += "storage:\n" + storage.ToString();
+  }
   out += "result:\n" + PreviewRelation(std::move(*result), opts->limit);
   return out;
 }
@@ -801,7 +888,7 @@ Result<std::string> Shell::Sql(std::string_view args) {
   auto it = flocks_.find(name);
   if (it == flocks_.end()) return NotFoundError("no flock named " + name);
   // Views appear as tables named by their head variables.
-  Database with_views = db_;
+  Database with_views = db();
   Result<const std::map<std::string, Relation>*> views = Views();
   if (!views.ok()) return views.status();
   for (const auto& [view_name, rel] : **views) {
@@ -842,7 +929,7 @@ Result<std::string> Shell::Maximal(std::string_view args) {
   ConfigureContext(ctx);
   options.ctx = &ctx;
   Result<MaximalItemsetsResult> result =
-      MaximalFrequentItemsets(db_, rel_name, options);
+      MaximalFrequentItemsets(db(), rel_name, options);
   if (!result.ok()) return result.status();
   std::string out = "maximal frequent itemsets of " + rel_name +
                     " (support >= " + Value(options.min_support).ToString() +
@@ -862,9 +949,9 @@ Result<std::string> Shell::Show(std::string_view args) {
   auto [what, rest] = SplitCommand(args);
   if (what == "RELATIONS") {
     std::string out;
-    for (const std::string& name : db_.Names()) {
-      out += name + db_.Get(name).schema().ToString() + " [" +
-             std::to_string(db_.Get(name).size()) + " rows]\n";
+    for (const std::string& name : db().Names()) {
+      out += name + db().Get(name).schema().ToString() + " [" +
+             std::to_string(db().Get(name).size()) + " rows]\n";
     }
     Result<const std::map<std::string, Relation>*> views = Views();
     if (views.ok()) {
@@ -900,8 +987,8 @@ Result<std::string> Shell::Show(std::string_view args) {
     return std::string("(trace is off)\n");
   }
   std::string rel_name(StripWhitespace(args).substr(0, what.size()));
-  if (db_.Has(rel_name)) {
-    return PreviewRelation(db_.Get(rel_name), 10);
+  if (db().Has(rel_name)) {
+    return PreviewRelation(db().Get(rel_name), 10);
   }
   Result<const std::map<std::string, Relation>*> views = Views();
   if (views.ok()) {
@@ -909,6 +996,114 @@ Result<std::string> Shell::Show(std::string_view args) {
     if (it != (*views)->end()) return PreviewRelation(it->second, 10);
   }
   return NotFoundError("no relation named " + rel_name);
+}
+
+Status Shell::PersistRelations(std::vector<Relation> rels,
+                               QueryContext* ctx) {
+  if (catalog_ != nullptr) {
+    std::vector<const Relation*> ptrs;
+    ptrs.reserve(rels.size());
+    for (const Relation& rel : rels) ptrs.push_back(&rel);
+    // One WAL commit for the whole batch: after a crash either all of
+    // these relations are recovered or none, never a subset.
+    return catalog_->PutRelations(ptrs, ctx);
+  }
+  for (Relation& rel : rels) db_.PutRelation(std::move(rel));
+  return Status::Ok();
+}
+
+Status Shell::PersistKnob(const std::string& key, std::int64_t value) {
+  if (catalog_ == nullptr) return Status::Ok();
+  return catalog_->SetKnob(key, value);
+}
+
+Result<std::string> Shell::Open(std::string_view args) {
+  std::string dir(StripWhitespace(args));
+  if (dir.empty() || dir.find(' ') != std::string::npos) {
+    return InvalidArgumentError("usage: OPEN <dir>");
+  }
+  QueryContext ctx;
+  ConfigureContext(ctx);
+  Result<std::unique_ptr<Catalog>> opened = Catalog::Open(vfs(), dir, &ctx);
+  if (!opened.ok()) return opened.status();
+  const CatalogState& state = (*opened)->state();
+
+  // Re-parse the persisted rule and flock sources before adopting
+  // anything, so a failure leaves the session untouched. These parsed
+  // cleanly when they were logged; a failure now means the catalog lied.
+  Program program;
+  for (const std::string& rule_text : state.rules) {
+    Result<ConjunctiveQuery> rule = ParseRule(rule_text);
+    if (!rule.ok()) {
+      return CorruptWalError("catalog rule failed to re-parse: " +
+                             rule.status().ToString());
+    }
+    program.AddRule(std::move(*rule));
+  }
+  if (Status s = program.Validate(); !s.ok()) {
+    return CorruptWalError("catalog rules failed to validate: " +
+                           s.ToString());
+  }
+  std::map<std::string, QueryFlock> flocks;
+  for (const auto& [name, body] : state.flocks) {
+    Result<QueryFlock> flock = ParseFlockBody(body);
+    if (!flock.ok()) {
+      return CorruptWalError("catalog flock " + name +
+                             " failed to re-parse: " +
+                             flock.status().ToString());
+    }
+    flocks[name] = std::move(*flock);
+  }
+
+  catalog_ = std::move(*opened);
+  program_ = std::move(program);
+  flocks_ = std::move(flocks);
+  db_ = Database();  // superseded by the catalog's database while open
+  views_dirty_ = true;
+  const auto& knobs = catalog_->state().knobs;
+  if (auto it = knobs.find("THREADS"); it != knobs.end() && it->second >= 1) {
+    default_threads_ = static_cast<unsigned>(it->second);
+  }
+  if (auto it = knobs.find("TIMEOUT_MS");
+      it != knobs.end() && it->second >= 0) {
+    timeout_ms_ = it->second;
+  }
+  if (auto it = knobs.find("MEMORY_MB");
+      it != knobs.end() && it->second >= 0) {
+    memory_bytes_ = static_cast<std::uint64_t>(it->second) * 1024 * 1024;
+  }
+
+  const Catalog::OpenInfo& info = catalog_->open_info();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "opened %s: %zu relations, %zu rules, %zu flocks\n",
+                dir.c_str(), catalog_->state().db.size(),
+                catalog_->state().rules.size(),
+                catalog_->state().flocks.size());
+  std::string out = buf;
+  std::snprintf(buf, sizeof(buf),
+                "recovery: snapshot lsn %llu, %llu replayed, %llu stale, "
+                "%llu bytes truncated (%.1f ms)\n",
+                static_cast<unsigned long long>(info.snapshot_lsn),
+                static_cast<unsigned long long>(info.replayed_records),
+                static_cast<unsigned long long>(info.skipped_records),
+                static_cast<unsigned long long>(info.truncated_bytes),
+                info.replay_ms);
+  out += buf;
+  return out;
+}
+
+Result<std::string> Shell::Checkpoint() {
+  if (catalog_ == nullptr) {
+    return FailedPreconditionError("no catalog open (use OPEN <dir>)");
+  }
+  QueryContext ctx;
+  ConfigureContext(ctx);
+  std::uint64_t before = catalog_->stats().snapshot_bytes;
+  if (Status s = catalog_->Checkpoint(&ctx); !s.ok()) return s;
+  std::uint64_t bytes = catalog_->stats().snapshot_bytes - before;
+  return "checkpoint: " + std::to_string(bytes) +
+         " bytes snapshotted, wal reset\n";
 }
 
 }  // namespace qf

@@ -18,9 +18,18 @@
 //   TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events (JSON lines)
 //   MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];   # flock-sequence mining
 //   SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;
+//   OPEN <dir>;                             # durable catalog (WAL+snapshot)
+//   CHECKPOINT;                             # snapshot catalog, reset WAL
 //   HELP;
 //
 // GEN BASKETS keys: n_baskets n_items avg_size theta locality topics seed.
+//
+// With a catalog open (OPEN <dir>), every mutating statement — LOAD,
+// LOADDB, GEN, DEFINE, FLOCK, THREADS, SET TIMEOUT/MEMORY — is written to
+// the catalog's WAL and fsynced *before* it is acknowledged, so the
+// session state survives crashes; OPEN replays it back (storage/catalog.h
+// has the recovery contract). After a commit-path I/O error the catalog
+// is read-only and mutating statements return the latched IO_ERROR.
 //
 // The shell is an ordinary library class (tools/qfshell.cc wraps it in a
 // REPL); Execute returns the printable output, so tests drive it
@@ -38,9 +47,11 @@
 #include "common/metrics.h"
 #include "common/resource.h"
 #include "common/status.h"
+#include "common/vfs.h"
 #include "datalog/program.h"
 #include "flocks/flock.h"
 #include "relational/database.h"
+#include "storage/catalog.h"
 
 namespace qf {
 
@@ -57,8 +68,16 @@ class Shell {
   // them in order, concatenating output. Stops at the first error.
   Result<std::string> ExecuteScript(std::string_view script);
 
-  const Database& database() const { return db_; }
+  // The session's relations: the open catalog's durable state, or the
+  // in-memory database when no catalog is open.
+  const Database& database() const { return db(); }
   const Program& program() const { return program_; }
+  // Non-null while a catalog is open (OPEN <dir>); tests inspect recovery
+  // info and storage stats through it.
+  const Catalog* catalog() const { return catalog_.get(); }
+  // File system used by OPEN/CHECKPOINT (tests point this at a MemVfs or
+  // FaultVfs; null means the process-wide PosixVfs). Set before OPEN.
+  void set_vfs(Vfs* vfs) { vfs_ = vfs; }
   bool HasFlock(const std::string& name) const {
     return flocks_.contains(name);
   }
@@ -84,6 +103,8 @@ class Shell {
  private:
   Result<std::string> Load(std::string_view args);
   Result<std::string> Save(std::string_view args);
+  Result<std::string> Open(std::string_view args);
+  Result<std::string> Checkpoint();
   Result<std::string> Gen(std::string_view args);
   Result<std::string> Define(std::string_view args);
   Result<std::string> DeclareFlock(std::string_view args);
@@ -110,7 +131,17 @@ class Shell {
   // Materializes program views (cached until the program changes).
   Result<const std::map<std::string, Relation>*> Views();
 
-  Database db_;
+  const Database& db() const {
+    return catalog_ != nullptr ? catalog_->state().db : db_;
+  }
+  Vfs& vfs() const { return vfs_ != nullptr ? *vfs_ : DefaultVfs(); }
+  // Stores relations, through the catalog's WAL (one commit, one fsync,
+  // all-or-nothing) when one is open. On failure nothing is applied.
+  Status PersistRelations(std::vector<Relation> rels, QueryContext* ctx);
+  // Persists a session knob ("THREADS"...) when a catalog is open.
+  Status PersistKnob(const std::string& key, std::int64_t value);
+
+  Database db_;  // session relations when no catalog is open
   Program program_;
   std::map<std::string, QueryFlock> flocks_;
   std::map<std::string, Relation> views_;
@@ -119,6 +150,8 @@ class Shell {
   std::int64_t timeout_ms_ = 0;      // 0 = no deadline
   std::uint64_t memory_bytes_ = 0;   // 0 = no budget
   const std::atomic<bool>* cancel_flag_ = nullptr;
+  Vfs* vfs_ = nullptr;  // null = DefaultVfs()
+  std::unique_ptr<Catalog> catalog_;
   // Installed trace sink (TRACE ON/TO); the typed aliases identify which
   // kind is active (memory_trace_ backs SHOW TRACE).
   std::unique_ptr<TraceSink> trace_sink_;

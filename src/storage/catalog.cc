@@ -1,0 +1,423 @@
+#include "storage/catalog.h"
+
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/metrics.h"
+#include "relational/serialize.h"
+
+namespace qf {
+namespace {
+
+constexpr std::string_view kSnapshotMagic = "QFSNAP01";
+constexpr std::string_view kSnapshotFile = "catalog.snap";
+constexpr std::string_view kWalFile = "catalog.wal";
+
+// WAL record types (the u8 after the LSN in every payload).
+enum class WalRecordType : unsigned char {
+  kPutRelation = 1,
+  kDefineRule = 2,
+  kPutFlock = 3,
+  kSetKnob = 4,
+};
+
+bool IsGovernorAbort(const Status& s) {
+  return s.code() == StatusCode::kCancelled ||
+         s.code() == StatusCode::kDeadlineExceeded ||
+         s.code() == StatusCode::kResourceExhausted;
+}
+
+// Forward declaration; defined below ApplyRecordBody.
+Status ApplyCommitBody(CatalogState& state, ByteReader& in, QueryContext* ctx);
+
+// Decodes the record body after the LSN and applies it to `state`.
+Status ApplyRecordBody(CatalogState& state, ByteReader& in,
+                       QueryContext* ctx) {
+  std::string_view type_byte;
+  if (!in.GetBytes(1, &type_byte)) {
+    return CorruptWalError("record body missing type byte");
+  }
+  switch (static_cast<WalRecordType>(type_byte[0])) {
+    case WalRecordType::kPutRelation: {
+      Result<Relation> rel = DecodeRelation(in, ctx);
+      if (!rel.ok()) return rel.status();
+      state.db.PutRelation(std::move(*rel));
+      break;
+    }
+    case WalRecordType::kDefineRule: {
+      std::string_view rule;
+      if (!in.GetString(&rule)) {
+        return CorruptWalError("malformed DEFINE record");
+      }
+      state.rules.emplace_back(rule);
+      break;
+    }
+    case WalRecordType::kPutFlock: {
+      std::string_view name;
+      std::string_view source;
+      if (!in.GetString(&name) || !in.GetString(&source)) {
+        return CorruptWalError("malformed FLOCK record");
+      }
+      state.flocks[std::string(name)] = std::string(source);
+      break;
+    }
+    case WalRecordType::kSetKnob: {
+      std::string_view key;
+      std::int64_t value;
+      if (!in.GetString(&key) || !in.GetI64(&value)) {
+        return CorruptWalError("malformed knob record");
+      }
+      state.knobs[std::string(key)] = value;
+      break;
+    }
+    default:
+      return CorruptWalError("unknown WAL record type " +
+                             std::to_string(type_byte[0]));
+  }
+  if (!in.AtEnd()) {
+    return CorruptWalError("trailing bytes after WAL record body");
+  }
+  return Status::Ok();
+}
+
+// Decodes and applies everything after the LSN of a commit payload: a
+// u32 record count followed by that many length-prefixed record bodies.
+// The whole batch shares one frame (and one CRC), which is what makes a
+// multi-record commit all-or-nothing across a torn write.
+Status ApplyCommitBody(CatalogState& state, ByteReader& in,
+                       QueryContext* ctx) {
+  std::uint32_t n = 0;
+  // Each record needs >= 5 bytes (u32 length + type byte).
+  if (!in.GetU32(&n) || n > in.remaining() / 5 + 1) {
+    return CorruptWalError("bad commit batch count");
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
+    std::string_view body;
+    if (!in.GetString(&body)) {
+      return CorruptWalError("truncated commit batch record");
+    }
+    ByteReader sub(body);
+    if (Status s = ApplyRecordBody(state, sub, ctx); !s.ok()) return s;
+  }
+  if (!in.AtEnd()) {
+    return CorruptWalError("trailing bytes after commit batch");
+  }
+  return Status::Ok();
+}
+
+std::string RelationBody(const Relation& rel, QueryContext* ctx,
+                         Status* status) {
+  std::string body;
+  body.push_back(static_cast<char>(WalRecordType::kPutRelation));
+  *status = EncodeRelation(rel, body, ctx);
+  return body;
+}
+
+double MsSince(std::uint64_t t0_ns) {
+  return static_cast<double>(MetricsNowNs() - t0_ns) / 1e6;
+}
+
+}  // namespace
+
+Result<std::string> EncodeCatalogState(const CatalogState& state,
+                                       QueryContext* ctx) {
+  std::string out;
+  PutU32(out, static_cast<std::uint32_t>(state.rules.size()));
+  for (const std::string& rule : state.rules) PutString(out, rule);
+  PutU32(out, static_cast<std::uint32_t>(state.flocks.size()));
+  for (const auto& [name, source] : state.flocks) {
+    PutString(out, name);
+    PutString(out, source);
+  }
+  PutU32(out, static_cast<std::uint32_t>(state.knobs.size()));
+  for (const auto& [key, value] : state.knobs) {
+    PutString(out, key);
+    PutI64(out, value);
+  }
+  std::vector<std::string> names = state.db.Names();
+  PutU32(out, static_cast<std::uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
+    if (Status s = EncodeRelation(state.db.Get(name), out, ctx); !s.ok()) {
+      return s;
+    }
+  }
+  return out;
+}
+
+Result<CatalogState> DecodeCatalogState(std::string_view bytes,
+                                        QueryContext* ctx) {
+  ByteReader in(bytes);
+  CatalogState state;
+  auto corrupt = [&](const char* what) {
+    return CorruptWalError(std::string("snapshot: ") + what + " at byte " +
+                           std::to_string(in.position()));
+  };
+  std::uint32_t n_rules;
+  if (!in.GetU32(&n_rules) || n_rules > in.remaining() / 4) {
+    return corrupt("bad rule count");
+  }
+  for (std::uint32_t i = 0; i < n_rules; ++i) {
+    std::string_view rule;
+    if (!in.GetString(&rule)) return corrupt("bad rule");
+    state.rules.emplace_back(rule);
+  }
+  std::uint32_t n_flocks;
+  if (!in.GetU32(&n_flocks) || n_flocks > in.remaining() / 8) {
+    return corrupt("bad flock count");
+  }
+  for (std::uint32_t i = 0; i < n_flocks; ++i) {
+    std::string_view name;
+    std::string_view source;
+    if (!in.GetString(&name) || !in.GetString(&source)) {
+      return corrupt("bad flock");
+    }
+    state.flocks[std::string(name)] = std::string(source);
+  }
+  std::uint32_t n_knobs;
+  if (!in.GetU32(&n_knobs) || n_knobs > in.remaining() / 12) {
+    return corrupt("bad knob count");
+  }
+  for (std::uint32_t i = 0; i < n_knobs; ++i) {
+    std::string_view key;
+    std::int64_t value;
+    if (!in.GetString(&key) || !in.GetI64(&value)) {
+      return corrupt("bad knob");
+    }
+    state.knobs[std::string(key)] = value;
+  }
+  std::uint32_t n_relations;
+  if (!in.GetU32(&n_relations) || n_relations > in.remaining() / 4) {
+    return corrupt("bad relation count");
+  }
+  for (std::uint32_t i = 0; i < n_relations; ++i) {
+    if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
+    Result<Relation> rel = DecodeRelation(in, ctx);
+    if (!rel.ok()) return rel.status();
+    state.db.PutRelation(std::move(*rel));
+  }
+  if (!in.AtEnd()) return corrupt("trailing bytes");
+  return state;
+}
+
+Catalog::Catalog(Vfs& vfs, std::string dir)
+    : vfs_(vfs), dir_(std::move(dir)) {}
+
+Result<std::unique_ptr<Catalog>> Catalog::Open(Vfs& vfs, std::string dir,
+                                               QueryContext* ctx) {
+  std::uint64_t t0 = MetricsNowNs();
+  if (Status s = vfs.CreateDirs(dir); !s.ok()) return s;
+  std::unique_ptr<Catalog> cat(new Catalog(vfs, std::move(dir)));
+  const std::string snap_path = cat->dir_ + "/" + std::string(kSnapshotFile);
+  const std::string wal_path = cat->dir_ + "/" + std::string(kWalFile);
+
+  // A stale rotation temp file is a crash artifact; the real snapshot (if
+  // any) was never replaced, so the temp is garbage.
+  if (vfs.Exists(snap_path + ".tmp")) vfs.Remove(snap_path + ".tmp");
+
+  std::uint64_t snap_lsn = 0;
+  if (vfs.Exists(snap_path)) {
+    Result<std::string> data = vfs.ReadFile(snap_path);
+    if (!data.ok()) return data.status();
+    ByteReader header(*data);
+    std::string_view magic;
+    std::uint32_t len = 0;
+    std::uint32_t masked_crc = 0;
+    std::string_view payload;
+    if (!header.GetBytes(kSnapshotMagic.size(), &magic) ||
+        magic != kSnapshotMagic) {
+      return CorruptWalError("snapshot: bad magic in " + snap_path);
+    }
+    if (!header.GetU32(&len) || !header.GetU32(&masked_crc) ||
+        !header.GetBytes(len, &payload) || !header.AtEnd()) {
+      return CorruptWalError("snapshot: truncated or oversized " +
+                             snap_path);
+    }
+    if (Crc32c(payload) != Crc32cUnmask(masked_crc)) {
+      return CorruptWalError("snapshot: checksum mismatch in " + snap_path);
+    }
+    ByteReader body(payload);
+    std::string_view state_bytes;
+    if (!body.GetU64(&snap_lsn) ||
+        !body.GetBytes(body.remaining(), &state_bytes)) {
+      return CorruptWalError("snapshot: missing LSN in " + snap_path);
+    }
+    Result<CatalogState> state = DecodeCatalogState(state_bytes, ctx);
+    if (!state.ok()) return state.status();
+    cat->state_ = std::move(*state);
+    cat->open_info_.snapshot_loaded = true;
+    cat->open_info_.snapshot_lsn = snap_lsn;
+  }
+
+  // Replay the log. `good` counts frames that survive (applied or
+  // stale-skipped); the first undecodable record — like a torn frame —
+  // truncates the log from that point on.
+  Result<WalReadResult> wal_read = ReadWal(vfs, wal_path);
+  if (!wal_read.ok()) return wal_read.status();
+  std::uint64_t last_lsn = snap_lsn;
+  std::size_t good = 0;
+  std::uint64_t bad_body_bytes = 0;
+  for (const std::string& payload : wal_read->payloads) {
+    if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
+    ByteReader in(payload);
+    std::uint64_t lsn = 0;
+    Status applied = Status::Ok();
+    if (!in.GetU64(&lsn)) {
+      applied = CorruptWalError("record too short for LSN");
+    } else if (lsn <= snap_lsn) {
+      // Stale: logged before the snapshot that survived (the crash hit
+      // between snapshot rotation and WAL reset). Skipping is the replay
+      // idempotence rule.
+      ++cat->open_info_.skipped_records;
+    } else if (lsn != last_lsn + 1) {
+      applied = CorruptWalError("LSN gap");
+    } else {
+      applied = ApplyCommitBody(cat->state_, in, ctx);
+    }
+    if (!applied.ok()) {
+      if (IsGovernorAbort(applied)) return applied;
+      break;  // truncate from this record
+    }
+    if (lsn > snap_lsn) {
+      last_lsn = lsn;
+      ++cat->open_info_.replayed_records;
+    }
+    ++good;
+  }
+  for (std::size_t i = good; i < wal_read->payloads.size(); ++i) {
+    bad_body_bytes += 8 + wal_read->payloads[i].size();
+  }
+  cat->open_info_.truncated_bytes = wal_read->dropped_bytes + bad_body_bytes;
+  cat->next_lsn_ = last_lsn + 1;
+
+  cat->wal_ = std::make_unique<WalWriter>(vfs, wal_path, &cat->stats_);
+  if (cat->open_info_.truncated_bytes > 0) {
+    // Physically truncate to the valid prefix: appending after garbage
+    // would orphan every future commit behind an undecodable record.
+    std::vector<std::string> keep(wal_read->payloads.begin(),
+                                  wal_read->payloads.begin() +
+                                      static_cast<std::ptrdiff_t>(good));
+    if (Status s = cat->wal_->Rewrite(keep); !s.ok()) return s;
+  } else {
+    if (Status s = cat->wal_->Open(); !s.ok()) return s;
+  }
+
+  cat->open_info_.replay_ms = MsSince(t0);
+  cat->stats_.replayed_records = cat->open_info_.replayed_records;
+  cat->stats_.truncated_bytes = cat->open_info_.truncated_bytes;
+  cat->stats_.replay_ns = MetricsNowNs() - t0;
+  return cat;
+}
+
+Status Catalog::Latch(Status s) {
+  if (latched_.ok()) latched_ = s;
+  return s;
+}
+
+Status Catalog::Commit(const std::vector<std::string>& bodies,
+                       QueryContext* ctx) {
+  (void)ctx;  // encoding polls upstream; the apply below must not abort
+  if (!latched_.ok()) return latched_;
+  // One payload, one frame, one CRC for the whole batch: a torn write can
+  // only drop the commit entirely, never apply a subset of its records.
+  std::string payload;
+  PutU64(payload, next_lsn_);
+  PutU32(payload, static_cast<std::uint32_t>(bodies.size()));
+  for (const std::string& body : bodies) PutString(payload, body);
+  if (Status s = wal_->Append({payload}); !s.ok()) {
+    // The tail may hold a torn frame; appending more would put committed
+    // records behind garbage, so the catalog goes read-only until reopen.
+    return Latch(std::move(s));
+  }
+  ++next_lsn_;
+  // Acknowledge only what replay will rebuild: apply the logged bytes.
+  // No governor here — these bytes are durable, so the in-memory state
+  // must follow unconditionally.
+  ByteReader in(payload);
+  std::uint64_t lsn = 0;
+  Status applied = in.GetU64(&lsn)
+                       ? ApplyCommitBody(state_, in, nullptr)
+                       : CorruptWalError("self-encoded commit too short");
+  if (!applied.ok()) {
+    return Latch(InternalError("logged commit failed to apply: " +
+                               applied.ToString()));
+  }
+  return Status::Ok();
+}
+
+Status Catalog::PutRelation(const Relation& rel, QueryContext* ctx) {
+  return PutRelations({&rel}, ctx);
+}
+
+Status Catalog::PutRelations(const std::vector<const Relation*>& rels,
+                             QueryContext* ctx) {
+  std::vector<std::string> bodies;
+  bodies.reserve(rels.size());
+  for (const Relation* rel : rels) {
+    if (rel->name().empty()) {
+      return InvalidArgumentError("cannot persist an unnamed relation");
+    }
+    Status encode_status;
+    bodies.push_back(RelationBody(*rel, ctx, &encode_status));
+    if (!encode_status.ok()) return encode_status;  // governor abort
+  }
+  return Commit(bodies, ctx);
+}
+
+Status Catalog::DefineRule(const std::string& rule_text) {
+  std::string body;
+  body.push_back(static_cast<char>(WalRecordType::kDefineRule));
+  PutString(body, rule_text);
+  return Commit({std::move(body)}, nullptr);
+}
+
+Status Catalog::PutFlock(const std::string& name, const std::string& source) {
+  std::string body;
+  body.push_back(static_cast<char>(WalRecordType::kPutFlock));
+  PutString(body, name);
+  PutString(body, source);
+  return Commit({std::move(body)}, nullptr);
+}
+
+Status Catalog::SetKnob(const std::string& key, std::int64_t value) {
+  std::string body;
+  body.push_back(static_cast<char>(WalRecordType::kSetKnob));
+  PutString(body, key);
+  PutI64(body, value);
+  return Commit({std::move(body)}, nullptr);
+}
+
+Status Catalog::Checkpoint(QueryContext* ctx) {
+  if (!latched_.ok()) return latched_;
+  std::uint64_t t0 = MetricsNowNs();
+  std::string payload;
+  PutU64(payload, next_lsn_ - 1);
+  Result<std::string> state_bytes = EncodeCatalogState(state_, ctx);
+  if (!state_bytes.ok()) return state_bytes.status();  // governor abort
+  payload += *state_bytes;
+
+  std::string file_bytes;
+  file_bytes.reserve(kSnapshotMagic.size() + 8 + payload.size());
+  file_bytes += kSnapshotMagic;
+  PutU32(file_bytes, static_cast<std::uint32_t>(payload.size()));
+  PutU32(file_bytes, Crc32cMask(Crc32c(payload)));
+  file_bytes += payload;
+
+  const std::string snap_path = dir_ + "/" + std::string(kSnapshotFile);
+  if (Status s = AtomicWriteFile(vfs_, snap_path, file_bytes); !s.ok()) {
+    return Latch(std::move(s));
+  }
+  stats_.fsyncs += 2;  // AtomicWriteFile: file sync + dir sync
+  // Only now, with the snapshot durable, may the log shrink. A crash
+  // in between replays stale records, which LSN skipping neutralizes.
+  if (Status s = wal_->Reset(); !s.ok()) {
+    return Latch(std::move(s));
+  }
+  ++stats_.snapshots;
+  stats_.snapshot_bytes += file_bytes.size();
+  stats_.snapshot_ns += MetricsNowNs() - t0;
+  return Status::Ok();
+}
+
+}  // namespace qf

@@ -1,0 +1,145 @@
+// Durable catalog: the named relations, intermediate-predicate rules,
+// flock definitions, and session knobs of a query-flocks session,
+// persisted so that no acknowledged statement is ever silently lost or
+// half-applied across a crash (the mining-inside-the-DBMS assumption —
+// mined relations and session state survive interactive sessions).
+//
+// Persistence = checksummed snapshot + write-ahead log, in one directory:
+//
+//   <dir>/catalog.snap   snapshot: "QFSNAP01" magic, u32 payload length,
+//                        u32 masked CRC32C, payload = u64 last-applied
+//                        LSN + EncodeCatalogState bytes. Rotated via
+//                        catalog.snap.tmp + fsync + rename + dir fsync.
+//   <dir>/catalog.wal    frames (storage/wal.h); each frame payload is
+//                        one *commit*: u64 LSN, u32 record count, then
+//                        that many length-prefixed records (u8 type +
+//                        body each). A multi-record commit shares one
+//                        frame and one CRC, so it is all-or-nothing
+//                        across a torn write.
+//
+// Commit protocol: a mutation is encoded, appended to the WAL, fsynced,
+// and only then applied in memory and acknowledged. The in-memory apply
+// *decodes the very bytes that were logged*, so replay is the same code
+// path as the original execution — what the WAL holds is exactly what
+// recovery rebuilds.
+//
+// Recovery (Open): load + verify the snapshot (corrupt snapshot =>
+// CORRUPT_WAL error, nothing is guessed), then replay WAL records with
+// LSN > snapshot LSN. The first torn or checksum-failing record truncates
+// the log (crash artifact — see wal.h); a record that checksums but does
+// not decode also truncates, and the file is rewritten to the valid
+// prefix so future commits append after good bytes. LSNs make the
+// snapshot-then-truncate rotation crash-safe at every intermediate point:
+// stale records (LSN <= snapshot) replay as no-ops.
+//
+// Failure containment: after any I/O error on the commit path the
+// catalog latches read-only — further mutations return the latched
+// IO_ERROR (the WAL tail may be torn; appending after it would orphan
+// later commits). Reopening the directory recovers the acknowledged
+// prefix. Long replays and snapshot encodes poll the resource governor,
+// so recovery of a huge catalog is still interruptible.
+#ifndef QF_STORAGE_CATALOG_H_
+#define QF_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/status.h"
+#include "common/vfs.h"
+#include "relational/database.h"
+#include "storage/wal.h"
+
+namespace qf {
+
+// Everything the catalog makes durable. Plain value type so tests can
+// keep in-memory oracles and compare bit-for-bit via EncodeCatalogState.
+struct CatalogState {
+  Database db;
+  // DEFINE sources, in definition order (order matters for validation).
+  std::vector<std::string> rules;
+  // Flock name -> declaration source ("<name> QUERY ... FILTER ...",
+  // minus the name; re-parsed by the shell on adoption).
+  std::map<std::string, std::string> flocks;
+  // Session knobs ("THREADS", "TIMEOUT_MS", "MEMORY_MB").
+  std::map<std::string, std::int64_t> knobs;
+};
+
+// Deterministic encoding of `state` (relations in name order, rows in
+// stored order). Equal states encode to identical bytes — the oracle
+// comparison the crash-recovery tests rely on. Governor-pollable.
+Result<std::string> EncodeCatalogState(const CatalogState& state,
+                                       QueryContext* ctx = nullptr);
+Result<CatalogState> DecodeCatalogState(std::string_view bytes,
+                                        QueryContext* ctx = nullptr);
+
+class Catalog {
+ public:
+  struct OpenInfo {
+    bool snapshot_loaded = false;
+    std::uint64_t snapshot_lsn = 0;
+    std::uint64_t replayed_records = 0;  // applied (LSN > snapshot)
+    std::uint64_t skipped_records = 0;   // stale (LSN <= snapshot)
+    std::uint64_t truncated_bytes = 0;   // torn/corrupt tail dropped
+    double replay_ms = 0.0;
+  };
+
+  // Opens (creating if needed) the catalog in `dir`, recovering state
+  // from snapshot + WAL. Returns CORRUPT_WAL for an unreadable snapshot,
+  // IO_ERROR for OS failures, and the governor's typed status if `ctx`
+  // trips mid-recovery.
+  static Result<std::unique_ptr<Catalog>> Open(Vfs& vfs, std::string dir,
+                                               QueryContext* ctx = nullptr);
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // --- mutations (logged, fsynced, then applied; see commit protocol) ---
+
+  Status PutRelation(const Relation& rel, QueryContext* ctx = nullptr);
+  // One commit (single fsync) covering several relations — all-or-nothing
+  // across a crash, for multi-relation statements like GEN MEDICAL.
+  Status PutRelations(const std::vector<const Relation*>& rels,
+                      QueryContext* ctx = nullptr);
+  Status DefineRule(const std::string& rule_text);
+  Status PutFlock(const std::string& name, const std::string& source);
+  Status SetKnob(const std::string& key, std::int64_t value);
+
+  // Writes a fresh snapshot (temp + fsync + rename + dir fsync) and
+  // resets the WAL. The snapshot is durable before the log shrinks.
+  Status Checkpoint(QueryContext* ctx = nullptr);
+
+  // --- inspection ---
+
+  const CatalogState& state() const { return state_; }
+  const std::string& dir() const { return dir_; }
+  const StorageStats& stats() const { return stats_; }
+  const OpenInfo& open_info() const { return open_info_; }
+  // OK while the catalog accepts mutations; the latched IO_ERROR after a
+  // commit-path failure.
+  Status Healthy() const { return latched_; }
+
+ private:
+  Catalog(Vfs& vfs, std::string dir);
+
+  // Appends `payloads` as one WAL commit, then applies them in memory.
+  Status Commit(const std::vector<std::string>& payloads, QueryContext* ctx);
+  Status Latch(Status s);
+
+  Vfs& vfs_;
+  std::string dir_;
+  CatalogState state_;
+  std::unique_ptr<WalWriter> wal_;
+  std::uint64_t next_lsn_ = 1;
+  StorageStats stats_;
+  OpenInfo open_info_;
+  Status latched_;  // OK, or the first commit-path I/O error
+};
+
+}  // namespace qf
+
+#endif  // QF_STORAGE_CATALOG_H_

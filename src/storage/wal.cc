@@ -1,0 +1,109 @@
+#include "storage/wal.h"
+
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/metrics.h"
+#include "relational/serialize.h"
+
+namespace qf {
+
+namespace {
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 len + u32 masked crc
+}  // namespace
+
+void AppendWalFrame(std::string& out, std::string_view payload) {
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, Crc32cMask(Crc32c(payload)));
+  out.append(payload);
+}
+
+WalReadResult ParseWal(std::string_view data) {
+  WalReadResult out;
+  std::size_t pos = 0;
+  while (data.size() - pos >= kFrameHeaderBytes) {
+    ByteReader header(data.substr(pos, kFrameHeaderBytes));
+    std::uint32_t len = 0;
+    std::uint32_t masked_crc = 0;
+    header.GetU32(&len);
+    header.GetU32(&masked_crc);
+    if (data.size() - pos - kFrameHeaderBytes < len) break;  // torn payload
+    std::string_view payload = data.substr(pos + kFrameHeaderBytes, len);
+    if (Crc32c(payload) != Crc32cUnmask(masked_crc)) break;  // corrupt
+    out.payloads.emplace_back(payload);
+    pos += kFrameHeaderBytes + len;
+  }
+  out.valid_bytes = pos;
+  out.dropped_bytes = data.size() - pos;
+  return out;
+}
+
+Result<WalReadResult> ReadWal(Vfs& vfs, const std::string& path) {
+  if (!vfs.Exists(path)) return WalReadResult{};
+  Result<std::string> data = vfs.ReadFile(path);
+  if (!data.ok()) return data.status();
+  return ParseWal(*data);
+}
+
+WalWriter::WalWriter(Vfs& vfs, std::string path, StorageStats* stats)
+    : vfs_(vfs), path_(std::move(path)), stats_(stats) {}
+
+Status WalWriter::Open() {
+  Result<std::unique_ptr<WritableFile>> file = vfs_.OpenAppend(path_);
+  if (!file.ok()) return file.status();
+  // The open may have created the file, and fsyncing record content does
+  // not make the *directory entry* durable: without a dir fsync here a
+  // crash could drop the entire log even though every commit synced.
+  if (Status s = vfs_.SyncDir(VfsDirName(path_)); !s.ok()) return s;
+  if (stats_ != nullptr) ++stats_->fsyncs;
+  file_ = std::move(*file);
+  return Status::Ok();
+}
+
+Status WalWriter::ReplaceWith(const std::string& content) {
+  file_.reset();
+  Result<std::unique_ptr<WritableFile>> file = vfs_.OpenTrunc(path_);
+  if (!file.ok()) return file.status();
+  if (!content.empty()) {
+    if (Status s = (*file)->Append(content); !s.ok()) return s;
+  }
+  if (Status s = (*file)->Sync(); !s.ok()) return s;
+  if (Status s = vfs_.SyncDir(VfsDirName(path_)); !s.ok()) return s;
+  if (stats_ != nullptr) stats_->fsyncs += 2;
+  // The truncating handle doubles as the append handle: writes continue
+  // at the end of the rewritten prefix.
+  file_ = std::move(*file);
+  return Status::Ok();
+}
+
+Status WalWriter::Reset() { return ReplaceWith(std::string()); }
+
+Status WalWriter::Rewrite(const std::vector<std::string>& payloads) {
+  std::string content;
+  for (const std::string& payload : payloads) {
+    AppendWalFrame(content, payload);
+  }
+  return ReplaceWith(content);
+}
+
+Status WalWriter::Append(const std::vector<std::string>& payloads) {
+  if (file_ == nullptr) {
+    return FailedPreconditionError("WAL writer is not open: " + path_);
+  }
+  std::string batch;
+  for (const std::string& payload : payloads) {
+    AppendWalFrame(batch, payload);
+  }
+  if (Status s = file_->Append(batch); !s.ok()) return s;
+  std::uint64_t t0 = MetricsNowNs();
+  if (Status s = file_->Sync(); !s.ok()) return s;
+  if (stats_ != nullptr) {
+    stats_->wal_sync_ns += MetricsNowNs() - t0;
+    ++stats_->fsyncs;
+    stats_->wal_records += payloads.size();
+    stats_->wal_bytes += batch.size();
+  }
+  return Status::Ok();
+}
+
+}  // namespace qf

@@ -1,0 +1,80 @@
+// Full crash-recovery torture grid (the `slow` label): every crash point
+// x thread counts {0, 1, 4} x torn-write sizes x both crash outcomes,
+// plus an exhaustive per-bit WAL corruption sweep. The quick subset that
+// runs in every test matrix lives in crash_recovery_test.cc.
+#include "crash_recovery_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/vfs.h"
+#include "storage/catalog.h"
+
+namespace qf {
+namespace {
+
+TEST(CrashRecoveryStressTest, FullCrashPointMatrix) {
+  for (unsigned threads : {0u, 1u, 4u}) {
+    for (std::uint32_t torn : {0u, 3u, 4096u}) {
+      for (bool power_loss : {true, false}) {
+        RunCrashSweep(threads, torn, power_loss);
+        if (HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(CrashRecoveryStressTest, EveryWalBitFlipRecoversAPrefix) {
+  MemVfs vfs;
+  ASSERT_GT(RunWorkload(vfs, 1), 0u);
+  Result<std::string> wal = vfs.ReadFile("cat/catalog.wal");
+  ASSERT_TRUE(wal.ok());
+  ASSERT_FALSE(wal->empty());
+  std::vector<std::string> oracle = WorkloadOracle(1);
+  for (std::size_t bit = 0; bit < wal->size() * 8; ++bit) {
+    std::string mutated = *wal;
+    mutated[bit / 8] =
+        static_cast<char>(mutated[bit / 8] ^ (1u << (bit % 8)));
+    MemVfs scratch;
+    ASSERT_TRUE(scratch.CreateDirs("cat").ok());
+    ASSERT_TRUE(AtomicWriteFile(scratch, "cat/catalog.wal", mutated).ok());
+    Result<std::unique_ptr<Catalog>> reopened = Catalog::Open(scratch, "cat");
+    if (!reopened.ok()) {
+      EXPECT_EQ(reopened.status().code(), StatusCode::kCorruptWal)
+          << "bit " << bit;
+      continue;
+    }
+    EXPECT_TRUE(IsOracleState(oracle, StateBytes(**reopened)))
+        << "bit " << bit;
+  }
+}
+
+TEST(CrashRecoveryStressTest, EverySnapshotBitFlipIsContained) {
+  MemVfs vfs;
+  {
+    Result<std::unique_ptr<Catalog>> cat = Catalog::Open(vfs, "cat");
+    ASSERT_TRUE(cat.ok());
+    ASSERT_TRUE((*cat)->SetKnob("A", 1).ok());
+    ASSERT_TRUE((*cat)->Checkpoint().ok());
+  }
+  Result<std::string> snap = vfs.ReadFile("cat/catalog.snap");
+  ASSERT_TRUE(snap.ok());
+  for (std::size_t bit = 0; bit < snap->size() * 8; ++bit) {
+    std::string mutated = *snap;
+    mutated[bit / 8] =
+        static_cast<char>(mutated[bit / 8] ^ (1u << (bit % 8)));
+    MemVfs scratch;
+    ASSERT_TRUE(scratch.CreateDirs("cat").ok());
+    ASSERT_TRUE(AtomicWriteFile(scratch, "cat/catalog.snap", mutated).ok());
+    Result<std::unique_ptr<Catalog>> reopened = Catalog::Open(scratch, "cat");
+    // A corrupt snapshot is never silently "repaired": the typed error
+    // tells the operator to restore from a good copy.
+    ASSERT_FALSE(reopened.ok()) << "bit " << bit;
+    EXPECT_EQ(reopened.status().code(), StatusCode::kCorruptWal)
+        << "bit " << bit;
+  }
+}
+
+}  // namespace
+}  // namespace qf

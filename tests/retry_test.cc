@@ -1,0 +1,156 @@
+// Unit tests for the retry helper (common/retry.h): bounded attempts,
+// deterministic capped-exponential backoff with seeded jitter, and
+// governor-driven aborts of the retry loop.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace qf {
+namespace {
+
+TEST(BackoffDelayTest, GrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.base_delay_us = 100;
+  policy.max_delay_us = 1000;
+  Rng rng(42);
+  // Jitter is in [0, base); the deterministic part doubles then caps.
+  std::int64_t expected_floor[] = {100, 200, 400, 800, 1000, 1000};
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    std::int64_t delay = BackoffDelayUs(policy, attempt, rng);
+    EXPECT_GE(delay, expected_floor[attempt]) << "attempt " << attempt;
+    EXPECT_LT(delay, expected_floor[attempt] + policy.base_delay_us)
+        << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffDelayTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  Rng a(7);
+  Rng b(7);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    EXPECT_EQ(BackoffDelayUs(policy, attempt, a),
+              BackoffDelayUs(policy, attempt, b));
+  }
+}
+
+TEST(BackoffDelayTest, ZeroBaseMeansNoJitter) {
+  RetryPolicy policy;
+  policy.base_delay_us = 0;
+  policy.max_delay_us = 500;
+  Rng rng(1);
+  EXPECT_EQ(BackoffDelayUs(policy, 0, rng), 0);
+  EXPECT_EQ(BackoffDelayUs(policy, 3, rng), 0);
+}
+
+RetryPolicy FastPolicy(int attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.base_delay_us = 1;  // keep test wall time negligible
+  policy.max_delay_us = 2;
+  return policy;
+}
+
+TEST(RetryTest, StopsAfterMaxAttempts) {
+  int calls = 0;
+  Rng rng(1);
+  Status s = RetryWithBackoff(
+      FastPolicy(4), rng,
+      [&] {
+        ++calls;
+        return IoError("still broken");
+      },
+      [](const Status&) { return true; });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(RetryTest, NonRetryableReturnsImmediately) {
+  int calls = 0;
+  Rng rng(1);
+  Status s = RetryWithBackoff(
+      FastPolicy(5), rng,
+      [&] {
+        ++calls;
+        return InvalidArgumentError("permanent");
+      },
+      [](const Status& st) { return st.code() == StatusCode::kIoError; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RetryTest, SucceedsMidway) {
+  int calls = 0;
+  Rng rng(1);
+  Status s = RetryWithBackoff(
+      FastPolicy(5), rng,
+      [&] {
+        ++calls;
+        return calls < 3 ? IoError("transient") : Status::Ok();
+      },
+      [](const Status&) { return true; });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, TrippedGovernorPreemptsFirstAttempt) {
+  QueryContext ctx;
+  ctx.RequestCancel();
+  int calls = 0;
+  Rng rng(1);
+  Status s = RetryWithBackoff(
+      FastPolicy(5), rng,
+      [&] {
+        ++calls;
+        return IoError("transient");
+      },
+      [](const Status&) { return true; }, &ctx);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+}
+
+TEST(RetryTest, CancelDuringBackoffAbortsTheLoop) {
+  QueryContext ctx;
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.base_delay_us = 5000;  // long sleeps the cancel must cut short
+  policy.max_delay_us = 50'000;
+  std::atomic<int> calls{0};
+  Rng rng(1);
+  std::thread canceller([&] {
+    while (calls.load() == 0) std::this_thread::yield();
+    ctx.RequestCancel();
+  });
+  Status s = RetryWithBackoff(
+      policy, rng,
+      [&] {
+        calls.fetch_add(1);
+        return IoError("transient");
+      },
+      [](const Status&) { return true; }, &ctx);
+  canceller.join();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  // Far fewer than max_attempts: the governor aborted the retry storm.
+  EXPECT_LT(calls.load(), 10);
+}
+
+TEST(RetryTest, DeadlineCutsSleepShort) {
+  QueryContext ctx;
+  ctx.set_timeout_ms(10);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(InterruptibleSleepUs(500'000, &ctx));
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  EXPECT_LT(ms, 400);  // nowhere near the full 500 ms sleep
+}
+
+}  // namespace
+}  // namespace qf

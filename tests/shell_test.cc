@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 
+#include "common/vfs.h"
 #include "shell/shell.h"
 
 namespace qf {
@@ -372,6 +374,115 @@ TEST(ShellGovernorTest, MaximalIsGoverned) {
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
   MustRun(shell, "SET TIMEOUT 0");
+}
+
+// ---------------------------------------------------- durable catalog
+
+TEST(ShellCatalogTest, OpenPersistsAcrossSessions) {
+  MemVfs vfs;
+  {
+    Shell shell;
+    shell.set_vfs(&vfs);
+    std::string out = MustRun(shell, "OPEN cat");
+    EXPECT_NE(out.find("opened cat"), std::string::npos);
+    MustRun(shell, "GEN BASKETS b n_baskets=40 n_items=8 seed=5");
+    MustRun(shell, "DEFINE big(B) :- b(B, I)");
+    MustRun(shell,
+            "FLOCK f QUERY answer(B) :- b(B,$1) FILTER COUNT >= 2");
+    MustRun(shell, "THREADS 2");
+    ASSERT_NE(shell.catalog(), nullptr);
+  }
+  Shell shell;
+  shell.set_vfs(&vfs);
+  std::string out = MustRun(shell, "OPEN cat");
+  EXPECT_NE(out.find("opened cat: 1 relations, 1 rules, 1 flocks"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(MustRun(shell, "SHOW RELATIONS").find("b("), std::string::npos);
+  EXPECT_NE(MustRun(shell, "SHOW FLOCKS").find("f"), std::string::npos);
+  // The recovered flock and rule are live, not just listed.
+  EXPECT_NE(MustRun(shell, "RUN f").find("rows"), std::string::npos);
+}
+
+TEST(ShellCatalogTest, CheckpointResetsWalAndSurvivesReopen) {
+  MemVfs vfs;
+  Shell shell;
+  shell.set_vfs(&vfs);
+  MustRun(shell, "OPEN cat");
+  MustRun(shell, "GEN BASKETS b n_baskets=30 n_items=8 seed=5");
+  std::string out = MustRun(shell, "CHECKPOINT");
+  EXPECT_NE(out.find("bytes snapshotted"), std::string::npos);
+  Result<std::string> wal = vfs.ReadFile("cat/catalog.wal");
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->empty());
+  Shell second;
+  second.set_vfs(&vfs);
+  std::string reopened = MustRun(second, "OPEN cat");
+  EXPECT_NE(reopened.find("opened cat: 1 relations"), std::string::npos);
+}
+
+TEST(ShellCatalogTest, TornWalTailIsReportedOnOpen) {
+  MemVfs vfs;
+  {
+    Shell shell;
+    shell.set_vfs(&vfs);
+    MustRun(shell, "OPEN cat");
+    MustRun(shell, "GEN BASKETS b n_baskets=30 n_items=8 seed=5");
+    MustRun(shell, "DEFINE big(B) :- b(B, I)");
+  }
+  // Tear the last commit mid-frame, as a crash during the append would.
+  Result<std::string> wal = vfs.ReadFile("cat/catalog.wal");
+  ASSERT_TRUE(wal.ok());
+  {
+    Result<std::unique_ptr<WritableFile>> f = vfs.OpenTrunc("cat/catalog.wal");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(wal->substr(0, wal->size() - 4)).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  Shell shell;
+  shell.set_vfs(&vfs);
+  std::string out = MustRun(shell, "OPEN cat");
+  EXPECT_NE(out.find("opened cat: 1 relations, 0 rules"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("bytes truncated"), std::string::npos);
+}
+
+TEST(ShellCatalogTest, CheckpointWithoutOpenCatalogFails) {
+  Shell shell;
+  Result<std::string> out = shell.Execute("CHECKPOINT");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ShellCatalogTest, OpenFailureLeavesSessionUntouched) {
+  MemVfs vfs;
+  // Plant a corrupt snapshot.
+  ASSERT_TRUE(vfs.CreateDirs("cat").ok());
+  ASSERT_TRUE(AtomicWriteFile(vfs, "cat/catalog.snap", "not a snapshot").ok());
+  Shell shell;
+  shell.set_vfs(&vfs);
+  MustRun(shell, "GEN BASKETS keep n_baskets=10 n_items=5 seed=1");
+  Result<std::string> out = shell.Execute("OPEN cat");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kCorruptWal);
+  // The in-memory session (and its relations) survives the failed OPEN.
+  EXPECT_EQ(shell.catalog(), nullptr);
+  EXPECT_NE(MustRun(shell, "SHOW RELATIONS").find("keep"),
+            std::string::npos);
+}
+
+TEST(ShellCatalogTest, ExplainAnalyzeShowsStorageSubtree) {
+  MemVfs vfs;
+  Shell shell;
+  shell.set_vfs(&vfs);
+  MustRun(shell, "OPEN cat");
+  MustRun(shell, "GEN BASKETS b n_baskets=40 n_items=8 seed=5");
+  MustRun(shell,
+          "FLOCK f QUERY answer(B) :- b(B,$1) FILTER COUNT >= 2");
+  std::string out = MustRun(shell, "EXPLAIN ANALYZE f");
+  EXPECT_NE(out.find("storage:"), std::string::npos) << out;
+  EXPECT_NE(out.find("wal"), std::string::npos);
+  EXPECT_NE(out.find("fsyncs="), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Inspect and corrupt a query-flocks catalog WAL for recovery drills.
+
+The WAL (src/storage/wal.h) is a sequence of frames:
+
+    [u32 payload length][u32 masked CRC32C of payload][payload bytes]
+
+little-endian, CRC masked LevelDB-style (rotate right 15, + 0xa282ead8).
+Each payload is one catalog commit. Recovery truncates the log at the
+first frame whose header is short, whose payload is short, or whose CRC
+does not match — so flipping one bit in frame k must make `OPEN` recover
+exactly frames [0, k) and report the rest as truncated bytes.
+
+Commands:
+
+    corrupt_wal.py list <wal>                 # frame table + CRC verdicts
+    corrupt_wal.py flip <wal> --frame K [--offset N] [--out PATH]
+    corrupt_wal.py flip <wal> --byte N [--bit B] [--out PATH]
+    corrupt_wal.py truncate <wal> --frame K [--out PATH]
+    corrupt_wal.py tear <wal> --frame K --keep N [--out PATH]
+
+`flip --frame` flips one payload bit of frame K (CRC then fails);
+`truncate --frame` cuts the file at the start of frame K; `tear` keeps
+frame K's first N bytes only, simulating a torn append. Without --out the
+file is modified in place. Exit status 0 on success.
+
+Used by the crash-recovery CI job to corrupt a real shell session's WAL
+and assert `OPEN` reports the truncation instead of crashing or silently
+resurrecting the damaged commit.
+"""
+
+import argparse
+import struct
+import sys
+
+CRC_MASK_DELTA = 0xA282EAD8
+HEADER = struct.Struct("<II")
+
+_TABLE = []
+for _i in range(256):
+    _c = _i
+    for _ in range(8):
+        _c = (_c >> 1) ^ 0x82F63B78 if _c & 1 else _c >> 1
+    _TABLE.append(_c)
+
+
+def crc32c(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for b in data:
+        crc = _TABLE[(crc ^ b) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def mask(crc: int) -> int:
+    return (((crc >> 15) | (crc << 17)) + CRC_MASK_DELTA) & 0xFFFFFFFF
+
+
+def parse_frames(data: bytes):
+    """Yields (offset, length, stored_masked_crc, ok) per complete frame;
+    stops exactly where recovery would truncate."""
+    frames = []
+    pos = 0
+    while pos + HEADER.size <= len(data):
+        length, stored = HEADER.unpack_from(data, pos)
+        start = pos + HEADER.size
+        if start + length > len(data):
+            break  # torn tail
+        payload = data[start : start + length]
+        ok = mask(crc32c(payload)) == stored
+        frames.append((pos, length, stored, ok))
+        if not ok:
+            break  # recovery stops here too
+        pos = start + length
+    return frames
+
+
+def load(path: str) -> bytes:
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def store(path: str, data: bytes) -> None:
+    with open(path, "wb") as f:
+        f.write(data)
+
+
+def frame_or_die(frames, k: int):
+    if not 0 <= k < len(frames):
+        sys.exit(f"error: frame {k} out of range (log has {len(frames)} "
+                 "parseable frames)")
+    return frames[k]
+
+
+def cmd_list(args) -> int:
+    data = load(args.wal)
+    frames = parse_frames(data)
+    consumed = 0
+    for i, (off, length, stored, ok) in enumerate(frames):
+        verdict = "ok" if ok else "CRC MISMATCH"
+        print(f"frame {i}: offset {off} payload {length} bytes "
+              f"crc 0x{stored:08x} {verdict}")
+        if ok:
+            consumed = off + HEADER.size + length
+    tail = len(data) - consumed
+    print(f"{len(data)} bytes total, {tail} would be truncated on recovery")
+    return 0
+
+
+def cmd_flip(args) -> int:
+    data = bytearray(load(args.wal))
+    if args.frame is not None:
+        off, length, _, _ = frame_or_die(parse_frames(data), args.frame)
+        if length == 0:
+            sys.exit(f"error: frame {args.frame} has an empty payload")
+        byte = off + HEADER.size + (args.offset % length)
+    else:
+        if args.byte is None:
+            sys.exit("error: flip needs --frame or --byte")
+        byte = args.byte
+    if not 0 <= byte < len(data):
+        sys.exit(f"error: byte {byte} out of range ({len(data)} bytes)")
+    data[byte] ^= 1 << (args.bit % 8)
+    store(args.out or args.wal, bytes(data))
+    print(f"flipped bit {args.bit % 8} of byte {byte}")
+    return 0
+
+
+def cmd_truncate(args) -> int:
+    data = load(args.wal)
+    off, _, _, _ = frame_or_die(parse_frames(data), args.frame)
+    store(args.out or args.wal, data[:off])
+    print(f"truncated to {off} bytes (start of frame {args.frame})")
+    return 0
+
+
+def cmd_tear(args) -> int:
+    data = load(args.wal)
+    off, length, _, _ = frame_or_die(parse_frames(data), args.frame)
+    whole = HEADER.size + length
+    keep = min(args.keep, whole)
+    store(args.out or args.wal, data[: off + keep])
+    print(f"tore frame {args.frame}: kept {keep} of {whole} bytes")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="print the frame table")
+    p.add_argument("wal")
+    p.set_defaults(run=cmd_list)
+
+    p = sub.add_parser("flip", help="flip one bit")
+    p.add_argument("wal")
+    p.add_argument("--frame", type=int, help="target frame's payload")
+    p.add_argument("--offset", type=int, default=0,
+                   help="payload byte within --frame (default 0)")
+    p.add_argument("--byte", type=int, help="absolute byte offset instead")
+    p.add_argument("--bit", type=int, default=0)
+    p.add_argument("--out", help="write here instead of in place")
+    p.set_defaults(run=cmd_flip)
+
+    p = sub.add_parser("truncate", help="cut the log at a frame boundary")
+    p.add_argument("wal")
+    p.add_argument("--frame", type=int, required=True)
+    p.add_argument("--out")
+    p.set_defaults(run=cmd_truncate)
+
+    p = sub.add_parser("tear", help="keep only a prefix of one frame")
+    p.add_argument("wal")
+    p.add_argument("--frame", type=int, required=True)
+    p.add_argument("--keep", type=int, required=True,
+                   help="bytes of the frame (header included) to keep")
+    p.add_argument("--out")
+    p.set_defaults(run=cmd_tear)
+
+    args = parser.parse_args()
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
