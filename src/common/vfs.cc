@@ -297,10 +297,19 @@ Result<std::unique_ptr<WritableFile>> MemVfs::OpenTrunc(
   if (!dirs_.contains(VfsDirName(path))) {
     return NotFoundError("open " + path + ": no such directory");
   }
-  // A fresh inode: the rewrite becomes durable only via Sync + SyncDir,
-  // the strictest (most adversarial) reading of O_TRUNC semantics.
   auto inode = std::make_shared<Inode>();
   live_[path] = inode;
+  // POSIX gives no ordering between an O_TRUNC reaching stable storage
+  // and the rewritten bytes doing so: the size change may land at once.
+  // The adversarial model therefore makes an in-place truncation of a
+  // durably existing file durable immediately — a crash before the new
+  // content syncs recovers an *empty* file, never the old bytes. (The
+  // new content itself still needs Sync; a brand-new file's directory
+  // entry still needs SyncDir. Rename-style rewrites are unaffected:
+  // they truncate only their temp file.)
+  if (auto it = durable_.find(path); it != durable_.end()) {
+    it->second = inode;
+  }
   return std::unique_ptr<WritableFile>(
       new MemFile(this, std::move(inode), epoch_, path));
 }

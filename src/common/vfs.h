@@ -8,11 +8,12 @@
 //     EINTR/EAGAIN retried via common/retry.h. O_APPEND-free sequential
 //     writers (one owner per file, as the storage layer guarantees).
 //   * MemVfs — an in-memory filesystem with *fsync-accurate crash
-//     semantics*: file content is durable only up to the last Sync(), and
-//     a file's directory entry (creations, renames, removals) is durable
-//     only after SyncDir() on its parent. Crash() rolls the filesystem
-//     back to exactly the durable view — the adversarial model under
-//     which the crash-recovery torture tests run.
+//     semantics*: file content is durable only up to the last Sync(), a
+//     file's directory entry (creations, renames, removals) is durable
+//     only after SyncDir() on its parent, and an in-place truncation of
+//     a durable file is durable immediately (the adversarial reading of
+//     O_TRUNC). Crash() rolls the filesystem back to exactly the durable
+//     view — the model under which the crash-recovery torture tests run.
 //   * FaultVfs — wraps any Vfs and injects a one-shot EIO/ENOSPC at the
 //     Nth mutating operation, or a *crash* at the Nth operation: the
 //     crashing Append applies only a torn prefix, and every later call
@@ -59,7 +60,10 @@ class Vfs {
   virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
       const std::string& path) = 0;
   // Opens truncated (creating if needed): the rewrite path. Durability of
-  // the rewrite requires Sync() on the file and SyncDir() on the parent.
+  // the rewrite requires Sync() on the file and SyncDir() on the parent —
+  // but the *truncation* of an existing file may hit stable storage at
+  // any moment (POSIX orders nothing here), so never OpenTrunc a file
+  // whose old content must survive a crash; use AtomicWriteFile.
   virtual Result<std::unique_ptr<WritableFile>> OpenTrunc(
       const std::string& path) = 0;
   // Atomically replaces `to` with `from` (POSIX rename). The new mapping

@@ -212,9 +212,10 @@ Result<std::unique_ptr<Catalog>> Catalog::Open(Vfs& vfs, std::string dir,
   const std::string snap_path = cat->dir_ + "/" + std::string(kSnapshotFile);
   const std::string wal_path = cat->dir_ + "/" + std::string(kWalFile);
 
-  // A stale rotation temp file is a crash artifact; the real snapshot (if
-  // any) was never replaced, so the temp is garbage.
+  // A stale rotation temp file is a crash artifact; the real snapshot /
+  // log (if any) was never replaced, so the temp is garbage.
   if (vfs.Exists(snap_path + ".tmp")) vfs.Remove(snap_path + ".tmp");
+  if (vfs.Exists(wal_path + ".tmp")) vfs.Remove(wal_path + ".tmp");
 
   std::uint64_t snap_lsn = 0;
   if (vfs.Exists(snap_path)) {
@@ -406,11 +407,18 @@ Status Catalog::Checkpoint(QueryContext* ctx) {
 
   const std::string snap_path = dir_ + "/" + std::string(kSnapshotFile);
   if (Status s = AtomicWriteFile(vfs_, snap_path, file_bytes); !s.ok()) {
-    return Latch(std::move(s));
+    // A failed rotation leaves the previous snapshot and the whole WAL
+    // intact — nothing is torn, so the catalog keeps accepting commits
+    // and the caller may simply retry CHECKPOINT. Latching is reserved
+    // for WAL failures, where the tail may actually be damaged.
+    return s;
   }
   stats_.fsyncs += 2;  // AtomicWriteFile: file sync + dir sync
   // Only now, with the snapshot durable, may the log shrink. A crash
   // in between replays stale records, which LSN skipping neutralizes.
+  // The reset is an atomic rewrite, so a failure cannot tear the log —
+  // but it can leave the writer without an append handle, so the
+  // catalog still latches until reopen.
   if (Status s = wal_->Reset(); !s.ok()) {
     return Latch(std::move(s));
   }

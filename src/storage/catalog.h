@@ -110,7 +110,10 @@ class Catalog {
   Status SetKnob(const std::string& key, std::int64_t value);
 
   // Writes a fresh snapshot (temp + fsync + rename + dir fsync) and
-  // resets the WAL. The snapshot is durable before the log shrinks.
+  // resets the WAL. The snapshot is durable before the log shrinks. A
+  // failed snapshot rotation leaves both the old snapshot and the WAL
+  // intact, so it returns the error without latching — a transient
+  // ENOSPC here is retryable.
   Status Checkpoint(QueryContext* ctx = nullptr);
 
   // --- inspection ---

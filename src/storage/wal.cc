@@ -62,16 +62,15 @@ Status WalWriter::Open() {
 
 Status WalWriter::ReplaceWith(const std::string& content) {
   file_.reset();
-  Result<std::unique_ptr<WritableFile>> file = vfs_.OpenTrunc(path_);
+  // Never truncate the live log in place: POSIX gives no ordering between
+  // an O_TRUNC reaching stable storage and the rewritten bytes doing so,
+  // so a crash (or ENOSPC) in that window would destroy the valid prefix
+  // and with it acknowledged commits. Temp + fsync + rename + dir fsync
+  // keeps the old log intact until the new one is fully durable.
+  if (Status s = AtomicWriteFile(vfs_, path_, content); !s.ok()) return s;
+  Result<std::unique_ptr<WritableFile>> file = vfs_.OpenAppend(path_);
   if (!file.ok()) return file.status();
-  if (!content.empty()) {
-    if (Status s = (*file)->Append(content); !s.ok()) return s;
-  }
-  if (Status s = (*file)->Sync(); !s.ok()) return s;
-  if (Status s = vfs_.SyncDir(VfsDirName(path_)); !s.ok()) return s;
-  if (stats_ != nullptr) stats_->fsyncs += 2;
-  // The truncating handle doubles as the append handle: writes continue
-  // at the end of the rewritten prefix.
+  if (stats_ != nullptr) stats_->fsyncs += 2;  // AtomicWriteFile's pair
   file_ = std::move(*file);
   return Status::Ok();
 }

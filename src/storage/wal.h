@@ -74,12 +74,17 @@ class WalWriter {
   // Opens in append mode (creating the file if absent).
   Status Open();
 
-  // Truncates the log to empty, durably (trunc + fsync + dir fsync), and
-  // leaves the handle ready to append — the post-checkpoint reset.
+  // Truncates the log to empty, durably, and leaves the handle ready to
+  // append — the post-checkpoint reset.
   Status Reset();
 
   // Rewrites the log to exactly `payloads` (the recovery path after a
   // torn tail), durably, leaving the handle ready to append.
+  //
+  // Both go through an atomic temp + fsync + rename + dir-fsync rewrite
+  // (never an in-place truncation): at every crash point the on-disk log
+  // is either the complete old content or the complete new content, so
+  // the valid prefix — acknowledged commits — can never be lost.
   Status Rewrite(const std::vector<std::string>& payloads);
 
   // Commits a batch: frames every payload, appends them with one write,

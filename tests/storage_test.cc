@@ -193,6 +193,22 @@ TEST(MemVfsTest, StaleHandlesFailAfterCrash) {
   EXPECT_EQ((*f)->Append("x").code(), StatusCode::kIoError);
 }
 
+TEST(MemVfsTest, InPlaceTruncationOfDurableFileIsDurableAtCrash) {
+  MemVfs vfs;
+  ASSERT_TRUE(WriteWhole(vfs, "f", "old-durable", true).ok());
+  ASSERT_TRUE(vfs.SyncDir(".").ok());
+  // POSIX may persist the O_TRUNC before the rewrite syncs; the model is
+  // adversarial, so a crash in that window yields an EMPTY file — the
+  // old bytes are gone and the new ones never landed.
+  Result<std::unique_ptr<WritableFile>> f = vfs.OpenTrunc("f");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("new-unsynced").ok());
+  vfs.Crash();
+  Result<std::string> data = vfs.ReadFile("f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "");
+}
+
 TEST(MemVfsTest, MissingFileIsNotFound) {
   MemVfs vfs;
   EXPECT_EQ(vfs.ReadFile("nope").status().code(), StatusCode::kNotFound);
@@ -427,6 +443,88 @@ TEST(CatalogTest, IoErrorLatchesTheCatalogReadOnly) {
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ((*reopened)->state().knobs.count("A"), 1u);
   EXPECT_EQ((*reopened)->state().knobs.count("C"), 0u);
+}
+
+TEST(CatalogTest, SnapshotWriteFailureDoesNotLatchTheCatalog) {
+  MemVfs base;
+  FaultVfs vfs(base);
+  Result<std::unique_ptr<Catalog>> cat = Catalog::Open(vfs, "cat");
+  ASSERT_TRUE(cat.ok());
+  ASSERT_TRUE((*cat)->SetKnob("A", 1).ok());
+  FaultPlan plan;
+  plan.fail_at_op = vfs.op_count() + 1;  // first op of the rotation
+  vfs.set_plan(plan);
+  Status failed = (*cat)->Checkpoint();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  // A failed rotation leaves the old snapshot and the whole WAL intact:
+  // the catalog stays writable and the checkpoint is retryable.
+  EXPECT_TRUE((*cat)->Healthy().ok());
+  ASSERT_TRUE((*cat)->SetKnob("B", 2).ok());
+  ASSERT_TRUE((*cat)->Checkpoint().ok());
+  base.Crash();
+  Result<std::unique_ptr<Catalog>> reopened = Catalog::Open(base, "cat");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->state().knobs.count("A"), 1u);
+  EXPECT_EQ((*reopened)->state().knobs.count("B"), 1u);
+}
+
+// Builds a catalog with two acknowledged commits and a synced garbage
+// tail on the WAL, so the next Open must rewrite the log to its valid
+// prefix — the recovery path the crash sweep below aims at.
+void BuildTornWalCatalog(MemVfs& vfs) {
+  {
+    Result<std::unique_ptr<Catalog>> cat = Catalog::Open(vfs, "cat");
+    ASSERT_TRUE(cat.ok()) << cat.status().ToString();
+    ASSERT_TRUE((*cat)->SetKnob("A", 1).ok());
+    ASSERT_TRUE((*cat)->SetKnob("B", 2).ok());
+  }
+  Result<std::unique_ptr<WritableFile>> f = vfs.OpenAppend("cat/catalog.wal");
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Append("\x40\x00\x00\x00torn").ok());
+  ASSERT_TRUE((*f)->Sync().ok());
+}
+
+TEST(CatalogTest, CrashDuringTornTailRewriteKeepsAcknowledgedCommits) {
+  // The regression this guards: rewriting the WAL via an in-place
+  // truncation opens a window where a crash has durably emptied the log
+  // but the valid prefix is not yet rewritten — acknowledged commits
+  // gone. The rewrite must be atomic: crash it at every I/O operation
+  // and both commits must always survive.
+  std::uint64_t total_ops = 0;
+  {
+    MemVfs base;
+    BuildTornWalCatalog(base);
+    FaultVfs vfs(base);
+    Result<std::unique_ptr<Catalog>> cat = Catalog::Open(vfs, "cat");
+    ASSERT_TRUE(cat.ok()) << cat.status().ToString();
+    EXPECT_GT((*cat)->open_info().truncated_bytes, 0u);
+    total_ops = vfs.op_count();
+  }
+  ASSERT_GT(total_ops, 0u);
+  for (std::uint64_t c = 1; c <= total_ops; ++c) {
+    for (bool power_loss : {true, false}) {
+      MemVfs base;
+      BuildTornWalCatalog(base);
+      {
+        FaultVfs vfs(base);
+        FaultPlan plan;
+        plan.crash_at_op = c;
+        plan.torn_write_bytes = 2;
+        vfs.set_plan(plan);
+        Result<std::unique_ptr<Catalog>> cat = Catalog::Open(vfs, "cat");
+        EXPECT_FALSE(cat.ok()) << "crash point " << c << " never fired";
+      }
+      if (power_loss) base.Crash();
+      Result<std::unique_ptr<Catalog>> reopened = Catalog::Open(base, "cat");
+      ASSERT_TRUE(reopened.ok())
+          << "crash at op " << c << ": " << reopened.status().ToString();
+      EXPECT_EQ((*reopened)->state().knobs.count("A"), 1u)
+          << "crash at op " << c << ", power_loss " << power_loss;
+      EXPECT_EQ((*reopened)->state().knobs.count("B"), 1u)
+          << "crash at op " << c << ", power_loss " << power_loss;
+    }
+  }
 }
 
 TEST(CatalogTest, BatchCommitIsAllOrNothing) {
