@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kCorruptWal:
       return "CORRUPT_WAL";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }
@@ -78,6 +80,9 @@ Status IoError(std::string message) {
 }
 Status CorruptWalError(std::string message) {
   return Status(StatusCode::kCorruptWal, std::move(message));
+}
+Status OverloadedError(std::string message) {
+  return Status(StatusCode::kOverloaded, std::move(message));
 }
 
 }  // namespace qf

@@ -42,6 +42,10 @@ enum class StatusCode {
   // decode).
   kIoError,
   kCorruptWal,
+  // Serving outcome (see network/server.h): the server's admission queue
+  // or the client's statement quota is full and the statement was shed
+  // rather than queued — retry later, nothing was executed or logged.
+  kOverloaded,
 };
 
 // Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -90,6 +94,7 @@ Status DeadlineExceededError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status IoError(std::string message);
 Status CorruptWalError(std::string message);
+Status OverloadedError(std::string message);
 
 // Either a value of type T or a non-OK Status. Accessing the value of a
 // failed Result aborts (QF_CHECK), so callers must test ok() first.

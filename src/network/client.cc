@@ -1,0 +1,120 @@
+#include "network/client.h"
+
+#include <utility>
+
+#include "network/socket.h"
+
+namespace qf {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    session_id_ = std::exchange(other.session_id_, 0);
+    next_request_id_ = std::exchange(other.next_request_id_, 1);
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, std::uint16_t port) {
+  Result<int> fd = TcpConnect(host, port);
+  if (!fd.ok()) return fd.status();
+  Client client;
+  client.fd_ = *fd;
+
+  Frame hello{FrameType::kHello, 0, EncodeHelloBody()};
+  if (Status s = WriteFrame(client.fd_, hello); !s.ok()) return s;
+  ReadEvent event = ReadFrame(client.fd_);
+  if (event.kind == ReadEvent::Kind::kEof) {
+    return IoError("server closed the connection during handshake");
+  }
+  if (event.kind == ReadEvent::Kind::kError) return event.status;
+  if (event.frame.type == FrameType::kError) {
+    return DecodeErrorBody(event.frame.body);
+  }
+  if (event.frame.type != FrameType::kWelcome) {
+    return InvalidArgumentError("expected WELCOME frame from server");
+  }
+  Result<std::uint64_t> session_id = DecodeWelcomeBody(event.frame.body);
+  if (!session_id.ok()) return session_id.status();
+  client.session_id_ = *session_id;
+  return client;
+}
+
+Result<std::uint64_t> Client::Send(std::string_view statement) {
+  if (!connected()) return FailedPreconditionError("client is not connected");
+  std::uint64_t id = next_request_id_++;
+  Frame frame{FrameType::kStmt, id, std::string(statement)};
+  if (Status s = WriteFrame(fd_, frame); !s.ok()) return s;
+  return id;
+}
+
+Result<Client::Reply> Client::Recv() {
+  if (!connected()) return FailedPreconditionError("client is not connected");
+  ReadEvent event = ReadFrame(fd_);
+  if (event.kind == ReadEvent::Kind::kEof) {
+    return IoError("server closed the connection");
+  }
+  if (event.kind == ReadEvent::Kind::kError) return event.status;
+  Reply reply;
+  reply.request_id = event.frame.request_id;
+  if (event.frame.type == FrameType::kResult) {
+    reply.output = std::move(event.frame.body);
+    return reply;
+  }
+  if (event.frame.type == FrameType::kError) {
+    reply.status = DecodeErrorBody(event.frame.body);
+    return reply;
+  }
+  return InvalidArgumentError("unexpected reply frame type");
+}
+
+Result<std::string> Client::Execute(std::string_view statement) {
+  Result<std::uint64_t> id = Send(statement);
+  if (!id.ok()) return id.status();
+  Result<Reply> reply = Recv();
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return std::move(reply->output);
+}
+
+Result<std::string> Client::Stats() {
+  if (!connected()) return FailedPreconditionError("client is not connected");
+  std::uint64_t id = next_request_id_++;
+  if (Status s = WriteFrame(fd_, Frame{FrameType::kStats, id, ""}); !s.ok()) {
+    return s;
+  }
+  Result<Reply> reply = Recv();
+  if (!reply.ok()) return reply.status();
+  if (!reply->status.ok()) return reply->status;
+  return std::move(reply->output);
+}
+
+Status Client::Ping() {
+  if (!connected()) return FailedPreconditionError("client is not connected");
+  std::uint64_t id = next_request_id_++;
+  if (Status s = WriteFrame(fd_, Frame{FrameType::kPing, id, ""}); !s.ok()) {
+    return s;
+  }
+  ReadEvent event = ReadFrame(fd_);
+  if (event.kind == ReadEvent::Kind::kEof) {
+    return IoError("server closed the connection");
+  }
+  if (event.kind == ReadEvent::Kind::kError) return event.status;
+  if (event.frame.type == FrameType::kError) {
+    return DecodeErrorBody(event.frame.body);
+  }
+  if (event.frame.type != FrameType::kPong || event.frame.request_id != id) {
+    return InvalidArgumentError("unexpected PING reply");
+  }
+  return Status::Ok();
+}
+
+void Client::Close() {
+  if (!connected()) return;
+  (void)WriteFrame(fd_, Frame{FrameType::kBye, next_request_id_++, ""});
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace qf

@@ -1,0 +1,79 @@
+// Blocking client for the qfserverd wire protocol (network/protocol.h):
+// the library under the qfclient CLI, tools scripts, and the network test
+// suites. One Client is one session; it is not thread-safe (use one per
+// thread, like a Shell).
+//
+// Two usage levels:
+//   * Execute(stmt) — send one statement, wait for its reply. An ERROR
+//     frame comes back as that frame's typed Status (DEADLINE_EXCEEDED,
+//     OVERLOADED, ...), exactly what a local Shell::Execute would return.
+//   * Send()/Recv() — pipelining: queue several statements, then collect
+//     replies. Replies to admitted statements arrive in admission order;
+//     shed statements are answered immediately, so callers match replies
+//     to requests by the echoed request id.
+#ifndef QF_NETWORK_CLIENT_H_
+#define QF_NETWORK_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "network/protocol.h"
+
+namespace qf {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Connects and handshakes. A version-mismatch or overload rejection
+  // from the server comes back as that typed status.
+  static Result<Client> Connect(const std::string& host, std::uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  std::uint64_t session_id() const { return session_id_; }
+
+  // Sends one STMT frame; returns its request id without waiting.
+  Result<std::uint64_t> Send(std::string_view statement);
+
+  // One statement's reply.
+  struct Reply {
+    std::uint64_t request_id = 0;
+    Status status;       // OK for RESULT frames, typed for ERROR frames
+    std::string output;  // RESULT body (empty on error)
+  };
+
+  // Blocks for the next RESULT/ERROR frame. Fails with IO_ERROR or
+  // INVALID_ARGUMENT if the connection breaks or the server misspeaks.
+  Result<Reply> Recv();
+
+  // Send + Recv: one statement, its output. An error reply becomes the
+  // returned status. Must not be interleaved with pending pipelined
+  // sends (replies would be misattributed).
+  Result<std::string> Execute(std::string_view statement);
+
+  // The server's metrics tree (STATS frame), rendered as text.
+  Result<std::string> Stats();
+
+  // Liveness probe (PING/PONG round trip).
+  Status Ping();
+
+  // Best-effort BYE, then closes the socket. Idempotent.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint64_t session_id_ = 0;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace qf
+
+#endif  // QF_NETWORK_CLIENT_H_

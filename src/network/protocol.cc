@@ -1,0 +1,270 @@
+#include "network/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace qf {
+
+bool IsKnownFrameType(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         type <= static_cast<std::uint8_t>(FrameType::kBye);
+}
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+bool ReadU32(std::string_view bytes, std::size_t offset, std::uint32_t* v) {
+  if (offset + 4 > bytes.size()) return false;
+  std::uint32_t out = 0;
+  for (int i = 3; i >= 0; --i) {
+    out = (out << 8) |
+          static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  *v = out;
+  return true;
+}
+
+bool ReadU64(std::string_view bytes, std::size_t offset, std::uint64_t* v) {
+  if (offset + 8 > bytes.size()) return false;
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) {
+    out = (out << 8) |
+          static_cast<unsigned char>(bytes[offset + static_cast<std::size_t>(i)]);
+  }
+  *v = out;
+  return true;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string payload;
+  payload.reserve(kMinPayloadBytes + frame.body.size());
+  payload += static_cast<char>(frame.type);
+  AppendU64(payload, frame.request_id);
+  payload += frame.body;
+
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  AppendU32(out, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(out, Crc32cMask(Crc32c(payload)));
+  out += payload;
+  return out;
+}
+
+DecodeOutcome DecodeFrame(std::string_view bytes) {
+  DecodeOutcome out;
+  if (bytes.size() < kFrameHeaderBytes) {
+    out.need_more = true;
+    return out;
+  }
+  std::uint32_t length = 0;
+  std::uint32_t stored_crc = 0;
+  ReadU32(bytes, 0, &length);
+  ReadU32(bytes, 4, &stored_crc);
+  if (length > kMaxPayloadBytes) {
+    out.consumed = bytes.size();
+    out.status = InvalidArgumentError("oversized frame: " +
+                                      std::to_string(length) + " bytes");
+    return out;
+  }
+  if (length < kMinPayloadBytes) {
+    out.consumed = bytes.size();
+    out.status = InvalidArgumentError("short frame payload: " +
+                                      std::to_string(length) + " bytes");
+    return out;
+  }
+  if (bytes.size() < kFrameHeaderBytes + length) {
+    out.need_more = true;
+    return out;
+  }
+  std::string_view payload = bytes.substr(kFrameHeaderBytes, length);
+  if (Crc32cMask(Crc32c(payload)) != stored_crc) {
+    out.consumed = bytes.size();
+    out.status = InvalidArgumentError("frame checksum mismatch");
+    return out;
+  }
+  std::uint8_t type = static_cast<unsigned char>(payload[0]);
+  if (!IsKnownFrameType(type)) {
+    out.consumed = bytes.size();
+    out.status =
+        InvalidArgumentError("unknown frame type " + std::to_string(type));
+    return out;
+  }
+  out.frame.type = static_cast<FrameType>(type);
+  ReadU64(payload, 1, &out.frame.request_id);
+  out.frame.body = std::string(payload.substr(kMinPayloadBytes));
+  out.consumed = kFrameHeaderBytes + length;
+  return out;
+}
+
+std::string EncodeErrorBody(const Status& status) {
+  std::string body;
+  body += static_cast<char>(static_cast<std::uint8_t>(status.code()));
+  body += status.message();
+  return body;
+}
+
+Status DecodeErrorBody(std::string_view body) {
+  if (body.empty()) return InternalError("empty error frame");
+  std::uint8_t code = static_cast<unsigned char>(body[0]);
+  std::string message(body.substr(1));
+  if (code == 0 || code > static_cast<std::uint8_t>(StatusCode::kOverloaded)) {
+    return InternalError("unknown wire status code " + std::to_string(code) +
+                         ": " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+std::string EncodeHelloBody() {
+  std::string body;
+  AppendU32(body, kProtocolMagic);
+  AppendU32(body, kProtocolVersion);
+  return body;
+}
+
+Status CheckHelloBody(std::string_view body) {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!ReadU32(body, 0, &magic) || !ReadU32(body, 4, &version)) {
+    return InvalidArgumentError("short HELLO body");
+  }
+  if (magic != kProtocolMagic) {
+    return InvalidArgumentError("bad protocol magic");
+  }
+  if (version != kProtocolVersion) {
+    return FailedPreconditionError(
+        "unsupported protocol version " + std::to_string(version) +
+        " (server speaks " + std::to_string(kProtocolVersion) + ")");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeWelcomeBody(std::uint64_t session_id) {
+  std::string body;
+  AppendU32(body, kProtocolVersion);
+  AppendU64(body, session_id);
+  return body;
+}
+
+Result<std::uint64_t> DecodeWelcomeBody(std::string_view body) {
+  std::uint32_t version = 0;
+  std::uint64_t session_id = 0;
+  if (!ReadU32(body, 0, &version) || !ReadU64(body, 4, &session_id)) {
+    return InvalidArgumentError("short WELCOME body");
+  }
+  if (version != kProtocolVersion) {
+    return FailedPreconditionError("server speaks protocol version " +
+                                   std::to_string(version));
+  }
+  return session_id;
+}
+
+namespace {
+
+// Reads exactly `n` bytes. Returns n on success, 0 for EOF before the
+// first byte, -1 for EOF mid-buffer, -2 for a socket error (errno set).
+ssize_t ReadFull(int fd, char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::recv(fd, buf + done, n - done, 0);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got == 0) return done == 0 ? 0 : -1;
+    if (errno == EINTR) continue;
+    return -2;
+  }
+  return static_cast<ssize_t>(done);
+}
+
+}  // namespace
+
+ReadEvent ReadFrame(int fd) {
+  ReadEvent event;
+  char header[kFrameHeaderBytes];
+  ssize_t got = ReadFull(fd, header, sizeof(header));
+  if (got == 0) {
+    event.kind = ReadEvent::Kind::kEof;
+    return event;
+  }
+  if (got == -1) {
+    event.status = InvalidArgumentError("truncated frame header");
+    return event;
+  }
+  if (got < 0) {
+    event.status = IoError(std::string("recv: ") + std::strerror(errno));
+    return event;
+  }
+  std::uint32_t length = 0;
+  std::uint32_t stored_crc = 0;
+  ReadU32(std::string_view(header, sizeof(header)), 0, &length);
+  ReadU32(std::string_view(header, sizeof(header)), 4, &stored_crc);
+  if (length > kMaxPayloadBytes) {
+    event.status = InvalidArgumentError("oversized frame: " +
+                                        std::to_string(length) + " bytes");
+    return event;
+  }
+  if (length < kMinPayloadBytes) {
+    event.status = InvalidArgumentError("short frame payload: " +
+                                        std::to_string(length) + " bytes");
+    return event;
+  }
+  std::string payload(length, '\0');
+  got = ReadFull(fd, payload.data(), payload.size());
+  if (got == 0 || got == -1) {
+    event.status = InvalidArgumentError("truncated frame payload");
+    return event;
+  }
+  if (got < 0) {
+    event.status = IoError(std::string("recv: ") + std::strerror(errno));
+    return event;
+  }
+  if (Crc32cMask(Crc32c(payload)) != stored_crc) {
+    event.status = InvalidArgumentError("frame checksum mismatch");
+    return event;
+  }
+  std::uint8_t type = static_cast<unsigned char>(payload[0]);
+  if (!IsKnownFrameType(type)) {
+    event.status =
+        InvalidArgumentError("unknown frame type " + std::to_string(type));
+    return event;
+  }
+  event.kind = ReadEvent::Kind::kFrame;
+  event.frame.type = static_cast<FrameType>(type);
+  ReadU64(payload, 1, &event.frame.request_id);
+  event.frame.body = payload.substr(kMinPayloadBytes);
+  return event;
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  std::string bytes = EncodeFrame(frame);
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t sent =
+        ::send(fd, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    if (sent >= 0) {
+      done += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return IoError(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace qf

@@ -1,0 +1,137 @@
+// The qfserverd wire protocol: length-prefixed, CRC32C-framed binary
+// request/response over a byte stream (TCP), shared by the server
+// (network/server.h), the blocking client library (network/client.h),
+// and tools/load_test.py (which re-implements it in Python).
+//
+// Frame layout (all integers little-endian):
+//
+//   [u32 payload length][u32 masked CRC32C of payload][payload bytes]
+//   payload = [u8 frame type][u64 request id][body...]
+//
+// The CRC is masked LevelDB-style (common/crc32c.h), the same framing the
+// catalog WAL uses, so one checksum discipline guards both disk and wire.
+// The payload length is validated against kMaxPayloadBytes *before* any
+// allocation: a hostile length prefix costs the server nothing.
+//
+// Conversation:
+//   1. Handshake. The client's first frame must be HELLO (body = u32
+//      magic "QFLK" + u32 protocol version). The server answers WELCOME
+//      (body = u32 version + u64 session id) or a typed ERROR frame
+//      (FAILED_PRECONDITION for a version mismatch) and disconnects.
+//   2. Requests. STMT carries one shell statement; the server answers
+//      RESULT (body = printable output) or ERROR (body = u8 StatusCode +
+//      message), echoing the request id. Replies to *admitted* statements
+//      arrive in admission order; shed statements (typed OVERLOADED
+//      ERROR) are answered immediately, so ids let a pipelining client
+//      match replies to requests. PING answers PONG and STATS answers
+//      RESULT immediately, bypassing the admission queue. BYE is answered
+//      with BYE, then the server closes.
+//   3. Any malformed frame — oversized or truncated length, checksum
+//      mismatch, unknown type, mid-handshake garbage — draws a
+//      best-effort typed ERROR frame and a disconnect, never a hang:
+//      after framing is lost the stream cannot be resynchronized.
+//
+// Error frames reuse StatusCode (common/status.h) as their on-wire code,
+// so a client sees exactly the typed status a local shell would return:
+// DEADLINE_EXCEEDED, RESOURCE_EXHAUSTED, OVERLOADED, ...
+#ifndef QF_NETWORK_PROTOCOL_H_
+#define QF_NETWORK_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace qf {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+// "QFLK", read as a little-endian u32.
+inline constexpr std::uint32_t kProtocolMagic = 0x4B4C4651u;
+// Hard ceiling on one frame's payload; validated before allocation.
+// Generous for statements and result previews alike.
+inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
+// [u32 length][u32 masked crc]
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+// [u8 type][u64 request id]
+inline constexpr std::size_t kMinPayloadBytes = 9;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,    // client -> server: u32 magic, u32 version
+  kWelcome = 2,  // server -> client: u32 version, u64 session id
+  kStmt = 3,     // client -> server: statement text
+  kResult = 4,   // server -> client: output text
+  kError = 5,    // server -> client: u8 StatusCode, message text
+  kPing = 6,     // client -> server: empty
+  kPong = 7,     // server -> client: empty
+  kStats = 8,    // client -> server: empty; answered with kResult
+  kBye = 9,      // either direction: clean shutdown of the conversation
+};
+
+// True for the FrameType values above (the wire is untrusted input).
+bool IsKnownFrameType(std::uint8_t type);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint64_t request_id = 0;
+  std::string body;
+};
+
+// Little-endian integer append/read helpers, shared with the frame
+// bodies (HELLO/WELCOME/ERROR payloads).
+void AppendU32(std::string& out, std::uint32_t v);
+void AppendU64(std::string& out, std::uint64_t v);
+// Read at `offset`; false when fewer than 4/8 bytes remain.
+bool ReadU32(std::string_view bytes, std::size_t offset, std::uint32_t* v);
+bool ReadU64(std::string_view bytes, std::size_t offset, std::uint64_t* v);
+
+// Serializes `frame` as one wire frame (header + checksummed payload).
+std::string EncodeFrame(const Frame& frame);
+
+// Incremental decode of the frame at the front of `bytes`.
+struct DecodeOutcome {
+  // Not enough bytes buffered yet; nothing consumed, no error.
+  bool need_more = false;
+  // Bytes consumed from the front when a frame (or a framing error)
+  // was produced.
+  std::size_t consumed = 0;
+  Frame frame;
+  // Non-OK when the stream is poisoned: oversized length, checksum
+  // mismatch, short or unknown payload. Framing cannot be recovered
+  // after this — the connection must be dropped.
+  Status status;
+};
+DecodeOutcome DecodeFrame(std::string_view bytes);
+
+// Typed-error body helpers: the ERROR frame body is one StatusCode byte
+// plus the message text.
+std::string EncodeErrorBody(const Status& status);
+// Decodes an ERROR body; an unknown code byte maps to INTERNAL (wire is
+// untrusted), an empty body to INTERNAL "empty error frame".
+Status DecodeErrorBody(std::string_view body);
+
+// Handshake bodies.
+std::string EncodeHelloBody();
+Status CheckHelloBody(std::string_view body);  // magic + version match?
+std::string EncodeWelcomeBody(std::uint64_t session_id);
+Result<std::uint64_t> DecodeWelcomeBody(std::string_view body);
+
+// --- blocking stream I/O (POSIX fd) ---
+
+// One read event: a frame, a clean end-of-stream at a frame boundary, or
+// an error (typed: INVALID_ARGUMENT for protocol violations, IO_ERROR
+// for socket failures).
+struct ReadEvent {
+  enum class Kind { kFrame, kEof, kError };
+  Kind kind = Kind::kError;
+  Frame frame;
+  Status status;
+};
+ReadEvent ReadFrame(int fd);
+
+// Writes the whole encoded frame (EINTR-retrying, SIGPIPE-suppressing).
+Status WriteFrame(int fd, const Frame& frame);
+
+}  // namespace qf
+
+#endif  // QF_NETWORK_PROTOCOL_H_

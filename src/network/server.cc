@@ -1,0 +1,418 @@
+#include "network/server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include "network/protocol.h"
+#include "network/socket.h"
+#include "shell/statement.h"
+
+namespace qf {
+
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// One client connection: its socket, its private shell, its slice of the
+// admission queue, and its counters. The reader and one executor at a
+// time touch the shell (statements of a session are strictly serialized
+// by the `scheduled` flag); the write mutex serializes the socket between
+// the reader's inline replies and the executor's results. The fd closes
+// when the last shared_ptr drops, so an executor finishing after the
+// reader exited never writes into a recycled descriptor.
+struct Server::Session {
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::mutex write_mu;
+  Shell shell;
+  // Tripped when the connection drops (or the server stops); every
+  // governed statement of this session polls it via the shell's cancel
+  // flag and aborts with CANCELLED.
+  std::atomic<bool> gone{false};
+
+  // --- guarded by Server::mu_ ---
+  struct Pending {
+    std::uint64_t request_id;
+    std::string statement;
+  };
+  std::deque<Pending> pending;
+  bool scheduled = false;  // queued in ready_ or currently executing
+  std::uint64_t received = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t exec_ns = 0;
+  std::uint64_t output_bytes = 0;
+
+  ~Session() { CloseFd(fd); }
+
+  // Serialized frame write; drops the frame silently once the peer is
+  // gone (the socket is half-closed then — errors are expected).
+  void Write(const Frame& frame) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    (void)WriteFrame(fd, frame);
+  }
+  void WriteError(std::uint64_t request_id, const Status& status) {
+    Write(Frame{FrameType::kError, request_id, EncodeErrorBody(status)});
+  }
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.executors == 0) options_.executors = 1;
+}
+
+Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(std::move(options)));
+  Result<int> listen_fd =
+      TcpListen(server->options_.host, server->options_.port, /*backlog=*/128);
+  if (!listen_fd.ok()) return listen_fd.status();
+  server->listen_fd_ = *listen_fd;
+  Result<std::uint16_t> port = LocalPort(server->listen_fd_);
+  if (!port.ok()) {
+    CloseFd(server->listen_fd_);
+    return port.status();
+  }
+  server->port_ = *port;
+  if (::pipe(server->wake_pipe_) != 0) {
+    CloseFd(server->listen_fd_);
+    return IoError("pipe: cannot create shutdown wake pipe");
+  }
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  for (unsigned i = 0; i < server->options_.executors; ++i) {
+    server->executor_threads_.emplace_back(
+        [s = server.get()] { s->ExecutorLoop(); });
+  }
+  return server;
+}
+
+Server::~Server() {
+  Shutdown();
+  CloseFd(wake_pipe_[0]);
+  CloseFd(wake_pipe_[1]);
+}
+
+void Server::AcceptLoop() {
+  while (WaitReadable(listen_fd_, wake_pipe_[0])) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket is gone
+    }
+    auto session = std::make_shared<Session>();
+    session->fd = fd;
+    session->shell.SeedDatabase(options_.base_db);
+    if (options_.session_vfs != nullptr) {
+      session->shell.set_vfs(options_.session_vfs);
+    }
+    session->shell.set_cancel_flag(&session->gone);
+
+    bool reject = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_ || sessions_.size() >= options_.max_sessions) {
+        ++stats_.sessions_shed;
+        reject = true;
+      } else {
+        session->id = next_session_id_++;
+        sessions_[session->id] = session;
+        ++stats_.sessions_opened;
+        reader_threads_.emplace_back(
+            [this, session] { ReaderLoop(session); });
+      }
+    }
+    if (reject) {
+      // The session was never registered; answer the handshake the
+      // client is about to send with a typed rejection and hang up.
+      session->WriteError(0, OverloadedError("session limit reached"));
+    }
+  }
+}
+
+void Server::ReaderLoop(std::shared_ptr<Session> session) {
+  // Handshake: the first frame must be a well-formed HELLO.
+  ReadEvent event = ReadFrame(session->fd);
+  bool handshaken = false;
+  if (event.kind == ReadEvent::Kind::kFrame &&
+      event.frame.type == FrameType::kHello) {
+    Status hello = CheckHelloBody(event.frame.body);
+    if (hello.ok()) {
+      session->Write(Frame{FrameType::kWelcome, event.frame.request_id,
+                           EncodeWelcomeBody(session->id)});
+      handshaken = true;
+    } else {
+      session->WriteError(event.frame.request_id, hello);
+    }
+  } else if (event.kind == ReadEvent::Kind::kFrame ||
+             event.kind == ReadEvent::Kind::kError) {
+    Status s = event.kind == ReadEvent::Kind::kError
+                   ? event.status
+                   : InvalidArgumentError("expected HELLO frame");
+    std::uint64_t id =
+        event.kind == ReadEvent::Kind::kFrame ? event.frame.request_id : 0;
+    session->WriteError(id, s);
+  }
+  if (!handshaken && event.kind != ReadEvent::Kind::kEof) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.protocol_errors;
+  }
+
+  while (handshaken) {
+    event = ReadFrame(session->fd);
+    if (event.kind == ReadEvent::Kind::kEof) break;
+    if (event.kind == ReadEvent::Kind::kError) {
+      // Framing is lost; report (best effort) and disconnect. Socket
+      // errors during our own shutdown are routine, not protocol noise.
+      if (event.status.code() != StatusCode::kIoError) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.protocol_errors;
+      }
+      session->WriteError(0, event.status);
+      break;
+    }
+    const Frame& frame = event.frame;
+    if (frame.type == FrameType::kStmt) {
+      AdmitStatement(session, frame.request_id, frame.body);
+      continue;
+    }
+    if (frame.type == FrameType::kPing) {
+      session->Write(Frame{FrameType::kPong, frame.request_id, ""});
+      continue;
+    }
+    if (frame.type == FrameType::kStats) {
+      session->Write(Frame{FrameType::kResult, frame.request_id,
+                           MetricsText()});
+      continue;
+    }
+    if (frame.type == FrameType::kBye) {
+      session->Write(Frame{FrameType::kBye, frame.request_id, ""});
+      break;
+    }
+    // Server-to-client frame types (or a second HELLO) from a client are
+    // protocol violations.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.protocol_errors;
+    }
+    session->WriteError(frame.request_id,
+                        InvalidArgumentError("unexpected frame type"));
+    break;
+  }
+
+  // Cancel whatever is running/queued for this session and unregister.
+  // The Session object (and its fd) stays alive until the last executor
+  // reference drops.
+  session->gone.store(true, std::memory_order_relaxed);
+  ::shutdown(session->fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session->id);
+}
+
+void Server::AdmitStatement(const std::shared_ptr<Session>& session,
+                            std::uint64_t request_id, std::string statement) {
+  Status shed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++session->received;
+    ++stats_.statements_received;
+    std::size_t session_load =
+        session->pending.size() + (session->scheduled ? 1 : 0);
+    if (draining_) {
+      shed = OverloadedError("server is shutting down");
+      ++stats_.shed_draining;
+    } else if (queued_ >= options_.max_queue) {
+      shed = OverloadedError("admission queue full (" +
+                             std::to_string(options_.max_queue) +
+                             " statements)");
+      ++stats_.shed_queue_full;
+    } else if (session_load >= options_.session_quota) {
+      shed = OverloadedError("session quota exceeded (" +
+                             std::to_string(options_.session_quota) +
+                             " statements in flight)");
+      ++stats_.shed_quota;
+    } else {
+      session->pending.push_back(
+          Session::Pending{request_id, std::move(statement)});
+      ++queued_;
+      ++stats_.statements_admitted;
+      if (!session->scheduled) {
+        session->scheduled = true;
+        ready_.push_back(session);
+        work_cv_.notify_one();
+      }
+      return;
+    }
+    ++session->shed;
+  }
+  session->WriteError(request_id, shed);
+}
+
+void Server::ExecutorLoop() {
+  while (true) {
+    std::shared_ptr<Session> session;
+    Session::Pending item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [this] { return stop_executors_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stop requested, queue drained
+      session = ready_.front();
+      ready_.pop_front();
+      item = std::move(session->pending.front());
+      session->pending.pop_front();
+      --queued_;
+      ++executing_;
+    }
+
+    if (options_.statement_hook_for_test) options_.statement_hook_for_test();
+
+    std::string span_detail;
+    if (options_.trace != nullptr) {
+      span_detail = "session=" + std::to_string(session->id) +
+                    " req=" + std::to_string(item.request_id);
+      options_.trace->BeginSpan("stmt", span_detail, NowNs());
+    }
+    std::uint64_t start_ns = NowNs();
+    StatementOutcome outcome;
+    if (session->gone.load(std::memory_order_relaxed)) {
+      // The client is gone; skip the work rather than mine for nobody.
+      outcome.status = CancelledError("client disconnected");
+    } else {
+      outcome = ExecuteStatement(session->shell, item.statement);
+    }
+    std::uint64_t elapsed_ns = NowNs() - start_ns;
+    if (options_.trace != nullptr) {
+      options_.trace->EndSpan("stmt", span_detail, NowNs(),
+                              outcome.ok() ? 1 : 0);
+    }
+
+    // Reply before releasing the session to the next statement: replies
+    // of one session go out in admission order.
+    if (outcome.ok()) {
+      session->Write(
+          Frame{FrameType::kResult, item.request_id, outcome.output});
+    } else {
+      session->WriteError(item.request_id, outcome.status);
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --executing_;
+      ++session->executed;
+      ++stats_.statements_executed;
+      if (!outcome.ok()) {
+        ++session->failed;
+        ++stats_.statements_failed;
+      }
+      session->exec_ns += elapsed_ns;
+      session->output_bytes += outcome.output.size();
+      if (!session->pending.empty()) {
+        ready_.push_back(session);
+        work_cv_.notify_one();
+      } else {
+        session->scheduled = false;
+      }
+      if (queued_ == 0 && executing_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    draining_ = true;
+  }
+  // Wake and retire the accept loop: no new sessions.
+  {
+    char byte = 'x';
+    ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+    (void)ignored;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Drain: every admitted statement executes and is answered. Readers
+  // keep shedding new arrivals with OVERLOADED meanwhile.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [this] { return queued_ == 0 && executing_ == 0; });
+    stop_executors_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : executor_threads_) t.join();
+  executor_threads_.clear();
+
+  // Unblock and retire the readers.
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, session] : sessions_) {
+      session->gone.store(true, std::memory_order_relaxed);
+      ::shutdown(session->fd, SHUT_RDWR);
+    }
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& t : readers) t.join();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.clear();
+    shut_down_ = true;
+  }
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats out = stats_;
+  out.sessions_active = sessions_.size();
+  return out;
+}
+
+std::string Server::MetricsText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return MetricsTextLocked();
+}
+
+std::string Server::MetricsTextLocked() const {
+  OpMetrics root("server", "port=" + std::to_string(port_) + " sessions=" +
+                               std::to_string(sessions_.size()));
+  root.rows_in = stats_.statements_received;
+  root.rows_out = stats_.statements_executed;
+
+  OpMetrics* admission = root.AddChild(
+      "admission",
+      "queue_limit=" + std::to_string(options_.max_queue) +
+          " quota=" + std::to_string(options_.session_quota) +
+          " shed_queue=" + std::to_string(stats_.shed_queue_full) +
+          " shed_quota=" + std::to_string(stats_.shed_quota) +
+          " shed_drain=" + std::to_string(stats_.shed_draining));
+  admission->rows_in = stats_.statements_received;
+  admission->rows_out = stats_.statements_admitted;
+
+  for (const auto& [id, session] : sessions_) {
+    OpMetrics* node = root.AddChild(
+        "session", "id=" + std::to_string(id) +
+                       " shed=" + std::to_string(session->shed) +
+                       " errors=" + std::to_string(session->failed));
+    node->rows_in = session->received;
+    node->rows_out = session->executed;
+    node->wall_ns = session->exec_ns;
+    node->mem_bytes = session->output_bytes;
+  }
+  return root.ToString();
+}
+
+}  // namespace qf

@@ -1,0 +1,177 @@
+// qfserverd's engine: a concurrent multi-client TCP front end over the
+// query-flocks shell — the paper's mining-as-a-service reading (§1's
+// "general-purpose mining system", serving many interactive sessions in
+// the style of Goethals & Van den Bussche's constrained-mining sessions).
+//
+// Architecture (three thread groups, one admission queue):
+//
+//   accept thread      owns the listening socket; registers a Session per
+//                      connection (shedding past max_sessions) and spawns
+//                      its reader.
+//   reader threads     one per connection: handshake, then decode frames.
+//                      PING/STATS/BYE are answered inline; STMT goes
+//                      through admission. Malformed frames draw a typed
+//                      ERROR and a disconnect (protocol.h).
+//   executor threads   a fixed pool that drains the admission queue and
+//                      runs statements via the shared shell entry point
+//                      (shell/statement.h). Inside a statement, the
+//                      morsel thread pool (common/thread_pool.h) provides
+//                      intra-statement parallelism as usual, so the
+//                      executor count caps concurrent *statements* and
+//                      the morsel pool multiplexes their scans.
+//
+// Sessions: each client gets its own Shell — its own catalog view,
+// rules, flocks, and knobs — seeded copy-on-write from one shared
+// read-mostly base database (Database shares relation payloads, so a
+// thousand sessions see the same tuples without a thousand copies). A
+// session that OPENs a durable catalog gets the full PR 5 WAL-before-ack
+// path: mutations are fsynced before the RESULT frame is sent, so an
+// acknowledged statement survives a crash. Statements of one session run
+// strictly in order, one at a time (the Shell is single-threaded);
+// different sessions run concurrently up to the executor count.
+//
+// Admission and overload: a STMT is *admitted* (queued) only when the
+// global queue has room and the session is under its quota; otherwise it
+// is shed immediately with a typed OVERLOADED error frame — the server
+// never blocks a reader on a full queue, so overload degrades into fast
+// rejections, not hangs. Shutdown() drains: everything admitted executes
+// and is answered (WAL-before-ack included) before threads stop; new
+// statements shed with OVERLOADED while draining.
+//
+// Disconnects: a session's cancel flag trips when its connection drops,
+// so a running statement aborts with CANCELLED at the next governor poll
+// and queued ones are skipped — one dead client never wedges an
+// executor. Per-session counters surface through the OpMetrics tree
+// (MetricsText(), the STATS frame) and per-statement spans go to the
+// configured TraceSink.
+#ifndef QF_NETWORK_SERVER_H_
+#define QF_NETWORK_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/vfs.h"
+#include "relational/database.h"
+
+namespace qf {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 = kernel-assigned; Server::port() reports the real one.
+  std::uint16_t port = 0;
+  // Statement worker threads (concurrent statements); clamped to >= 1.
+  unsigned executors = 2;
+  // Global cap on admitted-but-not-yet-executing statements; beyond it
+  // STMT frames shed with OVERLOADED.
+  std::size_t max_queue = 64;
+  // Per-session cap on admitted-but-unfinished statements (pipelining
+  // depth); beyond it the session's STMT frames shed with OVERLOADED.
+  std::size_t session_quota = 8;
+  // Connection cap; excess connections draw OVERLOADED and a disconnect.
+  std::size_t max_sessions = 256;
+  // Shared read-mostly base database every session starts from
+  // (copy-on-write: payloads are shared, session writes stay private).
+  Database base_db;
+  // File system handed to each session's shell (OPEN/CHECKPOINT/SAVE);
+  // null = the process-wide PosixVfs. Tests point this at a MemVfs.
+  Vfs* session_vfs = nullptr;
+  // Per-statement begin/end spans (must be thread-safe, like every
+  // TraceSink). May be null.
+  TraceSink* trace = nullptr;
+  // Test seam: runs at the start of every statement execution, before
+  // the shell is touched. Overload tests park executors on a latch here
+  // to make queue pressure deterministic. Must be thread-safe.
+  std::function<void()> statement_hook_for_test;
+};
+
+// Monotonic counters, readable at any time (Server::stats()).
+struct ServerStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_active = 0;
+  std::uint64_t sessions_shed = 0;        // over max_sessions
+  std::uint64_t statements_received = 0;  // STMT frames seen
+  std::uint64_t statements_admitted = 0;
+  std::uint64_t statements_executed = 0;  // includes failed ones
+  std::uint64_t statements_failed = 0;    // executed, non-OK status
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_quota = 0;
+  std::uint64_t shed_draining = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+class Server {
+ public:
+  // Binds, listens, and starts the accept/executor threads. On error
+  // (port in use, bad host) nothing is left running.
+  static Result<std::unique_ptr<Server>> Start(ServerOptions options);
+
+  // Shuts down (draining) if the caller did not.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // The bound port (the kernel's pick when options.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  // Graceful drain: stop accepting connections, shed new statements with
+  // OVERLOADED, execute and answer everything already admitted (including
+  // WAL-before-ack), then stop all threads. Idempotent; not safe to call
+  // concurrently with itself.
+  void Shutdown();
+
+  ServerStats stats() const;
+
+  // The serving metrics tree rendered like EXPLAIN ANALYZE output: one
+  // root, an admission node, one node per live session. Served to
+  // clients via the STATS frame.
+  std::string MetricsText() const;
+
+ private:
+  struct Session;
+
+  explicit Server(ServerOptions options);
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Session> session);
+  void ExecutorLoop();
+  void AdmitStatement(const std::shared_ptr<Session>& session,
+                      std::uint64_t request_id, std::string statement);
+  std::string MetricsTextLocked() const;
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::thread accept_thread_;
+  std::vector<std::thread> executor_threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // executors: ready work or stop
+  std::condition_variable drain_cv_;  // Shutdown: queue + in-flight empty
+  std::deque<std::shared_ptr<Session>> ready_;
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
+  std::vector<std::thread> reader_threads_;
+  std::uint64_t next_session_id_ = 1;
+  std::size_t queued_ = 0;     // admitted, waiting for an executor
+  std::size_t executing_ = 0;  // statements currently running
+  bool draining_ = false;
+  bool stop_executors_ = false;
+  bool shut_down_ = false;
+  ServerStats stats_;
+};
+
+}  // namespace qf
+
+#endif  // QF_NETWORK_SERVER_H_

@@ -1,0 +1,100 @@
+#include "network/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace qf {
+
+namespace {
+
+Result<sockaddr_in> MakeAddr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> TcpListen(const std::string& host, std::uint16_t port,
+                      int backlog) {
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoError(std::string("socket: ") + std::strerror(errno));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) !=
+      0) {
+    Status s = IoError(std::string("bind: ") + std::strerror(errno));
+    CloseFd(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status s = IoError(std::string("listen: ") + std::strerror(errno));
+    CloseFd(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> TcpConnect(const std::string& host, std::uint16_t port) {
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return IoError(std::string("socket: ") + std::strerror(errno));
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                   sizeof(*addr)) != 0) {
+    if (errno == EINTR) continue;
+    Status s = IoError(std::string("connect: ") + std::strerror(errno));
+    CloseFd(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<std::uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return IoError(std::string("getsockname: ") + std::strerror(errno));
+  }
+  return static_cast<std::uint16_t>(ntohs(addr.sin_port));
+}
+
+bool WaitReadable(int fd, int wake_fd) {
+  pollfd fds[2];
+  fds[0].fd = fd;
+  fds[0].events = POLLIN;
+  fds[1].fd = wake_fd;
+  fds[1].events = POLLIN;
+  while (true) {
+    int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (fds[1].revents != 0) return false;
+    if (fds[0].revents != 0) return true;
+  }
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  while (::close(fd) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace qf

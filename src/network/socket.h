@@ -1,0 +1,36 @@
+// Thin POSIX TCP helpers shared by the server and the client library:
+// listen/connect with typed Status errors, plus a self-pipe so blocking
+// accept loops can be woken for shutdown without races.
+#ifndef QF_NETWORK_SOCKET_H_
+#define QF_NETWORK_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace qf {
+
+// Binds and listens on `host:port` (port 0 = kernel-assigned; read the
+// real one back with LocalPort). SO_REUSEADDR is set so restarting a
+// drained server does not trip TIME_WAIT.
+Result<int> TcpListen(const std::string& host, std::uint16_t port,
+                      int backlog);
+
+// Blocking connect to `host:port`.
+Result<int> TcpConnect(const std::string& host, std::uint16_t port);
+
+// The port a bound socket actually listens on.
+Result<std::uint16_t> LocalPort(int fd);
+
+// Waits until `fd` is readable or `wake_fd` becomes readable (shutdown
+// signal). Returns true when `fd` is readable, false for a wake-up or a
+// poll error — callers treat both as "stop".
+bool WaitReadable(int fd, int wake_fd);
+
+// EINTR-safe close; ignores errors (the fd is gone either way).
+void CloseFd(int fd);
+
+}  // namespace qf
+
+#endif  // QF_NETWORK_SOCKET_H_

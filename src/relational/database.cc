@@ -9,7 +9,8 @@ Status Database::AddRelation(Relation rel) {
     return InvalidArgumentError("relation must be named to enter a database");
   }
   std::string name = rel.name();
-  auto [it, inserted] = relations_.emplace(name, std::move(rel));
+  auto [it, inserted] = relations_.emplace(
+      name, std::make_shared<const Relation>(std::move(rel)));
   if (!inserted) {
     return AlreadyExistsError("relation already exists: " + name);
   }
@@ -17,9 +18,14 @@ Status Database::AddRelation(Relation rel) {
 }
 
 void Database::PutRelation(Relation rel) {
-  QF_CHECK_MSG(!rel.name().empty(), "relation must be named");
-  std::string name = rel.name();
-  relations_.insert_or_assign(name, std::move(rel));
+  PutRelation(std::make_shared<const Relation>(std::move(rel)));
+}
+
+void Database::PutRelation(std::shared_ptr<const Relation> rel) {
+  QF_CHECK_MSG(rel != nullptr && !rel->name().empty(),
+               "relation must be named");
+  std::string name = rel->name();
+  relations_.insert_or_assign(std::move(name), std::move(rel));
 }
 
 bool Database::Has(std::string_view name) const {
@@ -27,6 +33,13 @@ bool Database::Has(std::string_view name) const {
 }
 
 const Relation& Database::Get(std::string_view name) const {
+  auto it = relations_.find(name);
+  QF_CHECK_MSG(it != relations_.end(), "relation not found in database");
+  return *it->second;
+}
+
+std::shared_ptr<const Relation> Database::GetShared(
+    std::string_view name) const {
   auto it = relations_.find(name);
   QF_CHECK_MSG(it != relations_.end(), "relation not found in database");
   return it->second;

@@ -1,9 +1,18 @@
 // Database: a catalog of named base relations — the "predicates that
 // represent data stored as relations" of a query flock (paper §2, item 1).
+//
+// Relations are held by shared_ptr-to-const: copying a Database copies the
+// name table only, never the tuple payloads, and Put/Add swing pointers
+// (copy-on-write at relation granularity). This is what lets the server's
+// session manager (network/server.h) hand every client its own mutable
+// catalog view over one shared read-mostly base database: a session's
+// writes replace only that session's pointer; the base relations stay
+// shared, immutable, and safe to scan from many statement threads at once.
 #ifndef QF_RELATIONAL_DATABASE_H_
 #define QF_RELATIONAL_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,11 +31,17 @@ class Database {
 
   // Replaces or inserts `rel` under its name.
   void PutRelation(Relation rel);
+  // Pointer form: shares `rel` (which must stay immutable) instead of
+  // copying it — how sessions adopt relations of a shared base database.
+  void PutRelation(std::shared_ptr<const Relation> rel);
 
   bool Has(std::string_view name) const;
 
   // Returns the relation; aborts if absent (use Has() to probe).
   const Relation& Get(std::string_view name) const;
+  // Shared handle to the relation (aborts if absent): keeps the payload
+  // alive independently of this Database, without copying tuples.
+  std::shared_ptr<const Relation> GetShared(std::string_view name) const;
 
   // Returns all relation names in sorted order.
   std::vector<std::string> Names() const;
@@ -34,7 +49,8 @@ class Database {
   std::size_t size() const { return relations_.size(); }
 
  private:
-  std::map<std::string, Relation, std::less<>> relations_;
+  std::map<std::string, std::shared_ptr<const Relation>, std::less<>>
+      relations_;
 };
 
 }  // namespace qf

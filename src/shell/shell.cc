@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "datalog/parser.h"
+#include "shell/statement.h"
 #include "flocks/eval.h"
 #include "flocks/program_eval.h"
 #include "flocks/sql_emit.h"
@@ -292,57 +293,18 @@ Result<std::string> Shell::Execute(std::string_view statement) {
 }
 
 Result<std::string> Shell::ExecuteScript(std::string_view script) {
-  // Strip comments (quote-aware), then split on ';' outside quotes.
-  std::string cleaned;
-  cleaned.reserve(script.size());
-  {
-    bool in_quote = false;
-    char quote = '\0';
-    for (std::size_t i = 0; i < script.size(); ++i) {
-      char c = script[i];
-      if (c == '\'' || c == '"') {
-        if (!in_quote) {
-          in_quote = true;
-          quote = c;
-        } else if (c == quote) {
-          in_quote = false;
-        }
-      }
-      if (c == '#' && !in_quote) {
-        while (i < script.size() && script[i] != '\n') ++i;
-        cleaned += '\n';
-        continue;
-      }
-      cleaned += c;
-    }
-  }
-
   std::string output;
-  std::size_t start = 0;
-  bool in_quote = false;
-  char quote = '\0';
-  for (std::size_t i = 0; i <= cleaned.size(); ++i) {
-    bool at_end = i == cleaned.size();
-    char c = at_end ? ';' : cleaned[i];
-    if (!at_end && (c == '\'' || c == '"')) {
-      if (!in_quote) {
-        in_quote = true;
-        quote = c;
-      } else if (c == quote) {
-        in_quote = false;
-      }
-    }
-    if (c == ';' && !in_quote) {
-      std::string_view statement =
-          std::string_view(cleaned).substr(start, i - start);
-      start = i + 1;
-      if (StripWhitespace(statement).empty()) continue;
-      Result<std::string> result = Execute(statement);
-      if (!result.ok()) return result.status();
-      output += *result;
-    }
+  for (const std::string& statement : SplitStatements(script)) {
+    Result<std::string> result = Execute(statement);
+    if (!result.ok()) return result.status();
+    output += *result;
   }
   return output;
+}
+
+void Shell::SeedDatabase(const Database& base) {
+  db_ = base;  // cheap: the name table copies, relation payloads share
+  views_dirty_ = true;
 }
 
 Result<std::string> Shell::Load(std::string_view args) {

@@ -64,9 +64,18 @@ class Shell {
   // stays usable.
   Result<std::string> Execute(std::string_view statement);
 
-  // Splits `script` into statements on ';' (quote-aware) and executes
-  // them in order, concatenating output. Stops at the first error.
+  // Splits `script` into statements on ';' (quote-aware, via
+  // SplitStatements in shell/statement.h) and executes them in order,
+  // concatenating output. Stops at the first error.
   Result<std::string> ExecuteScript(std::string_view script);
+
+  // Seeds the session's in-memory database from `base` without copying
+  // relation payloads (Database shares relations copy-on-write). The
+  // server's session manager uses this to give every client its own
+  // catalog view over one shared read-mostly database; later mutations
+  // replace only this session's pointers. Call before OPEN — an open
+  // catalog supersedes the in-memory database.
+  void SeedDatabase(const Database& base);
 
   // The session's relations: the open catalog's durable state, or the
   // in-memory database when no catalog is open.

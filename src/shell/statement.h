@@ -1,0 +1,42 @@
+// The library entry point for executing shell statements — the one
+// dispatch path shared by the qfshell REPL, script execution, and the
+// network server (network/server.h). Splitting scripts into statements
+// and running one statement are separated here so every front end feeds
+// the same parser the same bytes: a statement behaves identically whether
+// it arrived from stdin, a .qf file, or a protocol frame.
+#ifndef QF_SHELL_STATEMENT_H_
+#define QF_SHELL_STATEMENT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "shell/shell.h"
+
+namespace qf {
+
+// Splits `script` into executable statements: '#' comments are stripped
+// (quote-aware), statements end at ';' outside quotes, and blank
+// statements are dropped. The trailing statement needs no ';'. Statements
+// keep their internal whitespace/newlines; surrounding whitespace is
+// trimmed.
+std::vector<std::string> SplitStatements(std::string_view script);
+
+// The outcome of one statement: the typed status plus the printable
+// output (empty on error). Non-Result form so wire protocols and REPLs
+// can marshal both sides without branching on Result<>.
+struct StatementOutcome {
+  Status status;
+  std::string output;
+
+  bool ok() const { return status.ok(); }
+};
+
+// Executes one statement against `shell` (exactly Shell::Execute, in
+// outcome form). The shell object stays usable after errors.
+StatementOutcome ExecuteStatement(Shell& shell, std::string_view statement);
+
+}  // namespace qf
+
+#endif  // QF_SHELL_STATEMENT_H_

@@ -1,0 +1,331 @@
+// Tests for the qfserverd wire protocol and the server/client pair
+// (network/protocol.h, network/server.h, network/client.h): frame
+// codec round-trips and poisoned-stream detection, the versioned
+// handshake, statement round-trips with typed error frames, per-session
+// catalog isolation over the shared copy-on-write base database, and the
+// PING/STATS/BYE side channels.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "common/vfs.h"
+#include "network/client.h"
+#include "network/protocol.h"
+#include "network/server.h"
+#include "network/socket.h"
+#include "shell/shell.h"
+
+namespace qf {
+namespace {
+
+std::unique_ptr<Server> StartServer(ServerOptions options = {}) {
+  options.port = 0;
+  Result<std::unique_ptr<Server>> server = Server::Start(std::move(options));
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return server.ok() ? std::move(*server) : nullptr;
+}
+
+Client MustConnect(const Server& server) {
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return client.ok() ? std::move(*client) : Client();
+}
+
+// ------------------------------------------------------------- codec
+
+TEST(ProtocolTest, FrameRoundTrip) {
+  Frame frame;
+  frame.type = FrameType::kStmt;
+  frame.request_id = 0x0123456789abcdefULL;
+  frame.body = "RUN pairs;";
+  std::string wire = EncodeFrame(frame);
+  DecodeOutcome out = DecodeFrame(wire);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_FALSE(out.need_more);
+  EXPECT_EQ(out.consumed, wire.size());
+  EXPECT_EQ(out.frame.type, FrameType::kStmt);
+  EXPECT_EQ(out.frame.request_id, frame.request_id);
+  EXPECT_EQ(out.frame.body, frame.body);
+}
+
+TEST(ProtocolTest, DecodeLeavesTrailingBytes) {
+  Frame a{FrameType::kPing, 1, ""};
+  Frame b{FrameType::kPong, 2, ""};
+  std::string wire = EncodeFrame(a) + EncodeFrame(b);
+  DecodeOutcome first = DecodeFrame(wire);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_EQ(first.frame.request_id, 1u);
+  DecodeOutcome second = DecodeFrame(
+      std::string_view(wire).substr(first.consumed));
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_EQ(second.frame.request_id, 2u);
+  EXPECT_EQ(first.consumed + second.consumed, wire.size());
+}
+
+TEST(ProtocolTest, TruncatedFramesNeedMore) {
+  std::string wire = EncodeFrame({FrameType::kStmt, 7, "HELP"});
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    DecodeOutcome out = DecodeFrame(std::string_view(wire).substr(0, n));
+    EXPECT_TRUE(out.need_more) << "prefix length " << n;
+    EXPECT_TRUE(out.status.ok()) << "prefix length " << n;
+  }
+}
+
+TEST(ProtocolTest, OversizedLengthIsRejectedBeforeBuffering) {
+  std::string wire;
+  AppendU32(wire, kMaxPayloadBytes + 1);
+  AppendU32(wire, 0);
+  // No body bytes needed: the length prefix alone poisons the stream.
+  DecodeOutcome out = DecodeFrame(wire);
+  EXPECT_FALSE(out.need_more);
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_EQ(out.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, UndersizedLengthIsRejected) {
+  std::string wire;
+  AppendU32(wire, static_cast<std::uint32_t>(kMinPayloadBytes) - 1);
+  AppendU32(wire, 0);
+  wire.append(kMinPayloadBytes - 1, 'x');
+  DecodeOutcome out = DecodeFrame(wire);
+  EXPECT_FALSE(out.status.ok());
+}
+
+TEST(ProtocolTest, CorruptPayloadFailsChecksum) {
+  std::string wire = EncodeFrame({FrameType::kStmt, 7, "SHOW RELATIONS"});
+  for (std::size_t i = kFrameHeaderBytes; i < wire.size(); ++i) {
+    std::string bent = wire;
+    bent[i] = static_cast<char>(bent[i] ^ 0x20);
+    DecodeOutcome out = DecodeFrame(bent);
+    EXPECT_FALSE(out.status.ok()) << "flipped byte " << i;
+  }
+}
+
+TEST(ProtocolTest, UnknownFrameTypeIsRejected) {
+  std::string wire = EncodeFrame({static_cast<FrameType>(0x7f), 1, ""});
+  DecodeOutcome out = DecodeFrame(wire);
+  EXPECT_FALSE(out.status.ok());
+  EXPECT_FALSE(IsKnownFrameType(0x7f));
+  EXPECT_TRUE(IsKnownFrameType(static_cast<std::uint8_t>(FrameType::kStmt)));
+}
+
+TEST(ProtocolTest, ErrorBodyRoundTripsTypedStatus) {
+  Status in = OverloadedError("admission queue full (64 statements)");
+  Status out = DecodeErrorBody(EncodeErrorBody(in));
+  EXPECT_EQ(out.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(out.message(), in.message());
+  // Unknown code bytes and empty bodies map to INTERNAL, not UB.
+  EXPECT_EQ(DecodeErrorBody(std::string("\xee message")).code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(DecodeErrorBody("").code(), StatusCode::kInternal);
+}
+
+TEST(ProtocolTest, HelloAndWelcomeBodies) {
+  EXPECT_TRUE(CheckHelloBody(EncodeHelloBody()).ok());
+  EXPECT_EQ(CheckHelloBody("").code(), StatusCode::kInvalidArgument);
+
+  std::string wrong_magic;
+  AppendU32(wrong_magic, 0xdeadbeefu);
+  AppendU32(wrong_magic, kProtocolVersion);
+  EXPECT_EQ(CheckHelloBody(wrong_magic).code(), StatusCode::kInvalidArgument);
+
+  std::string wrong_version;
+  AppendU32(wrong_version, kProtocolMagic);
+  AppendU32(wrong_version, kProtocolVersion + 1);
+  EXPECT_EQ(CheckHelloBody(wrong_version).code(),
+            StatusCode::kFailedPrecondition);
+
+  Result<std::uint64_t> sid = DecodeWelcomeBody(EncodeWelcomeBody(42));
+  ASSERT_TRUE(sid.ok());
+  EXPECT_EQ(*sid, 42u);
+}
+
+// ------------------------------------------------------- live server
+
+TEST(ServerTest, StatementRoundTrip) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+  Result<std::string> out =
+      client.Execute("GEN BASKETS b n_baskets=30 n_items=8 seed=3");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("generated b"), std::string::npos);
+  out = client.Execute("SHOW RELATIONS");
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("b("), std::string::npos);
+}
+
+TEST(ServerTest, ErrorsComeBackTyped) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+  Result<std::string> out = client.Execute("RUN missing");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+  // The session survives its own errors.
+  EXPECT_TRUE(client.Execute("HELP").ok());
+}
+
+TEST(ServerTest, DeadlineExceededPropagates) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(
+      client
+          .Execute(
+              "GEN BASKETS mb n_baskets=2000 n_items=100 avg_size=8 seed=9")
+          .ok());
+  ASSERT_TRUE(client.Execute("SET TIMEOUT 1").ok());
+  Result<std::string> out = client.Execute("MAXIMAL mb SUPPORT 5");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ServerTest, SessionsAreIsolated) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Client a = MustConnect(*server);
+  Client b = MustConnect(*server);
+  ASSERT_TRUE(a.Execute("GEN BASKETS mine n_baskets=10 n_items=5 seed=1").ok());
+  // a's relation is invisible to b; b's SHOW doesn't list it.
+  Result<std::string> shown = b.Execute("SHOW RELATIONS");
+  ASSERT_TRUE(shown.ok());
+  EXPECT_EQ(shown->find("mine"), std::string::npos);
+  EXPECT_EQ(b.Execute("SHOW mine").status().code(), StatusCode::kNotFound);
+  // a's knobs are a's alone.
+  ASSERT_TRUE(a.Execute("SET TIMEOUT 123").ok());
+  EXPECT_TRUE(b.Execute("MAXIMAL mine SUPPORT 2").status().code() ==
+              StatusCode::kNotFound);
+}
+
+TEST(ServerTest, SessionsSeeSharedBaseDatabase) {
+  Shell seed;
+  ASSERT_TRUE(
+      seed.Execute("GEN BASKETS base n_baskets=40 n_items=8 seed=6").ok());
+  ServerOptions options;
+  options.base_db = seed.database();
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client a = MustConnect(*server);
+  Client b = MustConnect(*server);
+  for (Client* c : {&a, &b}) {
+    Result<std::string> out = c->Execute(
+        "FLOCK p QUERY answer(B) :- base(B,$1) FILTER COUNT >= 2");
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    out = c->Execute("RUN p DIRECT LIMIT 2");
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_NE(out->find("rows"), std::string::npos);
+  }
+}
+
+TEST(ServerTest, SessionCatalogMutationsAreDurable) {
+  MemVfs vfs;
+  ServerOptions options;
+  options.session_vfs = &vfs;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  {
+    Client client = MustConnect(*server);
+    ASSERT_TRUE(client.Execute("OPEN cat").ok());
+    // WAL-before-ack: once this reply arrives the mutation is fsynced.
+    ASSERT_TRUE(
+        client.Execute("GEN BASKETS b n_baskets=20 n_items=6 seed=2").ok());
+  }
+  Shell shell;
+  shell.set_vfs(&vfs);
+  Result<std::string> out = shell.Execute("OPEN cat");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("opened cat: 1 relations"), std::string::npos);
+}
+
+TEST(ServerTest, PingStatsAndBye) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+  EXPECT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Execute("HELP").ok());
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("server"), std::string::npos);
+  EXPECT_NE(stats->find("admission"), std::string::npos);
+  EXPECT_NE(stats->find("session"), std::string::npos);
+  client.Close();
+  EXPECT_FALSE(client.connected());
+  ServerStats counted = server->stats();
+  EXPECT_EQ(counted.statements_executed, 1u);
+  EXPECT_EQ(counted.protocol_errors, 0u);
+}
+
+TEST(ServerTest, VersionMismatchDrawsTypedErrorAndDisconnect) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Result<int> fd = TcpConnect("127.0.0.1", server->port());
+  ASSERT_TRUE(fd.ok());
+  Frame hello;
+  hello.type = FrameType::kHello;
+  AppendU32(hello.body, kProtocolMagic);
+  AppendU32(hello.body, kProtocolVersion + 7);
+  ASSERT_TRUE(WriteFrame(*fd, hello).ok());
+  ReadEvent event = ReadFrame(*fd);
+  ASSERT_EQ(event.kind, ReadEvent::Kind::kFrame);
+  ASSERT_EQ(event.frame.type, FrameType::kError);
+  EXPECT_EQ(DecodeErrorBody(event.frame.body).code(),
+            StatusCode::kFailedPrecondition);
+  // Then the server hangs up.
+  EXPECT_EQ(ReadFrame(*fd).kind, ReadEvent::Kind::kEof);
+  CloseFd(*fd);
+}
+
+TEST(ServerTest, SessionLimitShedsWithOverloaded) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client first = MustConnect(*server);
+  Result<Client> second = Client::Connect("127.0.0.1", server->port());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kOverloaded);
+  // The admitted session is unaffected.
+  EXPECT_TRUE(first.Execute("HELP").ok());
+  EXPECT_GE(server->stats().sessions_shed, 1u);
+}
+
+TEST(ServerTest, PipelinedRepliesMatchRequestIds) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+  Result<std::uint64_t> id1 =
+      client.Send("GEN BASKETS b n_baskets=10 n_items=5 seed=1");
+  Result<std::uint64_t> id2 = client.Send("SHOW RELATIONS");
+  Result<std::uint64_t> id3 = client.Send("RUN missing");
+  ASSERT_TRUE(id1.ok() && id2.ok() && id3.ok());
+  Result<Client::Reply> r1 = client.Recv();
+  Result<Client::Reply> r2 = client.Recv();
+  Result<Client::Reply> r3 = client.Recv();
+  ASSERT_TRUE(r1.ok() && r2.ok() && r3.ok());
+  // One session's statements run in order; replies echo the ids.
+  EXPECT_EQ(r1->request_id, *id1);
+  EXPECT_EQ(r2->request_id, *id2);
+  EXPECT_EQ(r3->request_id, *id3);
+  EXPECT_TRUE(r1->status.ok());
+  EXPECT_NE(r2->output.find("b("), std::string::npos);
+  EXPECT_EQ(r3->status.code(), StatusCode::kNotFound);
+}
+
+TEST(ServerTest, ShutdownIsIdempotentAndAnswersBeforeStopping) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+  ASSERT_TRUE(client.Execute("HELP").ok());
+  server->Shutdown();
+  server->Shutdown();  // idempotent
+  EXPECT_EQ(server->stats().sessions_active, 0u);
+  // New connections are refused once drained.
+  EXPECT_FALSE(Client::Connect("127.0.0.1", server->port()).ok());
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,289 @@
+// Deterministic overload-shedding tests for the server's admission layer
+// (network/server.h): queue-limit and per-session-quota rejections are
+// typed OVERLOADED error frames (never hangs), shed replies echo the
+// right request ids, and Shutdown() drains — every admitted statement is
+// executed, answered, and (with a catalog open) WAL-durable before the
+// server stops, while new statements shed.
+//
+// Determinism comes from ServerOptions::statement_hook_for_test: a gate
+// parks executors at the start of statement execution, so tests fill the
+// queue to exact depths before releasing the workers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/status.h"
+#include "common/vfs.h"
+#include "network/client.h"
+#include "network/server.h"
+#include "shell/shell.h"
+
+namespace qf {
+namespace {
+
+// A gate the statement hook blocks on while closed. Tests close it, park
+// an executor, pile statements behind it, then open it to let the
+// backlog drain.
+class Gate {
+ public:
+  void MaybeBlock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!closed_) return;
+    ++parked_;
+    parked_cv_.notify_all();
+    open_cv_.wait(lock, [this] { return !closed_; });
+    --parked_;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = false;
+    }
+    open_cv_.notify_all();
+  }
+
+  // Blocks until `n` executors are parked on the gate — i.e. their
+  // statements are popped from the queue and mid-"execution".
+  void AwaitParked(int n) {
+    std::unique_lock<std::mutex> lock(mu_);
+    parked_cv_.wait(lock, [this, n] { return parked_ >= n; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable open_cv_;
+  std::condition_variable parked_cv_;
+  int parked_ = 0;
+  bool closed_ = false;
+};
+
+std::unique_ptr<Server> StartServer(ServerOptions options) {
+  options.port = 0;
+  Result<std::unique_ptr<Server>> server = Server::Start(std::move(options));
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return server.ok() ? std::move(*server) : nullptr;
+}
+
+Client MustConnect(const Server& server) {
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return client.ok() ? std::move(*client) : Client();
+}
+
+// Collects `n` replies and indexes them by request id.
+std::map<std::uint64_t, Client::Reply> RecvAll(Client& client, int n) {
+  std::map<std::uint64_t, Client::Reply> replies;
+  for (int i = 0; i < n; ++i) {
+    Result<Client::Reply> reply = client.Recv();
+    EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+    if (!reply.ok()) break;
+    replies[reply->request_id] = *reply;
+  }
+  return replies;
+}
+
+TEST(OverloadTest, QueueFullShedsWithTypedOverloaded) {
+  Gate gate;
+  ServerOptions options;
+  options.executors = 1;
+  options.max_queue = 2;
+  options.session_quota = 100;
+  options.statement_hook_for_test = [&gate] { gate.MaybeBlock(); };
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+
+  gate.Close();
+  // s1 is popped by the lone executor and parks on the gate; s2 and s3
+  // fill the queue; s4 and s5 find it full and shed immediately.
+  Result<std::uint64_t> s1 = client.Send("HELP");
+  ASSERT_TRUE(s1.ok());
+  gate.AwaitParked(1);
+  Result<std::uint64_t> s2 = client.Send("HELP");
+  Result<std::uint64_t> s3 = client.Send("HELP");
+  Result<std::uint64_t> s4 = client.Send("HELP");
+  Result<std::uint64_t> s5 = client.Send("HELP");
+  ASSERT_TRUE(s2.ok() && s3.ok() && s4.ok() && s5.ok());
+
+  // The shed replies arrive while the executor is still parked: overload
+  // is a fast rejection, not a wait.
+  std::map<std::uint64_t, Client::Reply> shed = RecvAll(client, 2);
+  ASSERT_EQ(shed.size(), 2u);
+  for (std::uint64_t id : {*s4, *s5}) {
+    ASSERT_TRUE(shed.contains(id));
+    EXPECT_EQ(shed[id].status.code(), StatusCode::kOverloaded);
+    EXPECT_NE(shed[id].status.message().find("admission queue full"),
+              std::string::npos);
+  }
+
+  gate.Open();
+  std::map<std::uint64_t, Client::Reply> done = RecvAll(client, 3);
+  ASSERT_EQ(done.size(), 3u);
+  for (std::uint64_t id : {*s1, *s2, *s3}) {
+    ASSERT_TRUE(done.contains(id));
+    EXPECT_TRUE(done[id].status.ok());
+  }
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.shed_queue_full, 2u);
+  EXPECT_EQ(stats.statements_admitted, 3u);
+  EXPECT_EQ(stats.statements_executed, 3u);
+}
+
+TEST(OverloadTest, QuotaIsPerSession) {
+  Gate gate;
+  ServerOptions options;
+  options.executors = 1;
+  options.max_queue = 100;
+  options.session_quota = 1;
+  options.statement_hook_for_test = [&gate] { gate.MaybeBlock(); };
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client a = MustConnect(*server);
+  Client b = MustConnect(*server);
+
+  gate.Close();
+  Result<std::uint64_t> a1 = a.Send("HELP");
+  ASSERT_TRUE(a1.ok());
+  gate.AwaitParked(1);
+  // a is at its quota; its next statement sheds. b's quota is its own.
+  Result<std::uint64_t> a2 = a.Send("HELP");
+  Result<std::uint64_t> b1 = b.Send("HELP");
+  ASSERT_TRUE(a2.ok() && b1.ok());
+
+  Result<Client::Reply> shed = a.Recv();
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->request_id, *a2);
+  EXPECT_EQ(shed->status.code(), StatusCode::kOverloaded);
+  EXPECT_NE(shed->status.message().find("session quota exceeded"),
+            std::string::npos);
+
+  gate.Open();
+  Result<Client::Reply> a_done = a.Recv();
+  Result<Client::Reply> b_done = b.Recv();
+  ASSERT_TRUE(a_done.ok() && b_done.ok());
+  EXPECT_TRUE(a_done->status.ok());
+  EXPECT_TRUE(b_done->status.ok());
+  EXPECT_EQ(server->stats().shed_quota, 1u);
+}
+
+TEST(OverloadTest, ShutdownDrainsAdmittedWorkAndShedsNewWork) {
+  Gate gate;
+  MemVfs vfs;
+  ServerOptions options;
+  options.executors = 1;
+  options.session_vfs = &vfs;
+  options.statement_hook_for_test = [&gate] { gate.MaybeBlock(); };
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client worker = MustConnect(*server);
+  Client latecomer = MustConnect(*server);
+
+  // A durable session: the admitted GEN below must be WAL-committed
+  // before its reply — shutdown must not lose it.
+  ASSERT_TRUE(worker.Execute("OPEN cat").ok());
+
+  gate.Close();
+  Result<std::uint64_t> admitted =
+      worker.Send("GEN BASKETS b n_baskets=20 n_items=6 seed=2");
+  ASSERT_TRUE(admitted.ok());
+  gate.AwaitParked(1);
+
+  std::thread shutdown_thread([&server] { server->Shutdown(); });
+  // Draining: once Shutdown() has flipped the drain flag, new statements
+  // shed with a typed OVERLOADED immediately — even though the executor
+  // is still parked. Probe until the flag is observably set (a probe
+  // racing ahead of the flag is merely admitted and drains normally).
+  int probes = 0;
+  while (server->stats().shed_draining == 0) {
+    ASSERT_TRUE(latecomer.Send("HELP").ok());
+    ++probes;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  gate.Open();
+  shutdown_thread.join();
+
+  // Every probe was answered: admitted ones executed during the drain,
+  // the rest shed with the draining message — none hang.
+  bool saw_draining_shed = false;
+  for (int i = 0; i < probes; ++i) {
+    Result<Client::Reply> reply = latecomer.Recv();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    if (!reply->status.ok()) {
+      EXPECT_EQ(reply->status.code(), StatusCode::kOverloaded);
+      if (reply->status.message().find("shutting down") !=
+          std::string::npos) {
+        saw_draining_shed = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_draining_shed);
+
+  // The admitted statement was executed and answered before the drain
+  // completed: no acknowledged work was lost.
+  Result<Client::Reply> done = worker.Recv();
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_EQ(done->request_id, *admitted);
+  EXPECT_TRUE(done->status.ok()) << done->status.ToString();
+  ServerStats stats = server->stats();
+  EXPECT_GE(stats.statements_executed, 2u);  // OPEN + GEN (+ probes)
+  EXPECT_GE(stats.shed_draining, 1u);
+
+  // And it is durable: a fresh shell recovers the relation from the WAL.
+  Shell shell;
+  shell.set_vfs(&vfs);
+  Result<std::string> reopened = shell.Execute("OPEN cat");
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_NE(reopened->find("opened cat: 1 relations"), std::string::npos);
+}
+
+TEST(OverloadTest, TwoTimesQueuePressureShedsDoesNotHang) {
+  Gate gate;
+  ServerOptions options;
+  options.executors = 1;
+  options.max_queue = 4;
+  options.session_quota = 100;
+  options.statement_hook_for_test = [&gate] { gate.MaybeBlock(); };
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+
+  gate.Close();
+  ASSERT_TRUE(client.Send("HELP").ok());  // parks the executor
+  gate.AwaitParked(1);
+  // 2x the queue limit behind the parked executor: exactly max_queue
+  // admit, the rest shed; every single one is answered.
+  const int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) ASSERT_TRUE(client.Send("HELP").ok());
+  std::map<std::uint64_t, Client::Reply> shed =
+      RecvAll(client, kBurst - static_cast<int>(4));
+  for (const auto& [id, reply] : shed) {
+    EXPECT_EQ(reply.status.code(), StatusCode::kOverloaded) << id;
+  }
+  gate.Open();
+  std::map<std::uint64_t, Client::Reply> done = RecvAll(client, 4 + 1);
+  for (const auto& [id, reply] : done) {
+    EXPECT_TRUE(reply.status.ok()) << id;
+  }
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.statements_received, 1u + kBurst);
+  EXPECT_EQ(stats.statements_admitted, 5u);
+  EXPECT_EQ(stats.shed_queue_full, 4u);
+}
+
+}  // namespace
+}  // namespace qf

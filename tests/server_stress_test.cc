@@ -1,0 +1,237 @@
+// Multi-client differential stress for qfserverd (network/server.h):
+// N concurrent clients replay scripted flock workloads and every
+// client's byte stream must equal what a serial Shell produces for the
+// same script — the server adds concurrency, not nondeterminism. Also
+// covers a deadline-limited client timing out mid-flight without
+// poisoning its neighbours, and sustained 2x-queue-limit pressure
+// degrading into typed sheds rather than hangs.
+//
+// Labeled "slow": dozens of sessions x full mining runs. The quick
+// network/overload suites cover the same code paths for the TSan job.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <regex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "network/client.h"
+#include "network/server.h"
+#include "shell/shell.h"
+#include "shell/statement.h"
+
+namespace qf {
+namespace {
+
+// RUN output embeds wall-clock timing ("45 assignments in 1.2 ms");
+// normalize it so differential comparison sees only the data.
+std::string NormalizeTimings(std::string text) {
+  static const std::regex kTiming("in [0-9]+(\\.[0-9]+)? ms");
+  return std::regex_replace(text, kTiming, "in ? ms");
+}
+
+// The scripted workload for client `i`: every client mines its own
+// deterministic basket data end to end. Distinct seeds/sizes per client
+// make cross-session bleed (one session seeing another's relations or
+// knobs) show up as a diff, not a coincidence.
+std::vector<std::string> WorkloadStatements(int i) {
+  const std::string seed = std::to_string(i + 1);
+  const std::string n = std::to_string(60 + (i % 5) * 10);
+  return {
+      "GEN BASKETS b n_baskets=" + n + " n_items=20 avg_size=5 seed=" + seed,
+      "DEFINE bought(B,I) :- b(B,I)",
+      "FLOCK pairs QUERY answer(B) :- bought(B,$1) AND bought(B,$2) AND "
+      "$1 < $2 FILTER COUNT >= 3",
+      "RUN pairs DIRECT LIMIT 5",
+      "RUN pairs PLAN LIMIT 5",
+      "SHOW RELATIONS",
+  };
+}
+
+// What a serial, single-session shell says for the same statements.
+std::string SerialTranscript(const std::vector<std::string>& statements) {
+  Shell shell;
+  std::string out;
+  for (const std::string& stmt : statements) {
+    StatementOutcome outcome = ExecuteStatement(shell, stmt);
+    EXPECT_TRUE(outcome.ok()) << stmt << ": " << outcome.status.ToString();
+    out += outcome.output;
+  }
+  return NormalizeTimings(out);
+}
+
+std::unique_ptr<Server> StartServer(ServerOptions options = {}) {
+  options.port = 0;
+  Result<std::unique_ptr<Server>> server = Server::Start(std::move(options));
+  EXPECT_TRUE(server.ok()) << server.status().ToString();
+  return server.ok() ? std::move(*server) : nullptr;
+}
+
+// Runs client `i`'s workload over the wire and returns its normalized
+// transcript (empty + ADD_FAILURE on any error).
+std::string WireTranscript(std::uint16_t port, int i) {
+  Result<Client> client = Client::Connect("127.0.0.1", port);
+  if (!client.ok()) {
+    ADD_FAILURE() << "connect: " << client.status().ToString();
+    return "";
+  }
+  std::string out;
+  for (const std::string& stmt : WorkloadStatements(i)) {
+    Result<std::string> reply = client->Execute(stmt);
+    if (!reply.ok()) {
+      ADD_FAILURE() << "client " << i << ": " << stmt << ": "
+                    << reply.status().ToString();
+      return "";
+    }
+    out += *reply;
+  }
+  return NormalizeTimings(out);
+}
+
+void RunDifferentialStress(int n_clients) {
+  ServerOptions options;
+  options.executors = 4;
+  options.max_queue = 256;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+
+  std::vector<std::string> wire(n_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(n_clients);
+  for (int i = 0; i < n_clients; ++i) {
+    threads.emplace_back([&server, &wire, i] {
+      wire[i] = WireTranscript(server->port(), i);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Bit-identical to the serial shell, per client.
+  for (int i = 0; i < n_clients; ++i) {
+    std::string serial = SerialTranscript(WorkloadStatements(i));
+    EXPECT_EQ(wire[i], serial) << "client " << i << " diverged";
+  }
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.statements_failed, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.statements_executed,
+            static_cast<std::uint64_t>(n_clients) *
+                WorkloadStatements(0).size());
+}
+
+TEST(ServerStressTest, SixteenClientsMatchSerialShell) {
+  RunDifferentialStress(16);
+}
+
+TEST(ServerStressTest, SixtyFourClientsMatchSerialShell) {
+  RunDifferentialStress(64);
+}
+
+TEST(ServerStressTest, DeadlineClientDoesNotPoisonOthers) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+
+  // The victim: a tight deadline against a heavy mining statement.
+  std::thread victim([&server] {
+    Result<Client> client = Client::Connect("127.0.0.1", server->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(
+        client
+            ->Execute("GEN BASKETS mb n_baskets=2000 n_items=100 "
+                      "avg_size=8 seed=9")
+            .ok());
+    ASSERT_TRUE(client->Execute("SET TIMEOUT 1").ok());
+    Result<std::string> out = client->Execute("MAXIMAL mb SUPPORT 5");
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+    // The session itself survives its deadline.
+    EXPECT_TRUE(client->Execute("SET TIMEOUT 0").ok());
+    EXPECT_TRUE(client->Execute("HELP").ok());
+  });
+
+  // The neighbours: full workloads, unaffected and still deterministic.
+  std::vector<std::string> wire(4);
+  std::vector<std::thread> neighbours;
+  for (int i = 0; i < 4; ++i) {
+    neighbours.emplace_back([&server, &wire, i] {
+      wire[i] = WireTranscript(server->port(), i);
+    });
+  }
+  victim.join();
+  for (std::thread& t : neighbours) t.join();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(wire[i], SerialTranscript(WorkloadStatements(i)))
+        << "client " << i << " diverged";
+  }
+}
+
+TEST(ServerStressTest, SustainedOverloadShedsInsteadOfHanging) {
+  ServerOptions options;
+  options.executors = 2;
+  options.max_queue = 8;
+  options.session_quota = 64;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+
+  // Each client pipelines 2x the global queue limit without waiting.
+  // Contract: every statement is answered — OK or typed OVERLOADED —
+  // and the whole burst terminates (a hang would time the test out).
+  const int kClients = 4;
+  const int kPerClient = 16;  // 4 * 16 = 8x queue capacity overall
+  std::vector<int> ok_count(kClients);
+  std::vector<int> shed_count(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, &ok_count, &shed_count, c] {
+      Result<Client> client = Client::Connect("127.0.0.1", server->port());
+      ASSERT_TRUE(client.ok());
+      std::vector<std::uint64_t> ids;
+      for (int i = 0; i < kPerClient; ++i) {
+        Result<std::uint64_t> id = client->Send("SHOW RELATIONS");
+        ASSERT_TRUE(id.ok());
+        ids.push_back(*id);
+      }
+      std::map<std::uint64_t, Status> replies;
+      for (int i = 0; i < kPerClient; ++i) {
+        Result<Client::Reply> reply = client->Recv();
+        ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+        replies[reply->request_id] = reply->status;
+      }
+      for (std::uint64_t id : ids) {
+        ASSERT_TRUE(replies.contains(id)) << "request " << id << " unanswered";
+        const Status& status = replies[id];
+        if (status.ok()) {
+          ++ok_count[c];
+        } else {
+          ASSERT_EQ(status.code(), StatusCode::kOverloaded)
+              << status.ToString();
+          ++shed_count[c];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  int total_ok = 0;
+  int total_shed = 0;
+  for (int c = 0; c < kClients; ++c) {
+    total_ok += ok_count[c];
+    total_shed += shed_count[c];
+  }
+  EXPECT_EQ(total_ok + total_shed, kClients * kPerClient);
+  // The server did real work and really shed: 8x pressure cannot be
+  // absorbed by an 8-slot queue, and an empty queue admits someone.
+  EXPECT_GT(total_ok, 0);
+  EXPECT_GT(total_shed, 0);
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.statements_executed, static_cast<std::uint64_t>(total_ok));
+  EXPECT_EQ(stats.shed_queue_full + stats.shed_quota,
+            static_cast<std::uint64_t>(total_shed));
+}
+
+}  // namespace
+}  // namespace qf

@@ -1,0 +1,313 @@
+#!/usr/bin/env python3
+"""Load-test qfserverd: N concurrent clients, throughput and latency.
+
+A pure-Python implementation of the wire protocol (network/protocol.h) —
+the same frame layout and LevelDB-style masked CRC32C as the catalog WAL
+(see tools/corrupt_wal.py) — drives a real qfserverd over TCP:
+
+    [u32 payload length][u32 masked CRC32C of payload][payload bytes]
+    payload = [u8 frame type][u64 request id][body]   (little-endian)
+
+Each client runs the scripted flock workload end to end (GEN, DEFINE,
+FLOCK, RUN, SHOW) in its own session and records per-statement latency.
+With --qfshell the same scripts are replayed through the serial shell
+binary and the transcripts compared (timings normalized), so the load
+test doubles as a result-divergence check: concurrency must not change a
+single output byte.
+
+    tools/load_test.py --serverd build/tools/qfserverd \
+        --qfshell build/tools/qfshell --clients 64 --out BENCH_PR6.json
+
+Without --serverd an already-running server is used (--host/--port).
+The report is google-benchmark-shaped JSON ({"context", "suites"}), the
+same layout BENCH_PR3.json uses, so tools/compare_bench.py can diff
+load-test runs across commits. Exit status: 0 on success, 1 on any
+protocol error, failed statement, or transcript divergence.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import re
+import socket
+import struct
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+PROTOCOL_VERSION = 1
+MAGIC = 0x4B4C4651  # "QFLK" little-endian
+HEADER = struct.Struct("<II")
+
+T_HELLO, T_WELCOME, T_STMT, T_RESULT, T_ERROR = 1, 2, 3, 4, 5
+T_PING, T_PONG, T_STATS, T_BYE = 6, 7, 8, 9
+
+CRC_MASK_DELTA = 0xA282EAD8
+
+_TABLE = []
+for _i in range(256):
+    _c = _i
+    for _ in range(8):
+        _c = (_c >> 1) ^ 0x82F63B78 if _c & 1 else _c >> 1
+    _TABLE.append(_c)
+
+
+def crc32c(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for b in data:
+        crc = _TABLE[(crc ^ b) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def mask(crc: int) -> int:
+    return (((crc >> 15) | (crc << 17)) + CRC_MASK_DELTA) & 0xFFFFFFFF
+
+
+def encode_frame(ftype: int, request_id: int, body: bytes) -> bytes:
+    payload = struct.pack("<BQ", ftype, request_id) + body
+    return HEADER.pack(len(payload), mask(crc32c(payload))) + payload
+
+
+class Client:
+    """One session: blocking connect/handshake/execute, like qf::Client."""
+
+    def __init__(self, host: str, port: int):
+        self.sock = socket.create_connection((host, port))
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.next_id = 1
+        self._buffer = b""
+        hello = struct.pack("<II", MAGIC, PROTOCOL_VERSION)
+        self.sock.sendall(encode_frame(T_HELLO, 0, hello))
+        ftype, _, body = self.read_frame()
+        if ftype == T_ERROR:
+            raise RuntimeError(f"handshake rejected: {body[1:].decode()}")
+        if ftype != T_WELCOME:
+            raise RuntimeError(f"unexpected handshake frame type {ftype}")
+        (self.session_id,) = struct.unpack_from("<Q", body, 4)
+
+    def read_frame(self):
+        while True:
+            if len(self._buffer) >= HEADER.size:
+                length, stored = HEADER.unpack_from(self._buffer)
+                if len(self._buffer) >= HEADER.size + length:
+                    payload = self._buffer[HEADER.size:HEADER.size + length]
+                    self._buffer = self._buffer[HEADER.size + length:]
+                    if mask(crc32c(payload)) != stored:
+                        raise RuntimeError("frame checksum mismatch")
+                    ftype, request_id = struct.unpack_from("<BQ", payload)
+                    return ftype, request_id, payload[9:]
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("server closed the connection")
+            self._buffer += chunk
+
+    def execute(self, statement: str) -> str:
+        request_id = self.next_id
+        self.next_id += 1
+        self.sock.sendall(
+            encode_frame(T_STMT, request_id, statement.encode()))
+        ftype, reply_id, body = self.read_frame()
+        if reply_id != request_id:
+            raise RuntimeError(
+                f"reply id {reply_id} for request {request_id}")
+        if ftype == T_RESULT:
+            return body.decode()
+        if ftype == T_ERROR:
+            raise RuntimeError(
+                f"statement failed (code {body[0]}): {body[1:].decode()}")
+        raise RuntimeError(f"unexpected frame type {ftype}")
+
+    def close(self):
+        try:
+            self.sock.sendall(encode_frame(T_BYE, 0, b""))
+        except OSError:
+            pass
+        self.sock.close()
+
+
+def workload(i: int):
+    """Mirror of the scripted workload in tests/server_stress_test.cc."""
+    n = 60 + (i % 5) * 10
+    return [
+        f"GEN BASKETS b n_baskets={n} n_items=20 avg_size=5 seed={i + 1}",
+        "DEFINE bought(B,I) :- b(B,I)",
+        "FLOCK pairs QUERY answer(B) :- bought(B,$1) AND bought(B,$2) AND "
+        "$1 < $2 FILTER COUNT >= 3",
+        "RUN pairs DIRECT LIMIT 5",
+        "RUN pairs PLAN LIMIT 5",
+        "SHOW RELATIONS",
+    ]
+
+
+TIMING_RE = re.compile(r"in [0-9]+(\.[0-9]+)? ms")
+
+
+def normalize(text: str) -> str:
+    return TIMING_RE.sub("in ? ms", text)
+
+
+def run_client(host, port, i, rounds, latencies_ns, outputs, errors):
+    try:
+        client = Client(host, port)
+        transcript = []
+        for _ in range(rounds):
+            out = []
+            for stmt in workload(i):
+                start = time.perf_counter_ns()
+                out.append(client.execute(stmt))
+                latencies_ns.append(time.perf_counter_ns() - start)
+            transcript = out  # every round produces identical output
+        outputs[i] = normalize("".join(transcript))
+        client.close()
+    except Exception as exc:  # noqa: BLE001 — reported, fails the run
+        errors.append(f"client {i}: {exc}")
+
+
+def serial_transcript(qfshell: str, i: int) -> str:
+    with tempfile.NamedTemporaryFile(
+            "w", suffix=".qf", delete=False) as script:
+        script.write(";\n".join(workload(i)) + ";\n")
+        path = script.name
+    try:
+        proc = subprocess.run([qfshell, path], capture_output=True,
+                              text=True, timeout=120, check=True)
+        return normalize(proc.stdout)
+    finally:
+        os.unlink(path)
+
+
+def percentile(sorted_values, p):
+    if not sorted_values:
+        return 0.0
+    k = min(len(sorted_values) - 1,
+            int(round(p / 100.0 * (len(sorted_values) - 1))))
+    return float(sorted_values[k])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="concurrent load test for qfserverd")
+    parser.add_argument("--serverd", help="qfserverd binary to spawn "
+                        "(omit to use a running server)")
+    parser.add_argument("--qfshell", help="qfshell binary for the serial "
+                        "divergence check")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7464)
+    parser.add_argument("--clients", type=int, default=64)
+    parser.add_argument("--rounds", type=int, default=1,
+                        help="workload repetitions per client")
+    parser.add_argument("--executors", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_PR6.json")
+    args = parser.parse_args()
+
+    server = None
+    port = args.port
+    if args.serverd:
+        port = 7473  # fixed test port, distinct from the default
+        server = subprocess.Popen(
+            [args.serverd, "--port", str(port),
+             "--executors", str(args.executors),
+             "--max-queue", "1024", "--quota", "64",
+             "--max-sessions", str(args.clients + 8)],
+            stdout=subprocess.PIPE, text=True)
+        line = server.stdout.readline()
+        if "listening" not in line:
+            print(f"server failed to start: {line!r}", file=sys.stderr)
+            return 1
+
+    try:
+        latencies_ns = []  # list.append is atomic under the GIL
+        outputs = {}
+        errors = []
+        threads = [
+            threading.Thread(target=run_client,
+                             args=(args.host, port, i, args.rounds,
+                                   latencies_ns, outputs, errors))
+            for i in range(args.clients)
+        ]
+        wall_start = time.perf_counter_ns()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall_ns = time.perf_counter_ns() - wall_start
+
+        for message in errors:
+            print(f"FAIL: {message}", file=sys.stderr)
+        if errors:
+            return 1
+
+        divergences = 0
+        if args.qfshell:
+            for i in range(args.clients):
+                expected = serial_transcript(args.qfshell, i)
+                if outputs[i] != expected:
+                    divergences += 1
+                    print(f"FAIL: client {i} diverged from serial shell",
+                          file=sys.stderr)
+            print(f"divergence check: {args.clients} clients, "
+                  f"{divergences} divergences")
+            if divergences:
+                return 1
+
+        statements = len(latencies_ns)
+        lat = sorted(latencies_ns)
+        throughput = statements / (wall_ns / 1e9) if wall_ns else 0.0
+        summary = {
+            "clients": args.clients,
+            "rounds": args.rounds,
+            "statements": statements,
+            "wall_s": wall_ns / 1e9,
+            "throughput_stmt_per_s": throughput,
+            "latency_ms": {
+                "p50": percentile(lat, 50) / 1e6,
+                "p90": percentile(lat, 90) / 1e6,
+                "p99": percentile(lat, 99) / 1e6,
+                "max": (lat[-1] / 1e6) if lat else 0.0,
+            },
+        }
+        print(json.dumps(summary, indent=1))
+
+        # google-benchmark-shaped report, mergeable with BENCH_PR3.json
+        # tooling (tools/compare_bench.py keys on suites/<name>/<bench>).
+        benchmarks = [{
+            "name": f"LT_Serve/clients:{args.clients}",
+            "run_name": f"LT_Serve/clients:{args.clients}",
+            "run_type": "iteration",
+            "repetitions": 1,
+            "threads": args.clients,
+            "iterations": statements,
+            "real_time": wall_ns / statements if statements else 0.0,
+            "cpu_time": wall_ns / statements if statements else 0.0,
+            "time_unit": "ns",
+            "items_per_second": throughput,
+            "p50_ms": summary["latency_ms"]["p50"],
+            "p90_ms": summary["latency_ms"]["p90"],
+            "p99_ms": summary["latency_ms"]["p99"],
+        }]
+        report = {
+            "context": {
+                "date": datetime.datetime.now(
+                    datetime.timezone.utc).isoformat(),
+                "executable": args.serverd or f"{args.host}:{port}",
+                "num_cpus": os.cpu_count(),
+                "load_test": vars(args),
+            },
+            "suites": {"load_test": benchmarks},
+        }
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+        print(f"wrote {args.out}")
+        return 0
+    finally:
+        if server is not None:
+            server.terminate()
+            server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+// qfclient — command-line client for qfserverd.
+//
+//   ./qfclient [--host A] [--port N] script.qf     # run a .qf script
+//   ./qfclient [--host A] [--port N] -e "RUN f;"   # run statements
+//   ./qfclient [--host A] [--port N] --stats       # server metrics tree
+//   ./qfclient [--host A] [--port N] --ping        # liveness probe
+//   ./qfclient [--host A] [--port N]               # statements on stdin
+//
+// Statements execute in the server session this process holds; output is
+// printed as the serial qfshell would print it. The first error stops the
+// run and is reported with its typed status (exit 1).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "network/client.h"
+#include "shell/statement.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host A] [--port N] "
+               "[script.qf | -e \"stmts\" | --stats | --ping]\n",
+               argv0);
+  return 2;
+}
+
+int RunScript(qf::Client& client, const std::string& script) {
+  for (const std::string& statement : qf::SplitStatements(script)) {
+    qf::Result<std::string> output = client.Execute(statement);
+    if (!output.ok()) {
+      std::fprintf(stderr, "error: %s\n", output.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(output->c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7464;
+  std::string script;
+  bool have_script = false;
+  bool stats = false;
+  bool ping = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag == "--stats") {
+      stats = true;
+    } else if (flag == "--ping") {
+      ping = true;
+    } else if (flag == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (flag == "--port" && i + 1 < argc) {
+      qf::Result<std::int64_t> n = qf::ParseInt64(argv[++i]);
+      if (!n.ok() || *n < 1 || *n > 65535) return Usage(argv[0]);
+      port = static_cast<std::uint16_t>(*n);
+    } else if (flag == "-e" && i + 1 < argc) {
+      script = argv[++i];
+      have_script = true;
+    } else if (!flag.empty() && flag[0] != '-' && !have_script) {
+      std::ifstream in(flag);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", flag.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      script = buffer.str();
+      have_script = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  qf::Result<qf::Client> client = qf::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (ping) {
+    qf::Status s = client->Ping();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("pong (session %llu)\n",
+                static_cast<unsigned long long>(client->session_id()));
+    return 0;
+  }
+  if (stats) {
+    qf::Result<std::string> text = client->Stats();
+    if (!text.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   text.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(text->c_str(), stdout);
+    return 0;
+  }
+  if (!have_script) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    script = buffer.str();
+  }
+  return RunScript(*client, script);
+}

@@ -1,0 +1,161 @@
+// qfserverd — the query-flocks network server.
+//
+//   ./qfserverd [--port N] [--host A] [--executors N] [--max-queue N]
+//               [--quota N] [--max-sessions N] [--preload <dir>]
+//               [--init <script.qf>] [--trace <path>]
+//
+//   --port N          TCP port (default 7464, "QF" on a phone pad; 0 =
+//                     kernel-assigned, printed on stdout)
+//   --host A          bind address (default 127.0.0.1)
+//   --executors N     concurrent statement workers (default: hardware)
+//   --max-queue N     global admitted-statement queue limit (default 64)
+//   --quota N         per-session in-flight statement quota (default 8)
+//   --max-sessions N  connection cap (default 256)
+//   --preload DIR     LOADDB-style TSV directory loaded once into the
+//                     shared read-mostly base database every session sees
+//   --init FILE       .qf script executed once at startup; the resulting
+//                     relations become the shared base database
+//   --trace PATH      JSON-lines per-statement spans (TRACE TO format)
+//
+// Prints "listening on <host>:<port>" once ready. SIGINT/SIGTERM drain
+// gracefully: admitted statements finish and are answered, new ones are
+// shed with OVERLOADED, then the process exits 0.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "network/server.h"
+#include "relational/tsv.h"
+#include "shell/shell.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleStop(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--host A] [--executors N] "
+               "[--max-queue N] [--quota N] [--max-sessions N] "
+               "[--preload <dir>] [--init <script.qf>] [--trace <path>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qf::ServerOptions options;
+  options.port = 7464;
+  options.executors = std::thread::hardware_concurrency();
+  std::string preload_dir;
+  std::string init_script;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (i + 1 >= argc) return Usage(argv[0]);
+    std::string value = argv[++i];
+    qf::Result<std::int64_t> n = qf::ParseInt64(value);
+    if (flag == "--port" && n.ok() && *n >= 0 && *n <= 65535) {
+      options.port = static_cast<std::uint16_t>(*n);
+    } else if (flag == "--host") {
+      options.host = value;
+    } else if (flag == "--executors" && n.ok() && *n >= 1) {
+      options.executors = static_cast<unsigned>(*n);
+    } else if (flag == "--max-queue" && n.ok() && *n >= 1) {
+      options.max_queue = static_cast<std::size_t>(*n);
+    } else if (flag == "--quota" && n.ok() && *n >= 1) {
+      options.session_quota = static_cast<std::size_t>(*n);
+    } else if (flag == "--max-sessions" && n.ok() && *n >= 1) {
+      options.max_sessions = static_cast<std::size_t>(*n);
+    } else if (flag == "--preload") {
+      preload_dir = value;
+    } else if (flag == "--init") {
+      init_script = value;
+    } else if (flag == "--trace") {
+      trace_path = value;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!preload_dir.empty()) {
+    qf::Result<qf::Database> loaded = qf::LoadDatabase(preload_dir);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "preload failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    options.base_db = *std::move(loaded);
+    std::printf("preloaded %zu relations from %s\n", options.base_db.size(),
+                preload_dir.c_str());
+  }
+  if (!init_script.empty()) {
+    std::ifstream in(init_script);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", init_script.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    qf::Shell seed_shell;
+    seed_shell.SeedDatabase(options.base_db);
+    qf::Result<std::string> out = seed_shell.ExecuteScript(buffer.str());
+    if (!out.ok()) {
+      std::fprintf(stderr, "init script failed: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(out->c_str(), stdout);
+    options.base_db = seed_shell.database();
+  }
+
+  std::unique_ptr<qf::JsonLinesTraceSink> trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<qf::JsonLinesTraceSink>(trace_path);
+    if (!trace->ok()) {
+      std::fprintf(stderr, "cannot open trace file: %s\n", trace_path.c_str());
+      return 1;
+    }
+    options.trace = trace.get();
+  }
+
+  std::string host = options.host;
+  qf::Result<std::unique_ptr<qf::Server>> server =
+      qf::Server::Start(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", host.c_str(), (*server)->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStop);
+  std::signal(SIGTERM, HandleStop);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    ::usleep(50 * 1000);
+  }
+  std::printf("draining...\n");
+  (*server)->Shutdown();
+  qf::ServerStats stats = (*server)->stats();
+  std::printf("served %llu statements (%llu shed) across %llu sessions\n",
+              static_cast<unsigned long long>(stats.statements_executed),
+              static_cast<unsigned long long>(stats.shed_queue_full +
+                                              stats.shed_quota +
+                                              stats.shed_draining),
+              static_cast<unsigned long long>(stats.sessions_opened));
+  return 0;
+}
