@@ -1,0 +1,132 @@
+// Incremental flock evaluation: the decision layer over
+// mining/incremental.h's per-flock cached state (DESIGN.md §13).
+//
+// The evaluator owns one IncrementalFlockState per flock name plus the
+// per-relation *append chains* the shell records after every successful
+// `LOAD ... APPEND` (old handle -> new handle). On RUN it decides:
+//
+//   cached  — every base relation handle is unchanged (probed first by
+//             Database::generation()): serve from the group table.
+//   delta   — every changed positive relation is reachable from the
+//             cached handle through the append chain: evaluate only the
+//             delta bindings (per positive-subgoal occurrence, that
+//             occurrence bound to the delta slice, the rest to the full
+//             new relations — sound for monotone CQs), absorb, serve.
+//   build   — no state (or signature/threshold/lineage invalidation):
+//             evaluate everything once, materializing the state.
+//   (not served) — views, non-monotone filters, non-integral SUMs, or
+//             memory-budget pressure: the caller falls back to the
+//             ordinary full evaluation, uncached.
+//
+// Exactness: a served result is bit-identical to the direct evaluator
+// over the current database — the differential delta-replay harness
+// (tests/incremental_diff_harness.h) pins this across randomized
+// append/run/support-change/checkpoint schedules.
+#ifndef QF_FLOCKS_INCREMENTAL_EVAL_H_
+#define QF_FLOCKS_INCREMENTAL_EVAL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/resource.h"
+#include "common/status.h"
+#include "flocks/flock.h"
+#include "mining/incremental.h"
+#include "relational/database.h"
+
+namespace qf {
+
+struct IncrementalEvalOptions {
+  // Workers for build/delta binding evaluation (1 = serial). Served
+  // results are identical for every value (the engine contract).
+  unsigned threads = 1;
+  // Observability: when `metrics` is set the run appends an
+  // "incremental" node (decision + state size; one "delta" child per
+  // changed relation with its delta row count) plus the usual disjunct
+  // subtrees for build/delta evaluations.
+  OpMetrics* metrics = nullptr;
+  TraceSink* trace = nullptr;
+  // Per-statement governor for the evaluation work (transient charges).
+  QueryContext* ctx = nullptr;
+  // Session memory budget the *persistent* state is held against (the
+  // shell passes SET MEMORY's bytes; 0 = unlimited). A state whose
+  // projected footprint exceeds it is dropped and the statement falls
+  // back to the ordinary uncached evaluation.
+  std::uint64_t state_budget = 0;
+  // Tilted-time-window entries per level for newly built states.
+  std::size_t window_capacity = 4;
+};
+
+struct IncrementalRunInfo {
+  // False: the statement was not served; run the full evaluator
+  // (decision says why — "unsupported(...)" / "evicted(budget)").
+  bool served = false;
+  std::string decision;
+  // Changed relations and their delta row counts (delta decisions).
+  std::vector<std::pair<std::string, std::size_t>> delta_rows;
+  std::uint64_t state_bytes = 0;
+};
+
+class IncrementalEvaluator {
+ public:
+  IncrementalEvaluator() = default;
+
+  // Lineage bookkeeping. RecordAppend links `from` -> `to` for `name`
+  // (call after a successful LOAD ... APPEND persist, with the handle
+  // the database now serves); RecordReplace severs the chain (LOAD /
+  // GEN / LOADDB overwrite); Reset drops every state and chain (OPEN /
+  // SeedDatabase swap the whole database).
+  void RecordAppend(const std::string& name,
+                    std::shared_ptr<const Relation> from,
+                    std::shared_ptr<const Relation> to);
+  void RecordReplace(const std::string& name);
+  void Reset();
+
+  // Serves `flock` from cached state when possible (see the file
+  // comment). On a served run fills *result and sets info->served; on a
+  // fallback returns OK with info->served == false and the caller runs
+  // the ordinary evaluation. Errors (typed governor aborts, SUM
+  // violations) surface as non-OK statuses exactly as the full
+  // evaluator's would.
+  Status Run(const std::string& name, const QueryFlock& flock,
+             const Database& db, const std::map<std::string, Relation>& views,
+             const IncrementalEvalOptions& opts, Relation* result,
+             IncrementalRunInfo* info);
+
+  const IncrementalFlockState* state(const std::string& name) const;
+  std::size_t state_count() const { return states_.size(); }
+
+  // SHOW FLOCK STATE [<name>] bodies.
+  std::string Describe(const std::string& name) const;
+  std::string DescribeAll() const;
+
+ private:
+  struct Chain {
+    // from -> to handle links in append order; bounded (oldest dropped),
+    // so very stale states rebuild instead of walking forever.
+    std::vector<std::pair<std::shared_ptr<const Relation>,
+                          std::shared_ptr<const Relation>>> links;
+  };
+
+  // Delta slice rows [mark.rows, cur->size()) when `cur` is reachable
+  // from the mark's handle through the chain; false otherwise.
+  bool DeltaSlice(const IncrementalFlockState::RelationMark& mark,
+                  const std::shared_ptr<const Relation>& cur,
+                  Relation* slice) const;
+
+  Status BuildState(const std::string& name, const QueryFlock& flock,
+                    const Database& db, const IncrementalEvalOptions& opts,
+                    IncrementalFlockState* st);
+
+  std::map<std::string, std::unique_ptr<IncrementalFlockState>> states_;
+  std::map<std::string, Chain> chains_;
+};
+
+}  // namespace qf
+
+#endif  // QF_FLOCKS_INCREMENTAL_EVAL_H_

@@ -14,6 +14,7 @@ Status Database::AddRelation(Relation rel) {
   if (!inserted) {
     return AlreadyExistsError("relation already exists: " + name);
   }
+  ++generation_;
   return Status::Ok();
 }
 
@@ -26,6 +27,7 @@ void Database::PutRelation(std::shared_ptr<const Relation> rel) {
                "relation must be named");
   std::string name = rel->name();
   relations_.insert_or_assign(std::move(name), std::move(rel));
+  ++generation_;
 }
 
 bool Database::Has(std::string_view name) const {

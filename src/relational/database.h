@@ -11,6 +11,7 @@
 #ifndef QF_RELATIONAL_DATABASE_H_
 #define QF_RELATIONAL_DATABASE_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -48,9 +49,17 @@ class Database {
 
   std::size_t size() const { return relations_.size(); }
 
+  // Mutation counter: bumped by every AddRelation/PutRelation, copied with
+  // the database. Within one session the database only ever mutates in
+  // place, so an unchanged generation means every relation pointer is
+  // unchanged — the incremental evaluator's cheap cache-validity probe
+  // (falling back to per-relation pointer comparison when it differs).
+  std::uint64_t generation() const { return generation_; }
+
  private:
   std::map<std::string, std::shared_ptr<const Relation>, std::less<>>
       relations_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace qf

@@ -46,6 +46,38 @@ bool Relation::Contains(const Tuple& t) const {
 
 void Relation::SortRows() { std::sort(rows_.begin(), rows_.end()); }
 
+Result<Relation> AppendRelation(const Relation& base, const Relation& delta) {
+  if (!(base.schema() == delta.schema())) {
+    return InvalidArgumentError(
+        "append schema mismatch: " + base.name() + base.schema().ToString() +
+        " vs " + delta.schema().ToString());
+  }
+  QF_CHECK_MSG(base.size() + delta.size() < 0xFFFFFFFFull,
+               "AppendRelation addresses at most 2^32-1 rows");
+  Relation out(base.name(), base.schema());
+  out.mutable_rows() = base.rows();
+
+  TupleHash hash;
+  FlatTupleSet seen;
+  seen.Reserve(base.size() + delta.size());
+  std::uint64_t probes = 0;
+  const std::vector<Tuple>& rows = out.rows();
+  for (std::uint32_t i = 0; i < base.size(); ++i) {
+    seen.Insert(i, hash(rows[i]),
+                [&](std::uint32_t prev) { return rows[prev] == rows[i]; },
+                probes);
+  }
+  for (const Tuple& t : delta.rows()) {
+    bool fresh = seen.Insert(
+        static_cast<std::uint32_t>(out.size()), hash(t),
+        [&](std::uint32_t prev) { return out.rows()[prev] == t; }, probes);
+    if (fresh) out.Add(t);
+  }
+  out.set_epoch(base.epoch() + 1);
+  out.set_base_rows(base.size());
+  return out;
+}
+
 std::string Relation::ToString(std::size_t max_rows) const {
   std::string out = name_.empty() ? "<anonymous>" : name_;
   out += schema_.ToString();

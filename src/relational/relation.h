@@ -9,9 +9,11 @@
 #define QF_RELATIONAL_RELATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 
@@ -55,11 +57,35 @@ class Relation {
   // Renders up to `max_rows` rows, e.g. for example programs.
   std::string ToString(std::size_t max_rows = 20) const;
 
+  // Delta-batch metadata (incremental evaluation; DESIGN.md §13). A
+  // relation produced by AppendRelation carries the append generation
+  // (`epoch`, 0 for a relation loaded whole) and the number of leading
+  // rows shared verbatim with its predecessor (`base_rows`); the slice
+  // [base_rows, size) is the relation's delta batch. In-memory only: the
+  // catalog serializes rows, never these fields — lineage across the
+  // durable path is tracked by shared_ptr identity (shell append chains),
+  // not by epochs, so round-tripping through the WAL resets them to 0.
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t base_rows() const { return base_rows_; }
+  void set_epoch(std::uint64_t epoch) { epoch_ = epoch; }
+  void set_base_rows(std::size_t n) { base_rows_ = n; }
+
  private:
   std::string name_;
   Schema schema_;
   std::vector<Tuple> rows_;
+  std::uint64_t epoch_ = 0;
+  std::size_t base_rows_ = 0;
 };
+
+// Set-semantics append: `base`'s rows followed by those rows of `delta`
+// not already present, first-occurrence order (delta-internal duplicates
+// collapse too). The result's leading base.size() rows are bit-identical
+// to base's — the prefix stability incremental delta slices rely on — and
+// it carries epoch = base.epoch()+1, base_rows = base.size(). Errors when
+// the column names disagree; the relation names may differ (the result
+// keeps base's name).
+Result<Relation> AppendRelation(const Relation& base, const Relation& delta);
 
 }  // namespace qf
 

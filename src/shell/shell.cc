@@ -140,6 +140,7 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 constexpr std::string_view kHelp =
     "statements:\n"
     "  LOAD <rel> FROM <path.tsv>;   SAVE <rel> TO <path.tsv>;\n"
+    "  LOAD <rel> APPEND FROM <path.tsv>;  # delta batch onto existing rel\n"
     "  LOADDB <dir>;                 SAVEDB <dir>;\n"
     "  GEN BASKETS <rel> [n_baskets=N n_items=N avg_size=X theta=X\n"
     "      locality=X topics=N seed=N];\n"
@@ -154,9 +155,11 @@ constexpr std::string_view kHelp =
     "  THREADS <n>;                  # default workers for RUN (1 = serial)\n"
     "  SET TIMEOUT <ms>;             # wall-clock deadline per statement\n"
     "  SET MEMORY <mb>;              # memory budget per statement (0=off)\n"
+    "  SET INCREMENTAL ON|OFF;       # cache flock state across RUNs\n"
     "  TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events, JSON lines\n"
     "  MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];\n"
     "  SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;\n"
+    "  SHOW FLOCK STATE [<name>];    # inspect cached incremental state\n"
     "  OPEN <dir>;                   # open/recover durable catalog\n"
     "  CHECKPOINT;                   # snapshot catalog + reset its WAL\n"
     "  HELP;\n";
@@ -264,6 +267,20 @@ Result<std::string> Shell::Execute(std::string_view statement) {
   if (command == "SET") {
     auto [what, next] = SplitCommand(rest);
     auto [num, after] = SplitCommand(next);
+    if (what == "INCREMENTAL") {
+      if ((num != "ON" && num != "OFF") || !StripWhitespace(after).empty()) {
+        return InvalidArgumentError("usage: SET INCREMENTAL ON|OFF");
+      }
+      bool on = num == "ON";
+      if (Status s = PersistKnob("INCREMENTAL", on ? 1 : 0); !s.ok()) {
+        return s;
+      }
+      incremental_on_ = on;
+      // OFF also drops the cached state: the knob is the memory opt-out.
+      if (!on) incremental_.Reset();
+      return std::string(on ? "incremental evaluation on\n"
+                            : "incremental evaluation off\n");
+    }
     Result<std::int64_t> n = ParseInt64(num);
     if (what == "TIMEOUT") {
       if (!n.ok() || *n < 0 || !StripWhitespace(after).empty()) {
@@ -305,6 +322,9 @@ Result<std::string> Shell::ExecuteScript(std::string_view script) {
 void Shell::SeedDatabase(const Database& base) {
   db_ = base;  // cheap: the name table copies, relation payloads share
   views_dirty_ = true;
+  // A new database means every cached incremental state and append chain
+  // is about a world that no longer exists.
+  incremental_.Reset();
 }
 
 Result<std::string> Shell::Load(std::string_view args) {
@@ -312,8 +332,51 @@ Result<std::string> Shell::Load(std::string_view args) {
   // SplitCommand uppercases; recover the original spelling.
   std::string rel_name(StripWhitespace(args).substr(0, name.size()));
   auto [kw, path] = SplitCommand(rest);
+  bool append = false;
+  if (kw == "APPEND") {
+    append = true;
+    auto [kw2, path2] = SplitCommand(path);
+    kw = kw2;
+    path = path2;
+  }
   if (kw != "FROM" || path.empty()) {
-    return InvalidArgumentError("usage: LOAD <rel> FROM <path>");
+    return InvalidArgumentError("usage: LOAD <rel> [APPEND] FROM <path>");
+  }
+  if (append) {
+    // Delta batch: set-semantics append onto the existing relation. The
+    // old payload is never mutated (sessions sharing it through the
+    // server's COW database are unaffected); the session's pointer swings
+    // to a new relation whose leading rows are the old ones verbatim.
+    if (!db().Has(rel_name)) {
+      return FailedPreconditionError(
+          "LOAD APPEND needs an existing relation: " + rel_name);
+    }
+    std::shared_ptr<const Relation> old = db().GetShared(rel_name);
+    Result<Relation> delta = LoadTsv(std::string(path), rel_name, &vfs());
+    if (!delta.ok()) return delta.status();
+    Result<Relation> appended = AppendRelation(*old, *delta);
+    if (!appended.ok()) return appended.status();
+    std::size_t added = appended->size() - old->size();
+    std::size_t total = appended->size();
+    std::uint64_t epoch = appended->epoch();
+    QueryContext ctx;
+    ConfigureContext(ctx);
+    std::vector<Relation> rels;
+    rels.push_back(std::move(*appended));
+    if (Status s = PersistRelations(std::move(rels), &ctx, /*append=*/true);
+        !s.ok()) {
+      return s;
+    }
+    // Link old -> new for the incremental evaluator's delta detection,
+    // using the handle the database actually serves now (in catalog mode
+    // that is the decoded copy; its rows are the same values, so prefix
+    // stability holds).
+    incremental_.RecordAppend(rel_name, std::move(old),
+                              db().GetShared(rel_name));
+    views_dirty_ = true;
+    return "appended " + rel_name + ": +" + std::to_string(added) +
+           " rows (" + std::to_string(total) + " total, epoch " +
+           std::to_string(epoch) + ")\n";
   }
   Result<Relation> rel = LoadTsv(std::string(path), rel_name, &vfs());
   if (!rel.ok()) return rel.status();
@@ -719,9 +782,43 @@ Result<std::string> Shell::Run(std::string_view args) {
   OpMetrics root;
   OpMetrics* metrics = tracing() ? &root : nullptr;
 
+  auto start = std::chrono::steady_clock::now();
+  if (incremental_on_) {
+    // Try the cached/incremental path first; it either serves a result
+    // bit-identical to the ordinary evaluation (any mode, any thread
+    // count — the engine contract) or declines and the statement falls
+    // through to the requested mode below. The attempt gets its own
+    // governor: a latched budget/deadline error must not poison the
+    // fallback's accounting.
+    Result<const std::map<std::string, Relation>*> views = Views();
+    if (!views.ok()) return views.status();
+    QueryContext ictx;
+    ConfigureContext(ictx);
+    IncrementalEvalOptions iopts;
+    iopts.threads = opts->threads;
+    iopts.metrics = metrics;
+    iopts.trace = trace_sink_.get();
+    iopts.ctx = &ictx;
+    iopts.state_budget = memory_bytes_;
+    Relation served;
+    IncrementalRunInfo rinfo;
+    if (Status s = incremental_.Run(name, flock, db(), **views, iopts,
+                                    &served, &rinfo);
+        !s.ok()) {
+      return s;
+    }
+    if (rinfo.served) {
+      double ms = MillisSince(start);
+      std::string mode = "INCREMENTAL:" + rinfo.decision;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%s: %zu assignments in %.1f ms (%s)\n",
+                    name.c_str(), served.size(), ms, mode.c_str());
+      return buf + PreviewRelation(std::move(served), opts->limit);
+    }
+  }
+
   QueryContext ctx;
   ConfigureContext(ctx);
-  auto start = std::chrono::steady_clock::now();
   Result<Relation> result =
       Evaluate(opts->mode, flock, opts->threads, metrics, nullptr, &ctx);
   double ms = MillisSince(start);
@@ -750,11 +847,47 @@ Result<std::string> Shell::ExplainAnalyze(std::string_view args) {
 
   OpMetrics root;
   std::string dynamic_trace;
+  // Separate governors for the incremental attempt and the fallback: a
+  // tripped attempt must not poison the fallback's accounting. `used`
+  // points at whichever governed the statement that actually ran.
+  QueryContext ictx;
+  ConfigureContext(ictx);
   QueryContext ctx;
   ConfigureContext(ctx);
+  QueryContext* used = &ctx;
+  std::string mode_name = opts->mode;
   auto start = std::chrono::steady_clock::now();
-  Result<Relation> result =
-      Evaluate(opts->mode, flock, opts->threads, &root, &dynamic_trace, &ctx);
+  Result<Relation> result = Relation();
+  bool served = false;
+  if (incremental_on_) {
+    Result<const std::map<std::string, Relation>*> views = Views();
+    if (!views.ok()) return views.status();
+    IncrementalEvalOptions iopts;
+    iopts.threads = opts->threads;
+    iopts.metrics = &root;
+    iopts.trace = trace_sink_.get();
+    iopts.ctx = &ictx;
+    iopts.state_budget = memory_bytes_;
+    Relation inc_result;
+    IncrementalRunInfo rinfo;
+    if (Status s = incremental_.Run(name, flock, db(), **views, iopts,
+                                    &inc_result, &rinfo);
+        !s.ok()) {
+      return s;
+    }
+    if (rinfo.served) {
+      result = std::move(inc_result);
+      mode_name = "INCREMENTAL:" + rinfo.decision;
+      used = &ictx;
+      served = true;
+    }
+    // Declined: the "incremental" metrics child keeps the decision and
+    // the fallback's operator tree is appended next to it.
+  }
+  if (!served) {
+    result =
+        Evaluate(opts->mode, flock, opts->threads, &root, &dynamic_trace, &ctx);
+  }
   double ms = MillisSince(start);
   if (!result.ok()) return result.status();
   // The evaluators time their children; the root's span is the statement.
@@ -763,14 +896,14 @@ Result<std::string> Shell::ExplainAnalyze(std::string_view args) {
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "%s: %zu assignments in %.1f ms (%s, threads %u)\n",
-                name.c_str(), result->size(), ms, opts->mode.c_str(),
+                name.c_str(), result->size(), ms, mode_name.c_str(),
                 opts->threads);
   std::string out = buf;
   if (!dynamic_trace.empty()) {
     out += "dynamic decisions:\n" + dynamic_trace;
   }
   std::snprintf(buf, sizeof(buf), "governor: peak %llu bytes accounted\n",
-                static_cast<unsigned long long>(ctx.peak_bytes()));
+                static_cast<unsigned long long>(used->peak_bytes()));
   out += buf;
   out += "metrics:\n" + root.ToString();
   if (catalog_ != nullptr) {
@@ -931,6 +1064,18 @@ Result<std::string> Shell::Show(std::string_view args) {
     }
     return out.empty() ? std::string("(no flocks)\n") : out;
   }
+  if (what == "FLOCK") {
+    auto [kw, name_part] = SplitCommand(rest);
+    std::string fname(StripWhitespace(name_part));
+    if (kw != "STATE" || fname.find(' ') != std::string::npos) {
+      return InvalidArgumentError("usage: SHOW FLOCK STATE [<name>]");
+    }
+    if (fname.empty()) return incremental_.DescribeAll();
+    if (!flocks_.contains(fname) && incremental_.state(fname) == nullptr) {
+      return NotFoundError("no flock named " + fname);
+    }
+    return incremental_.Describe(fname);
+  }
   if (what == "TRACE") {
     if (memory_trace_ != nullptr) {
       std::vector<std::string> lines = memory_trace_->Lines();
@@ -960,17 +1105,26 @@ Result<std::string> Shell::Show(std::string_view args) {
   return NotFoundError("no relation named " + rel_name);
 }
 
-Status Shell::PersistRelations(std::vector<Relation> rels,
-                               QueryContext* ctx) {
+Status Shell::PersistRelations(std::vector<Relation> rels, QueryContext* ctx,
+                               bool append) {
+  std::vector<std::string> names;
+  names.reserve(rels.size());
+  for (const Relation& rel : rels) names.push_back(rel.name());
   if (catalog_ != nullptr) {
     std::vector<const Relation*> ptrs;
     ptrs.reserve(rels.size());
     for (const Relation& rel : rels) ptrs.push_back(&rel);
     // One WAL commit for the whole batch: after a crash either all of
     // these relations are recovered or none, never a subset.
-    return catalog_->PutRelations(ptrs, ctx);
+    if (Status s = catalog_->PutRelations(ptrs, ctx); !s.ok()) return s;
+  } else {
+    for (Relation& rel : rels) db_.PutRelation(std::move(rel));
   }
-  for (Relation& rel : rels) db_.PutRelation(std::move(rel));
+  if (!append) {
+    // Overwrites sever the relations' append lineage: cached incremental
+    // states over them must rebuild, not walk a broken chain.
+    for (const std::string& name : names) incremental_.RecordReplace(name);
+  }
   return Status::Ok();
 }
 
@@ -1022,6 +1176,11 @@ Result<std::string> Shell::Open(std::string_view args) {
   flocks_ = std::move(flocks);
   db_ = Database();  // superseded by the catalog's database while open
   views_dirty_ = true;
+  // Replay rebuilt the database from scratch: cached incremental state and
+  // append lineage refer to pre-recovery relation handles, so they are
+  // dropped wholesale and rebuilt lazily by the next RUN. (The knob below
+  // restores whether the incremental path is on, not its state.)
+  incremental_.Reset();
   const auto& knobs = catalog_->state().knobs;
   if (auto it = knobs.find("THREADS"); it != knobs.end() && it->second >= 1) {
     default_threads_ = static_cast<unsigned>(it->second);
@@ -1033,6 +1192,9 @@ Result<std::string> Shell::Open(std::string_view args) {
   if (auto it = knobs.find("MEMORY_MB");
       it != knobs.end() && it->second >= 0) {
     memory_bytes_ = static_cast<std::uint64_t>(it->second) * 1024 * 1024;
+  }
+  if (auto it = knobs.find("INCREMENTAL"); it != knobs.end()) {
+    incremental_on_ = it->second != 0;
   }
 
   const Catalog::OpenInfo& info = catalog_->open_info();

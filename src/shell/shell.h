@@ -5,6 +5,7 @@
 // Statements (terminated by ';'; '#' comments):
 //
 //   LOAD <rel> FROM <path.tsv>;
+//   LOAD <rel> APPEND FROM <path.tsv>;      # delta batch (epoch bump)
 //   SAVE <rel> TO <path.tsv>;
 //   GEN BASKETS <rel> [key=value ...];      # synthetic data, keys below
 //   DEFINE <rule>;                          # intermediate predicate
@@ -15,6 +16,8 @@
 //   SQL <name>;
 //   THREADS <n>;                            # default worker count for RUN
 //   SET TIMEOUT <ms>; | SET MEMORY <mb>;    # resource limits (0 = off)
+//   SET INCREMENTAL ON|OFF;                 # cache flock state across RUNs
+//   SHOW FLOCK STATE [<name>];              # inspect incremental state
 //   TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events (JSON lines)
 //   MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];   # flock-sequence mining
 //   SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;
@@ -50,6 +53,7 @@
 #include "common/vfs.h"
 #include "datalog/program.h"
 #include "flocks/flock.h"
+#include "flocks/incremental_eval.h"
 #include "relational/database.h"
 #include "storage/catalog.h"
 
@@ -97,6 +101,14 @@ class Shell {
 
   // True while a trace sink is installed (TRACE ON or TRACE TO <path>).
   bool tracing() const { return trace_sink_ != nullptr; }
+
+  // True while `SET INCREMENTAL ON` is in effect: RUN serves flocks from
+  // cached incremental state when it can (falling back to the ordinary
+  // evaluation otherwise — results are identical either way).
+  bool incremental_on() const { return incremental_on_; }
+  // The session's incremental evaluator (tests inspect cached state and
+  // decision counters through it).
+  const IncrementalEvaluator& incremental() const { return incremental_; }
 
   // Resource limits applied to every governed statement (RUN, EXPLAIN
   // ANALYZE, MAXIMAL), set by `SET TIMEOUT <ms>;` / `SET MEMORY <mb>;`.
@@ -146,12 +158,21 @@ class Shell {
   Vfs& vfs() const { return vfs_ != nullptr ? *vfs_ : DefaultVfs(); }
   // Stores relations, through the catalog's WAL (one commit, one fsync,
   // all-or-nothing) when one is open. On failure nothing is applied.
-  Status PersistRelations(std::vector<Relation> rels, QueryContext* ctx);
+  // `append` marks the batch as LOAD ... APPEND lineage: replace severs
+  // each relation's incremental append chain, append leaves it to the
+  // caller to link old -> new handles.
+  Status PersistRelations(std::vector<Relation> rels, QueryContext* ctx,
+                          bool append = false);
   // Persists a session knob ("THREADS"...) when a catalog is open.
   Status PersistKnob(const std::string& key, std::int64_t value);
 
   Database db_;  // session relations when no catalog is open
   Program program_;
+  // Per-session incremental evaluation (SET INCREMENTAL ON). The state
+  // and append chains are session-local: server sessions sharing one base
+  // database each maintain their own, so COW isolation is preserved.
+  IncrementalEvaluator incremental_;
+  bool incremental_on_ = false;
   std::map<std::string, QueryFlock> flocks_;
   std::map<std::string, Relation> views_;
   bool views_dirty_ = false;

@@ -1,0 +1,436 @@
+// Unit and property tests for the incremental-evaluation building blocks:
+// the FP-Stream tilted-time window (mining/incremental.h), the
+// AppendRelation delta-batch contract (relational/relation.h), the
+// Database generation counter, and IncrementalFlockState's exactness
+// against the direct evaluator over the same rows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flocks/eval.h"
+#include "flocks/flock.h"
+#include "mining/incremental.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+
+namespace qf {
+namespace {
+
+QueryFlock Flock(const char* text, FilterCondition filter) {
+  auto f = MakeFlock(text, filter);
+  EXPECT_TRUE(f.ok()) << f.status().ToString();
+  return *f;
+}
+
+// --- TiltedTimeWindow ---
+
+TEST(TiltedTimeWindowTest, EmptyWindow) {
+  TiltedTimeWindow w(4);
+  EXPECT_EQ(w.batches(), 0u);
+  EXPECT_EQ(w.total(), 0u);
+  EXPECT_EQ(w.entries(), 0u);
+  TiltedTimeWindow::LastN r = w.CountLastN(0);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.slack, 0u);
+  r = w.CountLastN(5);  // n past the history: exact empty total
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.slack, 0u);
+}
+
+TEST(TiltedTimeWindowTest, SingleBatch) {
+  TiltedTimeWindow w(4);
+  w.Add(7);
+  EXPECT_EQ(w.batches(), 1u);
+  EXPECT_EQ(w.total(), 7u);
+  EXPECT_EQ(w.entries(), 1u);
+  TiltedTimeWindow::LastN r = w.CountLastN(1);
+  EXPECT_EQ(r.count, 7u);
+  EXPECT_EQ(r.slack, 0u);
+  // n >= batches reports the exact total.
+  r = w.CountLastN(100);
+  EXPECT_EQ(r.count, 7u);
+  EXPECT_EQ(r.slack, 0u);
+}
+
+TEST(TiltedTimeWindowTest, ZeroCountBatchesAreRealBatches) {
+  TiltedTimeWindow w(4);
+  w.Add(5);
+  w.Add(0);
+  w.Add(0);
+  w.Add(0);
+  EXPECT_EQ(w.batches(), 4u);
+  EXPECT_EQ(w.total(), 5u);
+  // The last three batches contributed nothing — and that is exact.
+  TiltedTimeWindow::LastN r = w.CountLastN(3);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.slack, 0u);
+}
+
+TEST(TiltedTimeWindowTest, OverflowRolloverPreservesTotals) {
+  // Capacity 2 overflows fastest: every level holds at most 2 entries, so
+  // the ring is forced through many promotions.
+  TiltedTimeWindow w(2);
+  std::uint64_t expect_total = 0;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    w.Add(i);
+    expect_total += i;
+    EXPECT_EQ(w.total(), expect_total);
+    EXPECT_EQ(w.batches(), i);
+    // Logarithmic compression: entries bounded by capacity+1 per level
+    // (the transient overflow slot is resolved before Add returns).
+    EXPECT_LE(w.entries(), 2 * w.level_count() + 1);
+  }
+  // 100 batches at capacity 2 must have promoted several levels deep.
+  EXPECT_GE(w.level_count(), 4u);
+  EXPECT_LT(w.entries(), 100u);
+  EXPECT_NE(w.ToString().find("total=5050 batches=100"), std::string::npos);
+}
+
+TEST(TiltedTimeWindowTest, MergedPrefixIsReportedAsSlack) {
+  // Capacity 2: after 5 batches the two oldest have merged, so a horizon
+  // cutting through the merged entry must surface nonzero slack.
+  TiltedTimeWindow w(2);
+  for (std::uint64_t c : {10, 20, 30, 40, 50}) w.Add(c);
+  bool saw_slack = false;
+  for (std::uint64_t n = 1; n < 5; ++n) {
+    saw_slack |= w.CountLastN(n).slack > 0;
+  }
+  EXPECT_TRUE(saw_slack);
+}
+
+// The documented approximation bound, checked against an exact suffix-sum
+// oracle over every horizon of every prefix of a randomized batch stream:
+// true count in [count - slack, count], and count never exceeds total.
+TEST(TiltedTimeWindowTest, PropertyCountLastNBracketsTruth) {
+  Rng rng(0xbadcafe);
+  for (int round = 0; round < 40; ++round) {
+    std::size_t capacity = 2 + rng.NextBelow(4);
+    TiltedTimeWindow w(capacity);
+    std::vector<std::uint64_t> counts;
+    int batches = 1 + static_cast<int>(rng.NextBelow(120));
+    for (int b = 0; b < batches; ++b) {
+      // Zero-heavy distribution: sparse groups are the common case.
+      std::uint64_t c =
+          rng.NextBernoulli(0.3) ? 0 : rng.NextBelow(50);
+      w.Add(c);
+      counts.push_back(c);
+      std::uint64_t suffix = 0;
+      for (std::size_t i = counts.size(); i-- > 0;) {
+        suffix += counts[i];
+        std::uint64_t n = counts.size() - i;
+        TiltedTimeWindow::LastN r = w.CountLastN(n);
+        ASSERT_GE(r.count, suffix)
+            << "capacity=" << capacity << " batch=" << b << " n=" << n;
+        ASSERT_LE(r.count - r.slack, suffix)
+            << "capacity=" << capacity << " batch=" << b << " n=" << n;
+        ASSERT_LE(r.count, w.total());
+      }
+      // Full-history horizons are always exact.
+      TiltedTimeWindow::LastN all = w.CountLastN(counts.size());
+      ASSERT_EQ(all.count, w.total());
+      ASSERT_EQ(all.slack, 0u);
+    }
+  }
+}
+
+TEST(TiltedTimeWindowTest, ApproxBytesGrowsLogarithmically) {
+  TiltedTimeWindow small(4), big(4);
+  small.Add(1);
+  for (int i = 0; i < 1000; ++i) big.Add(1);
+  EXPECT_GT(big.ApproxBytes(), small.ApproxBytes());
+  // 1000 batches compress to O(capacity * log2(1000)) entries.
+  EXPECT_LE(big.entries(), 4 * big.level_count() + 1);
+  EXPECT_LE(big.level_count(), 12u);
+}
+
+// --- AppendRelation ---
+
+Relation Rel(const char* name, std::vector<std::vector<int>> rows) {
+  Relation r(name, Schema({"A", "B"}));
+  for (const auto& row : rows) r.AddRow({Value(row[0]), Value(row[1])});
+  return r;
+}
+
+TEST(AppendRelationTest, DedupAndPrefixStability) {
+  Relation base = Rel("t", {{1, 1}, {2, 2}});
+  // Delta repeats a base row, contains an internal duplicate, and adds
+  // two genuinely new rows.
+  Relation delta = Rel("ignored", {{2, 2}, {3, 3}, {3, 3}, {4, 4}});
+  Result<Relation> out = AppendRelation(base, delta);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->name(), "t");
+  EXPECT_EQ(out->size(), 4u);
+  // Prefix stability: the leading base.size() rows are bit-identical.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(out->rows()[i], base.rows()[i]) << "row " << i;
+  }
+  EXPECT_EQ(out->base_rows(), base.size());
+  EXPECT_EQ(out->epoch(), base.epoch() + 1);
+  // The delta slice holds exactly the new rows, in first-occurrence order.
+  EXPECT_EQ(out->rows()[2], (Tuple{Value(3), Value(3)}));
+  EXPECT_EQ(out->rows()[3], (Tuple{Value(4), Value(4)}));
+}
+
+TEST(AppendRelationTest, EpochChainsAcrossAppends) {
+  Relation r0 = Rel("t", {{1, 1}});
+  Result<Relation> r1 = AppendRelation(r0, Rel("d", {{2, 2}}));
+  ASSERT_TRUE(r1.ok());
+  Result<Relation> r2 = AppendRelation(*r1, Rel("d", {{3, 3}}));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r0.epoch(), 0u);
+  EXPECT_EQ(r1->epoch(), 1u);
+  EXPECT_EQ(r2->epoch(), 2u);
+  EXPECT_EQ(r2->base_rows(), 2u);
+  EXPECT_EQ(r2->size(), 3u);
+}
+
+TEST(AppendRelationTest, AllDuplicateDeltaIsAnEmptyBatch) {
+  Relation base = Rel("t", {{1, 1}, {2, 2}});
+  Result<Relation> out = AppendRelation(base, Rel("d", {{1, 1}, {2, 2}}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), base.size());
+  EXPECT_EQ(out->base_rows(), base.size());
+  EXPECT_EQ(out->epoch(), 1u);  // an empty batch is still a batch
+}
+
+TEST(AppendRelationTest, SchemaMismatchRejected) {
+  Relation base = Rel("t", {{1, 1}});
+  Relation delta("d", Schema({"A", "C"}));
+  delta.AddRow({Value(2), Value(2)});
+  Result<Relation> out = AppendRelation(base, delta);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out.status().message().find("append schema mismatch"),
+            std::string::npos);
+}
+
+TEST(DatabaseTest, GenerationBumpsOnEveryMutation) {
+  Database db;
+  std::uint64_t g0 = db.generation();
+  db.PutRelation(Rel("t", {{1, 1}}));
+  EXPECT_GT(db.generation(), g0);
+  std::uint64_t g1 = db.generation();
+  std::shared_ptr<const Relation> h1 = db.GetShared("t");
+  // Re-reading does not bump; the handle is stable.
+  EXPECT_EQ(db.generation(), g1);
+  EXPECT_EQ(db.GetShared("t"), h1);
+  db.PutRelation(Rel("t", {{2, 2}}));
+  EXPECT_GT(db.generation(), g1);
+  EXPECT_NE(db.GetShared("t"), h1);
+}
+
+// --- IncrementalFlockState ---
+
+Database SmallBaskets() {
+  Database db;
+  Relation r("baskets", Schema({"BID", "Item"}));
+  for (int b = 1; b <= 3; ++b) {
+    r.AddRow({Value(b), Value("beer")});
+    r.AddRow({Value(b), Value("diapers")});
+  }
+  r.AddRow({Value(4), Value("beer")});
+  r.AddRow({Value(4), Value("wine")});
+  r.AddRow({Value(5), Value("wine")});
+  db.PutRelation(std::move(r));
+  return db;
+}
+
+// Answer rows in the state's schema (params then canonical heads) for the
+// single-disjunct pairs flock — what incremental_eval feeds AbsorbAnswer.
+std::vector<Tuple> PairAnswers(const Database& db) {
+  std::vector<Tuple> rows;
+  const Relation& b = db.Get("baskets");
+  for (const Tuple& x : b.rows()) {
+    for (const Tuple& y : b.rows()) {
+      if (x[0] == y[0] && x[1] < y[1]) {
+        rows.push_back({x[1], y[1], x[0]});  // $1, $2, _h0=B
+      }
+    }
+  }
+  return rows;
+}
+
+TEST(IncrementalFlockStateTest, ServeMatchesDirectEvaluator) {
+  Database db = SmallBaskets();
+  QueryFlock f =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(2));
+  IncrementalFlockState st("pairs", f);
+  for (const Tuple& row : PairAnswers(db)) st.AbsorbAnswer(row);
+  st.SealBatch();
+
+  Result<Relation> direct = EvaluateFlock(f, db);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  Relation served = st.Serve(f.filter);
+  EXPECT_EQ(served.name(), direct->name());
+  EXPECT_EQ(served.schema().columns(), direct->schema().columns());
+  EXPECT_EQ(served.rows(), direct->rows());
+  EXPECT_EQ(served.size(), 1u);  // only (beer, diapers) has support >= 2
+}
+
+TEST(IncrementalFlockStateTest, AbsorbDeduplicates) {
+  Database db = SmallBaskets();
+  QueryFlock f =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(2));
+  IncrementalFlockState st("pairs", f);
+  Tuple row{Value("beer"), Value("diapers"), Value(1)};
+  EXPECT_TRUE(st.AbsorbAnswer(row));
+  EXPECT_FALSE(st.AbsorbAnswer(row));
+  EXPECT_EQ(st.answer_rows(), 1u);
+  EXPECT_EQ(st.group_count(), 1u);
+}
+
+TEST(IncrementalFlockStateTest, RingsTrackOnlyTheFrontier) {
+  Database db = SmallBaskets();
+  QueryFlock f =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(2));
+  IncrementalFlockState st("pairs", f);
+  for (const Tuple& row : PairAnswers(db)) st.AbsorbAnswer(row);
+  st.SealBatch();
+  // (beer, diapers) passes the built filter: tracked, seeded with its
+  // cumulative count. (beer, wine) has support 1: untracked.
+  const TiltedTimeWindow* frequent =
+      st.RingFor({Value("beer"), Value("diapers")});
+  ASSERT_NE(frequent, nullptr);
+  EXPECT_EQ(frequent->total(), 3u);
+  EXPECT_EQ(frequent->batches(), 1u);
+  EXPECT_EQ(st.RingFor({Value("beer"), Value("wine")}), nullptr);
+  EXPECT_EQ(st.RingFor({Value("nope"), Value("nope")}), nullptr);
+  EXPECT_EQ(st.tracked_rings(), 1u);
+  EXPECT_GT(st.group_count(), 1u);  // infrequent groups still counted
+}
+
+TEST(IncrementalFlockStateTest, RingStartsWhenGroupCrossesThreshold) {
+  Database db = SmallBaskets();
+  QueryFlock f =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(2));
+  IncrementalFlockState st("pairs", f);
+  for (const Tuple& row : PairAnswers(db)) st.AbsorbAnswer(row);
+  st.SealBatch();
+  ASSERT_EQ(st.RingFor({Value("beer"), Value("wine")}), nullptr);
+  // A second batch pushes (beer, wine) to support 2: its ring starts at
+  // this seal, seeded with the cumulative count — and the already-tracked
+  // ring absorbs the batch too (zero horizons stay aligned).
+  st.AbsorbAnswer({Value("beer"), Value("wine"), Value(9)});
+  st.SealBatch();
+  const TiltedTimeWindow* wine = st.RingFor({Value("beer"), Value("wine")});
+  ASSERT_NE(wine, nullptr);
+  EXPECT_EQ(wine->total(), 2u);
+  EXPECT_EQ(wine->batches(), 1u);
+  const TiltedTimeWindow* beer_diapers =
+      st.RingFor({Value("beer"), Value("diapers")});
+  ASSERT_NE(beer_diapers, nullptr);
+  EXPECT_EQ(beer_diapers->batches(), 2u);
+  EXPECT_EQ(beer_diapers->total(), 3u);  // second batch contributed 0
+  EXPECT_EQ(beer_diapers->CountLastN(1).count, 0u);
+}
+
+TEST(IncrementalFlockStateTest, CompatibilityMatrix) {
+  QueryFlock base =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(5));
+  IncrementalFlockState st("pairs", base);
+  using Compat = IncrementalFlockState::Compat;
+
+  EXPECT_EQ(st.CompatibilityWith(base), Compat::kSame);
+  // COUNT >= N: raising N tightens (fewer survivors) — reusable.
+  EXPECT_EQ(st.CompatibilityWith(Flock(
+                "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+                FilterCondition::MinSupport(8))),
+            Compat::kTightened);
+  // Lowering N loosens: ring history is missing for admitted groups.
+  EXPECT_EQ(st.CompatibilityWith(Flock(
+                "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+                FilterCondition::MinSupport(3))),
+            Compat::kIncompatible);
+  // Different aggregate, comparison, or query: incompatible.
+  EXPECT_EQ(st.CompatibilityWith(Flock(
+                "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+                {FilterAgg::kSum, CompareOp::kGe, 5, 0})),
+            Compat::kIncompatible);
+  EXPECT_EQ(st.CompatibilityWith(Flock(
+                "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+                {FilterAgg::kCount, CompareOp::kLe, 5, 0})),
+            Compat::kIncompatible);
+  EXPECT_EQ(st.CompatibilityWith(
+                Flock("answer(B) :- baskets(B,$1)",
+                      FilterCondition::MinSupport(5))),
+            Compat::kIncompatible);
+}
+
+TEST(IncrementalFlockStateTest, UpperBoundFilterTightensDownward) {
+  QueryFlock base =
+      Flock("answer(B) :- baskets(B,$1)",
+            {FilterAgg::kMin, CompareOp::kLe, 10, 0});
+  IncrementalFlockState st("mins", base);
+  using Compat = IncrementalFlockState::Compat;
+  EXPECT_EQ(st.CompatibilityWith(Flock("answer(B) :- baskets(B,$1)",
+                                       {FilterAgg::kMin, CompareOp::kLe, 5, 0})),
+            Compat::kTightened);
+  EXPECT_EQ(st.CompatibilityWith(
+                Flock("answer(B) :- baskets(B,$1)",
+                      {FilterAgg::kMin, CompareOp::kLe, 20, 0})),
+            Compat::kIncompatible);
+}
+
+TEST(IncrementalFlockStateTest, TightenedServeMatchesDirect) {
+  Database db = SmallBaskets();
+  QueryFlock built =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(1));
+  IncrementalFlockState st("pairs", built);
+  for (const Tuple& row : PairAnswers(db)) st.AbsorbAnswer(row);
+  st.SealBatch();
+  for (std::int64_t t = 1; t <= 4; ++t) {
+    QueryFlock tight =
+        Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+              FilterCondition::MinSupport(t));
+    ASSERT_NE(st.CompatibilityWith(tight),
+              IncrementalFlockState::Compat::kIncompatible);
+    Result<Relation> direct = EvaluateFlock(tight, db);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(st.Serve(tight.filter).rows(), direct->rows())
+        << "threshold " << t;
+  }
+}
+
+TEST(IncrementalFlockStateTest, SumExactTracksIntegrality) {
+  QueryFlock f = Flock("answer(B,W) :- sales(B,$1,W)",
+                       {FilterAgg::kSum, CompareOp::kGe, 1, 1});
+  IncrementalFlockState st("sums", f);
+  EXPECT_TRUE(st.sum_exact());
+  // Schema: $1, _h0 (B), _h1 (W); the SUM reads _h1.
+  st.AbsorbAnswer({Value("a"), Value(1), Value(3.0)});
+  EXPECT_TRUE(st.sum_exact());  // 3.0 is integral: still exact
+  st.AbsorbAnswer({Value("a"), Value(2), Value(0.5)});
+  EXPECT_FALSE(st.sum_exact());  // non-integral summand: latched off
+}
+
+TEST(IncrementalFlockStateTest, DescribeListsCountersAndMarks) {
+  Database db = SmallBaskets();
+  QueryFlock f =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(2));
+  IncrementalFlockState st("pairs", f);
+  for (const Tuple& row : PairAnswers(db)) st.AbsorbAnswer(row);
+  st.SealBatch();
+  st.marks().push_back(IncrementalFlockState::RelationMark{
+      "baskets", db.GetShared("baskets"), db.Get("baskets").size(), false});
+  st.full_builds = 1;
+  std::string d = st.Describe();
+  EXPECT_NE(d.find("flock pairs:"), std::string::npos);
+  EXPECT_NE(d.find("built filter: COUNT"), std::string::npos);
+  EXPECT_NE(d.find("decisions: builds=1 deltas=0 cached=0"),
+            std::string::npos);
+  EXPECT_NE(d.find("base baskets: 9 rows"), std::string::npos);
+  EXPECT_GT(st.ApproxBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace qf

@@ -15,7 +15,9 @@
 #include "network/client.h"
 #include "network/protocol.h"
 #include "network/server.h"
+#include "incremental_diff_harness.h"
 #include "network/socket.h"
+#include "relational/tsv.h"
 #include "shell/shell.h"
 
 namespace qf {
@@ -219,6 +221,64 @@ TEST(ServerTest, SessionsSeeSharedBaseDatabase) {
     ASSERT_TRUE(out.ok()) << out.status().ToString();
     EXPECT_NE(out->find("rows"), std::string::npos);
   }
+}
+
+TEST(ServerTest, AppendInOneSessionLeavesSharedBaseUntouched) {
+  // Regression: LOAD ... APPEND goes through AppendRelation (a fresh
+  // relation built from the COW-shared payload), never a mutation of the
+  // shared rows — so a neighbour session's counts and the seed database
+  // itself must be unaffected by another session's appends.
+  Shell seed;
+  ASSERT_TRUE(
+      seed.Execute("GEN BASKETS base n_baskets=30 n_items=6 seed=9").ok());
+  std::size_t seed_rows = seed.database().Get("base").size();
+
+  MemVfs vfs;
+  Relation delta("delta", Schema({"BID", "Item"}));
+  delta.AddRow({Value(500), Value(0)});
+  delta.AddRow({Value(500), Value(1)});
+  ASSERT_TRUE(StoreTsv(delta, "delta.tsv", &vfs).ok());
+
+  ServerOptions options;
+  options.base_db = seed.database();
+  options.session_vfs = &vfs;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client a = MustConnect(*server);
+  Client b = MustConnect(*server);
+  const std::string flock_stmt =
+      "FLOCK p QUERY answer(B) :- base(B,$1) FILTER COUNT >= 2";
+  ASSERT_TRUE(a.Execute(flock_stmt).ok());
+  ASSERT_TRUE(b.Execute(flock_stmt).ok());
+  Result<std::string> b_before = b.Execute("RUN p LIMIT 100000");
+  ASSERT_TRUE(b_before.ok()) << b_before.status().ToString();
+
+  Result<std::string> appended = a.Execute("LOAD base APPEND FROM delta.tsv");
+  ASSERT_TRUE(appended.ok()) << appended.status().ToString();
+  EXPECT_NE(appended->find("+2 rows"), std::string::npos);
+
+  // Session a sees the appended rows...
+  Result<std::string> a_shown = a.Execute("SHOW base");
+  ASSERT_TRUE(a_shown.ok());
+  EXPECT_NE(a_shown->find(std::to_string(seed_rows + 2) + " rows"),
+            std::string::npos);
+  // ...while b's copy, b's counts, and the seed database are unchanged.
+  Result<std::string> b_shown = b.Execute("SHOW base");
+  ASSERT_TRUE(b_shown.ok());
+  EXPECT_NE(b_shown->find(std::to_string(seed_rows) + " rows"),
+            std::string::npos);
+  Result<std::string> b_after = b.Execute("RUN p LIMIT 100000");
+  ASSERT_TRUE(b_after.ok());
+  EXPECT_EQ(NormalizeRunOutput(*b_before), NormalizeRunOutput(*b_after));
+  EXPECT_EQ(seed.database().Get("base").size(), seed_rows);
+  // A session connecting after the append still starts from the
+  // pristine base.
+  Client c = MustConnect(*server);
+  ASSERT_TRUE(c.Execute(flock_stmt).ok());
+  Result<std::string> c_shown = c.Execute("SHOW base");
+  ASSERT_TRUE(c_shown.ok());
+  EXPECT_NE(c_shown->find(std::to_string(seed_rows) + " rows"),
+            std::string::npos);
 }
 
 TEST(ServerTest, SessionCatalogMutationsAreDurable) {

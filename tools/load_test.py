@@ -128,10 +128,14 @@ class Client:
         self.sock.close()
 
 
-def workload(i: int):
-    """Mirror of the scripted workload in tests/server_stress_test.cc."""
+def workload(i: int, delta_path=None):
+    """Mirror of the scripted workload in tests/server_stress_test.cc,
+    plus an append-heavy incremental phase when delta_path is set:
+    SET INCREMENTAL ON, then interleaved LOAD ... APPEND / RUN so every
+    session exercises the build -> delta(+N) -> delta(+0 rows, the second
+    append is all duplicates) decision chain under concurrency."""
     n = 60 + (i % 5) * 10
-    return [
+    stmts = [
         f"GEN BASKETS b n_baskets={n} n_items=20 avg_size=5 seed={i + 1}",
         "DEFINE bought(B,I) :- b(B,I)",
         "FLOCK pairs QUERY answer(B) :- bought(B,$1) AND bought(B,$2) AND "
@@ -140,22 +144,48 @@ def workload(i: int):
         "RUN pairs PLAN LIMIT 5",
         "SHOW RELATIONS",
     ]
+    if delta_path:
+        stmts += [
+            "SET INCREMENTAL ON",
+            "FLOCK ipairs QUERY answer(B) :- b(B,$1) AND b(B,$2) AND "
+            "$1 < $2 FILTER COUNT >= 3",
+            "RUN ipairs LIMIT 5",
+            f"LOAD b APPEND FROM {delta_path}",
+            "RUN ipairs LIMIT 5",
+            f"LOAD b APPEND FROM {delta_path}",
+            "RUN ipairs LIMIT 5",
+            "SHOW FLOCK STATE ipairs",
+        ]
+    return stmts
+
+
+# Delta batch for the append phase: two fresh baskets, disjoint from any
+# generated BID, shared read-only by every session (appends are COW
+# session-local, so concurrent clients never see each other's rows).
+DELTA_TSV = ("BID\tItem\n"
+             "9001\t1\n9001\t2\n9001\t3\n"
+             "9002\t1\n9002\t2\n")
 
 
 TIMING_RE = re.compile(r"in [0-9]+(\.[0-9]+)? ms")
+# The RUN mode tag's incremental decision depends on history ("build" on
+# a first run, "rebuild(lineage)" after a GEN replaced the relation in a
+# later round), so only incremental-vs-not survives normalization.
+MODE_RE = re.compile(r"\(INCREMENTAL:.*\)")
 
 
 def normalize(text: str) -> str:
-    return TIMING_RE.sub("in ? ms", text)
+    return MODE_RE.sub("(INCREMENTAL)", TIMING_RE.sub("in ? ms", text))
 
 
-def run_client(host, port, i, rounds, latencies_ns, outputs, errors):
+def run_client(host, port, i, rounds, delta_path, latencies_ns, outputs,
+               errors):
     try:
         client = Client(host, port)
         transcript = []
         for _ in range(rounds):
             out = []
-            for stmt in workload(i):
+            for stmt in workload(i, delta_path):
                 start = time.perf_counter_ns()
                 out.append(client.execute(stmt))
                 latencies_ns.append(time.perf_counter_ns() - start)
@@ -166,10 +196,10 @@ def run_client(host, port, i, rounds, latencies_ns, outputs, errors):
         errors.append(f"client {i}: {exc}")
 
 
-def serial_transcript(qfshell: str, i: int) -> str:
+def serial_transcript(qfshell: str, i: int, delta_path) -> str:
     with tempfile.NamedTemporaryFile(
             "w", suffix=".qf", delete=False) as script:
-        script.write(";\n".join(workload(i)) + ";\n")
+        script.write(";\n".join(workload(i, delta_path)) + ";\n")
         path = script.name
     try:
         proc = subprocess.run([qfshell, path], capture_output=True,
@@ -201,7 +231,16 @@ def main() -> int:
                         help="workload repetitions per client")
     parser.add_argument("--executors", type=int, default=4)
     parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--no-append", action="store_true",
+                        help="skip the append-heavy incremental phase")
     args = parser.parse_args()
+
+    delta_path = None
+    if not args.no_append:
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".tsv", delete=False) as delta:
+            delta.write(DELTA_TSV)
+            delta_path = delta.name
 
     server = None
     port = args.port
@@ -225,7 +264,8 @@ def main() -> int:
         threads = [
             threading.Thread(target=run_client,
                              args=(args.host, port, i, args.rounds,
-                                   latencies_ns, outputs, errors))
+                                   delta_path, latencies_ns, outputs,
+                                   errors))
             for i in range(args.clients)
         ]
         wall_start = time.perf_counter_ns()
@@ -243,7 +283,7 @@ def main() -> int:
         divergences = 0
         if args.qfshell:
             for i in range(args.clients):
-                expected = serial_transcript(args.qfshell, i)
+                expected = serial_transcript(args.qfshell, i, delta_path)
                 if outputs[i] != expected:
                     divergences += 1
                     print(f"FAIL: client {i} diverged from serial shell",
@@ -307,6 +347,8 @@ def main() -> int:
         if server is not None:
             server.terminate()
             server.wait(timeout=30)
+        if delta_path is not None:
+            os.unlink(delta_path)
 
 
 if __name__ == "__main__":
