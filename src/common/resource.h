@@ -51,6 +51,11 @@ namespace qf {
 // accountant nets to zero when intermediates are dropped.
 std::size_t ApproxTupleBytes(std::size_t arity);
 
+// Out-of-core spill environment (defined in relational/spill.h): where and
+// how a governed statement may spill intermediates to disk. Carried here as
+// an opaque pointer so the governor stays free of storage dependencies.
+struct SpillEnv;
+
 // Shared governor state for one query execution. Thread-safe: many morsel
 // workers poll and charge concurrently. Create one per RUN statement (or
 // per test), pass it by pointer through the options structs; nullptr means
@@ -83,6 +88,12 @@ class QueryContext {
   void set_fail_after_charges(std::uint64_t n) {
     fault_countdown_.store(n, std::memory_order_relaxed);
   }
+  // Grants the statement permission to spill: operators that would breach
+  // the budget may partition to disk through `env` instead of aborting.
+  // nullptr (the default) keeps the PR 4 behavior — a hard
+  // RESOURCE_EXHAUSTED. The pointee must outlive the query.
+  void set_spill_env(SpillEnv* env) { spill_env_ = env; }
+  SpillEnv* spill_env() const { return spill_env_; }
 
   // --- cooperative cancellation ---
 
@@ -157,6 +168,7 @@ class QueryContext {
   const std::atomic<bool>* cancel_flag_ = nullptr;
 
   std::uint64_t budget_bytes_ = 0;  // 0 = unlimited
+  SpillEnv* spill_env_ = nullptr;
   std::atomic<std::uint64_t> used_bytes_{0};
   std::atomic<std::uint64_t> peak_bytes_{0};
   std::atomic<std::uint64_t> fault_countdown_{0};

@@ -40,6 +40,14 @@ Status AtomicWriteFile(Vfs& vfs, const std::string& path,
   return vfs.SyncDir(VfsDirName(path));
 }
 
+Result<std::string> Vfs::ReadAt(const std::string& path, std::uint64_t offset,
+                                std::size_t length) {
+  Result<std::string> all = ReadFile(path);
+  if (!all.ok()) return all.status();
+  if (offset >= all->size()) return std::string();
+  return all->substr(offset, length);
+}
+
 Vfs& DefaultVfs() {
   static PosixVfs vfs;
   return vfs;
@@ -192,6 +200,65 @@ Result<std::string> PosixVfs::ReadFile(const std::string& path) {
   return out;
 }
 
+Result<std::string> PosixVfs::ReadAt(const std::string& path,
+                                     std::uint64_t offset,
+                                     std::size_t length) {
+  long fd = -1;
+  Status s = RetrySyscall(
+      "open", path,
+      [&]() { return static_cast<long>(::open(path.c_str(), O_RDONLY)); },
+      &fd);
+  if (!s.ok()) return s;
+  std::string out;
+  out.resize(length);
+  std::size_t got = 0;
+  while (got < length) {
+    long n = 0;
+    s = RetrySyscall(
+        "pread", path,
+        [&]() {
+          return static_cast<long>(
+              ::pread(static_cast<int>(fd), out.data() + got, length - got,
+                      static_cast<off_t>(offset + got)));
+        },
+        &n);
+    if (!s.ok()) {
+      ::close(static_cast<int>(fd));
+      return s;
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(static_cast<int>(fd));
+  out.resize(got);
+  return out;
+}
+
+Result<std::vector<std::string>> PosixVfs::ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    if (ec == std::errc::no_such_file_or_directory) return names;
+    return IoError("readdir " + dir + ": " + ec.message());
+  }
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec) && !ec) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::uint64_t> PosixVfs::FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return ErrnoStatus("stat", path, errno);
+  }
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
 Status PosixVfs::Rename(const std::string& from, const std::string& to) {
   return RetrySyscall("rename", from + " -> " + to,
                       [&]() { return ::rename(from.c_str(), to.c_str()); });
@@ -271,6 +338,24 @@ Result<std::string> MemVfs::ReadFile(const std::string& path) {
   auto it = live_.find(path);
   if (it == live_.end()) return NotFoundError("open " + path);
   return it->second->data;
+}
+
+Result<std::vector<std::string>> MemVfs::ListDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  for (const auto& [path, inode] : live_) {  // map order: already sorted
+    if (VfsDirName(path) == dir) {
+      names.push_back(path.substr(path.find_last_of('/') + 1));
+    }
+  }
+  return names;
+}
+
+Result<std::uint64_t> MemVfs::FileSize(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = live_.find(path);
+  if (it == live_.end()) return NotFoundError("stat " + path);
+  return static_cast<std::uint64_t>(it->second->data.size());
 }
 
 Result<std::unique_ptr<WritableFile>> MemVfs::OpenAppend(
@@ -435,6 +520,23 @@ Status FaultVfs::Gate(bool* torn) {
 Result<std::string> FaultVfs::ReadFile(const std::string& path) {
   if (crashed_) return IoError("simulated crash: filesystem is gone");
   return base_.ReadFile(path);
+}
+
+Result<std::string> FaultVfs::ReadAt(const std::string& path,
+                                     std::uint64_t offset,
+                                     std::size_t length) {
+  if (crashed_) return IoError("simulated crash: filesystem is gone");
+  return base_.ReadAt(path, offset, length);
+}
+
+Result<std::vector<std::string>> FaultVfs::ListDir(const std::string& dir) {
+  if (crashed_) return IoError("simulated crash: filesystem is gone");
+  return base_.ListDir(dir);
+}
+
+Result<std::uint64_t> FaultVfs::FileSize(const std::string& path) {
+  if (crashed_) return IoError("simulated crash: filesystem is gone");
+  return base_.FileSize(path);
 }
 
 Result<std::unique_ptr<WritableFile>> FaultVfs::OpenAppend(

@@ -32,6 +32,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 
@@ -56,6 +57,20 @@ class Vfs {
 
   // Reads the whole file. NOT_FOUND if it does not exist.
   virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  // Reads up to `length` bytes starting at `offset`; shorter only when the
+  // file ends first. The page and spill readers use this to touch one
+  // page at a time. The default implementation reads the whole file and
+  // slices (always correct); PosixVfs overrides with pread.
+  virtual Result<std::string> ReadAt(const std::string& path,
+                                     std::uint64_t offset,
+                                     std::size_t length);
+  // Sorted names (not paths) of the regular files directly inside `dir`.
+  // A missing directory reads as empty: orphan sweeps treat "never
+  // created" and "nothing there" alike.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  // Size of the file in bytes; NOT_FOUND if it does not exist. The paged
+  // reader locates the fixed-size footer with this.
+  virtual Result<std::uint64_t> FileSize(const std::string& path) = 0;
   // Opens for appending, creating the file if needed.
   virtual Result<std::unique_ptr<WritableFile>> OpenAppend(
       const std::string& path) = 0;
@@ -100,6 +115,10 @@ class PosixVfs : public Vfs {
   PosixVfs() = default;
 
   Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadAt(const std::string& path, std::uint64_t offset,
+                             std::size_t length) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
   Result<std::unique_ptr<WritableFile>> OpenAppend(
       const std::string& path) override;
   Result<std::unique_ptr<WritableFile>> OpenTrunc(
@@ -123,6 +142,8 @@ class MemVfs : public Vfs {
   MemVfs() = default;
 
   Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
   Result<std::unique_ptr<WritableFile>> OpenAppend(
       const std::string& path) override;
   Result<std::unique_ptr<WritableFile>> OpenTrunc(
@@ -185,6 +206,10 @@ class FaultVfs : public Vfs {
   bool crashed() const { return crashed_; }
 
   Result<std::string> ReadFile(const std::string& path) override;
+  Result<std::string> ReadAt(const std::string& path, std::uint64_t offset,
+                             std::size_t length) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  Result<std::uint64_t> FileSize(const std::string& path) override;
   Result<std::unique_ptr<WritableFile>> OpenAppend(
       const std::string& path) override;
   Result<std::unique_ptr<WritableFile>> OpenTrunc(

@@ -6,9 +6,11 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/flat_hash.h"
 #include "common/thread_pool.h"
 #include "datalog/acyclic.h"
 #include "relational/ops.h"
+#include "relational/spill.h"
 
 namespace qf {
 
@@ -355,6 +357,253 @@ Result<Relation> EvaluateConjunctiveBindings(
   apply_ready();
   if (Status s2 = governed(); !s2.ok()) return s2;
   for (std::size_t k = 1; k < order.size(); ++k) {
+    // Out-of-core streaming of the FINAL join (options.sink set): instead
+    // of materializing the widest relation of the fold, each joined row is
+    // built in a scratch tuple, run through every still-pending
+    // comparison/negation, projected onto output_columns, and Pushed into
+    // the sink (which grace-hash-spills it). Taken only when the
+    // governor's spill-activation rule fires AND every pending predicate
+    // and output column is bound by the prospective joined schema — so
+    // the conventional path, including its unsafe-query errors, is
+    // untouched whenever streaming does not strictly apply. The stream is
+    // serial and probes `current` in row order, visiting joined rows in
+    // exactly NaturalJoin's output order; combined with the sink's
+    // order-preserving partitioning this keeps results bit-identical to
+    // the materialized path at every thread count (DESIGN.md §14).
+    if (k + 1 == order.size() && options.sink != nullptr) {
+      const Relation& build = positive_bindings[order[k]];
+      // Prospective joined schema: current's columns, then build's
+      // non-shared columns in order (matches relational/ops.cc).
+      std::vector<std::size_t> a_key_idx;
+      std::vector<std::size_t> b_key_idx;
+      std::vector<std::size_t> b_rest;
+      std::vector<std::string> joined_cols = current.schema().columns();
+      for (std::size_t j = 0; j < build.arity(); ++j) {
+        const std::string& col = build.schema().columns()[j];
+        std::optional<std::size_t> in_a = current.schema().IndexOf(col);
+        if (in_a.has_value()) {
+          a_key_idx.push_back(*in_a);
+          b_key_idx.push_back(j);
+        } else {
+          b_rest.push_back(j);
+          joined_cols.push_back(col);
+        }
+      }
+      Schema joined{joined_cols};
+      constexpr std::size_t kMaxRef = 0xFFFFFFFE;  // flat-hash refs are u32
+      bool applicable = build.size() <= kMaxRef;
+      for (const PendingComparison& pc : comparisons) {
+        if (!pc.applied && !ColumnsBound(pc.subgoal->terms(), joined)) {
+          applicable = false;
+        }
+      }
+      for (const PendingNegation& pn : negations) {
+        if (pn.applied) continue;
+        if (!ColumnsBound(pn.subgoal->terms(), joined) ||
+            pn.bindings.size() > kMaxRef) {
+          applicable = false;
+        }
+      }
+      for (const std::string& c : output_columns) {
+        if (!joined.Contains(c)) applicable = false;
+      }
+      std::uint64_t projected_bytes =
+          (static_cast<std::uint64_t>(current.size()) +
+           static_cast<std::uint64_t>(build.size())) *
+          ApproxTupleBytes(joined.arity());
+      // With a spill environment armed, the inputs-only projection is not
+      // enough: a skewed join's OUTPUT can dwarf both inputs and it is
+      // the output that must fit (plus its distinct copy downstream). So
+      // build the probe index once and run a counting pass — exact output
+      // cardinality, no materialization — before deciding. The index is
+      // reused by the streaming branch; the unbudgeted path never pays
+      // for any of this.
+      bool spill_armed = applicable && ctx != nullptr &&
+                         ctx->spill_env() != nullptr &&
+                         ctx->spill_env()->vfs != nullptr &&
+                         ctx->budget_bytes() > 0;
+      KeyCols a_key(a_key_idx, current.arity());
+      KeyCols b_key(b_key_idx, build.arity());
+      FlatKeyIndex stream_index;
+      std::uint64_t stream_probes = 0;
+      bool use_stream = false;
+      if (spill_armed) {
+        const std::vector<Tuple>& b_rows = build.rows();
+        stream_index.Reserve(b_rows.size());
+        for (std::size_t r = 0; r < b_rows.size(); ++r) {
+          stream_index.AddRow(
+              static_cast<std::uint32_t>(r), b_key.Hash(b_rows[r]),
+              [&](std::uint32_t prev) {
+                return b_key.Eq(b_rows[r], b_rows[prev]);
+              },
+              stream_probes);
+        }
+        stream_index.Finalize();
+        std::uint64_t out_rows = 0;
+        OpGovernor count_gov(ctx, 0);  // polls deadline/cancel only
+        for (const Tuple& ta : current.rows()) {
+          if (!count_gov.TickInput()) break;
+          FlatKeyIndex::Span matches = stream_index.Probe(
+              a_key.Hash(ta),
+              [&](std::uint32_t br) {
+                return a_key.EqAcross(ta, b_key, b_rows[br]);
+              },
+              stream_probes);
+          out_rows += static_cast<std::uint64_t>(matches.end - matches.begin);
+        }
+        count_gov.Flush();
+        if (Status s2 = governed(); !s2.ok()) return s2;
+        use_stream = SpillWanted(
+            ctx, projected_bytes + out_rows * ApproxTupleBytes(joined.arity()));
+      }
+      if (use_stream) {
+        OpMetrics* node =
+            m != nullptr
+                ? m->AddChild("join",
+                              positives[order[k]]->predicate() + " [stream]")
+                : nullptr;
+        ScopedOp op_span(node, tr);
+        std::uint64_t probes = stream_probes;
+        // Remaining comparisons become per-row predicates.
+        std::vector<const Subgoal*> row_compares;
+        for (PendingComparison& pc : comparisons) {
+          if (!pc.applied) {
+            row_compares.push_back(pc.subgoal);
+            pc.applied = true;
+          }
+        }
+        // Remaining negations become membership tests over the columns
+        // they share with the joined schema (the anti-join key). With no
+        // shared column, AntiJoin keeps a row iff the binding is empty.
+        struct RowNegation {
+          std::vector<std::size_t> row_idx;  // shared cols, joined schema
+          std::vector<std::size_t> neg_idx;  // shared cols, binding schema
+          const Relation* bindings = nullptr;
+          FlatTupleSet keys;
+          bool drop_all = false;
+          std::optional<KeyCols> row_key;
+          std::optional<KeyCols> neg_key;
+        };
+        std::vector<RowNegation> row_negations;
+        row_negations.reserve(negations.size());
+        std::vector<PendingNegation*> consumed_negations;
+        for (PendingNegation& pn : negations) {
+          if (pn.applied) continue;
+          pn.applied = true;
+          consumed_negations.push_back(&pn);
+          RowNegation rn;
+          rn.bindings = &pn.bindings;
+          const Schema& ns = pn.bindings.schema();
+          for (std::size_t j = 0; j < ns.arity(); ++j) {
+            std::optional<std::size_t> in_j = joined.IndexOf(ns.columns()[j]);
+            if (in_j.has_value()) {
+              rn.row_idx.push_back(*in_j);
+              rn.neg_idx.push_back(j);
+            }
+          }
+          if (rn.row_idx.empty()) {
+            rn.drop_all = !pn.bindings.empty();
+          } else {
+            rn.row_key.emplace(rn.row_idx, joined.arity());
+            rn.neg_key.emplace(rn.neg_idx, pn.bindings.arity());
+            rn.keys.Reserve(pn.bindings.size());
+            const std::vector<Tuple>& nrows = pn.bindings.rows();
+            for (std::size_t r = 0; r < nrows.size(); ++r) {
+              rn.keys.Insert(
+                  static_cast<std::uint32_t>(r), rn.neg_key->Hash(nrows[r]),
+                  [&](std::uint32_t prev) {
+                    return rn.neg_key->Eq(nrows[r], nrows[prev]);
+                  },
+                  probes);
+            }
+          }
+          // Vector moves keep their heap buffers, so the KeyCols pointers
+          // into row_idx/neg_idx stay valid after this move.
+          row_negations.push_back(std::move(rn));
+        }
+        std::vector<std::size_t> out_idx;
+        out_idx.reserve(output_columns.size());
+        for (const std::string& c : output_columns) {
+          out_idx.push_back(*joined.IndexOf(c));
+        }
+        // Build side indexed above (the counting pass); probe `current`
+        // in row order — NaturalJoin's layout and output order exactly.
+        const std::vector<Tuple>& b_rows = build.rows();
+        FlatKeyIndex& index = stream_index;
+        Status push_status;
+        Tuple combined;
+        std::uint64_t pushed = 0;
+        OpGovernor gov(ctx, 0);  // input polling; the sink owns the output
+        for (const Tuple& ta : current.rows()) {
+          if (!gov.TickInput()) break;
+          FlatKeyIndex::Span matches = index.Probe(
+              a_key.Hash(ta),
+              [&](std::uint32_t br) {
+                return a_key.EqAcross(ta, b_key, b_rows[br]);
+              },
+              probes);
+          for (const std::uint32_t* p = matches.begin; p != matches.end;
+               ++p) {
+            const Tuple& tb = b_rows[*p];
+            combined.assign(ta.begin(), ta.end());
+            for (std::size_t j : b_rest) combined.push_back(tb[j]);
+            bool pass = true;
+            for (const Subgoal* s : row_compares) {
+              if (!EvalCompare(s->op(), TermValue(s->lhs(), joined, combined),
+                               TermValue(s->rhs(), joined, combined))) {
+                pass = false;
+                break;
+              }
+            }
+            for (const RowNegation& rn : row_negations) {
+              if (!pass) break;
+              if (rn.drop_all) {
+                pass = false;
+                break;
+              }
+              if (rn.row_idx.empty()) continue;  // empty binding keeps all
+              const std::vector<Tuple>& nrows = rn.bindings->rows();
+              if (rn.keys.Contains(
+                      rn.row_key->Hash(combined),
+                      [&](std::uint32_t ref) {
+                        return rn.row_key->EqAcross(combined, *rn.neg_key,
+                                                    nrows[ref]);
+                      },
+                      probes)) {
+                pass = false;
+              }
+            }
+            if (!pass) continue;
+            push_status = options.sink->Push(ProjectTuple(combined, out_idx));
+            if (!push_status.ok()) break;
+            ++pushed;
+          }
+          if (!push_status.ok()) break;
+        }
+        gov.Flush();
+        if (!push_status.ok()) return push_status;
+        if (Status s2 = governed(); !s2.ok()) return s2;
+        options.sink->engaged = true;
+        if (node != nullptr) {
+          node->rows_in += current.size();
+          node->rows_in_right += build.size();
+          node->rows_out += pushed;
+          node->tuples_probed += probes;
+        }
+        peak = std::max(peak, current.size());
+        if (peak_rows != nullptr) *peak_rows = peak;
+        // Everything materialized is now dead: the fold intermediate, the
+        // final binding, and the consumed negation bindings.
+        release(current);
+        release(positive_bindings[order[k]]);
+        positive_bindings[order[k]] = Relation();
+        for (PendingNegation* pn : consumed_negations) {
+          release(pn->bindings);
+          pn->bindings = Relation();
+        }
+        return Relation{Schema(output_columns)};
+      }
+    }
     {
       OpMetrics* node =
           m != nullptr ? m->AddChild("join", positives[order[k]]->predicate())

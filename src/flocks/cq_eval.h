@@ -24,6 +24,8 @@
 
 namespace qf {
 
+class TupleSink;  // relational/spill.h
+
 // Column name a term binds: variables map to their name, parameters to
 // "$name". Constants have no column; callers must not ask.
 std::string TermColumn(const Term& term);
@@ -84,6 +86,17 @@ struct CqEvalOptions {
   // RESOURCE_EXHAUSTED) as soon as it latches, discarding intermediates.
   // Null (the default) is cost-free.
   QueryContext* ctx = nullptr;
+  // Out-of-core streaming (relational/spill.h). When non-null AND the
+  // governor's spill-activation rule fires at the final join, the
+  // evaluation streams that join: each joined row has the still-pending
+  // comparisons/negations applied, is projected onto output_columns, and
+  // is Pushed into the sink instead of ever being materialized — the
+  // sink's `engaged` flag is set and an *empty* relation is returned (the
+  // caller reads the real result from the sink). When the rule does not
+  // fire (or streaming does not apply, e.g. a pending predicate is not
+  // bound by the joined schema), evaluation is exactly the conventional
+  // materialized path and `engaged` stays false.
+  TupleSink* sink = nullptr;
 };
 
 // Evaluates the body of `cq` and projects the bindings onto

@@ -1,10 +1,14 @@
 #include "flocks/eval.h"
 
 #include <algorithm>
+#include <functional>
+#include <optional>
+#include <utility>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
 #include "relational/ops.h"
+#include "relational/spill.h"
 
 namespace qf {
 
@@ -54,6 +58,25 @@ Result<Relation> EvaluateFlock(
     return ctx != nullptr ? ctx->Check() : Status::Ok();
   };
 
+  const FilterCondition& filter = flock.filter;
+  AggKind agg_kind =
+      filter.agg == FilterAgg::kCount
+          ? AggKind::kCount
+          : (filter.agg == FilterAgg::kSum
+                 ? AggKind::kSum
+                 : (filter.agg == FilterAgg::kMin ? AggKind::kMin
+                                                  : AggKind::kMax));
+  std::string agg_column = filter.agg == FilterAgg::kCount
+                               ? std::string()
+                               : canonical_heads[filter.agg_head_index];
+  std::string agg_detail;
+  switch (agg_kind) {
+    case AggKind::kCount: agg_detail = "COUNT"; break;
+    case AggKind::kSum: agg_detail = "SUM(" + agg_column + ")"; break;
+    case AggKind::kMin: agg_detail = "MIN(" + agg_column + ")"; break;
+    case AggKind::kMax: agg_detail = "MAX(" + agg_column + ")"; break;
+  }
+
   // Evaluate the disjuncts — concurrently when threads allow, each into
   // its own slot — then union the slots in disjunct order. The union
   // order matches the serial loop's, so the answer relation is identical
@@ -65,6 +88,34 @@ Result<Relation> EvaluateFlock(
   if (m != nullptr) {
     disjunct_nodes = m->AddChildren(n_disjuncts, "disjunct");
   }
+
+  // Out-of-core fused path: with a spill grant and a single disjunct,
+  // hand the CQ evaluator a grace-hash GROUP BY sink. If the governor's
+  // activation rule fires at the final join, answer rows stream straight
+  // into checksummed partition files and the union / SUM scan / group_by
+  // below are replaced by the sink's Finish() — same grouped relation,
+  // bit for bit (DESIGN.md §14). Multi-disjunct flocks keep the
+  // materialized path: the union must dedup across disjuncts.
+  std::optional<SpillGroupSink> sink;
+  if (ctx != nullptr && ctx->spill_env() != nullptr && n_disjuncts == 1) {
+    std::function<Status(const Tuple&)> row_check;
+    if (filter.agg == FilterAgg::kSum && options.require_nonnegative_sum) {
+      std::size_t agg_idx = param_columns.size() + filter.agg_head_index;
+      row_check = [agg_idx](const Tuple& t) -> Status {
+        if (!t[agg_idx].IsNumeric() || t[agg_idx].AsNumber() < 0) {
+          return FailedPreconditionError(
+              "SUM filter saw a negative or non-numeric weight; monotone "
+              "pruning would be unsound (set require_nonnegative_sum=false "
+              "to override)");
+        }
+        return Status::Ok();
+      };
+    }
+    sink.emplace(Schema(answer_columns), param_columns.size(), agg_kind,
+                 agg_column, "_agg", std::move(row_check), *ctx->spill_env(),
+                 ctx, nullptr);
+  }
+
   auto eval_disjunct = [&](std::size_t d) -> Status {
     const ConjunctiveQuery& cq = flock.query.disjuncts[d];
     std::vector<std::string> wanted = param_columns;
@@ -75,6 +126,7 @@ Result<Relation> EvaluateFlock(
     cq_options.metrics = disjunct_nodes[d];
     cq_options.trace = tr;
     cq_options.ctx = ctx;
+    if (sink.has_value()) cq_options.sink = &*sink;
     ScopedOp span(disjunct_nodes[d], tr);
     Result<Relation> bindings = EvaluateConjunctiveBindings(
         cq, resolver, wanted, cq_options, &disjunct_peaks[d]);
@@ -90,8 +142,28 @@ Result<Relation> EvaluateFlock(
   }
   if (Status s = governed(); !s.ok()) return s;
 
-  Relation answers{Schema(answer_columns)};
+  Relation grouped;
   std::size_t peak = 0;
+  if (sink.has_value() && sink->engaged) {
+    // Streamed: no materialized answer set ever existed. The sink's
+    // row_check already enforced SUM nonnegativity per distinct row, and
+    // its partition drain reproduces the group_by below exactly.
+    peak = disjunct_peaks[0];
+    OpMetrics* node =
+        m != nullptr ? m->AddChild("group_by", agg_detail + " [spill]")
+                     : nullptr;
+    sink->set_metrics(node);
+    ScopedOp span(node, tr);
+    Result<Relation> g = sink->Finish();
+    if (!g.ok()) return g.status();
+    grouped = std::move(*g);
+    if (Status s = governed(); !s.ok()) return s;
+    if (info != nullptr) {
+      info->peak_rows = peak;
+      info->answer_rows = static_cast<std::size_t>(sink->answer_rows());
+    }
+  } else {
+  Relation answers{Schema(answer_columns)};
   {
     // One "union" node for the whole fold; counters filled once so
     // rows_out is the exact cardinality of the unioned answer set.
@@ -143,30 +215,11 @@ Result<Relation> EvaluateFlock(
     info->answer_rows = answers.size();
   }
 
-  const FilterCondition& filter = flock.filter;
-  AggKind agg_kind =
-      filter.agg == FilterAgg::kCount
-          ? AggKind::kCount
-          : (filter.agg == FilterAgg::kSum
-                 ? AggKind::kSum
-                 : (filter.agg == FilterAgg::kMin ? AggKind::kMin
-                                                  : AggKind::kMax));
-  std::string agg_column = filter.agg == FilterAgg::kCount
-                               ? std::string()
-                               : canonical_heads[filter.agg_head_index];
   // The parallel overload aggregates morsel-locally and merges; the
   // serial one is kept for threads <= 1 so the single-core path carries
   // zero coordination overhead. Both feed the same filter + projection,
   // and the final sort makes the returned row order identical.
-  Relation grouped;
   {
-    std::string agg_detail;
-    switch (agg_kind) {
-      case AggKind::kCount: agg_detail = "COUNT"; break;
-      case AggKind::kSum: agg_detail = "SUM(" + agg_column + ")"; break;
-      case AggKind::kMin: agg_detail = "MIN(" + agg_column + ")"; break;
-      case AggKind::kMax: agg_detail = "MAX(" + agg_column + ")"; break;
-    }
     OpMetrics* node =
         m != nullptr ? m->AddChild("group_by", agg_detail) : nullptr;
     ScopedOp span(node, tr);
@@ -178,6 +231,7 @@ Result<Relation> EvaluateFlock(
                              "_agg", node, ctx);
   }
   if (Status s = governed(); !s.ok()) return s;
+  }
 
   std::size_t agg_col = grouped.schema().IndexOfOrDie("_agg");
   Relation passing;

@@ -77,6 +77,48 @@ void IncrementalEvaluator::RecordReplace(const std::string& name) {
 void IncrementalEvaluator::Reset() {
   states_.clear();
   chains_.clear();
+  last_use_.clear();
+  use_tick_ = 0;
+}
+
+bool IncrementalEvaluator::MakeRoom(const std::string& subject,
+                                    std::uint64_t projected,
+                                    std::uint64_t budget) {
+  if (budget == 0) return true;
+  if (projected > budget) return false;
+  auto others_bytes = [&] {
+    std::uint64_t total = 0;
+    for (const auto& [name, st] : states_) {
+      if (name != subject) total += st->ApproxBytes();
+    }
+    return total;
+  };
+  while (others_bytes() + projected > budget) {
+    // Victim = least-recently-served other state; among equals the
+    // smaller one goes first (less rebuild work thrown away). The loop
+    // terminates: each pass erases one state, and once none remain
+    // others_bytes() == 0 <= budget - projected.
+    std::string victim;
+    std::uint64_t victim_use = 0;
+    std::uint64_t victim_bytes = 0;
+    for (const auto& [name, st] : states_) {
+      if (name == subject) continue;
+      auto use_it = last_use_.find(name);
+      std::uint64_t use = use_it != last_use_.end() ? use_it->second : 0;
+      std::uint64_t bytes = st->ApproxBytes();
+      if (victim.empty() || use < victim_use ||
+          (use == victim_use && bytes < victim_bytes)) {
+        victim = name;
+        victim_use = use;
+        victim_bytes = bytes;
+      }
+    }
+    if (victim.empty()) break;
+    states_.erase(victim);
+    last_use_.erase(victim);
+    ++budget_evictions_;
+  }
+  return true;
 }
 
 bool IncrementalEvaluator::DeltaSlice(
@@ -250,6 +292,7 @@ Status IncrementalEvaluator::Run(const std::string& name,
           *result = st.Serve(flock.filter);
           st.served_cached += 1;
           info->served = true;
+          TouchState(name);
           return finish("cached");
         }
         // Classify each marked base relation: unchanged, appended (delta
@@ -285,20 +328,24 @@ Status IncrementalEvaluator::Run(const std::string& name,
           *result = st.Serve(flock.filter);
           st.served_cached += 1;
           info->served = true;
+          TouchState(name);
           return finish("cached");
         }
         // Residency pre-check BEFORE any work mutates the state: a
         // governed statement cannot un-latch a mid-flight budget trip, so
         // the projection (current footprint + one answer row per delta
-        // tuple) decides up front.
+        // tuple) decides up front. Colder flocks' states are evicted to
+        // make room; only a projection the whole budget cannot hold
+        // drops this state.
         if (opts.state_budget > 0) {
           std::uint64_t projected = st.ApproxBytes();
           std::size_t answer_arity =
               st.param_count() + flock.query.head_arity();
           projected += static_cast<std::uint64_t>(total_delta) *
                        ApproxTupleBytes(answer_arity);
-          if (projected > opts.state_budget) {
+          if (!MakeRoom(name, projected, opts.state_budget)) {
             states_.erase(it);
+            last_use_.erase(name);
             return finish("evicted(budget)");
           }
         }
@@ -386,16 +433,20 @@ Status IncrementalEvaluator::Run(const std::string& name,
         st.set_last_generation(db.generation());
         *result = st.Serve(flock.filter);
         info->served = true;
+        TouchState(name);
         Status done = finish("delta(+" + std::to_string(total_delta) +
                              " rows)");
         // Post-absorb residency check: the projection above is an
-        // estimate; if the real footprint now exceeds the budget, the
-        // (correct) result still serves but the state is not retained.
+        // estimate; if the real footprint now exceeds what the whole
+        // budget can hold (after evicting colder states), the (correct)
+        // result still serves but the state is not retained.
         if (opts.state_budget > 0) {
           auto grown = states_.find(name);
           if (grown != states_.end() &&
-              grown->second->ApproxBytes() > opts.state_budget) {
+              !MakeRoom(name, grown->second->ApproxBytes(),
+                        opts.state_budget)) {
             states_.erase(grown);
+            last_use_.erase(name);
           }
         }
         return done;
@@ -416,12 +467,14 @@ Status IncrementalEvaluator::Run(const std::string& name,
     // caller runs the ordinary evaluation.
     return finish("unsupported(sum-inexact)");
   }
-  if (opts.state_budget > 0 && st->ApproxBytes() > opts.state_budget) {
+  if (opts.state_budget > 0 &&
+      !MakeRoom(name, st->ApproxBytes(), opts.state_budget)) {
     return finish("evicted(budget)");
   }
   *result = st->Serve(flock.filter);
   states_[name] = std::move(st);
   info->served = true;
+  TouchState(name);
   return finish(build_reason);
 }
 

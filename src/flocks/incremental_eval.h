@@ -53,10 +53,14 @@ struct IncrementalEvalOptions {
   TraceSink* trace = nullptr;
   // Per-statement governor for the evaluation work (transient charges).
   QueryContext* ctx = nullptr;
-  // Session memory budget the *persistent* state is held against (the
-  // shell passes SET MEMORY's bytes; 0 = unlimited). A state whose
-  // projected footprint exceeds it is dropped and the statement falls
-  // back to the ordinary uncached evaluation.
+  // Session memory budget ALL persistent flock states are held against,
+  // pooled (the shell passes SET MEMORY's bytes; 0 = unlimited). When a
+  // state's projected footprint would overflow the pool, *other* cached
+  // states are evicted first — least-recently-served first, smaller
+  // (cheaper-to-rebuild) first on ties — so a hot flock survives
+  // pressure from cold ones. Only a state that exceeds the whole budget
+  // by itself is dropped ("evicted(budget)"), falling back to the
+  // ordinary uncached evaluation.
   std::uint64_t state_budget = 0;
   // Tilted-time-window entries per level for newly built states.
   std::size_t window_capacity = 4;
@@ -100,6 +104,9 @@ class IncrementalEvaluator {
 
   const IncrementalFlockState* state(const std::string& name) const;
   std::size_t state_count() const { return states_.size(); }
+  // Cold states evicted to make room for other flocks under the pooled
+  // state budget (tests assert retention priority through this).
+  std::uint64_t budget_evictions() const { return budget_evictions_; }
 
   // SHOW FLOCK STATE [<name>] bodies.
   std::string Describe(const std::string& name) const;
@@ -123,8 +130,22 @@ class IncrementalEvaluator {
                     const Database& db, const IncrementalEvalOptions& opts,
                     IncrementalFlockState* st);
 
+  // Makes `projected` bytes for `subject` fit within the pooled `budget`
+  // by evicting other states (LRU order, smaller state first on ties).
+  // Returns false only when `projected` alone exceeds `budget` — the one
+  // case the subject itself must go. Never erases `subject`.
+  bool MakeRoom(const std::string& subject, std::uint64_t projected,
+                std::uint64_t budget);
+  // Marks `name` as just served (retention priority for MakeRoom).
+  void TouchState(const std::string& name) { last_use_[name] = ++use_tick_; }
+
   std::map<std::string, std::unique_ptr<IncrementalFlockState>> states_;
   std::map<std::string, Chain> chains_;
+  // Retention bookkeeping: logical serve clock per state (not wall time,
+  // so replays are deterministic) and the pooled-budget eviction count.
+  std::map<std::string, std::uint64_t> last_use_;
+  std::uint64_t use_tick_ = 0;
+  std::uint64_t budget_evictions_ = 0;
 };
 
 }  // namespace qf

@@ -55,6 +55,15 @@ struct Server::Session {
   std::uint64_t shed = 0;
   std::uint64_t exec_ns = 0;
   std::uint64_t output_bytes = 0;
+  // Out-of-core counters, snapshotted from the shell by the executor
+  // after each statement (the shell itself is only safe to touch while
+  // the session is scheduled; STATS renders these copies instead).
+  std::uint64_t spill_activations = 0;
+  std::uint64_t spilled_rows = 0;
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t pool_evictions = 0;
 
   ~Session() { CloseFd(fd); }
 
@@ -317,6 +326,19 @@ void Server::ExecutorLoop() {
       }
       session->exec_ns += elapsed_ns;
       session->output_bytes += outcome.output.size();
+      if (const SpillEnv* env = session->shell.spill_env(); env != nullptr) {
+        session->spill_activations = env->stats.activations.load();
+        session->spilled_rows = env->stats.spilled_rows.load();
+        session->spill_bytes =
+            env->stats.bytes_written.load() + env->stats.bytes_read.load();
+      }
+      if (const BufferPool* pool = session->shell.buffer_pool();
+          pool != nullptr) {
+        BufferPoolStats bp = pool->stats();
+        session->pool_hits = bp.hits;
+        session->pool_misses = bp.misses;
+        session->pool_evictions = bp.evictions;
+      }
       if (!session->pending.empty()) {
         ready_.push_back(session);
         work_cv_.notify_one();
@@ -411,6 +433,19 @@ std::string Server::MetricsTextLocked() const {
     node->rows_out = session->executed;
     node->wall_ns = session->exec_ns;
     node->mem_bytes = session->output_bytes;
+    // Only sessions that actually touched the out-of-core machinery get
+    // the extra node; all-in-memory sessions keep the old STATS shape.
+    if (session->spill_activations > 0 ||
+        session->pool_hits + session->pool_misses > 0) {
+      OpMetrics* ooc = node->AddChild(
+          "outofcore",
+          "spills=" + std::to_string(session->spill_activations) +
+              " pool_hits=" + std::to_string(session->pool_hits) +
+              " pool_misses=" + std::to_string(session->pool_misses) +
+              " pool_evictions=" + std::to_string(session->pool_evictions));
+      ooc->rows_out = session->spilled_rows;
+      ooc->mem_bytes = session->spill_bytes;
+    }
   }
   return root.ToString();
 }

@@ -16,6 +16,7 @@
 //   SQL <name>;
 //   THREADS <n>;                            # default worker count for RUN
 //   SET TIMEOUT <ms>; | SET MEMORY <mb>;    # resource limits (0 = off)
+//   SET BUFFER <mb>;                        # page-cache capacity (OPEN)
 //   SET INCREMENTAL ON|OFF;                 # cache flock state across RUNs
 //   SHOW FLOCK STATE [<name>];              # inspect incremental state
 //   TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events (JSON lines)
@@ -55,6 +56,8 @@
 #include "flocks/flock.h"
 #include "flocks/incremental_eval.h"
 #include "relational/database.h"
+#include "relational/spill.h"
+#include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 
 namespace qf {
@@ -115,6 +118,18 @@ class Shell {
   // 0 means no limit.
   std::int64_t timeout_ms() const { return timeout_ms_; }
   std::uint64_t memory_budget_bytes() const { return memory_bytes_; }
+
+  // Buffer pool capacity for paged catalog relations (`SET BUFFER <mb>;`).
+  std::uint64_t buffer_capacity_bytes() const { return buffer_bytes_; }
+  // The session's page cache (created at OPEN); null before then. Tests
+  // and the server's STATS command read hit/miss/eviction counters here.
+  const BufferPool* buffer_pool() const { return buffer_pool_.get(); }
+  // The session's spill environment: non-null while a catalog is open
+  // (spill files live under <dir>/spill, where OPEN sweeps orphans).
+  // Governed statements spill to it instead of aborting when the memory
+  // budget nears exhaustion; without a catalog the pre-spill hard-abort
+  // behavior is kept.
+  const SpillEnv* spill_env() const { return spill_env_.get(); }
 
   // External cancellation flag (e.g. the REPL's SIGINT flag) watched by
   // every governed statement. The pointee must outlive the shell; the
@@ -181,6 +196,14 @@ class Shell {
   std::uint64_t memory_bytes_ = 0;   // 0 = no budget
   const std::atomic<bool>* cancel_flag_ = nullptr;
   Vfs* vfs_ = nullptr;  // null = DefaultVfs()
+  std::uint64_t buffer_bytes_ = 64ull * 1024 * 1024;  // SET BUFFER (default 64 MB)
+  // Page cache shared by every paged relation the catalog opens or
+  // checkpoints; created on OPEN so it can be handed to Catalog::Open.
+  std::unique_ptr<BufferPool> buffer_pool_;
+  // Spill grant for governed statements; alive while a catalog is open.
+  // unique_ptr because SpillEnv holds atomics (not movable) and governed
+  // QueryContexts keep a raw pointer to it for the statement's duration.
+  std::unique_ptr<SpillEnv> spill_env_;
   std::unique_ptr<Catalog> catalog_;
   // Installed trace sink (TRACE ON/TO); the typed aliases identify which
   // kind is active (memory_trace_ backs SHOW TRACE).

@@ -1,0 +1,162 @@
+#include "storage/buffer_pool.h"
+
+namespace qf {
+
+BufferPool::PageRef& BufferPool::PageRef::operator=(
+    PageRef&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    data_ = std::move(other.data_);
+    ctx_ = other.ctx_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+    other.ctx_ = nullptr;
+  }
+  return *this;
+}
+
+void BufferPool::PageRef::Reset() {
+  if (pool_ != nullptr && frame_ != nullptr) {
+    pool_->Unpin(frame_);
+  }
+  if (ctx_ != nullptr && data_ != nullptr) {
+    ctx_->Release(data_->bytes);
+  }
+  pool_ = nullptr;
+  frame_ = nullptr;
+  ctx_ = nullptr;
+  data_.reset();
+}
+
+Result<BufferPool::PageRef> BufferPool::Pin(const std::string& file,
+                                            std::uint64_t page,
+                                            const FetchFn& fetch,
+                                            QueryContext* ctx) {
+  const std::string key = file + "#" + std::to_string(page);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  Frame* frame = nullptr;
+  if (it != index_.end()) {
+    ++stats_.hits;
+    frame = &*it->second;
+    frame->referenced = true;
+    ++frame->pins;
+  } else {
+    ++stats_.misses;
+    // Fetch under the lock: simple, and a second pinner of the same page
+    // cannot race a duplicate load.
+    Result<std::shared_ptr<const RelationPage>> data = fetch();
+    if (!data.ok()) return data.status();
+    EvictFor((*data)->bytes);
+    frames_.push_back(Frame{key, *data, (*data)->bytes, /*pins=*/1,
+                            /*referenced=*/true, /*mapped=*/true});
+    auto inserted = std::prev(frames_.end());
+    index_[key] = inserted;
+    if (hand_ == frames_.end()) hand_ = inserted;
+    stats_.resident_bytes += (*data)->bytes;
+    ++stats_.resident_pages;
+    frame = &*inserted;
+  }
+  // Governed pins charge the statement for the page while held. The
+  // charge may trip the budget — surface that as the pool does not
+  // admit the pin (the page itself stays cached for others).
+  if (ctx != nullptr) {
+    ctx->Charge(frame->data->bytes);
+    if (Status s = ctx->Check(); !s.ok()) {
+      ctx->Release(frame->data->bytes);
+      --frame->pins;
+      return s;
+    }
+  }
+  PageRef ref;
+  ref.pool_ = this;
+  ref.frame_ = frame;
+  ref.data_ = frame->data;
+  ref.ctx_ = ctx;
+  return ref;
+}
+
+void BufferPool::Unpin(Frame* frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  --frame->pins;
+  frame->referenced = true;
+}
+
+void BufferPool::Erase(std::list<Frame>::iterator it) {
+  if (it->mapped) index_.erase(it->key);
+  stats_.resident_bytes -= it->bytes;
+  --stats_.resident_pages;
+  if (hand_ == it) ++hand_;
+  frames_.erase(it);
+  if (hand_ == frames_.end() && !frames_.empty()) hand_ = frames_.begin();
+}
+
+void BufferPool::EvictFor(std::uint64_t incoming_bytes) {
+  if (frames_.empty()) return;
+  // Clock sweep: each resident frame gets one second chance (its
+  // referenced bit) per lap. Two full laps bound the sweep — after the
+  // first lap every unpinned frame's bit is clear, so the second lap
+  // either evicts or proves everything is pinned.
+  std::size_t budget = frames_.size() * 2;
+  while (stats_.resident_bytes + incoming_bytes > capacity_bytes_ &&
+         budget-- > 0 && !frames_.empty()) {
+    if (hand_ == frames_.end()) hand_ = frames_.begin();
+    std::list<Frame>::iterator it = hand_;
+    if (it->pins > 0) {
+      ++hand_;
+      continue;
+    }
+    if (!it->mapped) {
+      // Invalidated leftover: reclaim regardless of its bit.
+      Erase(it);
+      continue;
+    }
+    if (it->referenced) {
+      it->referenced = false;
+      ++hand_;
+      continue;
+    }
+    ++stats_.evictions;
+    Erase(it);
+  }
+}
+
+void BufferPool::InvalidateFile(const std::string& file) {
+  const std::string prefix = file + "#";
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = index_.lower_bound(prefix);
+       it != index_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       it = index_.erase(it)) {
+    Frame& f = *it->second;
+    f.mapped = false;
+    if (f.pins == 0) {
+      // Free now; pinned frames linger (their holders keep valid data)
+      // and are reclaimed by a later sweep.
+      std::list<Frame>::iterator victim = it->second;
+      stats_.resident_bytes -= victim->bytes;
+      --stats_.resident_pages;
+      if (hand_ == victim) ++hand_;
+      frames_.erase(victim);
+      if (hand_ == frames_.end() && !frames_.empty()) {
+        hand_ = frames_.begin();
+      }
+    }
+  }
+}
+
+void BufferPool::set_capacity_bytes(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_bytes_ = bytes;
+  EvictFor(0);
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BufferPoolStats s = stats_;
+  s.capacity_bytes = capacity_bytes_;
+  return s;
+}
+
+}  // namespace qf

@@ -1,0 +1,137 @@
+// Buffer pool: a bounded cache of decoded relation pages with clock
+// (second-chance) replacement.
+//
+// Pages are keyed by (file path, page index). A Pin either hits the cache
+// or invokes the caller's fetch function, then returns a shared handle;
+// while any handle to a page is alive the page cannot be evicted. The
+// clock replacer gives every resident page one "recently referenced" bit:
+// eviction sweeps the frames in admission order, clearing set bits, and
+// evicts the first unpinned frame whose bit is already clear — LRU-like
+// behavior at O(1) state per page. When every frame is pinned the pool
+// admits past capacity rather than failing: a pin is a promise.
+//
+// Accounting: `stats().resident_bytes` is the pool's own footprint.
+// Additionally, each Pin charges the pinning statement's QueryContext for
+// the page's bytes and releases on unpin — governed statements see the
+// pages they actively hold, so a scan over a paged relation participates
+// in the same budget (and spill-activation) arithmetic as any operator.
+//
+// Concurrency: one mutex guards the whole pool (frame map, clock, stats).
+// Fetches run under the lock — simple and TSan-clean; the pool serves
+// catalog open and shell scans, not a parallel inner loop. Handles only
+// touch the pool in their destructor.
+#ifndef QF_STORAGE_BUFFER_POOL_H_
+#define QF_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/resource.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace qf {
+
+struct BufferPoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t resident_pages = 0;
+  std::uint64_t capacity_bytes = 0;
+};
+
+class BufferPool {
+ public:
+  class PageRef;
+
+  // One resident page. Nested (not namespace scope) so the name cannot
+  // collide with unrelated Frame types elsewhere; treat as opaque outside
+  // buffer_pool.cc.
+  struct Frame {
+    std::string key;
+    std::shared_ptr<const RelationPage> data;
+    std::uint64_t bytes = 0;
+    int pins = 0;
+    bool referenced = false;
+    // False once InvalidateFile unmapped the frame: it is no longer in
+    // the index (future pins refetch) and is reclaimed by the next
+    // eviction sweep that finds it unpinned.
+    bool mapped = true;
+  };
+
+  using FetchFn =
+      std::function<Result<std::shared_ptr<const RelationPage>>()>;
+
+  explicit BufferPool(std::uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  // Returns a pinned handle to (file, page), fetching on miss. On a
+  // governed pin the page's bytes are charged to `ctx` until the handle
+  // dies. A fetch error is returned verbatim and caches nothing.
+  Result<PageRef> Pin(const std::string& file, std::uint64_t page,
+                      const FetchFn& fetch, QueryContext* ctx = nullptr);
+
+  // Drops every unpinned frame of `file` (the file is being replaced or
+  // deleted). Pinned frames survive — their holders keep valid data — but
+  // are unmapped, so future pins refetch.
+  void InvalidateFile(const std::string& file);
+
+  // Runtime resize (SET BUFFER). Shrinking evicts unpinned frames down to
+  // the new capacity on the next pin.
+  void set_capacity_bytes(std::uint64_t bytes);
+  BufferPoolStats stats() const;
+
+  // RAII pin. Movable, not copyable; unpins (and releases the context
+  // charge) on destruction.
+  class PageRef {
+   public:
+    PageRef() = default;
+    PageRef(PageRef&& other) noexcept { *this = std::move(other); }
+    PageRef& operator=(PageRef&& other) noexcept;
+    PageRef(const PageRef&) = delete;
+    PageRef& operator=(const PageRef&) = delete;
+    ~PageRef() { Reset(); }
+
+    const std::shared_ptr<const RelationPage>& page() const { return data_; }
+    void Reset();
+
+   private:
+    friend class BufferPool;
+    BufferPool* pool_ = nullptr;
+    Frame* frame_ = nullptr;
+    std::shared_ptr<const RelationPage> data_;
+    QueryContext* ctx_ = nullptr;
+  };
+
+ private:
+  friend class PageRef;
+
+  void Unpin(Frame* frame);
+  // Evicts unpinned frames (clock order) until resident bytes + incoming
+  // fit capacity or nothing more is evictable. Caller holds the mutex.
+  void EvictFor(std::uint64_t incoming_bytes);
+  // Erases one frame from the clock, keeping the hand valid. Caller holds
+  // the mutex; the frame must be unpinned.
+  void Erase(std::list<Frame>::iterator it);
+
+  mutable std::mutex mutex_;
+  std::uint64_t capacity_bytes_;
+  // Admission-ordered frame ring (the clock); the map indexes it by key.
+  // std::list: frame addresses are stable, so PageRef can hold Frame*.
+  std::list<Frame> frames_;
+  std::map<std::string, std::list<Frame>::iterator> index_;
+  std::list<Frame>::iterator hand_ = frames_.end();
+  BufferPoolStats stats_;
+};
+
+}  // namespace qf
+
+#endif  // QF_STORAGE_BUFFER_POOL_H_

@@ -1,17 +1,49 @@
 #include "storage/catalog.h"
 
+#include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/crc32c.h"
 #include "common/metrics.h"
 #include "relational/serialize.h"
+#include "relational/spill.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
 
 namespace qf {
 namespace {
 
 constexpr std::string_view kSnapshotMagic = "QFSNAP01";
+// Same layout as QFSNAP01 except each relation is preceded by a marker
+// byte: 0 = inline EncodeRelation bytes, 1 = a stub {name, page-file
+// name, row count} whose rows live in a paged sidecar (storage/page.h)
+// under <dir>/pages/. Snapshots with no paged relation keep the QFSNAP01
+// magic, byte-identical to previous releases.
+constexpr std::string_view kSnapshotMagic2 = "QFSNAP02";
 constexpr std::string_view kSnapshotFile = "catalog.snap";
 constexpr std::string_view kWalFile = "catalog.wal";
+constexpr std::string_view kPageFileSuffix = ".qfp";
+
+enum : unsigned char { kRelInline = 0, kRelPaged = 1 };
+
+// Paged sidecars are named after the relation, so only clean identifiers
+// qualify (anything else stays inline — correct, just not out-of-core).
+bool SafeFileName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!(c == '_' || (c >= '0' && c <= '9') || (c >= 'A' && c <= 'Z') ||
+          (c >= 'a' && c <= 'z'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t EstimatedRelationBytes(const Relation& rel) {
+  return static_cast<std::uint64_t>(rel.size()) *
+         ApproxTupleBytes(rel.arity());
+}
 
 // WAL record types (the u8 after the LSN in every payload).
 enum class WalRecordType : unsigned char {
@@ -118,11 +150,9 @@ double MsSince(std::uint64_t t0_ns) {
   return static_cast<double>(MetricsNowNs() - t0_ns) / 1e6;
 }
 
-}  // namespace
-
-Result<std::string> EncodeCatalogState(const CatalogState& state,
-                                       QueryContext* ctx) {
-  std::string out;
+// Rules + flocks + knobs — everything ahead of the relation section,
+// shared verbatim by both snapshot layouts.
+void EncodeStateHeader(const CatalogState& state, std::string& out) {
   PutU32(out, static_cast<std::uint32_t>(state.rules.size()));
   for (const std::string& rule : state.rules) PutString(out, rule);
   PutU32(out, static_cast<std::uint32_t>(state.flocks.size()));
@@ -135,21 +165,9 @@ Result<std::string> EncodeCatalogState(const CatalogState& state,
     PutString(out, key);
     PutI64(out, value);
   }
-  std::vector<std::string> names = state.db.Names();
-  PutU32(out, static_cast<std::uint32_t>(names.size()));
-  for (const std::string& name : names) {
-    if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
-    if (Status s = EncodeRelation(state.db.Get(name), out, ctx); !s.ok()) {
-      return s;
-    }
-  }
-  return out;
 }
 
-Result<CatalogState> DecodeCatalogState(std::string_view bytes,
-                                        QueryContext* ctx) {
-  ByteReader in(bytes);
-  CatalogState state;
+Status DecodeStateHeader(ByteReader& in, CatalogState& state) {
   auto corrupt = [&](const char* what) {
     return CorruptWalError(std::string("snapshot: ") + what + " at byte " +
                            std::to_string(in.position()));
@@ -187,6 +205,35 @@ Result<CatalogState> DecodeCatalogState(std::string_view bytes,
     }
     state.knobs[std::string(key)] = value;
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::string> EncodeCatalogState(const CatalogState& state,
+                                       QueryContext* ctx) {
+  std::string out;
+  EncodeStateHeader(state, out);
+  std::vector<std::string> names = state.db.Names();
+  PutU32(out, static_cast<std::uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
+    if (Status s = EncodeRelation(state.db.Get(name), out, ctx); !s.ok()) {
+      return s;
+    }
+  }
+  return out;
+}
+
+Result<CatalogState> DecodeCatalogState(std::string_view bytes,
+                                        QueryContext* ctx) {
+  ByteReader in(bytes);
+  CatalogState state;
+  auto corrupt = [&](const char* what) {
+    return CorruptWalError(std::string("snapshot: ") + what + " at byte " +
+                           std::to_string(in.position()));
+  };
+  if (Status s = DecodeStateHeader(in, state); !s.ok()) return s;
   std::uint32_t n_relations;
   if (!in.GetU32(&n_relations) || n_relations > in.remaining() / 4) {
     return corrupt("bad relation count");
@@ -201,14 +248,15 @@ Result<CatalogState> DecodeCatalogState(std::string_view bytes,
   return state;
 }
 
-Catalog::Catalog(Vfs& vfs, std::string dir)
-    : vfs_(vfs), dir_(std::move(dir)) {}
+Catalog::Catalog(Vfs& vfs, std::string dir, CatalogOptions options)
+    : vfs_(vfs), dir_(std::move(dir)), options_(options) {}
 
 Result<std::unique_ptr<Catalog>> Catalog::Open(Vfs& vfs, std::string dir,
-                                               QueryContext* ctx) {
+                                               QueryContext* ctx,
+                                               CatalogOptions options) {
   std::uint64_t t0 = MetricsNowNs();
   if (Status s = vfs.CreateDirs(dir); !s.ok()) return s;
-  std::unique_ptr<Catalog> cat(new Catalog(vfs, std::move(dir)));
+  std::unique_ptr<Catalog> cat(new Catalog(vfs, std::move(dir), options));
   const std::string snap_path = cat->dir_ + "/" + std::string(kSnapshotFile);
   const std::string wal_path = cat->dir_ + "/" + std::string(kWalFile);
 
@@ -218,6 +266,7 @@ Result<std::unique_ptr<Catalog>> Catalog::Open(Vfs& vfs, std::string dir,
   if (vfs.Exists(wal_path + ".tmp")) vfs.Remove(wal_path + ".tmp");
 
   std::uint64_t snap_lsn = 0;
+  std::vector<std::string> referenced_pages;
   if (vfs.Exists(snap_path)) {
     Result<std::string> data = vfs.ReadFile(snap_path);
     if (!data.ok()) return data.status();
@@ -227,9 +276,10 @@ Result<std::unique_ptr<Catalog>> Catalog::Open(Vfs& vfs, std::string dir,
     std::uint32_t masked_crc = 0;
     std::string_view payload;
     if (!header.GetBytes(kSnapshotMagic.size(), &magic) ||
-        magic != kSnapshotMagic) {
+        (magic != kSnapshotMagic && magic != kSnapshotMagic2)) {
       return CorruptWalError("snapshot: bad magic in " + snap_path);
     }
+    const bool paged_layout = magic == kSnapshotMagic2;
     if (!header.GetU32(&len) || !header.GetU32(&masked_crc) ||
         !header.GetBytes(len, &payload) || !header.AtEnd()) {
       return CorruptWalError("snapshot: truncated or oversized " +
@@ -244,9 +294,67 @@ Result<std::unique_ptr<Catalog>> Catalog::Open(Vfs& vfs, std::string dir,
         !body.GetBytes(body.remaining(), &state_bytes)) {
       return CorruptWalError("snapshot: missing LSN in " + snap_path);
     }
-    Result<CatalogState> state = DecodeCatalogState(state_bytes, ctx);
-    if (!state.ok()) return state.status();
-    cat->state_ = std::move(*state);
+    if (!paged_layout) {
+      Result<CatalogState> state = DecodeCatalogState(state_bytes, ctx);
+      if (!state.ok()) return state.status();
+      cat->state_ = std::move(*state);
+    } else {
+      // QFSNAP02: same header, then per-relation markers; stubs resolve
+      // against their checksummed page sidecars (a missing or corrupt
+      // sidecar is a typed error — a referenced sidecar was made durable
+      // before this snapshot rotated in, so its absence is real damage).
+      ByteReader sin(state_bytes);
+      CatalogState state;
+      if (Status s = DecodeStateHeader(sin, state); !s.ok()) return s;
+      std::uint32_t n_relations = 0;
+      if (!sin.GetU32(&n_relations) || n_relations > sin.remaining()) {
+        return CorruptWalError("snapshot: bad relation count in " +
+                               snap_path);
+      }
+      for (std::uint32_t i = 0; i < n_relations; ++i) {
+        if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
+        std::string_view marker;
+        if (!sin.GetBytes(1, &marker)) {
+          return CorruptWalError("snapshot: missing relation marker in " +
+                                 snap_path);
+        }
+        if (static_cast<unsigned char>(marker[0]) == kRelInline) {
+          Result<Relation> rel = DecodeRelation(sin, ctx);
+          if (!rel.ok()) return rel.status();
+          state.db.PutRelation(std::move(*rel));
+        } else if (static_cast<unsigned char>(marker[0]) == kRelPaged) {
+          std::string_view name;
+          std::string_view file;
+          std::uint64_t rows = 0;
+          if (!sin.GetString(&name) || !sin.GetString(&file) ||
+              !sin.GetU64(&rows)) {
+            return CorruptWalError("snapshot: malformed paged stub in " +
+                                   snap_path);
+          }
+          referenced_pages.emplace_back(file);
+          Result<std::unique_ptr<DiskRelation>> disk = DiskRelation::Open(
+              vfs, cat->PagesDir() + "/" + std::string(file),
+              cat->options_.pool);
+          if (!disk.ok()) return disk.status();
+          if ((*disk)->name() != name || (*disk)->row_count() != rows) {
+            return CorruptWalError("snapshot: paged stub mismatch for " +
+                                   std::string(name));
+          }
+          Result<Relation> rel = (*disk)->ReadAll(ctx);
+          if (!rel.ok()) return rel.status();
+          state.db.PutRelation(std::move(*rel));
+          ++cat->open_info_.paged_relations;
+        } else {
+          return CorruptWalError("snapshot: unknown relation marker in " +
+                                 snap_path);
+        }
+      }
+      if (!sin.AtEnd()) {
+        return CorruptWalError("snapshot: trailing bytes at byte " +
+                               std::to_string(sin.position()));
+      }
+      cat->state_ = std::move(state);
+    }
     cat->open_info_.snapshot_loaded = true;
     cat->open_info_.snapshot_lsn = snap_lsn;
   }
@@ -304,11 +412,42 @@ Result<std::unique_ptr<Catalog>> Catalog::Open(Vfs& vfs, std::string dir,
     if (Status s = cat->wal_->Open(); !s.ok()) return s;
   }
 
+  // Crash leftovers: sidecars no snapshot references (written by a
+  // checkpoint that never rotated in, or obsoleted by the one that did)
+  // and temp spill files of statements a dead process never finished.
+  cat->SweepOrphans(referenced_pages, /*sweep_spill=*/true);
+
   cat->open_info_.replay_ms = MsSince(t0);
   cat->stats_.replayed_records = cat->open_info_.replayed_records;
   cat->stats_.truncated_bytes = cat->open_info_.truncated_bytes;
   cat->stats_.replay_ns = MetricsNowNs() - t0;
   return cat;
+}
+
+void Catalog::SweepOrphans(const std::vector<std::string>& referenced,
+                           bool sweep_spill) {
+  std::set<std::string> keep(referenced.begin(), referenced.end());
+  Result<std::vector<std::string>> names = vfs_.ListDir(PagesDir());
+  if (names.ok()) {
+    for (const std::string& n : *names) {
+      if (keep.count(n) != 0) continue;
+      if (n.size() < kPageFileSuffix.size() ||
+          n.compare(n.size() - kPageFileSuffix.size(), kPageFileSuffix.size(),
+                    kPageFileSuffix) != 0) {
+        continue;  // not ours; leave it alone
+      }
+      const std::string path = PagesDir() + "/" + n;
+      if (options_.pool != nullptr) options_.pool->InvalidateFile(path);
+      if (vfs_.Remove(path).ok()) ++open_info_.orphans_removed;
+    }
+  }
+  // Spill files are swept at Open only: no statement can be running yet.
+  // During a Checkpoint a concurrent statement may legitimately own live
+  // spill files (the server runs statements in parallel).
+  if (sweep_spill) {
+    Result<std::size_t> spilled = RemoveSpillFiles(vfs_, SpillDir());
+    if (spilled.ok()) open_info_.orphans_removed += *spilled;
+  }
 }
 
 Status Catalog::Latch(Status s) {
@@ -392,15 +531,73 @@ Status Catalog::SetKnob(const std::string& key, std::int64_t value) {
 Status Catalog::Checkpoint(QueryContext* ctx) {
   if (!latched_.ok()) return latched_;
   std::uint64_t t0 = MetricsNowNs();
+  const std::uint64_t snap_lsn = next_lsn_ - 1;
+
+  // Relations going out-of-core this checkpoint. Estimated (not encoded)
+  // size keeps the decision O(1) per relation and deterministic.
+  std::vector<std::string> names = state_.db.Names();
+  std::set<std::string> paged;
+  for (const std::string& name : names) {
+    if (SafeFileName(name) &&
+        EstimatedRelationBytes(state_.db.Get(name)) >=
+            options_.paged_threshold_bytes) {
+      paged.insert(name);
+    }
+  }
+  auto page_file = [&](const std::string& name) {
+    return name + "." + std::to_string(snap_lsn) +
+           std::string(kPageFileSuffix);
+  };
+
   std::string payload;
-  PutU64(payload, next_lsn_ - 1);
-  Result<std::string> state_bytes = EncodeCatalogState(state_, ctx);
-  if (!state_bytes.ok()) return state_bytes.status();  // governor abort
-  payload += *state_bytes;
+  PutU64(payload, snap_lsn);
+  std::string_view magic = kSnapshotMagic;
+  std::vector<std::string> referenced;
+  if (paged.empty()) {
+    // All inline: the QFSNAP01 layout, byte-identical to earlier builds.
+    Result<std::string> state_bytes = EncodeCatalogState(state_, ctx);
+    if (!state_bytes.ok()) return state_bytes.status();  // governor abort
+    payload += *state_bytes;
+  } else {
+    magic = kSnapshotMagic2;
+    // Sidecars first: every page file is written and fsynced, then the
+    // pages directory entry is fsynced, all BEFORE the snapshot that
+    // references them rotates in. A crash anywhere in between leaves the
+    // old snapshot pointing at old (still present) sidecars; the new
+    // files are unreferenced orphans swept at the next Open. Like the
+    // snapshot rotation itself, a failure here latches nothing — the old
+    // snapshot and the whole WAL are intact, so a retry is safe.
+    if (Status s = vfs_.CreateDirs(PagesDir()); !s.ok()) return s;
+    for (const std::string& name : paged) {
+      const std::string file = page_file(name);
+      Result<PagedWriteInfo> w = WritePagedRelation(
+          vfs_, PagesDir() + "/" + file, state_.db.Get(name), ctx);
+      if (!w.ok()) return w.status();
+      referenced.push_back(file);
+    }
+    if (Status s = vfs_.SyncDir(PagesDir()); !s.ok()) return s;
+    stats_.fsyncs += paged.size() + 1;
+
+    EncodeStateHeader(state_, payload);
+    PutU32(payload, static_cast<std::uint32_t>(names.size()));
+    for (const std::string& name : names) {
+      if (ctx != nullptr && !ctx->Poll()) return ctx->Check();
+      const Relation& rel = state_.db.Get(name);
+      if (paged.count(name) != 0) {
+        payload.push_back(static_cast<char>(kRelPaged));
+        PutString(payload, name);
+        PutString(payload, page_file(name));
+        PutU64(payload, static_cast<std::uint64_t>(rel.size()));
+      } else {
+        payload.push_back(static_cast<char>(kRelInline));
+        if (Status s = EncodeRelation(rel, payload, ctx); !s.ok()) return s;
+      }
+    }
+  }
 
   std::string file_bytes;
-  file_bytes.reserve(kSnapshotMagic.size() + 8 + payload.size());
-  file_bytes += kSnapshotMagic;
+  file_bytes.reserve(magic.size() + 8 + payload.size());
+  file_bytes += magic;
   PutU32(file_bytes, static_cast<std::uint32_t>(payload.size()));
   PutU32(file_bytes, Crc32cMask(Crc32c(payload)));
   file_bytes += payload;
@@ -422,6 +619,10 @@ Status Catalog::Checkpoint(QueryContext* ctx) {
   if (Status s = wal_->Reset(); !s.ok()) {
     return Latch(std::move(s));
   }
+  // Previous-checkpoint sidecars are unreferenced now; sweep them (and
+  // drop their cached pages). Best-effort — failures leave garbage for
+  // the next Open's sweep, never damage.
+  SweepOrphans(referenced, /*sweep_spill=*/false);
   ++stats_.snapshots;
   stats_.snapshot_bytes += file_bytes.size();
   stats_.snapshot_ns += MetricsNowNs() - t0;

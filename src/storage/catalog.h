@@ -56,6 +56,8 @@
 
 namespace qf {
 
+class BufferPool;
+
 // Everything the catalog makes durable. Plain value type so tests can
 // keep in-memory oracles and compare bit-for-bit via EncodeCatalogState.
 struct CatalogState {
@@ -77,6 +79,21 @@ Result<std::string> EncodeCatalogState(const CatalogState& state,
 Result<CatalogState> DecodeCatalogState(std::string_view bytes,
                                         QueryContext* ctx = nullptr);
 
+// Out-of-core knobs for a catalog (all defaults preserve the original
+// all-inline behavior for existing data sets).
+struct CatalogOptions {
+  // A relation whose estimated footprint (rows * ApproxTupleBytes) meets
+  // this threshold is checkpointed as a paged sidecar file under
+  // <dir>/pages/ (storage/page.h) instead of inline snapshot bytes; the
+  // snapshot then uses the "QFSNAP02" layout with a per-relation stub.
+  // Relations whose names are not clean file names ([A-Za-z0-9_]) stay
+  // inline regardless of size.
+  std::uint64_t paged_threshold_bytes = 256 * 1024;
+  // When set, paged relations are read back through this pool at Open
+  // (shared page cache); null reads directly.
+  BufferPool* pool = nullptr;
+};
+
 class Catalog {
  public:
   struct OpenInfo {
@@ -85,15 +102,19 @@ class Catalog {
     std::uint64_t replayed_records = 0;  // applied (LSN > snapshot)
     std::uint64_t skipped_records = 0;   // stale (LSN <= snapshot)
     std::uint64_t truncated_bytes = 0;   // torn/corrupt tail dropped
+    std::uint64_t paged_relations = 0;   // stubs resolved from page files
+    std::uint64_t orphans_removed = 0;   // stale page + spill files swept
     double replay_ms = 0.0;
   };
 
   // Opens (creating if needed) the catalog in `dir`, recovering state
   // from snapshot + WAL. Returns CORRUPT_WAL for an unreadable snapshot,
   // IO_ERROR for OS failures, and the governor's typed status if `ctx`
-  // trips mid-recovery.
+  // trips mid-recovery. Unreferenced page files and orphaned spill files
+  // under the directory are swept (crash leftovers; best-effort).
   static Result<std::unique_ptr<Catalog>> Open(Vfs& vfs, std::string dir,
-                                               QueryContext* ctx = nullptr);
+                                               QueryContext* ctx = nullptr,
+                                               CatalogOptions options = {});
 
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
@@ -126,15 +147,27 @@ class Catalog {
   // commit-path failure.
   Status Healthy() const { return latched_; }
 
+  // Directory holding this catalog's paged relation sidecars.
+  std::string PagesDir() const { return dir_ + "/pages"; }
+  // Directory the shell points spill grants at for this catalog.
+  std::string SpillDir() const { return dir_ + "/spill"; }
+
  private:
-  Catalog(Vfs& vfs, std::string dir);
+  Catalog(Vfs& vfs, std::string dir, CatalogOptions options);
 
   // Appends `payloads` as one WAL commit, then applies them in memory.
   Status Commit(const std::vector<std::string>& payloads, QueryContext* ctx);
   Status Latch(Status s);
+  // Removes page files under PagesDir() not named in `referenced`, plus
+  // (at Open only) orphaned spill files under SpillDir(). Best-effort:
+  // I/O errors are swallowed (a failed sweep leaves garbage for the next
+  // one, never damage).
+  void SweepOrphans(const std::vector<std::string>& referenced,
+                    bool sweep_spill);
 
   Vfs& vfs_;
   std::string dir_;
+  CatalogOptions options_;
   CatalogState state_;
   std::unique_ptr<WalWriter> wal_;
   std::uint64_t next_lsn_ = 1;

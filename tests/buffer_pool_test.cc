@@ -1,0 +1,275 @@
+// Buffer pool unit + property tests: pin/unpin invariants, clock
+// (second-chance) eviction against an oracle replacer model, capacity
+// resize, file invalidation, governed-pin accounting, and a concurrent
+// pin stress the TSan CI job races.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace qf {
+namespace {
+
+std::shared_ptr<const RelationPage> MakePage(std::uint64_t bytes) {
+  auto page = std::make_shared<RelationPage>();
+  page->bytes = bytes;
+  return page;
+}
+
+BufferPool::FetchFn CountingFetch(std::uint64_t bytes, int* count) {
+  return [bytes, count] {
+    ++*count;
+    return Result<std::shared_ptr<const RelationPage>>(MakePage(bytes));
+  };
+}
+
+TEST(BufferPoolTest, SecondPinHits) {
+  BufferPool pool(1024);
+  int fetches = 0;
+  {
+    Result<BufferPool::PageRef> a =
+        pool.Pin("f", 0, CountingFetch(100, &fetches));
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a->page()->bytes, 100u);
+  }
+  Result<BufferPool::PageRef> b =
+      pool.Pin("f", 0, CountingFetch(100, &fetches));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(fetches, 1);
+  BufferPoolStats st = pool.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.resident_pages, 1u);
+  EXPECT_EQ(st.resident_bytes, 100u);
+}
+
+TEST(BufferPoolTest, FetchErrorCachesNothing) {
+  BufferPool pool(1024);
+  auto failing = [] {
+    return Result<std::shared_ptr<const RelationPage>>(
+        IoError("disk on fire"));
+  };
+  Result<BufferPool::PageRef> r = pool.Pin("f", 0, failing);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(pool.stats().resident_pages, 0u);
+  // The next pin retries the fetch (nothing poisoned).
+  int fetches = 0;
+  Result<BufferPool::PageRef> ok = pool.Pin("f", 0, CountingFetch(10, &fetches));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(fetches, 1);
+}
+
+TEST(BufferPoolTest, EvictionKeepsResidencyUnderCapacity) {
+  BufferPool pool(100);
+  int fetches = 0;
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    Result<BufferPool::PageRef> r =
+        pool.Pin("f", p, CountingFetch(40, &fetches));
+    ASSERT_TRUE(r.ok());
+  }
+  BufferPoolStats st = pool.stats();
+  EXPECT_LE(st.resident_bytes, 100u);
+  EXPECT_GE(st.evictions, 6u);
+  EXPECT_EQ(fetches, 8);
+}
+
+TEST(BufferPoolTest, PinnedPagesAreNeverEvictedAndAdmitPastCapacity) {
+  BufferPool pool(100);
+  int fetches = 0;
+  Result<BufferPool::PageRef> held =
+      pool.Pin("f", 0, CountingFetch(80, &fetches));
+  ASSERT_TRUE(held.ok());
+  // Each of these exceeds capacity together with the pinned page, yet
+  // every pin succeeds: a pin is a promise.
+  for (std::uint64_t p = 1; p < 5; ++p) {
+    Result<BufferPool::PageRef> r =
+        pool.Pin("f", p, CountingFetch(80, &fetches));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->page()->bytes, 80u);
+  }
+  // The held page never refetched.
+  Result<BufferPool::PageRef> again =
+      pool.Pin("f", 0, CountingFetch(80, &fetches));
+  ASSERT_TRUE(again.ok());
+  std::uint64_t hits = pool.stats().hits;
+  EXPECT_GE(hits, 1u);
+}
+
+// Oracle model of the exact clock policy: admission-ordered ring, one
+// referenced bit per frame, hand persists across operations, eviction
+// runs before admitting the incoming page.
+class ClockModel {
+ public:
+  explicit ClockModel(std::size_t capacity_pages) : cap_(capacity_pages) {}
+
+  // Returns true on hit. Mirrors BufferPool::Pin for unpinned use.
+  bool Access(const std::string& key) {
+    for (auto& f : ring_) {
+      if (f.key == key) {
+        f.referenced = true;
+        return true;
+      }
+    }
+    // Miss: evict until there is room for one more page.
+    std::size_t budget = ring_.size() * 2;
+    while (ring_.size() + 1 > cap_ && budget-- > 0 && !ring_.empty()) {
+      if (hand_ >= ring_.size()) hand_ = 0;
+      if (ring_[hand_].referenced) {
+        ring_[hand_].referenced = false;
+        ++hand_;
+        continue;
+      }
+      ring_.erase(ring_.begin() + static_cast<std::ptrdiff_t>(hand_));
+      if (hand_ >= ring_.size()) hand_ = 0;
+    }
+    ring_.push_back({key, true});
+    return false;
+  }
+
+  std::set<std::string> resident() const {
+    std::set<std::string> out;
+    for (const auto& f : ring_) out.insert(f.key);
+    return out;
+  }
+
+ private:
+  struct Frame {
+    std::string key;
+    bool referenced;
+  };
+  std::size_t cap_;
+  std::vector<Frame> ring_;
+  std::size_t hand_ = 0;
+};
+
+TEST(BufferPoolTest, ClockEvictionMatchesOracleModel) {
+  // Equal-size pages, capacity = 4 pages, 1000 randomized accesses over
+  // 8 distinct pages; the resident set must match the model after every
+  // access (same policy, same hand, same bits).
+  constexpr std::uint64_t kPageBytes = 10;
+  BufferPool pool(4 * kPageBytes);
+  ClockModel model(4);
+  std::mt19937 rng(20260808);
+  std::uniform_int_distribution<int> dist(0, 7);
+  int fetches = 0;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t page = static_cast<std::uint64_t>(dist(rng));
+    bool model_hit = model.Access("f#" + std::to_string(page));
+    std::uint64_t hits_before = pool.stats().hits;
+    Result<BufferPool::PageRef> r =
+        pool.Pin("f", page, CountingFetch(kPageBytes, &fetches));
+    ASSERT_TRUE(r.ok());
+    bool pool_hit = pool.stats().hits > hits_before;
+    ASSERT_EQ(pool_hit, model_hit) << "access " << i << " page " << page;
+    ASSERT_EQ(pool.stats().resident_pages, model.resident().size());
+  }
+}
+
+TEST(BufferPoolTest, InvalidateFileRefetchesAndKeepsPinnedDataValid) {
+  BufferPool pool(1024);
+  int fetches = 0;
+  Result<BufferPool::PageRef> held =
+      pool.Pin("f", 0, CountingFetch(50, &fetches));
+  ASSERT_TRUE(held.ok());
+  pool.InvalidateFile("f");
+  // The held handle still sees its (stale) page.
+  EXPECT_EQ(held->page()->bytes, 50u);
+  // A new pin refetches instead of serving the invalidated frame.
+  Result<BufferPool::PageRef> fresh =
+      pool.Pin("f", 0, CountingFetch(50, &fetches));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fetches, 2);
+  held->Reset();
+  fresh->Reset();
+  // The lingering unmapped frame is reclaimed by the next sweep.
+  pool.set_capacity_bytes(0);
+  EXPECT_EQ(pool.stats().resident_pages, 0u);
+}
+
+TEST(BufferPoolTest, InvalidateFileOnlyTouchesThatFile) {
+  BufferPool pool(1024);
+  int fetches = 0;
+  { auto r = pool.Pin("a", 0, CountingFetch(10, &fetches)); ASSERT_TRUE(r.ok()); }
+  { auto r = pool.Pin("b", 0, CountingFetch(10, &fetches)); ASSERT_TRUE(r.ok()); }
+  pool.InvalidateFile("a");
+  Result<BufferPool::PageRef> b = pool.Pin("b", 0, CountingFetch(10, &fetches));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(fetches, 2);  // b still cached
+}
+
+TEST(BufferPoolTest, ShrinkEvictsDownToNewCapacity) {
+  BufferPool pool(400);
+  int fetches = 0;
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    auto r = pool.Pin("f", p, CountingFetch(100, &fetches));
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(pool.stats().resident_pages, 4u);
+  pool.set_capacity_bytes(150);
+  EXPECT_LE(pool.stats().resident_bytes, 150u);
+}
+
+TEST(BufferPoolTest, GovernedPinChargesWhileHeldAndSurfacesBudgetTrips) {
+  BufferPool pool(1024);
+  int fetches = 0;
+  QueryContext ctx;
+  ctx.set_memory_budget(120);
+  {
+    Result<BufferPool::PageRef> r =
+        pool.Pin("f", 0, CountingFetch(100, &fetches), &ctx);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(ctx.used_bytes(), 100u);
+    // A second governed pin would exceed the budget: typed error, charge
+    // rolled back, page still cached for ungoverned readers.
+    Result<BufferPool::PageRef> over =
+        pool.Pin("f", 1, CountingFetch(100, &fetches), &ctx);
+    EXPECT_FALSE(over.ok());
+    EXPECT_EQ(ctx.used_bytes(), 100u);
+  }
+  EXPECT_EQ(ctx.used_bytes(), 0u);  // released with the handle
+  Result<BufferPool::PageRef> free_read =
+      pool.Pin("f", 1, CountingFetch(100, &fetches));
+  ASSERT_TRUE(free_read.ok());
+}
+
+TEST(BufferPoolTest, ConcurrentPinStress) {
+  static constexpr std::uint64_t kPageBytes = 64;
+  BufferPool pool(4 * kPageBytes);  // forces constant eviction pressure
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pool, t] {
+      std::mt19937 rng(1000 + t);
+      std::uniform_int_distribution<int> dist(0, 15);
+      for (int i = 0; i < 300; ++i) {
+        std::uint64_t page = static_cast<std::uint64_t>(dist(rng));
+        Result<BufferPool::PageRef> r = pool.Pin(
+            "f", page, [] {
+              return Result<std::shared_ptr<const RelationPage>>(
+                  MakePage(kPageBytes));
+            });
+        ASSERT_TRUE(r.ok());
+        ASSERT_EQ(r->page()->bytes, kPageBytes);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  BufferPoolStats st = pool.stats();
+  EXPECT_EQ(st.hits + st.misses, 4u * 300u);
+  // Concurrent pins may legitimately have admitted past capacity (a pin
+  // is a promise); once nothing is pinned a sweep restores the bound.
+  pool.set_capacity_bytes(4 * kPageBytes);
+  EXPECT_LE(pool.stats().resident_bytes, 4 * kPageBytes);
+}
+
+}  // namespace
+}  // namespace qf

@@ -657,5 +657,91 @@ TEST(IncrementalDiffTest, QuickScheduleUnderMemoryBudget) {
   h.RunSchedule();
 }
 
+// --- pooled state budget: retention priority under pressure ---
+
+// Three same-shape flocks whose states are the same size. The budget
+// holds two. The hot flock is re-served between the cold builds, so when
+// the third state needs room the evaluator must evict the cold one —
+// least-recently-served — never the hot one.
+TEST(IncrementalEvictionTest, HotFlockSurvivesColdPressure) {
+  Database db;
+  for (const char* rel : {"hot_r", "cold1_r", "cold2_r"}) {
+    Relation r(rel, Schema({"BID", "Item"}));
+    for (int b = 0; b < 40; ++b) {
+      r.AddRow({Value(b), Value("x" + std::to_string(b % 7))});
+    }
+    db.PutRelation(std::move(r));
+  }
+  auto flock_for = [](const std::string& rel) {
+    Result<QueryFlock> f = MakeFlock("answer(B) :- " + rel + "(B,$1)",
+                                     FilterCondition::MinSupport(1));
+    EXPECT_TRUE(f.ok()) << f.status().ToString();
+    return *f;
+  };
+  QueryFlock hot = flock_for("hot_r");
+  QueryFlock cold1 = flock_for("cold1_r");
+  QueryFlock cold2 = flock_for("cold2_r");
+
+  IncrementalEvaluator inc;
+  std::map<std::string, Relation> views;
+  Relation result;
+  IncrementalRunInfo info;
+  IncrementalEvalOptions opts;  // unlimited for the sizing run
+
+  ASSERT_TRUE(inc.Run("hot", hot, db, views, opts, &result, &info).ok());
+  ASSERT_TRUE(info.served);
+  ASSERT_NE(inc.state("hot"), nullptr);
+  std::uint64_t one = inc.state("hot")->ApproxBytes();
+  ASSERT_GT(one, 0u);
+
+  // Room for two states, not three.
+  opts.state_budget = 2 * one + one / 2;
+
+  ASSERT_TRUE(inc.Run("hot", hot, db, views, opts, &result, &info).ok());
+  EXPECT_EQ(info.decision, "cached");
+  ASSERT_TRUE(inc.Run("cold1", cold1, db, views, opts, &result, &info).ok());
+  ASSERT_TRUE(info.served);
+  EXPECT_EQ(inc.budget_evictions(), 0u);  // both fit
+
+  // Touch hot again, then bring in the third state: cold1 must go.
+  ASSERT_TRUE(inc.Run("hot", hot, db, views, opts, &result, &info).ok());
+  EXPECT_EQ(info.decision, "cached");
+  ASSERT_TRUE(inc.Run("cold2", cold2, db, views, opts, &result, &info).ok());
+  ASSERT_TRUE(info.served);
+
+  EXPECT_EQ(inc.budget_evictions(), 1u);
+  EXPECT_NE(inc.state("hot"), nullptr);
+  EXPECT_EQ(inc.state("cold1"), nullptr);
+  EXPECT_NE(inc.state("cold2"), nullptr);
+
+  // The hot state still serves straight from cache.
+  ASSERT_TRUE(inc.Run("hot", hot, db, views, opts, &result, &info).ok());
+  EXPECT_EQ(info.decision, "cached");
+}
+
+// Only a state that cannot fit in the WHOLE budget by itself is dropped.
+TEST(IncrementalEvictionTest, OversizedStateAloneIsEvicted) {
+  Database db;
+  Relation r("big_r", Schema({"BID", "Item"}));
+  for (int b = 0; b < 200; ++b) {
+    r.AddRow({Value(b), Value("x" + std::to_string(b))});
+  }
+  db.PutRelation(std::move(r));
+  Result<QueryFlock> flock = MakeFlock("answer(B) :- big_r(B,$1)",
+                                       FilterCondition::MinSupport(1));
+  ASSERT_TRUE(flock.ok());
+
+  IncrementalEvaluator inc;
+  std::map<std::string, Relation> views;
+  Relation result;
+  IncrementalRunInfo info;
+  IncrementalEvalOptions opts;
+  opts.state_budget = 1;  // nothing fits
+  ASSERT_TRUE(inc.Run("big", *flock, db, views, opts, &result, &info).ok());
+  EXPECT_FALSE(info.served);
+  EXPECT_EQ(info.decision, "evicted(budget)");
+  EXPECT_EQ(inc.state_count(), 0u);
+}
+
 }  // namespace
 }  // namespace qf

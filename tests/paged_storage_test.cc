@@ -1,0 +1,367 @@
+// Paged columnar relation files (storage/page.h) and their catalog
+// integration: write/open round trips at several page sizes, per-page
+// corruption detection, the QFSNAP02 paged-snapshot layout, orphan
+// sweeps, crash-point recovery of a paged checkpoint, buffer-pool-backed
+// opens, and the shell's SET BUFFER knob.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/resource.h"
+#include "common/status.h"
+#include "common/vfs.h"
+#include "relational/relation.h"
+#include "shell/shell.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/page.h"
+
+namespace qf {
+namespace {
+
+Relation BuildRelation(const std::string& name, int rows) {
+  Relation r(name, Schema({"A", "B", "C"}));
+  for (int i = 0; i < rows; ++i) {
+    r.AddRow({Value(i), Value("item-" + std::to_string(i % 37)),
+              Value(i * 0.5 - 10.0)});
+  }
+  return r;
+}
+
+void RewriteFile(Vfs& vfs, const std::string& path, const std::string& bytes) {
+  Result<std::unique_ptr<WritableFile>> f = vfs.OpenTrunc(path);
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE((*f)->Append(bytes).ok());
+  ASSERT_TRUE((*f)->Close().ok());
+}
+
+std::string MustRun(Shell& shell, const std::string& stmt) {
+  Result<std::string> out = shell.Execute(stmt);
+  EXPECT_TRUE(out.ok()) << out.status().ToString() << " for: " << stmt;
+  return out.ok() ? *out : std::string();
+}
+
+// RUN output minus its first line (which embeds wall-clock time).
+std::string ResultBody(const std::string& out) {
+  std::size_t nl = out.find('\n');
+  return nl == std::string::npos ? out : out.substr(nl + 1);
+}
+
+// ------------------------------------------------------ page round trips
+
+TEST(PagedRelationTest, RoundTripSinglePage) {
+  MemVfs vfs;
+  Relation original = BuildRelation("small", 10);
+  Result<PagedWriteInfo> info = WritePagedRelation(vfs, "r.qfp", original);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->pages, 1u);
+
+  Result<std::unique_ptr<DiskRelation>> disk = DiskRelation::Open(vfs, "r.qfp");
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ((*disk)->name(), "small");
+  EXPECT_EQ((*disk)->row_count(), 10u);
+  EXPECT_EQ((*disk)->schema().columns(),
+            (std::vector<std::string>{"A", "B", "C"}));
+  Result<Relation> back = (*disk)->ReadAll();
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->rows(), original.rows());
+}
+
+TEST(PagedRelationTest, RoundTripManyPagesPreservesRowOrder) {
+  MemVfs vfs;
+  Relation original = BuildRelation("big", 1000);
+  // Tiny page target so the relation spans many pages.
+  Result<PagedWriteInfo> info =
+      WritePagedRelation(vfs, "r.qfp", original, nullptr, /*page_bytes=*/512);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GT(info->pages, 10u);
+
+  Result<std::unique_ptr<DiskRelation>> disk = DiskRelation::Open(vfs, "r.qfp");
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ((*disk)->page_count(), info->pages);
+  EXPECT_EQ((*disk)->row_count(), 1000u);
+  Result<Relation> back = (*disk)->ReadAll();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rows(), original.rows());
+
+  // Scan streams the same rows in the same order.
+  std::vector<Tuple> scanned;
+  Status s = (*disk)->Scan([&](const Tuple& t) {
+    scanned.push_back(t);
+    return Status::Ok();
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(scanned, original.rows());
+}
+
+TEST(PagedRelationTest, RoundTripEmptyRelation) {
+  MemVfs vfs;
+  Relation original("empty", Schema({"X", "Y"}));
+  Result<PagedWriteInfo> info = WritePagedRelation(vfs, "r.qfp", original);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  Result<std::unique_ptr<DiskRelation>> disk = DiskRelation::Open(vfs, "r.qfp");
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ((*disk)->row_count(), 0u);
+  Result<Relation> back = (*disk)->ReadAll();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+  EXPECT_EQ(back->schema().columns(), (std::vector<std::string>{"X", "Y"}));
+}
+
+TEST(PagedRelationTest, CorruptPageByteIsTypedIoError) {
+  MemVfs vfs;
+  ASSERT_TRUE(
+      WritePagedRelation(vfs, "r.qfp", BuildRelation("big", 400), nullptr, 512)
+          .ok());
+  Result<std::string> bytes = vfs.ReadFile("r.qfp");
+  ASSERT_TRUE(bytes.ok());
+  // Flip one byte inside the first page's payload. The footer and
+  // directory stay intact, so Open succeeds and the damage surfaces as a
+  // typed IO_ERROR on the read of that page, never as wrong rows.
+  std::string corrupt = *bytes;
+  corrupt[kPageMagicLen + 12] ^= 0x40;
+  RewriteFile(vfs, "r.qfp", corrupt);
+
+  Result<std::unique_ptr<DiskRelation>> disk = DiskRelation::Open(vfs, "r.qfp");
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  Result<std::shared_ptr<const RelationPage>> page = (*disk)->ReadPage(0);
+  EXPECT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kIoError)
+      << page.status().ToString();
+  Result<Relation> all = (*disk)->ReadAll();
+  EXPECT_FALSE(all.ok());
+}
+
+TEST(PagedRelationTest, TruncationsFailCleanlyAtOpen) {
+  MemVfs vfs;
+  ASSERT_TRUE(
+      WritePagedRelation(vfs, "r.qfp", BuildRelation("big", 200), nullptr, 512)
+          .ok());
+  Result<std::string> bytes = vfs.ReadFile("r.qfp");
+  ASSERT_TRUE(bytes.ok());
+  for (std::size_t len : {std::size_t{0}, std::size_t{4}, kPageMagicLen,
+                          bytes->size() / 2, bytes->size() - 1}) {
+    RewriteFile(vfs, "t.qfp", bytes->substr(0, len));
+    Result<std::unique_ptr<DiskRelation>> disk =
+        DiskRelation::Open(vfs, "t.qfp");
+    EXPECT_FALSE(disk.ok()) << "length " << len;
+  }
+}
+
+TEST(PagedRelationTest, BufferPoolBackedReadsHitOnRepeat) {
+  MemVfs vfs;
+  ASSERT_TRUE(
+      WritePagedRelation(vfs, "r.qfp", BuildRelation("big", 500), nullptr, 512)
+          .ok());
+  BufferPool pool(1 << 20);
+  Result<std::unique_ptr<DiskRelation>> disk =
+      DiskRelation::Open(vfs, "r.qfp", &pool);
+  ASSERT_TRUE(disk.ok());
+  Result<Relation> first = (*disk)->ReadAll();
+  ASSERT_TRUE(first.ok());
+  BufferPoolStats after_first = pool.stats();
+  EXPECT_EQ(after_first.misses, (*disk)->page_count());
+  Result<Relation> second = (*disk)->ReadAll();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->rows(), second->rows());
+  BufferPoolStats after_second = pool.stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);  // all hits
+  EXPECT_EQ(after_second.hits, after_first.hits + (*disk)->page_count());
+}
+
+// ------------------------------------------------------ catalog paging
+
+CatalogOptions PageEverything(BufferPool* pool = nullptr) {
+  CatalogOptions o;
+  o.paged_threshold_bytes = 1;  // every named relation pages out
+  o.pool = pool;
+  return o;
+}
+
+TEST(PagedCatalogTest, CheckpointWritesSnap02AndReopenRestoresState) {
+  MemVfs vfs;
+  std::string oracle;
+  {
+    Result<std::unique_ptr<Catalog>> cat =
+        Catalog::Open(vfs, "db", nullptr, PageEverything());
+    ASSERT_TRUE(cat.ok()) << cat.status().ToString();
+    ASSERT_TRUE((*cat)->PutRelation(BuildRelation("big", 600)).ok());
+    ASSERT_TRUE((*cat)->PutRelation(BuildRelation("other", 50)).ok());
+    ASSERT_TRUE((*cat)->Checkpoint().ok());
+    Result<std::string> enc = EncodeCatalogState((*cat)->state());
+    ASSERT_TRUE(enc.ok());
+    oracle = *enc;
+  }
+  Result<std::string> snap = vfs.ReadFile("db/catalog.snap");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->substr(0, 8), "QFSNAP02");
+  Result<std::vector<std::string>> pages = vfs.ListDir("db/pages");
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(pages->size(), 2u);
+
+  Result<std::unique_ptr<Catalog>> back =
+      Catalog::Open(vfs, "db", nullptr, PageEverything());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ((*back)->open_info().paged_relations, 2u);
+  Result<std::string> enc = EncodeCatalogState((*back)->state());
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(*enc, oracle);
+}
+
+TEST(PagedCatalogTest, SmallRelationsKeepInlineSnap01) {
+  MemVfs vfs;
+  Result<std::unique_ptr<Catalog>> cat = Catalog::Open(vfs, "db");
+  ASSERT_TRUE(cat.ok());
+  ASSERT_TRUE((*cat)->PutRelation(BuildRelation("small", 20)).ok());
+  ASSERT_TRUE((*cat)->Checkpoint().ok());
+  Result<std::string> snap = vfs.ReadFile("db/catalog.snap");
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->substr(0, 8), "QFSNAP01");
+}
+
+TEST(PagedCatalogTest, OpenSweepsOrphanPageAndSpillFiles) {
+  MemVfs vfs;
+  {
+    Result<std::unique_ptr<Catalog>> cat =
+        Catalog::Open(vfs, "db", nullptr, PageEverything());
+    ASSERT_TRUE(cat.ok());
+    ASSERT_TRUE((*cat)->PutRelation(BuildRelation("big", 300)).ok());
+    ASSERT_TRUE((*cat)->Checkpoint().ok());
+  }
+  Result<std::vector<std::string>> live = vfs.ListDir("db/pages");
+  ASSERT_TRUE(live.ok());
+  ASSERT_EQ(live->size(), 1u);
+  std::string live_name = (*live)[0];
+  // Plant a stale page file and an orphaned spill file (crash leftovers).
+  RewriteFile(vfs, "db/pages/stale.0.qfp", "junk");
+  ASSERT_TRUE(vfs.CreateDirs("db/spill").ok());
+  RewriteFile(vfs, "db/spill/qfspill-7", "junk");
+
+  Result<std::unique_ptr<Catalog>> back =
+      Catalog::Open(vfs, "db", nullptr, PageEverything());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_GE((*back)->open_info().orphans_removed, 2u);
+  EXPECT_FALSE(vfs.Exists("db/pages/stale.0.qfp"));
+  EXPECT_FALSE(vfs.Exists("db/spill/qfspill-7"));
+  EXPECT_TRUE(vfs.Exists("db/pages/" + live_name));
+}
+
+TEST(PagedCatalogTest, CrashAtEveryCheckpointOpRecoversExactState) {
+  // Fault-free dry run to learn how many mutating ops a paged checkpoint
+  // performs, then crash at each one in turn. After every crash the
+  // durable view must recover to exactly the acknowledged state.
+  std::uint64_t checkpoint_ops = 0;
+  {
+    MemVfs base;
+    FaultVfs fault(base);
+    Result<std::unique_ptr<Catalog>> cat =
+        Catalog::Open(fault, "db", nullptr, PageEverything());
+    ASSERT_TRUE(cat.ok());
+    ASSERT_TRUE((*cat)->PutRelation(BuildRelation("big", 300)).ok());
+    std::uint64_t before = fault.op_count();
+    ASSERT_TRUE((*cat)->Checkpoint().ok());
+    checkpoint_ops = fault.op_count() - before;
+  }
+  ASSERT_GT(checkpoint_ops, 0u);
+
+  for (std::uint64_t k = 1; k <= checkpoint_ops; ++k) {
+    MemVfs base;
+    FaultVfs fault(base);
+    std::string oracle;
+    {
+      Result<std::unique_ptr<Catalog>> cat =
+          Catalog::Open(fault, "db", nullptr, PageEverything());
+      ASSERT_TRUE(cat.ok());
+      ASSERT_TRUE((*cat)->PutRelation(BuildRelation("big", 300)).ok());
+      Result<std::string> enc = EncodeCatalogState((*cat)->state());
+      ASSERT_TRUE(enc.ok());
+      oracle = *enc;
+      FaultPlan plan;
+      plan.crash_at_op = fault.op_count() + k;
+      fault.set_plan(plan);
+      (void)(*cat)->Checkpoint();  // dies somewhere inside
+    }
+    base.Crash();
+    Result<std::unique_ptr<Catalog>> back =
+        Catalog::Open(base, "db", nullptr, PageEverything());
+    ASSERT_TRUE(back.ok()) << "crash op " << k << ": "
+                           << back.status().ToString();
+    Result<std::string> enc = EncodeCatalogState((*back)->state());
+    ASSERT_TRUE(enc.ok());
+    EXPECT_EQ(*enc, oracle) << "crash op " << k;
+  }
+}
+
+TEST(PagedCatalogTest, ReopenThroughBufferPoolPopulatesCache) {
+  MemVfs vfs;
+  {
+    Result<std::unique_ptr<Catalog>> cat =
+        Catalog::Open(vfs, "db", nullptr, PageEverything());
+    ASSERT_TRUE(cat.ok());
+    ASSERT_TRUE((*cat)->PutRelation(BuildRelation("big", 600)).ok());
+    ASSERT_TRUE((*cat)->Checkpoint().ok());
+  }
+  BufferPool pool(1 << 20);
+  Result<std::unique_ptr<Catalog>> back =
+      Catalog::Open(vfs, "db", nullptr, PageEverything(&pool));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_GT(pool.stats().misses, 0u);
+  EXPECT_EQ((*back)->state().db.Get("big").rows(),
+            BuildRelation("big", 600).rows());
+}
+
+// ------------------------------------------------------ shell knob
+
+TEST(PagedShellTest, SetBufferKnobPersistsAcrossReopen) {
+  MemVfs vfs;
+  {
+    Shell shell;
+    shell.set_vfs(&vfs);
+    MustRun(shell, "OPEN db");
+    EXPECT_NE(MustRun(shell, "SET BUFFER 16").find("16 MB"),
+              std::string::npos);
+    EXPECT_EQ(shell.buffer_capacity_bytes(), 16ull * 1024 * 1024);
+  }
+  Shell again;
+  again.set_vfs(&vfs);
+  MustRun(again, "OPEN db");
+  EXPECT_EQ(again.buffer_capacity_bytes(), 16ull * 1024 * 1024);
+  ASSERT_NE(again.buffer_pool(), nullptr);
+  EXPECT_EQ(again.buffer_pool()->stats().capacity_bytes,
+            16ull * 1024 * 1024);
+  // Bad usage is rejected.
+  EXPECT_FALSE(again.Execute("SET BUFFER lots").ok());
+}
+
+TEST(PagedShellTest, LargeRelationSurvivesShellCheckpointReopen) {
+  MemVfs vfs;
+  std::string before;
+  {
+    Shell shell;
+    shell.set_vfs(&vfs);
+    MustRun(shell, "OPEN db");
+    // Big enough that rows * ApproxTupleBytes clears the default paged
+    // threshold (256 KiB), so the checkpoint writes a page sidecar.
+    MustRun(shell,
+            "GEN BASKETS baskets n_baskets=3000 n_items=40 avg_size=5 "
+            "theta=0.8 locality=0.5 topics=4 seed=7");
+    MustRun(shell,
+            "FLOCK pairs QUERY answer(B) :- baskets(B,$1) AND baskets(B,$2) "
+            "AND $1 < $2 FILTER COUNT >= 40");
+    before = ResultBody(MustRun(shell, "RUN pairs LIMIT 10000"));
+    MustRun(shell, "CHECKPOINT");
+  }
+  Shell again;
+  again.set_vfs(&vfs);
+  std::string opened = MustRun(again, "OPEN db");
+  EXPECT_NE(opened.find("paged: 1 relations"), std::string::npos) << opened;
+  ASSERT_NE(again.buffer_pool(), nullptr);
+  EXPECT_GT(again.buffer_pool()->stats().misses, 0u);
+  EXPECT_EQ(ResultBody(MustRun(again, "RUN pairs LIMIT 10000")), before);
+}
+
+}  // namespace
+}  // namespace qf
