@@ -1,0 +1,230 @@
+// Experiment E-PR9 — learned plan selection (DESIGN.md §15).
+//
+// On the Fig. 9 market-basket flock at two skew regimes (arg 0 ->
+// zipf theta 0.5 tail-heavy, arg 1 -> 1.3 head-heavy), compares:
+//   * StaticPlan     — always the §4.3 plan search ("plan:search");
+//   * StaticDirect   — always the cost-ordered direct evaluator
+//                      ("direct:cost");
+//   * StaticDynamic  — always §4.4 dynamic filtering at the default
+//                      session knobs ("dyn:session");
+//   * Learned        — the contextual bandit picks an arm per run from
+//                      a warmed-up history (every arm pre-played twice),
+//                      records the outcome, repeats — the steady-state
+//                      cost of `SET OPTIMIZER LEARNED`.
+// The acceptance property (asserted by the CI gate over BENCH_PR9.json):
+// after warm-up, Learned tracks the best static arm in *both* regimes —
+// within 1.3x of min(StaticPlan, StaticDirect, StaticDynamic) — even
+// though no single static arm is best in both. ChooseOverhead prices the
+// decision itself (a map lookup + a scan of ~6 arms), which must stay
+// microseconds-scale noise against millisecond-scale runs.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/check.h"
+#include "flocks/cq_eval.h"
+#include "flocks/eval.h"
+#include "optimizer/bandit.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/dynamic.h"
+#include "optimizer/executor_support.h"
+#include "optimizer/history.h"
+#include "optimizer/plan_search.h"
+#include "workload/basket_gen.h"
+
+namespace qf {
+namespace {
+
+constexpr const char* kPairQuery =
+    "answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2";
+constexpr double kThetas[] = {0.5, 1.3};
+constexpr double kSupport = 15;
+
+const Database& BasketsDb(int theta_index) {
+  static std::map<int, const Database*>* cache =
+      new std::map<int, const Database*>;
+  auto it = cache->find(theta_index);
+  if (it == cache->end()) {
+    BasketConfig config;  // Fig. 9 shape, trimmed for the bandit loop
+    config.n_baskets = 12000;
+    config.n_items = 6000;
+    config.avg_basket_size = 8;
+    config.zipf_theta = kThetas[theta_index];
+    config.topic_locality = 0.3;
+    config.n_topics = 120;
+    config.seed = 47;
+    auto* db = new Database;
+    db->PutRelation(GenerateBaskets(config));
+    it = cache->emplace(theta_index, db).first;
+  }
+  return *it->second;
+}
+
+QueryFlock PairFlock() {
+  return bench::MustFlock(kPairQuery, FilterCondition::MinSupport(kSupport));
+}
+
+// Mirrors Shell::EvaluateLearned's dispatch (tests/learned_optimizer_test.cc
+// pins every arm bit-equal to the static evaluator, so this bench is pure
+// speed comparison).
+Relation RunArm(const BanditArm& arm, const QueryFlock& flock,
+                const Database& db, const CostModel& model) {
+  switch (arm.kind) {
+    case BanditArm::Kind::kPlan: {
+      QueryPlan plan = bench::MustOk(SearchPlanParameterSets(flock, model));
+      PlanExecOptions options;
+      options.order_chooser = CostBasedOrderChooser();
+      return bench::MustOk(ExecutePlan(plan, flock, db, options));
+    }
+    case BanditArm::Kind::kDirect: {
+      FlockEvalOptions options;
+      for (const std::vector<std::size_t>& order : arm.orders) {
+        CqEvalOptions cq_options;
+        cq_options.join_order = order;
+        options.per_disjunct.push_back(std::move(cq_options));
+      }
+      return bench::MustOk(EvaluateFlock(flock, db, options));
+    }
+    case BanditArm::Kind::kDynamic: {
+      DynamicOptions options;
+      if (!arm.orders.empty()) options.join_order = arm.orders.front();
+      options.aggressiveness = arm.knobs.aggressiveness;
+      options.improvement_factor = arm.knobs.improvement_factor;
+      options.min_removed_fraction = arm.knobs.min_removed_fraction;
+      return bench::MustOk(DynamicEvaluate(flock, db, options));
+    }
+  }
+  QF_CHECK_MSG(false, "unreachable arm kind");
+  return Relation();
+}
+
+// The arm with the given id from a fresh enumeration (arms are
+// re-enumerated per run, exactly as the shell does).
+BanditArm ArmById(const QueryFlock& flock, const CostModel& model,
+                  const char* id) {
+  std::vector<BanditArm> arms =
+      EnumerateArms(flock, model, /*dynamic_eligible=*/true, DynamicKnobs{});
+  for (BanditArm& arm : arms) {
+    if (arm.id == id) return std::move(arm);
+  }
+  QF_CHECK_MSG(false, "arm id not enumerated");
+  return BanditArm();
+}
+
+void RunStaticArm(benchmark::State& state, const char* id) {
+  const Database& db = BasketsDb(static_cast<int>(state.range(0)));
+  QueryFlock flock = PairFlock();
+  CostModel model(db);
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    BanditArm arm = ArmById(flock, model, id);
+    Relation result = RunArm(arm, flock, db, model);
+    pairs = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_Bandit_StaticPlan(benchmark::State& state) {
+  RunStaticArm(state, "plan:search");
+}
+
+void BM_Bandit_StaticDirect(benchmark::State& state) {
+  RunStaticArm(state, "direct:cost");
+}
+
+void BM_Bandit_StaticDynamic(benchmark::State& state) {
+  RunStaticArm(state, "dyn:session");
+}
+
+void BM_Bandit_Learned(benchmark::State& state) {
+  const Database& db = BasketsDb(static_cast<int>(state.range(0)));
+  QueryFlock flock = PairFlock();
+  CostModel model(db);
+  PlanContext ctx = MakePlanContext(flock, model);
+  OutcomeHistory history;
+  PlanBandit bandit(history);
+  // Warm-up: play every arm twice with real timings, outside the timer —
+  // the steady state a session reaches after its first few learned RUNs.
+  std::vector<BanditArm> arms =
+      EnumerateArms(flock, model, /*dynamic_eligible=*/true, DynamicKnobs{});
+  for (int round = 0; round < 2; ++round) {
+    for (const BanditArm& arm : arms) {
+      auto start = std::chrono::steady_clock::now();
+      Relation result = RunArm(arm, flock, db, model);
+      std::chrono::duration<double, std::milli> wall =
+          std::chrono::steady_clock::now() - start;
+      BanditOutcome outcome;
+      outcome.context = ctx.key;
+      outcome.arm = arm.id;
+      outcome.wall_ms = wall.count();
+      outcome.rows = static_cast<double>(result.size());
+      history.Record(outcome);
+    }
+  }
+  std::size_t pairs = 0;
+  std::uint64_t explored = 0;
+  for (auto _ : state) {
+    std::vector<BanditArm> fresh =
+        EnumerateArms(flock, model, /*dynamic_eligible=*/true, DynamicKnobs{});
+    BanditChoice choice = bandit.Choose(ctx.key, fresh);
+    auto start = std::chrono::steady_clock::now();
+    Relation result = RunArm(fresh[choice.index], flock, db, model);
+    std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - start;
+    BanditOutcome outcome;
+    outcome.context = ctx.key;
+    outcome.arm = choice.arm_id;
+    outcome.wall_ms = wall.count();
+    outcome.rows = static_cast<double>(result.size());
+    history.Record(outcome);
+    if (choice.exploring) ++explored;
+    pairs = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+  state.counters["explored"] = static_cast<double>(explored);
+}
+
+// The decision itself: one Choose() over a warmed six-arm context.
+void BM_Bandit_ChooseOverhead(benchmark::State& state) {
+  const Database& db = BasketsDb(0);
+  QueryFlock flock = PairFlock();
+  CostModel model(db);
+  PlanContext ctx = MakePlanContext(flock, model);
+  std::vector<BanditArm> arms =
+      EnumerateArms(flock, model, /*dynamic_eligible=*/true, DynamicKnobs{});
+  OutcomeHistory history;
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    BanditOutcome outcome;
+    outcome.context = ctx.key;
+    outcome.arm = arms[i].id;
+    outcome.wall_ms = 10.0 + static_cast<double>(i);
+    outcome.rows = 100.0;
+    history.Record(outcome);
+  }
+  PlanBandit bandit(history);
+  for (auto _ : state) {
+    BanditChoice choice = bandit.Choose(ctx.key, arms);
+    bench::ConsumeScalar(choice.index);
+  }
+}
+
+BENCHMARK(BM_Bandit_StaticPlan)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bandit_StaticDirect)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bandit_StaticDynamic)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bandit_Learned)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Bandit_ChooseOverhead);
+
+}  // namespace
+}  // namespace qf
+
+BENCHMARK_MAIN();

@@ -124,6 +124,16 @@ Result<Relation> EvaluateFlock(
     if (d < options.per_disjunct.size()) cq_options = options.per_disjunct[d];
     if (cq_options.threads <= 1) cq_options.threads = options.threads;
     cq_options.metrics = disjunct_nodes[d];
+    if (disjunct_nodes[d] != nullptr && !cq_options.join_order.empty()) {
+      // A pinned (non-text) join order is a plan decision — the learned
+      // optimizer's direct arms pass one — so surface it in the tree.
+      std::string order = "order=";
+      for (std::size_t i = 0; i < cq_options.join_order.size(); ++i) {
+        if (i > 0) order += ',';
+        order += std::to_string(cq_options.join_order[i]);
+      }
+      disjunct_nodes[d]->detail = order;
+    }
     cq_options.trace = tr;
     cq_options.ctx = ctx;
     if (sink.has_value()) cq_options.sink = &*sink;

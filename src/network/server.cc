@@ -64,6 +64,11 @@ struct Server::Session {
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
   std::uint64_t pool_evictions = 0;
+  // Learned-optimizer counters, same snapshot discipline: whether the
+  // session runs in learned mode, and the shape of its outcome history.
+  bool learned_optimizer = false;
+  std::uint64_t learned_contexts = 0;
+  std::uint64_t learned_plays = 0;
 
   ~Session() { CloseFd(fd); }
 
@@ -339,6 +344,10 @@ void Server::ExecutorLoop() {
         session->pool_misses = bp.misses;
         session->pool_evictions = bp.evictions;
       }
+      session->learned_optimizer = session->shell.learned_optimizer();
+      const OutcomeHistory& history = session->shell.optimizer_history();
+      session->learned_contexts = history.context_count();
+      session->learned_plays = history.total_plays();
       if (!session->pending.empty()) {
         ready_.push_back(session);
         work_cv_.notify_one();
@@ -445,6 +454,16 @@ std::string Server::MetricsTextLocked() const {
               " pool_evictions=" + std::to_string(session->pool_evictions));
       ooc->rows_out = session->spilled_rows;
       ooc->mem_bytes = session->spill_bytes;
+    }
+    // Same opt-in shape: only sessions that turned on learned mode or
+    // accumulated outcome history grow the optimizer node.
+    if (session->learned_optimizer || session->learned_plays > 0) {
+      OpMetrics* opt = node->AddChild(
+          "optimizer",
+          std::string("mode=") +
+              (session->learned_optimizer ? "learned" : "static") +
+              " contexts=" + std::to_string(session->learned_contexts));
+      opt->rows_out = session->learned_plays;
     }
   }
   return root.ToString();

@@ -108,7 +108,8 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
                                    : nullptr;
     ScopedOp span(node, tr);
     bindings.push_back(
-        SubgoalBindings(*s, db.Get(s->predicate()), 1, node, ctx));
+        SubgoalBindings(*s, db.Get(s->predicate()), options.threads, node,
+                        ctx));
     if (Status s2 = governed(); !s2.ok()) return s2;
   }
   std::vector<Relation> negation_bindings;
@@ -118,7 +119,8 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
         m != nullptr ? m->AddChild("scan", "NOT " + s->predicate()) : nullptr;
     ScopedOp span(node, tr);
     negation_bindings.push_back(
-        SubgoalBindings(*s, db.Get(s->predicate()), 1, node, ctx));
+        SubgoalBindings(*s, db.Get(s->predicate()), options.threads, node,
+                        ctx));
     if (Status s2 = governed(); !s2.ok()) return s2;
   }
 
@@ -169,6 +171,7 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
     decision.rows_before = rel.size();
 
     bool should_filter = false;
+    double removed_fraction = 0;
     if (consider) {
       // A low *mean* ratio can hide a head-heavy distribution where the
       // surviving groups hold nearly all tuples; check the mass that
@@ -180,8 +183,7 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
         total_mass += n;
         if (n >= threshold) kept_mass += n;
       }
-      double removed_fraction =
-          total_mass > 0 ? 1.0 - kept_mass / total_mass : 0.0;
+      removed_fraction = total_mass > 0 ? 1.0 - kept_mass / total_mass : 0.0;
       should_filter = removed_fraction >= options.min_removed_fraction;
     }
 
@@ -198,8 +200,21 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
       ScopedOp sspan(snode, tr);
       rel = SemiJoin(rel, ok, snode, ctx);
       ++out_log.filters_applied;
-      // Surviving groups all hold >= threshold tuples; that post-filter
-      // ratio is the baseline future decisions must beat.
+    }
+    if (consider) {
+      // A filtering opportunity was fully evaluated (the group counts
+      // ran), so the set is "seen" whether or not the semi-join was
+      // applied — §4.4's "dropped significantly since the last filtering
+      // opportunity" measures from here. The baseline is the observed
+      // ratio clamped up to the threshold:
+      //   * applied: surviving groups each hold >= threshold tuples, so
+      //     the true post-filter ratio is at least the threshold;
+      //   * declined by the removed-mass check: the raw ratio may sit far
+      //     below the threshold, and recording it would demand the next
+      //     ratio beat improvement_factor * (tiny), locking filtering out
+      //     permanently even after later joins reshape the distribution.
+      //     Clamping keeps the re-consideration bar at
+      //     improvement_factor * threshold.
       last_ratio[params] = std::max(ratio, threshold);
     } else if (it == last_ratio.end()) {
       last_ratio[params] = ratio;
@@ -207,6 +222,8 @@ Result<Relation> DynamicEvaluate(const QueryFlock& flock, const Database& db,
       it->second = std::min(it->second, ratio);
     }
 
+    decision.considered = consider;
+    decision.removed_fraction = removed_fraction;
     decision.filtered = should_filter;
     decision.rows_after = rel.size();
     decision.wall_ns = MetricsNowNs() - start_ns;
@@ -348,6 +365,14 @@ std::string RenderDynamicTrace(const DynamicLog& log) {
                     "rows%s]\n",
                     step++, params.c_str(), d.at.c_str(), d.ratio,
                     d.rows_before, d.rows_after, timing);
+    } else if (d.considered) {
+      // The ratio gate passed but the removed-mass check declined the
+      // semi-join — the §4.4 group-size-distribution caveat in action.
+      std::snprintf(buf, sizeof(buf),
+                    "         no filter at %s (%s)   [ratio %.2f; would "
+                    "remove %.0f%%; %zu rows%s]\n",
+                    d.at.c_str(), params.c_str(), d.ratio,
+                    d.removed_fraction * 100.0, d.rows_before, timing);
     } else {
       std::snprintf(buf, sizeof(buf),
                     "         no filter at %s (%s)   [ratio %.2f; %zu "

@@ -49,6 +49,9 @@ struct DynamicOptions {
   // §4.4 made operational: a mean ratio below threshold does not help if
   // the mass sits in a few huge groups.
   double min_removed_fraction = 0.2;
+  // Worker threads for the scan/bindings phase (1 = serial; results are
+  // identical for every value).
+  unsigned threads = 1;
   // Observability (common/metrics.h): the evaluation appends "scan",
   // "dyn_filter" (one per decision point, with "group_by"/"semi_join"
   // children when those ran), "join", and the final aggregation nodes.
@@ -67,7 +70,14 @@ struct DynamicDecision {
   std::string at;
   std::set<std::string> parameters;  // "$"-tagged columns
   double ratio = 0;                  // tuples per parameter assignment
+  // The §4.4 two-stage outcome: `considered` is the ratio gate (unseen:
+  // ratio < aggressiveness * threshold; seen: ratio dropped below
+  // improvement_factor * baseline); `filtered` additionally requires the
+  // removed-mass check. `removed_fraction` is the tuple mass the filter
+  // would remove, computed only when considered.
+  bool considered = false;
   bool filtered = false;
+  double removed_fraction = 0;
   std::size_t rows_before = 0;
   std::size_t rows_after = 0;
   // Wall time spent at this decision point (the group-count pass plus the

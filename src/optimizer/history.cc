@@ -1,0 +1,128 @@
+#include "optimizer/history.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "relational/serialize.h"
+
+namespace qf {
+
+void OutcomeHistory::Record(const BanditOutcome& outcome) {
+  ArmStats& cell = cells_[outcome.context][outcome.arm];
+  ++cell.plays;
+  cell.total_wall_ms += outcome.wall_ms;
+  cell.total_rows += outcome.rows;
+  cell.total_skew += outcome.skew;
+  cell.last_wall_ms = outcome.wall_ms;
+}
+
+const ArmStats* OutcomeHistory::Find(std::uint64_t context,
+                                     const std::string& arm) const {
+  auto ctx = cells_.find(context);
+  if (ctx == cells_.end()) return nullptr;
+  auto it = ctx->second.find(arm);
+  return it == ctx->second.end() ? nullptr : &it->second;
+}
+
+const std::map<std::string, ArmStats>* OutcomeHistory::FindContext(
+    std::uint64_t context) const {
+  auto ctx = cells_.find(context);
+  return ctx == cells_.end() ? nullptr : &ctx->second;
+}
+
+std::uint64_t OutcomeHistory::total_plays() const {
+  std::uint64_t n = 0;
+  for (const auto& [context, arms] : cells_) {
+    for (const auto& [arm, stats] : arms) n += stats.plays;
+  }
+  return n;
+}
+
+void OutcomeHistory::EncodeTo(std::string& out) const {
+  PutU32(out, static_cast<std::uint32_t>(cells_.size()));
+  for (const auto& [context, arms] : cells_) {
+    PutU64(out, context);
+    PutU32(out, static_cast<std::uint32_t>(arms.size()));
+    for (const auto& [arm, stats] : arms) {
+      PutString(out, arm);
+      PutU64(out, stats.plays);
+      PutF64(out, stats.total_wall_ms);
+      PutF64(out, stats.total_rows);
+      PutF64(out, stats.total_skew);
+      PutF64(out, stats.last_wall_ms);
+    }
+  }
+}
+
+Status OutcomeHistory::DecodeFrom(ByteReader& in) {
+  cells_.clear();
+  std::uint32_t n_contexts = 0;
+  if (!in.GetU32(&n_contexts)) {
+    return CorruptWalError("malformed optimizer history header");
+  }
+  for (std::uint32_t i = 0; i < n_contexts; ++i) {
+    std::uint64_t context = 0;
+    std::uint32_t n_arms = 0;
+    if (!in.GetU64(&context) || !in.GetU32(&n_arms)) {
+      return CorruptWalError("malformed optimizer history context");
+    }
+    std::map<std::string, ArmStats>& arms = cells_[context];
+    for (std::uint32_t j = 0; j < n_arms; ++j) {
+      std::string_view arm;
+      ArmStats stats;
+      if (!in.GetString(&arm) || !in.GetU64(&stats.plays) ||
+          !in.GetF64(&stats.total_wall_ms) || !in.GetF64(&stats.total_rows) ||
+          !in.GetF64(&stats.total_skew) || !in.GetF64(&stats.last_wall_ms)) {
+        return CorruptWalError("malformed optimizer history arm");
+      }
+      arms[std::string(arm)] = stats;
+    }
+  }
+  return Status::Ok();
+}
+
+std::string OutcomeHistory::Describe() const {
+  if (cells_.empty()) return "history: empty\n";
+  std::string out = "history: " + std::to_string(cells_.size()) +
+                    (cells_.size() == 1 ? " context, " : " contexts, ") +
+                    std::to_string(total_plays()) + " outcomes\n";
+  char line[256];
+  for (const auto& [context, arms] : cells_) {
+    std::uint64_t plays = 0;
+    for (const auto& [arm, stats] : arms) plays += stats.plays;
+    std::snprintf(line, sizeof(line),
+                  "context %016" PRIx64 " (%zu arms, %" PRIu64 " plays)\n",
+                  context, arms.size(), plays);
+    out += line;
+    for (const auto& [arm, stats] : arms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-24s plays=%" PRIu64
+                    " mean=%.3fms last=%.3fms rows=%.0f skew=%.2f\n",
+                    arm.c_str(), stats.plays, stats.MeanWallMs(),
+                    stats.last_wall_ms, stats.MeanRows(), stats.MeanSkew());
+      out += line;
+    }
+  }
+  return out;
+}
+
+void EncodeBanditOutcome(const BanditOutcome& outcome, std::string& out) {
+  PutU64(out, outcome.context);
+  PutString(out, outcome.arm);
+  PutF64(out, outcome.wall_ms);
+  PutF64(out, outcome.rows);
+  PutF64(out, outcome.skew);
+}
+
+Status DecodeBanditOutcome(ByteReader& in, BanditOutcome* outcome) {
+  std::string_view arm;
+  if (!in.GetU64(&outcome->context) || !in.GetString(&arm) ||
+      !in.GetF64(&outcome->wall_ms) || !in.GetF64(&outcome->rows) ||
+      !in.GetF64(&outcome->skew)) {
+    return CorruptWalError("malformed bandit outcome record");
+  }
+  outcome->arm = std::string(arm);
+  return Status::Ok();
+}
+
+}  // namespace qf

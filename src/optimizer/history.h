@@ -1,0 +1,110 @@
+// Per-arm outcome history for the learned optimizer (ROADMAP item 4).
+//
+// The bandit (optimizer/bandit.h) chooses an execution *arm* (a plan /
+// join order / §4.4 knob preset) for each flock it runs; this file is
+// the memory it learns from. Outcomes are keyed by (context, arm id)
+// where the context is a discretized feature hash of the flock shape
+// and the relation statistics (bandit.h computes it) and the arm id is
+// a stable human-readable string ("dyn:cost:eager", "plan:chosen", ...).
+//
+// Each cell keeps running sums, not raw samples, so the store is O(arms)
+// regardless of how many runs it has seen, and the byte encoding is
+// deterministic (std::map iteration order) — the crash-recovery torture
+// tests compare encoded catalog state bit-for-bit, so two histories that
+// saw the same outcomes in the same order must encode identically.
+//
+// Durability: the catalog (storage/catalog.h) embeds an OutcomeHistory in
+// CatalogState, logs every Record() as a kBanditOutcome WAL record, and
+// snapshots the whole store in the state header — learning survives
+// OPEN, crash replay, and CHECKPOINT.
+#ifndef QF_OPTIMIZER_HISTORY_H_
+#define QF_OPTIMIZER_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace qf {
+
+class ByteReader;
+
+// One observed execution of an arm, as reported by the shell after a
+// learned RUN: wall time, result cardinality, and the estimate-vs-actual
+// skew harvested from the OpMetrics tree (1.0 = estimates were exact).
+struct BanditOutcome {
+  std::uint64_t context = 0;
+  std::string arm;
+  double wall_ms = 0.0;
+  double rows = 0.0;
+  double skew = 1.0;
+};
+
+// Running aggregate for one (context, arm) cell.
+struct ArmStats {
+  std::uint64_t plays = 0;
+  double total_wall_ms = 0.0;
+  double total_rows = 0.0;
+  double total_skew = 0.0;
+  double last_wall_ms = 0.0;
+
+  double MeanWallMs() const {
+    return plays == 0 ? 0.0 : total_wall_ms / static_cast<double>(plays);
+  }
+  double MeanRows() const {
+    return plays == 0 ? 0.0 : total_rows / static_cast<double>(plays);
+  }
+  double MeanSkew() const {
+    return plays == 0 ? 1.0 : total_skew / static_cast<double>(plays);
+  }
+
+  bool operator==(const ArmStats&) const = default;
+};
+
+// The whole store: context -> arm id -> aggregate. Value-semantic (lives
+// inside CatalogState, which is copied wholesale by the commit protocol).
+class OutcomeHistory {
+ public:
+  OutcomeHistory() = default;
+
+  // Folds one outcome into its cell. Replay applies the same call, so
+  // WAL recovery reconstructs identical aggregates.
+  void Record(const BanditOutcome& outcome);
+
+  // The cell for (context, arm), or nullptr if never played.
+  const ArmStats* Find(std::uint64_t context, const std::string& arm) const;
+  // All arms recorded under `context`, or nullptr if none.
+  const std::map<std::string, ArmStats>* FindContext(
+      std::uint64_t context) const;
+
+  std::size_t context_count() const { return cells_.size(); }
+  // Total outcomes recorded across all cells.
+  std::uint64_t total_plays() const;
+  bool empty() const { return cells_.empty(); }
+  void clear() { cells_.clear(); }
+
+  // Deterministic binary encoding (serialize.h primitives), used by the
+  // catalog snapshot header. Decode replaces *this; malformed input
+  // yields CORRUPT_WAL and leaves *this unspecified.
+  void EncodeTo(std::string& out) const;
+  Status DecodeFrom(ByteReader& in);
+
+  // Human-readable rendering for SHOW OPTIMIZER STATE: one line per
+  // context, one indented line per arm, deterministic order.
+  std::string Describe() const;
+
+  bool operator==(const OutcomeHistory&) const = default;
+
+ private:
+  std::map<std::uint64_t, std::map<std::string, ArmStats>> cells_;
+};
+
+// Encodes/decodes one outcome (the kBanditOutcome WAL record body minus
+// its record-type byte — storage/catalog.cc frames it).
+void EncodeBanditOutcome(const BanditOutcome& outcome, std::string& out);
+Status DecodeBanditOutcome(ByteReader& in, BanditOutcome* outcome);
+
+}  // namespace qf
+
+#endif  // QF_OPTIMIZER_HISTORY_H_

@@ -53,6 +53,7 @@ RelationStats ComputeStats(const Relation& rel, bool detailed) {
 
 DatabaseStats DatabaseStats::Compute(const Database& db, bool detailed) {
   DatabaseStats stats;
+  stats.set_generation(db.generation());
   for (const std::string& name : db.Names()) {
     stats.Put(name, ComputeStats(db.Get(name), detailed));
   }

@@ -5,6 +5,7 @@
 #define QF_OPTIMIZER_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -44,6 +45,14 @@ struct RelationStats {
 RelationStats ComputeStats(const Relation& rel, bool detailed = false);
 
 // Statistics for every relation of a database, by name.
+//
+// Staleness contract: Compute stamps the database's mutation generation
+// (Database::generation), so a holder can tell whether its statistics
+// still describe the database it plans against — `LOAD ... APPEND`
+// bumps the generation, and a cost model built before the append would
+// otherwise silently keep ordering joins by the old cardinalities.
+// Anything that caches a DatabaseStats/CostModel must recompute when
+// `generation() != db.generation()` (the shell's cached model does).
 class DatabaseStats {
  public:
   DatabaseStats() = default;
@@ -57,8 +66,20 @@ class DatabaseStats {
     by_name_[name] = std::move(stats);
   }
 
+  // The Database::generation() these statistics were computed at; 0 for a
+  // hand-assembled instance.
+  std::uint64_t generation() const { return generation_; }
+  void set_generation(std::uint64_t g) { generation_ = g; }
+
+  // All relations with statistics, by name (deterministic order; the
+  // bandit's context features aggregate over this).
+  const std::map<std::string, RelationStats>& relations() const {
+    return by_name_;
+  }
+
  private:
   std::map<std::string, RelationStats> by_name_;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace qf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
@@ -157,10 +158,13 @@ constexpr std::string_view kHelp =
     "  SET MEMORY <mb>;              # memory budget per statement (0=off)\n"
     "  SET BUFFER <mb>;              # page-cache capacity for paged catalog\n"
     "  SET INCREMENTAL ON|OFF;       # cache flock state across RUNs\n"
+    "  SET OPTIMIZER LEARNED|STATIC; # bandit plan selection for RUN\n"
+    "  SET DYNAMIC AGGRESSIVENESS|IMPROVEMENT|MINREMOVED <v>;  # §4.4 knobs\n"
     "  TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events, JSON lines\n"
     "  MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];\n"
     "  SHOW RELATIONS; | SHOW FLOCKS; | SHOW TRACE; | SHOW <rel>;\n"
     "  SHOW FLOCK STATE [<name>];    # inspect cached incremental state\n"
+    "  SHOW OPTIMIZER STATE;         # learned-mode knobs + outcome history\n"
     "  OPEN <dir>;                   # open/recover durable catalog\n"
     "  CHECKPOINT;                   # snapshot catalog + reset its WAL\n"
     "  HELP;\n";
@@ -169,6 +173,9 @@ constexpr std::string_view kHelp =
 // [DIRECT|PLAN|DYNAMIC|REDUCED] [LIMIT <n>] [THREADS <n>] in any order.
 struct RunOptions {
   std::string mode = "PLAN";
+  // True when the statement named a mode. An explicit mode always wins
+  // over SET OPTIMIZER LEARNED — "RUN f DYNAMIC" means DYNAMIC.
+  bool mode_explicit = false;
   std::size_t limit = 10;
   unsigned threads = 1;
 };
@@ -182,6 +189,7 @@ Result<RunOptions> ParseRunOptions(std::string_view rest,
     if (word == "DIRECT" || word == "PLAN" || word == "DYNAMIC" ||
         word == "REDUCED") {
       out.mode = word;
+      out.mode_explicit = true;
       rest = next;
     } else if (word == "LIMIT") {
       auto [num, after] = SplitCommand(next);
@@ -282,6 +290,75 @@ Result<std::string> Shell::Execute(std::string_view statement) {
       return std::string(on ? "incremental evaluation on\n"
                             : "incremental evaluation off\n");
     }
+    if (what == "OPTIMIZER") {
+      if ((num != "LEARNED" && num != "STATIC") ||
+          !StripWhitespace(after).empty()) {
+        return InvalidArgumentError("usage: SET OPTIMIZER LEARNED|STATIC");
+      }
+      bool learned = num == "LEARNED";
+      if (Status s = PersistKnob("OPTIMIZER_LEARNED", learned ? 1 : 0);
+          !s.ok()) {
+        return s;
+      }
+      learned_optimizer_ = learned;
+      return std::string(learned
+                             ? "optimizer learned mode on (RUN chooses "
+                               "plans from outcome history)\n"
+                             : "optimizer static mode\n");
+    }
+    if (what == "DYNAMIC") {
+      // §4.4 knobs, persisted like every knob. Knob values are int64, so
+      // the doubles travel milli-scaled (2.5 -> 2500).
+      auto [val_text, tail] = SplitCommand(after);
+      Result<double> v = ParseDouble(val_text);
+      static constexpr std::string_view kUsage =
+          "usage: SET DYNAMIC AGGRESSIVENESS|IMPROVEMENT|MINREMOVED <v>";
+      if (!v.ok() || !StripWhitespace(tail).empty()) {
+        return InvalidArgumentError(std::string(kUsage));
+      }
+      double value = *v;
+      if (num == "AGGRESSIVENESS") {
+        if (value < 0) {
+          return InvalidArgumentError("AGGRESSIVENESS must be >= 0");
+        }
+        if (Status s = PersistKnob("DYN_AGGRESSIVENESS_MILLI",
+                                   std::llround(value * 1000));
+            !s.ok()) {
+          return s;
+        }
+        dynamic_knobs_.aggressiveness = value;
+      } else if (num == "IMPROVEMENT") {
+        if (value < 0 || value > 1) {
+          return InvalidArgumentError("IMPROVEMENT must be in [0, 1]");
+        }
+        if (Status s = PersistKnob("DYN_IMPROVEMENT_MILLI",
+                                   std::llround(value * 1000));
+            !s.ok()) {
+          return s;
+        }
+        dynamic_knobs_.improvement_factor = value;
+      } else if (num == "MINREMOVED") {
+        if (value < 0 || value > 1) {
+          return InvalidArgumentError("MINREMOVED must be in [0, 1]");
+        }
+        if (Status s = PersistKnob("DYN_MIN_REMOVED_MILLI",
+                                   std::llround(value * 1000));
+            !s.ok()) {
+          return s;
+        }
+        dynamic_knobs_.min_removed_fraction = value;
+      } else {
+        return InvalidArgumentError(std::string(kUsage));
+      }
+      char buf[112];
+      std::snprintf(buf, sizeof(buf),
+                    "dynamic knobs: aggressiveness=%.3f improvement=%.3f "
+                    "min_removed=%.3f\n",
+                    dynamic_knobs_.aggressiveness,
+                    dynamic_knobs_.improvement_factor,
+                    dynamic_knobs_.min_removed_fraction);
+      return std::string(buf);
+    }
     Result<std::int64_t> n = ParseInt64(num);
     if (what == "TIMEOUT") {
       if (!n.ok() || *n < 0 || !StripWhitespace(after).empty()) {
@@ -315,7 +392,9 @@ Result<std::string> Shell::Execute(std::string_view statement) {
       return "buffer pool set to " + std::to_string(*n) + " MB\n";
     }
     return InvalidArgumentError(
-        "usage: SET TIMEOUT <ms> | SET MEMORY <mb> | SET BUFFER <mb>");
+        "usage: SET TIMEOUT <ms> | SET MEMORY <mb> | SET BUFFER <mb> | "
+        "SET INCREMENTAL ON|OFF | SET OPTIMIZER LEARNED|STATIC | "
+        "SET DYNAMIC <knob> <v>");
   }
   if (command == "HELP") return std::string(kHelp);
   return InvalidArgumentError("unknown command: " + command +
@@ -336,8 +415,11 @@ void Shell::SeedDatabase(const Database& base) {
   db_ = base;  // cheap: the name table copies, relation payloads share
   views_dirty_ = true;
   // A new database means every cached incremental state and append chain
-  // is about a world that no longer exists.
+  // is about a world that no longer exists. The cached cost model goes
+  // too: the new database's generation counter is unrelated to the old
+  // one's, so the generation check alone cannot be trusted here.
   incremental_.Reset();
+  cached_model_.reset();
 }
 
 Result<std::string> Shell::Load(std::string_view args) {
@@ -647,8 +729,29 @@ Result<const std::map<std::string, Relation>*> Shell::Views() {
     if (!views.ok()) return views.status();
     views_ = std::move(*views);
     views_dirty_ = false;
+    ++views_version_;  // cached cost model must restat the new views
   }
   return &views_;
+}
+
+Result<const CostModel*> Shell::Model() {
+  Result<const std::map<std::string, Relation>*> views = Views();
+  if (!views.ok()) return views.status();
+  // Rebuild when the database mutated (LOAD/GEN/DEFINE/APPEND all bump
+  // Database::generation) or the view set was rematerialized; otherwise
+  // every statement of a session would restat every relation.
+  if (!cached_model_.has_value() ||
+      cached_model_generation_ != db().generation() ||
+      cached_model_views_version_ != views_version_) {
+    DatabaseStats stats = DatabaseStats::Compute(db());
+    for (const auto& [view_name, rel] : **views) {
+      stats.Put(view_name, ComputeStats(rel));
+    }
+    cached_model_.emplace(std::move(stats));
+    cached_model_generation_ = db().generation();
+    cached_model_views_version_ = views_version_;
+  }
+  return &*cached_model_;
 }
 
 Result<std::string> Shell::Explain(std::string_view args) {
@@ -658,14 +761,9 @@ Result<std::string> Shell::Explain(std::string_view args) {
   std::string name(StripWhitespace(args));
   auto it = flocks_.find(name);
   if (it == flocks_.end()) return NotFoundError("no flock named " + name);
-  Result<const std::map<std::string, Relation>*> views = Views();
-  if (!views.ok()) return views.status();
-
-  DatabaseStats stats = DatabaseStats::Compute(db());
-  for (const auto& [view_name, rel] : **views) {
-    stats.Put(view_name, ComputeStats(rel));
-  }
-  CostModel model(std::move(stats));
+  Result<const CostModel*> model_or = Model();
+  if (!model_or.ok()) return model_or.status();
+  const CostModel& model = **model_or;
   Result<QueryPlan> plan = SearchPlanParameterSets(it->second, model);
   if (!plan.ok()) return plan.status();
   double cost = EstimatePlanCost(*plan, it->second, model);
@@ -702,14 +800,6 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     }
     return est;
   };
-  auto build_model = [&]() {
-    DatabaseStats stats = DatabaseStats::Compute(db());
-    for (const auto& [view_name, rel] : **views) {
-      stats.Put(view_name, ComputeStats(rel));
-    }
-    return CostModel(std::move(stats));
-  };
-
   if (mode == "DIRECT" || mode == "REDUCED") {
     FlockEvalOptions options;
     options.threads = threads;
@@ -725,7 +815,9 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
       }
     }
     if (metrics != nullptr && flock.filter.IsSupportStyle()) {
-      metrics->est_rows = estimate_survivors(flock.query, build_model());
+      Result<const CostModel*> model = Model();
+      if (!model.ok()) return model.status();
+      metrics->est_rows = estimate_survivors(flock.query, **model);
     }
     return EvaluateFlock(flock, db(), options, &extra);
   }
@@ -737,6 +829,10 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
           "use DIRECT or PLAN");
     }
     DynamicOptions options;
+    options.aggressiveness = dynamic_knobs_.aggressiveness;
+    options.improvement_factor = dynamic_knobs_.improvement_factor;
+    options.min_removed_fraction = dynamic_knobs_.min_removed_fraction;
+    options.threads = threads;
     options.metrics = metrics;
     options.trace = trace;
     options.ctx = ctx;
@@ -748,7 +844,9 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     return result;
   }
 
-  CostModel model = build_model();
+  Result<const CostModel*> model_or = Model();
+  if (!model_or.ok()) return model_or.status();
+  const CostModel& model = **model_or;
   Result<QueryPlan> plan = SearchPlanParameterSets(flock, model);
   if (!plan.ok()) return plan.status();
   PlanExecOptions options;
@@ -772,6 +870,127 @@ Result<Relation> Shell::Evaluate(const std::string& mode,
     }
   }
   return result;
+}
+
+Result<Relation> Shell::EvaluateLearned(const QueryFlock& flock,
+                                        unsigned threads, OpMetrics* metrics,
+                                        std::string* dynamic_trace,
+                                        QueryContext* ctx,
+                                        LearnedRunInfo* info) {
+  if (Status s = flock.Validate(); !s.ok()) return s;
+  Result<const CostModel*> model_or = Model();
+  if (!model_or.ok()) return model_or.status();
+  const CostModel& model = **model_or;
+  Result<const std::map<std::string, Relation>*> views = Views();
+  if (!views.ok()) return views.status();
+  std::map<std::string, const Relation*> extra;
+  for (const auto& [view_name, rel] : **views) extra[view_name] = &rel;
+  TraceSink* trace = trace_sink_.get();
+
+  PlanContext pctx = MakePlanContext(flock, model);
+  // The DynamicEvaluate preconditions (single disjunct, support filter,
+  // no view predicates); only then do the §4.4 arms enter the pool.
+  const bool dynamic_eligible = extra.empty() &&
+                                flock.query.disjuncts.size() == 1 &&
+                                flock.filter.IsSupportStyle();
+  std::vector<BanditArm> arms =
+      EnumerateArms(flock, model, dynamic_eligible, dynamic_knobs_);
+  BanditChoice choice = PlanBandit(optimizer_history()).Choose(pctx.key, arms);
+  const BanditArm& arm = arms[choice.index];
+  if (info != nullptr) {
+    info->arm_id = choice.arm_id;
+    info->context = pctx.key;
+    info->context_desc = pctx.description;
+    info->exploring = choice.exploring;
+    info->posterior = choice.posterior;
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  Result<Relation> result = Relation();
+  switch (arm.kind) {
+    case BanditArm::Kind::kPlan: {
+      Result<QueryPlan> plan = SearchPlanParameterSets(flock, model);
+      if (!plan.ok()) return plan.status();
+      PlanExecOptions options;
+      options.order_chooser = CostBasedOrderChooser();
+      options.extra_predicates = &extra;
+      options.threads = threads;
+      options.metrics = metrics;
+      options.trace = trace;
+      options.ctx = ctx;
+      result = ExecutePlan(*plan, flock, db(), options);
+      break;
+    }
+    case BanditArm::Kind::kDirect: {
+      FlockEvalOptions options;
+      options.threads = threads;
+      options.metrics = metrics;
+      options.trace = trace;
+      options.ctx = ctx;
+      for (const std::vector<std::size_t>& order : arm.orders) {
+        CqEvalOptions cq_options;
+        cq_options.join_order = order;
+        options.per_disjunct.push_back(std::move(cq_options));
+      }
+      result = EvaluateFlock(flock, db(), options, &extra);
+      break;
+    }
+    case BanditArm::Kind::kDynamic: {
+      DynamicOptions options;
+      if (!arm.orders.empty()) options.join_order = arm.orders.front();
+      options.aggressiveness = arm.knobs.aggressiveness;
+      options.improvement_factor = arm.knobs.improvement_factor;
+      options.min_removed_fraction = arm.knobs.min_removed_fraction;
+      options.threads = threads;
+      options.metrics = metrics;
+      options.trace = trace;
+      options.ctx = ctx;
+      DynamicLog log;
+      result = DynamicEvaluate(flock, db(), options, &log);
+      if (result.ok() && dynamic_trace != nullptr) {
+        *dynamic_trace = RenderDynamicTrace(log);
+      }
+      break;
+    }
+  }
+  double wall_ms = MillisSince(start);
+  if (!result.ok()) return result;
+
+  // Est-vs-actual skew for the outcome record: how far the static model's
+  // survivor estimate was from the observed answer count (1.0 = exact,
+  // symmetric in direction; only support filters have a calibrated model).
+  double actual = static_cast<double>(result->size());
+  double skew = 1.0;
+  if (flock.filter.IsSupportStyle()) {
+    double est = 0;
+    for (const ConjunctiveQuery& cq : flock.query.disjuncts) {
+      est += model.EstimateFilter(cq, flock.filter.threshold).survivors;
+    }
+    if (metrics != nullptr) metrics->est_rows = est;
+    double lo = std::max(1.0, std::min(est, actual));
+    double hi = std::max(1.0, std::max(est, actual));
+    skew = hi / lo;
+  }
+  BanditOutcome outcome;
+  outcome.context = pctx.key;
+  outcome.arm = choice.arm_id;
+  outcome.wall_ms = wall_ms;
+  outcome.rows = actual;
+  outcome.skew = skew;
+  if (Status s = RecordOutcome(outcome); !s.ok()) return s;
+  return result;
+}
+
+Status Shell::RecordOutcome(const BanditOutcome& outcome) {
+  if (catalog_ != nullptr) {
+    // A latched (read-only) catalog skips learning rather than failing
+    // the statement — the run still answered correctly; only the lesson
+    // is lost, and the next OPEN starts recording again.
+    if (!catalog_->Healthy().ok()) return Status::Ok();
+    return catalog_->RecordBanditOutcome(outcome);
+  }
+  local_history_.Record(outcome);
+  return Status::Ok();
 }
 
 void Shell::ConfigureContext(QueryContext& ctx) const {
@@ -839,14 +1058,24 @@ Result<std::string> Shell::Run(std::string_view args) {
 
   QueryContext ctx;
   ConfigureContext(ctx);
-  Result<Relation> result =
-      Evaluate(opts->mode, flock, opts->threads, metrics, nullptr, &ctx);
+  Result<Relation> result = Relation();
+  std::string mode_name = opts->mode;
+  if (learned_optimizer_ && !opts->mode_explicit) {
+    // An explicit mode word always wins over the bandit; without one the
+    // learned optimizer picks the strategy and reports it as the mode.
+    LearnedRunInfo linfo;
+    result = EvaluateLearned(flock, opts->threads, metrics, nullptr, &ctx,
+                             &linfo);
+    mode_name = "LEARNED:" + linfo.arm_id;
+  } else {
+    result = Evaluate(opts->mode, flock, opts->threads, metrics, nullptr, &ctx);
+  }
   double ms = MillisSince(start);
   if (!result.ok()) return result.status();
 
-  char buf[128];
+  char buf[160];
   std::snprintf(buf, sizeof(buf), "%s: %zu assignments in %.1f ms (%s)\n",
-                name.c_str(), result->size(), ms, opts->mode.c_str());
+                name.c_str(), result->size(), ms, mode_name.c_str());
   return buf + PreviewRelation(std::move(*result), opts->limit);
 }
 
@@ -904,9 +1133,18 @@ Result<std::string> Shell::ExplainAnalyze(std::string_view args) {
     // Declined: the "incremental" metrics child keeps the decision and
     // the fallback's operator tree is appended next to it.
   }
+  LearnedRunInfo linfo;
+  bool learned = false;
   if (!served) {
-    result =
-        Evaluate(opts->mode, flock, opts->threads, &root, &dynamic_trace, &ctx);
+    if (learned_optimizer_ && !opts->mode_explicit) {
+      result = EvaluateLearned(flock, opts->threads, &root, &dynamic_trace,
+                               &ctx, &linfo);
+      mode_name = "LEARNED:" + linfo.arm_id;
+      learned = true;
+    } else {
+      result = Evaluate(opts->mode, flock, opts->threads, &root,
+                        &dynamic_trace, &ctx);
+    }
   }
   double ms = MillisSince(start);
   if (!result.ok()) return result.status();
@@ -919,6 +1157,20 @@ Result<std::string> Shell::ExplainAnalyze(std::string_view args) {
                 name.c_str(), result->size(), ms, mode_name.c_str(),
                 opts->threads);
   std::string out = buf;
+  if (learned) {
+    // The bandit's decision: which context cell the flock hashed to, the
+    // chosen arm (and whether it was exploration or exploitation), then
+    // the per-arm posterior the choice was made from.
+    std::snprintf(buf, sizeof(buf), "optimizer: context %016llx (%s)\n",
+                  static_cast<unsigned long long>(linfo.context),
+                  linfo.context_desc.c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "  chose %s (%s)\n",
+                  linfo.arm_id.c_str(),
+                  linfo.exploring ? "exploring" : "exploiting");
+    out += buf;
+    out += linfo.posterior;
+  }
   if (!dynamic_trace.empty()) {
     out += "dynamic decisions:\n" + dynamic_trace;
   }
@@ -1115,6 +1367,24 @@ Result<std::string> Shell::Show(std::string_view args) {
     }
     return incremental_.Describe(fname);
   }
+  if (what == "OPTIMIZER") {
+    if (StripWhitespace(rest) != "STATE") {
+      return InvalidArgumentError("usage: SHOW OPTIMIZER STATE");
+    }
+    char buf[160];
+    std::string out = learned_optimizer_
+                          ? "optimizer: learned (bandit picks RUN plans)\n"
+                          : "optimizer: static\n";
+    std::snprintf(buf, sizeof(buf),
+                  "dynamic knobs: aggressiveness=%.3f improvement=%.3f "
+                  "min_removed=%.3f\n",
+                  dynamic_knobs_.aggressiveness,
+                  dynamic_knobs_.improvement_factor,
+                  dynamic_knobs_.min_removed_fraction);
+    out += buf;
+    out += optimizer_history().Describe();
+    return out;
+  }
   if (what == "TRACE") {
     if (memory_trace_ != nullptr) {
       std::vector<std::string> lines = memory_trace_->Lines();
@@ -1249,6 +1519,27 @@ Result<std::string> Shell::Open(std::string_view args) {
   if (auto it = knobs.find("INCREMENTAL"); it != knobs.end()) {
     incremental_on_ = it->second != 0;
   }
+  if (auto it = knobs.find("OPTIMIZER_LEARNED"); it != knobs.end()) {
+    learned_optimizer_ = it->second != 0;
+  }
+  // §4.4 knobs travel as milli-scaled integers (the knob map is int64).
+  if (auto it = knobs.find("DYN_AGGRESSIVENESS_MILLI");
+      it != knobs.end() && it->second >= 0) {
+    dynamic_knobs_.aggressiveness = static_cast<double>(it->second) / 1000.0;
+  }
+  if (auto it = knobs.find("DYN_IMPROVEMENT_MILLI");
+      it != knobs.end() && it->second >= 0) {
+    dynamic_knobs_.improvement_factor =
+        static_cast<double>(it->second) / 1000.0;
+  }
+  if (auto it = knobs.find("DYN_MIN_REMOVED_MILLI");
+      it != knobs.end() && it->second >= 0) {
+    dynamic_knobs_.min_removed_fraction =
+        static_cast<double>(it->second) / 1000.0;
+  }
+  // The catalog's database replaced the in-memory one; its generation
+  // counter is unrelated to whatever the cached model was keyed on.
+  cached_model_.reset();
   // Spill grants point at the catalog's directory: OPEN just swept any
   // orphaned spill files there, and the next OPEN will sweep whatever a
   // crash mid-statement leaves behind.

@@ -18,6 +18,10 @@
 //   SET TIMEOUT <ms>; | SET MEMORY <mb>;    # resource limits (0 = off)
 //   SET BUFFER <mb>;                        # page-cache capacity (OPEN)
 //   SET INCREMENTAL ON|OFF;                 # cache flock state across RUNs
+//   SET OPTIMIZER LEARNED|STATIC;           # bandit plan selection for RUN
+//   SET DYNAMIC <knob> <v>;                 # §4.4 knobs (AGGRESSIVENESS |
+//                                           #   IMPROVEMENT | MINREMOVED)
+//   SHOW OPTIMIZER STATE;                   # mode, knobs, outcome history
 //   SHOW FLOCK STATE [<name>];              # inspect incremental state
 //   TRACE ON; | TRACE OFF; | TRACE TO <path>;  # span events (JSON lines)
 //   MAXIMAL <rel> SUPPORT <n> [MAXSIZE <k>];   # flock-sequence mining
@@ -45,6 +49,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -55,6 +60,9 @@
 #include "datalog/program.h"
 #include "flocks/flock.h"
 #include "flocks/incremental_eval.h"
+#include "optimizer/bandit.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/history.h"
 #include "relational/database.h"
 #include "relational/spill.h"
 #include "storage/buffer_pool.h"
@@ -109,6 +117,20 @@ class Shell {
   // cached incremental state when it can (falling back to the ordinary
   // evaluation otherwise — results are identical either way).
   bool incremental_on() const { return incremental_on_; }
+
+  // True while `SET OPTIMIZER LEARNED` is in effect: RUN (without an
+  // explicit mode word) lets the contextual bandit pick the execution
+  // strategy from the outcome history. Every arm is a legality-checked
+  // strategy, so results are bit-identical to static mode.
+  bool learned_optimizer() const { return learned_optimizer_; }
+  // The learned optimizer's outcome history: the open catalog's durable,
+  // WAL-logged store, or the session-local one before OPEN.
+  const OutcomeHistory& optimizer_history() const {
+    return catalog_ != nullptr ? catalog_->state().bandit : local_history_;
+  }
+  // The session's §4.4 knobs (`SET DYNAMIC <knob> <v>`), applied to every
+  // DYNAMIC run and carried by the bandit's "dyn:session" arm.
+  const DynamicKnobs& dynamic_knobs() const { return dynamic_knobs_; }
   // The session's incremental evaluator (tests inspect cached state and
   // decision counters through it).
   const IncrementalEvaluator& incremental() const { return incremental_; }
@@ -160,6 +182,33 @@ class Shell {
                             unsigned threads, OpMetrics* metrics,
                             std::string* dynamic_trace, QueryContext* ctx);
 
+  // What the bandit decided for one learned run (EXPLAIN ANALYZE renders
+  // it; RUN shows the arm id in its mode string).
+  struct LearnedRunInfo {
+    std::string arm_id;
+    std::uint64_t context = 0;
+    std::string context_desc;
+    bool exploring = false;
+    std::string posterior;  // per-arm stats lines at decision time
+  };
+  // SET OPTIMIZER LEARNED evaluation path: enumerate arms, let the bandit
+  // choose, execute the chosen strategy, then record the outcome (to the
+  // catalog's WAL when one is open). Results are bit-identical to
+  // Evaluate for every arm.
+  Result<Relation> EvaluateLearned(const QueryFlock& flock, unsigned threads,
+                                   OpMetrics* metrics,
+                                   std::string* dynamic_trace,
+                                   QueryContext* ctx, LearnedRunInfo* info);
+  // Folds one learned-run outcome into the history: the catalog's durable
+  // store when open (skipped while latched read-only), the session-local
+  // store otherwise.
+  Status RecordOutcome(const BanditOutcome& outcome);
+
+  // The session cost model, cached across statements and rebuilt when the
+  // database generation or the materialized view set changes — statistics
+  // are never stale after LOAD ... APPEND (optimizer/stats.h contract).
+  Result<const CostModel*> Model();
+
   // Builds the governor for one statement from the session limits and the
   // installed cancellation flag.
   void ConfigureContext(QueryContext& ctx) const;
@@ -191,6 +240,20 @@ class Shell {
   std::map<std::string, QueryFlock> flocks_;
   std::map<std::string, Relation> views_;
   bool views_dirty_ = false;
+  // Bumped whenever Views() rebuilds, so the cached cost model can tell a
+  // stale view snapshot from a fresh one.
+  std::uint64_t views_version_ = 0;
+  // Cached cost model (see Model()); invalid until first use and after
+  // OPEN / SeedDatabase swap the database out from under the generation
+  // counter.
+  std::optional<CostModel> cached_model_;
+  std::uint64_t cached_model_generation_ = 0;
+  std::uint64_t cached_model_views_version_ = 0;
+  bool learned_optimizer_ = false;
+  DynamicKnobs dynamic_knobs_;
+  // Outcome history before a catalog is open (superseded by the catalog's
+  // durable store after OPEN; see optimizer_history()).
+  OutcomeHistory local_history_;
   unsigned default_threads_ = 1;
   std::int64_t timeout_ms_ = 0;      // 0 = no deadline
   std::uint64_t memory_bytes_ = 0;   // 0 = no budget

@@ -51,6 +51,7 @@ enum class WalRecordType : unsigned char {
   kDefineRule = 2,
   kPutFlock = 3,
   kSetKnob = 4,
+  kBanditOutcome = 5,
 };
 
 bool IsGovernorAbort(const Status& s) {
@@ -100,6 +101,12 @@ Status ApplyRecordBody(CatalogState& state, ByteReader& in,
         return CorruptWalError("malformed knob record");
       }
       state.knobs[std::string(key)] = value;
+      break;
+    }
+    case WalRecordType::kBanditOutcome: {
+      BanditOutcome outcome;
+      if (Status s = DecodeBanditOutcome(in, &outcome); !s.ok()) return s;
+      state.bandit.Record(outcome);
       break;
     }
     default:
@@ -165,6 +172,7 @@ void EncodeStateHeader(const CatalogState& state, std::string& out) {
     PutString(out, key);
     PutI64(out, value);
   }
+  state.bandit.EncodeTo(out);
 }
 
 Status DecodeStateHeader(ByteReader& in, CatalogState& state) {
@@ -205,6 +213,7 @@ Status DecodeStateHeader(ByteReader& in, CatalogState& state) {
     }
     state.knobs[std::string(key)] = value;
   }
+  if (Status s = state.bandit.DecodeFrom(in); !s.ok()) return s;
   return Status::Ok();
 }
 
@@ -525,6 +534,13 @@ Status Catalog::SetKnob(const std::string& key, std::int64_t value) {
   body.push_back(static_cast<char>(WalRecordType::kSetKnob));
   PutString(body, key);
   PutI64(body, value);
+  return Commit({std::move(body)}, nullptr);
+}
+
+Status Catalog::RecordBanditOutcome(const BanditOutcome& outcome) {
+  std::string body;
+  body.push_back(static_cast<char>(WalRecordType::kBanditOutcome));
+  EncodeBanditOutcome(outcome, body);
   return Commit({std::move(body)}, nullptr);
 }
 

@@ -51,6 +51,7 @@
 #include "common/resource.h"
 #include "common/status.h"
 #include "common/vfs.h"
+#include "optimizer/history.h"
 #include "relational/database.h"
 #include "storage/wal.h"
 
@@ -69,6 +70,9 @@ struct CatalogState {
   std::map<std::string, std::string> flocks;
   // Session knobs ("THREADS", "TIMEOUT_MS", "MEMORY_MB").
   std::map<std::string, std::int64_t> knobs;
+  // Learned-optimizer outcome history (optimizer/history.h): one
+  // kBanditOutcome WAL record per learned RUN, folded into aggregates.
+  OutcomeHistory bandit;
 };
 
 // Deterministic encoding of `state` (relations in name order, rows in
@@ -129,6 +133,10 @@ class Catalog {
   Status DefineRule(const std::string& rule_text);
   Status PutFlock(const std::string& name, const std::string& source);
   Status SetKnob(const std::string& key, std::int64_t value);
+  // Logs one learned-RUN outcome and folds it into state().bandit. Same
+  // durability contract as every mutation: WAL append + fsync before the
+  // in-memory apply, so the optimizer's learning replays after a crash.
+  Status RecordBanditOutcome(const BanditOutcome& outcome);
 
   // Writes a fresh snapshot (temp + fsync + rename + dir fsync) and
   // resets the WAL. The snapshot is durable before the log shrinks. A

@@ -22,6 +22,7 @@
 #include "flocks/eval.h"
 #include "flocks/filter.h"
 #include "flocks/flock.h"
+#include "optimizer/history.h"
 #include "storage/catalog.h"
 #include "workload/basket_gen.h"
 
@@ -97,6 +98,19 @@ inline std::vector<WorkloadStep> BuildWorkload(unsigned threads) {
                            "QUERY answer(B) :- baskets(B,$1) "
                            "FILTER COUNT >= 2");
        }},
+      // A learned-optimizer outcome before the next checkpoint: the
+      // kBanditOutcome record must survive both snapshot encoding and
+      // WAL replay. Fixed values so the oracle stays thread-invariant.
+      {"record bandit outcome",
+       [](Catalog& c) {
+         BanditOutcome o;
+         o.context = 0x123456789abcdef0ull;
+         o.arm = "direct:cost";
+         o.wall_ms = 1.5;
+         o.rows = 9;
+         o.skew = 2.0;
+         return c.RecordBanditOutcome(o);
+       }},
       {"batch relations",
        [r1, r2](Catalog& c) { return c.PutRelations({r1.get(), r2.get()}); }},
       {"set timeout knob",
@@ -105,6 +119,18 @@ inline std::vector<WorkloadStep> BuildWorkload(unsigned threads) {
        [](Catalog& c) { return c.Checkpoint(); }},
       {"final knob",
        [](Catalog& c) { return c.SetKnob("MEMORY_MB", 64); }},
+      // A second outcome in the same cell after the last checkpoint, so
+      // replay must fold it into aggregates the snapshot already holds.
+      {"record bandit outcome again",
+       [](Catalog& c) {
+         BanditOutcome o;
+         o.context = 0x123456789abcdef0ull;
+         o.arm = "direct:cost";
+         o.wall_ms = 0.5;
+         o.rows = 9;
+         o.skew = 1.0;
+         return c.RecordBanditOutcome(o);
+       }},
   };
 }
 

@@ -177,6 +177,148 @@ TEST(DynamicTest, RejectsNonSupportFilter) {
             StatusCode::kFailedPrecondition);
 }
 
+// --- §4.4 decision-lattice tests: the two-stage rule (ratio gate, then
+// removed-mass check) and the "seen" baseline it leaves behind. The
+// fixture is hand-built so every ratio is exact:
+//
+//   p(B,I): item a in baskets b1..b8 (8 rows), items c,d,e in baskets
+//           b9,b10 (6 rows) — 14 tuples over 4 items, leaf ratio 3.5;
+//   q(B):   chosen per test to reshape the post-join distribution.
+//
+// With threshold 4, aggressiveness 1: the leaf passes the ratio gate
+// (3.5 < 4) but filtering removes only 6/14 = 0.43 of the mass, so
+// min_removed_fraction = 0.5 declines it — a *considered* opportunity
+// that must record a clamped baseline (max(3.5, 4) = 4), not the raw
+// 3.5, or the re-consideration bar after the join would be
+// 0.5 * 3.5 = 1.75 instead of 0.5 * 4 = 2.
+Database LatticeDb(std::vector<std::string> q_baskets) {
+  Relation p("p", Schema({"B", "I"}));
+  for (int i = 1; i <= 8; ++i) {
+    p.AddRow({Value("b" + std::to_string(i)), Value("a")});
+  }
+  for (const char* b : {"b9", "b10"}) {
+    for (const char* item : {"c", "d", "e"}) {
+      p.AddRow({Value(b), Value(item)});
+    }
+  }
+  Relation q("q", Schema({"B"}));
+  for (const std::string& b : q_baskets) q.AddRow({Value(b)});
+  Database db;
+  db.PutRelation(std::move(p));
+  db.PutRelation(std::move(q));
+  return db;
+}
+
+DynamicOptions LatticeOptions() {
+  DynamicOptions options;
+  options.aggressiveness = 1.0;
+  options.improvement_factor = 0.5;
+  options.min_removed_fraction = 0.5;
+  return options;
+}
+
+const DynamicDecision* FindDecision(const DynamicLog& log,
+                                    const std::string& at_prefix) {
+  for (const DynamicDecision& d : log.decisions) {
+    if (d.at.rfind(at_prefix, 0) == 0) return &d;
+  }
+  return nullptr;
+}
+
+TEST(DynamicLatticeTest, MassDeclinedOpportunityIsConsideredNotFiltered) {
+  Database db = LatticeDb({"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8",
+                           "b9", "b10"});
+  QueryFlock flock = Flock("answer(B) :- p(B,$1) AND q(B)",
+                           FilterCondition::MinSupport(4));
+  DynamicLog log;
+  ExpectSame(EvaluateFlock(flock, db),
+             DynamicEvaluate(flock, db, LatticeOptions(), &log));
+  const DynamicDecision* leaf = FindDecision(log, "leaf p");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_NEAR(leaf->ratio, 3.5, 1e-9);
+  EXPECT_TRUE(leaf->considered);   // ratio gate passed (3.5 < 1.0 * 4)
+  EXPECT_FALSE(leaf->filtered);    // but only 6/14 of the mass would go
+  EXPECT_NEAR(leaf->removed_fraction, 6.0 / 14.0, 1e-9);
+  EXPECT_EQ(leaf->rows_before, leaf->rows_after);
+}
+
+TEST(DynamicLatticeTest, DeclinedBaselineIsClampedSoLaterJoinCanFilter) {
+  // q keeps one basket of item a and both c/d/e baskets: after the join
+  // the ratio is 7/4 = 1.75, below 0.5 * clamp(3.5, 4) = 2 — so the set
+  // is re-considered, and this time every group sits below support, so
+  // the whole mass goes and the filter applies. With the raw 3.5
+  // baseline the bar would be 1.75 < 1.75 = false and the §4.4 step
+  // would be locked out by its own earlier decline.
+  Database db = LatticeDb({"b1", "b9", "b10"});
+  QueryFlock flock = Flock("answer(B) :- p(B,$1) AND q(B)",
+                           FilterCondition::MinSupport(4));
+  DynamicLog log;
+  ExpectSame(EvaluateFlock(flock, db),
+             DynamicEvaluate(flock, db, LatticeOptions(), &log));
+  const DynamicDecision* leaf = FindDecision(log, "leaf p");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_TRUE(leaf->considered);
+  EXPECT_FALSE(leaf->filtered);
+  const DynamicDecision* joined = FindDecision(log, "after join");
+  ASSERT_NE(joined, nullptr);
+  EXPECT_NEAR(joined->ratio, 7.0 / 4.0, 1e-9);
+  EXPECT_TRUE(joined->considered);
+  EXPECT_TRUE(joined->filtered);
+  EXPECT_NEAR(joined->removed_fraction, 1.0, 1e-9);
+  EXPECT_EQ(joined->rows_after, 0u);
+  EXPECT_EQ(log.filters_applied, 1u);
+}
+
+TEST(DynamicLatticeTest, UnimprovedRatioIsNotReconsidered) {
+  // q keeps everything: the post-join ratio is still 3.5, nowhere near
+  // 0.5 * 4 = 2, so the seen set is left alone — considered exactly once.
+  Database db = LatticeDb({"b1", "b2", "b3", "b4", "b5", "b6", "b7", "b8",
+                           "b9", "b10"});
+  QueryFlock flock = Flock("answer(B) :- p(B,$1) AND q(B)",
+                           FilterCondition::MinSupport(4));
+  DynamicLog log;
+  ASSERT_TRUE(DynamicEvaluate(flock, db, LatticeOptions(), &log).ok());
+  const DynamicDecision* joined = FindDecision(log, "after join");
+  ASSERT_NE(joined, nullptr);
+  EXPECT_NEAR(joined->ratio, 3.5, 1e-9);
+  EXPECT_FALSE(joined->considered);
+  EXPECT_FALSE(joined->filtered);
+  EXPECT_EQ(joined->removed_fraction, 0.0);
+  EXPECT_EQ(log.filters_applied, 0u);
+}
+
+TEST(DynamicLatticeTest, GateFailedOpportunityRecordsNothingExtra) {
+  // aggressiveness 0.5 puts the gate at 2: the leaf's 3.5 fails it, so
+  // the opportunity is not considered and removed_fraction stays 0 (the
+  // group-mass pass never ran).
+  Database db = LatticeDb({"b1", "b9", "b10"});
+  QueryFlock flock = Flock("answer(B) :- p(B,$1) AND q(B)",
+                           FilterCondition::MinSupport(4));
+  DynamicOptions options = LatticeOptions();
+  options.aggressiveness = 0.5;
+  DynamicLog log;
+  ASSERT_TRUE(DynamicEvaluate(flock, db, options, &log).ok());
+  const DynamicDecision* leaf = FindDecision(log, "leaf p");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_FALSE(leaf->considered);
+  EXPECT_FALSE(leaf->filtered);
+  EXPECT_EQ(leaf->removed_fraction, 0.0);
+}
+
+TEST(DynamicTest, ThreadedScanMatchesSerial) {
+  Database db;
+  db.PutRelation(GenerateBaskets({.n_baskets = 300, .n_items = 50,
+                                  .avg_basket_size = 5, .zipf_theta = 1.0,
+                                  .seed = 29}));
+  QueryFlock flock =
+      Flock("answer(B) :- baskets(B,$1) AND baskets(B,$2) AND $1 < $2",
+            FilterCondition::MinSupport(6));
+  DynamicOptions threaded;
+  threaded.threads = 4;
+  ExpectSame(DynamicEvaluate(flock, db),
+             DynamicEvaluate(flock, db, threaded));
+}
+
 // Property: dynamic evaluation agrees with the direct evaluator across
 // random seeds, thresholds, and aggressiveness settings.
 class DynamicEquivalenceProperty

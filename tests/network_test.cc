@@ -319,6 +319,31 @@ TEST(ServerTest, PingStatsAndBye) {
   EXPECT_EQ(counted.protocol_errors, 0u);
 }
 
+TEST(ServerTest, StatsShowsOptimizerNodeForLearnedSessions) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+  // Before any learned activity the session keeps the old STATS shape.
+  Result<std::string> stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->find("optimizer"), std::string::npos) << *stats;
+  ASSERT_TRUE(
+      client.Execute("GEN BASKETS b n_baskets=60 n_items=10 seed=3").ok());
+  ASSERT_TRUE(
+      client
+          .Execute("FLOCK f QUERY answer(B) :- b(B,$1) FILTER COUNT >= 2")
+          .ok());
+  ASSERT_TRUE(client.Execute("SET OPTIMIZER LEARNED").ok());
+  ASSERT_TRUE(client.Execute("RUN f").ok());
+  ASSERT_TRUE(client.Execute("RUN f").ok());
+  stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("optimizer"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("mode=learned"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("contexts=1"), std::string::npos) << *stats;
+  client.Close();
+}
+
 TEST(ServerTest, VersionMismatchDrawsTypedErrorAndDisconnect) {
   std::unique_ptr<Server> server = StartServer();
   ASSERT_NE(server, nullptr);
