@@ -9,112 +9,408 @@ namespace qf {
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
+    host_ = std::move(other.host_);
+    port_ = std::exchange(other.port_, 0);
+    options_ = other.options_;
     fd_ = std::exchange(other.fd_, -1);
     session_id_ = std::exchange(other.session_id_, 0);
+    token_ = std::exchange(other.token_, 0);
     next_request_id_ = std::exchange(other.next_request_id_, 1);
+    reconnects_ = std::exchange(other.reconnects_, 0);
+    backoff_rng_ = other.backoff_rng_;
+    outstanding_ = std::move(other.outstanding_);
+    stash_ = std::move(other.stash_);
+    other.outstanding_.clear();
+    other.stash_.clear();
   }
   return *this;
 }
 
-Result<Client> Client::Connect(const std::string& host, std::uint16_t port) {
+Result<int> Client::Dial(const std::string& host, std::uint16_t port,
+                         const ClientOptions& options, Welcome* welcome) {
   Result<int> fd = TcpConnect(host, port);
   if (!fd.ok()) return fd.status();
-  Client client;
-  client.fd_ = *fd;
+  int nfd = *fd;
+  auto fail = [nfd](Status status) -> Result<int> {
+    CloseFd(nfd);
+    return status;
+  };
+  if (options.timeout_ms > 0) {
+    if (Status s = SetSocketTimeouts(nfd, options.timeout_ms); !s.ok()) {
+      return fail(std::move(s));
+    }
+  }
+  Frame hello{FrameType::kHello, 0, EncodeHelloBody(options.protocol_version)};
+  if (Status s = WriteFrame(nfd, hello, options.socket_ops); !s.ok()) {
+    return fail(std::move(s));
+  }
+  while (true) {
+    ReadEvent event = ReadFrame(nfd, options.socket_ops);
+    if (event.kind == ReadEvent::Kind::kEof) {
+      return fail(IoError("server closed the connection during handshake"));
+    }
+    if (event.kind == ReadEvent::Kind::kError) return fail(event.status);
+    if (event.frame.type == FrameType::kHeartbeat) continue;
+    if (event.frame.type == FrameType::kError) {
+      return fail(DecodeErrorBody(event.frame.body));
+    }
+    if (event.frame.type != FrameType::kWelcome) {
+      return fail(InvalidArgumentError("expected WELCOME frame from server"));
+    }
+    Result<Welcome> decoded = DecodeWelcomeBody(event.frame.body);
+    if (!decoded.ok()) return fail(decoded.status());
+    *welcome = *decoded;
+    return nfd;
+  }
+}
 
-  Frame hello{FrameType::kHello, 0, EncodeHelloBody()};
-  if (Status s = WriteFrame(client.fd_, hello); !s.ok()) return s;
-  ReadEvent event = ReadFrame(client.fd_);
-  if (event.kind == ReadEvent::Kind::kEof) {
-    return IoError("server closed the connection during handshake");
-  }
-  if (event.kind == ReadEvent::Kind::kError) return event.status;
-  if (event.frame.type == FrameType::kError) {
-    return DecodeErrorBody(event.frame.body);
-  }
-  if (event.frame.type != FrameType::kWelcome) {
-    return InvalidArgumentError("expected WELCOME frame from server");
-  }
-  Result<std::uint64_t> session_id = DecodeWelcomeBody(event.frame.body);
-  if (!session_id.ok()) return session_id.status();
-  client.session_id_ = *session_id;
+Result<Client> Client::Connect(const std::string& host, std::uint16_t port,
+                               ClientOptions options) {
+  Client client;
+  client.host_ = host;
+  client.port_ = port;
+  client.options_ = options;
+  client.backoff_rng_ = Rng(options.backoff_seed);
+  Welcome welcome;
+  Result<int> fd = Dial(host, port, options, &welcome);
+  if (!fd.ok()) return fd.status();
+  client.fd_ = *fd;
+  client.session_id_ = welcome.session_id;
+  client.token_ = welcome.resume_token;  // zero for v1: nothing to resume
   return client;
 }
 
+bool Client::ConnectionLost(const Status& status) {
+  // IO_ERROR: reset/EOF/mid-frame timeout. INVALID_ARGUMENT from
+  // ReadFrame: the stream is poisoned (corrupt length, bad checksum) —
+  // framing cannot be recovered, only a redial can. Typed statuses like
+  // a boundary DEADLINE_EXCEEDED leave the connection usable.
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kInvalidArgument;
+}
+
+Status Client::TryResume() {
+  Welcome welcome;
+  Result<int> fd = Dial(host_, port_, options_, &welcome);
+  if (!fd.ok()) return fd.status();
+  int nfd = *fd;
+  auto fail = [nfd](Status status) {
+    CloseFd(nfd);
+    return status;
+  };
+  if (welcome.version < 2) {
+    return fail(FailedPreconditionError(
+        "server negotiated protocol v1; session not resumable"));
+  }
+  // Re-attach under our original identity; the fresh session from this
+  // handshake is discarded by the server on success.
+  Frame resume{FrameType::kResume, 0,
+               EncodeResumeBody(ResumeRequest{session_id_, token_})};
+  if (Status s = WriteFrame(nfd, resume, options_.socket_ops); !s.ok()) {
+    return fail(std::move(s));
+  }
+  while (true) {
+    ReadEvent event = ReadFrame(nfd, options_.socket_ops);
+    if (event.kind == ReadEvent::Kind::kEof) {
+      return fail(IoError("connection closed during RESUME"));
+    }
+    if (event.kind == ReadEvent::Kind::kError) return fail(event.status);
+    if (event.frame.type == FrameType::kHeartbeat) continue;
+    if (event.frame.type == FrameType::kError) {
+      return fail(DecodeErrorBody(event.frame.body));
+    }
+    if (event.frame.type != FrameType::kResumed) {
+      return fail(InvalidArgumentError("expected RESUMED frame"));
+    }
+    break;
+  }
+  // Replay every unanswered request under its original id: the server
+  // answers executed ids from its replay cache, deduplicates in-flight
+  // ones, and admits the rest — nothing runs twice.
+  for (const Outstanding& o : outstanding_) {
+    Frame stmt{FrameType::kStmt, o.request_id, o.statement};
+    if (Status s = WriteFrame(nfd, stmt, options_.socket_ops); !s.ok()) {
+      return fail(std::move(s));
+    }
+  }
+  fd_ = nfd;
+  return Status::Ok();
+}
+
+Status Client::Reconnect(Status cause) {
+  if (fd_ >= 0) {
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+  if (token_ == 0 || options_.max_reconnects <= 0) {
+    return cause;  // resumption off (v1 or configured away): terminal
+  }
+  RetryPolicy policy = options_.reconnect_backoff;
+  policy.max_attempts = options_.max_reconnects;
+  Status resumed = RetryWithBackoff(
+      policy, backoff_rng_, [this] { return TryResume(); },
+      [](const Status& status) {
+        // NOT_FOUND: the server reaped (or never had) the session —
+        // permanent. FAILED_PRECONDITION: resumption is impossible on
+        // principle (v1 server). CANCELLED: the governor tripped.
+        // Everything else is a transient dial/handshake failure.
+        return status.code() != StatusCode::kNotFound &&
+               status.code() != StatusCode::kFailedPrecondition &&
+               status.code() != StatusCode::kCancelled;
+      },
+      options_.ctx);
+  if (!resumed.ok()) {
+    token_ = 0;  // the session is unrecoverable; stop trying
+    return resumed;
+  }
+  ++reconnects_;
+  return Status::Ok();
+}
+
+Result<Frame> Client::ReadReplyFrame(const Frame* retriable_op) {
+  while (true) {
+    if (!connected()) {
+      if (Status s = Reconnect(IoError("client is not connected")); !s.ok()) {
+        return s;
+      }
+      if (retriable_op != nullptr) {
+        Status w = WriteFrame(fd_, *retriable_op, options_.socket_ops);
+        if (!w.ok()) {
+          if (!ConnectionLost(w)) return w;
+          CloseFd(fd_);
+          fd_ = -1;
+          continue;
+        }
+      }
+    }
+    ReadEvent event = ReadFrame(fd_, options_.socket_ops);
+    if (event.kind == ReadEvent::Kind::kFrame) {
+      if (event.frame.type == FrameType::kHeartbeat) continue;
+      if (event.frame.type == FrameType::kError &&
+          event.frame.request_id == 0) {
+        // Request ids start at 1: an id-0 ERROR mid-conversation is the
+        // server reporting a poisoned stream (e.g. our frame arrived
+        // corrupted) before hanging up — a connection-level failure,
+        // not any statement's reply. Redial and replay.
+        Status cause = DecodeErrorBody(event.frame.body);
+        CloseFd(fd_);
+        fd_ = -1;
+        if (Status s = Reconnect(std::move(cause)); !s.ok()) return s;
+        if (retriable_op != nullptr) {
+          Status w = WriteFrame(fd_, *retriable_op, options_.socket_ops);
+          if (!w.ok()) {
+            if (!ConnectionLost(w)) return w;
+            CloseFd(fd_);
+            fd_ = -1;  // redial on the next pass
+          }
+        }
+        continue;
+      }
+      return std::move(event.frame);
+    }
+    Status cause = event.kind == ReadEvent::Kind::kEof
+                       ? IoError("server closed the connection")
+                       : event.status;
+    if (!ConnectionLost(cause)) return cause;  // e.g. a clean timeout
+    if (Status s = Reconnect(std::move(cause)); !s.ok()) return s;
+    if (retriable_op != nullptr) {
+      Status w = WriteFrame(fd_, *retriable_op, options_.socket_ops);
+      if (!w.ok()) {
+        if (!ConnectionLost(w)) return w;
+        CloseFd(fd_);
+        fd_ = -1;  // redial on the next pass
+      }
+    }
+  }
+}
+
+bool Client::ConsumeReply(Frame& frame, std::uint64_t self_id) {
+  if (frame.type != FrameType::kResult && frame.type != FrameType::kError) {
+    return false;
+  }
+  if (frame.request_id == self_id) return false;
+  for (const Outstanding& o : outstanding_) {
+    if (o.request_id != frame.request_id) continue;
+    Reply reply;
+    reply.request_id = frame.request_id;
+    if (frame.type == FrameType::kResult) {
+      reply.output = std::move(frame.body);
+    } else {
+      reply.status = DecodeErrorBody(frame.body);
+    }
+    stash_.emplace(frame.request_id, std::move(reply));
+    return true;
+  }
+  // A reply for a request no longer outstanding: the server sent it
+  // twice (once into the dying socket, once replayed from the cache).
+  // Exactly-once delivery to the caller means dropping it here.
+  return true;
+}
+
+bool Client::EraseOutstanding(std::uint64_t request_id) {
+  for (auto it = outstanding_.begin(); it != outstanding_.end(); ++it) {
+    if (it->request_id == request_id) {
+      outstanding_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<std::uint64_t> Client::Send(std::string_view statement) {
-  if (!connected()) return FailedPreconditionError("client is not connected");
+  if (!connected() && token_ == 0) {
+    return FailedPreconditionError("client is not connected");
+  }
   std::uint64_t id = next_request_id_++;
-  Frame frame{FrameType::kStmt, id, std::string(statement)};
-  if (Status s = WriteFrame(fd_, frame); !s.ok()) return s;
-  return id;
+  outstanding_.push_back(Outstanding{id, std::string(statement)});
+  if (!connected()) {
+    // A previous loss was not yet repaired; the reconnect's replay
+    // carries this request along.
+    if (Status s = Reconnect(IoError("client is not connected")); !s.ok()) {
+      outstanding_.pop_back();
+      return s;
+    }
+    return id;
+  }
+  Frame frame{FrameType::kStmt, id, outstanding_.back().statement};
+  Status s = WriteFrame(fd_, frame, options_.socket_ops);
+  if (s.ok()) return id;
+  if (ConnectionLost(s)) {
+    // The reconnect replays outstanding_ — including this request.
+    if (Status r = Reconnect(std::move(s)); !r.ok()) {
+      outstanding_.pop_back();
+      return r;
+    }
+    return id;
+  }
+  // Typed failure at a frame boundary (send timeout before any byte):
+  // the request was never transmitted and is not outstanding.
+  outstanding_.pop_back();
+  return s;
 }
 
 Result<Client::Reply> Client::Recv() {
-  if (!connected()) return FailedPreconditionError("client is not connected");
-  ReadEvent event = ReadFrame(fd_);
-  if (event.kind == ReadEvent::Kind::kEof) {
-    return IoError("server closed the connection");
+  if (!connected() && token_ == 0) {
+    return FailedPreconditionError("client is not connected");
   }
-  if (event.kind == ReadEvent::Kind::kError) return event.status;
-  Reply reply;
-  reply.request_id = event.frame.request_id;
-  if (event.frame.type == FrameType::kResult) {
-    reply.output = std::move(event.frame.body);
+  if (outstanding_.empty()) {
+    return FailedPreconditionError("no outstanding requests");
+  }
+  // Replies surface in ARRIVAL order, not send order: admitted
+  // statements answer in admission order but shed ones answer
+  // immediately, and a pipelining caller must see those fast
+  // rejections while earlier statements still run.
+  while (true) {
+    if (!stash_.empty()) {
+      auto hit = stash_.begin();
+      Reply reply = std::move(hit->second);
+      stash_.erase(hit);
+      EraseOutstanding(reply.request_id);
+      return reply;
+    }
+    Result<Frame> frame = ReadReplyFrame(nullptr);
+    if (!frame.ok()) return frame.status();
+    if (frame->type != FrameType::kResult &&
+        frame->type != FrameType::kError) {
+      return InvalidArgumentError("unexpected reply frame type");
+    }
+    if (!EraseOutstanding(frame->request_id)) {
+      // A reply for a request no longer outstanding: the server sent it
+      // twice (once into the dying socket, once replayed from the
+      // cache). Exactly-once delivery to the caller means dropping it.
+      continue;
+    }
+    Reply reply;
+    reply.request_id = frame->request_id;
+    if (frame->type == FrameType::kResult) {
+      reply.output = std::move(frame->body);
+    } else {
+      reply.status = DecodeErrorBody(frame->body);
+    }
     return reply;
   }
-  if (event.frame.type == FrameType::kError) {
-    reply.status = DecodeErrorBody(event.frame.body);
-    return reply;
-  }
-  return InvalidArgumentError("unexpected reply frame type");
 }
 
 Result<std::string> Client::Execute(std::string_view statement) {
   Result<std::uint64_t> id = Send(statement);
   if (!id.ok()) return id.status();
-  Result<Reply> reply = Recv();
-  if (!reply.ok()) return reply.status();
-  if (!reply->status.ok()) return reply->status;
-  return std::move(reply->output);
+  while (true) {
+    Result<Reply> reply = Recv();
+    if (!reply.ok()) return reply.status();
+    if (reply->request_id != *id) {
+      // A late reply to an earlier request the caller abandoned (for
+      // example after its Execute surfaced a typed timeout); drop it
+      // and keep waiting for ours.
+      continue;
+    }
+    if (!reply->status.ok()) return reply->status;
+    return std::move(reply->output);
+  }
 }
 
 Result<std::string> Client::Stats() {
-  if (!connected()) return FailedPreconditionError("client is not connected");
-  std::uint64_t id = next_request_id_++;
-  if (Status s = WriteFrame(fd_, Frame{FrameType::kStats, id, ""}); !s.ok()) {
-    return s;
+  if (!connected() && token_ == 0) {
+    return FailedPreconditionError("client is not connected");
   }
-  Result<Reply> reply = Recv();
-  if (!reply.ok()) return reply.status();
-  if (!reply->status.ok()) return reply->status;
-  return std::move(reply->output);
+  std::uint64_t id = next_request_id_++;
+  Frame request{FrameType::kStats, id, ""};
+  if (connected()) {
+    if (Status s = WriteFrame(fd_, request, options_.socket_ops); !s.ok()) {
+      if (!ConnectionLost(s)) return s;
+      CloseFd(fd_);
+      fd_ = -1;  // ReadReplyFrame redials and re-sends the request
+    }
+  }
+  while (true) {
+    Result<Frame> frame = ReadReplyFrame(&request);
+    if (!frame.ok()) return frame.status();
+    if (ConsumeReply(*frame, id)) continue;
+    if (frame->request_id != id) {
+      return InvalidArgumentError("unexpected STATS reply");
+    }
+    if (frame->type == FrameType::kResult) return std::move(frame->body);
+    if (frame->type == FrameType::kError) return DecodeErrorBody(frame->body);
+    return InvalidArgumentError("unexpected STATS reply frame type");
+  }
 }
 
 Status Client::Ping() {
-  if (!connected()) return FailedPreconditionError("client is not connected");
+  if (!connected() && token_ == 0) {
+    return FailedPreconditionError("client is not connected");
+  }
   std::uint64_t id = next_request_id_++;
-  if (Status s = WriteFrame(fd_, Frame{FrameType::kPing, id, ""}); !s.ok()) {
-    return s;
+  Frame request{FrameType::kPing, id, ""};
+  if (connected()) {
+    if (Status s = WriteFrame(fd_, request, options_.socket_ops); !s.ok()) {
+      if (!ConnectionLost(s)) return s;
+      CloseFd(fd_);
+      fd_ = -1;
+    }
   }
-  ReadEvent event = ReadFrame(fd_);
-  if (event.kind == ReadEvent::Kind::kEof) {
-    return IoError("server closed the connection");
+  while (true) {
+    Result<Frame> frame = ReadReplyFrame(&request);
+    if (!frame.ok()) return frame.status();
+    if (ConsumeReply(*frame, id)) continue;
+    if (frame->type == FrameType::kError && frame->request_id == id) {
+      return DecodeErrorBody(frame->body);
+    }
+    if (frame->type != FrameType::kPong || frame->request_id != id) {
+      return InvalidArgumentError("unexpected PING reply");
+    }
+    return Status::Ok();
   }
-  if (event.kind == ReadEvent::Kind::kError) return event.status;
-  if (event.frame.type == FrameType::kError) {
-    return DecodeErrorBody(event.frame.body);
-  }
-  if (event.frame.type != FrameType::kPong || event.frame.request_id != id) {
-    return InvalidArgumentError("unexpected PING reply");
-  }
-  return Status::Ok();
 }
 
 void Client::Close() {
-  if (!connected()) return;
-  (void)WriteFrame(fd_, Frame{FrameType::kBye, next_request_id_++, ""});
-  CloseFd(fd_);
-  fd_ = -1;
+  if (connected()) {
+    (void)WriteFrame(fd_, Frame{FrameType::kBye, next_request_id_++, ""},
+                     options_.socket_ops);
+    CloseFd(fd_);
+    fd_ = -1;
+  }
+  token_ = 0;
+  outstanding_.clear();
+  stash_.clear();
 }
 
 }  // namespace qf

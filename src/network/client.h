@@ -8,20 +8,64 @@
 //     frame comes back as that frame's typed Status (DEADLINE_EXCEEDED,
 //     OVERLOADED, ...), exactly what a local Shell::Execute would return.
 //   * Send()/Recv() — pipelining: queue several statements, then collect
-//     replies. Replies to admitted statements arrive in admission order;
-//     shed statements are answered immediately, so callers match replies
-//     to requests by the echoed request id.
+//     replies. Recv delivers replies in send order (shed statements are
+//     answered by the server immediately, but the client stashes
+//     out-of-order arrivals), echoing each request id.
+//
+// Fault tolerance (protocol v2, on by default): when the connection
+// breaks — reset, mid-frame EOF, or a poisoned stream — the client
+// redials with capped exponential backoff (common/retry.h), RESUMEs its
+// session with the token from WELCOME, and replays every unanswered
+// request under its original id. The server answers already-executed ids
+// from its replay cache and deduplicates in-flight ones, so Execute() is
+// exactly-once across connection loss: a mutation acknowledged after a
+// reconnect ran once, not maybe-twice. Replies the server sent twice
+// (once into the dying socket, once from the cache) are deduplicated
+// here by request id. A session the server already reaped surfaces as
+// NOT_FOUND. Socket timeouts (ClientOptions::timeout_ms) surface as
+// DEADLINE_EXCEEDED without a reconnect: the connection is still
+// well-framed, only slow. Server HEARTBEAT frames are consumed silently.
 #ifndef QF_NETWORK_CLIENT_H_
 #define QF_NETWORK_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <string>
 #include <string_view>
 
+#include "common/resource.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "network/protocol.h"
 
 namespace qf {
+
+struct ClientOptions {
+  // Socket send/receive timeouts (SO_SNDTIMEO/SO_RCVTIMEO), applied to
+  // every connection this client dials. 0 = block forever. An expired
+  // timeout surfaces as DEADLINE_EXCEEDED instead of a hang.
+  int timeout_ms = 0;
+  // Redial budget per connection loss (attempts of the full
+  // dial+handshake+RESUME+replay sequence). 0 disables reconnection:
+  // a lost connection is a terminal IO_ERROR, as in protocol v1.
+  int max_reconnects = 8;
+  // Backoff schedule between redial attempts; max_attempts is ignored
+  // in favor of max_reconnects.
+  RetryPolicy reconnect_backoff{/*max_attempts=*/8, /*base_delay_us=*/2'000,
+                                /*max_delay_us=*/200'000};
+  // Seed for the deterministic backoff jitter (common/rng.h).
+  std::uint64_t backoff_seed = 0x51F0C4C55AFED00Dull;
+  // Governor: cancellation/deadline polled during backoff sleeps and
+  // between redial attempts. May be null.
+  QueryContext* ctx = nullptr;
+  // Socket I/O seam (null = plain syscalls); the chaos tests point this
+  // at a FaultSocketOps to break the client side of the conversation.
+  SocketOps* socket_ops = nullptr;
+  // Protocol version to offer in HELLO. Version 1 keeps the PR 6
+  // behaviour end to end: no resume token, no reconnection.
+  std::uint32_t protocol_version = kProtocolVersion;
+};
 
 class Client {
  public:
@@ -35,12 +79,19 @@ class Client {
 
   // Connects and handshakes. A version-mismatch or overload rejection
   // from the server comes back as that typed status.
-  static Result<Client> Connect(const std::string& host, std::uint16_t port);
+  static Result<Client> Connect(const std::string& host, std::uint16_t port,
+                                ClientOptions options = {});
 
   bool connected() const { return fd_ >= 0; }
   std::uint64_t session_id() const { return session_id_; }
+  // The resume token from WELCOME; zero for v1 sessions.
+  std::uint64_t resume_token() const { return token_; }
+  // Connection losses successfully resumed away so far.
+  std::uint64_t reconnects() const { return reconnects_; }
 
-  // Sends one STMT frame; returns its request id without waiting.
+  // Sends one STMT frame; returns its request id without waiting. The
+  // request stays tracked (and is replayed across reconnects) until
+  // Recv delivers its reply.
   Result<std::uint64_t> Send(std::string_view statement);
 
   // One statement's reply.
@@ -50,8 +101,9 @@ class Client {
     std::string output;  // RESULT body (empty on error)
   };
 
-  // Blocks for the next RESULT/ERROR frame. Fails with IO_ERROR or
-  // INVALID_ARGUMENT if the connection breaks or the server misspeaks.
+  // Blocks for the oldest unanswered request's reply (send order).
+  // Fails with IO_ERROR or INVALID_ARGUMENT only once the connection
+  // broke and could not be resumed.
   Result<Reply> Recv();
 
   // Send + Recv: one statement, its output. An error reply becomes the
@@ -65,13 +117,55 @@ class Client {
   // Liveness probe (PING/PONG round trip).
   Status Ping();
 
-  // Best-effort BYE, then closes the socket. Idempotent.
+  // Best-effort BYE (ends the session server-side: a BYE'd session is
+  // not resumable), then closes the socket. Idempotent.
   void Close();
 
  private:
+  struct Outstanding {
+    std::uint64_t request_id = 0;
+    std::string statement;
+  };
+
+  // Dials, applies timeouts, handshakes. On success *welcome holds the
+  // server's WELCOME and the connected fd is returned.
+  static Result<int> Dial(const std::string& host, std::uint16_t port,
+                          const ClientOptions& options, Welcome* welcome);
+  // True for statuses that mean "the connection is unusable" (reset,
+  // EOF mid-frame, poisoned framing) rather than a typed reply.
+  static bool ConnectionLost(const Status& status);
+  // Redial + RESUME + replay of outstanding_, with backoff. On failure
+  // the client is closed and the terminal status returned.
+  Status Reconnect(Status cause);
+  // One redial attempt (no backoff).
+  Status TryResume();
+  // Reads one frame, transparently consuming heartbeats and resuming
+  // across connection loss. `retriable_op`: when non-null and the
+  // connection is re-established, the frame in it is re-sent before
+  // reading on (for PING/STATS, which are not tracked in outstanding_).
+  Result<Frame> ReadReplyFrame(const Frame* retriable_op);
+  // True when `frame` was a statement reply and was consumed here:
+  // stashed for its outstanding request, or dropped as a post-resume
+  // duplicate. Frames answering `self_id` are left for the caller.
+  bool ConsumeReply(Frame& frame, std::uint64_t self_id);
+  // Removes `request_id` from outstanding_; false if it wasn't there
+  // (its reply was already delivered — a post-resume duplicate).
+  bool EraseOutstanding(std::uint64_t request_id);
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  ClientOptions options_;
   int fd_ = -1;
   std::uint64_t session_id_ = 0;
+  std::uint64_t token_ = 0;
   std::uint64_t next_request_id_ = 1;
+  std::uint64_t reconnects_ = 0;
+  Rng backoff_rng_;
+  // Sent-but-unanswered statements, oldest first; replayed on resume.
+  std::deque<Outstanding> outstanding_;
+  // Replies consumed while waiting on a different frame (PING/STATS,
+  // resume replay); drained by Recv before reading the socket.
+  std::map<std::uint64_t, Reply> stash_;
 };
 
 }  // namespace qf

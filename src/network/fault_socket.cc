@@ -1,0 +1,71 @@
+#include "network/fault_socket.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace qf {
+
+bool FaultSocketOps::Armed(std::uint64_t op) {
+  if (config_.fault == SocketFault::kNone || config_.fault_at_op == 0) {
+    return false;
+  }
+  if (op == config_.fault_at_op) return true;
+  if (config_.repeat_every != 0 && op > config_.fault_at_op &&
+      (op - config_.fault_at_op) % config_.repeat_every == 0) {
+    return true;
+  }
+  return false;
+}
+
+ssize_t FaultSocketOps::Recv(int fd, char* buf, std::size_t n) {
+  std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Armed(op)) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    switch (config_.fault) {
+      case SocketFault::kDisconnect:
+        ::shutdown(fd, SHUT_RDWR);
+        errno = ECONNRESET;
+        return -1;
+      case SocketFault::kError:
+        errno = config_.fault_errno != 0 ? config_.fault_errno : ECONNRESET;
+        return -1;
+      case SocketFault::kCorruptByte: {
+        ssize_t got = base_->Recv(fd, buf, std::min<std::size_t>(n, 1));
+        if (got > 0) buf[0] = static_cast<char>(buf[0] ^ 0x01);
+        return got;
+      }
+      case SocketFault::kNone:
+        break;
+    }
+  }
+  if (config_.max_chunk != 0) n = std::min(n, config_.max_chunk);
+  return base_->Recv(fd, buf, n);
+}
+
+ssize_t FaultSocketOps::Send(int fd, const char* buf, std::size_t n) {
+  std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Armed(op)) {
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    switch (config_.fault) {
+      case SocketFault::kDisconnect:
+        ::shutdown(fd, SHUT_RDWR);
+        errno = ECONNRESET;
+        return -1;
+      case SocketFault::kError:
+        errno = config_.fault_errno != 0 ? config_.fault_errno : EPIPE;
+        return -1;
+      case SocketFault::kCorruptByte: {
+        char bent = static_cast<char>(buf[0] ^ 0x01);
+        return base_->Send(fd, &bent, 1);
+      }
+      case SocketFault::kNone:
+        break;
+    }
+  }
+  if (config_.max_chunk != 0) n = std::min(n, config_.max_chunk);
+  return base_->Send(fd, buf, n);
+}
+
+}  // namespace qf

@@ -1,0 +1,83 @@
+// Fault injection for the wire: the network analog of the storage
+// layer's FaultVfs (common/vfs.h). FaultSocketOps wraps a base SocketOps
+// and misbehaves on schedule — short reads/writes, a typed errno
+// (ECONNRESET/EPIPE/ETIMEDOUT) at op N, a mid-frame disconnect, or a
+// flipped byte — so the chaos harness (tests/network_chaos_test.cc) can
+// kill a conversation at *every* protocol op deterministically, and
+// qfserverd's --fault flag can do the same against live clients.
+//
+// An "op" is one Recv or Send call through this instance, counted
+// across every fd and thread that shares it. With max_chunk set, each
+// op moves at most that many bytes, so a frame spans several ops and a
+// fault scheduled mid-frame lands mid-frame: both directions of the
+// reassembly loops (ReadFull/WriteFrame) get exercised on every run.
+#ifndef QF_NETWORK_FAULT_SOCKET_H_
+#define QF_NETWORK_FAULT_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "network/socket.h"
+
+namespace qf {
+
+enum class SocketFault : std::uint8_t {
+  kNone = 0,
+  // shutdown(fd, SHUT_RDWR) then fail with ECONNRESET: the connection
+  // dies exactly as if the peer (or the network) reset it.
+  kDisconnect,
+  // Fail the op with `fault_errno` without touching the socket. The
+  // caller sees a typed socket error; the connection may survive.
+  kError,
+  // Flip the low bit of the first byte moved by this op, then perform
+  // it normally. A corrupted frame fails its CRC32C at the receiver,
+  // which poisons the stream and forces a disconnect.
+  kCorruptByte,
+};
+
+struct FaultSocketConfig {
+  // 1-based op index the fault fires at; 0 disables scheduled faults.
+  std::uint64_t fault_at_op = 0;
+  SocketFault fault = SocketFault::kNone;
+  // errno for SocketFault::kError (ECONNRESET, EPIPE, ETIMEDOUT, ...).
+  int fault_errno = 0;
+  // When nonzero the fault re-arms: it fires at fault_at_op, then every
+  // `repeat_every` ops after that (qfserverd --fault kill-every=N).
+  // Zero = one-shot.
+  std::uint64_t repeat_every = 0;
+  // When nonzero, every op transfers at most this many bytes — constant
+  // short reads and short writes, independent of the scheduled fault.
+  std::size_t max_chunk = 0;
+};
+
+class FaultSocketOps : public SocketOps {
+ public:
+  explicit FaultSocketOps(FaultSocketConfig config,
+                          SocketOps* base = nullptr)
+      : config_(config),
+        base_(base != nullptr ? base : DefaultSocketOps()) {}
+
+  ssize_t Recv(int fd, char* buf, std::size_t n) override;
+  ssize_t Send(int fd, const char* buf, std::size_t n) override;
+
+  // Ops seen so far. A fault-free instrumented run measures the sweep
+  // length: faults are then scheduled at 1..ops().
+  std::uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+  // How many times the scheduled fault has fired.
+  std::uint64_t faults_fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Returns true when this op should fail (one-shot or repeating).
+  bool Armed(std::uint64_t op);
+
+  FaultSocketConfig config_;
+  SocketOps* base_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> fired_{0};
+};
+
+}  // namespace qf
+
+#endif  // QF_NETWORK_FAULT_SOCKET_H_

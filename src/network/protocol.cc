@@ -1,9 +1,5 @@
 #include "network/protocol.h"
 
-#include <sys/socket.h>
-#include <sys/types.h>
-#include <unistd.h>
-
 #include <cerrno>
 #include <cstring>
 
@@ -13,7 +9,7 @@ namespace qf {
 
 bool IsKnownFrameType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         type <= static_cast<std::uint8_t>(FrameType::kBye);
+         type <= static_cast<std::uint8_t>(FrameType::kHeartbeat);
 }
 
 void AppendU32(std::string& out, std::uint32_t v) {
@@ -129,14 +125,14 @@ Status DecodeErrorBody(std::string_view body) {
   return Status(static_cast<StatusCode>(code), std::move(message));
 }
 
-std::string EncodeHelloBody() {
+std::string EncodeHelloBody(std::uint32_t version) {
   std::string body;
   AppendU32(body, kProtocolMagic);
-  AppendU32(body, kProtocolVersion);
+  AppendU32(body, version);
   return body;
 }
 
-Status CheckHelloBody(std::string_view body) {
+Result<std::uint32_t> CheckHelloBody(std::string_view body) {
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
   if (!ReadU32(body, 0, &magic) || !ReadU32(body, 4, &version)) {
@@ -145,48 +141,73 @@ Status CheckHelloBody(std::string_view body) {
   if (magic != kProtocolMagic) {
     return InvalidArgumentError("bad protocol magic");
   }
-  if (version != kProtocolVersion) {
+  if (version < kMinProtocolVersion || version > kProtocolVersion) {
     return FailedPreconditionError(
         "unsupported protocol version " + std::to_string(version) +
-        " (server speaks " + std::to_string(kProtocolVersion) + ")");
+        " (server speaks " + std::to_string(kMinProtocolVersion) + ".." +
+        std::to_string(kProtocolVersion) + ")");
   }
-  return Status::Ok();
+  return version;
 }
 
-std::string EncodeWelcomeBody(std::uint64_t session_id) {
+std::string EncodeWelcomeBody(const Welcome& welcome) {
   std::string body;
-  AppendU32(body, kProtocolVersion);
-  AppendU64(body, session_id);
+  AppendU32(body, welcome.version);
+  AppendU64(body, welcome.session_id);
+  if (welcome.version >= 2) AppendU64(body, welcome.resume_token);
   return body;
 }
 
-Result<std::uint64_t> DecodeWelcomeBody(std::string_view body) {
-  std::uint32_t version = 0;
-  std::uint64_t session_id = 0;
-  if (!ReadU32(body, 0, &version) || !ReadU64(body, 4, &session_id)) {
+Result<Welcome> DecodeWelcomeBody(std::string_view body) {
+  Welcome welcome;
+  if (!ReadU32(body, 0, &welcome.version) ||
+      !ReadU64(body, 4, &welcome.session_id)) {
     return InvalidArgumentError("short WELCOME body");
   }
-  if (version != kProtocolVersion) {
+  if (welcome.version < kMinProtocolVersion ||
+      welcome.version > kProtocolVersion) {
     return FailedPreconditionError("server speaks protocol version " +
-                                   std::to_string(version));
+                                   std::to_string(welcome.version));
   }
-  return session_id;
+  if (welcome.version >= 2 && !ReadU64(body, 12, &welcome.resume_token)) {
+    return InvalidArgumentError("short v2 WELCOME body");
+  }
+  return welcome;
+}
+
+std::string EncodeResumeBody(const ResumeRequest& resume) {
+  std::string body;
+  AppendU64(body, resume.session_id);
+  AppendU64(body, resume.resume_token);
+  return body;
+}
+
+Result<ResumeRequest> DecodeResumeBody(std::string_view body) {
+  ResumeRequest resume;
+  if (!ReadU64(body, 0, &resume.session_id) ||
+      !ReadU64(body, 8, &resume.resume_token)) {
+    return InvalidArgumentError("short RESUME body");
+  }
+  return resume;
 }
 
 namespace {
 
 // Reads exactly `n` bytes. Returns n on success, 0 for EOF before the
-// first byte, -1 for EOF mid-buffer, -2 for a socket error (errno set).
-ssize_t ReadFull(int fd, char* buf, std::size_t n) {
+// first byte, -1 for EOF mid-buffer, -2 for a socket error (errno set),
+// -3 for a receive timeout before the first byte (SO_RCVTIMEO expired at
+// a clean boundary), -4 for a timeout mid-buffer (stream position lost).
+ssize_t ReadFull(int fd, SocketOps* ops, char* buf, std::size_t n) {
   std::size_t done = 0;
   while (done < n) {
-    ssize_t got = ::recv(fd, buf + done, n - done, 0);
+    ssize_t got = ops->Recv(fd, buf + done, n - done);
     if (got > 0) {
       done += static_cast<std::size_t>(got);
       continue;
     }
     if (got == 0) return done == 0 ? 0 : -1;
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return done == 0 ? -3 : -4;
     return -2;
   }
   return static_cast<ssize_t>(done);
@@ -194,16 +215,30 @@ ssize_t ReadFull(int fd, char* buf, std::size_t n) {
 
 }  // namespace
 
-ReadEvent ReadFrame(int fd) {
+ReadEvent ReadFrame(int fd, SocketOps* ops) {
+  if (ops == nullptr) ops = DefaultSocketOps();
   ReadEvent event;
   char header[kFrameHeaderBytes];
-  ssize_t got = ReadFull(fd, header, sizeof(header));
+  ssize_t got = ReadFull(fd, ops, header, sizeof(header));
   if (got == 0) {
     event.kind = ReadEvent::Kind::kEof;
     return event;
   }
   if (got == -1) {
     event.status = InvalidArgumentError("truncated frame header");
+    return event;
+  }
+  if (got == -3) {
+    // No frame had started: the connection is still well-framed, the
+    // peer is just slow. A clean, typed timeout.
+    event.status = DeadlineExceededError("socket receive timed out");
+    return event;
+  }
+  if (got == -4) {
+    // The timeout struck mid-frame; the stream position is lost and the
+    // connection cannot be reused. Surface a connection-level error so
+    // resuming clients redial instead of reading garbage.
+    event.status = IoError("socket receive timed out mid-frame");
     return event;
   }
   if (got < 0) {
@@ -225,9 +260,14 @@ ReadEvent ReadFrame(int fd) {
     return event;
   }
   std::string payload(length, '\0');
-  got = ReadFull(fd, payload.data(), payload.size());
+  got = ReadFull(fd, ops, payload.data(), payload.size());
   if (got == 0 || got == -1) {
     event.status = InvalidArgumentError("truncated frame payload");
+    return event;
+  }
+  if (got == -3 || got == -4) {
+    // Any timeout here is mid-frame (the header was already consumed).
+    event.status = IoError("socket receive timed out mid-frame");
     return event;
   }
   if (got < 0) {
@@ -251,17 +291,24 @@ ReadEvent ReadFrame(int fd) {
   return event;
 }
 
-Status WriteFrame(int fd, const Frame& frame) {
+Status WriteFrame(int fd, const Frame& frame, SocketOps* ops) {
+  if (ops == nullptr) ops = DefaultSocketOps();
   std::string bytes = EncodeFrame(frame);
   std::size_t done = 0;
   while (done < bytes.size()) {
-    ssize_t sent =
-        ::send(fd, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    ssize_t sent = ops->Send(fd, bytes.data() + done, bytes.size() - done);
     if (sent >= 0) {
       done += static_cast<std::size_t>(sent);
       continue;
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Same boundary rule as ReadFrame: a frame partially written
+      // leaves the stream unframed, which is a connection loss, not a
+      // clean timeout.
+      if (done > 0) return IoError("socket send timed out mid-frame");
+      return DeadlineExceededError("socket send timed out");
+    }
     return IoError(std::string("send: ") + std::strerror(errno));
   }
   return Status::Ok();

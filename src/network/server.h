@@ -3,15 +3,16 @@
 // "general-purpose mining system", serving many interactive sessions in
 // the style of Goethals & Van den Bussche's constrained-mining sessions).
 //
-// Architecture (three thread groups, one admission queue):
+// Architecture (three thread groups plus a reaper, one admission queue):
 //
 //   accept thread      owns the listening socket; registers a Session per
 //                      connection (shedding past max_sessions) and spawns
 //                      its reader.
 //   reader threads     one per connection: handshake, then decode frames.
-//                      PING/STATS/BYE are answered inline; STMT goes
-//                      through admission. Malformed frames draw a typed
-//                      ERROR and a disconnect (protocol.h).
+//                      PING/STATS/BYE/RESUME are answered inline; STMT
+//                      goes through admission. Malformed frames draw a
+//                      typed ERROR and a disconnect (protocol.h). Idle
+//                      connections are probed with HEARTBEAT frames.
 //   executor threads   a fixed pool that drains the admission queue and
 //                      runs statements via the shared shell entry point
 //                      (shell/statement.h). Inside a statement, the
@@ -19,6 +20,8 @@
 //                      intra-statement parallelism as usual, so the
 //                      executor count caps concurrent *statements* and
 //                      the morsel pool multiplexes their scans.
+//   reaper thread      destroys detached (resumable) sessions whose
+//                      resume window expired.
 //
 // Sessions: each client gets its own Shell — its own catalog view,
 // rules, flocks, and knobs — seeded copy-on-write from one shared
@@ -30,6 +33,20 @@
 // strictly in order, one at a time (the Shell is single-threaded);
 // different sessions run concurrently up to the executor count.
 //
+// Resumption and exactly-once (protocol v2, DESIGN.md §16): when a v2
+// connection drops without a BYE, its session *detaches* instead of
+// dying — in-flight statements keep executing (their WAL commits are
+// real; cancelling them would make an acknowledged-to-the-log mutation
+// look unexecuted), and every reply is retained in a bounded per-session
+// replay cache keyed by request id. A client that reconnects and RESUMEs
+// with the session's token is re-attached to the same Session object and
+// replays its unanswered requests under their original ids: cached ids
+// are answered from the cache, in-flight ids are deduplicated, unseen
+// ids admitted normally. A mutation therefore executes exactly once per
+// request id, no matter where the connection died. Detached sessions are
+// reaped (cancelled and destroyed) after resume_timeout_ms. v1 clients
+// keep the PR 6 behaviour: disconnect cancels and destroys the session.
+//
 // Admission and overload: a STMT is *admitted* (queued) only when the
 // global queue has room and the session is under its quota; otherwise it
 // is shed immediately with a typed OVERLOADED error frame — the server
@@ -38,15 +55,13 @@
 // and is answered (WAL-before-ack included) before threads stop; new
 // statements shed with OVERLOADED while draining.
 //
-// Disconnects: a session's cancel flag trips when its connection drops,
-// so a running statement aborts with CANCELLED at the next governor poll
-// and queued ones are skipped — one dead client never wedges an
-// executor. Per-session counters surface through the OpMetrics tree
-// (MetricsText(), the STATS frame) and per-statement spans go to the
-// configured TraceSink.
+// Fault injection: all session I/O flows through ServerOptions::
+// socket_ops (the SocketOps seam); tests and qfserverd --fault point it
+// at a FaultSocketOps to chaos-test the served path in process.
 #ifndef QF_NETWORK_SERVER_H_
 #define QF_NETWORK_SERVER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -54,6 +69,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -61,9 +77,12 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/vfs.h"
+#include "network/socket.h"
 #include "relational/database.h"
 
 namespace qf {
+
+struct Frame;
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -79,6 +98,25 @@ struct ServerOptions {
   std::size_t session_quota = 8;
   // Connection cap; excess connections draw OVERLOADED and a disconnect.
   std::size_t max_sessions = 256;
+  // How long a disconnected v2 session stays resumable before the
+  // reaper cancels and destroys it. <= 0 disables resumption entirely:
+  // every disconnect tears the session down immediately (the PR 6
+  // behaviour).
+  int resume_timeout_ms = 30'000;
+  // Per-session replay cache bounds (entries / total output bytes).
+  // Entries must comfortably exceed session_quota: a client can have at
+  // most `quota` unanswered requests, and replies are delivered in
+  // order, so the cache always covers everything a client might replay.
+  std::size_t resume_cache_entries = 64;
+  std::size_t resume_cache_bytes = 4u << 20;
+  // Reader idle probing: after this long without an inbound frame the
+  // server writes a HEARTBEAT; a failed write means the peer is gone
+  // (reset seen) and the connection is treated as dropped. 0 disables.
+  int idle_timeout_ms = 0;
+  // Socket I/O seam for session connections (null = plain syscalls).
+  // Tests and qfserverd --fault install a FaultSocketOps here; must be
+  // thread-safe.
+  SocketOps* socket_ops = nullptr;
   // Shared read-mostly base database every session starts from
   // (copy-on-write: payloads are shared, session writes stay private).
   Database base_db;
@@ -99,10 +137,16 @@ struct ServerStats {
   std::uint64_t sessions_opened = 0;
   std::uint64_t sessions_active = 0;
   std::uint64_t sessions_shed = 0;        // over max_sessions
+  std::uint64_t sessions_detached = 0;    // v2 disconnects, resumable
+  std::uint64_t sessions_resumed = 0;     // successful RESUME handoffs
+  std::uint64_t sessions_reaped = 0;      // resume window expired
   std::uint64_t statements_received = 0;  // STMT frames seen
   std::uint64_t statements_admitted = 0;
   std::uint64_t statements_executed = 0;  // includes failed ones
   std::uint64_t statements_failed = 0;    // executed, non-OK status
+  std::uint64_t replayed_replies = 0;     // answered from the replay
+                                          // cache or deduplicated
+  std::uint64_t heartbeats_sent = 0;
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_quota = 0;
   std::uint64_t shed_draining = 0;
@@ -111,8 +155,8 @@ struct ServerStats {
 
 class Server {
  public:
-  // Binds, listens, and starts the accept/executor threads. On error
-  // (port in use, bad host) nothing is left running.
+  // Binds, listens, and starts the accept/executor/reaper threads. On
+  // error (port in use, bad host) nothing is left running.
   static Result<std::unique_ptr<Server>> Start(ServerOptions options);
 
   // Shuts down (draining) if the caller did not.
@@ -133,8 +177,9 @@ class Server {
   ServerStats stats() const;
 
   // The serving metrics tree rendered like EXPLAIN ANALYZE output: one
-  // root, an admission node, one node per live session. Served to
-  // clients via the STATS frame.
+  // root, an admission node, a resumption node once any session detached
+  // or resumed, one node per live session. Served to clients via the
+  // STATS frame.
   std::string MetricsText() const;
 
  private:
@@ -145,8 +190,20 @@ class Server {
   void AcceptLoop();
   void ReaderLoop(std::shared_ptr<Session> session);
   void ExecutorLoop();
+  void ReaperLoop();
   void AdmitStatement(const std::shared_ptr<Session>& session,
                       std::uint64_t request_id, std::string statement);
+  // Handles a RESUME frame read on `fresh`'s connection (`fd`). On
+  // success the fresh session is discarded, the target session is
+  // re-attached to `fd`, and the target is returned for the reader to
+  // continue with; on failure the typed status is returned and the
+  // conversation stays on `fresh`.
+  Result<std::shared_ptr<Session>> ResumeSession(
+      const std::shared_ptr<Session>& fresh, int fd, const Frame& frame);
+  // Detaches (v2, resumable) or tears down (v1 / BYE / resumption off)
+  // the session when its reader exits; `clean` marks a BYE.
+  void ReaderExit(const std::shared_ptr<Session>& session, int fd,
+                  bool clean);
   std::string MetricsTextLocked() const;
 
   ServerOptions options_;
@@ -156,18 +213,22 @@ class Server {
 
   std::thread accept_thread_;
   std::vector<std::thread> executor_threads_;
+  std::thread reaper_thread_;
 
   mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // executors: ready work or stop
-  std::condition_variable drain_cv_;  // Shutdown: queue + in-flight empty
+  std::condition_variable work_cv_;    // executors: ready work or stop
+  std::condition_variable drain_cv_;   // Shutdown: queue + in-flight empty
+  std::condition_variable reaper_cv_;  // reaper: periodic wake or stop
   std::deque<std::shared_ptr<Session>> ready_;
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   std::vector<std::thread> reader_threads_;
+  std::mt19937_64 token_rng_;
   std::uint64_t next_session_id_ = 1;
   std::size_t queued_ = 0;     // admitted, waiting for an executor
   std::size_t executing_ = 0;  // statements currently running
   bool draining_ = false;
   bool stop_executors_ = false;
+  bool stop_reaper_ = false;
   bool shut_down_ = false;
   ServerStats stats_;
 };

@@ -5,12 +5,28 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
 namespace qf {
+
+ssize_t SocketOps::Recv(int fd, char* buf, std::size_t n) {
+  return ::recv(fd, buf, n, 0);
+}
+
+ssize_t SocketOps::Send(int fd, const char* buf, std::size_t n) {
+  // MSG_NOSIGNAL on every send: writing into a half-closed socket must
+  // surface as EPIPE, never as a process-killing SIGPIPE.
+  return ::send(fd, buf, n, MSG_NOSIGNAL);
+}
+
+SocketOps* DefaultSocketOps() {
+  static SocketOps ops;
+  return &ops;
+}
 
 namespace {
 
@@ -74,6 +90,20 @@ Result<std::uint16_t> LocalPort(int fd) {
   return static_cast<std::uint16_t>(ntohs(addr.sin_port));
 }
 
+Status SetSocketTimeouts(int fd, int timeout_ms) {
+  if (timeout_ms < 0) {
+    return InvalidArgumentError("negative socket timeout");
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return IoError(std::string("setsockopt: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
 bool WaitReadable(int fd, int wake_fd) {
   pollfd fds[2];
   fds[0].fd = fd;
@@ -88,6 +118,20 @@ bool WaitReadable(int fd, int wake_fd) {
     }
     if (fds[1].revents != 0) return false;
     if (fds[0].revents != 0) return true;
+  }
+}
+
+int PollReadable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  while (true) {
+    int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    return n > 0 ? 1 : 0;
   }
 }
 

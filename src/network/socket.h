@@ -1,15 +1,45 @@
 // Thin POSIX TCP helpers shared by the server and the client library:
-// listen/connect with typed Status errors, plus a self-pipe so blocking
-// accept loops can be woken for shutdown without races.
+// listen/connect with typed Status errors, a self-pipe so blocking
+// accept loops can be woken for shutdown without races, and the
+// SocketOps seam every byte of wire I/O flows through.
+//
+// SocketOps is the network analog of the storage layer's Vfs seam
+// (common/vfs.h): protocol.h's ReadFrame/WriteFrame call Recv/Send on a
+// SocketOps instead of the raw syscalls, so tests (and qfserverd's
+// --fault flag) can interpose FaultSocketOps (network/fault_socket.h)
+// to inject short reads, ECONNRESET at op N, mid-frame disconnects, and
+// byte corruption — deterministically, in process, without iptables.
 #ifndef QF_NETWORK_SOCKET_H_
 #define QF_NETWORK_SOCKET_H_
 
+#include <sys/types.h>
+
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "common/status.h"
 
 namespace qf {
+
+// The socket I/O seam. The default implementation is the plain
+// syscalls; subclasses interpose fault injection. Implementations must
+// be thread-safe: the server calls one shared instance from every
+// reader and executor thread.
+//
+// Return conventions match recv(2)/send(2): bytes transferred, 0 for
+// EOF (Recv), -1 with errno set on failure. Send must never raise
+// SIGPIPE (the base class uses MSG_NOSIGNAL); a half-closed peer
+// surfaces as EPIPE, which callers treat as a disconnect.
+class SocketOps {
+ public:
+  virtual ~SocketOps() = default;
+  virtual ssize_t Recv(int fd, char* buf, std::size_t n);
+  virtual ssize_t Send(int fd, const char* buf, std::size_t n);
+};
+
+// The process-wide plain-syscall instance (never null).
+SocketOps* DefaultSocketOps();
 
 // Binds and listens on `host:port` (port 0 = kernel-assigned; read the
 // real one back with LocalPort). SO_REUSEADDR is set so restarting a
@@ -23,10 +53,21 @@ Result<int> TcpConnect(const std::string& host, std::uint16_t port);
 // The port a bound socket actually listens on.
 Result<std::uint16_t> LocalPort(int fd);
 
+// Sets SO_RCVTIMEO and SO_SNDTIMEO to `timeout_ms` (0 disables). With a
+// timeout set, a stalled peer makes recv/send fail with EAGAIN, which
+// protocol.h maps to a typed DEADLINE_EXCEEDED instead of a hang.
+Status SetSocketTimeouts(int fd, int timeout_ms);
+
 // Waits until `fd` is readable or `wake_fd` becomes readable (shutdown
 // signal). Returns true when `fd` is readable, false for a wake-up or a
 // poll error — callers treat both as "stop".
 bool WaitReadable(int fd, int wake_fd);
+
+// Waits up to `timeout_ms` for `fd` to become readable. Returns 1 when
+// readable, 0 on timeout, -1 on a poll error. The server's reader loops
+// use this to notice idle connections (heartbeat probes) without giving
+// up the blocking read path.
+int PollReadable(int fd, int timeout_ms);
 
 // EINTR-safe close; ignores errors (the fd is gone either way).
 void CloseFd(int fd);

@@ -6,13 +6,19 @@
 // PING/STATS/BYE side channels.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "common/status.h"
 #include "common/vfs.h"
 #include "network/client.h"
+#include "network/fault_socket.h"
 #include "network/protocol.h"
 #include "network/server.h"
 #include "incremental_diff_harness.h"
@@ -126,23 +132,60 @@ TEST(ProtocolTest, ErrorBodyRoundTripsTypedStatus) {
 }
 
 TEST(ProtocolTest, HelloAndWelcomeBodies) {
-  EXPECT_TRUE(CheckHelloBody(EncodeHelloBody()).ok());
-  EXPECT_EQ(CheckHelloBody("").code(), StatusCode::kInvalidArgument);
+  Result<std::uint32_t> negotiated = CheckHelloBody(EncodeHelloBody());
+  ASSERT_TRUE(negotiated.ok());
+  EXPECT_EQ(*negotiated, kProtocolVersion);
+  // Every version in the supported window negotiates to itself.
+  for (std::uint32_t v = kMinProtocolVersion; v <= kProtocolVersion; ++v) {
+    Result<std::uint32_t> n = CheckHelloBody(EncodeHelloBody(v));
+    ASSERT_TRUE(n.ok()) << "version " << v;
+    EXPECT_EQ(*n, v);
+  }
+  EXPECT_EQ(CheckHelloBody("").status().code(), StatusCode::kInvalidArgument);
 
   std::string wrong_magic;
   AppendU32(wrong_magic, 0xdeadbeefu);
   AppendU32(wrong_magic, kProtocolVersion);
-  EXPECT_EQ(CheckHelloBody(wrong_magic).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(CheckHelloBody(wrong_magic).status().code(),
+            StatusCode::kInvalidArgument);
 
-  std::string wrong_version;
-  AppendU32(wrong_version, kProtocolMagic);
-  AppendU32(wrong_version, kProtocolVersion + 1);
-  EXPECT_EQ(CheckHelloBody(wrong_version).code(),
-            StatusCode::kFailedPrecondition);
+  for (std::uint32_t bad : {kMinProtocolVersion - 1, kProtocolVersion + 1}) {
+    std::string wrong_version;
+    AppendU32(wrong_version, kProtocolMagic);
+    AppendU32(wrong_version, bad);
+    EXPECT_EQ(CheckHelloBody(wrong_version).status().code(),
+              StatusCode::kFailedPrecondition)
+        << "version " << bad;
+  }
 
-  Result<std::uint64_t> sid = DecodeWelcomeBody(EncodeWelcomeBody(42));
-  ASSERT_TRUE(sid.ok());
-  EXPECT_EQ(*sid, 42u);
+  // v1 WELCOME: 12 bytes, no token; v2: 20 bytes with the token.
+  Welcome v1{1, 42, 0};
+  std::string v1_body = EncodeWelcomeBody(v1);
+  EXPECT_EQ(v1_body.size(), 12u);
+  Result<Welcome> v1_back = DecodeWelcomeBody(v1_body);
+  ASSERT_TRUE(v1_back.ok());
+  EXPECT_EQ(v1_back->session_id, 42u);
+  EXPECT_EQ(v1_back->resume_token, 0u);
+
+  Welcome v2{2, 42, 0xfeedfacecafef00dULL};
+  std::string v2_body = EncodeWelcomeBody(v2);
+  EXPECT_EQ(v2_body.size(), 20u);
+  Result<Welcome> v2_back = DecodeWelcomeBody(v2_body);
+  ASSERT_TRUE(v2_back.ok());
+  EXPECT_EQ(v2_back->session_id, 42u);
+  EXPECT_EQ(v2_back->resume_token, v2.resume_token);
+  // A v2 WELCOME truncated to v1 size is rejected, not misread.
+  EXPECT_FALSE(DecodeWelcomeBody(v2_body.substr(0, 12)).ok());
+}
+
+TEST(ProtocolTest, ResumeBodyRoundTrip) {
+  ResumeRequest in{77, 0x123456789abcdef0ULL};
+  Result<ResumeRequest> out = DecodeResumeBody(EncodeResumeBody(in));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->session_id, in.session_id);
+  EXPECT_EQ(out->resume_token, in.resume_token);
+  EXPECT_EQ(DecodeResumeBody("short").status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 // ------------------------------------------------------- live server
@@ -410,6 +453,351 @@ TEST(ServerTest, ShutdownIsIdempotentAndAnswersBeforeStopping) {
   EXPECT_EQ(server->stats().sessions_active, 0u);
   // New connections are refused once drained.
   EXPECT_FALSE(Client::Connect("127.0.0.1", server->port()).ok());
+}
+
+// ------------------------------------------------- resumption (v2)
+
+// A raw v2 conversation: handshake on a fresh fd, returning the fd (or
+// -1) plus the WELCOME contents.
+int RawHandshake(const Server& server, Welcome* welcome,
+                 std::uint32_t version = kProtocolVersion) {
+  Result<int> fd = TcpConnect("127.0.0.1", server.port());
+  if (!fd.ok()) return -1;
+  Frame hello{FrameType::kHello, 0, EncodeHelloBody(version)};
+  if (!WriteFrame(*fd, hello).ok()) {
+    CloseFd(*fd);
+    return -1;
+  }
+  ReadEvent event = ReadFrame(*fd);
+  if (event.kind != ReadEvent::Kind::kFrame ||
+      event.frame.type != FrameType::kWelcome) {
+    CloseFd(*fd);
+    return -1;
+  }
+  Result<Welcome> decoded = DecodeWelcomeBody(event.frame.body);
+  if (!decoded.ok()) {
+    CloseFd(*fd);
+    return -1;
+  }
+  *welcome = *decoded;
+  return *fd;
+}
+
+// Reads frames until a non-heartbeat arrives.
+ReadEvent RawRead(int fd) {
+  while (true) {
+    ReadEvent event = ReadFrame(fd);
+    if (event.kind == ReadEvent::Kind::kFrame &&
+        event.frame.type == FrameType::kHeartbeat) {
+      continue;
+    }
+    return event;
+  }
+}
+
+TEST(ResumeTest, WelcomeCarriesSessionTokenForV2Only) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Welcome v2;
+  int fd2 = RawHandshake(*server, &v2, 2);
+  ASSERT_GE(fd2, 0);
+  EXPECT_EQ(v2.version, 2u);
+  EXPECT_NE(v2.resume_token, 0u);
+  Welcome v1;
+  int fd1 = RawHandshake(*server, &v1, 1);
+  ASSERT_GE(fd1, 0);
+  EXPECT_EQ(v1.version, 1u);
+  EXPECT_EQ(v1.resume_token, 0u);
+  CloseFd(fd2);
+  CloseFd(fd1);
+}
+
+TEST(ResumeTest, ReplayAfterConnectionLossIsExactlyOnce) {
+  MemVfs vfs;
+  ServerOptions options;
+  options.session_vfs = &vfs;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+
+  Welcome welcome;
+  int fd = RawHandshake(*server, &welcome);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(WriteFrame(fd, Frame{FrameType::kStmt, 1, "OPEN cat"}).ok());
+  ASSERT_TRUE(
+      WriteFrame(
+          fd, Frame{FrameType::kStmt, 2,
+                    "GEN BASKETS b n_baskets=20 n_items=6 seed=2"})
+          .ok());
+  ReadEvent first = RawRead(fd);
+  ASSERT_EQ(first.kind, ReadEvent::Kind::kFrame);
+  ASSERT_EQ(first.frame.type, FrameType::kResult);
+  ReadEvent second = RawRead(fd);
+  ASSERT_EQ(second.kind, ReadEvent::Kind::kFrame);
+  ASSERT_EQ(second.frame.type, FrameType::kResult);
+  const std::string gen_output = second.frame.body;
+  // Kill the connection without a BYE: the session must survive.
+  CloseFd(fd);
+
+  Welcome fresh;
+  int fd2 = RawHandshake(*server, &fresh);
+  ASSERT_GE(fd2, 0);
+  EXPECT_NE(fresh.session_id, welcome.session_id);
+  ASSERT_TRUE(
+      WriteFrame(fd2, Frame{FrameType::kResume, 9,
+                            EncodeResumeBody(ResumeRequest{
+                                welcome.session_id, welcome.resume_token})})
+          .ok());
+  ReadEvent resumed = RawRead(fd2);
+  ASSERT_EQ(resumed.kind, ReadEvent::Kind::kFrame);
+  ASSERT_EQ(resumed.frame.type, FrameType::kResumed) << static_cast<int>(
+      resumed.frame.type);
+  std::uint64_t resumed_sid = 0;
+  ASSERT_TRUE(ReadU64(resumed.frame.body, 0, &resumed_sid));
+  EXPECT_EQ(resumed_sid, welcome.session_id);
+
+  // Replaying an already-executed request id answers from the replay
+  // cache, bit-identical, without running the statement again.
+  ASSERT_TRUE(
+      WriteFrame(
+          fd2, Frame{FrameType::kStmt, 2,
+                     "GEN BASKETS b n_baskets=20 n_items=6 seed=2"})
+          .ok());
+  ReadEvent replayed = RawRead(fd2);
+  ASSERT_EQ(replayed.kind, ReadEvent::Kind::kFrame);
+  ASSERT_EQ(replayed.frame.type, FrameType::kResult);
+  EXPECT_EQ(replayed.frame.body, gen_output);
+
+  // The session's state carried across the reconnect: b exists, and new
+  // requests execute normally.
+  ASSERT_TRUE(
+      WriteFrame(fd2, Frame{FrameType::kStmt, 3, "SHOW RELATIONS"}).ok());
+  ReadEvent shown = RawRead(fd2);
+  ASSERT_EQ(shown.kind, ReadEvent::Kind::kFrame);
+  ASSERT_EQ(shown.frame.type, FrameType::kResult);
+  EXPECT_NE(shown.frame.body.find("b("), std::string::npos);
+
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.sessions_resumed, 1u);
+  EXPECT_EQ(stats.replayed_replies, 1u);
+  // OPEN + GEN + SHOW — the replayed GEN did not execute twice.
+  EXPECT_EQ(stats.statements_executed, 3u);
+  CloseFd(fd2);
+}
+
+TEST(ResumeTest, WrongTokenDrawsNotFoundAndConversationContinues) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Welcome victim;
+  int fd = RawHandshake(*server, &victim);
+  ASSERT_GE(fd, 0);
+
+  Welcome fresh;
+  int fd2 = RawHandshake(*server, &fresh);
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(
+      WriteFrame(fd2, Frame{FrameType::kResume, 1,
+                            EncodeResumeBody(ResumeRequest{
+                                victim.session_id,
+                                victim.resume_token ^ 1})})
+          .ok());
+  ReadEvent denied = RawRead(fd2);
+  ASSERT_EQ(denied.kind, ReadEvent::Kind::kFrame);
+  ASSERT_EQ(denied.frame.type, FrameType::kError);
+  EXPECT_EQ(DecodeErrorBody(denied.frame.body).code(), StatusCode::kNotFound);
+  // The fresh session still works.
+  ASSERT_TRUE(WriteFrame(fd2, Frame{FrameType::kStmt, 2, "HELP"}).ok());
+  ReadEvent reply = RawRead(fd2);
+  ASSERT_EQ(reply.kind, ReadEvent::Kind::kFrame);
+  EXPECT_EQ(reply.frame.type, FrameType::kResult);
+  EXPECT_EQ(server->stats().sessions_resumed, 0u);
+  CloseFd(fd);
+  CloseFd(fd2);
+}
+
+TEST(ResumeTest, V1DisconnectStillTearsTheSessionDown) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  Welcome welcome;
+  int fd = RawHandshake(*server, &welcome, 1);
+  ASSERT_GE(fd, 0);
+  CloseFd(fd);
+  // The reader notices asynchronously; the session must go away, not
+  // detach.
+  for (int i = 0; i < 200 && server->stats().sessions_active > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.sessions_active, 0u);
+  EXPECT_EQ(stats.sessions_detached, 0u);
+}
+
+TEST(ResumeTest, DetachedSessionIsReapedAfterResumeWindow) {
+  ServerOptions options;
+  options.resume_timeout_ms = 40;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Welcome welcome;
+  int fd = RawHandshake(*server, &welcome);
+  ASSERT_GE(fd, 0);
+  CloseFd(fd);
+  for (int i = 0; i < 400 && server->stats().sessions_reaped == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ServerStats stats = server->stats();
+  EXPECT_EQ(stats.sessions_detached, 1u);
+  EXPECT_EQ(stats.sessions_reaped, 1u);
+  EXPECT_EQ(stats.sessions_active, 0u);
+  // RESUME after the reap draws NOT_FOUND.
+  Welcome fresh;
+  int fd2 = RawHandshake(*server, &fresh);
+  ASSERT_GE(fd2, 0);
+  ASSERT_TRUE(
+      WriteFrame(fd2, Frame{FrameType::kResume, 1,
+                            EncodeResumeBody(ResumeRequest{
+                                welcome.session_id, welcome.resume_token})})
+          .ok());
+  ReadEvent denied = RawRead(fd2);
+  ASSERT_EQ(denied.kind, ReadEvent::Kind::kFrame);
+  ASSERT_EQ(denied.frame.type, FrameType::kError);
+  EXPECT_EQ(DecodeErrorBody(denied.frame.body).code(), StatusCode::kNotFound);
+  CloseFd(fd2);
+}
+
+TEST(ResumeTest, ClientReconnectsAndReplaysThroughFaultSeam) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  // Kill the client's connection (from the client side of the seam)
+  // every 10 socket ops, forever — several times across the
+  // conversation, including during resume handshakes. The reconnecting
+  // client must still complete the whole conversation exactly-once.
+  FaultSocketConfig config;
+  config.fault_at_op = 10;
+  config.repeat_every = 10;
+  config.fault = SocketFault::kDisconnect;
+  FaultSocketOps faulty(config);
+  ClientOptions client_options;
+  client_options.socket_ops = &faulty;
+  client_options.reconnect_backoff.base_delay_us = 100;
+  client_options.reconnect_backoff.max_delay_us = 1'000;
+  Result<Client> client =
+      Client::Connect("127.0.0.1", server->port(), client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(
+      client->Execute("GEN BASKETS b n_baskets=30 n_items=8 seed=3").ok());
+  for (int i = 0; i < 10; ++i) {
+    Result<std::string> out = client->Execute("SHOW RELATIONS");
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_NE(out->find("b("), std::string::npos);
+  }
+  EXPECT_GE(client->reconnects(), 1u);
+  EXPECT_GE(faulty.faults_fired(), 1u);
+  ServerStats stats = server->stats();
+  EXPECT_GE(stats.sessions_resumed, 1u);
+}
+
+TEST(ResumeTest, IdleConnectionsGetHeartbeatsAndSurviveThem) {
+  ServerOptions options;
+  options.idle_timeout_ms = 15;
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Welcome welcome;
+  int fd = RawHandshake(*server, &welcome);
+  ASSERT_GE(fd, 0);
+  // Stay silent: the server must probe, not kill.
+  ReadEvent probe = ReadFrame(fd);
+  ASSERT_EQ(probe.kind, ReadEvent::Kind::kFrame);
+  EXPECT_EQ(probe.frame.type, FrameType::kHeartbeat);
+  // The connection still serves statements afterwards; client-sent
+  // heartbeats are ignored.
+  ASSERT_TRUE(WriteFrame(fd, Frame{FrameType::kHeartbeat, 0, ""}).ok());
+  ASSERT_TRUE(WriteFrame(fd, Frame{FrameType::kStmt, 1, "HELP"}).ok());
+  ReadEvent reply = RawRead(fd);
+  ASSERT_EQ(reply.kind, ReadEvent::Kind::kFrame);
+  EXPECT_EQ(reply.frame.type, FrameType::kResult);
+  EXPECT_GE(server->stats().heartbeats_sent, 1u);
+  CloseFd(fd);
+}
+
+// The Client consumes heartbeats transparently.
+TEST(ResumeTest, ClientSkipsHeartbeatsDuringSlowStatements) {
+  ServerOptions options;
+  options.idle_timeout_ms = 10;
+  std::atomic<int> slow{1};
+  options.statement_hook_for_test = [&slow] {
+    if (slow.exchange(0) == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    }
+  };
+  std::unique_ptr<Server> server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  Client client = MustConnect(*server);
+  // The reply takes ~60 ms; several heartbeats arrive first.
+  Result<std::string> out = client.Execute("HELP");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GE(server->stats().heartbeats_sent, 1u);
+}
+
+// ------------------------------------ socket timeouts and SIGPIPE
+
+TEST(SocketTest, SendToHalfClosedSocketFailsTypedWithoutSigpipe) {
+  // Regression for the SIGPIPE audit: every send path uses MSG_NOSIGNAL,
+  // so writing into a peer-closed socket returns EPIPE instead of
+  // killing the process (gtest would report a crash, not a failure).
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  CloseFd(fds[1]);
+  Status s = Status::Ok();
+  // The first write may land in the (dead) buffer; keep going until the
+  // EPIPE surfaces.
+  for (int i = 0; i < 16 && s.ok(); ++i) {
+    s = WriteFrame(fds[0], Frame{FrameType::kPing, 1, "x"});
+  }
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  CloseFd(fds[0]);
+}
+
+TEST(SocketTest, ReceiveTimeoutSurfacesDeadlineExceeded) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(SetSocketTimeouts(fds[0], 30).ok());
+  ReadEvent event = ReadFrame(fds[0]);
+  ASSERT_EQ(event.kind, ReadEvent::Kind::kError);
+  EXPECT_EQ(event.status.code(), StatusCode::kDeadlineExceeded);
+  // A timeout that strikes mid-frame poisons the stream instead.
+  std::string wire = EncodeFrame({FrameType::kPing, 1, ""});
+  ASSERT_GT(::send(fds[1], wire.data(), 3, MSG_NOSIGNAL), 0);
+  event = ReadFrame(fds[0]);
+  ASSERT_EQ(event.kind, ReadEvent::Kind::kError);
+  EXPECT_EQ(event.status.code(), StatusCode::kIoError);
+  CloseFd(fds[0]);
+  CloseFd(fds[1]);
+}
+
+TEST(SocketTest, ClientStatementTimeoutIsTypedAndSessionRecovers) {
+  ServerOptions server_options;
+  std::atomic<int> slow{1};
+  server_options.statement_hook_for_test = [&slow] {
+    if (slow.exchange(0) == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  };
+  std::unique_ptr<Server> server = StartServer(std::move(server_options));
+  ASSERT_NE(server, nullptr);
+  ClientOptions client_options;
+  client_options.timeout_ms = 40;
+  Result<Client> client =
+      Client::Connect("127.0.0.1", server->port(), client_options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<std::string> out = client->Execute("HELP");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  // Once the slow statement finishes server-side, its late reply is
+  // dropped, not misattributed: the next statement gets its own answer.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  out = client->Execute("SHOW RELATIONS");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->find("relations"), std::string::npos);
 }
 
 }  // namespace

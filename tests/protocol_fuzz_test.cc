@@ -213,6 +213,164 @@ TEST_P(ProtocolFuzzTest, MutatedValidTraffic) {
   }
 }
 
+// --- protocol v2 surface: RESUME bodies, session tokens, heartbeats ---
+
+TEST_P(ProtocolFuzzTest, ResumeFrameFuzz) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  for (int i = 0; i < 25; ++i) {
+    int fd = Connect();
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(WriteFrame(fd, {FrameType::kHello, 0, EncodeHelloBody()}).ok());
+    ReadEvent welcome = ReadFrame(fd);
+    ASSERT_EQ(welcome.kind, ReadEvent::Kind::kFrame);
+    ASSERT_EQ(welcome.frame.type, FrameType::kWelcome);
+    // Hostile RESUME bodies: empty, truncated, oversized, random bytes,
+    // well-formed with a random session id and token (a guessing
+    // attacker), and well-formed with id 0 / token 0.
+    std::string body;
+    switch (rng.NextBelow(5)) {
+      case 0:
+        break;  // empty
+      case 1:
+        body = RandomBytes(rng, rng.NextBelow(16));  // short / misaligned
+        break;
+      case 2:
+        body = RandomBytes(rng, 16 + rng.NextBelow(64));  // oversized
+        break;
+      case 3:
+        AppendU64(body, rng.NextUint32());  // guessed session id
+        AppendU64(body, (static_cast<std::uint64_t>(rng.NextUint32()) << 32) |
+                            rng.NextUint32());  // guessed token
+        break;
+      default:
+        AppendU64(body, 0);
+        AppendU64(body, 0);
+        break;
+    }
+    WriteRaw(fd, EncodeFrame({FrameType::kResume, 1, body}));
+    // The server answers a typed ERROR (NOT_FOUND for a wrong identity,
+    // INVALID_ARGUMENT for a malformed body) and keeps the conversation
+    // alive on the fresh session — a statement must still work.
+    WriteRaw(fd, EncodeFrame({FrameType::kStmt, 2, "HELP"}));
+    ::shutdown(fd, SHUT_WR);
+    int errors = DrainToDisconnect(fd);
+    EXPECT_GE(errors, 1);
+    CloseFd(fd);
+  }
+}
+
+TEST_P(ProtocolFuzzTest, HeartbeatAndServerOnlyFramesFromClients) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 600);
+  for (int i = 0; i < 25; ++i) {
+    int fd = Connect();
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(WriteFrame(fd, {FrameType::kHello, 0, EncodeHelloBody()}).ok());
+    ReadEvent welcome = ReadFrame(fd);
+    ASSERT_EQ(welcome.kind, ReadEvent::Kind::kFrame);
+    ASSERT_EQ(welcome.frame.type, FrameType::kWelcome);
+    // Client heartbeats (empty or with garbage bodies) must be ignored;
+    // server-only frames (WELCOME, RESULT, PONG, RESUMED) from a client
+    // draw a typed error and/or a disconnect — never a crash or hang.
+    for (int burst = 0; burst < 4; ++burst) {
+      if (rng.NextBernoulli(0.5)) {
+        WriteRaw(fd, EncodeFrame({FrameType::kHeartbeat,
+                                  rng.NextBelow(3),
+                                  RandomBytes(rng, rng.NextBelow(12))}));
+      } else {
+        FrameType server_only[] = {FrameType::kWelcome, FrameType::kResult,
+                                   FrameType::kPong, FrameType::kResumed};
+        WriteRaw(fd, EncodeFrame({server_only[rng.NextBelow(4)], burst,
+                                  RandomBytes(rng, rng.NextBelow(20))}));
+      }
+    }
+    WriteRaw(fd, EncodeFrame({FrameType::kStmt, 9, "HELP"}));
+    ::shutdown(fd, SHUT_WR);
+    DrainToDisconnect(fd);
+    CloseFd(fd);
+  }
+}
+
+TEST_P(ProtocolFuzzTest, VersionMismatchHandshakes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 700);
+  // Unsupported versions draw FAILED_PRECONDITION and a disconnect.
+  for (std::uint32_t version :
+       {0u, kProtocolVersion + 1, kProtocolVersion + 7,
+        rng.NextUint32() | (kProtocolVersion + 1)}) {
+    int fd = Connect();
+    ASSERT_GE(fd, 0);
+    WriteRaw(fd, EncodeFrame({FrameType::kHello, 0, EncodeHelloBody(version)}));
+    ReadEvent event = ReadFrame(fd);
+    ASSERT_EQ(event.kind, ReadEvent::Kind::kFrame);
+    ASSERT_EQ(event.frame.type, FrameType::kError);
+    EXPECT_EQ(DecodeErrorBody(event.frame.body).code(),
+              StatusCode::kFailedPrecondition);
+    ::shutdown(fd, SHUT_WR);
+    DrainToDisconnect(fd);
+    CloseFd(fd);
+  }
+  // A v1 client sending v2 frames (RESUME, HEARTBEAT): the server may
+  // ignore or reject them, but the conversation must not hang and the
+  // v1 session must keep answering statements.
+  for (int i = 0; i < 10; ++i) {
+    int fd = Connect();
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(
+        WriteFrame(fd, {FrameType::kHello, 0, EncodeHelloBody(1)}).ok());
+    ReadEvent welcome = ReadFrame(fd);
+    ASSERT_EQ(welcome.kind, ReadEvent::Kind::kFrame);
+    ASSERT_EQ(welcome.frame.type, FrameType::kWelcome);
+    Result<Welcome> decoded = DecodeWelcomeBody(welcome.frame.body);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->version, 1u);
+    EXPECT_EQ(decoded->resume_token, 0u);
+    std::string body;
+    AppendU64(body, decoded->session_id);
+    AppendU64(body, rng.NextUint32());
+    WriteRaw(fd, EncodeFrame({FrameType::kResume, 1, body}));
+    WriteRaw(fd, EncodeFrame({FrameType::kHeartbeat, 0, ""}));
+    WriteRaw(fd, EncodeFrame({FrameType::kStmt, 2, "HELP"}));
+    ::shutdown(fd, SHUT_WR);
+    DrainToDisconnect(fd);
+    CloseFd(fd);
+  }
+}
+
+TEST_P(ProtocolFuzzTest, MutatedV2Traffic) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 800);
+  // A realistic v2 conversation — handshake, statement, reconnect-style
+  // RESUME attempt, heartbeat, BYE — with random bit flips and
+  // truncations anywhere in the byte stream.
+  std::string resume_body;
+  AppendU64(resume_body, 12345);
+  AppendU64(resume_body, 0x5EED5EED5EED5EEDull);
+  std::string script =
+      EncodeFrame({FrameType::kHello, 0, EncodeHelloBody()}) +
+      EncodeFrame({FrameType::kStmt, 1,
+                   "GEN BASKETS b n_baskets=10 n_items=5 seed=1"}) +
+      EncodeFrame({FrameType::kResume, 2, resume_body}) +
+      EncodeFrame({FrameType::kHeartbeat, 0, ""}) +
+      EncodeFrame({FrameType::kBye, 3, ""});
+  for (int i = 0; i < 20; ++i) {
+    std::string wire = script;
+    int mutations = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int m = 0; m < mutations; ++m) {
+      std::size_t pos =
+          rng.NextBelow(static_cast<std::uint32_t>(wire.size()));
+      if (rng.NextBernoulli(0.3)) {
+        wire.resize(pos + 1);  // truncate mid-stream
+      } else {
+        wire[pos] = static_cast<char>(wire[pos] ^ (1 + rng.NextBelow(255)));
+      }
+    }
+    int fd = Connect();
+    ASSERT_GE(fd, 0);
+    WriteRaw(fd, wire);
+    ::shutdown(fd, SHUT_WR);
+    DrainToDisconnect(fd);
+    CloseFd(fd);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolFuzzTest, ::testing::Range(1, 4));
 
 }  // namespace

@@ -23,6 +23,19 @@ The report is google-benchmark-shaped JSON ({"context", "suites"}), the
 same layout BENCH_PR3.json uses, so tools/compare_bench.py can diff
 load-test runs across commits. Exit status: 0 on success, 1 on any
 protocol error, failed statement, or transcript divergence.
+
+--chaos runs the live fault drill instead (DESIGN.md §16): every client
+talks to the server through an in-process TCP proxy that kills the
+connection after a byte budget, over and over. The client (protocol v2)
+reconnects, RESUMEs its session with the token from WELCOME, and
+replays unanswered statements under their original request ids. The
+drill fails unless every proxy-killed client's transcript is
+byte-identical (timings normalized) to a fault-free oracle run of the
+same session workload — which, because the workload's mutations report
+row counts, also proves no mutation was applied twice or dropped.
+
+    tools/load_test.py --serverd build/tools/qfserverd --chaos \
+        --clients 8 --out CHAOS_PR10.json
 """
 
 import argparse
@@ -38,12 +51,13 @@ import tempfile
 import threading
 import time
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 MAGIC = 0x4B4C4651  # "QFLK" little-endian
 HEADER = struct.Struct("<II")
 
 T_HELLO, T_WELCOME, T_STMT, T_RESULT, T_ERROR = 1, 2, 3, 4, 5
 T_PING, T_PONG, T_STATS, T_BYE = 6, 7, 8, 9
+T_RESUME, T_RESUMED, T_HEARTBEAT = 10, 11, 12
 
 CRC_MASK_DELTA = 0xA282EAD8
 
@@ -71,13 +85,30 @@ def encode_frame(ftype: int, request_id: int, body: bytes) -> bytes:
     return HEADER.pack(len(payload), mask(crc32c(payload))) + payload
 
 
-class Client:
-    """One session: blocking connect/handshake/execute, like qf::Client."""
+class ConnectionLost(Exception):
+    """The connection is unusable: reset, EOF, or a poisoned stream."""
 
-    def __init__(self, host: str, port: int):
-        self.sock = socket.create_connection((host, port))
-        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+class Client:
+    """One session: blocking connect/handshake/execute, like qf::Client.
+
+    Speaks protocol v2: the WELCOME carries a resume token, and with
+    retries > 0 a lost connection is redialed (capped-exponential
+    backoff), the session re-attached via RESUME, and the in-flight
+    statement replayed under its original request id — the server
+    answers already-executed ids from its replay cache, so a mutation
+    never runs twice no matter where the connection died.
+    """
+
+    def __init__(self, host: str, port: int, retries: int = 0):
+        self.host, self.port, self.retries = host, port, retries
         self.next_id = 1
+        self.reconnects = 0
+        self._connect()
+
+    def _connect(self):
+        self.sock = socket.create_connection((self.host, self.port))
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._buffer = b""
         hello = struct.pack("<II", MAGIC, PROTOCOL_VERSION)
         self.sock.sendall(encode_frame(T_HELLO, 0, hello))
@@ -87,8 +118,12 @@ class Client:
         if ftype != T_WELCOME:
             raise RuntimeError(f"unexpected handshake frame type {ftype}")
         (self.session_id,) = struct.unpack_from("<Q", body, 4)
+        self.token = (struct.unpack_from("<Q", body, 12)[0]
+                      if len(body) >= 20 else 0)
 
     def read_frame(self):
+        """One frame, heartbeats skipped. Raises ConnectionLost when the
+        stream dies (reset/EOF/bad checksum)."""
         while True:
             if len(self._buffer) >= HEADER.size:
                 length, stored = HEADER.unpack_from(self._buffer)
@@ -96,29 +131,76 @@ class Client:
                     payload = self._buffer[HEADER.size:HEADER.size + length]
                     self._buffer = self._buffer[HEADER.size + length:]
                     if mask(crc32c(payload)) != stored:
-                        raise RuntimeError("frame checksum mismatch")
+                        raise ConnectionLost("frame checksum mismatch")
                     ftype, request_id = struct.unpack_from("<BQ", payload)
+                    if ftype == T_HEARTBEAT:
+                        continue
                     return ftype, request_id, payload[9:]
-            chunk = self.sock.recv(65536)
+            try:
+                chunk = self.sock.recv(65536)
+            except OSError as exc:
+                raise ConnectionLost(str(exc)) from exc
             if not chunk:
-                raise RuntimeError("server closed the connection")
+                raise ConnectionLost("server closed the connection")
             self._buffer += chunk
+
+    def _resume(self, request_id, statement):
+        """Redial + RESUME + replay, with capped-exponential backoff."""
+        if self.token == 0 or self.retries <= 0:
+            raise ConnectionLost("connection lost and resumption disabled")
+        delay = 0.005
+        for attempt in range(self.retries):
+            try:
+                self.sock.close()
+                old_sid, old_token = self.session_id, self.token
+                self._connect()  # fresh session, discarded on RESUME
+                resume = struct.pack("<QQ", old_sid, old_token)
+                self.sock.sendall(encode_frame(T_RESUME, 0, resume))
+                ftype, _, body = self.read_frame()
+                if ftype == T_ERROR:
+                    raise RuntimeError(
+                        f"RESUME rejected: {body[1:].decode()}")
+                if ftype != T_RESUMED:
+                    raise ConnectionLost(f"expected RESUMED, got {ftype}")
+                self.session_id, self.token = old_sid, old_token
+                self.sock.sendall(
+                    encode_frame(T_STMT, request_id, statement.encode()))
+                self.reconnects += 1
+                return
+            except (ConnectionLost, OSError):
+                if attempt + 1 == self.retries:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 0.2)
 
     def execute(self, statement: str) -> str:
         request_id = self.next_id
         self.next_id += 1
-        self.sock.sendall(
-            encode_frame(T_STMT, request_id, statement.encode()))
-        ftype, reply_id, body = self.read_frame()
-        if reply_id != request_id:
-            raise RuntimeError(
-                f"reply id {reply_id} for request {request_id}")
-        if ftype == T_RESULT:
-            return body.decode()
-        if ftype == T_ERROR:
-            raise RuntimeError(
-                f"statement failed (code {body[0]}): {body[1:].decode()}")
-        raise RuntimeError(f"unexpected frame type {ftype}")
+        try:
+            self.sock.sendall(
+                encode_frame(T_STMT, request_id, statement.encode()))
+        except OSError:
+            self._resume(request_id, statement)
+        while True:
+            try:
+                ftype, reply_id, body = self.read_frame()
+            except ConnectionLost:
+                self._resume(request_id, statement)
+                continue
+            if ftype == T_ERROR and reply_id == 0:
+                # Connection-level report (poisoned stream); the server
+                # is about to hang up. Not this statement's reply.
+                self._resume(request_id, statement)
+                continue
+            if reply_id != request_id:
+                continue  # stale duplicate from before a reconnect
+            if ftype == T_RESULT:
+                return body.decode()
+            if ftype == T_ERROR:
+                raise RuntimeError(
+                    f"statement failed (code {body[0]}): "
+                    f"{body[1:].decode()}")
+            raise RuntimeError(f"unexpected frame type {ftype}")
 
     def close(self):
         try:
@@ -126,6 +208,86 @@ class Client:
         except OSError:
             pass
         self.sock.close()
+
+
+class ChaosProxy:
+    """A TCP forwarder that murders connections on a byte budget.
+
+    Each accepted connection is forwarded to the upstream server until
+    `budget` total bytes (both directions) have moved, then both sides
+    are shut down mid-whatever-was-happening. The budget grows by `grow`
+    per kill so a resuming client always makes forward progress — the
+    same schedule FaultSocketOps uses in tests/network_chaos_test.cc.
+    """
+
+    def __init__(self, upstream_host, upstream_port, budget, grow):
+        self.upstream = (upstream_host, upstream_port)
+        self.budget, self.grow = budget, grow
+        self.kills = 0
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(16)
+        self.port = self.listener.getsockname()[1]
+        self._stop = False
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        daemon=True)
+        self._thread.start()
+
+    def _accept_loop(self):
+        while not self._stop:
+            try:
+                downstream, _ = self.listener.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._pump_pair,
+                             args=(downstream,), daemon=True).start()
+
+    def _pump_pair(self, downstream):
+        try:
+            upstream = socket.create_connection(self.upstream)
+        except OSError:
+            downstream.close()
+            return
+        budget = self.budget
+        self.budget += self.grow  # the next connection lives longer
+        moved = [0]
+        lock = threading.Lock()
+
+        def pump(src, dst):
+            try:
+                while True:
+                    chunk = src.recv(4096)
+                    if not chunk:
+                        break
+                    with lock:
+                        moved[0] += len(chunk)
+                        overdrawn = moved[0] >= budget
+                    dst.sendall(chunk)
+                    if overdrawn:
+                        self.kills += 1
+                        break
+            except OSError:
+                pass
+            for sock in (downstream, upstream):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+        a = threading.Thread(target=pump, args=(downstream, upstream),
+                             daemon=True)
+        b = threading.Thread(target=pump, args=(upstream, downstream),
+                             daemon=True)
+        a.start()
+        b.start()
+        a.join()
+        b.join()
+        downstream.close()
+        upstream.close()
+
+    def close(self):
+        self._stop = True
+        self.listener.close()
 
 
 def workload(i: int, delta_path=None):
@@ -209,6 +371,115 @@ def serial_transcript(qfshell: str, i: int, delta_path) -> str:
         os.unlink(path)
 
 
+ROWCOUNT_RE = re.compile(r"\b\d+ rows\b")
+
+
+def run_chaos_client(host, port, i, delta_path, kill_budget, results,
+                     errors):
+    """One drill lane: the session workload through a killing proxy."""
+    proxy = ChaosProxy(host, port, budget=kill_budget, grow=kill_budget)
+    try:
+        client = Client("127.0.0.1", proxy.port, retries=64)
+        out = [client.execute(stmt) for stmt in workload(i, delta_path)]
+        client.close()
+        results[i] = {
+            "transcript": normalize("".join(out)),
+            "reconnects": client.reconnects,
+            "kills": proxy.kills,
+        }
+    except Exception as exc:  # noqa: BLE001 — reported, fails the drill
+        errors.append(f"chaos client {i}: {exc}")
+    finally:
+        proxy.close()
+
+
+def chaos_drill(args, port, delta_path) -> int:
+    """The --chaos mode: proxy-killed connections must be invisible.
+
+    Per client: a fault-free oracle run straight at the server, then the
+    same workload through a ChaosProxy whose byte budget guarantees
+    repeated mid-conversation kills. Transcripts must match byte for
+    byte (timings normalized); the row counts every mutation reports
+    make a double-applied or dropped mutation a divergence.
+    """
+    clients = args.clients
+    oracle = {}
+    for i in range(clients):
+        client = Client(args.host, port, retries=0)
+        oracle[i] = normalize(
+            "".join(client.execute(s) for s in workload(i, delta_path)))
+        client.close()
+
+    results = {}
+    errors = []
+    threads = [
+        threading.Thread(target=run_chaos_client,
+                         args=(args.host, port, i, delta_path,
+                               args.kill_budget + 97 * i, results, errors))
+        for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for message in errors:
+        print(f"FAIL: {message}", file=sys.stderr)
+    if errors:
+        return 1
+
+    divergences = 0
+    duplicate_mutations = 0
+    total_kills = sum(results[i]["kills"] for i in results)
+    total_reconnects = sum(results[i]["reconnects"] for i in results)
+    for i in range(clients):
+        if results[i]["transcript"] != oracle[i]:
+            divergences += 1
+            got = ROWCOUNT_RE.findall(results[i]["transcript"])
+            want = ROWCOUNT_RE.findall(oracle[i])
+            if got != want:
+                duplicate_mutations += 1
+            print(f"FAIL: chaos client {i} diverged from its oracle "
+                  f"(row counts {'differ' if got != want else 'match'})",
+                  file=sys.stderr)
+    print(f"chaos drill: {clients} clients, {total_kills} proxy kills, "
+          f"{total_reconnects} resumes, {divergences} divergences, "
+          f"{duplicate_mutations} duplicate mutations")
+    if total_kills == 0:
+        print("FAIL: the proxy never killed a connection — lower "
+              "--kill-budget", file=sys.stderr)
+        return 1
+
+    report = {
+        "context": {
+            "date": datetime.datetime.now(
+                datetime.timezone.utc).isoformat(),
+            "executable": args.serverd or f"{args.host}:{port}",
+            "num_cpus": os.cpu_count(),
+            "load_test": vars(args),
+        },
+        "suites": {"chaos_drill": [{
+            "name": f"LT_Chaos/clients:{clients}",
+            "run_name": f"LT_Chaos/clients:{clients}",
+            "run_type": "iteration",
+            "repetitions": 1,
+            "threads": clients,
+            "iterations": total_kills,
+            "real_time": 0.0,
+            "cpu_time": 0.0,
+            "time_unit": "ns",
+            "proxy_kills": total_kills,
+            "resumes": total_reconnects,
+            "divergences": divergences,
+            "duplicate_mutations": duplicate_mutations,
+        }]},
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=1)
+        f.write("\n")
+    print(f"wrote {args.out}")
+    return 1 if divergences else 0
+
+
 def percentile(sorted_values, p):
     if not sorted_values:
         return 0.0
@@ -233,6 +504,13 @@ def main() -> int:
     parser.add_argument("--out", default="BENCH_PR6.json")
     parser.add_argument("--no-append", action="store_true",
                         help="skip the append-heavy incremental phase")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the fault drill: clients talk through "
+                        "a connection-killing proxy and must still match "
+                        "a fault-free oracle byte for byte")
+    parser.add_argument("--kill-budget", type=int, default=400,
+                        help="chaos proxy: bytes forwarded before the "
+                        "first kill (grows per reconnect)")
     args = parser.parse_args()
 
     delta_path = None
@@ -258,6 +536,9 @@ def main() -> int:
             return 1
 
     try:
+        if args.chaos:
+            return chaos_drill(args, port, delta_path)
+
         latencies_ns = []  # list.append is atomic under the GIL
         outputs = {}
         errors = []

@@ -6,6 +6,15 @@
 //   ./qfclient [--host A] [--port N] --ping        # liveness probe
 //   ./qfclient [--host A] [--port N]               # statements on stdin
 //
+// Extra knobs:
+//   --timeout-ms N    socket send/receive timeouts; a statement the
+//                     server cannot answer within N ms fails with a typed
+//                     DEADLINE_EXCEEDED instead of hanging (default 0 =
+//                     wait forever)
+//   --retries N       redial budget after a connection loss; the client
+//                     RESUMEs its session and replays unanswered
+//                     statements exactly-once (default 8; 0 disables)
+//
 // Statements execute in the server session this process holds; output is
 // printed as the serial qfshell would print it. The first error stops the
 // run and is reported with its typed status (exit 1).
@@ -24,8 +33,8 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host A] [--port N] "
-               "[script.qf | -e \"stmts\" | --stats | --ping]\n",
+               "usage: %s [--host A] [--port N] [--timeout-ms N] "
+               "[--retries N] [script.qf | -e \"stmts\" | --stats | --ping]\n",
                argv0);
   return 2;
 }
@@ -47,6 +56,7 @@ int RunScript(qf::Client& client, const std::string& script) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 7464;
+  qf::ClientOptions client_options;
   std::string script;
   bool have_script = false;
   bool stats = false;
@@ -64,6 +74,14 @@ int main(int argc, char** argv) {
       qf::Result<std::int64_t> n = qf::ParseInt64(argv[++i]);
       if (!n.ok() || *n < 1 || *n > 65535) return Usage(argv[0]);
       port = static_cast<std::uint16_t>(*n);
+    } else if (flag == "--timeout-ms" && i + 1 < argc) {
+      qf::Result<std::int64_t> n = qf::ParseInt64(argv[++i]);
+      if (!n.ok() || *n < 0) return Usage(argv[0]);
+      client_options.timeout_ms = static_cast<int>(*n);
+    } else if (flag == "--retries" && i + 1 < argc) {
+      qf::Result<std::int64_t> n = qf::ParseInt64(argv[++i]);
+      if (!n.ok() || *n < 0) return Usage(argv[0]);
+      client_options.max_reconnects = static_cast<int>(*n);
     } else if (flag == "-e" && i + 1 < argc) {
       script = argv[++i];
       have_script = true;
@@ -82,7 +100,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  qf::Result<qf::Client> client = qf::Client::Connect(host, port);
+  qf::Result<qf::Client> client =
+      qf::Client::Connect(host, port, client_options);
   if (!client.ok()) {
     std::fprintf(stderr, "cannot connect to %s:%u: %s\n", host.c_str(), port,
                  client.status().ToString().c_str());

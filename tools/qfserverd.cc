@@ -3,6 +3,8 @@
 //   ./qfserverd [--port N] [--host A] [--executors N] [--max-queue N]
 //               [--quota N] [--max-sessions N] [--preload <dir>]
 //               [--init <script.qf>] [--trace <path>]
+//               [--idle-timeout-ms N] [--resume-timeout-ms N]
+//               [--fault SPEC]
 //
 //   --port N          TCP port (default 7464, "QF" on a phone pad; 0 =
 //                     kernel-assigned, printed on stdout)
@@ -16,6 +18,18 @@
 //   --init FILE       .qf script executed once at startup; the resulting
 //                     relations become the shared base database
 //   --trace PATH      JSON-lines per-statement spans (TRACE TO format)
+//   --idle-timeout-ms N    probe idle connections with HEARTBEAT frames
+//                          every N ms (default 0 = never)
+//   --resume-timeout-ms N  how long a dropped v2 session stays resumable
+//                          (default 30000; 0 disables resumption)
+//   --fault SPEC      chaos-test this server's own socket I/O through the
+//                     FaultSocketOps seam. SPEC is comma-separated k=v:
+//                       kill-at=N      disconnect at socket op N
+//                       kill-every=N   disconnect at op N, 2N, 3N, ...
+//                       errno-at=N     fail op N with ECONNRESET
+//                       corrupt-at=N   flip one byte at op N
+//                       chunk=N        cap every op at N bytes
+//                     e.g. --fault kill-every=500,chunk=7
 //
 // Prints "listening on <host>:<port>" once ready. SIGINT/SIGTERM drain
 // gracefully: admitted statements finish and are answered, new ones are
@@ -34,6 +48,7 @@
 
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "network/fault_socket.h"
 #include "network/server.h"
 #include "relational/tsv.h"
 #include "shell/shell.h"
@@ -48,9 +63,45 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N] [--host A] [--executors N] "
                "[--max-queue N] [--quota N] [--max-sessions N] "
-               "[--preload <dir>] [--init <script.qf>] [--trace <path>]\n",
+               "[--preload <dir>] [--init <script.qf>] [--trace <path>] "
+               "[--idle-timeout-ms N] [--resume-timeout-ms N] "
+               "[--fault SPEC]\n",
                argv0);
   return 2;
+}
+
+// Parses a --fault SPEC (comma-separated k=v; see the header comment)
+// into a FaultSocketConfig. Returns false on an unknown key or a bad
+// number.
+bool ParseFaultSpec(const std::string& spec, qf::FaultSocketConfig* config) {
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    std::size_t eq = item.find('=');
+    if (eq == std::string::npos) return false;
+    std::string key = item.substr(0, eq);
+    qf::Result<std::int64_t> n = qf::ParseInt64(item.substr(eq + 1));
+    if (!n.ok() || *n < 0) return false;
+    if (key == "kill-at") {
+      config->fault_at_op = static_cast<std::uint64_t>(*n);
+      config->fault = qf::SocketFault::kDisconnect;
+    } else if (key == "kill-every") {
+      config->fault_at_op = static_cast<std::uint64_t>(*n);
+      config->repeat_every = static_cast<std::uint64_t>(*n);
+      config->fault = qf::SocketFault::kDisconnect;
+    } else if (key == "errno-at") {
+      config->fault_at_op = static_cast<std::uint64_t>(*n);
+      config->fault = qf::SocketFault::kError;
+    } else if (key == "corrupt-at") {
+      config->fault_at_op = static_cast<std::uint64_t>(*n);
+      config->fault = qf::SocketFault::kCorruptByte;
+    } else if (key == "chunk") {
+      config->max_chunk = static_cast<std::size_t>(*n);
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -62,6 +113,7 @@ int main(int argc, char** argv) {
   std::string preload_dir;
   std::string init_script;
   std::string trace_path;
+  std::string fault_spec;
 
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
@@ -86,9 +138,27 @@ int main(int argc, char** argv) {
       init_script = value;
     } else if (flag == "--trace") {
       trace_path = value;
+    } else if (flag == "--idle-timeout-ms" && n.ok() && *n >= 0) {
+      options.idle_timeout_ms = static_cast<int>(*n);
+    } else if (flag == "--resume-timeout-ms" && n.ok() && *n >= 0) {
+      options.resume_timeout_ms = static_cast<int>(*n);
+    } else if (flag == "--fault") {
+      fault_spec = value;
     } else {
       return Usage(argv[0]);
     }
+  }
+
+  std::unique_ptr<qf::FaultSocketOps> fault_ops;
+  if (!fault_spec.empty()) {
+    qf::FaultSocketConfig fault_config;
+    if (!ParseFaultSpec(fault_spec, &fault_config)) {
+      std::fprintf(stderr, "bad --fault spec: %s\n", fault_spec.c_str());
+      return Usage(argv[0]);
+    }
+    fault_ops = std::make_unique<qf::FaultSocketOps>(fault_config);
+    options.socket_ops = fault_ops.get();
+    std::printf("fault injection armed: %s\n", fault_spec.c_str());
   }
 
   if (!preload_dir.empty()) {
@@ -157,5 +227,10 @@ int main(int argc, char** argv) {
                                               stats.shed_quota +
                                               stats.shed_draining),
               static_cast<unsigned long long>(stats.sessions_opened));
+  if (stats.sessions_resumed + stats.replayed_replies > 0) {
+    std::printf("resumed %llu sessions, replayed %llu replies\n",
+                static_cast<unsigned long long>(stats.sessions_resumed),
+                static_cast<unsigned long long>(stats.replayed_replies));
+  }
   return 0;
 }
